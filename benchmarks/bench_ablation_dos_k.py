@@ -1,0 +1,38 @@
+"""A3 ablation: DoS k-ary search — k and probe-TTL tradeoffs.
+
+k trades addresses-consumed-per-round against rounds: large k isolates in
+fewer rounds but needs k+1 addresses live at once; a /24 caps k at 255.
+The probe TTL trades isolation latency against cache churn.  Both bounds
+come from the paper's formula TTL + t·⌈log_k n⌉.
+"""
+
+import pytest
+
+from repro.experiments.dos import render_dos_table, run_dos_case, run_dos_sweep
+
+
+def test_k_sweep(benchmark, save_table):
+    runs = benchmark.pedantic(
+        run_dos_sweep,
+        kwargs=dict(n_services=2_000, ks=(2, 4, 8, 16, 32, 64)),
+        rounds=1, iterations=1,
+    )
+    save_table("ablation_dos_k", render_dos_table(runs))
+    rounds = [run.verdict.rounds for run in runs]
+    assert rounds == sorted(rounds, reverse=True)  # more slices, fewer rounds
+    for run in runs:
+        assert run.verdict.within_bound
+
+
+@pytest.mark.parametrize("probe_ttl", [1, 5, 30])
+def test_probe_ttl_drives_latency(benchmark, probe_ttl):
+    run = benchmark.pedantic(
+        run_dos_case,
+        kwargs=dict(n_services=500, k=8, probe_ttl=probe_ttl, initial_ttl=60),
+        rounds=1, iterations=1,
+    )
+    assert run.verdict.within_bound
+    # Elapsed = initial drain + rounds × probe_ttl exactly, by construction
+    # of the simulated clock — the formula is the mechanism, not a fit.
+    expected = 60 + run.verdict.rounds * probe_ttl
+    assert run.verdict.elapsed == pytest.approx(expected)

@@ -1,0 +1,66 @@
+"""A1 ablation: pool-size sweep /20 → /32 under per-query randomization.
+
+DESIGN.md calls out active-set width as the deployment's main knob
+(§4.2's timetable).  The sweep quantifies the tradeoff the paper narrates:
+
+* load uniformity (max/min factor, Gini) improves as the pool narrows —
+  fewer cells, more samples per cell;
+* every width serves the identical hostname set (no capacity cliff);
+* the residual non-uniformity at /20 is pure sampling noise: it shrinks
+  roughly like 1/√(requests per address).
+"""
+
+import pytest
+
+from repro.analysis.reporting import TextTable
+from repro.core.pool import AddressPool
+from repro.core.strategies import RandomSelection
+from repro.experiments.fig7 import AGILE_SLASH20, Fig7Config, run_fig7_panel
+from repro.netsim.addr import Prefix, parse_address
+
+CONFIG = Fig7Config(num_sites=3_000, requests=60_000)
+
+
+def active_of(length: int) -> Prefix:
+    return Prefix.of(parse_address("192.0.2.1") if length == 32 else parse_address("192.0.0.0"), length)
+
+
+@pytest.fixture(scope="module")
+def sweep_results():
+    return {}
+
+
+@pytest.mark.parametrize("length", [20, 24, 28, 32])
+def test_pool_width(benchmark, length, sweep_results):
+    pool = AddressPool(AGILE_SLASH20, active=active_of(length), name=f"/{length}")
+    result = benchmark.pedantic(
+        run_fig7_panel, args=(f"/{length}", pool, RandomSelection(), CONFIG),
+        rounds=1, iterations=1,
+    )
+    assert result.requests_dist.total == CONFIG.requests
+    sweep_results[length] = result
+
+
+def test_uniformity_improves_as_pool_narrows(benchmark, sweep_results, save_table):
+    assert set(sweep_results) == {20, 24, 28, 32}
+    table = TextTable(
+        "A1 — active pool width vs load uniformity (per-query random)",
+        ["active set", "addresses", "req/addr", "max/min", "gini", "cv"],
+    )
+    ginis = []
+    for length in (20, 24, 28, 32):
+        dist = sweep_results[length].requests_dist
+        n = len(dist.sorted_desc)
+        table.add_row(
+            f"/{length}", n, f"{CONFIG.requests / n:.0f}",
+            f"{dist.max_min_factor:.2f}", f"{dist.gini:.4f}", f"{dist.cv:.4f}",
+        )
+        ginis.append(dist.gini)
+    save_table("ablation_poolsize", table.render())
+    assert ginis == sorted(ginis, reverse=True)  # monotone improvement
+    assert sweep_results[32].requests_dist.gini == 0.0
+    # Sampling-noise scaling: /24 has 16× the per-address samples of /20,
+    # so its CV should be roughly 4× smaller (allow 2×-8× for noise).
+    ratio = sweep_results[20].requests_dist.cv / max(sweep_results[24].requests_dist.cv, 1e-9)
+    assert 2.0 < ratio < 8.0
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)

@@ -1,0 +1,67 @@
+"""A2 ablation: popularity skew drives the pre-agility spread of Fig. 7a.
+
+The paper attributes the 4–6 orders-of-magnitude per-IP spread to
+hostname-to-address binding under real (heavy-tailed) popularity.  The
+sweep shows the causal chain: as Zipf skew rises, static-binding spread
+explodes while per-query randomization stays flat — randomization is
+insensitive to the popularity distribution (it never consults the name).
+"""
+
+import pytest
+
+from repro.analysis.reporting import TextTable
+from repro.core.pool import AddressPool
+from repro.core.strategies import HashedAssignment, RandomSelection
+from repro.experiments.fig7 import AGILE_SLASH24, Fig7Config, run_fig7_panel
+from repro.netsim.addr import parse_prefix
+
+SKEWS = (0.6, 1.0, 1.4)
+
+
+@pytest.fixture(scope="module")
+def outcomes():
+    return {}
+
+
+@pytest.mark.parametrize("skew", SKEWS)
+def test_static_spread_vs_skew(benchmark, skew, outcomes):
+    config = Fig7Config(num_sites=3_000, requests=60_000, zipf_s=skew)
+    pool = AddressPool(parse_prefix("10.0.0.0/22"), name=f"static-s{skew}")
+    result = benchmark.pedantic(
+        run_fig7_panel, args=(f"static-{skew}", pool, HashedAssignment(), config),
+        rounds=1, iterations=1,
+    )
+    outcomes[("static", skew)] = result
+
+
+@pytest.mark.parametrize("skew", SKEWS)
+def test_random_spread_vs_skew(benchmark, skew, outcomes):
+    config = Fig7Config(num_sites=3_000, requests=60_000, zipf_s=skew)
+    pool = AddressPool(AGILE_SLASH24, name=f"random-s{skew}")
+    result = benchmark.pedantic(
+        run_fig7_panel, args=(f"random-{skew}", pool, RandomSelection(), config),
+        rounds=1, iterations=1,
+    )
+    outcomes[("random", skew)] = result
+
+
+def test_skew_sensitivity_report(benchmark, outcomes, save_table):
+    table = TextTable(
+        "A2 — Zipf skew vs per-IP spread: static binding inherits skew, "
+        "randomization is immune",
+        ["zipf s", "static spread (o.o.m.)", "static gini",
+         "random spread (o.o.m.)", "random gini"],
+    )
+    static_spreads, random_spreads = [], []
+    for skew in SKEWS:
+        s = outcomes[("static", skew)].requests_dist
+        r = outcomes[("random", skew)].requests_dist
+        table.add_row(skew, f"{s.spread_orders_of_magnitude:.2f}", f"{s.gini:.3f}",
+                      f"{r.spread_orders_of_magnitude:.2f}", f"{r.gini:.3f}")
+        static_spreads.append(s.spread_orders_of_magnitude)
+        random_spreads.append(r.spread_orders_of_magnitude)
+    save_table("ablation_zipf", table.render())
+    assert static_spreads == sorted(static_spreads)          # grows with skew
+    assert max(random_spreads) - min(random_spreads) < 0.3   # flat
+    assert all(s > r for s, r in zip(static_spreads, random_spreads))
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)

@@ -1,0 +1,57 @@
+"""E7: §4.2 — address-usage reduction: 18 /20s → /20 → /24 → /32.
+
+Claims checked exactly (these are arithmetic, so the numbers must match
+the paper, not just the shape): 94.4 % reduction for the /20 and 99.7 %
+for the /24 versus 18 /20s; 20M+ hostnames per single address at /32.
+"""
+
+import pytest
+
+from repro.experiments.reduction import (
+    render_reduction_table,
+    run_reduction_table,
+)
+
+
+def test_reduction_numbers_match_paper(benchmark, save_table):
+    rows = benchmark.pedantic(run_reduction_table, rounds=1, iterations=1)
+    by_label = {row.label.split(" (")[0]: row for row in rows}
+    assert by_label["one /20"].reduction_pct == pytest.approx(94.4, abs=0.05)
+    assert by_label["one /24"].reduction_pct == pytest.approx(99.7, abs=0.05)
+    assert by_label["one /32"].hostnames_per_address == 20_000_000
+    save_table("address_reduction", render_reduction_table(rows))
+
+
+def test_one_address_serves_full_universe(benchmark):
+    """The ratio claim end-to-end at simulation scale: every hostname in a
+    universe resolves to the single active address."""
+    import random
+    from repro.core import AddressPool, Policy, PolicyAnswerSource, PolicyEngine
+    from repro.dns.records import RRType
+    from repro.dns.server import AuthoritativeServer, QueryContext
+    from repro.dns.wire import Message, Rcode
+    from repro.edge.customers import AccountType, Customer, CustomerRegistry
+    from repro.netsim.addr import parse_prefix
+
+    hostnames = [f"h{i:05d}.example" for i in range(5_000)]
+    registry = CustomerRegistry()
+    registry.add(Customer("all", AccountType.FREE, set(hostnames)))
+    engine = PolicyEngine(random.Random(0))
+    pool = AddressPool(parse_prefix("192.0.0.0/20"),
+                       active=parse_prefix("192.0.2.1/32"))
+    engine.add(Policy("one", pool, ttl=30))
+    server = AuthoritativeServer(PolicyAnswerSource(engine, registry))
+    context = QueryContext(pop="dc1")
+
+    def serve_all() -> int:
+        ok = 0
+        for i, hostname in enumerate(hostnames):
+            response = server.handle_query(
+                Message.query(i & 0xFFFF, hostname, RRType.A), context
+            )
+            if (response.flags.rcode == Rcode.NOERROR
+                    and str(response.answers[0].rdata.address) == "192.0.2.1"):
+                ok += 1
+        return ok
+
+    assert benchmark(serve_all) == len(hostnames)

@@ -1,0 +1,39 @@
+"""E11: §6 measurement — failover DC2 receives DNS-learned traffic.
+
+Claims checked:
+
+* DC2 (which never answers pool queries) still receives a significant
+  share of pool traffic, caused purely by resolver↔client catchment
+  mismatch;
+* the affected proportion is substantially higher for IPv6 than IPv4
+  (reproduced via the higher public-resolver share among v6-capable
+  clients — see the module docstring for the substitution rationale).
+"""
+
+from repro.experiments.spillover import render_spillover_table, run_spillover
+
+
+def test_spillover_present_and_v6_heavier(benchmark, save_table):
+    runs = benchmark.pedantic(
+        run_spillover,
+        kwargs=dict(clients=40, requests_per_client=5),
+        rounds=1, iterations=1,
+    )
+    save_table("dc2_spillover", render_spillover_table(runs))
+    v4 = next(r for r in runs if r.family == "IPv4")
+    v6 = next(r for r in runs if r.family == "IPv6")
+    assert v4.dc2_requests > 0, "no spillover at all — mismatch modelling broken"
+    assert v4.spillover_share > 0.02
+    assert v6.spillover_share > v4.spillover_share
+
+
+def test_no_mismatch_no_spillover(benchmark):
+    """Control: with resolver == client everywhere, DC2 stays clean."""
+    runs = benchmark.pedantic(
+        run_spillover,
+        kwargs=dict(clients=20, requests_per_client=4,
+                    v4_public_resolver_share=0.0, v6_public_resolver_share=0.0),
+        rounds=1, iterations=1,
+    )
+    for run in runs:
+        assert run.spillover_share == 0.0

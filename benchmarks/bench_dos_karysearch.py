@@ -1,0 +1,45 @@
+"""E9: §6 DoS mitigation — k-ary search isolation within the TTL bound.
+
+Claims checked:
+
+* an L7 attack on one of n=1000 co-hosted services is isolated to the
+  named target in ≤ TTL + t·⌈log_k n⌉ simulated seconds;
+* an address-pinned (L3/4) flood is classified in a single round;
+* rounds grow logarithmically in n.
+"""
+
+import math
+
+from repro.experiments.dos import render_dos_table, run_dos_case
+
+
+def test_l7_isolation_within_bound(benchmark, save_table):
+    run = benchmark.pedantic(
+        run_dos_case,
+        kwargs=dict(n_services=1000, k=8, probe_ttl=5, initial_ttl=300, attack="l7"),
+        rounds=1, iterations=1,
+    )
+    assert run.verdict.kind == "L7"
+    assert len(run.verdict.isolated) == 1
+    assert run.verdict.within_bound
+    save_table("dos_l7_isolation", render_dos_table([run]))
+
+
+def test_l34_classified_first_round(benchmark):
+    run = benchmark.pedantic(
+        run_dos_case,
+        kwargs=dict(n_services=1000, k=8, attack="l34"),
+        rounds=1, iterations=1,
+    )
+    assert run.verdict.kind == "L3/4"
+    assert run.verdict.rounds == 1
+
+
+def test_rounds_logarithmic_in_n(benchmark, save_table):
+    runs = []
+    for n in (100, 1_000, 10_000):
+        run = run_dos_case(n_services=n, k=8, attack="l7", seed=n)
+        assert run.verdict.rounds <= math.ceil(math.log(n, 8)) + 1
+        runs.append(run)
+    save_table("dos_n_sweep", render_dos_table(runs))
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)

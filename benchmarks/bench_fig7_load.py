@@ -1,0 +1,91 @@
+"""E1–E3: Figure 7 — per-IP load under static vs randomized addressing.
+
+Paper claims being checked (shape, not absolute values):
+
+* 7a (static, two /20s): per-IP requests and bytes span several orders of
+  magnitude (paper: ~4–6 with 20M hostnames over 24 h);
+* 7b (random /20): spread collapses to a small residue (paper: ≲2–3
+  orders — sampling noise over 4096 addresses);
+* 7c (random /24): near-uniform; max/min factor < 2 in absolute terms;
+* one-address: degenerate — exactly one loaded address.
+
+The ordering 7a ≫ 7b > 7c is the reproducible invariant and is asserted.
+"""
+
+import pytest
+
+from repro.core.pool import AddressPool
+from repro.core.strategies import RandomSelection, StaticAssignment
+from repro.experiments.fig7 import (
+    AGILE_SLASH20,
+    AGILE_SLASH24,
+    AGILE_SLASH32,
+    Fig7Config,
+    render_fig7_table,
+    run_fig7_panel,
+)
+
+CONFIG = Fig7Config(num_sites=8_000, requests=120_000, zipf_s=1.1)
+
+
+@pytest.fixture(scope="module")
+def results():
+    return {}
+
+
+def test_fig7a_static_two_slash20s(benchmark, results):
+    pool = AddressPool(
+        __import__("repro.netsim.addr", fromlist=["parse_prefix"]).parse_prefix("10.0.0.0/19"),
+        name="two /20s static",
+    )
+    result = benchmark.pedantic(
+        run_fig7_panel,
+        args=("7a", pool, StaticAssignment(per_address=CONFIG.hostnames_per_address_static), CONFIG),
+        rounds=1, iterations=1,
+    )
+    results["7a"] = result
+    # Static binding inherits popularity skew: multi-order spread.
+    assert result.request_spread_orders > 2.0
+    assert result.requests_dist.gini > 0.8
+
+
+def test_fig7b_random_slash20(benchmark, results):
+    pool = AddressPool(AGILE_SLASH20, name="random /20")
+    result = benchmark.pedantic(
+        run_fig7_panel, args=("7b", pool, RandomSelection(), CONFIG), rounds=1, iterations=1
+    )
+    results["7b"] = result
+    assert result.request_spread_orders < 2.0
+    assert result.requests_dist.gini < 0.4
+
+
+def test_fig7c_random_slash24(benchmark, results):
+    pool = AddressPool(AGILE_SLASH24, name="random /24")
+    result = benchmark.pedantic(
+        run_fig7_panel, args=("7c", pool, RandomSelection(), CONFIG), rounds=1, iterations=1
+    )
+    results["7c"] = result
+    # The paper's /24 panel: "factor of less than 2 in absolute terms".
+    assert result.requests_dist.max_min_factor < 2.0
+    assert result.requests_dist.loaded_addresses == 256
+
+
+def test_fig7_one_address(benchmark, results):
+    pool = AddressPool(AGILE_SLASH32, name="one /32")
+    result = benchmark.pedantic(
+        run_fig7_panel, args=("one", pool, RandomSelection(), CONFIG), rounds=1, iterations=1
+    )
+    results["one"] = result
+    assert result.requests_dist.loaded_addresses == 1
+    assert result.requests_dist.max_min_factor == 1.0
+
+
+def test_fig7_shape_ordering_and_report(benchmark, results, save_table):
+    """The cross-panel invariant: agility monotonically flattens load."""
+    assert set(results) >= {"7a", "7b", "7c", "one"}, "run the panel benches first"
+    spread = {k: results[k].request_spread_orders for k in ("7a", "7b", "7c")}
+    assert spread["7a"] > spread["7b"] > spread["7c"]
+    gini = {k: results[k].requests_dist.gini for k in ("7a", "7b", "7c")}
+    assert gini["7a"] > gini["7b"] > gini["7c"]
+    save_table("fig7_load_distribution", render_fig7_table(results))
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)  # report-only test

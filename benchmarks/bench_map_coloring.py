@@ -1,0 +1,44 @@
+"""E12: §6 — traffic tuning across anycast datacenters by map colouring.
+
+Claims checked:
+
+* a world-scale PoP set can be isolated with a small number of prefixes
+  (colours ≪ PoPs) across a sweep of conflict radii;
+* every colouring produced verifies (no conflicting pair shares a prefix);
+* colours needed grow monotonically with the conflict radius.
+"""
+
+from repro.experiments.coloring import (
+    WORLD_REGIONS,
+    build_world,
+    render_coloring_table,
+    run_coloring_sweep,
+)
+
+
+def test_coloring_sweep(benchmark, save_table):
+    network = build_world()
+    runs = benchmark.pedantic(
+        run_coloring_sweep, kwargs=dict(network=network), rounds=1, iterations=1
+    )
+    save_table("map_coloring", render_coloring_table(runs))
+    total_pops = sum(len(v) for v in WORLD_REGIONS.values())
+    for run in runs:
+        assert run.isolated
+        assert run.colors_needed <= total_pops
+    assert all(a.colors_needed <= b.colors_needed for a, b in zip(runs, runs[1:]))
+    # The economical end: regional isolation at 500-2000km costs only a
+    # handful of prefixes for 20 PoPs.
+    assert runs[0].colors_needed <= 5
+
+
+def test_far_pops_share_prefixes(benchmark):
+    network = build_world()
+    runs = benchmark.pedantic(
+        run_coloring_sweep, kwargs=dict(radii_km=(2000,), network=network),
+        rounds=1, iterations=1,
+    )
+    result = runs[0].result
+    # Some colour is reused across continents — the whole point.
+    shared = [result.datacenters_of_color(c) for c in range(result.num_colors)]
+    assert any(len(group) >= 2 for group in shared)

@@ -1,0 +1,25 @@
+"""E16 (extension): §5.2 — client-side latency wins of one-address.
+
+Claims checked:
+
+* connection-setup share of page-load time falls under one-address (more
+  coalescing ⇒ fewer handshakes);
+* DNS share falls too (long TTLs keep caches warm);
+* mean per-fetch latency improves overall.
+"""
+
+from repro.experiments.pageload import render_pageload_table, run_pageload
+
+
+def test_one_address_reduces_avoidable_latency(benchmark, save_table):
+    runs = benchmark.pedantic(run_pageload, kwargs=dict(sessions=100),
+                              rounds=1, iterations=1)
+    save_table("pageload_decomposition", render_pageload_table(runs))
+    random_arm = next(r for r in runs if r.label.startswith("random"))
+    one_arm = next(r for r in runs if r.label.startswith("one-ip"))
+
+    assert one_arm.account.share("setup") < random_arm.account.share("setup")
+    assert one_arm.account.share("dns") < random_arm.account.share("dns")
+    assert one_arm.mean_fetch_ms < random_arm.mean_fetch_ms
+    # Identical workload in both arms: same fetch count.
+    assert one_arm.account.fetches == random_arm.account.fetches

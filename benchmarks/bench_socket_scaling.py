@@ -1,0 +1,68 @@
+"""E6: Figure 4 — socket-table scaling: per-IP binds vs wildcard vs sk_lookup.
+
+Claims checked:
+
+* per-IP binding costs one socket per (address, port, protocol): a /20 on
+  the deployment's 13 ports costs ~106K sockets per machine (Figure 4a,
+  "4096 sockets … before doubling to accommodate both TCP and UDP");
+* sk_lookup and wildcard cost O(ports) sockets regardless of pool width;
+* per-IP *setup* time grows linearly with the pool while sk_lookup setup
+  is constant;
+* dispatch latency does not grow with pool width under sk_lookup.
+"""
+
+import pytest
+
+from repro.experiments.sklookup_perf import (
+    build_per_ip_binds,
+    build_sk_lookup,
+    dispatch_all,
+    make_packets,
+    render_scaling_table,
+)
+from repro.netsim.addr import Prefix, parse_address
+from repro.sockets.socktable import SOCKET_MEM_BYTES
+
+
+def pool_of(length: int) -> Prefix:
+    return Prefix.of(parse_address("192.0.0.0"), length)
+
+
+@pytest.mark.parametrize("length", [26, 24, 22])
+def test_per_ip_setup_cost_scales(benchmark, length):
+    setup = benchmark(build_per_ip_binds, pool_of(length))
+    assert setup.socket_count == pool_of(length).num_addresses
+    assert setup.memory_bytes == setup.socket_count * SOCKET_MEM_BYTES
+
+
+@pytest.mark.parametrize("length", [26, 24, 22, 20])
+def test_sklookup_setup_cost_constant(benchmark, length):
+    setup = benchmark(build_sk_lookup, pool_of(length))
+    assert setup.socket_count == 1
+
+
+@pytest.mark.parametrize("length", [26, 22])
+def test_per_ip_dispatch(benchmark, length):
+    setup = build_per_ip_binds(pool_of(length))
+    packets = make_packets(10_000, pool=pool_of(length))
+    delivered = benchmark(dispatch_all, setup, packets)
+    assert delivered == len(packets)
+
+
+@pytest.mark.parametrize("length", [26, 20])
+def test_sklookup_dispatch_pool_width_invariant(benchmark, length):
+    setup = build_sk_lookup(pool_of(length))
+    packets = make_packets(10_000, pool=pool_of(length))
+    delivered = benchmark(dispatch_all, setup, packets)
+    assert delivered == len(packets)
+
+
+def test_deployment_scale_socket_budget(benchmark, save_table):
+    """The paper's own arithmetic: a /20 × 13 ports × {TCP, UDP}."""
+    save_table("socket_scaling", render_scaling_table())
+    per_ip_sockets = 4096 * 13 * 2
+    sk_sockets = 13 * 2
+    assert per_ip_sockets == 106_496
+    ratio = per_ip_sockets / sk_sockets
+    assert ratio == 4096
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)

@@ -1,0 +1,35 @@
+"""E10: §3.1/§4.4 — binding lifetime bounded by downstream TTL behaviour.
+
+Claims checked:
+
+* honest resolvers flip to a rebound pool within one authoritative TTL;
+* TTL-clamping resolvers (the §4.4 violators) hold the stale binding for
+  their clamp, i.e. max(TTL, clamp) bounds the observed lifetime;
+* the bound max(connection lifetime, TTL) is respected for every
+  behaviour tested.
+"""
+
+from repro.experiments.ttl import render_ttl_table, run_ttl_experiment
+
+
+def test_binding_lifetime_bounds(benchmark, save_table):
+    runs = benchmark.pedantic(
+        run_ttl_experiment,
+        kwargs=dict(authoritative_ttl=30, clamp_mins=(0, 60, 300)),
+        rounds=1, iterations=1,
+    )
+    save_table("ttl_binding_lifetime", render_ttl_table(runs))
+    for run in runs:
+        assert run.observed_flip_time <= run.bound
+    honest = next(r for r in runs if r.clamp_min == 0)
+    assert honest.observed_flip_time <= 30 + 1
+    worst = max(runs, key=lambda r: r.observed_flip_time)
+    assert worst.clamp_min == 300  # violators dominate the rebind horizon
+
+
+def test_lower_ttl_shortens_horizon(benchmark):
+    """The DoS-search precondition: small TTLs mean fast rebinds."""
+    fast = run_ttl_experiment(authoritative_ttl=5, clamp_mins=(0,))[0]
+    slow = run_ttl_experiment(authoritative_ttl=120, clamp_mins=(0,))[0]
+    assert fast.observed_flip_time < slow.observed_flip_time
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)

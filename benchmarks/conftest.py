@@ -1,0 +1,33 @@
+"""Benchmark-suite plumbing: result artefacts and shared knobs.
+
+Every bench regenerates one paper artefact.  Besides pytest-benchmark's
+timing table, each bench writes its paper-shaped text table into
+``benchmarks/results/<name>.txt`` so the run leaves inspectable artefacts
+even when pytest captures stdout.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+@pytest.fixture(scope="session")
+def results_dir() -> pathlib.Path:
+    RESULTS_DIR.mkdir(exist_ok=True)
+    return RESULTS_DIR
+
+
+@pytest.fixture(scope="session")
+def save_table(results_dir):
+    """save(name, text): persist a rendered table and echo it to stdout."""
+
+    def save(name: str, text: str) -> None:
+        path = results_dir / f"{name}.txt"
+        path.write_text(text + "\n")
+        print(f"\n{text}\n[saved to {path}]")
+
+    return save

@@ -1,0 +1,47 @@
+#!/usr/bin/env python3
+"""DoS mitigation at the speed of TTLs (§6): the k-ary search, narrated.
+
+10 000 services sit behind one address.  An attack begins.  Is it a named
+(L7) target or a volumetric (L3/4) flood?  The k-ary search answers both
+questions by re-binding DNS slices and watching where the attack follows.
+
+Run:  python examples/dos_mitigation.py
+"""
+
+from repro.agility.dos import isolation_time_bound
+from repro.experiments.dos import render_dos_table, run_dos_case, run_dos_sweep
+
+N = 10_000
+K = 16
+PROBE_TTL = 5
+INITIAL_TTL = 300
+
+
+def main() -> None:
+    bound = isolation_time_bound(N, K, INITIAL_TTL, PROBE_TTL)
+    print(f"{N} services behind one address; k={K}, probe TTL={PROBE_TTL}s, "
+          f"pre-attack TTL={INITIAL_TTL}s")
+    print(f"paper worst case: TTL + t·⌈log_k n⌉ = {bound:.0f}s\n")
+
+    print("case 1 — application-layer attack on one hostname:")
+    l7 = run_dos_case(n_services=N, k=K, probe_ttl=PROBE_TTL,
+                      initial_ttl=INITIAL_TTL, attack="l7")
+    verdict = l7.verdict
+    print(f"  verdict: {verdict.kind}; isolated {sorted(verdict.isolated)}")
+    print(f"  {verdict.rounds} rounds, {verdict.elapsed:.0f}s elapsed "
+          f"(bound {l7.bound:.0f}s, within={verdict.within_bound})\n")
+
+    print("case 2 — volumetric flood pinned to an address:")
+    l34 = run_dos_case(n_services=N, k=K, attack="l34",
+                       probe_ttl=PROBE_TTL, initial_ttl=INITIAL_TTL)
+    print(f"  verdict: {l34.verdict.kind} in {l34.verdict.rounds} round "
+          f"(the attack never followed a DNS slice)\n")
+
+    print("how k trades addresses for rounds:")
+    print(render_dos_table(run_dos_sweep(n_services=N, ks=(2, 8, 32, 128),
+                                         probe_ttl=PROBE_TTL,
+                                         initial_ttl=INITIAL_TTL)))
+
+
+if __name__ == "__main__":
+    main()

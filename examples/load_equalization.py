@@ -1,0 +1,50 @@
+#!/usr/bin/env python3
+"""Load equalization (Figure 7): 'shared fate benefit, shared load'.
+
+Drives a heavy-tailed request stream through the real authoritative
+serving path under four bindings — static over two /20s, random /20,
+random /24, one /32 — and prints the Figure 7 summary plus a sideways
+ASCII rendering of each panel's sorted per-address load curve.
+
+Run:  python examples/load_equalization.py
+"""
+
+import math
+
+from repro.experiments.fig7 import Fig7Config, render_fig7_table, run_fig7
+
+
+def sparkline(dist, width: int = 64) -> str:
+    """Log-scale downsampled load curve, most- to least-loaded address."""
+    values = [v for v in dist.sorted_desc if v > 0]
+    if not values:
+        return "(no traffic)"
+    blocks = " ▁▂▃▄▅▆▇█"
+    top = math.log10(values[0] + 1)
+    step = max(1, len(values) // width)
+    chars = []
+    for i in range(0, len(values), step):
+        level = math.log10(values[i] + 1) / top if top else 0
+        chars.append(blocks[max(1, round(level * (len(blocks) - 1)))])
+    return "".join(chars)
+
+
+def main() -> None:
+    config = Fig7Config(num_sites=6_000, requests=120_000)
+    print(f"workload: {config.num_sites} sites, {config.requests} requests, "
+          f"zipf s={config.zipf_s}\n")
+    results = run_fig7(config)
+    print(render_fig7_table(results))
+    print("\nper-address load, sorted (log scale, left = hottest):")
+    for key in ("7a", "7b", "7c", "one"):
+        dist = results[key].requests_dist
+        print(f"  {key:>4} |{sparkline(dist)}|  "
+              f"spread {dist.spread_orders_of_magnitude:.1f} o.o.m.")
+    print("\nReading: static binding (7a) inherits hostname popularity — a "
+          "cliff.\nPer-query randomization (7b, 7c) flattens it with no "
+          "planning at all;\nthe equalization 'emerges without a priori "
+          "engineering' (§4.3).")
+
+
+if __name__ == "__main__":
+    main()

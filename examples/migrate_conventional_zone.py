@@ -1,0 +1,105 @@
+#!/usr/bin/env python3
+"""Migrating a conventional deployment to addressing agility (§3.4).
+
+The paper's transferable domain is "any service operator that manages its
+own authoritative DNS and connection termination" — a university web
+service as much as a CDN.  This example plays that operator:
+
+1. load an existing RFC 1035 zone file (the Figure 3a world);
+2. serve it conventionally and observe the per-IP imbalance;
+3. write a *declarative policy spec*, statically verify it against the
+   advertised space (§4.3's "safe and verifiable policy expression");
+4. swap the answer source — one call — and watch the same hostnames ride
+   the whole pool.
+
+Run:  python examples/migrate_conventional_zone.py
+"""
+
+import random
+
+from repro.core import AddressPool, PolicyAnswerSource
+from repro.core.spec import AttributeDomain, compile_and_verify
+from repro.dns import AuthoritativeServer, Message, QueryContext, RRType, ZoneAnswerSource
+from repro.dns.zonefile import load_zone
+from repro.netsim import parse_prefix
+
+ZONE_FILE = """\
+$ORIGIN campus.example.
+$TTL 300
+@        IN SOA ns1 hostmaster ( 2021061501 7200 900 1209600 300 )
+         IN NS  ns1
+ns1      IN A   192.0.2.53
+www      IN A   192.0.2.10
+www      IN A   192.0.2.11
+mail     IN A   192.0.2.20
+library  IN A   192.0.2.10     ; co-hosted with www — by hand
+portal   IN A   192.0.2.30
+labs     IN A   192.0.2.30
+printing IN A   192.0.2.30     ; three services, one box
+"""
+
+POOL = parse_prefix("192.0.2.0/24")
+HOSTS = ["www", "mail", "library", "portal", "labs", "printing"]
+
+
+def addresses_seen(server, label):
+    context = QueryContext(pop="campus-dc")
+    print(f"\n== {label} ==")
+    used = set()
+    for i, host in enumerate(HOSTS):
+        fqdn = f"{host}.campus.example"
+        answers = []
+        for j in range(3):
+            reply = Message.decode(server.handle_wire(
+                Message.query(i * 10 + j, fqdn, RRType.A).encode(), context))
+            answers.append(str(reply.answers[0].rdata.address))
+        used.update(answers)
+        print(f"  {fqdn:28s} -> {', '.join(answers)}")
+    print(f"  distinct addresses in use: {len(used)}")
+    return used
+
+
+def main() -> None:
+    # Step 1+2: the conventional deployment, straight from the zone file.
+    zone = load_zone(ZONE_FILE, "campus.example")
+    conventional = AuthoritativeServer(ZoneAnswerSource([zone]))
+    addresses_seen(conventional, "conventional zone (static name->IP table)")
+
+    # Step 3: declare and verify the agile policy.
+    specs = [{
+        "name": "campus-agile",
+        "pool": {"advertised": str(POOL)},
+        "match": {},          # every query, every hostname
+        "strategy": "random",
+        "ttl": 300,
+    }]
+    domain = AttributeDomain(pops=frozenset({"campus-dc"}))
+    engine = compile_and_verify(specs, domain, advertised_space=[POOL])
+    print("\npolicy spec verified: pools inside advertised space, "
+          "no shadowing, full coverage of A queries")
+
+    # Step 4: swap.  The registry maps hostnames to the account; the zone
+    # stays as the fallback for anything the policy does not cover (NS,
+    # SOA, TXT, unregistered names) — "resolved as normal".
+    from repro.edge import AccountType, Customer, CustomerRegistry
+    registry = CustomerRegistry()
+    registry.add(Customer("campus", AccountType.ENTERPRISE,
+                          {f"{h}.campus.example" for h in HOSTS}))
+    agile = AuthoritativeServer(
+        PolicyAnswerSource(engine, registry, fallback=ZoneAnswerSource([zone]))
+    )
+    used = addresses_seen(agile, "agile policy (per-query random over the /24)")
+
+    reply = Message.decode(agile.handle_wire(
+        Message.query(99, "campus.example", RRType.NS).encode(),
+        QueryContext(pop="campus-dc")))
+    print(f"\nNS query still served from the zone fallback: "
+          f"{reply.answers[0].rdata.rdata_text()}")
+    print(f"\nSame six services; address usage went from a hand-managed "
+          f"handful to the full pool\n({len(used)} distinct addresses "
+          f"observed in this tiny sample), with nothing rebound by hand "
+          f"ever again.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,7 @@
+"""Legacy setup shim: this environment lacks the `wheel` package, so PEP 660
+editable installs fail; `setup.py develop` (via pip's fallback below) works.
+Configuration lives in pyproject.toml.
+"""
+from setuptools import setup
+
+setup()

@@ -1,0 +1,14 @@
+"""repro — reproduction of "The Ties that un-Bind" (SIGCOMM 2021).
+
+Addressing agility at CDN scale: policy-first randomized DNS answering
+(``repro.core``), a programmable socket-lookup model (``repro.sockets``),
+and the full simulated substrate they run on (``repro.netsim``,
+``repro.dns``, ``repro.edge``, ``repro.web``, ``repro.workload``), plus the
+agility-enabled systems of the paper's §6 (``repro.agility``).
+"""
+
+from .clock import Clock
+from .deploy import Deployment, DeploymentConfig
+
+__version__ = "1.0.0"
+__all__ = ["Clock", "Deployment", "DeploymentConfig", "__version__"]

@@ -1,0 +1,40 @@
+"""Agility-enabled systems from the paper's §6: leaks, DoS, colouring,
+measurement."""
+
+from .coloring import (
+    ColoringResult,
+    build_conflict_graph,
+    color_datacenters,
+    verify_coloring,
+)
+from .dos import (
+    AttackObserver,
+    DoSVerdict,
+    KarySearchMitigator,
+    L7Attacker,
+    L34Attacker,
+    ResolvingL7Attacker,
+    isolation_time_bound,
+)
+from .leaks import LeakAlert, LeakMitigator, RouteLeakDetector
+from .measurement import SpilloverReport, build_mismatched_client, measure_spillover
+
+__all__ = [
+    "ColoringResult",
+    "build_conflict_graph",
+    "color_datacenters",
+    "verify_coloring",
+    "AttackObserver",
+    "DoSVerdict",
+    "KarySearchMitigator",
+    "L7Attacker",
+    "L34Attacker",
+    "ResolvingL7Attacker",
+    "isolation_time_bound",
+    "LeakAlert",
+    "LeakMitigator",
+    "RouteLeakDetector",
+    "SpilloverReport",
+    "build_mismatched_client",
+    "measure_spillover",
+]

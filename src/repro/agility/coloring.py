@@ -1,0 +1,86 @@
+"""Traffic tuning across anycast datacenters via map colouring (§6).
+
+"A colour is equivalent to a BGP prefix announcement, such that each
+datacenter in an anycast network advertises only one colour (or prefix)
+from the set" — neighbouring/conflicting datacenters must advertise
+different prefixes so their catchments can be steered independently.
+
+The conflict graph's edges encode "these two DCs must be distinguishable"
+(default: geographic proximity — nearby DCs fight over the same clients).
+Colouring is networkx's greedy heuristics, taking the best result across
+strategies; the module also verifies a colouring and derives the per-DC
+prefix assignment.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import networkx as nx
+
+from ..netsim.anycast import AnycastNetwork
+from ..netsim.addr import Prefix
+from ..netsim.geo import great_circle_km
+
+__all__ = ["ColoringResult", "build_conflict_graph", "color_datacenters", "verify_coloring"]
+
+_GREEDY_STRATEGIES = (
+    "largest_first",
+    "smallest_last",
+    "independent_set",
+    "connected_sequential_bfs",
+    "saturation_largest_first",
+)
+
+
+@dataclass(frozen=True, slots=True)
+class ColoringResult:
+    """A prefix-per-datacenter assignment."""
+
+    colors: dict[str, int]            # datacenter → colour index
+    num_colors: int
+    prefix_of: dict[str, Prefix]      # datacenter → advertised prefix
+
+    def datacenters_of_color(self, color: int) -> list[str]:
+        return sorted(dc for dc, c in self.colors.items() if c == color)
+
+
+def build_conflict_graph(network: AnycastNetwork, conflict_km: float = 2500.0) -> nx.Graph:
+    """Edges between PoPs closer than ``conflict_km`` (contended catchments)."""
+    graph = nx.Graph()
+    pops = list(network.pops.values())
+    graph.add_nodes_from(p.name for p in pops)
+    for i, a in enumerate(pops):
+        for b in pops[i + 1:]:
+            if great_circle_km(a.location, b.location) <= conflict_km:
+                graph.add_edge(a.name, b.name)
+    return graph
+
+
+def color_datacenters(graph: nx.Graph, prefixes: list[Prefix]) -> ColoringResult:
+    """Colour the conflict graph and assign one prefix per colour.
+
+    Tries several greedy strategies and keeps the fewest-colours result
+    (the paper wants "the smallest number of colours needed").  Raises if
+    the available prefixes cannot cover the chromatic upper bound found.
+    """
+    if graph.number_of_nodes() == 0:
+        raise ValueError("conflict graph has no datacenters")
+    best: dict[str, int] | None = None
+    for strategy in _GREEDY_STRATEGIES:
+        coloring = nx.greedy_color(graph, strategy=strategy)
+        if best is None or max(coloring.values(), default=0) < max(best.values(), default=0):
+            best = coloring
+    assert best is not None
+    num_colors = max(best.values()) + 1
+    if num_colors > len(prefixes):
+        raise ValueError(
+            f"colouring needs {num_colors} prefixes but only {len(prefixes)} provided"
+        )
+    prefix_of = {dc: prefixes[color] for dc, color in best.items()}
+    return ColoringResult(colors=dict(best), num_colors=num_colors, prefix_of=prefix_of)
+
+
+def verify_coloring(graph: nx.Graph, result: ColoringResult) -> bool:
+    """No conflicting pair shares a colour (region isolation holds)."""
+    return all(result.colors[u] != result.colors[v] for u, v in graph.edges)

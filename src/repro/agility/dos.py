@@ -1,0 +1,232 @@
+"""DoS mitigation at the speed of TTLs: the §6 k-ary search.
+
+The paper's procedure, verbatim:
+
+1. an attack is detected; set DNS TTL to a small value *t*;
+2. partition the n affected services randomly into k disjoint sets of
+   size ⌈n/k⌉;
+3. map each set to the i-th address in the range.
+
+"If the attack follows a slice then there is a named target; repeat from
+(2) on the affected slice.  Otherwise the attack continues on the starting
+address, meaning that it is layer 3/4.  Assuming DNS caches respect TTL
+values, then the worst case time to isolate the attack from services is
+TTL + t·⌈log_k n⌉."
+
+The search runs against an :class:`AttackObserver` — the DDoS telemetry
+that reports which addresses are absorbing attack traffic each round.  Two
+observers model the two attacker classes: :class:`L7Attacker` re-resolves
+its target hostnames every round (follows DNS), :class:`L34Attacker`
+floods fixed addresses and never re-resolves.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass
+from typing import Protocol as TypingProtocol
+
+from ..clock import Clock
+from ..core.agility import AgilityController
+from ..core.policy import PolicyEngine
+from ..core.pool import AddressPool
+from ..core.strategies import MappedAssignment
+from ..netsim.addr import IPAddress
+
+__all__ = [
+    "AttackObserver",
+    "L7Attacker",
+    "L34Attacker",
+    "DoSVerdict",
+    "KarySearchMitigator",
+    "isolation_time_bound",
+]
+
+
+def isolation_time_bound(n: int, k: int, initial_ttl: int, probe_ttl: int) -> float:
+    """The paper's worst case: TTL + t·⌈log_k n⌉."""
+    if n <= 0 or k <= 1:
+        raise ValueError("need n >= 1 services and k >= 2 slices")
+    rounds = math.ceil(math.log(max(n, 2), k))
+    return initial_ttl + probe_ttl * rounds
+
+
+class AttackObserver(TypingProtocol):
+    """DDoS telemetry: which addresses drew attack traffic this round?
+
+    The mitigator publishes the current hostname→address mapping (what a
+    DNS-following attacker would observe after caches expire) and receives
+    the set of addresses under attack.
+    """
+
+    def attacked_addresses(self, mapping: dict[str, IPAddress]) -> set[IPAddress]:
+        ...
+
+
+@dataclass(slots=True)
+class L7Attacker:
+    """An application-layer attacker that resolves its targets each round."""
+
+    targets: set[str]
+
+    def attacked_addresses(self, mapping: dict[str, IPAddress]) -> set[IPAddress]:
+        return {mapping[t] for t in self.targets if t in mapping}
+
+
+@dataclass(slots=True)
+class L34Attacker:
+    """A volumetric attacker aimed at fixed addresses (SYN/UDP flood)."""
+
+    addresses: set[IPAddress]
+
+    def attacked_addresses(self, mapping: dict[str, IPAddress]) -> set[IPAddress]:
+        return set(self.addresses)
+
+
+class ResolvingL7Attacker:
+    """An L7 attacker that *actually resolves* its targets through DNS.
+
+    Unlike :class:`L7Attacker` (which reads the published mapping — an
+    oracle), this attacker holds a real resolver with a real TTL cache, so
+    the search only observes movement after caches expire: the TTL
+    dynamics in the paper's bound are exercised rather than assumed.  It
+    ignores the mapping argument entirely.
+    """
+
+    def __init__(self, targets: set[str], resolver) -> None:
+        """``resolver`` is any object with ``resolve_addresses(name)``
+        (e.g. :class:`repro.dns.resolver.RecursiveResolver`)."""
+        self.targets = set(targets)
+        self.resolver = resolver
+
+    def attacked_addresses(self, mapping: dict[str, IPAddress]) -> set[IPAddress]:
+        attacked: set[IPAddress] = set()
+        for target in self.targets:
+            try:
+                attacked.update(self.resolver.resolve_addresses(target))
+            except Exception:
+                continue  # a target that stops resolving just drops out
+        return attacked
+
+
+@dataclass(frozen=True, slots=True)
+class DoSVerdict:
+    """Outcome of a k-ary search."""
+
+    kind: str                       # "L7" or "L3/4"
+    isolated: frozenset[str]        # named targets (empty for L3/4)
+    rounds: int
+    elapsed: float                  # simulated seconds from detection
+    bound: float                    # the paper's worst-case formula
+
+    @property
+    def within_bound(self) -> bool:
+        return self.elapsed <= self.bound + 1e-9
+
+
+class KarySearchMitigator:
+    """Runs the §6 k-ary search over a policy's hostname set.
+
+    The policy must use a :class:`MappedAssignment` strategy (the search
+    *is* bulk map updates).  Slices map onto consecutive pool addresses
+    starting at index 1; index 0 is the "starting address" where unsliced
+    services remain — an attack that stays there while slices move is, by
+    the paper's logic, layer 3/4.
+    """
+
+    def __init__(
+        self,
+        controller: AgilityController,
+        policy_name: str,
+        clock: Clock,
+        k: int = 8,
+        probe_ttl: int = 5,
+        rng: random.Random | None = None,
+    ) -> None:
+        if k < 2:
+            raise ValueError("k must be at least 2")
+        if probe_ttl <= 0:
+            raise ValueError("probe TTL must be positive")
+        self.controller = controller
+        self.policy_name = policy_name
+        self.clock = clock
+        self.k = k
+        self.probe_ttl = probe_ttl
+        self._rng = rng or random.Random(0xD05)
+
+    def run(self, services: list[str], observer: AttackObserver, max_rounds: int = 64) -> DoSVerdict:
+        """Execute the search; returns the verdict with timing."""
+        engine: PolicyEngine = self.controller.engine
+        policy = engine.get(self.policy_name)
+        strategy = policy.strategy
+        if not isinstance(strategy, MappedAssignment):
+            raise TypeError("k-ary search requires a MappedAssignment strategy")
+        pool: AddressPool = policy.pool
+        if pool.size < self.k + 1:
+            raise ValueError(
+                f"pool has {pool.size} addresses; k={self.k} search needs k+1"
+            )
+
+        start = self.clock.now()
+        initial_ttl = policy.ttl
+        home = pool.address_at(0)
+        bound = isolation_time_bound(len(services), self.k, initial_ttl, self.probe_ttl)
+
+        # Step 1: detection → drop TTL; old cached answers drain for
+        # initial_ttl before the first probe round is observable.
+        self.controller.set_ttl(self.policy_name, self.probe_ttl)
+        self.clock.advance(initial_ttl)
+
+        candidates = sorted(services)
+        rounds = 0
+        while rounds < max_rounds:
+            rounds += 1
+            slices = self._partition(candidates)
+            mapping: dict[str, IPAddress] = {}
+            strategy.clear()
+            strategy.assign_many(set(), home)  # no-op; keeps intent explicit
+            for i, chunk in enumerate(slices):
+                address = pool.address_at(1 + (i % (pool.size - 1)))
+                strategy.assign_many(chunk, address)
+                for hostname in chunk:
+                    mapping[hostname] = address
+
+            # Wait one probe TTL for caches to turn over, then observe.
+            self.clock.advance(self.probe_ttl)
+            attacked = observer.attacked_addresses(mapping)
+
+            hit_slices = [
+                chunk
+                for i, chunk in enumerate(slices)
+                if pool.address_at(1 + (i % (pool.size - 1))) in attacked
+            ]
+            if not hit_slices:
+                # Attack did not follow any slice: volumetric, address-pinned.
+                return DoSVerdict(
+                    kind="L3/4",
+                    isolated=frozenset(),
+                    rounds=rounds,
+                    elapsed=self.clock.now() - start,
+                    bound=bound,
+                )
+            candidates = sorted(set().union(*[set(c) for c in hit_slices]))
+            if len(candidates) <= 1 or all(len(c) == 1 for c in hit_slices):
+                isolated = frozenset(
+                    h for chunk in hit_slices for h in chunk
+                ) if all(len(c) == 1 for c in hit_slices) else frozenset(candidates)
+                return DoSVerdict(
+                    kind="L7",
+                    isolated=isolated,
+                    rounds=rounds,
+                    elapsed=self.clock.now() - start,
+                    bound=bound,
+                )
+        raise RuntimeError("k-ary search did not converge")
+
+    def _partition(self, candidates: list[str]) -> list[list[str]]:
+        """Step 2: random disjoint slices of size ⌈n/k⌉."""
+        shuffled = list(candidates)
+        self._rng.shuffle(shuffled)
+        size = math.ceil(len(shuffled) / self.k)
+        return [shuffled[i:i + size] for i in range(0, len(shuffled), size)]

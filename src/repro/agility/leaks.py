@@ -1,0 +1,119 @@
+"""Route-leak detection and mitigation for anycast (§6, Figure 9).
+
+The design, per the paper: every PoP announces the same prefix; a DNS
+policy gives each PoP a *unique* address within it ("*.25 for PoP-A, *.26
+for PoP-B, *.78 for PoP-X").  All ensuing request traffic at a PoP should
+arrive on its own address — traffic on another PoP's address, in either
+direction, indicates misdirection.  Detection is at DNS-TTL timescales;
+mitigation is "keep the policy, but change the prefix" to a backup that is
+already advertised.
+
+:class:`RouteLeakDetector` consumes per-PoP traffic logs (the counters
+every PoP already keeps) and the expected per-PoP address map;
+:class:`LeakMitigator` executes the pool swap through the agility
+controller and reports the propagation horizon.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..clock import Clock
+from ..core.agility import AgilityController, AgilityOperation
+from ..core.pool import AddressPool
+from ..core.strategies import PerPopAssignment
+from ..edge.datacenter import TrafficLog
+from ..netsim.addr import IPAddress
+
+__all__ = ["LeakAlert", "RouteLeakDetector", "LeakMitigator"]
+
+
+@dataclass(frozen=True, slots=True)
+class LeakAlert:
+    """Misdirected traffic observed at one PoP.
+
+    ``observed_at`` received ``requests`` requests on ``address`` — the
+    address that DNS only ever hands to queries landing at ``expected_pop``.
+    """
+
+    observed_at: str
+    address: IPAddress
+    expected_pop: str
+    requests: int
+    share_of_pop_traffic: float
+
+
+class RouteLeakDetector:
+    """Catchment-consistency monitor over per-PoP unique addresses."""
+
+    def __init__(
+        self,
+        pool: AddressPool,
+        assignment: PerPopAssignment,
+        pops: list[str],
+        min_requests: int = 5,
+        min_share: float = 0.01,
+    ) -> None:
+        """``min_requests``/``min_share`` suppress the small legitimate
+        bleed the paper expects ("PoP-A may see a small amount of traffic
+        arrive on *.26") from resolver/client catchment mismatch."""
+        self.pool = pool
+        self.assignment = assignment
+        self.pops = list(pops)
+        self.min_requests = min_requests
+        self.min_share = min_share
+
+    def expected_addresses(self) -> dict[str, IPAddress]:
+        return {pop: self.assignment.address_for_pop(self.pool, pop) for pop in self.pops}
+
+    def scan(self, traffic_by_pop: dict[str, TrafficLog]) -> list[LeakAlert]:
+        """Compare observed per-address traffic against expectations."""
+        expectations = self.expected_addresses()
+        owner_of = {address: pop for pop, address in expectations.items()}
+        alerts: list[LeakAlert] = []
+        for pop, log in traffic_by_pop.items():
+            own_address = expectations.get(pop)
+            total = log.total_requests()
+            if total == 0:
+                continue
+            for address, traffic in log.by_address().items():
+                owner = owner_of.get(address)
+                if owner is None or owner == pop or address == own_address:
+                    continue
+                share = traffic.requests / total
+                if traffic.requests >= self.min_requests and share >= self.min_share:
+                    alerts.append(
+                        LeakAlert(
+                            observed_at=pop,
+                            address=address,
+                            expected_pop=owner,
+                            requests=traffic.requests,
+                            share_of_pop_traffic=share,
+                        )
+                    )
+        alerts.sort(key=lambda a: a.requests, reverse=True)
+        return alerts
+
+    def victims(self, alerts: list[LeakAlert]) -> set[str]:
+        """PoPs whose clients are being misdirected elsewhere."""
+        return {a.expected_pop for a in alerts}
+
+
+class LeakMitigator:
+    """Mitigation: keep the policy, change the prefix (§6).
+
+    The backup pool's prefix must already be advertised ("if the
+    mitigation prefix is already advertised and known to the Internet,
+    then mitigation is complete also at DNS TTL timescales") — enforced by
+    requiring the caller to pass a ready :class:`AddressPool`.
+    """
+
+    def __init__(self, controller: AgilityController, clock: Clock) -> None:
+        self.controller = controller
+        self.clock = clock
+
+    def mitigate(self, policy_name: str, backup_pool: AddressPool) -> AgilityOperation:
+        """Swap the leaked policy onto the backup pool; returns the op,
+        whose ``propagation_horizon`` is the paper's TTL-bounded completion
+        time."""
+        return self.controller.swap_pool(policy_name, backup_pool)

@@ -1,0 +1,18 @@
+"""Analysis: load distributions, statistical tests, and report rendering."""
+
+from .loadstats import LoadDistribution, pool_load, spread_orders
+from .reporting import ExperimentRecord, TextTable, format_quantity
+from .stats import ADResult, anderson_darling_2sample, cdf_at, ecdf
+
+__all__ = [
+    "LoadDistribution",
+    "pool_load",
+    "spread_orders",
+    "ExperimentRecord",
+    "TextTable",
+    "format_quantity",
+    "ADResult",
+    "anderson_darling_2sample",
+    "cdf_at",
+    "ecdf",
+]

@@ -1,0 +1,134 @@
+"""Per-address load distribution statistics — the Figure 7 measurements.
+
+Figure 7 plots requests-per-IP and bytes-per-IP sorted descending and
+reads off the spread: "~4–6 orders of magnitude" pre-agility, "less than
+2 and 3 orders" for a random /20, "factor of less than 2 in absolute
+terms" for a random /24.  :class:`LoadDistribution` computes exactly those
+figures plus standard inequality measures (Gini, coefficient of
+variation) used in the ablations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..core.pool import AddressPool
+from ..edge.datacenter import TrafficLog
+
+__all__ = ["LoadDistribution", "pool_load", "spread_orders"]
+
+
+def spread_orders(values) -> float:
+    """log10(max / min) over the positive entries; 0 for degenerate input."""
+    arr = np.asarray([v for v in values if v > 0], dtype=np.float64)
+    if arr.size == 0:
+        return 0.0
+    return float(np.log10(arr.max() / arr.min()))
+
+
+@dataclass(frozen=True, slots=True)
+class LoadDistribution:
+    """Summary of one per-address load series (requests or bytes)."""
+
+    sorted_desc: tuple[float, ...]
+    zeros: int
+
+    @classmethod
+    def from_counts(cls, counts, include_zeros: bool = True) -> "LoadDistribution":
+        arr = sorted((float(c) for c in counts), reverse=True)
+        zeros = sum(1 for c in arr if c == 0)
+        if not include_zeros:
+            arr = [c for c in arr if c > 0]
+        return cls(sorted_desc=tuple(arr), zeros=zeros)
+
+    # -- headline Figure 7 numbers ------------------------------------------
+
+    @property
+    def spread_orders_of_magnitude(self) -> float:
+        """log10 of max/min over addresses that saw any traffic."""
+        return spread_orders(self.sorted_desc)
+
+    @property
+    def max_min_factor(self) -> float:
+        """max/min over loaded addresses (the /24 result is "factor < 2")."""
+        positive = [c for c in self.sorted_desc if c > 0]
+        if not positive:
+            return 0.0
+        return positive[0] / positive[-1]
+
+    # -- general inequality measures --------------------------------------------
+
+    @property
+    def total(self) -> float:
+        return float(sum(self.sorted_desc))
+
+    @property
+    def mean(self) -> float:
+        return self.total / len(self.sorted_desc) if self.sorted_desc else 0.0
+
+    @property
+    def cv(self) -> float:
+        """Coefficient of variation (σ/μ): 0 = perfectly uniform."""
+        if not self.sorted_desc or self.mean == 0:
+            return 0.0
+        arr = np.asarray(self.sorted_desc)
+        return float(arr.std() / arr.mean())
+
+    @property
+    def gini(self) -> float:
+        """Gini coefficient: 0 = uniform, →1 = all load on one address."""
+        arr = np.sort(np.asarray(self.sorted_desc, dtype=np.float64))
+        n = arr.size
+        if n == 0 or arr.sum() == 0:
+            return 0.0
+        index = np.arange(1, n + 1)
+        return float((2 * (index * arr).sum() - (n + 1) * arr.sum()) / (n * arr.sum()))
+
+    @property
+    def loaded_addresses(self) -> int:
+        return len(self.sorted_desc) - self.zeros
+
+    def percentile(self, q: float) -> float:
+        if not self.sorted_desc:
+            return 0.0
+        return float(np.percentile(np.asarray(self.sorted_desc), q))
+
+    def head_share(self, top: int) -> float:
+        """Traffic share of the ``top`` most loaded addresses."""
+        if self.total == 0:
+            return 0.0
+        return sum(self.sorted_desc[:top]) / self.total
+
+    def summary(self) -> dict[str, float]:
+        return {
+            "addresses": float(len(self.sorted_desc)),
+            "loaded": float(self.loaded_addresses),
+            "total": self.total,
+            "max": self.sorted_desc[0] if self.sorted_desc else 0.0,
+            "spread_orders": self.spread_orders_of_magnitude,
+            "max_min_factor": self.max_min_factor,
+            "gini": self.gini,
+            "cv": self.cv,
+        }
+
+
+def pool_load(log: TrafficLog, pool: AddressPool, metric: str = "requests") -> LoadDistribution:
+    """Load over *every* active pool address (unhit addresses count zero).
+
+    Figure 7's x-axis is "IP addresses sorted by load": addresses that
+    never appeared still exist in the pool and belong in the series (they
+    are why the pre-agility plots reach down so far).
+    """
+    if metric not in ("requests", "bytes", "connections"):
+        raise ValueError(f"unknown metric {metric!r}")
+    by_addr = log.by_address()
+    counts: list[float] = []
+    if pool.active_prefix is not None and pool.size > (1 << 20):
+        raise ValueError("pool too wide to enumerate; narrow the active set")
+    for i in range(pool.size):
+        address = pool.address_at(i)
+        traffic = by_addr.get(address)
+        counts.append(float(getattr(traffic, metric)) if traffic else 0.0)
+    return LoadDistribution.from_counts(counts)

@@ -1,0 +1,94 @@
+"""Plain-text tables and experiment records for the benchmark harness.
+
+Every bench prints "the same rows/series the paper reports" through these
+helpers, and appends an :class:`ExperimentRecord` so EXPERIMENTS.md can be
+regenerated from measured values.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["TextTable", "ExperimentRecord", "format_quantity"]
+
+
+def format_quantity(value: float, precision: int = 1) -> str:
+    """Human-scale numbers: 1234567 → '1.2M'."""
+    if value != value:  # NaN
+        return "nan"
+    negative = value < 0
+    v = abs(value)
+    for threshold, suffix in ((1e12, "T"), (1e9, "G"), (1e6, "M"), (1e3, "K")):
+        if v >= threshold:
+            out = f"{v / threshold:.{precision}f}{suffix}"
+            return f"-{out}" if negative else out
+    if v == int(v):
+        out = str(int(v))
+    else:
+        out = f"{v:.{precision}f}"
+    return f"-{out}" if negative else out
+
+
+class TextTable:
+    """A fixed-column ASCII table with a title, printed by benches."""
+
+    def __init__(self, title: str, columns: list[str]) -> None:
+        if not columns:
+            raise ValueError("table needs at least one column")
+        self.title = title
+        self.columns = list(columns)
+        self._rows: list[list[str]] = []
+
+    def add_row(self, *cells: object) -> None:
+        if len(cells) != len(self.columns):
+            raise ValueError(
+                f"row has {len(cells)} cells, table has {len(self.columns)} columns"
+            )
+        self._rows.append([str(c) for c in cells])
+
+    def render(self) -> str:
+        widths = [len(c) for c in self.columns]
+        for row in self._rows:
+            for i, cell in enumerate(row):
+                widths[i] = max(widths[i], len(cell))
+        sep = "-+-".join("-" * w for w in widths)
+        header = " | ".join(c.ljust(w) for c, w in zip(self.columns, widths))
+        lines = [self.title, "=" * max(len(self.title), len(header)), header, sep]
+        for row in self._rows:
+            lines.append(" | ".join(cell.ljust(w) for cell, w in zip(row, widths)))
+        return "\n".join(lines)
+
+    def __str__(self) -> str:
+        return self.render()
+
+
+@dataclass(slots=True)
+class ExperimentRecord:
+    """Paper-vs-measured bookkeeping for one experiment artefact."""
+
+    experiment_id: str
+    artefact: str                 # e.g. "Figure 7b"
+    paper_claim: str
+    measured: dict[str, object] = field(default_factory=dict)
+    holds: bool | None = None
+    notes: str = ""
+
+    def set(self, key: str, value: object) -> None:
+        self.measured[key] = value
+
+    def verdict(self, holds: bool, notes: str = "") -> None:
+        self.holds = holds
+        if notes:
+            self.notes = notes
+
+    def render(self) -> str:
+        status = {True: "HOLDS", False: "DIVERGES", None: "UNEVALUATED"}[self.holds]
+        lines = [
+            f"[{self.experiment_id}] {self.artefact} — {status}",
+            f"  paper:    {self.paper_claim}",
+        ]
+        for key, value in self.measured.items():
+            lines.append(f"  measured: {key} = {value}")
+        if self.notes:
+            lines.append(f"  notes:    {self.notes}")
+        return "\n".join(lines)

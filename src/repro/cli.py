@@ -1,0 +1,172 @@
+"""Command-line front end: regenerate any paper artefact from a shell.
+
+::
+
+    python -m repro list
+    python -m repro fig7 --sites 8000 --requests 120000
+    python -m repro fig8 --sessions 200
+    python -m repro fig9 --ttl 30
+    python -m repro dos --n 1000 --k 8
+    python -m repro reduction
+    python -m repro ttl
+    python -m repro spillover
+    python -m repro coloring
+    python -m repro dnsload
+    python -m repro scaling
+
+Each subcommand prints the same table its benchmark saves under
+``benchmarks/results/``.  For timing data use the benchmarks.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Callable
+
+__all__ = ["main", "build_parser"]
+
+
+def _cmd_fig7(args) -> str:
+    from .experiments.fig7 import Fig7Config, render_fig7_table, run_fig7
+
+    config = Fig7Config(num_sites=args.sites, requests=args.requests, zipf_s=args.zipf)
+    return render_fig7_table(run_fig7(config))
+
+
+def _cmd_fig8(args) -> str:
+    from .experiments.fig8 import Fig8Config, render_fig8_table, run_fig8
+
+    config = Fig8Config(sessions=args.sessions, num_sites=args.sites)
+    return render_fig8_table(run_fig8(config))
+
+
+def _cmd_fig9(args) -> str:
+    from .experiments.fig9 import Fig9Config, render_fig9_table, run_fig9
+
+    return render_fig9_table(run_fig9(Fig9Config(ttl=args.ttl)))
+
+
+def _cmd_dos(args) -> str:
+    from .experiments.dos import render_dos_table, run_dos_case
+
+    run = run_dos_case(n_services=args.n, k=args.k, probe_ttl=args.probe_ttl,
+                       initial_ttl=args.initial_ttl, attack=args.attack)
+    return render_dos_table([run])
+
+
+def _cmd_reduction(args) -> str:
+    from .experiments.reduction import render_reduction_table, run_reduction_table
+
+    return render_reduction_table(run_reduction_table(args.hostnames), args.hostnames)
+
+
+def _cmd_ttl(args) -> str:
+    from .experiments.ttl import render_ttl_table, run_ttl_experiment
+
+    return render_ttl_table(run_ttl_experiment(authoritative_ttl=args.ttl))
+
+
+def _cmd_spillover(args) -> str:
+    from .experiments.spillover import render_spillover_table, run_spillover
+
+    return render_spillover_table(run_spillover(clients=args.clients))
+
+
+def _cmd_coloring(args) -> str:
+    from .experiments.coloring import render_coloring_table, run_coloring_sweep
+
+    return render_coloring_table(run_coloring_sweep())
+
+
+def _cmd_dnsload(args) -> str:
+    from .experiments.dnsload import render_dns_load_table, run_dns_load
+
+    return render_dns_load_table(run_dns_load(sessions=args.sessions))
+
+
+def _cmd_scaling(args) -> str:
+    from .experiments.sklookup_perf import render_scaling_table
+
+    return render_scaling_table()
+
+
+def _cmd_list(args) -> str:
+    lines = ["available experiments:"]
+    for name, (_, help_text) in sorted(_COMMANDS.items()):
+        lines.append(f"  {name:<10} {help_text}")
+    return "\n".join(lines)
+
+
+_COMMANDS: dict[str, tuple[Callable, str]] = {
+    "fig7": (_cmd_fig7, "Figure 7: per-IP load under static vs random addressing"),
+    "fig8": (_cmd_fig8, "Figure 8: connection coalescing, one-IP vs rest-of-world"),
+    "fig9": (_cmd_fig9, "Figure 9: anycast route-leak detection & mitigation"),
+    "dos": (_cmd_dos, "§6: DoS k-ary search isolation"),
+    "reduction": (_cmd_reduction, "§4.2: address-usage reduction table"),
+    "ttl": (_cmd_ttl, "§4.4: binding lifetime vs resolver TTL behaviour"),
+    "spillover": (_cmd_spillover, "§6: DC2 measurement (resolver/client mismatch)"),
+    "coloring": (_cmd_coloring, "§6: map colouring for anycast traffic tuning"),
+    "dnsload": (_cmd_dnsload, "§5.2: DNS-stress reduction under one-address"),
+    "scaling": (_cmd_scaling, "Figure 4: socket-table scaling comparison"),
+    "list": (_cmd_list, "list available experiments"),
+}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Regenerate artefacts from 'The Ties that un-Bind' (SIGCOMM 2021).",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("fig7", help=_COMMANDS["fig7"][1])
+    p.add_argument("--sites", type=int, default=5_000)
+    p.add_argument("--requests", type=int, default=100_000)
+    p.add_argument("--zipf", type=float, default=1.1)
+
+    p = sub.add_parser("fig8", help=_COMMANDS["fig8"][1])
+    p.add_argument("--sessions", type=int, default=150)
+    p.add_argument("--sites", type=int, default=300)
+
+    p = sub.add_parser("fig9", help=_COMMANDS["fig9"][1])
+    p.add_argument("--ttl", type=int, default=30)
+
+    p = sub.add_parser("dos", help=_COMMANDS["dos"][1])
+    p.add_argument("--n", type=int, default=1_000)
+    p.add_argument("--k", type=int, default=8)
+    p.add_argument("--probe-ttl", type=int, default=5, dest="probe_ttl")
+    p.add_argument("--initial-ttl", type=int, default=300, dest="initial_ttl")
+    p.add_argument("--attack", choices=("l7", "l34"), default="l7")
+
+    p = sub.add_parser("reduction", help=_COMMANDS["reduction"][1])
+    p.add_argument("--hostnames", type=int, default=20_000_000)
+
+    p = sub.add_parser("ttl", help=_COMMANDS["ttl"][1])
+    p.add_argument("--ttl", type=int, default=30)
+
+    p = sub.add_parser("spillover", help=_COMMANDS["spillover"][1])
+    p.add_argument("--clients", type=int, default=40)
+
+    sub.add_parser("coloring", help=_COMMANDS["coloring"][1])
+
+    p = sub.add_parser("dnsload", help=_COMMANDS["dnsload"][1])
+    p.add_argument("--sessions", type=int, default=120)
+
+    sub.add_parser("scaling", help=_COMMANDS["scaling"][1])
+    sub.add_parser("list", help=_COMMANDS["list"][1])
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    handler, _ = _COMMANDS[args.command]
+    try:
+        print(handler(args))
+    except BrokenPipeError:  # output piped into head/less that closed early
+        return 0
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

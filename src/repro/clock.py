@@ -1,0 +1,38 @@
+"""Simulated time.
+
+Everything TTL-shaped in the reproduction — DNS caches, connection
+lifetimes, the DoS k-ary search's "TTL + t·log_k(n)" bound — is driven by
+one explicit clock instead of the wall clock, so experiments are
+deterministic and can cover simulated days in milliseconds of real time.
+"""
+
+from __future__ import annotations
+
+__all__ = ["Clock"]
+
+
+class Clock:
+    """A monotonically advancing simulated clock (seconds as float)."""
+
+    def __init__(self, start: float = 0.0) -> None:
+        self._now = float(start)
+
+    def now(self) -> float:
+        return self._now
+
+    def advance(self, seconds: float) -> float:
+        """Move time forward; rejects negative steps."""
+        if seconds < 0:
+            raise ValueError(f"cannot advance clock by {seconds}")
+        self._now += seconds
+        return self._now
+
+    def advance_to(self, when: float) -> float:
+        """Jump to an absolute time, which must not be in the past."""
+        if when < self._now:
+            raise ValueError(f"cannot move clock backwards ({when} < {self._now})")
+        self._now = float(when)
+        return self._now
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"Clock(t={self._now:.3f})"

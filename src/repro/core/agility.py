@@ -1,0 +1,112 @@
+"""The agility controller: runtime address-scheduling operations.
+
+§3.4's operational outcome — "large changes in address usage need take
+only as long as necessary for stakeholders to agree, and minutes or
+seconds more to execute" — is realised here as small, logged, reversible
+control-plane operations on live policies:
+
+* shrink/move a policy's active address set (the §4.2 timetable:
+  /20 → /24 → /32);
+* swap a policy's pool to a different prefix (leak/DoS mitigation — "keep
+  the policy, but change the prefix", §6);
+* swap a policy's selection strategy (e.g. random → per-PoP for leak
+  detection);
+* change a policy's TTL (step 1 of the DoS k-ary search).
+
+Every operation records what changed and when (simulated clock), and
+reports the *propagation horizon*: the instant by which all downstream
+caches must have picked the change up (now + previous TTL) — the paper's
+"changes will be immediate for new queries, and cached records will update
+in a time that is upper-bounded by TTL" (§5.2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..clock import Clock
+from ..netsim.addr import IPAddress, Prefix
+from .policy import PolicyEngine
+from .pool import AddressPool
+from .strategies import SelectionStrategy
+
+__all__ = ["AgilityOperation", "AgilityController"]
+
+
+@dataclass(frozen=True, slots=True)
+class AgilityOperation:
+    """An entry in the controller's change log."""
+
+    at: float
+    policy: str
+    kind: str
+    detail: str
+    propagation_horizon: float
+
+
+class AgilityController:
+    """Schedules addresses against live policies."""
+
+    def __init__(self, engine: PolicyEngine, clock: Clock) -> None:
+        self.engine = engine
+        self.clock = clock
+        self.log: list[AgilityOperation] = []
+
+    # -- operations ---------------------------------------------------------
+
+    def set_active(self, policy_name: str, active: "Prefix | list[IPAddress]") -> AgilityOperation:
+        """Re-scope the in-use portion of a policy's pool (§4.2 timetable)."""
+        policy = self.engine.get(policy_name)
+        horizon = self._horizon(policy.ttl)
+        policy.pool.set_active(active if isinstance(active, Prefix) else tuple(active))
+        return self._record(policy_name, "set_active", str(active), horizon)
+
+    def swap_pool(self, policy_name: str, new_pool: AddressPool) -> AgilityOperation:
+        """Move a policy to a different pool — the §6 mitigation move.
+
+        "Keep the policy, but change the prefix."  Takes effect for every
+        subsequent query; caches age out within the old TTL.
+        """
+        policy = self.engine.get(policy_name)
+        horizon = self._horizon(policy.ttl)
+        if new_pool.family != policy.pool.family:
+            raise ValueError("replacement pool family differs from policy pool")
+        policy.pool = new_pool
+        return self._record(policy_name, "swap_pool", new_pool.name, horizon)
+
+    def set_strategy(self, policy_name: str, strategy: SelectionStrategy) -> AgilityOperation:
+        policy = self.engine.get(policy_name)
+        horizon = self._horizon(policy.ttl)
+        policy.strategy = strategy
+        return self._record(
+            policy_name, "set_strategy", type(strategy).__name__, horizon
+        )
+
+    def set_ttl(self, policy_name: str, ttl: int) -> AgilityOperation:
+        """Change answer TTL.  Lowering TTL *before* an agile manoeuvre
+        shortens every later manoeuvre's horizon (DoS search step 1)."""
+        if ttl < 0:
+            raise ValueError("TTL must be non-negative")
+        policy = self.engine.get(policy_name)
+        horizon = self._horizon(policy.ttl)  # old TTL governs the transition
+        policy.ttl = ttl
+        return self._record(policy_name, "set_ttl", str(ttl), horizon)
+
+    # -- bookkeeping ------------------------------------------------------------
+
+    def _horizon(self, previous_ttl: int) -> float:
+        return self.clock.now() + previous_ttl
+
+    def _record(self, policy: str, kind: str, detail: str, horizon: float) -> AgilityOperation:
+        op = AgilityOperation(
+            at=self.clock.now(),
+            policy=policy,
+            kind=kind,
+            detail=detail,
+            propagation_horizon=horizon,
+        )
+        self.log.append(op)
+        return op
+
+    def operations(self) -> list[AgilityOperation]:
+        return list(self.log)

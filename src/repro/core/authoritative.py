@@ -1,0 +1,109 @@
+"""The policy-first authoritative answer source (Figure 3b).
+
+§3.2's five steps, verbatim, as code:
+
+1. a query arrives for an A or AAAA record            → ``answer()``
+2. processing/validation/logging remains unchanged    → the shared
+   :class:`~repro.dns.server.AuthoritativeServer` scaffolding
+3. attributes match to a policy that identifies a prefix
+                                                       → :class:`PolicyEngine`
+4. generate a random bitstring of 32−b (or 128−b) bits → the policy's
+   strategy over its :class:`AddressPool`
+5. respond with prefix ‖ bitstring                     → the A/AAAA record
+
+Queries that match no policy fall through to a conventional fallback
+source ("queries that do not match are resolved as normal", §4.3) — this
+is what let the deployment run one global codebase.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+
+from ..dns.records import A, AAAA, Question, ResourceRecord, RRType
+from ..dns.server import Answer, AnswerSource, QueryContext
+from ..dns.wire import Rcode
+from ..edge.customers import CustomerRegistry
+from ..netsim.addr import IPv4, IPv6
+from .policy import PolicyAttributes, PolicyDecision, PolicyEngine
+
+__all__ = ["PolicyAnswerSource", "PolicyAnswerLog"]
+
+
+@dataclass(slots=True)
+class PolicyAnswerLog:
+    """Step-2 accounting: what the policy path answered, per policy."""
+
+    policy_answers: int = 0
+    fallback_answers: int = 0
+    refused: int = 0
+    by_policy: dict[str, int] = field(default_factory=dict)
+
+    def record_policy(self, name: str) -> None:
+        self.policy_answers += 1
+        self.by_policy[name] = self.by_policy.get(name, 0) + 1
+
+
+class PolicyAnswerSource(AnswerSource):
+    """Answer A/AAAA queries from policies; everything else via fallback.
+
+    Parameters
+    ----------
+    engine:
+        The policy engine (step 3).
+    registry:
+        Maps the queried hostname to its account type — the one per-name
+        fact the deployment's policy consumes.  Hostnames not in the
+        registry never match account-typed policies and use the fallback.
+    fallback:
+        Conventional answer source for non-matching queries.  ``None``
+        makes unmatched queries REFUSED (useful in unit tests; production
+        always configures one).
+    """
+
+    def __init__(
+        self,
+        engine: PolicyEngine,
+        registry: CustomerRegistry,
+        fallback: AnswerSource | None = None,
+        rng: random.Random | None = None,
+    ) -> None:
+        self.engine = engine
+        self.registry = registry
+        self.fallback = fallback
+        self.log = PolicyAnswerLog()
+        self._rng = rng or random.Random(0x5EED)
+
+    def answer(self, question: Question, context: QueryContext) -> Answer:
+        if question.rrtype not in (RRType.A, RRType.AAAA):
+            return self._fall_through(question, context)
+
+        hostname = str(question.name).rstrip(".")
+        account = self.registry.account_type_for(hostname)
+        attrs = PolicyAttributes(
+            pop=context.pop,
+            account_type=account.value if account is not None else None,
+            family=IPv4 if question.rrtype == RRType.A else IPv6,
+            hostname=hostname,
+            client_subnet=context.client_subnet,
+        )
+        decision = self.engine.evaluate(attrs)
+        if decision is None:
+            return self._fall_through(question, context)
+        return self._policy_answer(question, decision)
+
+    # -- internals -------------------------------------------------------------
+
+    def _policy_answer(self, question: Question, decision: PolicyDecision) -> Answer:
+        rdata = A(decision.address) if question.rrtype == RRType.A else AAAA(decision.address)
+        record = ResourceRecord(question.name, rdata, ttl=decision.ttl)
+        self.log.record_policy(decision.policy.name)
+        return Answer(Rcode.NOERROR, records=(record,))
+
+    def _fall_through(self, question: Question, context: QueryContext) -> Answer:
+        if self.fallback is None:
+            self.log.refused += 1
+            return Answer(Rcode.REFUSED)
+        self.log.fallback_answers += 1
+        return self.fallback.answer(question, context)

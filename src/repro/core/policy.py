@@ -1,0 +1,163 @@
+"""Policies and the policy engine: matching queries without names.
+
+Figure 3b: "Our architecture matches policy without name … For: PoP
+location, account type → Use: a.b.c.d/xx".  A :class:`Policy` is a set of
+attribute constraints plus an address pool, a selection strategy, and a
+TTL.  The :class:`PolicyEngine` evaluates policies in priority order and
+returns the first match; queries matching no policy "are resolved as
+normal" (§4.3) by whatever fallback the caller wires in.
+
+Attribute constraints are value sets per key — deliberately not arbitrary
+code: §4.3 leaves "safe and verifiable policy expression" as future work,
+and set-membership constraints are the verifiable core that the deployment
+actually used (datacenter ∈ {…} ∧ account_type ∈ {…}).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from ..netsim.addr import IPAddress
+from .pool import AddressPool
+from .strategies import RandomSelection, SelectionContext, SelectionStrategy
+
+__all__ = ["PolicyAttributes", "Policy", "PolicyEngine", "PolicyDecision"]
+
+
+@dataclass(frozen=True, slots=True)
+class PolicyAttributes:
+    """The attribute tuple a query presents for matching.
+
+    ``hostname`` is carried for *strategies* that need it (static
+    baselines, DoS maps); the paper's randomizing policies never read it —
+    a property tested explicitly.  ``client_subnet`` is the EDNS Client
+    Subnet (RFC 7871) when the resolver sent one; like the hostname it is
+    strategy input, not a match key (matching on unbounded prefixes is not
+    statically verifiable — see :mod:`repro.core.spec`).
+    """
+
+    pop: str
+    account_type: str | None = None
+    family: int = 4  # 4 for A queries, 6 for AAAA
+    hostname: str = ""
+    client_subnet: str | None = None
+
+    def as_mapping(self) -> dict[str, object]:
+        return {
+            "pop": self.pop,
+            "account_type": self.account_type,
+            "family": self.family,
+        }
+
+
+class Policy:
+    """One match→pool rule.
+
+    ``match`` maps attribute names (``pop``, ``account_type``, ``family``)
+    to the set of acceptable values; absent keys are unconstrained.  Lower
+    ``priority`` evaluates first.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        pool: AddressPool,
+        match: dict[str, set] | None = None,
+        strategy: SelectionStrategy | None = None,
+        ttl: int = 30,
+        priority: int = 100,
+    ) -> None:
+        if ttl < 0:
+            raise ValueError("TTL must be non-negative")
+        self.name = name
+        self.pool = pool
+        self.match = {k: set(v) for k, v in (match or {}).items()}
+        self.strategy = strategy or RandomSelection()
+        self.ttl = ttl
+        self.priority = priority
+        self.hits = 0
+        _known = {"pop", "account_type", "family"}
+        unknown = set(self.match) - _known
+        if unknown:
+            raise ValueError(f"policy {name!r}: unknown attribute keys {sorted(unknown)}")
+
+    def matches(self, attrs: PolicyAttributes) -> bool:
+        mapping = attrs.as_mapping()
+        return all(mapping.get(key) in allowed for key, allowed in self.match.items())
+
+    def select(self, attrs: PolicyAttributes, rng: random.Random) -> IPAddress:
+        ctx = SelectionContext(
+            hostname=attrs.hostname,
+            pop=attrs.pop,
+            account_type=attrs.account_type,
+            client_subnet=attrs.client_subnet,
+        )
+        return self.strategy.select(self.pool, ctx, rng)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"Policy({self.name!r}, match={self.match}, pool={self.pool.name!r})"
+
+
+@dataclass(frozen=True, slots=True)
+class PolicyDecision:
+    """The engine's verdict for one query."""
+
+    policy: Policy
+    address: IPAddress
+    ttl: int
+
+
+class PolicyEngine:
+    """Ordered policy evaluation with runtime add/remove.
+
+    Policies sort by (priority, insertion order); the first match wins.
+    Returning ``None`` means "no policy applies — resolve conventionally".
+    """
+
+    def __init__(self, rng: random.Random | None = None) -> None:
+        self._policies: list[Policy] = []
+        self._rng = rng or random.Random(0xA91)
+        self.evaluations = 0
+        self.matches = 0
+
+    # -- management ----------------------------------------------------------
+
+    def add(self, policy: Policy) -> None:
+        if any(p.name == policy.name for p in self._policies):
+            raise ValueError(f"duplicate policy name {policy.name!r}")
+        self._policies.append(policy)
+        self._policies.sort(key=lambda p: p.priority)
+
+    def remove(self, name: str) -> Policy:
+        for i, policy in enumerate(self._policies):
+            if policy.name == name:
+                return self._policies.pop(i)
+        raise KeyError(f"no policy named {name!r}")
+
+    def get(self, name: str) -> Policy:
+        for policy in self._policies:
+            if policy.name == name:
+                return policy
+        raise KeyError(f"no policy named {name!r}")
+
+    def policies(self) -> list[Policy]:
+        return list(self._policies)
+
+    def __len__(self) -> int:
+        return len(self._policies)
+
+    # -- evaluation -------------------------------------------------------------
+
+    def evaluate(self, attrs: PolicyAttributes) -> PolicyDecision | None:
+        """First-match policy evaluation; selects an address on match."""
+        self.evaluations += 1
+        for policy in self._policies:
+            if policy.pool.family != attrs.family:
+                continue
+            if policy.matches(attrs):
+                policy.hits += 1
+                self.matches += 1
+                address = policy.select(attrs, self._rng)
+                return PolicyDecision(policy=policy, address=address, ttl=policy.ttl)
+        return None

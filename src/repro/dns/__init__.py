@@ -1,0 +1,80 @@
+"""DNS substrate: records, wire codec, zones, serving, caching, resolving."""
+
+from .cache import CacheStats, DNSCache, TTLPolicy
+from .edns import ClientSubnet, OptRecord, attach_opt, extract_opt
+from .iterative import IterativeResolver, ServerDirectory
+from .records import (
+    A,
+    AAAA,
+    CNAME,
+    NS,
+    SOA,
+    TXT,
+    DNSNameError,
+    DomainName,
+    Question,
+    RData,
+    ResourceRecord,
+    RRClass,
+    RRType,
+)
+from .resolver import RecursiveResolver, ResolveError, ResolverStats
+from .server import (
+    Answer,
+    AnswerSource,
+    AuthoritativeServer,
+    QueryContext,
+    ServerStats,
+    ZoneAnswerSource,
+)
+from .stub import StubResolver
+from .wire import Flags, Message, Opcode, Rcode, WireError
+from .zone import LookupResult, RRSelection, Zone, ZoneError
+from .zonefile import ZoneFileError, load_zone, parse_zone_text
+
+__all__ = [
+    "ClientSubnet",
+    "OptRecord",
+    "attach_opt",
+    "extract_opt",
+    "IterativeResolver",
+    "ServerDirectory",
+    "CacheStats",
+    "DNSCache",
+    "TTLPolicy",
+    "A",
+    "AAAA",
+    "CNAME",
+    "NS",
+    "SOA",
+    "TXT",
+    "DNSNameError",
+    "DomainName",
+    "Question",
+    "RData",
+    "ResourceRecord",
+    "RRClass",
+    "RRType",
+    "RecursiveResolver",
+    "ResolveError",
+    "ResolverStats",
+    "Answer",
+    "AnswerSource",
+    "AuthoritativeServer",
+    "QueryContext",
+    "ServerStats",
+    "ZoneAnswerSource",
+    "StubResolver",
+    "Flags",
+    "Message",
+    "Opcode",
+    "Rcode",
+    "WireError",
+    "LookupResult",
+    "RRSelection",
+    "Zone",
+    "ZoneError",
+    "ZoneFileError",
+    "load_zone",
+    "parse_zone_text",
+]

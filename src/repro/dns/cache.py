@@ -1,0 +1,199 @@
+"""TTL-driven DNS caching, including misbehaving-resolver TTL policies.
+
+§3.1: "the lifetime of the name-to-IP binding is upper-bounded in time by
+the larger of connection lifetime and TTL in downstream caches."  §4.4
+warns that "resolvers commonly modify TTL values", citing measurement
+studies.  Both observations matter to the agility experiments — a rebind
+(DoS mitigation, leak mitigation) completes only when downstream caches
+expire — so the cache models honest expiry *and* the common violations:
+clamping low TTLs up (cache-friendly resolvers) and capping high TTLs down.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable
+
+from ..clock import Clock
+from .records import DomainName, Question, ResourceRecord, RRType
+
+__all__ = ["TTLPolicy", "DNSCache", "CacheStats"]
+
+
+@dataclass(frozen=True, slots=True)
+class TTLPolicy:
+    """How a cache treats authoritative TTLs.
+
+    ``clamp_min``: never store below this (models resolvers that round
+    tiny TTLs up — the violation that delays agile rebinds).
+    ``clamp_max``: never store above this (models resolvers that distrust
+    week-long TTLs).
+    ``honour``: if False the cache serves entries for exactly
+    ``override`` seconds regardless of record TTL.
+    """
+
+    clamp_min: int = 0
+    clamp_max: int = 7 * 24 * 3600
+    honour: bool = True
+    override: int = 0
+
+    def __post_init__(self) -> None:
+        if self.clamp_min < 0 or self.clamp_max < 0 or self.override < 0:
+            raise ValueError("TTL policy values must be non-negative")
+        if self.clamp_min > self.clamp_max:
+            raise ValueError("clamp_min exceeds clamp_max")
+        if not self.honour and self.override == 0:
+            raise ValueError("non-honouring policy needs a positive override")
+
+    def effective_ttl(self, record_ttl: int) -> int:
+        if not self.honour:
+            return self.override
+        return max(self.clamp_min, min(self.clamp_max, record_ttl))
+
+    @classmethod
+    def honest(cls) -> "TTLPolicy":
+        return cls()
+
+    @classmethod
+    def clamping(cls, minimum: int) -> "TTLPolicy":
+        """The §4.4 violator: stretches small TTLs up to ``minimum``."""
+        return cls(clamp_min=minimum)
+
+
+@dataclass(slots=True)
+class CacheStats:
+    hits: int = 0
+    misses: int = 0
+    expirations: int = 0
+    insertions: int = 0
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+
+@dataclass(slots=True)
+class _Entry:
+    records: tuple[ResourceRecord, ...]
+    stored_at: float
+    expires_at: float
+    negative: bool = False
+    nxdomain: bool = False
+
+
+class DNSCache:
+    """A (name, type)-keyed cache with simulated-clock expiry.
+
+    Remaining-TTL semantics follow RFC 2181: a hit returns records with
+    their TTL decremented by time-in-cache (rounded down), as a resolver
+    forwarding a cached answer would.
+    """
+
+    def __init__(self, clock: Clock, policy: TTLPolicy | None = None, capacity: int = 1_000_000) -> None:
+        if capacity <= 0:
+            raise ValueError("capacity must be positive")
+        self.clock = clock
+        self.policy = policy or TTLPolicy.honest()
+        self.capacity = capacity
+        self.stats = CacheStats()
+        self._entries: dict[tuple[DomainName, RRType], _Entry] = {}
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    # -- writes ----------------------------------------------------------------
+
+    def store(self, question: Question, records: Iterable[ResourceRecord]) -> None:
+        records = tuple(records)
+        if not records:
+            return
+        ttl = self.policy.effective_ttl(min(r.ttl for r in records))
+        if ttl <= 0:
+            return  # TTL 0 answers are use-once; never cached
+        now = self.clock.now()
+        self._evict_if_full()
+        self._entries[(question.name, question.rrtype)] = _Entry(
+            records=records, stored_at=now, expires_at=now + ttl
+        )
+        self.stats.insertions += 1
+
+    def store_negative(self, question: Question, soa_minimum: int, nxdomain: bool = True) -> None:
+        """Negative caching (RFC 2308): remember NXDOMAIN or NODATA for the
+        SOA minimum.  ``nxdomain=False`` marks a NODATA (name exists, type
+        doesn't) entry, which callers must surface differently."""
+        ttl = self.policy.effective_ttl(soa_minimum)
+        if ttl <= 0:
+            return
+        now = self.clock.now()
+        self._evict_if_full()
+        self._entries[(question.name, question.rrtype)] = _Entry(
+            records=(), stored_at=now, expires_at=now + ttl, negative=True, nxdomain=nxdomain
+        )
+        self.stats.insertions += 1
+
+    def _evict_if_full(self) -> None:
+        if len(self._entries) < self.capacity:
+            return
+        now = self.clock.now()
+        expired = [k for k, e in self._entries.items() if e.expires_at <= now]
+        for k in expired:
+            del self._entries[k]
+            self.stats.expirations += 1
+        while len(self._entries) >= self.capacity:
+            # Fallback: evict the soonest-to-expire entry.
+            victim = min(self._entries, key=lambda k: self._entries[k].expires_at)
+            del self._entries[victim]
+            self.stats.expirations += 1
+
+    # -- reads -----------------------------------------------------------------
+
+    def get(self, question: Question) -> tuple[ResourceRecord, ...] | None:
+        """Fresh records, TTL-adjusted, or None on miss/expiry.
+
+        A cached *negative* entry returns an empty tuple — callers must
+        distinguish ``()`` (known-nonexistent) from ``None`` (unknown).
+        Use :meth:`lookup` to also learn whether empty means NXDOMAIN.
+        """
+        hit = self.lookup(question)
+        return None if hit is None else hit[0]
+
+    def lookup(self, question: Question) -> tuple[tuple[ResourceRecord, ...], bool] | None:
+        """Like :meth:`get` but returns ``(records, is_nxdomain)``."""
+        key = (question.name, question.rrtype)
+        entry = self._entries.get(key)
+        now = self.clock.now()
+        if entry is None:
+            self.stats.misses += 1
+            return None
+        if entry.expires_at <= now:
+            del self._entries[key]
+            self.stats.expirations += 1
+            self.stats.misses += 1
+            return None
+        self.stats.hits += 1
+        if entry.negative:
+            return (), entry.nxdomain
+        remaining = int(entry.expires_at - now)
+        records = tuple(r.with_ttl(min(r.ttl, max(remaining, 0))) for r in entry.records)
+        return records, False
+
+    def flush(self, name: DomainName | None = None) -> int:
+        """Drop everything, or everything under ``name``; returns count."""
+        if name is None:
+            n = len(self._entries)
+            self._entries.clear()
+            return n
+        victims = [k for k in self._entries if k[0].is_subdomain_of(name)]
+        for k in victims:
+            del self._entries[k]
+        return len(victims)
+
+    def expire_all_due(self) -> int:
+        """Proactively sweep expired entries; returns how many were dropped."""
+        now = self.clock.now()
+        victims = [k for k, e in self._entries.items() if e.expires_at <= now]
+        for k in victims:
+            del self._entries[k]
+            self.stats.expirations += 1
+        return len(victims)

@@ -1,0 +1,221 @@
+"""An iterative resolver: root hints, referrals, glue chasing.
+
+The forwarding :class:`~repro.dns.resolver.RecursiveResolver` models the
+steady state of the paper's data path (NS records long cached).  This
+module models the full cold path a real recursive walks: start at the
+root, follow referrals (NS in authority + glue in additional) down the
+delegation tree, cache NS/address records along the way, and answer from
+whatever authoritative finally says AA.
+
+The "network" is a :class:`ServerDirectory`: address → wire handler.  In
+the simulator those handlers are in-process
+:class:`~repro.dns.server.AuthoritativeServer` instances (a root, TLDs,
+and the CDN), each with its own zones.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Callable
+
+from ..clock import Clock
+from ..netsim.addr import IPAddress
+from .cache import DNSCache, TTLPolicy
+from .records import A, AAAA, NS, DomainName, Question, ResourceRecord, RRType
+from .resolver import ResolveError
+from .wire import Message, Rcode, WireError
+
+__all__ = ["ServerDirectory", "IterativeResolver"]
+
+WireHandler = Callable[[bytes], "bytes | None"]
+
+
+class ServerDirectory:
+    """address → server transport: the resolver's view of the network."""
+
+    def __init__(self) -> None:
+        self._handlers: dict[IPAddress, WireHandler] = {}
+
+    def register(self, address: IPAddress, handler: WireHandler) -> None:
+        self._handlers[address] = handler
+
+    def send(self, address: IPAddress, wire: bytes) -> bytes | None:
+        handler = self._handlers.get(address)
+        if handler is None:
+            return None  # unreachable server: timeout
+        return handler(wire)
+
+    def __contains__(self, address: IPAddress) -> bool:
+        return address in self._handlers
+
+
+@dataclass(slots=True)
+class IterationStats:
+    queries_sent: int = 0
+    referrals_followed: int = 0
+    glue_misses_resolved: int = 0
+    timeouts: int = 0
+
+
+class IterativeResolver:
+    """Full iteration from root hints, with NS/address caching."""
+
+    MAX_STEPS = 24
+    MAX_GLUELESS_DEPTH = 4
+
+    def __init__(
+        self,
+        name: str,
+        clock: Clock,
+        directory: ServerDirectory,
+        root_servers: list[IPAddress],
+        ttl_policy: TTLPolicy | None = None,
+        rng: random.Random | None = None,
+    ) -> None:
+        if not root_servers:
+            raise ValueError("need at least one root hint")
+        self.name = name
+        self.clock = clock
+        self.directory = directory
+        self.root_servers = list(root_servers)
+        self.cache = DNSCache(clock, ttl_policy or TTLPolicy.honest())
+        self.stats = IterationStats()
+        self._rng = rng or random.Random(hash(name) & 0xFFFFFFFF)
+
+    # -- public API ----------------------------------------------------------
+
+    def resolve(self, name: DomainName | str, rrtype: RRType = RRType.A,
+                _depth: int = 0) -> tuple[ResourceRecord, ...]:
+        if isinstance(name, str):
+            name = DomainName.from_text(name)
+        question = Question(name, rrtype)
+
+        hit = self.cache.lookup(question)
+        if hit is not None:
+            records, nxdomain = hit
+            if nxdomain:
+                raise ResolveError(f"{question}: cached NXDOMAIN", Rcode.NXDOMAIN)
+            return records
+
+        servers = self._closest_known_servers(name)
+        for _ in range(self.MAX_STEPS):
+            if not servers:
+                raise ResolveError(f"{question}: no servers to ask")
+            address = self._rng.choice(servers)
+            response = self._query(address, question)
+            if response is None:
+                servers = [s for s in servers if s != address]
+                continue
+
+            if response.flags.rcode == Rcode.NXDOMAIN:
+                self.cache.store_negative(question, self._soa_min(response), nxdomain=True)
+                raise ResolveError(f"{question}: NXDOMAIN", Rcode.NXDOMAIN)
+            if response.flags.rcode != Rcode.NOERROR:
+                servers = [s for s in servers if s != address]
+                continue
+
+            if response.flags.aa and response.answers:
+                self.cache.store(question, response.answers)
+                return response.answers
+            if response.flags.aa and not response.answers:
+                self.cache.store_negative(question, self._soa_min(response), nxdomain=False)
+                return ()
+
+            next_servers = self._follow_referral(response, _depth)
+            if not next_servers:
+                servers = [s for s in servers if s != address]
+                continue
+            self.stats.referrals_followed += 1
+            servers = next_servers
+        raise ResolveError(f"{question}: iteration did not terminate")
+
+    def resolve_addresses(self, name: DomainName | str,
+                          rrtype: RRType = RRType.A) -> list[IPAddress]:
+        return [
+            r.rdata.address for r in self.resolve(name, rrtype)
+            if r.rrtype == rrtype and hasattr(r.rdata, "address")
+        ]
+
+    # -- internals -------------------------------------------------------------
+
+    def _query(self, address: IPAddress, question: Question) -> Message | None:
+        qid = self._rng.getrandbits(16)
+        self.stats.queries_sent += 1
+        raw = self.directory.send(
+            address, Message.query(qid, question.name, question.rrtype).encode()
+        )
+        if raw is None:
+            self.stats.timeouts += 1
+            return None
+        try:
+            response = Message.decode(raw)
+        except WireError:
+            return None
+        if response.id != qid or not response.flags.qr:
+            return None
+        return response
+
+    def _closest_known_servers(self, name: DomainName) -> list[IPAddress]:
+        """Cached NS chain: deepest ancestor with cached NS + addresses."""
+        cursor = name
+        while True:
+            ns_hit = self.cache.lookup(Question(cursor, RRType.NS))
+            if ns_hit is not None and ns_hit[0]:
+                addresses = self._addresses_for_ns(ns_hit[0], depth=0, resolve_missing=False)
+                if addresses:
+                    return addresses
+            if cursor.is_root:
+                return list(self.root_servers)
+            cursor = cursor.parent()
+
+    def _follow_referral(self, response: Message, depth: int) -> list[IPAddress]:
+        ns_records = tuple(r for r in response.authority if r.rrtype == RRType.NS)
+        if not ns_records:
+            return []
+        # Cache the delegation and its glue.
+        self.cache.store(Question(ns_records[0].name, RRType.NS), ns_records)
+        by_name: dict[DomainName, list[ResourceRecord]] = {}
+        for record in response.additional:
+            if record.rrtype in (RRType.A, RRType.AAAA):
+                by_name.setdefault(record.name, []).append(record)
+        for name, records in by_name.items():
+            self.cache.store(Question(name, records[0].rrtype), tuple(records))
+        return self._addresses_for_ns(ns_records, depth, resolve_missing=True)
+
+    def _addresses_for_ns(self, ns_records, depth: int, resolve_missing: bool) -> list[IPAddress]:
+        addresses: list[IPAddress] = []
+        glueless: list[DomainName] = []
+        for record in ns_records:
+            assert isinstance(record.rdata, NS)
+            target = record.rdata.nameserver
+            hit = self.cache.lookup(Question(target, RRType.A))
+            if hit is not None and hit[0]:
+                addresses.extend(
+                    r.rdata.address for r in hit[0] if isinstance(r.rdata, (A, AAAA))
+                )
+            else:
+                glueless.append(target)
+        if not addresses and resolve_missing and depth < self.MAX_GLUELESS_DEPTH:
+            # Glueless delegation: resolve an NS name from the top.
+            for target in glueless:
+                try:
+                    records = self.resolve(target, RRType.A, _depth=depth + 1)
+                except ResolveError:
+                    continue
+                self.stats.glue_misses_resolved += 1
+                addresses.extend(
+                    r.rdata.address for r in records if isinstance(r.rdata, (A, AAAA))
+                )
+                if addresses:
+                    break
+        return addresses
+
+    @staticmethod
+    def _soa_min(response: Message) -> int:
+        from .records import SOA
+
+        for record in response.authority:
+            if isinstance(record.rdata, SOA):
+                return min(record.ttl, record.rdata.minimum)
+        return 30

@@ -1,0 +1,278 @@
+"""DNS resource records, names, and record data types.
+
+The paper re-architects *authoritative DNS answering* (§3.1–3.2); doing
+that credibly requires a real DNS data model underneath: domain names with
+case-insensitive label semantics, record classes/types, TTLs, and the RDATA
+variants the serving path touches (A, AAAA, CNAME, NS, SOA, TXT).
+
+Wire encoding/decoding lives in :mod:`repro.dns.wire`; this module is the
+object model both the servers and resolvers share.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from ..netsim.addr import IPAddress, IPv4, IPv6
+
+__all__ = [
+    "DomainName",
+    "RRType",
+    "RRClass",
+    "RData",
+    "A",
+    "AAAA",
+    "CNAME",
+    "NS",
+    "SOA",
+    "TXT",
+    "OPTPseudo",
+    "ResourceRecord",
+    "Question",
+    "DNSNameError",
+]
+
+MAX_NAME_LEN = 255
+MAX_LABEL_LEN = 63
+
+
+class DNSNameError(ValueError):
+    """Raised for malformed domain names."""
+
+
+class RRType(enum.IntEnum):
+    """Resource record types (the subset this system serves or forwards)."""
+
+    A = 1
+    NS = 2
+    CNAME = 5
+    SOA = 6
+    TXT = 16
+    AAAA = 28
+    OPT = 41
+    ANY = 255
+
+
+class RRClass(enum.IntEnum):
+    IN = 1
+    ANY = 255
+
+
+@dataclass(frozen=True, slots=True)
+class DomainName:
+    """A fully-qualified domain name, stored as a tuple of lowercase labels.
+
+    DNS name comparison is case-insensitive (RFC 1035 §2.3.3); labels are
+    normalised to lowercase at construction so equality and hashing behave.
+
+    >>> DomainName.from_text("WWW.Example.COM") == DomainName.from_text("www.example.com.")
+    True
+    """
+
+    labels: tuple[str, ...]
+
+    def __post_init__(self) -> None:
+        total = 0
+        for label in self.labels:
+            if not label:
+                raise DNSNameError("empty label inside name")
+            if len(label) > MAX_LABEL_LEN:
+                raise DNSNameError(f"label too long: {label[:16]!r}…")
+            if label != label.lower():
+                raise DNSNameError("labels must be normalised lowercase; use from_text")
+            total += len(label) + 1
+        if total + 1 > MAX_NAME_LEN:
+            raise DNSNameError("name exceeds 255 octets")
+
+    @classmethod
+    def from_text(cls, text: str) -> "DomainName":
+        text = text.rstrip(".")
+        if not text:
+            return cls(())  # the root
+        return cls(tuple(label.lower() for label in text.split(".")))
+
+    @classmethod
+    def root(cls) -> "DomainName":
+        return cls(())
+
+    # -- structure ---------------------------------------------------------
+
+    @property
+    def is_root(self) -> bool:
+        return not self.labels
+
+    def parent(self) -> "DomainName":
+        if self.is_root:
+            raise DNSNameError("the root has no parent")
+        return DomainName(self.labels[1:])
+
+    def is_subdomain_of(self, other: "DomainName") -> bool:
+        """True if self equals other or sits beneath it."""
+        n = len(other.labels)
+        if n == 0:
+            return True
+        return self.labels[-n:] == other.labels
+
+    def child(self, label: str) -> "DomainName":
+        return DomainName((label.lower(), *self.labels))
+
+    def __str__(self) -> str:
+        return ".".join(self.labels) + "."
+
+    def __len__(self) -> int:
+        return len(self.labels)
+
+
+class RData:
+    """Base class for record data; subclasses are frozen dataclasses."""
+
+    rrtype: RRType
+
+    def rdata_text(self) -> str:
+        raise NotImplementedError
+
+
+@dataclass(frozen=True, slots=True)
+class A(RData):
+    address: IPAddress
+    rrtype = RRType.A
+
+    def __post_init__(self) -> None:
+        if self.address.family != IPv4:
+            raise ValueError("A record requires an IPv4 address")
+
+    def rdata_text(self) -> str:
+        return str(self.address)
+
+
+@dataclass(frozen=True, slots=True)
+class AAAA(RData):
+    address: IPAddress
+    rrtype = RRType.AAAA
+
+    def __post_init__(self) -> None:
+        if self.address.family != IPv6:
+            raise ValueError("AAAA record requires an IPv6 address")
+
+    def rdata_text(self) -> str:
+        return str(self.address)
+
+
+@dataclass(frozen=True, slots=True)
+class CNAME(RData):
+    target: DomainName
+    rrtype = RRType.CNAME
+
+    def rdata_text(self) -> str:
+        return str(self.target)
+
+
+@dataclass(frozen=True, slots=True)
+class NS(RData):
+    nameserver: DomainName
+    rrtype = RRType.NS
+
+    def rdata_text(self) -> str:
+        return str(self.nameserver)
+
+
+@dataclass(frozen=True, slots=True)
+class SOA(RData):
+    mname: DomainName
+    rname: DomainName
+    serial: int
+    refresh: int
+    retry: int
+    expire: int
+    minimum: int
+    rrtype = RRType.SOA
+
+    def rdata_text(self) -> str:
+        return (
+            f"{self.mname} {self.rname} {self.serial} "
+            f"{self.refresh} {self.retry} {self.expire} {self.minimum}"
+        )
+
+
+@dataclass(frozen=True, slots=True)
+class TXT(RData):
+    strings: tuple[str, ...]
+    rrtype = RRType.TXT
+
+    def __post_init__(self) -> None:
+        for s in self.strings:
+            if len(s.encode()) > 255:
+                raise ValueError("TXT character-string exceeds 255 octets")
+
+    def rdata_text(self) -> str:
+        return " ".join(f'"{s}"' for s in self.strings)
+
+
+@dataclass(frozen=True, slots=True)
+class OPTPseudo(RData):
+    """The EDNS(0) OPT pseudo-record, carried opaquely (RFC 6891).
+
+    OPT overloads the RR fixed fields: CLASS holds the requester's UDP
+    payload size and TTL holds extended-RCODE/version/flags.  Both are
+    stashed here verbatim; :mod:`repro.dns.edns` interprets them and the
+    option TLVs in ``data``.
+    """
+
+    udp_payload_size: int
+    ttl_word: int
+    data: bytes
+    rrtype = RRType.OPT
+
+    def rdata_text(self) -> str:
+        return f"OPT payload={self.udp_payload_size} ({len(self.data)} option bytes)"
+
+
+#: RDATA class for each type this codec understands.
+RDATA_CLASSES: dict[RRType, type] = {
+    RRType.A: A,
+    RRType.AAAA: AAAA,
+    RRType.CNAME: CNAME,
+    RRType.NS: NS,
+    RRType.SOA: SOA,
+    RRType.TXT: TXT,
+}
+
+
+@dataclass(frozen=True, slots=True)
+class ResourceRecord:
+    """One RR: name, class, TTL, and typed RDATA."""
+
+    name: DomainName
+    rdata: RData
+    ttl: int
+    rrclass: RRClass = RRClass.IN
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.ttl <= 0x7FFFFFFF:
+            raise ValueError(f"TTL {self.ttl} outside RFC 2181 range")
+
+    @property
+    def rrtype(self) -> RRType:
+        return self.rdata.rrtype
+
+    def with_ttl(self, ttl: int) -> "ResourceRecord":
+        return ResourceRecord(self.name, self.rdata, ttl, self.rrclass)
+
+    def __str__(self) -> str:
+        return (
+            f"{self.name} {self.ttl} {self.rrclass.name} "
+            f"{self.rrtype.name} {self.rdata.rdata_text()}"
+        )
+
+
+@dataclass(frozen=True, slots=True)
+class Question:
+    """A query triple (QNAME, QTYPE, QCLASS)."""
+
+    name: DomainName
+    rrtype: RRType
+    rrclass: RRClass = RRClass.IN
+
+    def __str__(self) -> str:
+        return f"{self.name} {self.rrclass.name} {self.rrtype.name}"

@@ -1,0 +1,230 @@
+"""Authoritative DNS server skeleton with a pluggable answer source.
+
+The paper's key DNS insight (§3.1) is that the name→address binding happens
+*at the moment the response is generated*, so changing how answers are
+produced requires touching nothing else: "any processing, validation, or
+logging remains unchanged" (§3.2 step 2).  This module is that unchanged
+scaffolding — wire decode, validation, counters, response assembly — with
+the answer-production step abstracted as :class:`AnswerSource`.
+
+Two sources exist in the repository:
+
+* :class:`ZoneAnswerSource` — conventional Figure 3a serving from a
+  :class:`~repro.dns.zone.Zone` lookup table;
+* :class:`repro.core.authoritative.PolicyAnswerSource` — the paper's
+  Figure 3b policy engine.
+
+Swapping one for the other is a one-line change, which is itself a claim
+the paper makes ("a drop-in software modification", §4.2) and one our tests
+verify at the wire level.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..netsim.addr import IPAddress
+from .records import DomainName, Question, ResourceRecord, RRClass, RRType
+from .wire import Message, Rcode, WireError
+from .zone import Zone
+
+__all__ = ["QueryContext", "Answer", "AnswerSource", "ZoneAnswerSource", "AuthoritativeServer", "ServerStats"]
+
+
+@dataclass(frozen=True, slots=True)
+class QueryContext:
+    """Everything the serving path knows about a query besides the question.
+
+    ``pop`` is where the (anycast-routed) query arrived; ``resolver_address``
+    is the recursive resolver that sent it; ``client_subnet`` models EDNS
+    Client Subnet when present.  Policy attributes (§3.2) are computed from
+    these plus per-hostname account metadata.
+    """
+
+    pop: str
+    resolver_address: IPAddress | None = None
+    client_subnet: str | None = None
+    transport: str = "udp"
+
+
+@dataclass(frozen=True, slots=True)
+class Answer:
+    """What an answer source returns for one question.
+
+    A *referral* is NOERROR with empty ``records``, the delegation's NS
+    set in ``authority``, and glue in ``additional`` — how a parent zone
+    points an iterative resolver at the child's servers.
+    """
+
+    rcode: Rcode
+    records: tuple[ResourceRecord, ...] = ()
+    authority: tuple[ResourceRecord, ...] = ()
+    additional: tuple[ResourceRecord, ...] = ()
+    authoritative: bool = True
+
+
+class AnswerSource:
+    """Strategy interface: produce answer records for a validated question."""
+
+    def answer(self, question: Question, context: QueryContext) -> Answer:
+        raise NotImplementedError
+
+
+class ZoneAnswerSource(AnswerSource):
+    """Conventional serving (Figure 3a): look the name up in zone data."""
+
+    def __init__(self, zones: list[Zone]) -> None:
+        if not zones:
+            raise ValueError("need at least one zone")
+        self._zones = sorted(zones, key=lambda z: len(z.apex), reverse=True)
+
+    def zone_for(self, name: DomainName) -> Zone | None:
+        """Longest-suffix (most specific apex) zone match."""
+        for zone in self._zones:
+            if name.is_subdomain_of(zone.apex):
+                return zone
+        return None
+
+    def answer(self, question: Question, context: QueryContext) -> Answer:
+        zone = self.zone_for(question.name)
+        if zone is None:
+            return Answer(Rcode.REFUSED)
+
+        referral = self._referral(zone, question.name)
+        if referral is not None:
+            return referral
+
+        result = zone.lookup(question)
+        if not result.found:
+            return Answer(Rcode.NXDOMAIN, authority=(zone.soa(),))
+        records = (*result.cname_chain, *result.answers)
+        if not records:
+            # NODATA: NOERROR with SOA in authority (negative-caching signal).
+            return Answer(Rcode.NOERROR, authority=(zone.soa(),))
+        return Answer(Rcode.NOERROR, records=records)
+
+    def _referral(self, zone: Zone, name: DomainName) -> Answer | None:
+        """A delegation between the zone apex and ``name`` produces a
+        referral: non-authoritative NOERROR, NS in authority, glue in
+        additional (RFC 1034 §4.3.2 step 3b)."""
+        from .records import NS as NSData
+
+        ancestors: list[DomainName] = []
+        cursor = name
+        while cursor != zone.apex and len(cursor) > len(zone.apex):
+            ancestors.append(cursor)
+            cursor = cursor.parent()
+        for cut in reversed(ancestors):  # closest to the apex wins
+            ns_set = zone.rrset(cut, RRType.NS)
+            if not ns_set:
+                continue
+            glue: list[ResourceRecord] = []
+            for ns in ns_set:
+                assert isinstance(ns.rdata, NSData)
+                target = ns.rdata.nameserver
+                if target.is_subdomain_of(zone.apex):
+                    glue.extend(zone.rrset(target, RRType.A))
+                    glue.extend(zone.rrset(target, RRType.AAAA))
+            return Answer(
+                Rcode.NOERROR,
+                authority=ns_set,
+                additional=tuple(glue),
+                authoritative=False,
+            )
+        return None
+
+
+@dataclass(slots=True)
+class ServerStats:
+    """Counters the production service would export to monitoring."""
+
+    queries: int = 0
+    responses: int = 0
+    by_rcode: dict[Rcode, int] = field(default_factory=dict)
+    by_type: dict[RRType, int] = field(default_factory=dict)
+    formerr_drops: int = 0
+
+    def record(self, rrtype: RRType | None, rcode: Rcode) -> None:
+        self.responses += 1
+        self.by_rcode[rcode] = self.by_rcode.get(rcode, 0) + 1
+        if rrtype is not None:
+            self.by_type[rrtype] = self.by_type.get(rrtype, 0) + 1
+
+
+class AuthoritativeServer:
+    """The serving loop: bytes in, bytes out.
+
+    The wire layer, validation, and accounting here are deliberately
+    identical no matter which :class:`AnswerSource` is plugged in — that
+    invariance *is* the experiment of §4.2.
+    """
+
+    SUPPORTED_TYPES = frozenset(
+        {RRType.A, RRType.AAAA, RRType.CNAME, RRType.NS, RRType.SOA, RRType.TXT}
+    )
+
+    def __init__(self, source: AnswerSource, name: str = "authdns") -> None:
+        self.source = source
+        self.name = name
+        self.stats = ServerStats()
+
+    # -- wire entry point ----------------------------------------------------
+
+    def handle_wire(self, data: bytes, context: QueryContext) -> bytes | None:
+        """Process one datagram; returns response bytes (None = drop)."""
+        self.stats.queries += 1
+        try:
+            query = Message.decode(data)
+        except WireError:
+            self.stats.formerr_drops += 1
+            return None
+        response = self.handle_query(query, context)
+        return response.encode()
+
+    # -- message-level entry point ---------------------------------------------
+
+    def handle_query(self, query: Message, context: QueryContext) -> Message:
+        """Process one decoded query message.
+
+        EDNS(0): an OPT record in the query populates the context's
+        ``client_subnet`` (RFC 7871) and is echoed in the response, as a
+        compliant authoritative must.
+        """
+        if query.flags.qr or not query.questions:
+            self.stats.record(None, Rcode.FORMERR)
+            return query.response(rcode=Rcode.FORMERR, aa=False)
+
+        from dataclasses import replace as _replace
+        from .edns import OptRecord, attach_opt, extract_opt
+
+        opt = extract_opt(query)
+        if opt is not None and opt.client_subnet is not None:
+            context = _replace(context, client_subnet=str(opt.client_subnet.prefix))
+        question = query.questions[0]
+        if question.rrclass not in (RRClass.IN, RRClass.ANY):
+            self.stats.record(question.rrtype, Rcode.REFUSED)
+            return query.response(rcode=Rcode.REFUSED, aa=False)
+        if question.rrtype not in self.SUPPORTED_TYPES:
+            self.stats.record(question.rrtype, Rcode.NOTIMP)
+            return query.response(rcode=Rcode.NOTIMP, aa=False)
+
+        answer = self.source.answer(question, context)
+        self.stats.record(question.rrtype, answer.rcode)
+        response = query.response(
+            answers=answer.records,
+            authority=answer.authority,
+            additional=answer.additional,
+            rcode=answer.rcode,
+            aa=answer.authoritative and answer.rcode in (Rcode.NOERROR, Rcode.NXDOMAIN),
+        )
+        if opt is not None:
+            scope = opt.client_subnet.prefix.length if opt.client_subnet else 0
+            echo = OptRecord(
+                udp_payload_size=opt.udp_payload_size,
+                client_subnet=(
+                    None if opt.client_subnet is None
+                    else type(opt.client_subnet)(opt.client_subnet.prefix, scope=scope)
+                ),
+            )
+            response = attach_opt(response, echo)
+        return response

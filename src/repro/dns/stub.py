@@ -1,0 +1,70 @@
+"""Client-side stub resolvers.
+
+§4.4: "DNS responses are cached both at recursive and local client stub
+resolvers."  The stub is the second cache tier — typically the OS resolver
+cache — and matters because it is what actually pins a client's traffic to
+one returned address between lookups.  A stub talks to exactly one
+recursive resolver (its configured DNS server).
+"""
+
+from __future__ import annotations
+
+from ..clock import Clock
+from ..netsim.addr import IPAddress
+from .cache import DNSCache, TTLPolicy
+from .records import DomainName, Question, RRType
+from .resolver import RecursiveResolver, ResolveError
+
+__all__ = ["StubResolver"]
+
+
+class StubResolver:
+    """An OS-style stub: tiny TTL-honouring cache in front of one recursive.
+
+    ``lookup`` returns the address list for a hostname; the *first* address
+    is what a typical client connects to, and our browser model uses it.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        clock: Clock,
+        recursive: RecursiveResolver,
+        ttl_policy: TTLPolicy | None = None,
+        cache_capacity: int = 512,
+    ) -> None:
+        self.name = name
+        self.clock = clock
+        self.recursive = recursive
+        self.cache = DNSCache(clock, ttl_policy or TTLPolicy.honest(), capacity=cache_capacity)
+
+    def lookup(self, hostname: str | DomainName, rrtype: RRType = RRType.A) -> list[IPAddress]:
+        """Resolve to addresses; raises :class:`ResolveError` on NXDOMAIN.
+
+        Follows the recursive's answer through CNAME chains: any address
+        records of the requested type in the answer section count.
+        """
+        name = DomainName.from_text(hostname) if isinstance(hostname, str) else hostname
+        question = Question(name, rrtype)
+
+        hit = self.cache.lookup(question)
+        if hit is not None:
+            records, nxdomain = hit
+            if nxdomain:
+                raise ResolveError(f"{question}: cached NXDOMAIN")
+            return self._addresses(records, rrtype)
+
+        records = self.recursive.resolve(name, rrtype)
+        if records:
+            self.cache.store(question, records)
+        else:
+            self.cache.store_negative(question, soa_minimum=30, nxdomain=False)
+        return self._addresses(records, rrtype)
+
+    @staticmethod
+    def _addresses(records, rrtype: RRType) -> list[IPAddress]:
+        return [
+            r.rdata.address
+            for r in records
+            if r.rrtype == rrtype and hasattr(r.rdata, "address")
+        ]

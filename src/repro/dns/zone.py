@@ -1,0 +1,208 @@
+"""Conventional zone data: the Figure 3a baseline.
+
+This is the architecture the paper replaces: a lookup table from names to
+pre-assigned address sets, with per-query logic limited to choosing *which
+of the pre-assigned* addresses to return (round-robin / random subset —
+"DNS will lookup and return any IP in the set to load-balance", §1).
+
+It exists in full so that every experiment has a real before/after: the
+pre-agility runs in Figure 7a bind each hostname statically through a
+:class:`Zone`, while the agile runs answer from a policy pool.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Iterable
+
+from .records import (
+    A,
+    AAAA,
+    CNAME,
+    SOA,
+    DomainName,
+    Question,
+    RData,
+    ResourceRecord,
+    RRClass,
+    RRType,
+)
+
+__all__ = ["Zone", "ZoneError", "LookupResult", "RRSelection"]
+
+
+class ZoneError(ValueError):
+    """Raised on invalid zone contents (out-of-bailiwick names, CNAME+data)."""
+
+
+@dataclass(frozen=True, slots=True)
+class LookupResult:
+    """Outcome of a zone lookup.
+
+    ``answers`` may be empty with ``found=True`` — the NODATA case (name
+    exists, no records of the requested type), which a server must signal
+    differently from NXDOMAIN.
+    """
+
+    found: bool
+    answers: tuple[ResourceRecord, ...] = ()
+    cname_chain: tuple[ResourceRecord, ...] = ()
+
+
+class RRSelection:
+    """Answer-set selection policies for multi-address RRsets.
+
+    Conventional DNS load-balancing returns the full RRset rotated
+    (round-robin) or a random subset.  This knob exists so the baseline is a
+    *fair* baseline: static binding with rotation, the strongest widely
+    deployed pre-agility strategy.
+    """
+
+    ALL = "all"
+    ROUND_ROBIN = "round_robin"
+    RANDOM_ONE = "random_one"
+
+
+class Zone:
+    """An authoritative zone: apex, SOA, and RRsets keyed by (name, type).
+
+    Only behaviours the reproduction exercises are implemented: exact-name
+    lookup, CNAME chasing within the zone, NODATA vs NXDOMAIN distinction,
+    and selection policy for multi-record answers.  (No wildcards, no
+    DNSSEC: neither appears in the paper's data path.)
+    """
+
+    def __init__(
+        self,
+        apex: DomainName | str,
+        soa: SOA | None = None,
+        selection: str = RRSelection.ALL,
+        rng: random.Random | None = None,
+    ) -> None:
+        self.apex = DomainName.from_text(apex) if isinstance(apex, str) else apex
+        self.selection = selection
+        self._rng = rng or random.Random(0x50A)
+        self._rrsets: dict[tuple[DomainName, RRType], list[ResourceRecord]] = {}
+        self._names: set[DomainName] = {self.apex}
+        self._rotation: dict[tuple[DomainName, RRType], int] = {}
+        if soa is None:
+            soa = SOA(
+                mname=self.apex.child("ns1"),
+                rname=self.apex.child("hostmaster"),
+                serial=1,
+                refresh=7200,
+                retry=900,
+                expire=1209600,
+                minimum=300,
+            )
+        self.add_record(ResourceRecord(self.apex, soa, ttl=3600))
+
+    # -- mutation ------------------------------------------------------------
+
+    def add_record(self, record: ResourceRecord) -> None:
+        if not record.name.is_subdomain_of(self.apex):
+            raise ZoneError(f"{record.name} is outside zone {self.apex}")
+        key = (record.name, record.rrtype)
+        if record.rrtype == RRType.CNAME:
+            others = [
+                t for (n, t) in self._rrsets if n == record.name and t != RRType.CNAME
+            ]
+            if others:
+                raise ZoneError(f"{record.name} already has non-CNAME data")
+            if self._rrsets.get(key):
+                raise ZoneError(f"{record.name} already has a CNAME")
+        elif (record.name, RRType.CNAME) in self._rrsets:
+            raise ZoneError(f"{record.name} has a CNAME; cannot add other data")
+        self._rrsets.setdefault(key, []).append(record)
+        self._names.add(record.name)
+
+    def add_address(self, name: DomainName | str, address_rdata: RData, ttl: int = 300) -> None:
+        """Convenience: add an A or AAAA record."""
+        if isinstance(name, str):
+            name = DomainName.from_text(name)
+        if not isinstance(address_rdata, (A, AAAA)):
+            raise TypeError("add_address takes A or AAAA rdata")
+        self.add_record(ResourceRecord(name, address_rdata, ttl))
+
+    def remove_rrset(self, name: DomainName, rrtype: RRType) -> int:
+        """Delete an entire RRset; returns how many records were removed."""
+        removed = len(self._rrsets.pop((name, rrtype), ()))
+        if not any(n == name for (n, _t) in self._rrsets):
+            self._names.discard(name)
+        return removed
+
+    def replace_addresses(
+        self, name: DomainName, rrtype: RRType, records: Iterable[ResourceRecord]
+    ) -> None:
+        """Atomic RRset replacement — how conventional rebinding happens."""
+        self.remove_rrset(name, rrtype)
+        for record in records:
+            if record.rrtype != rrtype:
+                raise ZoneError("replacement record type mismatch")
+            self.add_record(record)
+
+    # -- lookup ----------------------------------------------------------------
+
+    def name_exists(self, name: DomainName) -> bool:
+        if name in self._names:
+            return True
+        # An "empty non-terminal": foo.example. exists if a.foo.example. does.
+        return any(existing.is_subdomain_of(name) for existing in self._names)
+
+    def lookup(self, question: Question) -> LookupResult:
+        """Answer a question from zone data, chasing in-zone CNAMEs."""
+        if question.rrclass not in (RRClass.IN, RRClass.ANY):
+            return LookupResult(found=False)
+        name = question.name
+        chain: list[ResourceRecord] = []
+        for _ in range(9):  # bounded CNAME chase
+            rrset = self._rrsets.get((name, question.rrtype))
+            if rrset:
+                return LookupResult(
+                    found=True,
+                    answers=self._select(name, question.rrtype, rrset),
+                    cname_chain=tuple(chain),
+                )
+            cname = self._rrsets.get((name, RRType.CNAME))
+            if cname:
+                chain.append(cname[0])
+                target = cname[0].rdata
+                assert isinstance(target, CNAME)
+                if not target.target.is_subdomain_of(self.apex):
+                    # Out-of-zone CNAME: answer is the chain; resolver continues.
+                    return LookupResult(found=True, answers=(), cname_chain=tuple(chain))
+                name = target.target
+                continue
+            if self.name_exists(name):
+                return LookupResult(found=True, answers=(), cname_chain=tuple(chain))
+            return LookupResult(found=False, cname_chain=tuple(chain))
+        raise ZoneError("CNAME chain too long")
+
+    def _select(
+        self, name: DomainName, rrtype: RRType, rrset: list[ResourceRecord]
+    ) -> tuple[ResourceRecord, ...]:
+        if self.selection == RRSelection.ALL or len(rrset) == 1:
+            return tuple(rrset)
+        if self.selection == RRSelection.RANDOM_ONE:
+            return (self._rng.choice(rrset),)
+        if self.selection == RRSelection.ROUND_ROBIN:
+            key = (name, rrtype)
+            start = self._rotation.get(key, 0) % len(rrset)
+            self._rotation[key] = start + 1
+            return tuple(rrset[start:] + rrset[:start])
+        raise ZoneError(f"unknown selection policy {self.selection!r}")
+
+    # -- introspection -----------------------------------------------------
+
+    def soa(self) -> ResourceRecord:
+        return self._rrsets[(self.apex, RRType.SOA)][0]
+
+    def rrset(self, name: DomainName, rrtype: RRType) -> tuple[ResourceRecord, ...]:
+        return tuple(self._rrsets.get((name, rrtype), ()))
+
+    def record_count(self) -> int:
+        return sum(len(v) for v in self._rrsets.values())
+
+    def names(self) -> set[DomainName]:
+        return set(self._names)

@@ -1,0 +1,262 @@
+"""RFC 1035 §5 master-file parser (the subset real zones use).
+
+Conventional deployments — the Figure 3a world the paper starts from —
+live in zone files.  Operators of the "transferable domain" (§3.4:
+anyone controlling authoritative DNS and termination) migrate *from*
+these files, so the reproduction reads them: examples and tests can load
+a conventional zone, serve it, then swap the policy engine in and show
+the before/after on identical data.
+
+Supported: ``$ORIGIN``/``$TTL`` directives, ``;`` comments, ``@``, blank
+name inheritance, relative and absolute names, optional TTL/class in
+either order, multi-line parenthesised RDATA (SOA), quoted strings (TXT),
+and the record types the object model carries (A, AAAA, CNAME, NS, SOA,
+TXT).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..netsim.addr import IPAddress, IPv4, IPv6
+from .records import (
+    A,
+    AAAA,
+    CNAME,
+    NS,
+    SOA,
+    TXT,
+    DomainName,
+    RData,
+    ResourceRecord,
+    RRClass,
+    RRType,
+)
+from .zone import Zone
+
+__all__ = ["ZoneFileError", "parse_zone_text", "load_zone"]
+
+
+class ZoneFileError(ValueError):
+    """Malformed master-file content, with a line number."""
+
+    def __init__(self, line_no: int, message: str) -> None:
+        super().__init__(f"line {line_no}: {message}")
+        self.line_no = line_no
+
+
+def _tokenize(text: str):
+    """Yield (line_no, tokens) per *logical* line.
+
+    Handles ``;`` comments, double-quoted strings (kept as single tokens,
+    marked by a leading ``\0`` so TXT can tell ``"1.2.3.4"`` from an IP),
+    and parenthesised continuations spanning physical lines.
+    """
+    logical: list[str] = []
+    start_line = 0
+    depth = 0
+    for line_no, raw in enumerate(text.splitlines(), start=1):
+        i = 0
+        line_tokens: list[str] = []
+        current = ""
+
+        def flush():
+            nonlocal current
+            if current:
+                line_tokens.append(current)
+                current = ""
+
+        while i < len(raw):
+            ch = raw[i]
+            if ch == ";":
+                break
+            if ch == '"':
+                end = raw.find('"', i + 1)
+                if end == -1:
+                    raise ZoneFileError(line_no, "unterminated quoted string")
+                flush()
+                line_tokens.append("\0" + raw[i + 1:end])
+                i = end + 1
+                continue
+            if ch == "(":
+                flush()
+                depth += 1
+                i += 1
+                continue
+            if ch == ")":
+                flush()
+                depth -= 1
+                if depth < 0:
+                    raise ZoneFileError(line_no, "unbalanced ')'")
+                i += 1
+                continue
+            if ch in " \t":
+                flush()
+                i += 1
+                continue
+            current += ch
+            i += 1
+        flush()
+
+        starts_with_space = bool(raw) and raw[0] in " \t"
+        if not logical:
+            start_line = line_no
+            if starts_with_space and line_tokens:
+                # Blank owner: inherit previous name (marker token).
+                line_tokens.insert(0, "\0\0INHERIT")
+            logical = line_tokens
+        else:
+            logical.extend(line_tokens)
+        if depth == 0:
+            if logical:
+                yield start_line, logical
+            logical = []
+    if depth != 0:
+        raise ZoneFileError(start_line, "unbalanced '(' at end of file")
+    if logical:
+        yield start_line, logical
+
+
+def _parse_name(token: str, origin: DomainName, line_no: int) -> DomainName:
+    if token == "@":
+        return origin
+    try:
+        if token.endswith("."):
+            return DomainName.from_text(token)
+        relative = DomainName.from_text(token)
+        return DomainName((*relative.labels, *origin.labels))
+    except ValueError as exc:
+        raise ZoneFileError(line_no, f"bad name {token!r}: {exc}") from exc
+
+
+_TYPE_TOKENS = {"A", "AAAA", "CNAME", "NS", "SOA", "TXT"}
+
+
+def _parse_rdata(rrtype: str, rest: list[str], origin: DomainName, line_no: int) -> RData:
+    def need(n: int) -> None:
+        if len(rest) < n:
+            raise ZoneFileError(line_no, f"{rrtype} needs {n} RDATA fields, got {len(rest)}")
+
+    if rrtype == "A":
+        need(1)
+        address = IPAddress.from_text(rest[0])
+        if address.family != IPv4:
+            raise ZoneFileError(line_no, "A record requires an IPv4 address")
+        return A(address)
+    if rrtype == "AAAA":
+        need(1)
+        address = IPAddress.from_text(rest[0])
+        if address.family != IPv6:
+            raise ZoneFileError(line_no, "AAAA record requires an IPv6 address")
+        return AAAA(address)
+    if rrtype == "CNAME":
+        need(1)
+        return CNAME(_parse_name(rest[0], origin, line_no))
+    if rrtype == "NS":
+        need(1)
+        return NS(_parse_name(rest[0], origin, line_no))
+    if rrtype == "TXT":
+        need(1)
+        strings = tuple(t[1:] if t.startswith("\0") else t for t in rest)
+        return TXT(strings)
+    if rrtype == "SOA":
+        need(7)
+        try:
+            numbers = [int(t) for t in rest[2:7]]
+        except ValueError as exc:
+            raise ZoneFileError(line_no, f"bad SOA numeric field: {exc}") from exc
+        return SOA(
+            mname=_parse_name(rest[0], origin, line_no),
+            rname=_parse_name(rest[1], origin, line_no),
+            serial=numbers[0], refresh=numbers[1], retry=numbers[2],
+            expire=numbers[3], minimum=numbers[4],
+        )
+    raise ZoneFileError(line_no, f"unsupported record type {rrtype!r}")
+
+
+@dataclass(slots=True)
+class _ParserState:
+    origin: DomainName
+    default_ttl: int | None = None
+    last_name: DomainName | None = None
+
+
+def parse_zone_text(text: str, origin: str | DomainName) -> list[ResourceRecord]:
+    """Parse master-file text into resource records.
+
+    ``origin`` seeds ``$ORIGIN``; the file may override it.
+    """
+    state = _ParserState(
+        origin=DomainName.from_text(origin) if isinstance(origin, str) else origin
+    )
+    records: list[ResourceRecord] = []
+    for line_no, tokens in _tokenize(text):
+        if not tokens:
+            continue
+        head = tokens[0]
+        if head == "$ORIGIN":
+            if len(tokens) != 2:
+                raise ZoneFileError(line_no, "$ORIGIN takes exactly one name")
+            state.origin = _parse_name(tokens[1], state.origin, line_no)
+            continue
+        if head == "$TTL":
+            if len(tokens) != 2 or not tokens[1].isdigit():
+                raise ZoneFileError(line_no, "$TTL takes one integer")
+            state.default_ttl = int(tokens[1])
+            continue
+        if head.startswith("$"):
+            raise ZoneFileError(line_no, f"unsupported directive {head}")
+
+        if head == "\0\0INHERIT":
+            if state.last_name is None:
+                raise ZoneFileError(line_no, "blank owner with no previous record")
+            name = state.last_name
+            fields = tokens[1:]
+        else:
+            name = _parse_name(head, state.origin, line_no)
+            fields = tokens[1:]
+        state.last_name = name
+
+        # Optional TTL and class, in either order, before the type token.
+        ttl: int | None = None
+        rrclass = RRClass.IN
+        index = 0
+        while index < len(fields) and fields[index] not in _TYPE_TOKENS:
+            token = fields[index]
+            if token.isdigit() and ttl is None:
+                ttl = int(token)
+            elif token.upper() == "IN":
+                rrclass = RRClass.IN
+            elif token.upper() in ("CH", "HS", "CS"):
+                raise ZoneFileError(line_no, f"unsupported class {token}")
+            else:
+                raise ZoneFileError(line_no, f"unexpected token {token!r} before type")
+            index += 1
+        if index >= len(fields):
+            raise ZoneFileError(line_no, "missing record type")
+        rrtype = fields[index]
+        rdata = _parse_rdata(rrtype, fields[index + 1:], state.origin, line_no)
+        effective_ttl = ttl if ttl is not None else state.default_ttl
+        if effective_ttl is None:
+            raise ZoneFileError(line_no, "no TTL and no $TTL default")
+        records.append(ResourceRecord(name, rdata, effective_ttl, rrclass))
+    return records
+
+
+def load_zone(text: str, apex: str) -> Zone:
+    """Parse text and build a served :class:`~repro.dns.zone.Zone`.
+
+    The file's SOA (if any) replaces the auto-generated one.
+    """
+    records = parse_zone_text(text, origin=apex)
+    soa_records = [r for r in records if r.rrtype == RRType.SOA]
+    soa = soa_records[0].rdata if soa_records else None
+    zone = Zone(apex, soa=soa)  # type: ignore[arg-type]
+    if soa_records:
+        zone.remove_rrset(zone.apex, RRType.SOA)
+        zone.add_record(soa_records[0])
+    for record in records:
+        if record.rrtype == RRType.SOA:
+            continue
+        zone.add_record(record)
+    return zone

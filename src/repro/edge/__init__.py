@@ -1,0 +1,32 @@
+"""Edge substrate: ECMP, L4LB, cache, servers, datacenters, the CDN."""
+
+from .cache import CacheNode, CacheNodeStats, DistributedCache
+from .cdn import CDN, DNS_ANYCAST_PREFIX, CDNTransport
+from .customers import AccountType, Customer, CustomerRegistry
+from .datacenter import AddressTraffic, Datacenter, TrafficLog
+from .ecmp import ECMPRouter, EcmpStats
+from .l4lb import L4LoadBalancer, L4Stats
+from .server import DEFAULT_SERVICE_PORTS, EdgeServer, EdgeServerStats, ListenMode
+
+__all__ = [
+    "CacheNode",
+    "CacheNodeStats",
+    "DistributedCache",
+    "CDN",
+    "DNS_ANYCAST_PREFIX",
+    "CDNTransport",
+    "AccountType",
+    "Customer",
+    "CustomerRegistry",
+    "AddressTraffic",
+    "Datacenter",
+    "TrafficLog",
+    "ECMPRouter",
+    "EcmpStats",
+    "L4LoadBalancer",
+    "L4Stats",
+    "DEFAULT_SERVICE_PORTS",
+    "EdgeServer",
+    "EdgeServerStats",
+    "ListenMode",
+]

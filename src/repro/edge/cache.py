@@ -1,0 +1,150 @@
+"""The distributed edge cache: every server participates (Figure 6).
+
+§4.3: "Our architecture and its addressing are isolated from cache
+systems … every server participates in the distributed cache.  Both
+internal addressing schemes, and distributed filesystems are untouched."
+
+That isolation is a checkable property: the cache keys on *content
+identity* — (hostname, path) — never on the connection's destination
+address, so hit rates are identical under static, randomized, or
+one-address policies.  Tests drive the same request stream through
+different addressing policies and assert byte-identical cache behaviour.
+
+Structure: a rendezvous-hash ring assigns each key a home node among the
+datacenter's servers; each node runs an LRU store.  Misses fetch through
+the origin gateway.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+
+from ..web.http import Request, Response, Status
+from ..web.origin import OriginPool
+
+__all__ = ["CacheNode", "DistributedCache", "CacheNodeStats"]
+
+
+@dataclass(slots=True)
+class CacheNodeStats:
+    hits: int = 0
+    misses: int = 0
+    evictions: int = 0
+    bytes_stored: int = 0
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+
+class CacheNode:
+    """One server's LRU slice of the distributed cache."""
+
+    def __init__(self, name: str, capacity_bytes: int = 1 << 30) -> None:
+        if capacity_bytes <= 0:
+            raise ValueError("capacity must be positive")
+        self.name = name
+        self.capacity_bytes = capacity_bytes
+        self.stats = CacheNodeStats()
+        self._store: OrderedDict[tuple[str, str], int] = OrderedDict()
+
+    def get(self, key: tuple[str, str]) -> int | None:
+        size = self._store.get(key)
+        if size is None:
+            self.stats.misses += 1
+            return None
+        self._store.move_to_end(key)
+        self.stats.hits += 1
+        return size
+
+    def put(self, key: tuple[str, str], size: int) -> None:
+        if size > self.capacity_bytes:
+            return  # uncacheably large object
+        if key in self._store:
+            self.stats.bytes_stored -= self._store.pop(key)
+        while self.stats.bytes_stored + size > self.capacity_bytes and self._store:
+            _, evicted = self._store.popitem(last=False)
+            self.stats.bytes_stored -= evicted
+            self.stats.evictions += 1
+        self._store[key] = size
+        self.stats.bytes_stored += size
+
+    def __len__(self) -> int:
+        return len(self._store)
+
+
+def _hrw(node: str, key: tuple[str, str]) -> int:
+    h = 0xCBF29CE484222325
+    for piece in (node, key[0], key[1]):
+        for byte in piece.encode():
+            h ^= byte
+            h = (h * 0x100000001B3) & 0xFFFFFFFFFFFFFFFF
+        h ^= 0xFF
+        h = (h * 0x100000001B3) & 0xFFFFFFFFFFFFFFFF
+    # Avalanche finalizer: similar node names must not correlate weights.
+    from .ecmp import _splitmix64
+    return _splitmix64(h)
+
+
+class DistributedCache:
+    """The datacenter-wide cache: HRW home-node selection over LRU nodes."""
+
+    def __init__(self, origin_gateway: OriginPool, node_capacity_bytes: int = 1 << 30) -> None:
+        self.origin_gateway = origin_gateway
+        self.node_capacity_bytes = node_capacity_bytes
+        self._nodes: dict[str, CacheNode] = {}
+
+    # -- membership ----------------------------------------------------------
+
+    def add_node(self, name: str) -> CacheNode:
+        if name in self._nodes:
+            raise ValueError(f"cache node {name!r} already present")
+        node = CacheNode(name, self.node_capacity_bytes)
+        self._nodes[name] = node
+        return node
+
+    def remove_node(self, name: str) -> None:
+        del self._nodes[name]
+
+    def nodes(self) -> dict[str, CacheNode]:
+        return dict(self._nodes)
+
+    def home_node(self, key: tuple[str, str]) -> CacheNode:
+        if not self._nodes:
+            raise RuntimeError("distributed cache has no nodes")
+        name = max(self._nodes, key=lambda n: _hrw(n, key))
+        return self._nodes[name]
+
+    # -- the serve path ---------------------------------------------------------
+
+    def fetch(self, request: Request) -> Response:
+        """Serve a request through the cache; fills from origin on miss.
+
+        Note the key: content identity only.  The caller's connection,
+        destination address, and addressing policy are invisible here —
+        the §4.3 isolation property.
+        """
+        key = (request.authority.lower().rstrip("."), request.path)
+        node = self.home_node(key)
+        size = node.get(key)
+        if size is not None:
+            return Response(Status.OK, body_len=size, served_by=node.name, cache_hit=True)
+        response = self.origin_gateway.fetch(request)
+        if response.status is Status.OK:
+            node.put(key, response.body_len)
+        return Response(
+            response.status,
+            body_len=response.body_len,
+            served_by=node.name,
+            cache_hit=False,
+        )
+
+    # -- aggregate stats -----------------------------------------------------
+
+    def total_hit_rate(self) -> float:
+        hits = sum(n.stats.hits for n in self._nodes.values())
+        misses = sum(n.stats.misses for n in self._nodes.values())
+        total = hits + misses
+        return hits / total if total else 0.0

@@ -1,0 +1,199 @@
+"""The whole CDN: anycast PoPs, shared registry, DNS plane, client transports.
+
+This is the top of the substrate stack.  It owns no addressing policy —
+the authoritative answer source is plugged in (conventional
+:class:`~repro.dns.server.ZoneAnswerSource` or the paper's policy engine
+from :mod:`repro.core`), keeping the §4.2 claim honest: swapping the
+answering strategy touches nothing else in this file or below it.
+
+Routing realism: a client (or resolver) reaches whichever PoP its AS's BGP
+best path selects for the destination address — computed by the
+:class:`~repro.netsim.anycast.AnycastNetwork`.  This is what makes the §6
+measurement experiment (resolver near DC1, client near DC2) fall out of
+the model instead of being scripted.
+"""
+
+from __future__ import annotations
+
+import itertools
+
+from ..dns.server import AnswerSource, AuthoritativeServer
+from ..netsim.addr import IPAddress, Prefix, parse_prefix
+from ..netsim.anycast import AnycastNetwork
+from ..netsim.packet import FiveTuple
+from ..web.client import EdgeTransport
+from ..web.http import Connection, HTTPVersion, Request, Response
+from ..web.origin import OriginPool
+from ..web.tls import CertificateStore, ClientHello
+from .customers import CustomerRegistry
+from .datacenter import Datacenter
+from .server import DEFAULT_SERVICE_PORTS, ListenMode
+
+__all__ = ["CDN", "CDNTransport", "DNS_ANYCAST_PREFIX"]
+
+#: The anycast prefix carrying the CDN's own authoritative DNS service
+#: (cf. Cloudflare's narrow /24 advertisements for resolver reachability).
+DNS_ANYCAST_PREFIX = parse_prefix("198.51.100.0/24")
+
+
+class CDN:
+    """A multi-PoP CDN instance over an anycast BGP substrate."""
+
+    def __init__(
+        self,
+        network: AnycastNetwork,
+        registry: CustomerRegistry | None = None,
+        origins: OriginPool | None = None,
+        servers_per_dc: int = 4,
+        sample_rate: float = 1.0,
+        cache_node_capacity: int = 1 << 30,
+    ) -> None:
+        self.network = network
+        self.registry = registry or CustomerRegistry()
+        self.origins = origins or OriginPool()
+        self.certs = CertificateStore()
+        self.datacenters: dict[str, Datacenter] = {}
+        for pop in network.pops.values():
+            self.datacenters[pop.name] = Datacenter(
+                name=pop.name,
+                location=pop.location,
+                registry=self.registry,
+                origins=self.origins,
+                certs=self.certs,
+                num_servers=servers_per_dc,
+                sample_rate=sample_rate,
+                cache_node_capacity=cache_node_capacity,
+            )
+        self.dns_address = DNS_ANYCAST_PREFIX.address_at(1)
+        self.network.announce_from_all(DNS_ANYCAST_PREFIX)
+        self._listen_config: dict[str, tuple[tuple[int, ...], str]] = {}
+        self._conn_home: dict[int, str] = {}
+        self._src_ports = itertools.count(20_000)
+
+    # -- provisioning --------------------------------------------------------
+
+    def provision_certificates(self, max_san: int = 100) -> None:
+        """Mint and install shared certificates covering every hostname.
+
+        Accounts larger than one SAN list get sharded across several
+        certificates, as production CDNs do."""
+        for customer in self.registry.customers():
+            if customer.certificate is not None:
+                self.certs.add(customer.certificate)
+                continue
+            for cert in customer.make_certificates(max_san=max_san):
+                self.certs.add(cert)
+
+    def announce_pool(
+        self,
+        pool: Prefix,
+        ports: tuple[int, ...] = DEFAULT_SERVICE_PORTS,
+        mode: str = ListenMode.SK_LOOKUP,
+        pops: list[str] | None = None,
+        listen_pops: list[str] | None = None,
+    ) -> None:
+        """Advertise ``pool`` via BGP and configure servers to terminate it.
+
+        ``pops`` limits the BGP announcement; ``listen_pops`` limits which
+        datacenters configure listening (defaults to all — §6's
+        measurement scenario wants DC2 *listening but not announcing its
+        own DNS answers*, which corresponds to listening everywhere while
+        DNS policy differs).
+        """
+        announce_at = pops if pops is not None else list(self.datacenters)
+        self.network.announce_from(pool, announce_at)
+        for name in (listen_pops if listen_pops is not None else list(self.datacenters)):
+            dc = self.datacenters[name]
+            configured = self._listen_config.get(name)
+            if configured is None:
+                dc.configure_listening(pool, ports, mode)
+                self._listen_config[name] = (tuple(ports), mode)
+            else:
+                if configured != (tuple(ports), mode):
+                    raise ValueError(
+                        f"{name}: additional pools must reuse the existing "
+                        f"ports/mode {configured}, got {(tuple(ports), mode)}"
+                    )
+                dc.add_listening_pool(pool)
+
+    def set_answer_source(self, source: AnswerSource) -> None:
+        """Install the authoritative answering strategy at every PoP."""
+        for dc in self.datacenters.values():
+            dc.set_dns(AuthoritativeServer(source, name=f"authdns-{dc.name}"))
+
+    # -- DNS plane -------------------------------------------------------------
+
+    def pop_for_dns(self, resolver_asn: object) -> str | None:
+        """Which PoP answers DNS queries from ``resolver_asn``."""
+        return self.network.pop_for(resolver_asn, self.dns_address)
+
+    def dns_transport(self, resolver_asn: object, resolver_address: IPAddress | None = None):
+        """A resolver-side transport: bytes in, bytes out, anycast-routed."""
+
+        def transport(wire: bytes) -> bytes | None:
+            pop = self.pop_for_dns(resolver_asn)
+            if pop is None:
+                return None  # resolver has no route to the DNS anycast
+            return self.datacenters[pop].handle_dns(wire, resolver_address)
+
+        return transport
+
+    # -- data plane ----------------------------------------------------------------
+
+    def transport_for(self, client_asn: object, client_address: IPAddress | None = None) -> "CDNTransport":
+        """An :class:`EdgeTransport` that routes via the client AS's catchments."""
+        if client_address is None:
+            # Synthesize a stable client address in CGNAT space (100.64/10).
+            h = abs(hash(("client", str(client_asn)))) % (1 << 22)
+            client_address = IPAddress.v4(IPAddress.from_text("100.64.0.0").value + h)
+        return CDNTransport(self, client_asn, client_address)
+
+    def serve(self, connection: Connection, request: Request) -> Response:
+        pop = self._conn_home.get(connection.conn_id)
+        if pop is None:
+            raise RuntimeError(f"connection {connection.conn_id} unknown to this CDN")
+        return self.datacenters[pop].serve(connection, request)
+
+    # -- introspection ---------------------------------------------------------
+
+    def pop_names(self) -> list[str]:
+        return list(self.datacenters)
+
+    def total_requests(self) -> int:
+        return sum(dc.traffic.total_requests() for dc in self.datacenters.values())
+
+
+class CDNTransport(EdgeTransport):
+    """Client-side adapter: anycast-routes dials and requests to PoPs."""
+
+    def __init__(self, cdn: CDN, client_asn: object, client_address: IPAddress) -> None:
+        self.cdn = cdn
+        self.client_asn = client_asn
+        self.client_address = client_address
+
+    def handshake(
+        self,
+        client_name: str,
+        dst: IPAddress,
+        port: int,
+        hello: ClientHello,
+        version: HTTPVersion,
+    ) -> Connection:
+        pop = self.cdn.network.pop_for(self.client_asn, dst)
+        if pop is None:
+            raise ConnectionRefusedError(
+                f"{client_name}: AS {self.client_asn!r} has no route to {dst}"
+            )
+        tuple5 = FiveTuple(
+            version.transport,
+            self.client_address,
+            next(self.cdn._src_ports) % 45_000 + 20_000,
+            dst,
+            port,
+        )
+        connection = self.cdn.datacenters[pop].connect(tuple5, hello, version)
+        self.cdn._conn_home[connection.conn_id] = pop
+        return connection
+
+    def serve(self, connection: Connection, request: Request) -> Response:
+        return self.cdn.serve(connection, request)

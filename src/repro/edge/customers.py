@@ -1,0 +1,120 @@
+"""Customer registry: hostnames, account types, and shared certificates.
+
+The deployment's policy is expressed over "datacenter locations and account
+type" (§4.3): a query matches the policy if it arrives at a participating
+PoP *and* the queried hostname belongs to an account of the right type —
+"hostnames are completely ignored" beyond that membership test.  The
+registry is where hostname → account metadata lives.
+
+It also mints the shared certificates that make SNI-based multiplexing
+work: CDNs pack customer names into SAN lists (§2.3), and coalescing
+breadth in Figure 8 depends on how names share certificates.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+from ..web.tls import Certificate
+
+__all__ = ["AccountType", "Customer", "CustomerRegistry"]
+
+
+class AccountType(enum.Enum):
+    FREE = "free"
+    PRO = "pro"
+    BUSINESS = "business"
+    ENTERPRISE = "enterprise"
+
+
+@dataclass(slots=True)
+class Customer:
+    """One account: its hostnames and the certificate covering them."""
+
+    name: str
+    account_type: AccountType
+    hostnames: set[str] = field(default_factory=set)
+    certificate: Certificate | None = None
+
+    def make_certificate(self, max_san: int = 100) -> Certificate:
+        """Mint a shared cert over this customer's hostnames.
+
+        Real CDN certs cap SAN lists (~100 names); hostnames beyond the cap
+        simply don't share a certificate — which correctly *limits*
+        coalescing for giant accounts, an effect Figure 8's "rest of world"
+        population includes.
+        """
+        names = sorted(self.hostnames)
+        if not names:
+            raise ValueError(f"customer {self.name} has no hostnames")
+        subject, san = names[0], tuple(names[1:max_san + 1])
+        self.certificate = Certificate(subject=subject, san=san)
+        return self.certificate
+
+    def make_certificates(self, max_san: int = 100) -> list[Certificate]:
+        """Mint as many shared certs as needed to cover every hostname.
+
+        CDNs shard big accounts across multiple SAN-capped certificates;
+        coalescing then works within a shard, not across — which the
+        Figure 8 population inherits naturally.
+        """
+        names = sorted(self.hostnames)
+        if not names:
+            raise ValueError(f"customer {self.name} has no hostnames")
+        chunk = max_san + 1
+        certs = [
+            Certificate(subject=names[i], san=tuple(names[i + 1:i + chunk]))
+            for i in range(0, len(names), chunk)
+        ]
+        self.certificate = certs[0]
+        return certs
+
+
+class CustomerRegistry:
+    """hostname → customer lookup plus account-type queries."""
+
+    def __init__(self) -> None:
+        self._customers: dict[str, Customer] = {}
+        self._by_hostname: dict[str, Customer] = {}
+
+    def add(self, customer: Customer) -> None:
+        if customer.name in self._customers:
+            raise ValueError(f"duplicate customer {customer.name!r}")
+        self._customers[customer.name] = customer
+        for hostname in customer.hostnames:
+            self._index(hostname, customer)
+
+    def add_hostname(self, customer_name: str, hostname: str) -> None:
+        customer = self._customers[customer_name]
+        customer.hostnames.add(hostname.lower().rstrip("."))
+        self._index(hostname, customer)
+
+    def _index(self, hostname: str, customer: Customer) -> None:
+        key = hostname.lower().rstrip(".")
+        existing = self._by_hostname.get(key)
+        if existing is not None and existing is not customer:
+            raise ValueError(f"hostname {hostname!r} already registered to {existing.name}")
+        self._by_hostname[key] = customer
+
+    def customer_for(self, hostname: str) -> Customer | None:
+        return self._by_hostname.get(hostname.lower().rstrip("."))
+
+    def account_type_for(self, hostname: str) -> AccountType | None:
+        customer = self.customer_for(hostname)
+        return customer.account_type if customer else None
+
+    def is_hosted(self, hostname: str) -> bool:
+        return hostname.lower().rstrip(".") in self._by_hostname
+
+    def customers(self) -> list[Customer]:
+        return list(self._customers.values())
+
+    def hostnames(self) -> list[str]:
+        return list(self._by_hostname)
+
+    def __len__(self) -> int:
+        return len(self._customers)
+
+    def hostname_count(self) -> int:
+        return len(self._by_hostname)

@@ -1,0 +1,186 @@
+"""One PoP/datacenter: ECMP ingress, L4LB, server rack, cache, DNS, accounting.
+
+Assembles Figure 6's pipeline.  The datacenter also keeps the per-address
+traffic log that Figure 7 is drawn from, and that the §6 leak detector
+reads ("every CDN location [can] monitor requests on unexpected IPs").
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+
+from ..dns.server import AuthoritativeServer, QueryContext
+from ..netsim.addr import IPAddress, Prefix
+from ..netsim.geo import GeoPoint
+from ..netsim.packet import FiveTuple, Packet, Protocol
+from ..web.http import Connection, HTTPVersion, Request, Response
+from ..web.origin import OriginPool
+from ..web.tls import CertificateStore, ClientHello
+from .cache import DistributedCache
+from .customers import CustomerRegistry
+from .ecmp import ECMPRouter
+from .l4lb import L4LoadBalancer
+from .server import DEFAULT_SERVICE_PORTS, EdgeServer, ListenMode
+
+__all__ = ["AddressTraffic", "TrafficLog", "Datacenter"]
+
+
+@dataclass(slots=True)
+class AddressTraffic:
+    """Accumulated load on one destination address."""
+
+    requests: int = 0
+    bytes: int = 0
+    connections: int = 0
+
+
+class TrafficLog:
+    """Per-destination-address accounting, 1 %-sample style.
+
+    ``sample_rate`` thins recording the way the paper's measurements do
+    ("data is comprised of 1 % of all requests", Fig. 7 caption); analysis
+    code can scale counts back up or, as the paper does, plot the sample.
+    """
+
+    def __init__(self, sample_rate: float = 1.0, rng: random.Random | None = None) -> None:
+        if not 0.0 < sample_rate <= 1.0:
+            raise ValueError("sample_rate must be in (0, 1]")
+        self.sample_rate = sample_rate
+        self._rng = rng or random.Random(0x10C)
+        self._by_addr: dict[IPAddress, AddressTraffic] = {}
+
+    def record_connection(self, dst: IPAddress) -> None:
+        if self.sample_rate < 1.0 and self._rng.random() >= self.sample_rate:
+            return
+        self._entry(dst).connections += 1
+
+    def record_request(self, dst: IPAddress, nbytes: int) -> None:
+        if self.sample_rate < 1.0 and self._rng.random() >= self.sample_rate:
+            return
+        entry = self._entry(dst)
+        entry.requests += 1
+        entry.bytes += nbytes
+
+    def _entry(self, dst: IPAddress) -> AddressTraffic:
+        entry = self._by_addr.get(dst)
+        if entry is None:
+            entry = AddressTraffic()
+            self._by_addr[dst] = entry
+        return entry
+
+    def by_address(self) -> dict[IPAddress, AddressTraffic]:
+        return dict(self._by_addr)
+
+    def addresses_seen(self) -> set[IPAddress]:
+        return set(self._by_addr)
+
+    def total_requests(self) -> int:
+        return sum(t.requests for t in self._by_addr.values())
+
+    def clear(self) -> None:
+        self._by_addr.clear()
+
+
+class Datacenter:
+    """A PoP's worth of uniform-stack servers behind ECMP + L4LB."""
+
+    def __init__(
+        self,
+        name: str,
+        location: GeoPoint,
+        registry: CustomerRegistry,
+        origins: OriginPool,
+        certs: CertificateStore,
+        num_servers: int = 8,
+        cache_node_capacity: int = 1 << 30,
+        sample_rate: float = 1.0,
+    ) -> None:
+        if num_servers <= 0:
+            raise ValueError("datacenter needs at least one server")
+        self.name = name
+        self.location = location
+        self.registry = registry
+        self.origins = origins
+        self.certs = certs
+        self.cache = DistributedCache(origins, node_capacity_bytes=cache_node_capacity)
+        self.traffic = TrafficLog(sample_rate=sample_rate)
+        self.servers: dict[str, EdgeServer] = {}
+        # RFC 2544 benchmarking space for internal service-socket binds.
+        internal_base = IPAddress.from_text("198.18.0.1").value
+        for i in range(num_servers):
+            server_name = f"{name}-srv{i:02d}"
+            internal = IPAddress.v4(internal_base + i)
+            server = EdgeServer(server_name, registry, self.cache, certs, internal)
+            self.servers[server_name] = server
+            self.cache.add_node(server_name)
+        self.ecmp = ECMPRouter(list(self.servers))
+        self.l4lb = L4LoadBalancer(f"{name}-l4lb")
+        self.dns: AuthoritativeServer | None = None
+        self._conn_owner: dict[int, str] = {}
+
+    # -- configuration -----------------------------------------------------
+
+    def configure_listening(
+        self,
+        pool: Prefix,
+        ports: tuple[int, ...] = DEFAULT_SERVICE_PORTS,
+        mode: str = ListenMode.SK_LOOKUP,
+        protocols: tuple[Protocol, ...] = (Protocol.TCP, Protocol.UDP),
+    ) -> None:
+        for server in self.servers.values():
+            server.configure_listening(pool, ports, mode, protocols)
+
+    def add_listening_pool(self, pool: Prefix) -> None:
+        """Terminate an additional prefix without touching existing setup."""
+        for server in self.servers.values():
+            server.add_pool(pool)
+
+    def repoint_pool(self, new_pool: Prefix) -> None:
+        for server in self.servers.values():
+            server.repoint_pool(new_pool)
+
+    def set_dns(self, server: AuthoritativeServer) -> None:
+        self.dns = server
+
+    # -- DNS plane ------------------------------------------------------------
+
+    def handle_dns(self, wire: bytes, resolver_address: IPAddress | None = None) -> bytes | None:
+        if self.dns is None:
+            raise RuntimeError(f"datacenter {self.name} has no DNS service")
+        context = QueryContext(pop=self.name, resolver_address=resolver_address)
+        return self.dns.handle_wire(wire, context)
+
+    # -- data plane ---------------------------------------------------------------
+
+    def connect(self, tuple5: FiveTuple, hello: ClientHello, version: HTTPVersion) -> Connection:
+        """Ingress pipeline for a new connection: ECMP → L4LB → server."""
+        syn = Packet(tuple5, syn=True)
+        ecmp_choice = self.ecmp.route(syn)
+        owner = self.l4lb.admit(syn, ecmp_choice)
+        server = self.servers[owner]
+        connection = server.handshake(tuple5, hello, version)
+        self._conn_owner[connection.conn_id] = owner
+        self.traffic.record_connection(tuple5.dst)
+        return connection
+
+    def serve(self, connection: Connection, request: Request) -> Response:
+        owner = self._conn_owner.get(connection.conn_id)
+        if owner is None:
+            raise RuntimeError(
+                f"connection {connection.conn_id} was not established at {self.name}"
+            )
+        response = self.servers[owner].serve(connection, request)
+        self.traffic.record_request(connection.remote_addr, response.body_len)
+        return response
+
+    # -- accounting ------------------------------------------------------------
+
+    def total_socket_count(self) -> int:
+        return sum(s.socket_count() for s in self.servers.values())
+
+    def total_socket_memory(self) -> int:
+        return sum(s.socket_memory_bytes() for s in self.servers.values())
+
+    def connection_count(self) -> int:
+        return len(self._conn_owner)

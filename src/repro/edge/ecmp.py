@@ -1,0 +1,99 @@
+"""The ECMP ingress router: stateless consistent-hash fan-out to servers.
+
+Figure 6: "An ECMP router with consistent hashing fans connections out to
+servers … the datacenter's first-pass stateless load balancer that hashes
+packets in a consistent manner to spread connections between servers."
+
+We use rendezvous (highest-random-weight) hashing: every flow hashes each
+server with the flow key and picks the maximum.  This gives the two
+properties the paper's architecture relies on:
+
+* all packets of a flow reach the same server (no per-flow state), and
+* adding/removing a server reshuffles only ~1/n of flows.
+
+§4.3 notes ECMP "exists independently from" the addressing changes — its
+hash covers the whole advertised prefix, so which address DNS returned is
+irrelevant to fan-out correctness.  Tests assert exactly that.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..netsim.packet import Packet
+from ..sockets.lookup import flow_hash
+
+__all__ = ["ECMPRouter", "EcmpStats"]
+
+
+_MASK64 = 0xFFFFFFFFFFFFFFFF
+
+
+def _splitmix64(x: int) -> int:
+    """Finalizer with full avalanche — plain FNV mixing is not enough here:
+    similar server names ("s7"/"s8") otherwise produce correlated weights
+    and skew the HRW argmax."""
+    x = (x + 0x9E3779B97F4A7C15) & _MASK64
+    x = ((x ^ (x >> 30)) * 0xBF58476D1CE4E5B9) & _MASK64
+    x = ((x ^ (x >> 27)) * 0x94D049BB133111EB) & _MASK64
+    return x ^ (x >> 31)
+
+
+def _hrw_weight(server: str, fh: int) -> int:
+    """Combine server identity with the flow hash."""
+    h = 0xCBF29CE484222325
+    for byte in server.encode():
+        h ^= byte
+        h = (h * 0x100000001B3) & _MASK64
+    return _splitmix64(h ^ fh)
+
+
+@dataclass(slots=True)
+class EcmpStats:
+    routed: int = 0
+    per_server: dict[str, int] = field(default_factory=dict)
+
+    def record(self, server: str) -> None:
+        self.routed += 1
+        self.per_server[server] = self.per_server.get(server, 0) + 1
+
+
+class ECMPRouter:
+    """Rendezvous-hash router over a named server set."""
+
+    def __init__(self, servers: list[str] | None = None) -> None:
+        self._servers: list[str] = []
+        self.stats = EcmpStats()
+        for s in servers or []:
+            self.add_server(s)
+
+    # -- membership ---------------------------------------------------------
+
+    def add_server(self, server: str) -> None:
+        if server in self._servers:
+            raise ValueError(f"server {server!r} already in ECMP group")
+        self._servers.append(server)
+
+    def remove_server(self, server: str) -> None:
+        self._servers.remove(server)
+
+    def servers(self) -> list[str]:
+        return list(self._servers)
+
+    def __len__(self) -> int:
+        return len(self._servers)
+
+    # -- routing -------------------------------------------------------------
+
+    def route(self, packet: Packet) -> str:
+        """Pick the server for a packet's flow; deterministic per 5-tuple."""
+        if not self._servers:
+            raise RuntimeError("ECMP group is empty")
+        fh = flow_hash(packet)
+        chosen = max(self._servers, key=lambda s: _hrw_weight(s, fh))
+        self.stats.record(chosen)
+        return chosen
+
+    def route_tuple(self, tuple5) -> str:
+        """Route by 5-tuple without constructing a Packet."""
+        return self.route(Packet(tuple5))

@@ -1,0 +1,39 @@
+"""Experiment harnesses — one module per paper artefact.
+
+Each module exposes ``run_*`` functions returning structured results and a
+``render_*`` helper that prints the paper-shaped table.  The benchmarks in
+``benchmarks/`` time these; the examples call them directly;
+EXPERIMENTS.md records their output against the paper's numbers.
+
+| Module          | Paper artefact                         |
+|-----------------|----------------------------------------|
+| fig7            | Figure 7 a/b/c (+ §5 one-address)      |
+| fig8            | Figure 8 + the Anderson–Darling test   |
+| fig9            | Figure 9 / §6 route-leak detection     |
+| sklookup_perf   | §3.3 dispatch cost, Figure 4 scaling   |
+| reduction       | §4.2 address-usage reduction           |
+| dos             | §6 DoS k-ary search (+ A3 sweep)       |
+| ttl             | §3.1/§4.4 binding-lifetime bound       |
+| spillover       | §6 DC2 measurement                     |
+| coloring        | §6 map colouring                       |
+| dnsqps          | §4.2 answering-rate claims             |
+| dnsload         | §5.2 DNS-stress reduction (extension)  |
+| pageload        | §5.2 page-load decomposition (extension)|
+"""
+
+from . import coloring, dnsload, dnsqps, dos, fig7, fig8, fig9, pageload, reduction, sklookup_perf, spillover, ttl
+
+__all__ = [
+    "coloring",
+    "dnsload",
+    "dnsqps",
+    "dos",
+    "pageload",
+    "fig7",
+    "fig8",
+    "fig9",
+    "reduction",
+    "sklookup_perf",
+    "spillover",
+    "ttl",
+]

@@ -1,0 +1,83 @@
+"""Experiment E12: traffic tuning across anycast datacenters (§6).
+
+"A colour is equivalent to a BGP prefix announcement … aforementioned
+measurements may help to identify the smallest number of colours needed to
+achieve some property, for example, region isolation or traffic tuning
+zones with nearby datacenters."
+
+The harness colours a realistic multi-region PoP set under a sweep of
+conflict radii, reporting how many prefixes suffice and verifying region
+isolation each time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..agility.coloring import (
+    ColoringResult,
+    build_conflict_graph,
+    color_datacenters,
+    verify_coloring,
+)
+from ..analysis.reporting import TextTable
+from ..netsim.addr import parse_prefix
+from ..netsim.anycast import AnycastNetwork, build_regional_topology
+
+__all__ = ["ColoringRun", "run_coloring_sweep", "render_coloring_table", "WORLD_REGIONS"]
+
+WORLD_REGIONS = {
+    "us-east": ["ashburn", "newyork", "miami"],
+    "us-west": ["losangeles", "seattle", "denver"],
+    "us-mid": ["chicago", "dallas"],
+    "europe": ["london", "frankfurt", "paris", "amsterdam", "madrid", "warsaw"],
+    "apac": ["singapore", "tokyo", "sydney", "mumbai"],
+    "other": ["saopaulo", "johannesburg"],
+}
+
+AVAILABLE_PREFIXES = list(parse_prefix("198.51.0.0/18").subnets(24))
+
+
+@dataclass(frozen=True, slots=True)
+class ColoringRun:
+    conflict_km: float
+    conflict_edges: int
+    colors_needed: int
+    isolated: bool
+    result: ColoringResult
+
+
+def build_world(clients_per_region: int = 2) -> AnycastNetwork:
+    return build_regional_topology(WORLD_REGIONS, clients_per_region=clients_per_region)
+
+
+def run_coloring_sweep(
+    radii_km: tuple[float, ...] = (500, 1000, 2000, 4000, 8000),
+    network: AnycastNetwork | None = None,
+) -> list[ColoringRun]:
+    network = network or build_world()
+    runs: list[ColoringRun] = []
+    for radius in radii_km:
+        graph = build_conflict_graph(network, conflict_km=radius)
+        result = color_datacenters(graph, AVAILABLE_PREFIXES)
+        runs.append(ColoringRun(
+            conflict_km=radius,
+            conflict_edges=graph.number_of_edges(),
+            colors_needed=result.num_colors,
+            isolated=verify_coloring(graph, result),
+            result=result,
+        ))
+    return runs
+
+
+def render_coloring_table(runs: list[ColoringRun]) -> str:
+    table = TextTable(
+        "§6 map colouring — prefixes needed for datacenter isolation "
+        f"({sum(len(v) for v in WORLD_REGIONS.values())} PoPs)",
+        ["conflict radius (km)", "conflict edges", "prefixes (colours)", "isolation holds"],
+    )
+    for run in runs:
+        table.add_row(
+            f"{run.conflict_km:.0f}", run.conflict_edges, run.colors_needed, run.isolated
+        )
+    return table.render()

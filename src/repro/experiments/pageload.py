@@ -1,0 +1,114 @@
+"""Extension experiment E16: client-side page-load wins of one-address (§5.2).
+
+"Standard tasks like DNS lookups and establishing TCP connections can
+comprise large fraction of page load times (7 % and 53 %, respectively).
+When all content is served from the same IP address, a client can
+potentially avoid these performance hits."
+
+The harness browses identical sessions under (a) per-query random /20 with
+rebalancing TTLs and (b) one-address with long TTLs, charging each fetch
+its protocol-accurate RTTs via :mod:`repro.web.timing`.  Reported: the
+DNS / connection-setup / transfer decomposition and the total page-load
+delta — connection setup shrinks because coalescing reuses connections,
+DNS shrinks because caches stay warm.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from ..analysis.reporting import TextTable
+from ..deploy import Deployment, DeploymentConfig
+from ..dns.resolver import ResolveError
+from ..web.timing import LatencyParams, PageLoadAccount, time_fetch
+from ..workload.traffic import SessionGenerator
+
+__all__ = ["PageLoadRun", "run_pageload", "render_pageload_table"]
+
+
+@dataclass(frozen=True, slots=True)
+class PageLoadRun:
+    label: str
+    account: PageLoadAccount
+
+    @property
+    def mean_fetch_ms(self) -> float:
+        if not self.account.fetches:
+            return 0.0
+        return self.account.total_ms / self.account.fetches
+
+
+def _run_arm(label: str, active: str | None, ttl: int, sessions: int, seed: int) -> PageLoadRun:
+    config = DeploymentConfig(
+        regions={"us": ["ashburn"]},
+        num_hostnames=150,
+        assets_per_site=3,
+        active=active,
+        ttl=ttl,
+        seed=seed,
+        backup=None,
+        ports=(443,),
+    )
+    deployment = Deployment.build(config)
+    generator = SessionGenerator(deployment.universe)
+    rng = random.Random(seed + 9)
+    eyeballs = deployment.eyeballs()
+    clients = [deployment.new_client(asn) for asn in eyeballs[:4]]
+    account = PageLoadAccount()
+
+    for session in generator.sessions(sessions, seed=seed + 10):
+        client = rng.choice(clients)
+        asn = str(client.name).split("-")[1]  # "client-<asn>-<n>"
+        for page in session.pages:
+            for hostname, path in page.resources:
+                stub_misses_before = client.stub.cache.stats.misses
+                upstream_before = client.stub.recursive.stats.upstream_queries
+                try:
+                    outcome = client.fetch(hostname, path)
+                except (ResolveError, ConnectionRefusedError):
+                    continue
+                pop = deployment.cdn._conn_home[outcome.connection.conn_id]
+                params = LatencyParams(
+                    client_edge_rtt_ms=deployment.network.client_rtt_ms(asn, pop)
+                )
+                account.add(time_fetch(
+                    params,
+                    version=client.version,
+                    new_connection=not outcome.coalesced
+                    and outcome.connection.requests <= 1,
+                    stub_missed=client.stub.cache.stats.misses > stub_misses_before,
+                    recursive_missed=(
+                        client.stub.recursive.stats.upstream_queries > upstream_before
+                    ),
+                    body_len=outcome.response.body_len,
+                ))
+        client.close_all()
+        deployment.clock.advance(90.0)
+    return PageLoadRun(label=label, account=account)
+
+
+def run_pageload(sessions: int = 100, seed: int = 77) -> list[PageLoadRun]:
+    return [
+        _run_arm("random-/20 ttl=30", None, 30, sessions, seed),
+        _run_arm("one-ip ttl=3600", "192.0.2.1/32", 3600, sessions, seed),
+    ]
+
+
+def render_pageload_table(runs: list[PageLoadRun]) -> str:
+    table = TextTable(
+        "§5.2 — page-load decomposition (paper cites DNS 7% / conn setup 53% "
+        "of load time as the avoidable costs)",
+        ["configuration", "fetches", "dns share", "setup share",
+         "transfer share", "mean ms/fetch"],
+    )
+    for run in runs:
+        account = run.account
+        table.add_row(
+            run.label, account.fetches,
+            f"{account.share('dns'):.1%}",
+            f"{account.share('setup'):.1%}",
+            f"{account.share('transfer'):.1%}",
+            f"{run.mean_fetch_ms:.2f}",
+        )
+    return table.render()

@@ -1,0 +1,131 @@
+"""Experiment E11: the §6 DC2-spillover measurement.
+
+"Despite DC2's intended purpose as a failover, DC2 received significant
+legitimate traffic on the IP addresses that could only be learned via DNS
+queries to DC1 … the proportion of affected traffic was substantially
+higher for IPv6 than for IPv4."
+
+The harness builds the asymmetric deployment (test policy active only at
+DC1; the prefix announced and terminated at both DCs), populates clients
+whose resolvers are drawn from a mix of local ISPs and DC1-homed public
+resolvers, and measures the share of pool traffic landing at DC2.  The
+IPv6 effect is reproduced by giving IPv6-capable clients a higher public-
+resolver share — the real-world correlation (v6-ready eyeballs
+disproportionately use the big anycast resolvers whose nodes sat near
+DC1).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from ..agility.measurement import build_mismatched_client, measure_spillover
+from ..analysis.reporting import TextTable
+from ..clock import Clock
+from ..core.authoritative import PolicyAnswerSource
+from ..core.policy import Policy, PolicyEngine
+from ..core.pool import AddressPool
+from ..dns.resolver import ResolveError
+from ..edge.cdn import CDN
+from ..edge.server import ListenMode
+from ..netsim.addr import parse_prefix
+from ..netsim.anycast import build_regional_topology
+from ..workload.hostnames import HostnameUniverse, UniverseConfig
+
+__all__ = ["SpilloverRun", "run_spillover", "render_spillover_table"]
+
+V4_POOL = parse_prefix("192.0.2.0/24")
+V6_POOL = parse_prefix("2001:db8:100::/48")
+
+
+@dataclass(frozen=True, slots=True)
+class SpilloverRun:
+    family: str
+    dc1_requests: int
+    dc2_requests: int
+    spillover_share: float
+
+
+def _run_family(
+    family: str,
+    public_resolver_share: float,
+    clients: int,
+    requests_per_client: int,
+    seed: int,
+) -> SpilloverRun:
+    clock = Clock()
+    universe = HostnameUniverse(UniverseConfig(num_hostnames=30, assets_per_site=0, seed=seed))
+    network = build_regional_topology(
+        {"east": ["ashburn"], "west": ["denver"]},
+        clients_per_region=max(4, clients // 2),
+        rng=random.Random(seed),
+    )
+    cdn = CDN(network, universe.registry, universe.origins, servers_per_dc=2)
+    cdn.provision_certificates()
+    pool_prefix = V4_POOL if family == "IPv4" else V6_POOL
+    cdn.announce_pool(pool_prefix, ports=(443,), mode=ListenMode.SK_LOOKUP)
+
+    engine = PolicyEngine(random.Random(seed + 1))
+    engine.add(Policy("dc1-test", AddressPool(pool_prefix),
+                      match={"pop": {"ashburn"}}, ttl=30))
+    cdn.set_answer_source(PolicyAnswerSource(engine, universe.registry))
+
+    from ..dns.records import RRType
+    rrtype = RRType.A if family == "IPv4" else RRType.AAAA
+    rng = random.Random(seed + 2)
+    west_eyeballs = [a for a in network.client_ases() if str(a).startswith("eyeball:west")]
+    east_eyeballs = [a for a in network.client_ases() if str(a).startswith("eyeball:east")]
+
+    for i in range(clients):
+        client_asn = rng.choice(west_eyeballs + east_eyeballs)
+        # Public-resolver users resolve via a DC1(east)-homed AS regardless
+        # of where they sit; ISP-resolver users resolve locally.
+        if rng.random() < public_resolver_share:
+            resolver_asn = rng.choice(east_eyeballs)
+        else:
+            resolver_asn = client_asn
+        client = build_mismatched_client(
+            cdn, clock, client_asn, resolver_asn, name=f"cl{family}{i}"
+        )
+        client.rrtype = rrtype
+        for _ in range(requests_per_client):
+            site = rng.choice(universe.sites)
+            try:
+                client.fetch(site)
+            except (ResolveError, ConnectionRefusedError):
+                continue
+
+    report = measure_spillover(cdn, pool_prefix)
+    return SpilloverRun(
+        family=family,
+        dc1_requests=report.requests_on_pool.get("ashburn", 0),
+        dc2_requests=report.requests_on_pool.get("denver", 0),
+        spillover_share=report.spillover_share("ashburn"),
+    )
+
+
+def run_spillover(
+    clients: int = 40,
+    requests_per_client: int = 5,
+    v4_public_resolver_share: float = 0.25,
+    v6_public_resolver_share: float = 0.55,
+    seed: int = 600,
+) -> list[SpilloverRun]:
+    return [
+        _run_family("IPv4", v4_public_resolver_share, clients, requests_per_client, seed),
+        _run_family("IPv6", v6_public_resolver_share, clients, requests_per_client, seed + 50),
+    ]
+
+
+def render_spillover_table(runs: list[SpilloverRun]) -> str:
+    table = TextTable(
+        "§6 measurement — failover-DC traffic on DNS-test-prefix addresses",
+        ["family", "DC1 (DNS-active) reqs", "DC2 (failover) reqs", "spillover share"],
+    )
+    for run in runs:
+        table.add_row(
+            run.family, run.dc1_requests, run.dc2_requests,
+            f"{run.spillover_share:.1%}",
+        )
+    return table.render()

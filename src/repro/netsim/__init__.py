@@ -1,0 +1,56 @@
+"""Network substrate: addresses, packets, geography, BGP, anycast, leaks."""
+
+from .addr import IPAddress, IPv4, IPv6, Prefix, parse_address, parse_prefix
+from .anycast import AnycastNetwork, PoP, build_regional_topology
+from .bgp import (
+    Announcement,
+    ASGraph,
+    BGPSimulation,
+    GaoRexfordExport,
+    LeakingExport,
+    Relationship,
+    Route,
+    RoutingTable,
+)
+from .geo import WELL_KNOWN_CITIES, GeoPoint, great_circle_km, propagation_rtt_ms
+from .packet import FiveTuple, FlowRecord, Packet, Protocol
+from .routeleak import (
+    CatchmentShift,
+    LeakScenario,
+    diff_catchments,
+    inject_hijack,
+    inject_route_leak,
+)
+
+__all__ = [
+    "IPAddress",
+    "IPv4",
+    "IPv6",
+    "Prefix",
+    "parse_address",
+    "parse_prefix",
+    "AnycastNetwork",
+    "PoP",
+    "build_regional_topology",
+    "Announcement",
+    "ASGraph",
+    "BGPSimulation",
+    "GaoRexfordExport",
+    "LeakingExport",
+    "Relationship",
+    "Route",
+    "RoutingTable",
+    "WELL_KNOWN_CITIES",
+    "GeoPoint",
+    "great_circle_km",
+    "propagation_rtt_ms",
+    "FiveTuple",
+    "FlowRecord",
+    "Packet",
+    "Protocol",
+    "CatchmentShift",
+    "LeakScenario",
+    "diff_catchments",
+    "inject_hijack",
+    "inject_route_leak",
+]

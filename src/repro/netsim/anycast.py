@@ -1,0 +1,224 @@
+"""Anycast network construction and catchment computation.
+
+Cloudflare "uses anycast — not just for DNS service — but for all of its web
+services" (§4.1): every PoP announces the same prefixes, and BGP decides
+which PoP a client's packets reach (its *catchment*).  The §6 route-leak
+detector rests entirely on catchments: each PoP's DNS hands out a distinct
+address inside the shared prefix, so traffic arriving at a PoP on another
+PoP's address reveals that routing and DNS disagree.
+
+:class:`AnycastNetwork` assembles a synthetic but structurally realistic
+inter-domain topology: PoPs connected to regional transit ASes, client
+(eyeball) ASes hanging off regional transits, and a small clique-ish core of
+tier-1s gluing regions together.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+
+from .addr import IPAddress, Prefix
+from .bgp import Announcement, ASGraph, BGPSimulation
+from .geo import WELL_KNOWN_CITIES, GeoPoint, propagation_rtt_ms
+
+__all__ = ["PoP", "AnycastNetwork", "build_regional_topology"]
+
+
+@dataclass(frozen=True, slots=True)
+class PoP:
+    """A point of presence: a datacenter that originates anycast prefixes.
+
+    In the AS graph a PoP is a virtual stub node (label ``"pop:<name>"``)
+    multihomed to its region's transit ASes — the same modelling trick used
+    in anycast catchment studies: one origin AS, many announcement points,
+    each point a distinct node so BGP path selection distinguishes them.
+    """
+
+    name: str
+    region: str
+    location: GeoPoint
+
+    @property
+    def node(self) -> str:
+        return f"pop:{self.name}"
+
+
+@dataclass(slots=True)
+class _Region:
+    name: str
+    transits: list[object] = field(default_factory=list)
+    clients: list[object] = field(default_factory=list)
+
+
+class AnycastNetwork:
+    """A multi-PoP anycast deployment over a BGP substrate.
+
+    Parameters
+    ----------
+    graph, pops, client_locations:
+        Usually produced by :func:`build_regional_topology`; hand-built
+        graphs are fine for targeted tests.
+    """
+
+    def __init__(
+        self,
+        graph: ASGraph,
+        pops: list[PoP],
+        client_locations: dict[object, GeoPoint] | None = None,
+    ) -> None:
+        if not pops:
+            raise ValueError("an anycast network needs at least one PoP")
+        names = [p.name for p in pops]
+        if len(set(names)) != len(names):
+            raise ValueError("duplicate PoP names")
+        self.graph = graph
+        self.pops = {p.name: p for p in pops}
+        self.client_locations = dict(client_locations or {})
+        self.sim = BGPSimulation(graph)
+        self._announced: dict[Prefix, set[str]] = {}
+
+    # -- announcements -----------------------------------------------------
+
+    def announce_from_all(self, prefix: Prefix) -> None:
+        """Anycast ``prefix``: originate it at every PoP."""
+        self.announce_from(prefix, list(self.pops))
+
+    def announce_from(self, prefix: Prefix, pop_names: list[str]) -> None:
+        for name in pop_names:
+            pop = self.pops[name]
+            self.sim.announce(Announcement(prefix, pop.node))
+            self._announced.setdefault(prefix, set()).add(name)
+        self.sim.converge()
+
+    def withdraw_from(self, prefix: Prefix, pop_name: str) -> None:
+        pop = self.pops[pop_name]
+        self.sim.withdraw(prefix, pop.node)
+        names = self._announced.get(prefix)
+        if names:
+            names.discard(pop_name)
+            if not names:
+                del self._announced[prefix]
+
+    def announced_prefixes(self) -> dict[Prefix, set[str]]:
+        return {p: set(names) for p, names in self._announced.items()}
+
+    # -- catchments ----------------------------------------------------------
+
+    def client_ases(self) -> list[object]:
+        """All ASes that are not PoP nodes (transit + eyeball)."""
+        return [a for a in self.graph.ases() if not str(a).startswith("pop:")]
+
+    def pop_for(self, client_asn: object, address: IPAddress) -> str | None:
+        """Which PoP receives ``client_asn``'s packets to ``address``."""
+        path = self.sim.forwarding_path(client_asn, address)
+        if not path:
+            return None
+        last = str(path[-1])
+        if last.startswith("pop:"):
+            return last[len("pop:"):]
+        return None
+
+    def catchment(self, address: IPAddress, clients: list[object] | None = None) -> dict[object, str | None]:
+        """Catchment map for ``address`` over ``clients`` (default: all)."""
+        clients = clients if clients is not None else self.client_ases()
+        return {c: self.pop_for(c, address) for c in clients}
+
+    def client_rtt_ms(self, client_asn: object, pop_name: str) -> float:
+        """RTT estimate from a client AS to a PoP (needs geo annotations)."""
+        loc = self.client_locations.get(client_asn)
+        if loc is None:
+            raise KeyError(f"no location recorded for client AS {client_asn!r}")
+        return propagation_rtt_ms(loc, self.pops[pop_name].location)
+
+    def rtt_to(self, client_asn: object, address: IPAddress) -> float | None:
+        """RTT the client experiences reaching ``address`` via its current
+        catchment; ``None`` if unrouted or the client has no location."""
+        pop = self.pop_for(client_asn, address)
+        if pop is None or client_asn not in self.client_locations:
+            return None
+        return self.client_rtt_ms(client_asn, pop)
+
+    def mean_rtt_ms(self, address: IPAddress, clients: list[object] | None = None) -> float:
+        """Mean client RTT to ``address`` over located, routed clients.
+
+        The quality metric behind Figure 9's "performance degrades for US
+        clients routed to Europe": a leak that flips catchments shows up
+        directly as a jump in this number.
+        """
+        clients = clients if clients is not None else list(self.client_locations)
+        rtts = [rtt for c in clients if (rtt := self.rtt_to(c, address)) is not None]
+        if not rtts:
+            raise ValueError("no located, routed clients to average over")
+        return sum(rtts) / len(rtts)
+
+
+def build_regional_topology(
+    regions: dict[str, list[str]],
+    clients_per_region: int = 8,
+    transits_per_region: int = 2,
+    rng: random.Random | None = None,
+) -> AnycastNetwork:
+    """Build a synthetic multi-region anycast topology.
+
+    ``regions`` maps a region name to the cities (keys of
+    :data:`~repro.netsim.geo.WELL_KNOWN_CITIES`) hosting a PoP there, e.g.
+    ``{"us": ["ashburn", "chicago"], "eu": ["london", "frankfurt"]}``.
+
+    Structure (per region): ``transits_per_region`` transit ASes, each a
+    customer of every tier-1; each PoP *peers* with all its region's
+    transits — the settlement-free interconnection CDNs favour, and the
+    arrangement Figure 9 depicts ("CDN originates an anycasted prefix from
+    multiple PoPs to regional peers") — and buys transit from one tier-1
+    for global reachability; ``clients_per_region`` eyeball ASes are each a
+    customer of one regional transit.  Tier-1s form a full peering mesh.
+
+    The peer-not-customer detail is what makes route leaks bite: a transit
+    normally holds a PEER-preference route to its regional PoP, so a leaked
+    route arriving from one of its *customers* wins on local-pref — the
+    exact "preferring customer routes" failure of Figure 9.
+    """
+    rng = rng or random.Random(0)
+    if not regions:
+        raise ValueError("need at least one region")
+    graph = ASGraph()
+
+    tier1s = [f"t1:{i}" for i in range(max(2, len(regions)))]
+    for i, a in enumerate(tier1s):
+        for b in tier1s[i + 1:]:
+            graph.add_peering(a, b)
+
+    pops: list[PoP] = []
+    client_locations: dict[object, GeoPoint] = {}
+    for region, cities in regions.items():
+        if not cities:
+            raise ValueError(f"region {region!r} has no PoP cities")
+        transits = [f"transit:{region}:{i}" for i in range(transits_per_region)]
+        for t in transits:
+            for t1 in tier1s:
+                graph.add_provider(t, t1)
+        # Regional transits peer with each other (keeps intra-region local).
+        for i, a in enumerate(transits):
+            for b in transits[i + 1:]:
+                graph.add_peering(a, b)
+        for city in cities:
+            if city not in WELL_KNOWN_CITIES:
+                raise KeyError(f"unknown city {city!r}")
+            pop = PoP(name=city, region=region, location=WELL_KNOWN_CITIES[city])
+            pops.append(pop)
+            for t in transits:
+                graph.add_peering(pop.node, t)
+            # Transit of last resort keeps far regions reachable even when
+            # no nearby PoP announces a prefix.
+            graph.add_provider(pop.node, tier1s[0])
+        region_cities = [WELL_KNOWN_CITIES[c] for c in cities]
+        for i in range(clients_per_region):
+            client = f"eyeball:{region}:{i}"
+            graph.add_provider(client, rng.choice(transits))
+            # Clients scatter near one of the region's PoP cities.
+            near = rng.choice(region_cities)
+            jitter_lat = max(-90.0, min(90.0, near.lat + rng.uniform(-3, 3)))
+            jitter_lon = max(-180.0, min(180.0, near.lon + rng.uniform(-3, 3)))
+            client_locations[client] = GeoPoint(client, jitter_lat, jitter_lon)
+
+    return AnycastNetwork(graph, pops, client_locations)

@@ -1,0 +1,85 @@
+"""Geography and latency model for PoPs and client populations.
+
+The paper's deployment spans "6 PoPs/DCs at 8 IXPs serving 5 contiguous
+timezones" (§4.2), and the route-leak scenario of Figure 9 hinges on
+US clients being misdirected to Europe.  The simulator needs only a
+coarse-but-monotone latency model: great-circle distance over the speed of
+light in fibre, plus a fixed per-hop processing charge.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+__all__ = ["GeoPoint", "great_circle_km", "propagation_rtt_ms", "WELL_KNOWN_CITIES"]
+
+_EARTH_RADIUS_KM = 6371.0
+# Speed of light in fibre ~ 2/3 c; one-way ms per km.
+_MS_PER_KM_ONE_WAY = 1.0 / 200.0
+_PER_HOP_MS = 0.35
+
+
+@dataclass(frozen=True, slots=True)
+class GeoPoint:
+    """A named location on the globe (degrees latitude / longitude)."""
+
+    name: str
+    lat: float
+    lon: float
+
+    def __post_init__(self) -> None:
+        if not -90.0 <= self.lat <= 90.0:
+            raise ValueError(f"latitude {self.lat} out of range")
+        if not -180.0 <= self.lon <= 180.0:
+            raise ValueError(f"longitude {self.lon} out of range")
+
+
+def great_circle_km(a: GeoPoint, b: GeoPoint) -> float:
+    """Haversine great-circle distance in kilometres."""
+    lat1, lon1 = math.radians(a.lat), math.radians(a.lon)
+    lat2, lon2 = math.radians(b.lat), math.radians(b.lon)
+    dlat = lat2 - lat1
+    dlon = lon2 - lon1
+    h = math.sin(dlat / 2) ** 2 + math.cos(lat1) * math.cos(lat2) * math.sin(dlon / 2) ** 2
+    return 2 * _EARTH_RADIUS_KM * math.asin(math.sqrt(h))
+
+
+def propagation_rtt_ms(a: GeoPoint, b: GeoPoint, hops: int = 6) -> float:
+    """Round-trip time estimate between two points.
+
+    Distance over fibre both ways, plus ``hops`` router traversals each way.
+    The absolute numbers are unimportant to the reproduction; what matters
+    is that a US client reaching a European PoP (Figure 9's leak) costs
+    visibly more than reaching a nearby one.
+    """
+    km = great_circle_km(a, b)
+    return 2 * (km * _MS_PER_KM_ONE_WAY + hops * _PER_HOP_MS)
+
+
+#: A small gazetteer used by examples and benches when building topologies.
+WELL_KNOWN_CITIES: dict[str, GeoPoint] = {
+    name: GeoPoint(name, lat, lon)
+    for name, lat, lon in [
+        ("ashburn", 39.04, -77.49),
+        ("chicago", 41.88, -87.63),
+        ("dallas", 32.78, -96.80),
+        ("denver", 39.74, -104.99),
+        ("losangeles", 34.05, -118.24),
+        ("seattle", 47.61, -122.33),
+        ("newyork", 40.71, -74.01),
+        ("miami", 25.76, -80.19),
+        ("london", 51.51, -0.13),
+        ("frankfurt", 50.11, 8.68),
+        ("paris", 48.86, 2.35),
+        ("amsterdam", 52.37, 4.90),
+        ("madrid", 40.42, -3.70),
+        ("warsaw", 52.23, 21.01),
+        ("singapore", 1.35, 103.82),
+        ("tokyo", 35.68, 139.69),
+        ("sydney", -33.87, 151.21),
+        ("saopaulo", -23.55, -46.63),
+        ("johannesburg", -26.20, 28.05),
+        ("mumbai", 19.08, 72.88),
+    ]
+}

@@ -1,0 +1,115 @@
+"""Route-leak and hijack injection over the BGP substrate.
+
+Figure 9 of the paper describes an actual incident: a CDN originates an
+anycasted prefix from multiple PoPs; AS3, "preferring customer routes",
+leaks the prefix to AS2; US clients are routed to Europe, performance
+degrades, and the leak goes undetected.  This module injects that class of
+misbehaviour into an :class:`~repro.netsim.anycast.AnycastNetwork` so the
+detector built in :mod:`repro.agility.leaks` has something to detect.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .addr import Prefix
+from .anycast import AnycastNetwork
+from .bgp import Announcement, LeakingExport
+
+__all__ = [
+    "LeakScenario",
+    "attach_multihomed_leaker",
+    "inject_route_leak",
+    "inject_hijack",
+    "CatchmentShift",
+    "diff_catchments",
+]
+
+
+def attach_multihomed_leaker(
+    network: AnycastNetwork, name: object, provider_a: object, provider_b: object
+) -> object:
+    """Add the classic leak-prone AS: a customer of two providers.
+
+    Figure 9's AS3: it learns the anycast prefix through ``provider_a``
+    (whose own route is typically a peer route to the regional PoP) and —
+    once :func:`inject_route_leak` flips its export policy — re-advertises
+    it to ``provider_b``, which then *prefers* the leaked path because
+    customer routes beat peer routes.  ``provider_b``'s whole customer cone
+    is pulled across.
+    """
+    if provider_a not in network.graph or provider_b not in network.graph:
+        raise KeyError("both providers must exist in the topology")
+    network.graph.add_provider(name, provider_a)
+    network.graph.add_provider(name, provider_b)
+    # New node needs a RIB; rebuild the fixpoint over the grown graph.
+    network.sim = type(network.sim)(network.graph)
+    announced = network.announced_prefixes()
+    network._announced.clear()
+    for prefix, pop_names in announced.items():
+        network.announce_from(prefix, sorted(pop_names))
+    return name
+
+
+@dataclass(frozen=True, slots=True)
+class LeakScenario:
+    """Handle for an injected leak, so it can be healed again."""
+
+    network: AnycastNetwork
+    leaker: object
+    prefix: Prefix
+
+    def heal(self) -> None:
+        """Remove the leaking export policy and restore routing."""
+        self.network.sim.set_export_policy(self.leaker, None)
+        self.network.sim.reconverge_from_scratch()
+
+
+def inject_route_leak(network: AnycastNetwork, leaker: object, prefix: Prefix) -> LeakScenario:
+    """Make ``leaker`` re-export ``prefix`` in violation of valley-free rules.
+
+    After injection the BGP fixpoint is recomputed; callers compare
+    catchments before/after (see :func:`diff_catchments`).
+    """
+    if leaker not in network.graph:
+        raise KeyError(f"unknown AS {leaker!r}")
+    network.sim.set_export_policy(leaker, LeakingExport([prefix]))
+    network.sim.reconverge_from_scratch()
+    return LeakScenario(network, leaker, prefix)
+
+
+def inject_hijack(network: AnycastNetwork, hijacker: object, prefix: Prefix) -> None:
+    """Make ``hijacker`` originate ``prefix`` it does not own.
+
+    Announcing a more-specific of an in-use prefix is the classic total
+    hijack; announcing the same length competes on path length.  §4.3 of the
+    paper notes a /24 is the narrowest BGP-permitted IPv4 prefix, which is
+    why operating from a /24 is intrinsically hijack-resistant: no
+    more-specific can be announced.
+    """
+    if hijacker not in network.graph:
+        raise KeyError(f"unknown AS {hijacker!r}")
+    network.sim.announce(Announcement(prefix, hijacker))
+    network.sim.converge()
+
+
+@dataclass(frozen=True, slots=True)
+class CatchmentShift:
+    """One client AS whose traffic moved from ``before`` to ``after``."""
+
+    client: object
+    before: str | None
+    after: str | None
+
+
+def diff_catchments(
+    before: dict[object, str | None],
+    after: dict[object, str | None],
+) -> list[CatchmentShift]:
+    """Clients whose PoP changed between two catchment maps."""
+    shifts = []
+    for client, old in before.items():
+        new = after.get(client)
+        if new != old:
+            shifts.append(CatchmentShift(client, old, new))
+    return shifts

@@ -1,0 +1,42 @@
+"""Socket-layer errors mirroring the errno conditions the paper discusses."""
+
+from __future__ import annotations
+
+__all__ = [
+    "SocketError",
+    "AddressInUseError",
+    "InvalidSocketStateError",
+    "ProgramError",
+    "VerifierError",
+]
+
+
+class SocketError(Exception):
+    """Base class for simulated socket-stack failures."""
+
+
+class AddressInUseError(SocketError):
+    """EADDRINUSE: the requested binding conflicts with an existing socket.
+
+    §3.3 calls out the headline case: "a service that listens on the
+    wildcard INADDR_ANY address claims the port number exclusively for
+    itself.  Attempts to listen on a specific IP and a port bound to the
+    wildcard-listening socket will fail."
+    """
+
+
+class InvalidSocketStateError(SocketError):
+    """Operation not valid in the socket's current state (e.g. double bind)."""
+
+
+class ProgramError(SocketError):
+    """An sk_lookup program misbehaved at dispatch time."""
+
+
+class VerifierError(SocketError):
+    """The sk_lookup verifier rejected a program at attach time.
+
+    The in-kernel BPF verifier rejects unsafe programs before they can run;
+    our model enforces the analogous structural invariants (well-formed
+    matches, resolvable map references, bounded size).
+    """

@@ -1,0 +1,127 @@
+"""The kernel socket-lookup path, with the sk_lookup stage injected.
+
+Figure 5a of the paper: on packet arrival the kernel looks for a connected
+(4-tuple) socket; sk_lookup programs run next, *before* the listening-
+socket lookup; then the exact listener; then the INADDR_ANY wildcard; then
+miss.  :class:`LookupPath` implements exactly that pipeline over a
+:class:`~repro.sockets.socktable.SocketTable`, with per-stage counters so
+experiments can show where packets resolve.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from ..netsim.packet import Packet
+from .sklookup import SkLookupProgram, Verdict
+from .socktable import Socket, SocketTable
+
+__all__ = ["LookupStage", "DispatchResult", "LookupPath", "flow_hash"]
+
+
+class LookupStage(enum.Enum):
+    CONNECTED = "connected"
+    SK_LOOKUP = "sk_lookup"
+    LISTENER = "listener"
+    WILDCARD = "wildcard"
+    DROPPED = "dropped"
+    MISS = "miss"
+
+
+@dataclass(frozen=True, slots=True)
+class DispatchResult:
+    """Where a packet landed, and via which stage."""
+
+    stage: LookupStage
+    socket: Socket | None
+
+    @property
+    def delivered(self) -> bool:
+        return self.socket is not None
+
+
+def flow_hash(packet: Packet) -> int:
+    """A deterministic per-flow hash (kernel: jhash on the flow key).
+
+    Used for SO_REUSEPORT member selection and by the ECMP router; stable
+    across calls for the same 5-tuple.
+    """
+    t = packet.tuple5
+    h = 0xCBF29CE484222325
+    for part in (
+        int(t.protocol.wire_protocol),
+        t.src.value,
+        t.src_port,
+        t.dst.value,
+        t.dst_port,
+    ):
+        h ^= part & 0xFFFFFFFFFFFFFFFF
+        h = (h * 0x100000001B3) & 0xFFFFFFFFFFFFFFFF
+        h ^= part >> 64  # fold in the high bits of IPv6 addresses
+        h = (h * 0x100000001B3) & 0xFFFFFFFFFFFFFFFF
+    return h
+
+
+class LookupPath:
+    """The per-host dispatch pipeline.
+
+    ``attach``/``detach`` manage sk_lookup programs; programs run in attach
+    order and the first one returning a socket (or a drop) wins, matching
+    the kernel's multi-program semantics.
+    """
+
+    def __init__(self, table: SocketTable) -> None:
+        self.table = table
+        self._programs: list[SkLookupProgram] = []
+        self.stage_counts: dict[LookupStage, int] = {stage: 0 for stage in LookupStage}
+
+    # -- program management ------------------------------------------------
+
+    def attach(self, program: SkLookupProgram) -> None:
+        if program in self._programs:
+            raise ValueError(f"program {program.name} already attached")
+        self._programs.append(program)
+
+    def detach(self, program: SkLookupProgram) -> None:
+        self._programs.remove(program)
+
+    def programs(self) -> tuple[SkLookupProgram, ...]:
+        return tuple(self._programs)
+
+    # -- dispatch ------------------------------------------------------------
+
+    def dispatch(self, packet: Packet, deliver: bool = True) -> DispatchResult:
+        """Find the receiving socket for ``packet`` (and enqueue it).
+
+        ``deliver=False`` performs lookup only — benchmarks use it to
+        measure pure dispatch cost without queue churn.
+        """
+        result = self._lookup(packet)
+        self.stage_counts[result.stage] += 1
+        if deliver and result.socket is not None:
+            result.socket.deliver(packet)
+        return result
+
+    def _lookup(self, packet: Packet) -> DispatchResult:
+        # Stage 1: connected sockets (4-tuple match).
+        connected = self.table.find_connected(packet)
+        if connected is not None:
+            return DispatchResult(LookupStage.CONNECTED, connected)
+
+        # Stage 2: sk_lookup programs, attach order.
+        for program in self._programs:
+            verdict, sock = program.run(packet)
+            if verdict is Verdict.DROP:
+                return DispatchResult(LookupStage.DROPPED, None)
+            if sock is not None:
+                return DispatchResult(LookupStage.SK_LOOKUP, sock)
+
+        # Stages 3+4: exact listener, then wildcard.
+        fh = flow_hash(packet)
+        sock = self.table.find_listener(packet.protocol, packet.dst, packet.dst_port, flow_hash=fh)
+        if sock is not None:
+            stage = LookupStage.WILDCARD if sock.is_wildcard else LookupStage.LISTENER
+            return DispatchResult(stage, sock)
+
+        return DispatchResult(LookupStage.MISS, None)

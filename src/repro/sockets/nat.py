@@ -1,0 +1,154 @@
+"""Carrier-grade NAT model for the §5.2 port-exhaustion analysis.
+
+"From the client-side, the number of permissible concurrent connections to
+one-address is upper-bounded by the size of a transport protocol's port
+field.  For TCP this is no longer an issue [IP_BIND_ADDRESS_NO_PORT]. In
+UDP (QUIC), however, the only way to reuse ports is with SO_REUSEPORT.
+This could cause carrier-grade NATs to exhaust available UDP ports."
+
+The NAT maps an internal (addr, port) to an external (addr, port) such that
+the external pair is unique *per destination* for TCP (five-tuple NAT,
+enabled by IP_BIND_ADDRESS_NO_PORT-style late binding) but globally unique
+per external IP for classic UDP NAT.  With every flow aimed at one
+destination address, the UDP binding space collapses to 64 K per external
+IP — the paper's "only drawback" of one-address.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..netsim.addr import IPAddress
+from ..netsim.packet import Protocol
+
+__all__ = ["NatExhaustedError", "NatBinding", "CarrierGradeNAT"]
+
+_PORT_MIN = 1024
+_PORT_MAX = 65535
+_PORTS_PER_IP = _PORT_MAX - _PORT_MIN + 1
+
+
+class NatExhaustedError(Exception):
+    """No external (IP, port) pair is available for a new binding."""
+
+
+@dataclass(frozen=True, slots=True)
+class NatBinding:
+    internal: tuple[IPAddress, int]
+    external: tuple[IPAddress, int]
+    protocol: Protocol
+    destination: tuple[IPAddress, int]
+
+
+class CarrierGradeNAT:
+    """A CGN with a pool of external addresses.
+
+    ``tcp_five_tuple_nat=True`` (default, the modern behaviour the paper
+    cites) lets TCP reuse an external port for different destinations.
+    UDP bindings consume an (external ip, port) exclusively: QUIC flows
+    cannot share, absent connection-ID-aware NAT, which the paper notes is
+    foreclosed by encryption.
+    """
+
+    def __init__(
+        self,
+        external_ips: list[IPAddress],
+        tcp_five_tuple_nat: bool = True,
+    ) -> None:
+        if not external_ips:
+            raise ValueError("NAT needs at least one external IP")
+        self.external_ips = list(external_ips)
+        self.tcp_five_tuple_nat = tcp_five_tuple_nat
+        # UDP: (ext_ip_value, ext_port) in use.  TCP (5-tuple mode):
+        # (ext_ip_value, ext_port, dst_value, dst_port) in use.
+        self._udp_used: set[tuple[int, int]] = set()
+        self._tcp_used: set[tuple] = set()
+        self._bindings: dict[tuple, NatBinding] = {}
+        self._next_port: dict[int, int] = {ip.value: _PORT_MIN for ip in external_ips}
+
+    # -- capacity ------------------------------------------------------------
+
+    def udp_capacity(self) -> int:
+        """Maximum simultaneous UDP bindings across the pool."""
+        return len(self.external_ips) * _PORTS_PER_IP
+
+    def udp_in_use(self) -> int:
+        return len(self._udp_used)
+
+    def tcp_capacity_per_destination(self) -> int:
+        """Concurrent TCP flows towards one (dst ip, dst port)."""
+        return len(self.external_ips) * _PORTS_PER_IP
+
+    # -- binding ---------------------------------------------------------------
+
+    def bind(
+        self,
+        internal: tuple[IPAddress, int],
+        protocol: Protocol,
+        destination: tuple[IPAddress, int],
+    ) -> NatBinding:
+        """Allocate an external (ip, port) for a new outbound flow."""
+        key = (internal[0].value, internal[1], protocol.wire_protocol, destination[0].value, destination[1])
+        existing = self._bindings.get(key)
+        if existing is not None:
+            return existing
+
+        wire = protocol.wire_protocol
+        for ext_ip in self.external_ips:
+            port = self._find_port(ext_ip, wire, destination)
+            if port is None:
+                continue
+            binding = NatBinding(internal, (ext_ip, port), protocol, destination)
+            if wire is Protocol.UDP:
+                self._udp_used.add((ext_ip.value, port))
+            else:
+                self._tcp_used.add(self._tcp_key(ext_ip, port, destination))
+            self._bindings[key] = binding
+            return binding
+        raise NatExhaustedError(
+            f"no {wire.name} ports left across {len(self.external_ips)} external IPs "
+            f"for destination {destination[0]}:{destination[1]}"
+        )
+
+    def release(self, binding: NatBinding) -> None:
+        wire = binding.protocol.wire_protocol
+        ext_ip, port = binding.external
+        if wire is Protocol.UDP:
+            self._udp_used.discard((ext_ip.value, port))
+        else:
+            self._tcp_used.discard(self._tcp_key(ext_ip, port, binding.destination))
+        key = (
+            binding.internal[0].value,
+            binding.internal[1],
+            wire,
+            binding.destination[0].value,
+            binding.destination[1],
+        )
+        self._bindings.pop(key, None)
+
+    # -- internals ---------------------------------------------------------------
+
+    def _tcp_key(self, ext_ip: IPAddress, port: int, destination: tuple[IPAddress, int]) -> tuple:
+        if self.tcp_five_tuple_nat:
+            return (ext_ip.value, port, destination[0].value, destination[1])
+        return (ext_ip.value, port)
+
+    def _port_free(self, ext_ip: IPAddress, port: int, wire: Protocol,
+                   destination: tuple[IPAddress, int]) -> bool:
+        if wire is Protocol.UDP:
+            return (ext_ip.value, port) not in self._udp_used
+        return self._tcp_key(ext_ip, port, destination) not in self._tcp_used
+
+    def _find_port(self, ext_ip: IPAddress, wire: Protocol,
+                   destination: tuple[IPAddress, int]) -> int | None:
+        start = self._next_port[ext_ip.value]
+        port = start
+        for _ in range(_PORTS_PER_IP):
+            if self._port_free(ext_ip, port, wire, destination):
+                nxt = port + 1
+                self._next_port[ext_ip.value] = _PORT_MIN if nxt > _PORT_MAX else nxt
+                return port
+            port += 1
+            if port > _PORT_MAX:
+                port = _PORT_MIN
+        return None

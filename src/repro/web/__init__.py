@@ -1,0 +1,34 @@
+"""Web substrate: TLS/SNI, HTTP connections and coalescing, clients, origins."""
+
+from .client import BrowserClient, ClientStats, EdgeTransport, FetchOutcome
+from .http import Connection, HTTPVersion, Request, Response, Status
+from .origin import OriginPool, OriginServer, SizeModel, fixed_size
+from .ssh import HostKeyChangedError, KnownHostsClient, SSHConnectResult
+from .timing import FetchTiming, LatencyParams, PageLoadAccount
+from .tls import Certificate, CertificateStore, ClientHello, TLSError
+
+__all__ = [
+    "BrowserClient",
+    "ClientStats",
+    "EdgeTransport",
+    "FetchOutcome",
+    "Connection",
+    "HTTPVersion",
+    "Request",
+    "Response",
+    "Status",
+    "OriginPool",
+    "OriginServer",
+    "SizeModel",
+    "fixed_size",
+    "HostKeyChangedError",
+    "KnownHostsClient",
+    "SSHConnectResult",
+    "FetchTiming",
+    "LatencyParams",
+    "PageLoadAccount",
+    "Certificate",
+    "CertificateStore",
+    "ClientHello",
+    "TLSError",
+]

@@ -1,0 +1,178 @@
+"""A browser-model HTTP client: DNS, connections, and coalescing decisions.
+
+This is the measurement instrument for Figure 8.  A client owns a stub
+resolver and a pool of open connections; each ``fetch`` either rides an
+existing connection (when the RFC 7540 §9.1.1 conditions allow — see
+:meth:`~repro.web.http.Connection.can_coalesce`) or resolves the hostname
+and dials a new one.  Under per-query random addressing the IP-match
+condition almost always fails across hostnames; under one-address it always
+holds — that contrast is the paper's coalescing result.
+
+The server side is abstracted as :class:`EdgeTransport` so the same client
+drives a single in-process server in unit tests and the full simulated CDN
+in benchmarks.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Protocol as TypingProtocol
+
+from ..dns.records import RRType
+from ..dns.resolver import ResolveError
+from ..dns.stub import StubResolver
+from ..netsim.addr import IPAddress
+from .http import Connection, HTTPVersion, Request, Response
+from .tls import ClientHello, TLSError
+
+__all__ = ["EdgeTransport", "BrowserClient", "FetchOutcome", "ClientStats"]
+
+
+class EdgeTransport(TypingProtocol):
+    """What a client needs from the network+server side."""
+
+    def handshake(self, client_name: str, dst: IPAddress, port: int,
+                  hello: ClientHello, version: HTTPVersion) -> Connection:
+        """TLS-establish a connection to ``dst``; raises TLSError on failure."""
+        ...
+
+    def serve(self, connection: Connection, request: Request) -> Response:
+        """Issue one request over an established connection."""
+        ...
+
+
+@dataclass(frozen=True, slots=True)
+class FetchOutcome:
+    response: Response
+    connection: Connection
+    coalesced: bool
+    dns_lookups: int
+
+
+@dataclass(slots=True)
+class ClientStats:
+    fetches: int = 0
+    connections_opened: int = 0
+    coalesced_requests: int = 0
+    dns_lookups: int = 0
+    errors: int = 0
+
+    @property
+    def requests_per_connection(self) -> float:
+        if not self.connections_opened:
+            return 0.0
+        return self.fetches / self.connections_opened
+
+
+class BrowserClient:
+    """One browser (or process context — §4.4 notes reuse is often
+    per-process/tab).
+
+    Parameters
+    ----------
+    ip_match:
+        The coalescing address rule variant: ``"exact"``, ``"intersect"``,
+        or ``"none"`` (see :meth:`Connection.can_coalesce`).
+    max_connections:
+        Pool cap; dialling beyond it closes the least-used connection,
+        mimicking browser per-host/process pool limits.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        stub: StubResolver,
+        transport: EdgeTransport,
+        version: HTTPVersion = HTTPVersion.H2,
+        ip_match: str = "exact",
+        port: int = 443,
+        max_connections: int = 32,
+        rrtype: RRType = RRType.A,
+        rng: random.Random | None = None,
+    ) -> None:
+        self.name = name
+        self.stub = stub
+        self.transport = transport
+        self.version = version
+        self.ip_match = ip_match
+        self.port = port
+        self.max_connections = max_connections
+        self.rrtype = rrtype
+        self.stats = ClientStats()
+        self._rng = rng or random.Random(hash(name) & 0xFFFFFFFF)
+        self._pool: list[Connection] = []
+
+    # -- public API ----------------------------------------------------------
+
+    def fetch(self, hostname: str, path: str = "/") -> FetchOutcome:
+        """Fetch one resource, coalescing onto open connections when legal."""
+        self.stats.fetches += 1
+        request = Request(authority=hostname, path=path)
+        lookups = 0
+
+        # Try to coalesce.  For h2, condition 2 requires the authority's
+        # current resolution; the stub cache makes repeat resolutions free.
+        candidates = [c for c in self._pool if not c.closed and c.version.multiplexes]
+        if candidates:
+            resolved: list[IPAddress] | None = None
+            needs_ip = self.version.requires_ip_match_for_coalescing and self.ip_match != "none"
+            if needs_ip:
+                resolved, did_lookup = self._resolve(hostname)
+                lookups += did_lookup
+            for conn in candidates:
+                if conn.can_coalesce(hostname, resolved or [], ip_match=self.ip_match):
+                    response = self.transport.serve(conn, request)
+                    conn.record(request, response)
+                    self.stats.coalesced_requests += 1
+                    return FetchOutcome(response, conn, coalesced=True, dns_lookups=lookups)
+
+        # H1 reuse: same-authority keep-alive only.
+        if self.version is HTTPVersion.H1:
+            for conn in self._pool:
+                if not conn.closed and hostname in conn.authorities:
+                    response = self.transport.serve(conn, request)
+                    conn.record(request, response)
+                    return FetchOutcome(response, conn, coalesced=False, dns_lookups=lookups)
+
+        resolved, did_lookup = self._resolve(hostname)
+        lookups += did_lookup
+        if not resolved:
+            self.stats.errors += 1
+            raise ResolveError(f"{hostname}: no addresses")
+        address = resolved[0]
+        conn = self._dial(address, hostname)
+        response = self.transport.serve(conn, request)
+        conn.record(request, response)
+        return FetchOutcome(response, conn, coalesced=False, dns_lookups=lookups)
+
+    def close_all(self) -> None:
+        for conn in self._pool:
+            conn.close()
+        self._pool.clear()
+
+    def open_connections(self) -> list[Connection]:
+        return [c for c in self._pool if not c.closed]
+
+    # -- internals -------------------------------------------------------------
+
+    def _resolve(self, hostname: str) -> tuple[list[IPAddress], int]:
+        """Resolve via the stub; returns (addresses, upstream-lookup count)."""
+        before = self.stub.cache.stats.misses
+        addresses = self.stub.lookup(hostname, self.rrtype)
+        missed = self.stub.cache.stats.misses > before
+        if missed:
+            self.stats.dns_lookups += 1
+        return addresses, int(missed)
+
+    def _dial(self, address: IPAddress, sni: str) -> Connection:
+        if len([c for c in self._pool if not c.closed]) >= self.max_connections:
+            victim = min((c for c in self._pool if not c.closed), key=lambda c: c.requests)
+            victim.close()
+        self._pool = [c for c in self._pool if not c.closed]
+        conn = self.transport.handshake(
+            self.name, address, self.port, ClientHello(sni=sni), self.version
+        )
+        self._pool.append(conn)
+        self.stats.connections_opened += 1
+        return conn

@@ -1,0 +1,70 @@
+"""An ssh-like client: the known_hosts concern of §4.4/§5.1.
+
+§4.4: "One service that might be adversely affected by randomized IPs is
+ssh, which maintains a known_hosts file that stores the hostname-to-IP
+address mapping, and issues a warning when the IP address used to connect
+is different than is stored in the file."  §5.1 adds that one-address
+"preserves any semantics ascribed to IP addresses such as SSH's
+known_hosts".
+
+The model implements the relevant slice of OpenSSH behaviour: per
+(hostname, address) host-key pinning, the `CheckHostIP`-style warning when
+a known host shows up on a new address, and hard failure when a *key*
+changes (a real MITM signal, which addressing agility must never produce —
+the edge's key is per-hostname, not per-address).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..netsim.addr import IPAddress
+
+__all__ = ["HostKeyChangedError", "SSHConnectResult", "KnownHostsClient"]
+
+
+class HostKeyChangedError(Exception):
+    """The host presented a different key — the real alarm."""
+
+
+@dataclass(frozen=True, slots=True)
+class SSHConnectResult:
+    hostname: str
+    address: IPAddress
+    new_host: bool
+    ip_warning: bool  # known host, previously unseen address
+
+
+class KnownHostsClient:
+    """Tracks hostname→{addresses} and hostname→key like a known_hosts file."""
+
+    def __init__(self, check_host_ip: bool = True) -> None:
+        self.check_host_ip = check_host_ip
+        self._addresses: dict[str, set[IPAddress]] = {}
+        self._keys: dict[str, str] = {}
+        self.warnings = 0
+
+    def connect(self, hostname: str, address: IPAddress, host_key: str) -> SSHConnectResult:
+        """One connection attempt; records the binding it observes."""
+        hostname = hostname.lower().rstrip(".")
+        known_key = self._keys.get(hostname)
+        if known_key is not None and known_key != host_key:
+            raise HostKeyChangedError(
+                f"{hostname}: host key changed (was {known_key!r}, got {host_key!r})"
+            )
+        new_host = known_key is None
+        self._keys[hostname] = host_key
+
+        seen = self._addresses.setdefault(hostname, set())
+        ip_warning = (
+            self.check_host_ip and not new_host and address not in seen
+        )
+        if ip_warning:
+            self.warnings += 1
+        seen.add(address)
+        return SSHConnectResult(
+            hostname=hostname, address=address, new_host=new_host, ip_warning=ip_warning
+        )
+
+    def known_addresses(self, hostname: str) -> set[IPAddress]:
+        return set(self._addresses.get(hostname.lower().rstrip("."), ()))

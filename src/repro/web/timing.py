@@ -1,0 +1,115 @@
+"""Page-load latency accounting: what coalescing actually buys clients.
+
+§5.2: "Standard tasks like DNS lookups and establishing TCP connections
+can comprise large fraction of page load times (7 % and 53 %,
+respectively).  When all content is served from the same IP address, a
+client can potentially avoid these performance hits."
+
+The model charges each fetch its protocol-accurate round trips:
+
+* a DNS lookup that misses every cache costs one RTT to the recursive
+  (plus one recursive→authoritative RTT on *its* miss);
+* a new TCP+TLS1.3 connection costs 1 RTT (SYN/SYNACK) + 1 RTT (TLS) = 2;
+* a new QUIC connection costs 1 RTT;
+* a coalesced/reused connection costs 0 setup RTTs;
+* every request then costs 1 RTT for request/response plus a
+  bandwidth-proportional transfer term.
+
+RTTs come from the geo substrate.  The output decomposes page-load time
+into DNS / connection-setup / transfer shares — the same decomposition the
+paper cites — so experiments can show the one-address shift.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .http import HTTPVersion
+
+__all__ = ["LatencyParams", "FetchTiming", "PageLoadAccount"]
+
+
+@dataclass(frozen=True, slots=True)
+class LatencyParams:
+    """Tunable constants for the latency model."""
+
+    client_edge_rtt_ms: float          # from the anycast/geo substrate
+    client_resolver_rtt_ms: float = 8.0
+    resolver_authoritative_rtt_ms: float | None = None  # default: edge RTT
+    bandwidth_bytes_per_ms: float = 1_250.0  # ~10 Mbit/s
+    tls_rtts: float = 1.0              # TLS 1.3; add 1.0 for TLS 1.2
+
+    def resolver_auth_rtt(self) -> float:
+        if self.resolver_authoritative_rtt_ms is not None:
+            return self.resolver_authoritative_rtt_ms
+        return self.client_edge_rtt_ms
+
+
+@dataclass(frozen=True, slots=True)
+class FetchTiming:
+    """One fetch, decomposed."""
+
+    dns_ms: float
+    setup_ms: float
+    transfer_ms: float
+
+    @property
+    def total_ms(self) -> float:
+        return self.dns_ms + self.setup_ms + self.transfer_ms
+
+
+def time_fetch(
+    params: LatencyParams,
+    version: HTTPVersion,
+    new_connection: bool,
+    stub_missed: bool,
+    recursive_missed: bool,
+    body_len: int,
+) -> FetchTiming:
+    """Charge one fetch its components."""
+    dns = 0.0
+    if stub_missed:
+        dns += params.client_resolver_rtt_ms
+        if recursive_missed:
+            dns += params.resolver_auth_rtt()
+
+    setup = 0.0
+    if new_connection:
+        if version.transport.name == "QUIC":
+            setup = params.client_edge_rtt_ms  # 1-RTT QUIC handshake
+        else:
+            setup = params.client_edge_rtt_ms * (1.0 + params.tls_rtts)
+
+    transfer = params.client_edge_rtt_ms + body_len / params.bandwidth_bytes_per_ms
+    return FetchTiming(dns_ms=dns, setup_ms=setup, transfer_ms=transfer)
+
+
+@dataclass(slots=True)
+class PageLoadAccount:
+    """Accumulates fetch timings into the paper's decomposition."""
+
+    dns_ms: float = 0.0
+    setup_ms: float = 0.0
+    transfer_ms: float = 0.0
+    fetches: int = 0
+
+    def add(self, timing: FetchTiming) -> None:
+        self.dns_ms += timing.dns_ms
+        self.setup_ms += timing.setup_ms
+        self.transfer_ms += timing.transfer_ms
+        self.fetches += 1
+
+    @property
+    def total_ms(self) -> float:
+        return self.dns_ms + self.setup_ms + self.transfer_ms
+
+    def share(self, component: str) -> float:
+        """Fraction of load time spent in 'dns' | 'setup' | 'transfer'."""
+        total = self.total_ms
+        if total == 0:
+            return 0.0
+        return {
+            "dns": self.dns_ms,
+            "setup": self.setup_ms,
+            "transfer": self.transfer_ms,
+        }[component] / total

@@ -1,0 +1,108 @@
+"""TLS-lite: certificates, SNI, and handshakes at the level the paper needs.
+
+§2.3: "the Server Name Indication (SNI) field in TLS allows a server to
+host multiple HTTPS certificates on the same IP+port … servers can now
+safely assume support for SNI."  The reproduction needs exactly the
+name-selection semantics — which certificate a server presents for a given
+SNI, and which hostnames a presented certificate covers (that set gates
+HTTP/2 connection coalescing, Figure 8).  No cryptography is simulated.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["Certificate", "ClientHello", "CertificateStore", "TLSError"]
+
+
+class TLSError(Exception):
+    """Handshake failure (no certificate for the requested name)."""
+
+
+def _hostname_matches(pattern: str, hostname: str) -> bool:
+    """RFC 6125 matching: exact, or single-label left-most wildcard."""
+    pattern = pattern.lower().rstrip(".")
+    hostname = hostname.lower().rstrip(".")
+    if pattern == hostname:
+        return True
+    if pattern.startswith("*."):
+        suffix = pattern[2:]
+        if not suffix:
+            return False
+        head, sep, rest = hostname.partition(".")
+        return bool(sep) and rest == suffix and head != ""
+    return False
+
+
+@dataclass(frozen=True, slots=True)
+class Certificate:
+    """A served certificate: subject plus subjectAltName entries.
+
+    CDNs pack many customer hostnames (or wildcards) into shared certs;
+    ``covers`` is the check browsers run both at handshake time and when
+    deciding whether an existing connection's certificate authorises a new
+    request's authority (coalescing condition 1, §4.4).
+    """
+
+    subject: str
+    san: tuple[str, ...] = ()
+    issuer: str = "Repro CA"
+
+    def names(self) -> tuple[str, ...]:
+        return (self.subject, *self.san)
+
+    def covers(self, hostname: str) -> bool:
+        return any(_hostname_matches(p, hostname) for p in self.names())
+
+
+@dataclass(frozen=True, slots=True)
+class ClientHello:
+    """The handshake fields the server dispatches on."""
+
+    sni: str | None
+    alpn: tuple[str, ...] = ("h2", "http/1.1")
+
+
+class CertificateStore:
+    """Server-side SNI → certificate selection.
+
+    Lookup order: exact hostname, then wildcard match over stored certs,
+    then the default certificate (if configured).  Clients without SNI get
+    the default or are rejected — the paper notes some providers now
+    mandate SNI; ``require_sni=True`` models that stance.
+    """
+
+    def __init__(self, default: Certificate | None = None, require_sni: bool = False) -> None:
+        self._exact: dict[str, Certificate] = {}
+        self._wildcards: list[Certificate] = []
+        self.default = default
+        self.require_sni = require_sni
+
+    def add(self, cert: Certificate) -> None:
+        for name in cert.names():
+            name = name.lower().rstrip(".")
+            if name.startswith("*."):
+                if cert not in self._wildcards:
+                    self._wildcards.append(cert)
+            else:
+                self._exact[name] = cert
+
+    def __len__(self) -> int:
+        return len(self._exact) + len(self._wildcards)
+
+    def select(self, hello: ClientHello) -> Certificate:
+        """Pick the certificate to present for a ClientHello."""
+        if hello.sni is None:
+            if self.require_sni or self.default is None:
+                raise TLSError("no SNI and no default certificate")
+            return self.default
+        sni = hello.sni.lower().rstrip(".")
+        cert = self._exact.get(sni)
+        if cert is not None:
+            return cert
+        for candidate in self._wildcards:
+            if candidate.covers(sni):
+                return candidate
+        if self.default is not None:
+            return self.default
+        raise TLSError(f"no certificate for SNI {hello.sni!r}")

@@ -1,0 +1,116 @@
+"""Client populations: eyeball ASes, shared resolvers, browser mixes.
+
+§4.4's point — traffic per returned address depends on "the number and
+behaviour of downstream resolvers and clients" — means the experiments
+need a *population*: many clients behind few shared recursive resolvers,
+a share of TTL-violating resolvers, and a browser mix (H2 / H3 / legacy
+H1, matching Figure 8's note that samples include "connections from
+HTTP/1 and older browsers that do not support connection reuse").
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from ..clock import Clock
+from ..dns.cache import TTLPolicy
+from ..dns.resolver import RecursiveResolver
+from ..dns.stub import StubResolver
+from ..edge.cdn import CDN
+from ..web.client import BrowserClient
+from ..web.http import HTTPVersion
+
+__all__ = ["PopulationConfig", "ClientPopulation"]
+
+
+@dataclass(frozen=True, slots=True)
+class PopulationConfig:
+    clients_per_resolver: int = 10
+    ttl_violator_share: float = 0.15   # resolvers that clamp TTLs up
+    ttl_clamp_min: int = 300
+    h3_share: float = 0.25
+    h1_share: float = 0.10
+    seed: int = 42
+
+
+class ClientPopulation:
+    """Browser clients attached to a CDN through shared resolvers.
+
+    One recursive resolver per eyeball AS; ``clients_per_resolver``
+    browsers behind each, with per-browser stub caches.  Version and
+    TTL-policy mixes are drawn deterministically from the config seed.
+    """
+
+    def __init__(
+        self,
+        cdn: CDN,
+        clock: Clock,
+        eyeball_ases: list[object],
+        config: PopulationConfig | None = None,
+    ) -> None:
+        if not eyeball_ases:
+            raise ValueError("population needs at least one eyeball AS")
+        self.cdn = cdn
+        self.clock = clock
+        self.config = config or PopulationConfig()
+        self.resolvers: dict[object, RecursiveResolver] = {}
+        self.clients: list[BrowserClient] = []
+        self._client_asn: dict[str, object] = {}
+        rng = random.Random(self.config.seed)
+
+        for asn in eyeball_ases:
+            policy = (
+                TTLPolicy.clamping(self.config.ttl_clamp_min)
+                if rng.random() < self.config.ttl_violator_share
+                else TTLPolicy.honest()
+            )
+            resolver = RecursiveResolver(
+                name=f"res-{asn}",
+                clock=clock,
+                transport=cdn.dns_transport(asn),
+                ttl_policy=policy,
+                asn=asn,
+            )
+            self.resolvers[asn] = resolver
+            for i in range(self.config.clients_per_resolver):
+                name = f"client-{asn}-{i}"
+                version = self._pick_version(rng)
+                stub = StubResolver(f"stub-{name}", clock, resolver)
+                client = BrowserClient(
+                    name=name,
+                    stub=stub,
+                    transport=cdn.transport_for(asn),
+                    version=version,
+                )
+                self.clients.append(client)
+                self._client_asn[name] = asn
+
+    def _pick_version(self, rng: random.Random) -> HTTPVersion:
+        u = rng.random()
+        if u < self.config.h3_share:
+            return HTTPVersion.H3
+        if u < self.config.h3_share + self.config.h1_share:
+            return HTTPVersion.H1
+        return HTTPVersion.H2
+
+    # -- access ----------------------------------------------------------------
+
+    def asn_of(self, client: BrowserClient) -> object:
+        return self._client_asn[client.name]
+
+    def clients_by_version(self, version: HTTPVersion) -> list[BrowserClient]:
+        return [c for c in self.clients if c.version is version]
+
+    def close_all_connections(self) -> None:
+        for client in self.clients:
+            client.close_all()
+
+    def flush_dns(self) -> None:
+        for resolver in self.resolvers.values():
+            resolver.cache.flush()
+        for client in self.clients:
+            client.stub.cache.flush()
+
+    def __len__(self) -> int:
+        return len(self.clients)

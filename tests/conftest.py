@@ -1,0 +1,89 @@
+"""Shared fixtures: a small but complete CDN deployment.
+
+Most integration tests need the same scaffolding the deployment had —
+PoPs, customers, origins, pools, a policy engine — at a scale that keeps
+the suite fast.  Build it once per test via these factories.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.clock import Clock
+from repro.core import AddressPool, Policy, PolicyAnswerSource, PolicyEngine
+from repro.dns import RecursiveResolver, StubResolver
+from repro.edge import CDN, AccountType, Customer, CustomerRegistry, ListenMode
+from repro.netsim import build_regional_topology, parse_prefix
+from repro.web import BrowserClient, HTTPVersion, OriginPool, OriginServer, fixed_size
+
+POOL_PREFIX = parse_prefix("192.0.2.0/24")
+BACKUP_PREFIX = parse_prefix("203.0.113.0/24")
+
+
+@pytest.fixture
+def clock():
+    return Clock()
+
+
+def make_registry(num_sites: int = 12, assets: int = 2) -> tuple[CustomerRegistry, OriginPool, list[str]]:
+    """A small customer base: half FREE, half ENTERPRISE accounts."""
+    registry = CustomerRegistry()
+    origins = OriginPool()
+    hostnames: list[str] = []
+    for i in range(num_sites):
+        site = f"site{i:03d}.example.com"
+        names = {site} | {f"a{j}.site{i:03d}.example.com" for j in range(assets)}
+        account = AccountType.FREE if i % 2 == 0 else AccountType.ENTERPRISE
+        customer = Customer(f"cust{i:03d}", account, names)
+        registry.add(customer)
+        origins.add(OriginServer(f"origin{i:03d}", set(names), fixed_size(1500)))
+        hostnames.extend(sorted(names))
+    return registry, origins, hostnames
+
+
+def make_cdn(
+    regions: dict[str, list[str]] | None = None,
+    num_sites: int = 12,
+    servers_per_dc: int = 2,
+    clients_per_region: int = 4,
+) -> tuple[CDN, list[str]]:
+    """A CDN over a 2-region topology with certificates provisioned."""
+    regions = regions or {"us": ["ashburn"], "eu": ["london"]}
+    net = build_regional_topology(regions, clients_per_region=clients_per_region)
+    registry, origins, hostnames = make_registry(num_sites)
+    cdn = CDN(net, registry, origins, servers_per_dc=servers_per_dc)
+    cdn.provision_certificates()
+    return cdn, hostnames
+
+
+def make_policy_cdn(
+    clock: Clock,
+    ttl: int = 30,
+    seed: int = 7,
+    **kwargs,
+) -> tuple[CDN, list[str], PolicyEngine, AddressPool]:
+    """A CDN answering via the paper's policy engine (random over a /24)."""
+    cdn, hostnames = make_cdn(**kwargs)
+    cdn.announce_pool(POOL_PREFIX, ports=(80, 443), mode=ListenMode.SK_LOOKUP)
+    engine = PolicyEngine(random.Random(seed))
+    pool = AddressPool(POOL_PREFIX, name="test-pool")
+    engine.add(Policy("randomize-all", pool, match={}, ttl=ttl))
+    cdn.set_answer_source(PolicyAnswerSource(engine, cdn.registry))
+    return cdn, hostnames, engine, pool
+
+
+def make_client(
+    cdn: CDN,
+    clock: Clock,
+    asn: object,
+    name: str = "client",
+    version: HTTPVersion = HTTPVersion.H2,
+    **client_kwargs,
+) -> BrowserClient:
+    resolver = RecursiveResolver(f"res-{name}", clock, transport=cdn.dns_transport(asn), asn=asn)
+    stub = StubResolver(f"stub-{name}", clock, resolver)
+    return BrowserClient(
+        name, stub, cdn.transport_for(asn), version=version, **client_kwargs
+    )

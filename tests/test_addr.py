@@ -1,0 +1,248 @@
+"""Address and prefix algebra: the foundation of the §3.2 mechanism."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.netsim.addr import (
+    AddressFamilyError,
+    IPAddress,
+    IPv4,
+    IPv6,
+    Prefix,
+    parse_address,
+    parse_prefix,
+)
+
+
+class TestIPAddress:
+    def test_parse_v4(self):
+        a = parse_address("192.0.2.1")
+        assert a.family == IPv4
+        assert a.value == (192 << 24) | (2 << 8) | 1
+
+    def test_parse_v6(self):
+        a = parse_address("2001:db8::1")
+        assert a.family == IPv6
+        assert a.value == (0x20010DB8 << 96) | 1
+
+    def test_round_trip_text(self):
+        for text in ("0.0.0.0", "255.255.255.255", "10.1.2.3", "2001:db8::ff", "::1"):
+            assert str(parse_address(text)) == text
+
+    def test_value_range_enforced(self):
+        with pytest.raises(ValueError):
+            IPAddress(IPv4, 1 << 32)
+        with pytest.raises(ValueError):
+            IPAddress(IPv4, -1)
+
+    def test_unknown_family_rejected(self):
+        with pytest.raises(AddressFamilyError):
+            IPAddress(5, 0)
+
+    def test_ordering_within_family(self):
+        a, b = parse_address("10.0.0.1"), parse_address("10.0.0.2")
+        assert a < b and a <= b and not b < a
+
+    def test_packed_round_trip_v4(self):
+        a = parse_address("198.51.100.7")
+        assert IPAddress.from_packed(a.packed()) == a
+        assert len(a.packed()) == 4
+
+    def test_packed_round_trip_v6(self):
+        a = parse_address("2001:db8::42")
+        assert IPAddress.from_packed(a.packed()) == a
+        assert len(a.packed()) == 16
+
+    def test_packed_bad_length(self):
+        with pytest.raises(ValueError):
+            IPAddress.from_packed(b"\x01\x02\x03")
+
+    def test_hashable_and_equal(self):
+        assert parse_address("10.0.0.1") == IPAddress.v4((10 << 24) | 1)
+        assert len({parse_address("10.0.0.1"), parse_address("10.0.0.1")}) == 1
+
+
+class TestPrefix:
+    def test_parse(self):
+        p = parse_prefix("192.0.2.0/24")
+        assert (p.family, p.length, p.num_addresses) == (IPv4, 24, 256)
+
+    def test_strict_parse_rejects_host_bits(self):
+        with pytest.raises(ValueError):
+            parse_prefix("192.0.2.1/24")
+
+    def test_host_bits_rejected_in_constructor(self):
+        with pytest.raises(ValueError):
+            Prefix(IPv4, 1, 24)
+
+    def test_of_masks_host_bits(self):
+        p = Prefix.of(parse_address("192.0.2.77"), 24)
+        assert p == parse_prefix("192.0.2.0/24")
+
+    def test_host_prefix(self):
+        p = Prefix.host(parse_address("192.0.2.77"))
+        assert p.length == 32 and p.num_addresses == 1
+
+    def test_contains_address(self):
+        p = parse_prefix("192.0.2.0/24")
+        assert parse_address("192.0.2.0") in p
+        assert parse_address("192.0.2.255") in p
+        assert parse_address("192.0.3.0") not in p
+
+    def test_contains_is_family_aware(self):
+        p = parse_prefix("192.0.2.0/24")
+        assert parse_address("2001:db8::1") not in p
+
+    def test_contains_subprefix(self):
+        p20 = parse_prefix("10.0.0.0/20")
+        assert parse_prefix("10.0.4.0/24") in p20
+        assert parse_prefix("10.0.0.0/16") not in p20
+
+    def test_overlaps(self):
+        a = parse_prefix("10.0.0.0/20")
+        b = parse_prefix("10.0.8.0/24")
+        c = parse_prefix("10.1.0.0/24")
+        assert a.overlaps(b) and b.overlaps(a)
+        assert not a.overlaps(c)
+
+    def test_first_last(self):
+        p = parse_prefix("192.0.2.0/30")
+        assert str(p.first) == "192.0.2.0"
+        assert str(p.last) == "192.0.2.3"
+
+    def test_address_at_and_index_of(self):
+        p = parse_prefix("192.0.2.0/28")
+        for i in range(16):
+            assert p.index_of(p.address_at(i)) == i
+        assert p.address_at(-1) == p.last
+
+    def test_address_at_out_of_range(self):
+        p = parse_prefix("192.0.2.0/30")
+        with pytest.raises(IndexError):
+            p.address_at(4)
+
+    def test_index_of_outside_pool(self):
+        with pytest.raises(ValueError):
+            parse_prefix("192.0.2.0/24").index_of(parse_address("10.0.0.1"))
+
+    def test_addresses_enumeration(self):
+        p = parse_prefix("192.0.2.0/29")
+        addrs = list(p.addresses())
+        assert len(addrs) == 8
+        assert addrs[0] == p.first and addrs[-1] == p.last
+
+    def test_addresses_refuses_huge_pools(self):
+        with pytest.raises(ValueError):
+            list(parse_prefix("10.0.0.0/8").addresses())
+
+    def test_subnets(self):
+        p = parse_prefix("192.0.2.0/24")
+        subs = list(p.subnets(26))
+        assert len(subs) == 4
+        assert subs[0].first == p.first
+        assert all(s in p for s in subs)
+
+    def test_subnets_invalid(self):
+        p = parse_prefix("192.0.2.0/24")
+        with pytest.raises(ValueError):
+            list(p.subnets(20))
+        with pytest.raises(ValueError):
+            list(p.subnets(40))
+
+    def test_supernet(self):
+        p = parse_prefix("192.0.2.0/24")
+        assert p.supernet(20) == parse_prefix("192.0.0.0/20")
+        with pytest.raises(ValueError):
+            p.supernet(25)
+
+    def test_slash_zero(self):
+        p = parse_prefix("0.0.0.0/0")
+        assert p.num_addresses == 1 << 32
+        assert parse_address("255.255.255.255") in p
+
+    def test_v6_prefix(self):
+        p = parse_prefix("2001:db8::/44")
+        assert p.suffix_bits == 84
+        a = p.random_address(random.Random(1))
+        assert a in p and a.family == IPv6
+
+
+class TestRandomAddress:
+    """The paper's step (4)+(5): prefix ‖ random bitstring."""
+
+    def test_single_address_pool_is_deterministic(self):
+        p = parse_prefix("192.0.2.1/32")
+        rng = random.Random(0)
+        assert all(p.random_address(rng) == p.first for _ in range(20))
+
+    def test_draws_stay_in_pool(self):
+        p = parse_prefix("198.51.100.0/26")
+        rng = random.Random(42)
+        for _ in range(500):
+            assert p.random_address(rng) in p
+
+    def test_uniformity_over_small_pool(self):
+        p = parse_prefix("192.0.2.0/28")  # 16 addresses
+        rng = random.Random(7)
+        counts = {}
+        n = 16_000
+        for _ in range(n):
+            a = p.random_address(rng)
+            counts[a] = counts.get(a, 0) + 1
+        assert len(counts) == 16
+        expected = n / 16
+        for c in counts.values():
+            assert abs(c - expected) < 5 * (expected ** 0.5)
+
+    def test_seeded_reproducibility(self):
+        p = parse_prefix("192.0.2.0/24")
+        seq1 = [p.random_address(random.Random(9)) for _ in range(1)]
+        seq2 = [p.random_address(random.Random(9)) for _ in range(1)]
+        assert seq1 == seq2
+
+
+@settings(max_examples=200)
+@given(value=st.integers(min_value=0, max_value=(1 << 32) - 1),
+       length=st.integers(min_value=0, max_value=32))
+def test_prefix_of_always_contains_address(value, length):
+    address = IPAddress.v4(value)
+    prefix = Prefix.of(address, length)
+    assert address in prefix
+    assert prefix.length == length
+
+
+@settings(max_examples=200)
+@given(value=st.integers(min_value=0, max_value=(1 << 128) - 1),
+       length=st.integers(min_value=0, max_value=128))
+def test_prefix_of_v6_always_contains_address(value, length):
+    address = IPAddress.v6(value)
+    prefix = Prefix.of(address, length)
+    assert address in prefix
+
+
+@settings(max_examples=100)
+@given(net_bits=st.integers(min_value=8, max_value=30), seed=st.integers(0, 2**16))
+def test_random_address_within_prefix_property(net_bits, seed):
+    base = IPAddress.v4(0x0A000000)  # 10.0.0.0
+    prefix = Prefix.of(base, net_bits)
+    rng = random.Random(seed)
+    address = prefix.random_address(rng)
+    assert address in prefix
+    assert prefix.index_of(address) < prefix.num_addresses
+
+
+@settings(max_examples=100)
+@given(length=st.integers(min_value=0, max_value=32),
+       split=st.integers(min_value=0, max_value=8))
+def test_subnets_partition_property(length, split):
+    new_length = min(32, length + split)
+    prefix = Prefix.of(IPAddress.v4(0xC0A80000), length)  # 192.168.0.0
+    if new_length - length > 10:
+        return  # keep enumeration small
+    subs = list(prefix.subnets(new_length))
+    assert len(subs) == 1 << (new_length - length)
+    assert sum(s.num_addresses for s in subs) == prefix.num_addresses
+    assert subs[0].first == prefix.first

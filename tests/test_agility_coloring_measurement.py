@@ -1,0 +1,142 @@
+"""§6 map colouring and the DC2-spillover measurement experiment."""
+
+import networkx as nx
+import pytest
+
+from repro.agility.coloring import (
+    build_conflict_graph,
+    color_datacenters,
+    verify_coloring,
+)
+from repro.agility.measurement import (
+    build_mismatched_client,
+    measure_spillover,
+)
+from repro.core import AddressPool, Policy, PolicyAnswerSource, PolicyEngine
+from repro.edge import ListenMode
+from repro.netsim import build_regional_topology, parse_prefix
+
+from conftest import POOL_PREFIX, make_cdn
+
+
+class TestColoring:
+    def prefixes(self, n=8):
+        return list(parse_prefix("10.0.0.0/16").subnets(24))[:n]
+
+    def test_conflict_graph_by_distance(self):
+        net = build_regional_topology(
+            {"us": ["ashburn", "newyork"], "eu": ["london", "frankfurt"]}
+        )
+        graph = build_conflict_graph(net, conflict_km=1500)
+        assert graph.has_edge("ashburn", "newyork")
+        assert graph.has_edge("london", "frankfurt")
+        assert not graph.has_edge("ashburn", "london")
+
+    def test_coloring_separates_conflicts(self):
+        net = build_regional_topology(
+            {"us": ["ashburn", "newyork", "chicago"], "eu": ["london", "paris", "amsterdam"]}
+        )
+        graph = build_conflict_graph(net, conflict_km=2500)
+        result = color_datacenters(graph, self.prefixes())
+        assert verify_coloring(graph, result)
+        # Distant DCs may share a prefix — that's the saving.
+        assert result.num_colors < graph.number_of_nodes()
+
+    def test_prefix_assignment_consistent_with_colors(self):
+        graph = nx.cycle_graph(["a", "b", "c", "d"])
+        result = color_datacenters(graph, self.prefixes())
+        assert result.num_colors == 2
+        for dc, color in result.colors.items():
+            assert result.prefix_of[dc] == self.prefixes()[color]
+        assert set(result.datacenters_of_color(0)) | set(result.datacenters_of_color(1)) == {
+            "a", "b", "c", "d"
+        }
+
+    def test_odd_cycle_needs_three(self):
+        graph = nx.cycle_graph(["a", "b", "c"])
+        result = color_datacenters(graph, self.prefixes())
+        assert result.num_colors == 3
+
+    def test_insufficient_prefixes_rejected(self):
+        graph = nx.complete_graph(["a", "b", "c", "d"])
+        with pytest.raises(ValueError):
+            color_datacenters(graph, self.prefixes(2))
+
+    def test_empty_graph_rejected(self):
+        with pytest.raises(ValueError):
+            color_datacenters(nx.Graph(), self.prefixes())
+
+    def test_isolated_nodes_share_one_color(self):
+        graph = nx.Graph()
+        graph.add_nodes_from(["a", "b", "c"])
+        result = color_datacenters(graph, self.prefixes())
+        assert result.num_colors == 1
+
+
+class TestSpillover:
+    """§6 measurement: DC2 receives pool traffic it never answered DNS for,
+    because some clients' resolvers sit in DC1's catchment."""
+
+    def build(self, clock):
+        cdn, hostnames = make_cdn(
+            regions={"us": ["ashburn"], "eu": ["london"]}, clients_per_region=4
+        )
+        cdn.announce_pool(POOL_PREFIX, ports=(443,), mode=ListenMode.SK_LOOKUP)
+        import random as _random
+        engine = PolicyEngine(_random.Random(4))
+        pool = AddressPool(POOL_PREFIX)
+        # The test policy runs only at DC1 (ashburn); DC2's DNS is
+        # "unaltered" — here: refuses, so only DC1 ever hands out pool
+        # addresses, exactly the paper's asymmetric setup.
+        engine.add(Policy("dc1-only", pool, match={"pop": {"ashburn"}}, ttl=30))
+        cdn.set_answer_source(PolicyAnswerSource(engine, cdn.registry))
+        return cdn, hostnames
+
+    def test_aligned_clients_no_spillover(self, clock):
+        cdn, hostnames = self.build(clock)
+        client = build_mismatched_client(
+            cdn, clock, client_asn="eyeball:us:0", resolver_asn="eyeball:us:0"
+        )
+        for hostname in hostnames[:4]:
+            client.fetch(hostname)
+        report = measure_spillover(cdn, POOL_PREFIX)
+        assert report.requests_on_pool["ashburn"] == 4
+        assert report.requests_on_pool["london"] == 0
+        assert report.spillover_share("ashburn") == 0.0
+
+    def test_mismatched_clients_spill_to_dc2(self, clock):
+        cdn, hostnames = self.build(clock)
+        # EU client whose ISP resolver is US-homed: DNS lands at ashburn
+        # (answers with pool addresses), packets land at london.
+        client = build_mismatched_client(
+            cdn, clock, client_asn="eyeball:eu:1", resolver_asn="eyeball:us:0"
+        )
+        for hostname in hostnames[:4]:
+            client.fetch(hostname)
+        report = measure_spillover(cdn, POOL_PREFIX)
+        assert report.requests_on_pool["london"] == 4
+        assert report.spillover_share("ashburn") == 1.0
+        assert report.share_at("london") == 1.0
+
+    def test_eu_resolver_clients_get_no_pool_answers(self, clock):
+        cdn, hostnames = self.build(clock)
+        from repro.dns.resolver import ResolveError
+        client = build_mismatched_client(
+            cdn, clock, client_asn="eyeball:eu:1", resolver_asn="eyeball:eu:1"
+        )
+        with pytest.raises(ResolveError):
+            client.fetch(hostnames[0])  # london DNS refuses (policy mismatch)
+
+    def test_mixed_population_measures_partial_spillover(self, clock):
+        cdn, hostnames = self.build(clock)
+        aligned = build_mismatched_client(
+            cdn, clock, "eyeball:us:1", "eyeball:us:1", name="aligned"
+        )
+        mismatched = build_mismatched_client(
+            cdn, clock, "eyeball:eu:2", "eyeball:us:2", name="mismatched"
+        )
+        for hostname in hostnames[:3]:
+            aligned.fetch(hostname)
+            mismatched.fetch(hostname)
+        report = measure_spillover(cdn, POOL_PREFIX)
+        assert report.spillover_share("ashburn") == pytest.approx(0.5)

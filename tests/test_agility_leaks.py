@@ -1,0 +1,154 @@
+"""Route-leak detection & mitigation (§6, Figure 9) — unit and integrated."""
+
+import random
+
+import pytest
+
+from repro.agility.leaks import LeakMitigator, RouteLeakDetector
+from repro.clock import Clock
+from repro.core import (
+    AddressPool,
+    AgilityController,
+    PerPopAssignment,
+    Policy,
+    PolicyAnswerSource,
+    PolicyEngine,
+)
+from repro.dns import RecursiveResolver, StubResolver
+from repro.edge import ListenMode
+from repro.edge.datacenter import TrafficLog
+from repro.netsim import inject_route_leak, parse_prefix
+from repro.netsim.routeleak import attach_multihomed_leaker
+from repro.web import BrowserClient, HTTPVersion
+
+from conftest import BACKUP_PREFIX, POOL_PREFIX, make_cdn
+
+POPS = ["ashburn", "london"]
+
+
+def make_detector(pool=None):
+    pool = pool or AddressPool(POOL_PREFIX)
+    assignment = PerPopAssignment(POPS)
+    return RouteLeakDetector(pool, assignment, POPS, min_requests=3, min_share=0.01), pool, assignment
+
+
+class TestDetectorUnit:
+    def test_expected_addresses_distinct(self):
+        detector, pool, _ = make_detector()
+        expected = detector.expected_addresses()
+        assert len(set(expected.values())) == len(POPS)
+
+    def test_clean_traffic_no_alerts(self):
+        detector, pool, assignment = make_detector()
+        logs = {}
+        for pop in POPS:
+            log = TrafficLog()
+            own = assignment.address_for_pop(pool, pop)
+            for _ in range(100):
+                log.record_request(own, 1000)
+            logs[pop] = log
+        assert detector.scan(logs) == []
+
+    def test_misdirected_traffic_alerts(self):
+        detector, pool, assignment = make_detector()
+        logs = {pop: TrafficLog() for pop in POPS}
+        own = assignment.address_for_pop(pool, "london")
+        other = assignment.address_for_pop(pool, "ashburn")
+        for _ in range(80):
+            logs["london"].record_request(own, 1000)
+        for _ in range(20):
+            logs["london"].record_request(other, 1000)  # ashburn's address!
+        alerts = detector.scan(logs)
+        assert len(alerts) == 1
+        alert = alerts[0]
+        assert alert.observed_at == "london"
+        assert alert.expected_pop == "ashburn"
+        assert alert.requests == 20
+        assert alert.share_of_pop_traffic == pytest.approx(0.2)
+        assert detector.victims(alerts) == {"ashburn"}
+
+    def test_small_bleed_suppressed(self):
+        """'PoP-A may see a small amount of traffic arrive on *.26' — the
+        thresholds keep legitimate resolver/client mismatch quiet."""
+        detector, pool, assignment = make_detector()
+        logs = {pop: TrafficLog() for pop in POPS}
+        own = assignment.address_for_pop(pool, "london")
+        other = assignment.address_for_pop(pool, "ashburn")
+        for _ in range(1000):
+            logs["london"].record_request(own, 1000)
+        logs["london"].record_request(other, 1000)  # below both thresholds
+        assert detector.scan(logs) == []
+
+    def test_non_pool_addresses_ignored(self):
+        detector, pool, _ = make_detector()
+        log = TrafficLog()
+        log.record_request(parse_prefix("203.0.113.0/24").first, 100)
+        assert detector.scan({"london": log}) == []
+
+
+class TestIntegratedLeakScenario:
+    """End-to-end Figure 9: per-PoP policy, live traffic, a real BGP leak,
+    detection from traffic logs, mitigation via pool swap."""
+
+    def build(self, clock):
+        cdn, hostnames = make_cdn(
+            regions={"us": ["ashburn"], "eu": ["london"]}, clients_per_region=6
+        )
+        cdn.announce_pool(POOL_PREFIX, ports=(443,), mode=ListenMode.SK_LOOKUP)
+        cdn.announce_pool(BACKUP_PREFIX, ports=(443,), mode=ListenMode.SK_LOOKUP)
+
+        pool = AddressPool(POOL_PREFIX, name="leak-pool")
+        assignment = PerPopAssignment(POPS)
+        engine = PolicyEngine(random.Random(1))
+        engine.add(Policy("per-pop", pool, strategy=assignment, ttl=30))
+        cdn.set_answer_source(PolicyAnswerSource(engine, cdn.registry))
+        detector = RouteLeakDetector(pool, assignment, POPS, min_requests=3, min_share=0.01)
+        return cdn, hostnames, engine, pool, assignment, detector
+
+    def drive_traffic(self, cdn, clock, hostnames, n=4):
+        clients = []
+        for region in ("us", "eu"):
+            for i in range(n):
+                asn = f"eyeball:{region}:{i}"
+                resolver = RecursiveResolver(f"r-{asn}", clock, cdn.dns_transport(asn), asn=asn)
+                stub = StubResolver(f"s-{asn}", clock, resolver)
+                clients.append(BrowserClient(f"c-{asn}", stub, cdn.transport_for(asn)))
+        for client in clients:
+            for hostname in hostnames[:3]:
+                try:
+                    client.fetch(hostname)
+                except ConnectionRefusedError:
+                    pass  # misdirected traffic may be unroutable mid-leak
+
+    def test_clean_deployment_is_quiet(self, clock):
+        cdn, hostnames, engine, pool, assignment, detector = self.build(clock)
+        self.drive_traffic(cdn, clock, hostnames)
+        logs = {pop: cdn.datacenters[pop].traffic for pop in POPS}
+        assert detector.scan(logs) == []
+
+    def test_leak_detected_and_mitigated(self, clock):
+        cdn, hostnames, engine, pool, assignment, detector = self.build(clock)
+        # Figure 9: a customer of both an EU and a US transit re-exports the
+        # EU-learned anycast route to its US provider; the US transit
+        # prefers the customer route and hauls its clients to Europe.  Their
+        # DNS still reaches ashburn (the DNS prefix is not leaked), so
+        # london receives traffic on ashburn's unique address.
+        attach_multihomed_leaker(cdn.network, "leaker", "transit:eu:0", "transit:us:0")
+        inject_route_leak(cdn.network, "leaker", POOL_PREFIX)
+        self.drive_traffic(cdn, clock, hostnames)
+        logs = {pop: cdn.datacenters[pop].traffic for pop in POPS}
+        alerts = detector.scan(logs)
+        assert alerts, "leak went undetected"
+        assert any(a.observed_at == "london" and a.expected_pop == "ashburn" for a in alerts)
+
+        # Mitigation: keep the policy, change the prefix (already announced).
+        controller = AgilityController(engine, clock)
+        mitigator = LeakMitigator(controller, clock)
+        backup = AddressPool(BACKUP_PREFIX, name="backup")
+        op = mitigator.mitigate("per-pop", backup)
+        assert op.propagation_horizon == clock.now() + 30  # TTL-bounded
+
+        # New answers come from the backup prefix immediately.
+        resolver = RecursiveResolver("post", clock, cdn.dns_transport("eyeball:eu:0"))
+        addresses = resolver.resolve_addresses(hostnames[0])
+        assert addresses and all(a in BACKUP_PREFIX for a in addresses)

@@ -1,0 +1,160 @@
+"""Analysis tools: load distributions, AD test, reporting."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.loadstats import LoadDistribution, pool_load, spread_orders
+from repro.analysis.reporting import ExperimentRecord, TextTable, format_quantity
+from repro.analysis.stats import anderson_darling_2sample, cdf_at, ecdf
+from repro.core.pool import AddressPool
+from repro.edge.datacenter import TrafficLog
+from repro.netsim.addr import parse_prefix
+
+
+class TestLoadDistribution:
+    def test_uniform_has_zero_spread(self):
+        dist = LoadDistribution.from_counts([100] * 50)
+        assert dist.spread_orders_of_magnitude == 0.0
+        assert dist.max_min_factor == 1.0
+        assert dist.gini == pytest.approx(0.0, abs=1e-9)
+        assert dist.cv == 0.0
+
+    def test_heavy_tail_spread(self):
+        counts = [10**6, 10**3, 10**2, 10, 1]
+        dist = LoadDistribution.from_counts(counts)
+        assert dist.spread_orders_of_magnitude == pytest.approx(6.0)
+        assert dist.max_min_factor == pytest.approx(1e6)
+
+    def test_zeros_excluded_from_spread(self):
+        dist = LoadDistribution.from_counts([1000, 10, 0, 0])
+        assert dist.spread_orders_of_magnitude == pytest.approx(2.0)
+        assert dist.zeros == 2
+        assert dist.loaded_addresses == 2
+
+    def test_gini_extremes(self):
+        concentrated = LoadDistribution.from_counts([100] + [0] * 99)
+        assert concentrated.gini > 0.95
+
+    def test_head_share(self):
+        dist = LoadDistribution.from_counts([70, 20, 10])
+        assert dist.head_share(1) == pytest.approx(0.7)
+        assert dist.head_share(3) == pytest.approx(1.0)
+
+    def test_percentile_and_summary(self):
+        dist = LoadDistribution.from_counts(range(101))
+        assert dist.percentile(50) == pytest.approx(50)
+        summary = dist.summary()
+        assert summary["addresses"] == 101
+        assert summary["max"] == 100
+
+    def test_empty(self):
+        dist = LoadDistribution.from_counts([])
+        assert dist.total == 0 and dist.mean == 0 and dist.gini == 0
+
+    def test_spread_orders_helper(self):
+        assert spread_orders([1, 10, 100]) == pytest.approx(2.0)
+        assert spread_orders([0, 0]) == 0.0
+
+
+class TestPoolLoad:
+    def test_unhit_addresses_counted_as_zero(self):
+        pool = AddressPool(parse_prefix("192.0.2.0/28"))  # 16 addresses
+        log = TrafficLog()
+        log.record_request(pool.address_at(0), 100)
+        log.record_request(pool.address_at(0), 100)
+        log.record_request(pool.address_at(5), 50)
+        dist = pool_load(log, pool, "requests")
+        assert len(dist.sorted_desc) == 16
+        assert dist.zeros == 14
+        assert dist.sorted_desc[0] == 2.0
+
+    def test_bytes_metric(self):
+        pool = AddressPool(parse_prefix("192.0.2.0/30"))
+        log = TrafficLog()
+        log.record_request(pool.address_at(1), 12345)
+        dist = pool_load(log, pool, "bytes")
+        assert dist.sorted_desc[0] == 12345.0
+
+    def test_unknown_metric_rejected(self):
+        pool = AddressPool(parse_prefix("192.0.2.0/30"))
+        with pytest.raises(ValueError):
+            pool_load(TrafficLog(), pool, "sandwiches")
+
+
+class TestAndersonDarling:
+    def test_same_distribution_not_rejected(self):
+        rng = np.random.default_rng(1)
+        a = rng.normal(0, 1, 400)
+        b = rng.normal(0, 1, 400)
+        result = anderson_darling_2sample(a, b)
+        assert not result.rejects_same_population(0.001)
+
+    def test_different_distributions_rejected(self):
+        """The Figure 8 reporting shape: AD far above the 0.001 critical."""
+        rng = np.random.default_rng(2)
+        a = rng.normal(0, 1, 500)
+        b = rng.normal(3, 1, 500)
+        result = anderson_darling_2sample(a, b)
+        assert result.rejects_same_population(0.001)
+        assert "rejected" in result.report(0.001)
+
+    def test_critical_value_for_0001_matches_paper_constant(self):
+        """The paper cites ADcrit = 6.546 at α=0.001 — scipy's table."""
+        rng = np.random.default_rng(3)
+        result = anderson_darling_2sample(rng.random(100), rng.random(100))
+        assert result.critical_at(0.001) == pytest.approx(6.546, abs=0.01)
+
+    def test_unknown_level_rejected(self):
+        rng = np.random.default_rng(3)
+        result = anderson_darling_2sample(rng.random(50), rng.random(50))
+        with pytest.raises(ValueError):
+            result.critical_at(0.42)
+
+    def test_small_samples_rejected(self):
+        with pytest.raises(ValueError):
+            anderson_darling_2sample([1.0], [2.0, 3.0])
+
+
+class TestECDF:
+    def test_ecdf_shape(self):
+        x, y = ecdf([3, 1, 2])
+        assert list(x) == [1, 2, 3]
+        assert list(y) == pytest.approx([1 / 3, 2 / 3, 1.0])
+
+    def test_cdf_at(self):
+        values = [1, 2, 3, 4]
+        assert cdf_at(values, 2) == 0.5
+        assert cdf_at(values, 0) == 0.0
+        assert cdf_at([], 5) == 0.0
+
+
+class TestReporting:
+    def test_format_quantity(self):
+        assert format_quantity(1_234_567) == "1.2M"
+        assert format_quantity(999) == "999"
+        assert format_quantity(2_500) == "2.5K"
+        assert format_quantity(3.25e9) == "3.2G"
+        assert format_quantity(-1500) == "-1.5K"
+        assert format_quantity(float("nan")) == "nan"
+
+    def test_table_renders(self):
+        table = TextTable("Demo", ["col1", "column2"])
+        table.add_row("a", 123)
+        out = table.render()
+        assert "Demo" in out and "col1" in out and "123" in out
+
+    def test_table_row_width_checked(self):
+        table = TextTable("Demo", ["a"])
+        with pytest.raises(ValueError):
+            table.add_row(1, 2)
+
+    def test_table_needs_columns(self):
+        with pytest.raises(ValueError):
+            TextTable("x", [])
+
+    def test_experiment_record(self):
+        record = ExperimentRecord("E1", "Figure 7a", "spread 4-6 orders")
+        record.set("spread", 5.2)
+        record.verdict(True, "within band")
+        out = record.render()
+        assert "HOLDS" in out and "5.2" in out and "within band" in out

@@ -1,0 +1,158 @@
+"""Anycast networks: topology building, catchments, leak injection."""
+
+import random
+
+import pytest
+
+from repro.netsim import (
+    AnycastNetwork,
+    ASGraph,
+    PoP,
+    build_regional_topology,
+    diff_catchments,
+    inject_hijack,
+    inject_route_leak,
+    parse_address,
+    parse_prefix,
+)
+from repro.netsim.geo import WELL_KNOWN_CITIES
+
+PFX = parse_prefix("192.0.2.0/24")
+
+
+@pytest.fixture
+def two_region_net():
+    return build_regional_topology(
+        {"us": ["ashburn", "chicago"], "eu": ["london", "frankfurt"]},
+        clients_per_region=6,
+        rng=random.Random(3),
+    )
+
+
+class TestTopologyBuilder:
+    def test_pops_created(self, two_region_net):
+        assert set(two_region_net.pops) == {"ashburn", "chicago", "london", "frankfurt"}
+
+    def test_pop_nodes_peer_regionally_with_tier1_backstop(self, two_region_net):
+        g = two_region_net.graph
+        for pop in two_region_net.pops.values():
+            peers = g.peers(pop.node)
+            assert peers and all(str(p).startswith("transit:") for p in peers)
+            providers = g.providers(pop.node)
+            assert providers and all(str(p).startswith("t1:") for p in providers)
+
+    def test_client_locations_recorded(self, two_region_net):
+        eyeballs = [a for a in two_region_net.client_ases() if str(a).startswith("eyeball")]
+        assert len(eyeballs) == 12
+        for asn in eyeballs:
+            assert asn in two_region_net.client_locations
+
+    def test_unknown_city_rejected(self):
+        with pytest.raises(KeyError):
+            build_regional_topology({"us": ["atlantis"]})
+
+    def test_empty_regions_rejected(self):
+        with pytest.raises(ValueError):
+            build_regional_topology({})
+        with pytest.raises(ValueError):
+            build_regional_topology({"us": []})
+
+
+class TestCatchments:
+    def test_clients_land_in_their_region(self, two_region_net):
+        two_region_net.announce_from_all(PFX)
+        for asn in two_region_net.client_ases():
+            label = str(asn)
+            if not label.startswith("eyeball"):
+                continue
+            pop = two_region_net.pop_for(asn, PFX.first)
+            region = label.split(":")[1]
+            assert two_region_net.pops[pop].region == region
+
+    def test_partial_announcement_moves_catchment(self, two_region_net):
+        two_region_net.announce_from(PFX, ["london"])
+        us_client = next(a for a in two_region_net.client_ases() if str(a).startswith("eyeball:us"))
+        assert two_region_net.pop_for(us_client, PFX.first) == "london"
+
+    def test_withdraw_shifts_clients(self, two_region_net):
+        two_region_net.announce_from_all(PFX)
+        eu_client = next(a for a in two_region_net.client_ases() if str(a).startswith("eyeball:eu"))
+        before = two_region_net.pop_for(eu_client, PFX.first)
+        assert two_region_net.pops[before].region == "eu"
+        for name in ("london", "frankfurt"):
+            two_region_net.withdraw_from(PFX, name)
+        after = two_region_net.pop_for(eu_client, PFX.first)
+        assert two_region_net.pops[after].region == "us"
+
+    def test_client_rtt_is_finite_and_regional(self, two_region_net):
+        us_client = next(a for a in two_region_net.client_ases() if str(a).startswith("eyeball:us"))
+        near = two_region_net.client_rtt_ms(us_client, "ashburn")
+        far = two_region_net.client_rtt_ms(us_client, "london")
+        assert 0 < near < far
+
+    def test_rtt_requires_location(self, two_region_net):
+        with pytest.raises(KeyError):
+            two_region_net.client_rtt_ms("transit:us:0", "ashburn")
+
+    def test_duplicate_pop_names_rejected(self):
+        pop = PoP("x", "r", WELL_KNOWN_CITIES["london"])
+        with pytest.raises(ValueError):
+            AnycastNetwork(ASGraph(), [pop, pop])
+
+    def test_needs_at_least_one_pop(self):
+        with pytest.raises(ValueError):
+            AnycastNetwork(ASGraph(), [])
+
+
+class TestLeakInjection:
+    def test_leak_flips_catchments_and_heals(self, two_region_net):
+        two_region_net.announce_from_all(PFX)
+        clients = [a for a in two_region_net.client_ases() if str(a).startswith("eyeball")]
+        before = two_region_net.catchment(PFX.first, clients)
+
+        # A US transit leaking the prefix pulls far-side clients to the
+        # other region's transit cone via the leak.
+        scenario = inject_route_leak(two_region_net, "transit:us:0", PFX)
+        after = two_region_net.catchment(PFX.first, clients)
+        shifts = diff_catchments(before, after)
+        # The leak may or may not flip anyone depending on topology; healing
+        # must always restore the original state exactly.
+        scenario.heal()
+        healed = two_region_net.catchment(PFX.first, clients)
+        assert healed == before
+        assert isinstance(shifts, list)
+
+    def test_hijack_steals_clients(self, two_region_net):
+        two_region_net.announce_from(PFX, ["ashburn"])
+        clients = [a for a in two_region_net.client_ases() if str(a).startswith("eyeball")]
+        before = two_region_net.catchment(PFX.first, clients)
+        assert set(before.values()) <= {"ashburn"}
+
+        # Hijacker announces a more-specific from the EU: LPM steals all.
+        specific = parse_prefix("192.0.2.0/25")
+        inject_hijack(two_region_net, "transit:eu:0", specific)
+        stolen = 0
+        for client in clients:
+            path = two_region_net.sim.forwarding_path(client, parse_address("192.0.2.1"))
+            if path and path[-1] == "transit:eu:0":
+                stolen += 1
+        assert stolen == len(clients)  # /25 beats /24 everywhere
+
+    def test_slash_24_resists_more_specific_hijack(self, two_region_net):
+        """§4.3: /24 is the narrowest BGP-permitted IPv4 prefix, so a /24
+        deployment cannot be fully hijacked by a more-specific — equal-
+        length competition only wins where BGP prefers the hijacker."""
+        two_region_net.announce_from_all(PFX)
+        clients = [a for a in two_region_net.client_ases() if str(a).startswith("eyeball:us")]
+        inject_hijack(two_region_net, "transit:eu:1", PFX)  # same length /24
+        still_ok = sum(
+            1 for c in clients
+            if str(two_region_net.pop_for(c, PFX.first) or "") in two_region_net.pops
+        )
+        assert still_ok >= len(clients) // 2  # US cone keeps its shorter paths
+
+    def test_unknown_leaker_rejected(self, two_region_net):
+        with pytest.raises(KeyError):
+            inject_route_leak(two_region_net, "not-an-as", PFX)
+        with pytest.raises(KeyError):
+            inject_hijack(two_region_net, "not-an-as", PFX)

@@ -1,0 +1,261 @@
+"""BGP substrate: relationships, Gao–Rexford policy, LPM, leaks, hijacks."""
+
+import pytest
+
+from repro.netsim.addr import parse_address, parse_prefix
+from repro.netsim.bgp import (
+    Announcement,
+    ASGraph,
+    BGPSimulation,
+    GaoRexfordExport,
+    LeakingExport,
+    Relationship,
+    Route,
+)
+
+PFX = parse_prefix("198.51.100.0/24")
+
+
+def line_topology():
+    """customer c — transit t — customer d (t provides for both)."""
+    g = ASGraph()
+    g.add_provider("c", "t")
+    g.add_provider("d", "t")
+    return g
+
+
+class TestASGraph:
+    def test_relationship_inverse_recorded(self):
+        g = ASGraph()
+        g.add_provider("cust", "prov")
+        assert g.relationship("cust", "prov") is Relationship.PROVIDER
+        assert g.relationship("prov", "cust") is Relationship.CUSTOMER
+
+    def test_peering_symmetric(self):
+        g = ASGraph()
+        g.add_peering("a", "b")
+        assert g.relationship("a", "b") is Relationship.PEER
+        assert g.relationship("b", "a") is Relationship.PEER
+
+    def test_self_link_rejected(self):
+        g = ASGraph()
+        with pytest.raises(ValueError):
+            g.add_peering("a", "a")
+
+    def test_conflicting_relationship_rejected(self):
+        g = ASGraph()
+        g.add_provider("a", "b")
+        with pytest.raises(ValueError):
+            g.add_peering("a", "b")
+
+    def test_customer_provider_peer_lists(self):
+        g = ASGraph()
+        g.add_provider("a", "p1")
+        g.add_provider("a", "p2")
+        g.add_peering("a", "x")
+        g.add_provider("c", "a")
+        assert sorted(g.providers("a")) == ["p1", "p2"]
+        assert g.peers("a") == ["x"]
+        assert g.customers("a") == ["c"]
+
+
+class TestPropagation:
+    def test_origin_route_installed(self):
+        g = line_topology()
+        sim = BGPSimulation(g)
+        sim.announce(Announcement(PFX, "c"))
+        sim.converge()
+        route = sim.rib("c").best(PFX)
+        assert route.origin == "c" and route.as_path == ()
+
+    def test_route_reaches_sibling_customer(self):
+        g = line_topology()
+        sim = BGPSimulation(g)
+        sim.announce(Announcement(PFX, "c"))
+        sim.converge()
+        route = sim.rib("d").best(PFX)
+        assert route is not None
+        assert route.as_path == ("t", "c")
+
+    def test_valley_free_blocks_peer_to_peer_transit(self):
+        # c1 — t1 ~peer~ t2 ~peer~ t3 — c3: a route learned from peer t1
+        # must not be re-exported by t2 to its peer t3.
+        g = ASGraph()
+        g.add_provider("c1", "t1")
+        g.add_peering("t1", "t2")
+        g.add_peering("t2", "t3")
+        g.add_provider("c3", "t3")
+        sim = BGPSimulation(g)
+        sim.announce(Announcement(PFX, "c1"))
+        sim.converge()
+        assert sim.rib("t2").best(PFX) is not None   # t2 hears it from peer t1
+        assert sim.rib("t3").best(PFX) is None       # but never passes it on
+        assert sim.rib("c3").best(PFX) is None
+
+    def test_customer_route_preferred_over_peer(self):
+        # dest multihomed: t learns the prefix from its customer AND a peer.
+        g = ASGraph()
+        g.add_provider("dest", "t")     # dest is t's customer
+        g.add_peering("t", "p")
+        g.add_provider("dest2", "p")
+        sim = BGPSimulation(g)
+        # Announce from dest (customer path for t) and dest2 (peer path).
+        sim.announce(Announcement(PFX, "dest"))
+        sim.announce(Announcement(PFX, "dest2"))
+        sim.converge()
+        route = sim.rib("t").best(PFX)
+        assert route.origin == "dest"
+        assert route.learned_from is Relationship.CUSTOMER
+
+    def test_shorter_path_wins_at_equal_pref(self):
+        g = ASGraph()
+        # two provider chains to origin o: long (p1-p2-o) and short (p3-o)
+        g.add_provider("o", "p2")
+        g.add_provider("p2", "p1")
+        g.add_provider("o", "p3")
+        g.add_provider("client", "p1")
+        g.add_provider("client", "p3")
+        sim = BGPSimulation(g)
+        sim.announce(Announcement(PFX, "o"))
+        sim.converge()
+        route = sim.rib("client").best(PFX)
+        assert route.as_path == ("p3", "o")
+
+    def test_loop_prevention(self):
+        g = ASGraph()
+        g.add_peering("a", "b")
+        g.add_peering("b", "c")
+        g.add_peering("c", "a")
+        sim = BGPSimulation(g)
+        sim.announce(Announcement(PFX, "a"))
+        steps = sim.converge()
+        assert steps < 100
+        route_b = sim.rib("b").best(PFX)
+        assert "b" not in route_b.as_path
+
+    def test_withdraw_removes_routes(self):
+        g = line_topology()
+        sim = BGPSimulation(g)
+        sim.announce(Announcement(PFX, "c"))
+        sim.converge()
+        assert sim.rib("d").best(PFX) is not None
+        sim.withdraw(PFX, "c")
+        assert sim.rib("d").best(PFX) is None
+
+    def test_unknown_origin_rejected(self):
+        sim = BGPSimulation(line_topology())
+        with pytest.raises(KeyError):
+            sim.announce(Announcement(PFX, "nope"))
+
+
+class TestLPM:
+    def test_longest_prefix_wins(self):
+        g = ASGraph()
+        g.add_provider("a", "t")
+        g.add_provider("b", "t")
+        g.add_provider("client", "t")
+        sim = BGPSimulation(g)
+        covering = parse_prefix("198.51.100.0/24")
+        specific = parse_prefix("198.51.100.128/25")
+        sim.announce(Announcement(covering, "a"))
+        sim.announce(Announcement(specific, "b"))
+        sim.converge()
+        hi = sim.best_route("client", parse_address("198.51.100.200"))
+        lo = sim.best_route("client", parse_address("198.51.100.10"))
+        assert hi.origin == "b"
+        assert lo.origin == "a"
+
+    def test_no_route_returns_none(self):
+        sim = BGPSimulation(line_topology())
+        assert sim.best_route("c", parse_address("8.8.8.8")) is None
+
+    def test_forwarding_path_follows_more_specific(self):
+        g = ASGraph()
+        g.add_provider("a", "t")
+        g.add_provider("b", "t")
+        g.add_provider("client", "t")
+        sim = BGPSimulation(g)
+        sim.announce(Announcement(parse_prefix("198.51.100.0/24"), "a"))
+        sim.announce(Announcement(parse_prefix("198.51.100.0/25"), "b"))
+        sim.converge()
+        path = sim.forwarding_path("client", parse_address("198.51.100.1"))
+        assert path[-1] == "b"
+
+
+class TestLeakPolicy:
+    def leak_topology(self):
+        """Fig 9 shape: origin o, transit t1 (normal), leaker L learning via
+        peer and re-exporting to its provider t2, whose customer cone then
+        prefers the leaked (customer) route."""
+        g = ASGraph()
+        g.add_provider("o", "t1")
+        g.add_peering("t1", "L")
+        g.add_provider("L", "t2")
+        g.add_provider("victim", "t2")
+        return g
+
+    def test_no_leak_without_policy(self):
+        g = self.leak_topology()
+        sim = BGPSimulation(g)
+        sim.announce(Announcement(PFX, "o"))
+        sim.converge()
+        # t2 should not hear the prefix: L learned it from a peer.
+        assert sim.rib("t2").best(PFX) is None
+        assert sim.rib("victim").best(PFX) is None
+
+    def test_leak_pulls_traffic_through_leaker(self):
+        g = self.leak_topology()
+        sim = BGPSimulation(g)
+        sim.set_export_policy("L", LeakingExport([PFX]))
+        sim.announce(Announcement(PFX, "o"))
+        sim.converge()
+        route = sim.rib("victim").best(PFX)
+        assert route is not None
+        assert "L" in route.as_path
+
+    def test_leak_is_prefix_scoped(self):
+        other = parse_prefix("203.0.113.0/24")
+        g = self.leak_topology()
+        sim = BGPSimulation(g)
+        sim.set_export_policy("L", LeakingExport([PFX]))
+        sim.announce(Announcement(PFX, "o"))
+        sim.announce(Announcement(other, "o"))
+        sim.converge()
+        assert sim.rib("victim").best(PFX) is not None
+        assert sim.rib("victim").best(other) is None
+
+    def test_policy_reset_and_reconverge_heals(self):
+        g = self.leak_topology()
+        sim = BGPSimulation(g)
+        sim.set_export_policy("L", LeakingExport([PFX]))
+        sim.announce(Announcement(PFX, "o"))
+        sim.converge()
+        assert sim.rib("victim").best(PFX) is not None
+        sim.set_export_policy("L", None)
+        sim.reconverge_from_scratch()
+        assert sim.rib("victim").best(PFX) is None
+
+
+class TestCatchment:
+    def test_anycast_catchment_splits_by_proximity(self):
+        g = ASGraph()
+        g.add_peering("t1", "t2")
+        g.add_provider("popA", "t1")
+        g.add_provider("popB", "t2")
+        g.add_provider("cA", "t1")
+        g.add_provider("cB", "t2")
+        sim = BGPSimulation(g)
+        sim.announce(Announcement(PFX, "popA"))
+        sim.announce(Announcement(PFX, "popB"))
+        sim.converge()
+        catchment = sim.catchment(PFX.first, ["cA", "cB"])
+        assert catchment == {"cA": "popA", "cB": "popB"}
+
+    def test_catchment_none_for_unrouted(self):
+        g = ASGraph()
+        g.add_provider("c", "t")
+        g.add_as("island")
+        sim = BGPSimulation(g)
+        sim.announce(Announcement(PFX, "c"))
+        sim.converge()
+        assert sim.catchment(PFX.first, ["island"]) == {"island": None}

@@ -1,0 +1,86 @@
+"""Catchment quality: the performance face of Figure 9's leak.
+
+"Performance degrades for US clients routed to Europe, but the leak goes
+undetected" — the degradation itself is measurable as the jump in mean
+client RTT to the anycast address, and mitigation onto the (healthy)
+backup prefix restores pre-leak latency.
+"""
+
+import random
+
+import pytest
+
+from repro.netsim import build_regional_topology, inject_route_leak, parse_prefix
+from repro.netsim.routeleak import attach_multihomed_leaker
+
+POOL = parse_prefix("192.0.2.0/24")
+BACKUP = parse_prefix("203.0.113.0/24")
+
+
+@pytest.fixture
+def network():
+    net = build_regional_topology(
+        {"us": ["ashburn"], "eu": ["london"]},
+        clients_per_region=8,
+        rng=random.Random(12),
+    )
+    net.announce_from_all(POOL)
+    net.announce_from_all(BACKUP)
+    return net
+
+
+def us_clients(network):
+    return [a for a in network.client_ases() if str(a).startswith("eyeball:us")]
+
+
+class TestRttAccessors:
+    def test_rtt_to_routed_address(self, network):
+        client = us_clients(network)[0]
+        rtt = network.rtt_to(client, POOL.first)
+        assert rtt is not None and rtt > 0
+
+    def test_rtt_to_unrouted_address(self, network):
+        client = us_clients(network)[0]
+        assert network.rtt_to(client, parse_prefix("198.18.99.0/24").first) is None
+
+    def test_rtt_none_for_unlocated(self, network):
+        assert network.rtt_to("transit:us:0", POOL.first) is None
+
+    def test_mean_requires_clients(self, network):
+        with pytest.raises(ValueError):
+            network.mean_rtt_ms(parse_prefix("198.18.99.0/24").first)
+
+
+class TestLeakDegradesPerformance:
+    def test_leak_raises_us_client_rtt(self, network):
+        clients = us_clients(network)
+        before = network.mean_rtt_ms(POOL.first, clients)
+        attach_multihomed_leaker(network, "leaker", "transit:eu:0", "transit:us:0")
+        inject_route_leak(network, "leaker", POOL)
+        after = network.mean_rtt_ms(POOL.first, clients)
+        # Some US clients are now hauled across the Atlantic.
+        assert after > before * 1.5
+
+    def test_backup_prefix_unaffected_by_leak(self, network):
+        clients = us_clients(network)
+        baseline_backup = network.mean_rtt_ms(BACKUP.first, clients)
+        attach_multihomed_leaker(network, "leaker", "transit:eu:0", "transit:us:0")
+        inject_route_leak(network, "leaker", POOL)
+        # The leak is prefix-scoped; the mitigation target stays healthy —
+        # which is exactly why "keep the policy, change the prefix" restores
+        # pre-leak performance for rebound clients.
+        assert network.mean_rtt_ms(BACKUP.first, clients) == pytest.approx(
+            baseline_backup
+        )
+        assert network.mean_rtt_ms(BACKUP.first, clients) < network.mean_rtt_ms(
+            POOL.first, clients
+        )
+
+    def test_heal_restores_rtt(self, network):
+        clients = us_clients(network)
+        before = network.mean_rtt_ms(POOL.first, clients)
+        attach_multihomed_leaker(network, "leaker", "transit:eu:0", "transit:us:0")
+        scenario = inject_route_leak(network, "leaker", POOL)
+        assert network.mean_rtt_ms(POOL.first, clients) > before
+        scenario.heal()
+        assert network.mean_rtt_ms(POOL.first, clients) == pytest.approx(before)

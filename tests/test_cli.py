@@ -1,0 +1,91 @@
+"""CLI: every subcommand parses, runs at small scale, and prints a table."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_all_subcommands_parse(self):
+        parser = build_parser()
+        for argv in (
+            ["fig7", "--sites", "100", "--requests", "500"],
+            ["fig8", "--sessions", "5"],
+            ["fig9", "--ttl", "10"],
+            ["dos", "--n", "50", "--k", "4"],
+            ["reduction"],
+            ["ttl"],
+            ["spillover", "--clients", "4"],
+            ["coloring"],
+            ["dnsload", "--sessions", "5"],
+            ["scaling"],
+            ["list"],
+        ):
+            args = parser.parse_args(argv)
+            assert args.command == argv[0]
+
+    def test_missing_command_errors(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_bad_attack_choice(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["dos", "--attack", "psychological"])
+
+
+class TestExecution:
+    def run(self, argv, capsys) -> str:
+        assert main(argv) == 0
+        return capsys.readouterr().out
+
+    def test_list(self, capsys):
+        out = self.run(["list"], capsys)
+        assert "fig7" in out and "coloring" in out
+
+    def test_reduction(self, capsys):
+        out = self.run(["reduction", "--hostnames", "1000"], capsys)
+        assert "94.4%" in out and "99.7%" in out
+
+    def test_scaling(self, capsys):
+        out = self.run(["scaling"], capsys)
+        assert "/20" in out and "sk_lookup" in out
+
+    def test_fig7_small(self, capsys):
+        out = self.run(["fig7", "--sites", "60", "--requests", "400"], capsys)
+        assert "7a" in out and "one" in out
+
+    def test_fig9_small(self, capsys):
+        out = self.run(["fig9", "--ttl", "10"], capsys)
+        assert "leak detected" in out
+
+    def test_dos_small(self, capsys):
+        out = self.run(["dos", "--n", "40", "--k", "4"], capsys)
+        assert "L7" in out
+
+    def test_ttl(self, capsys):
+        out = self.run(["ttl", "--ttl", "10"], capsys)
+        assert "honest" in out
+
+
+class TestExecutionSlowPaths:
+    """The remaining subcommands, at minimum scale."""
+
+    def run(self, argv, capsys) -> str:
+        assert main(argv) == 0
+        return capsys.readouterr().out
+
+    def test_fig8_small(self, capsys):
+        out = self.run(["fig8", "--sessions", "20", "--sites", "60"], capsys)
+        assert "one-ip" in out and "rest-of-world" in out
+
+    def test_spillover_small(self, capsys):
+        out = self.run(["spillover", "--clients", "6"], capsys)
+        assert "IPv4" in out and "IPv6" in out
+
+    def test_dnsload_small(self, capsys):
+        out = self.run(["dnsload", "--sessions", "8"], capsys)
+        assert "queries/request" in out
+
+    def test_coloring(self, capsys):
+        out = self.run(["coloring"], capsys)
+        assert "prefixes (colours)" in out

@@ -1,0 +1,162 @@
+"""Browser client behaviour against a controllable fake edge."""
+
+import pytest
+
+from repro.clock import Clock
+from repro.dns.records import A, RRType
+from repro.dns.resolver import RecursiveResolver, ResolveError
+from repro.dns.server import AuthoritativeServer, QueryContext, ZoneAnswerSource
+from repro.dns.stub import StubResolver
+from repro.dns.zone import RRSelection, Zone
+from repro.netsim.addr import IPAddress, parse_address
+from repro.web.client import BrowserClient
+from repro.web.http import Connection, HTTPVersion, Request, Response, Status
+from repro.web.tls import Certificate, ClientHello
+
+
+class FakeEdge:
+    """An EdgeTransport that accepts everything and logs calls."""
+
+    def __init__(self, cert: Certificate):
+        self.cert = cert
+        self.handshakes: list[IPAddress] = []
+        self.requests: list[Request] = []
+
+    def handshake(self, client_name, dst, port, hello: ClientHello, version):
+        self.handshakes.append(dst)
+        return Connection(
+            version=version, remote_addr=dst, remote_port=port,
+            certificate=self.cert, sni=hello.sni,
+        )
+
+    def serve(self, connection, request):
+        self.requests.append(request)
+        return Response(Status.OK, body_len=42, served_by="fake")
+
+
+def make_stub(clock, hostnames_to_addrs: dict[str, list[str]], ttl=300):
+    zone = Zone("example.com", selection=RRSelection.ALL)
+    for hostname, addrs in hostnames_to_addrs.items():
+        for addr in addrs:
+            zone.add_address(hostname, A(parse_address(addr)), ttl=ttl)
+    server = AuthoritativeServer(ZoneAnswerSource([zone]))
+    recursive = RecursiveResolver(
+        "r", clock, transport=lambda w: server.handle_wire(w, QueryContext(pop="p"))
+    )
+    return StubResolver("s", clock, recursive)
+
+
+SHARED_CERT = Certificate("a.example.com", ("b.example.com", "c.example.com"))
+
+
+class TestFetch:
+    def test_first_fetch_dials(self):
+        clock = Clock()
+        stub = make_stub(clock, {"a.example.com": ["192.0.2.1"]})
+        edge = FakeEdge(SHARED_CERT)
+        client = BrowserClient("c", stub, edge)
+        outcome = client.fetch("a.example.com")
+        assert outcome.response.status is Status.OK
+        assert not outcome.coalesced
+        assert edge.handshakes == [parse_address("192.0.2.1")]
+
+    def test_h2_coalesces_on_same_address(self):
+        clock = Clock()
+        stub = make_stub(clock, {
+            "a.example.com": ["192.0.2.1"],
+            "b.example.com": ["192.0.2.1"],
+        })
+        edge = FakeEdge(SHARED_CERT)
+        client = BrowserClient("c", stub, edge, version=HTTPVersion.H2)
+        client.fetch("a.example.com")
+        outcome = client.fetch("b.example.com")
+        assert outcome.coalesced
+        assert client.stats.connections_opened == 1
+        assert client.stats.coalesced_requests == 1
+
+    def test_h2_does_not_coalesce_on_different_address(self):
+        clock = Clock()
+        stub = make_stub(clock, {
+            "a.example.com": ["192.0.2.1"],
+            "b.example.com": ["192.0.2.2"],
+        })
+        edge = FakeEdge(SHARED_CERT)
+        client = BrowserClient("c", stub, edge)
+        client.fetch("a.example.com")
+        outcome = client.fetch("b.example.com")
+        assert not outcome.coalesced
+        assert client.stats.connections_opened == 2
+
+    def test_h2_does_not_coalesce_outside_cert(self):
+        clock = Clock()
+        stub = make_stub(clock, {
+            "a.example.com": ["192.0.2.1"],
+            "z.example.com": ["192.0.2.1"],
+        })
+        edge = FakeEdge(SHARED_CERT)  # cert covers a, b, c — not z
+        client = BrowserClient("c", stub, edge)
+        client.fetch("a.example.com")
+        outcome = client.fetch("z.example.com")
+        assert not outcome.coalesced
+
+    def test_h3_coalesces_across_addresses(self):
+        clock = Clock()
+        stub = make_stub(clock, {
+            "a.example.com": ["192.0.2.1"],
+            "b.example.com": ["192.0.2.77"],
+        })
+        edge = FakeEdge(SHARED_CERT)
+        client = BrowserClient("c", stub, edge, version=HTTPVersion.H3)
+        client.fetch("a.example.com")
+        outcome = client.fetch("b.example.com")
+        assert outcome.coalesced
+        # h3 coalescing needs no DNS answer at all for the new authority.
+        assert client.stats.connections_opened == 1
+
+    def test_h1_reuses_same_authority_only(self):
+        clock = Clock()
+        stub = make_stub(clock, {
+            "a.example.com": ["192.0.2.1"],
+            "b.example.com": ["192.0.2.1"],
+        })
+        edge = FakeEdge(SHARED_CERT)
+        client = BrowserClient("c", stub, edge, version=HTTPVersion.H1)
+        client.fetch("a.example.com")
+        client.fetch("a.example.com")
+        client.fetch("b.example.com")
+        assert client.stats.connections_opened == 2
+        assert client.stats.coalesced_requests == 0
+
+    def test_pool_cap_evicts_least_used(self):
+        clock = Clock()
+        mapping = {f"h{i}.example.com": [f"192.0.2.{i + 1}"] for i in range(5)}
+        stub = make_stub(clock, mapping)
+        cert = Certificate("h0.example.com", tuple(mapping)[1:])
+        edge = FakeEdge(cert)
+        client = BrowserClient("c", stub, edge, max_connections=3)
+        for hostname in mapping:
+            client.fetch(hostname)
+        assert len(client.open_connections()) <= 3
+
+    def test_close_all(self):
+        clock = Clock()
+        stub = make_stub(clock, {"a.example.com": ["192.0.2.1"]})
+        client = BrowserClient("c", stub, FakeEdge(SHARED_CERT))
+        client.fetch("a.example.com")
+        client.close_all()
+        assert client.open_connections() == []
+
+    def test_nxdomain_propagates(self):
+        clock = Clock()
+        stub = make_stub(clock, {"a.example.com": ["192.0.2.1"]})
+        client = BrowserClient("c", stub, FakeEdge(SHARED_CERT))
+        with pytest.raises(ResolveError):
+            client.fetch("missing.example.com")
+
+    def test_dns_lookup_counting(self):
+        clock = Clock()
+        stub = make_stub(clock, {"a.example.com": ["192.0.2.1"]}, ttl=300)
+        client = BrowserClient("c", stub, FakeEdge(SHARED_CERT))
+        client.fetch("a.example.com")
+        client.fetch("a.example.com")
+        assert client.stats.dns_lookups == 1  # second resolution from stub cache

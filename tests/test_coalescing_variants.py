@@ -1,0 +1,69 @@
+"""Footnote-5 ablation: browsers disagree on the coalescing IP check.
+
+"Not all browsers implement this check the same" (§4.4 fn.5).  The client
+model's ``ip_match`` knob covers the spectrum: ``exact`` (the strict
+reading of RFC 7540 §9.1.1), and ``none`` (no IP condition — effectively
+the h3 rule applied to h2).  Under per-query random addressing, the strict
+browser loses nearly all coalescing while the lax one keeps it — meaning
+the size of Figure 8's effect depends on the browser population, exactly
+why the paper calls its coalescing evidence "preliminary".
+"""
+
+import random
+
+import pytest
+
+from repro.clock import Clock
+from repro.dns.resolver import ResolveError
+from repro.web.http import HTTPVersion
+
+from conftest import POOL_PREFIX, make_client, make_policy_cdn
+
+
+def browse(client, hostnames, pages=12):
+    rng = random.Random(99)
+    for _ in range(pages):
+        hostname = rng.choice(hostnames)
+        try:
+            client.fetch(hostname)
+        except (ResolveError, ConnectionRefusedError):  # pragma: no cover
+            pass
+    conns = client.stats.connections_opened
+    return client.stats.fetches / conns if conns else 0.0
+
+
+class TestBrowserVariants:
+    def test_strict_browser_loses_coalescing_under_randomization(self, clock):
+        cdn, hostnames, *_ = make_policy_cdn(clock, ttl=300)
+        # Restrict to one customer's hostnames so the cert always covers.
+        customer = cdn.registry.customers()[0]
+        names = sorted(customer.hostnames)
+        strict = make_client(cdn, clock, "eyeball:us:0", name="strict",
+                             version=HTTPVersion.H2)
+        strict.ip_match = "exact"
+        rpc_strict = browse(strict, names)
+
+        lax = make_client(cdn, clock, "eyeball:us:1", name="lax",
+                          version=HTTPVersion.H2)
+        lax.ip_match = "none"
+        rpc_lax = browse(lax, names)
+
+        assert rpc_lax > 1.5 * rpc_strict
+        assert lax.stats.connections_opened < strict.stats.connections_opened
+
+    def test_variants_equal_under_one_address(self, clock):
+        """One-address collapses the browser differences: every variant
+        passes the IP condition trivially (§5.1's amplification claim)."""
+        cdn, hostnames, engine, pool = make_policy_cdn(clock, ttl=300)
+        pool.set_active((POOL_PREFIX.address_at(1),))  # one-address via list
+        customer = cdn.registry.customers()[0]
+        names = sorted(customer.hostnames)
+
+        results = {}
+        for variant, asn in (("exact", "eyeball:us:0"), ("none", "eyeball:us:1")):
+            client = make_client(cdn, clock, asn, name=f"v-{variant}",
+                                 version=HTTPVersion.H2)
+            client.ip_match = variant
+            results[variant] = browse(client, names)
+        assert results["exact"] == pytest.approx(results["none"])
+        assert results["exact"] > 5  # everything coalesces onto one conn

@@ -1,0 +1,116 @@
+"""Address pools: advertised vs active sets, the §4.2 timetable."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.pool import AddressPool, PoolError
+from repro.netsim.addr import IPAddress, parse_address, parse_prefix
+
+SLASH20 = parse_prefix("192.0.0.0/20")
+SLASH24 = parse_prefix("192.0.2.0/24")
+SLASH32 = parse_prefix("192.0.2.1/32")
+
+
+class TestActiveSets:
+    def test_defaults_to_full_advertisement(self):
+        pool = AddressPool(SLASH20)
+        assert pool.size == 4096
+        assert pool.active_prefix == SLASH20
+
+    def test_timetable_shrink_20_24_32(self):
+        """The deployment's §4.2 timetable as three control-plane ops."""
+        pool = AddressPool(SLASH20)
+        pool.set_active(SLASH24)
+        assert pool.size == 256
+        pool.set_active(SLASH32)
+        assert pool.size == 1
+        rng = random.Random(0)
+        assert pool.random_address(rng) == SLASH32.first
+
+    def test_generation_bumps_on_change(self):
+        pool = AddressPool(SLASH20)
+        g0 = pool.generation
+        pool.set_active(SLASH24)
+        assert pool.generation == g0 + 1
+
+    def test_active_outside_advertisement_rejected(self):
+        pool = AddressPool(SLASH24)
+        with pytest.raises(PoolError):
+            pool.set_active(parse_prefix("10.0.0.0/26"))
+
+    def test_explicit_address_list(self):
+        addrs = (parse_address("192.0.2.7"), parse_address("192.0.2.9"))
+        pool = AddressPool(SLASH24, active=addrs)
+        assert pool.size == 2
+        assert pool.contains(addrs[0]) and not pool.contains(parse_address("192.0.2.8"))
+        assert pool.address_at(1) == addrs[1]
+
+    def test_empty_address_list_rejected(self):
+        with pytest.raises(PoolError):
+            AddressPool(SLASH24, active=())
+
+    def test_address_list_outside_advertisement_rejected(self):
+        with pytest.raises(PoolError):
+            AddressPool(SLASH24, active=(parse_address("10.0.0.1"),))
+
+    def test_reachability_spans_advertisement(self):
+        """Shrinking the active set never shrinks reachability: the /20 is
+        still routed and listened on even when DNS only hands out the /32."""
+        pool = AddressPool(SLASH20, active=SLASH32)
+        assert pool.reachable(parse_address("192.0.15.255"))
+        assert not pool.contains(parse_address("192.0.15.255"))
+
+
+class TestSelectionPrimitives:
+    def test_random_address_in_active_set(self):
+        pool = AddressPool(SLASH20, active=SLASH24)
+        rng = random.Random(1)
+        for _ in range(200):
+            a = pool.random_address(rng)
+            assert a in SLASH24
+
+    def test_address_at_bounds(self):
+        pool = AddressPool(SLASH24)
+        assert pool.address_at(0) == SLASH24.first
+        assert pool.address_at(255) == SLASH24.last
+        with pytest.raises(IndexError):
+            pool.address_at(256)
+
+    def test_list_pool_index(self):
+        addrs = tuple(parse_address(f"192.0.2.{i}") for i in (3, 5, 9))
+        pool = AddressPool(SLASH24, active=addrs)
+        with pytest.raises(IndexError):
+            pool.address_at(3)
+
+
+class TestReduction:
+    def test_paper_reduction_numbers(self):
+        """§4.2: '94.4 % for the /20, and 99.7 % for the /24' versus the
+        18 /20s used by the rest of the network."""
+        baseline = 18 * 4096
+        slash20 = AddressPool(SLASH20)
+        slash24 = AddressPool(SLASH20, active=SLASH24)
+        slash32 = AddressPool(SLASH20, active=SLASH32)
+        assert round(slash20.reduction_versus(baseline) * 100, 1) == 94.4
+        assert round(slash24.reduction_versus(baseline) * 100, 1) == 99.7
+        assert slash32.reduction_versus(baseline) > 0.9999
+
+    def test_reduction_requires_positive_baseline(self):
+        with pytest.raises(ValueError):
+            AddressPool(SLASH24).reduction_versus(0)
+
+
+@settings(max_examples=100)
+@given(length=st.integers(min_value=20, max_value=32), seed=st.integers(0, 1 << 16))
+def test_property_active_subprefix_always_selectable(length, seed):
+    pool = AddressPool(SLASH20)
+    sub = parse_prefix(f"192.0.0.0/{length}")
+    pool.set_active(sub)
+    rng = random.Random(seed)
+    address = pool.random_address(rng)
+    assert pool.contains(address)
+    assert pool.reachable(address)
+    assert address in SLASH20

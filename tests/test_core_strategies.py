@@ -1,0 +1,151 @@
+"""Selection strategies: random i.i.d., static baselines, per-PoP, mapped."""
+
+import random
+
+import pytest
+
+from repro.core.pool import AddressPool
+from repro.core.strategies import (
+    HashedAssignment,
+    MappedAssignment,
+    PerPopAssignment,
+    RandomSelection,
+    SelectionContext,
+    StaticAssignment,
+)
+from repro.netsim.addr import parse_address, parse_prefix
+
+POOL = AddressPool(parse_prefix("192.0.2.0/24"))
+
+
+def ctx(hostname="h.example.com", pop="lhr"):
+    return SelectionContext(hostname=hostname, pop=pop)
+
+
+class TestRandomSelection:
+    def test_ignores_hostname(self):
+        """§3.2: responses for (hᵢ,hⱼ,hₖ) and (hᵢ,hᵢ,hᵢ) are equivalent —
+        identical RNG state yields identical draws regardless of name."""
+        strategy = RandomSelection()
+        seq_same = [strategy.select(POOL, ctx("a.com"), random.Random(5)) for _ in range(3)]
+        seq_mixed = [
+            strategy.select(POOL, ctx(h), random.Random(5))
+            for h in ("a.com", "b.com", "c.com")
+        ]
+        assert seq_same == seq_mixed
+
+    def test_covers_pool(self):
+        strategy = RandomSelection()
+        rng = random.Random(7)
+        seen = {strategy.select(POOL, ctx(), rng) for _ in range(3000)}
+        assert len(seen) > 250  # nearly all 256 addresses observed
+
+
+class TestHashedAssignment:
+    def test_deterministic_and_case_insensitive(self):
+        strategy = HashedAssignment()
+        rng = random.Random(0)
+        a = strategy.select(POOL, ctx("Site.Example.COM"), rng)
+        b = strategy.select(POOL, ctx("site.example.com."), rng)
+        assert a == b
+
+    def test_same_across_pops(self):
+        """A config-generated zone binds identically everywhere."""
+        strategy = HashedAssignment()
+        rng = random.Random(0)
+        assert strategy.select(POOL, ctx(pop="lhr"), rng) == strategy.select(
+            POOL, ctx(pop="iad"), rng
+        )
+
+    def test_spreads_hostnames(self):
+        strategy = HashedAssignment()
+        rng = random.Random(0)
+        addrs = {
+            strategy.select(POOL, ctx(f"site{i}.example.com"), rng) for i in range(2000)
+        }
+        assert len(addrs) > 200
+
+
+class TestStaticAssignment:
+    def test_sticky_first_come_first_packed(self):
+        strategy = StaticAssignment(per_address=2)
+        rng = random.Random(0)
+        a0 = strategy.select(POOL, ctx("h0.com"), rng)
+        a1 = strategy.select(POOL, ctx("h1.com"), rng)
+        a2 = strategy.select(POOL, ctx("h2.com"), rng)
+        assert a0 == a1 != a2  # two hostnames per address
+        assert strategy.select(POOL, ctx("h0.com"), rng) == a0  # sticky
+        assert strategy.assignment_count() == 3
+
+    def test_wraps_pool(self):
+        strategy = StaticAssignment(per_address=1)
+        rng = random.Random(0)
+        for i in range(300):
+            strategy.select(POOL, ctx(f"h{i}.com"), rng)
+        a = strategy.select(POOL, ctx("h0.com"), rng)
+        assert a == POOL.address_at(0)
+
+    def test_per_address_positive(self):
+        with pytest.raises(ValueError):
+            StaticAssignment(per_address=0)
+
+
+class TestPerPopAssignment:
+    def test_each_pop_gets_unique_address(self):
+        pops = ["iad", "ord", "lhr", "fra"]
+        strategy = PerPopAssignment(pops)
+        rng = random.Random(0)
+        addrs = {pop: strategy.select(POOL, ctx(pop=pop), rng) for pop in pops}
+        assert len(set(addrs.values())) == 4
+        assert addrs["iad"] == POOL.address_at(0)
+        assert addrs["fra"] == POOL.address_at(3)
+
+    def test_expected_pop_inversion(self):
+        pops = ["iad", "ord"]
+        strategy = PerPopAssignment(pops)
+        assert strategy.expected_pop(POOL, POOL.address_at(0)) == "iad"
+        assert strategy.expected_pop(POOL, POOL.address_at(1)) == "ord"
+        assert strategy.expected_pop(POOL, POOL.address_at(99)) is None
+
+    def test_unknown_pop_gets_overflow_slot(self):
+        strategy = PerPopAssignment(["iad"])
+        rng = random.Random(0)
+        a = strategy.select(POOL, ctx(pop="mystery"), rng)
+        assert a != POOL.address_at(0)
+        assert a == strategy.select(POOL, ctx(pop="mystery"), rng)  # stable
+
+    def test_duplicate_pops_rejected(self):
+        with pytest.raises(ValueError):
+            PerPopAssignment(["iad", "iad"])
+
+
+class TestMappedAssignment:
+    def test_explicit_mapping_wins(self):
+        strategy = MappedAssignment()
+        target = POOL.address_at(42)
+        strategy.assign("pinned.example.com", target)
+        rng = random.Random(0)
+        assert strategy.select(POOL, ctx("pinned.example.com"), rng) == target
+        assert strategy.address_of("PINNED.example.com.") == target
+
+    def test_unmapped_falls_back_to_random(self):
+        strategy = MappedAssignment()
+        rng = random.Random(3)
+        addrs = {strategy.select(POOL, ctx(f"h{i}.com"), rng) for i in range(100)}
+        assert len(addrs) > 60
+
+    def test_assign_many_and_clear(self):
+        strategy = MappedAssignment()
+        target = POOL.address_at(7)
+        strategy.assign_many(["a.com", "b.com"], target)
+        assert strategy.mapped_count() == 2
+        strategy.clear()
+        assert strategy.mapped_count() == 0
+        assert strategy.address_of("a.com") is None
+
+    def test_custom_fallback(self):
+        strategy = MappedAssignment(fallback=HashedAssignment())
+        rng = random.Random(0)
+        a = strategy.select(POOL, ctx("x.com"), rng)
+        b = strategy.select(POOL, ctx("x.com"), rng)
+        assert a == b  # hashed fallback is deterministic

@@ -1,0 +1,99 @@
+"""The Deployment builder: assembly, manoeuvres, spec-driven policies."""
+
+import pytest
+
+from repro.deploy import Deployment, DeploymentConfig
+from repro.edge.server import ListenMode
+from repro.netsim.addr import parse_prefix
+from repro.web.http import Status
+
+
+@pytest.fixture(scope="module")
+def deployment():
+    return Deployment.build(DeploymentConfig(num_hostnames=40, clients_per_region=3))
+
+
+class TestBuild:
+    def test_end_to_end_fetch(self, deployment):
+        client = deployment.new_client("eyeball:us:0")
+        outcome = client.fetch(deployment.universe.site(0))
+        assert outcome.response.status is Status.OK
+        assert outcome.connection.remote_addr in parse_prefix("192.0.0.0/20")
+
+    def test_pops_match_regions(self, deployment):
+        assert set(deployment.cdn.pop_names()) == {"ashburn", "london"}
+
+    def test_backup_announced_and_listening(self, deployment):
+        backup = parse_prefix("203.0.113.0/24")
+        assert deployment.network.pop_for("eyeball:us:0", backup.first) is not None
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            DeploymentConfig(listen_mode="carrier-pigeon")
+        with pytest.raises(ValueError):
+            DeploymentConfig(regions={})
+
+
+class TestManoeuvres:
+    def test_shrink_active(self):
+        deployment = Deployment.build(DeploymentConfig(num_hostnames=20))
+        op = deployment.shrink_active("192.0.2.1/32")
+        assert deployment.pool.size == 1
+        client = deployment.new_client("eyeball:us:0")
+        outcome = client.fetch(deployment.universe.site(0))
+        assert str(outcome.connection.remote_addr) == "192.0.2.1"
+        assert op.propagation_horizon == deployment.clock.now() + 30
+
+    def test_failover_to_backup(self):
+        deployment = Deployment.build(DeploymentConfig(num_hostnames=20))
+        deployment.failover_to_backup()
+        client = deployment.new_client("eyeball:eu:0")
+        outcome = client.fetch(deployment.universe.site(1))
+        assert outcome.connection.remote_addr in parse_prefix("203.0.113.0/24")
+
+    def test_failover_requires_backup(self):
+        deployment = Deployment.build(DeploymentConfig(num_hostnames=10, backup=None))
+        with pytest.raises(RuntimeError):
+            deployment.failover_to_backup()
+
+    def test_mismatched_resolver_client(self):
+        deployment = Deployment.build(DeploymentConfig(num_hostnames=20))
+        client = deployment.new_client("eyeball:eu:0", resolver_asn="eyeball:us:0")
+        client.fetch(deployment.universe.site(0))
+        # DNS went to ashburn; packets landed at london.
+        assert deployment.cdn.datacenters["ashburn"].dns.stats.queries >= 1
+        assert deployment.cdn.datacenters["london"].traffic.total_requests() == 1
+
+
+class TestSpecDriven:
+    def test_from_specs(self):
+        specs = [
+            {
+                "name": "enterprise-fast",
+                "pool": {"advertised": "192.0.0.0/20", "active": "192.0.2.0/24"},
+                "match": {"account_type": ["enterprise"]},
+                "ttl": 10,
+                "priority": 10,
+            },
+            {
+                "name": "everyone-else",
+                "pool": {"advertised": "192.0.0.0/20"},
+                "match": {},
+                "ttl": 60,
+                "priority": 100,
+            },
+        ]
+        deployment = Deployment.from_specs(specs, DeploymentConfig(num_hostnames=30))
+        assert len(deployment.engine) == 2
+        client = deployment.new_client("eyeball:us:1")
+        assert client.fetch(deployment.universe.site(2)).response.status is Status.OK
+
+    def test_bad_specs_rejected_before_serving(self):
+        from repro.core.spec import PolicySpecError
+        bad = [{
+            "name": "escapes",
+            "pool": {"advertised": "10.99.0.0/24"},  # not announced
+            "match": {},
+        }]
+        with pytest.raises(PolicySpecError):
+            Deployment.from_specs(bad, DeploymentConfig(num_hostnames=10))

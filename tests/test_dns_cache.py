@@ -1,0 +1,170 @@
+"""DNS cache: TTL expiry, clamping policies, negative entries, eviction."""
+
+import pytest
+
+from repro.clock import Clock
+from repro.dns.cache import DNSCache, TTLPolicy
+from repro.dns.records import A, DomainName, Question, ResourceRecord, RRType
+from repro.netsim.addr import parse_address
+
+
+def question(text="www.example.com"):
+    return Question(DomainName.from_text(text), RRType.A)
+
+
+def record(text="www.example.com", addr="192.0.2.1", ttl=60):
+    return ResourceRecord(DomainName.from_text(text), A(parse_address(addr)), ttl)
+
+
+class TestTTLPolicy:
+    def test_honest_passes_through(self):
+        assert TTLPolicy.honest().effective_ttl(17) == 17
+
+    def test_clamping_raises_small_ttls(self):
+        policy = TTLPolicy.clamping(300)
+        assert policy.effective_ttl(5) == 300
+        assert policy.effective_ttl(900) == 900
+
+    def test_cap_lowers_large_ttls(self):
+        policy = TTLPolicy(clamp_max=3600)
+        assert policy.effective_ttl(86400) == 3600
+
+    def test_override_ignores_record_ttl(self):
+        policy = TTLPolicy(honour=False, override=42)
+        assert policy.effective_ttl(1) == 42
+        assert policy.effective_ttl(10_000) == 42
+
+    def test_invalid_policies_rejected(self):
+        with pytest.raises(ValueError):
+            TTLPolicy(clamp_min=100, clamp_max=10)
+        with pytest.raises(ValueError):
+            TTLPolicy(honour=False, override=0)
+        with pytest.raises(ValueError):
+            TTLPolicy(clamp_min=-1)
+
+
+class TestCacheBasics:
+    def test_miss_then_hit(self):
+        clock = Clock()
+        cache = DNSCache(clock)
+        assert cache.get(question()) is None
+        cache.store(question(), [record(ttl=60)])
+        hit = cache.get(question())
+        assert hit is not None and len(hit) == 1
+        assert cache.stats.hits == 1 and cache.stats.misses == 1
+
+    def test_expiry_at_ttl(self):
+        clock = Clock()
+        cache = DNSCache(clock)
+        cache.store(question(), [record(ttl=60)])
+        clock.advance(59)
+        assert cache.get(question()) is not None
+        clock.advance(2)
+        assert cache.get(question()) is None
+        assert cache.stats.expirations == 1
+
+    def test_remaining_ttl_decrements(self):
+        clock = Clock()
+        cache = DNSCache(clock)
+        cache.store(question(), [record(ttl=60)])
+        clock.advance(25)
+        hit = cache.get(question())
+        assert hit[0].ttl == 35
+
+    def test_ttl_zero_not_cached(self):
+        cache = DNSCache(Clock())
+        cache.store(question(), [record(ttl=0)])
+        assert cache.get(question()) is None
+
+    def test_min_ttl_of_rrset_governs(self):
+        clock = Clock()
+        cache = DNSCache(clock)
+        cache.store(question(), [record(ttl=60), record(addr="192.0.2.2", ttl=10)])
+        clock.advance(11)
+        assert cache.get(question()) is None
+
+    def test_empty_store_is_noop(self):
+        cache = DNSCache(Clock())
+        cache.store(question(), [])
+        assert cache.stats.insertions == 0
+
+    def test_clamping_policy_stretches_binding(self):
+        """§4.4: a TTL-violating resolver holds a binding past its TTL."""
+        clock = Clock()
+        cache = DNSCache(clock, TTLPolicy.clamping(300))
+        cache.store(question(), [record(ttl=30)])
+        clock.advance(100)
+        assert cache.get(question()) is not None  # honest cache would miss
+        clock.advance(250)
+        assert cache.get(question()) is None
+
+
+class TestNegativeCache:
+    def test_nxdomain_entry(self):
+        clock = Clock()
+        cache = DNSCache(clock)
+        cache.store_negative(question(), soa_minimum=60, nxdomain=True)
+        records, nxdomain = cache.lookup(question())
+        assert records == () and nxdomain
+
+    def test_nodata_entry_distinct_from_nxdomain(self):
+        cache = DNSCache(Clock())
+        cache.store_negative(question(), soa_minimum=60, nxdomain=False)
+        records, nxdomain = cache.lookup(question())
+        assert records == () and not nxdomain
+
+    def test_negative_expires(self):
+        clock = Clock()
+        cache = DNSCache(clock)
+        cache.store_negative(question(), soa_minimum=30)
+        clock.advance(31)
+        assert cache.lookup(question()) is None
+
+
+class TestFlushAndEvict:
+    def test_flush_all(self):
+        cache = DNSCache(Clock())
+        cache.store(question("a.example.com"), [record("a.example.com")])
+        cache.store(question("b.example.com"), [record("b.example.com")])
+        assert cache.flush() == 2
+        assert len(cache) == 0
+
+    def test_flush_subtree(self):
+        cache = DNSCache(Clock())
+        cache.store(question("a.x.example.com"), [record("a.x.example.com")])
+        cache.store(question("b.example.com"), [record("b.example.com")])
+        flushed = cache.flush(DomainName.from_text("x.example.com"))
+        assert flushed == 1
+        assert cache.get(question("b.example.com")) is not None
+
+    def test_capacity_eviction_prefers_expired(self):
+        clock = Clock()
+        cache = DNSCache(clock, capacity=2)
+        cache.store(question("a.example.com"), [record("a.example.com", ttl=5)])
+        cache.store(question("b.example.com"), [record("b.example.com", ttl=500)])
+        clock.advance(10)  # 'a' expired
+        cache.store(question("c.example.com"), [record("c.example.com", ttl=500)])
+        assert cache.get(question("b.example.com")) is not None
+        assert cache.get(question("c.example.com")) is not None
+
+    def test_capacity_eviction_soonest_expiry_fallback(self):
+        clock = Clock()
+        cache = DNSCache(clock, capacity=2)
+        cache.store(question("a.example.com"), [record("a.example.com", ttl=100)])
+        cache.store(question("b.example.com"), [record("b.example.com", ttl=900)])
+        cache.store(question("c.example.com"), [record("c.example.com", ttl=900)])
+        assert cache.get(question("a.example.com")) is None  # evicted
+        assert cache.get(question("b.example.com")) is not None
+
+    def test_expire_all_due(self):
+        clock = Clock()
+        cache = DNSCache(clock)
+        cache.store(question("a.example.com"), [record("a.example.com", ttl=10)])
+        cache.store(question("b.example.com"), [record("b.example.com", ttl=100)])
+        clock.advance(50)
+        assert cache.expire_all_due() == 1
+        assert len(cache) == 1
+
+    def test_capacity_must_be_positive(self):
+        with pytest.raises(ValueError):
+            DNSCache(Clock(), capacity=0)

@@ -1,0 +1,153 @@
+"""Recursive resolver + stub behaviour: caching, failures, TTL dynamics."""
+
+import pytest
+
+from repro.clock import Clock
+from repro.dns.cache import TTLPolicy
+from repro.dns.records import A, RRType
+from repro.dns.resolver import RecursiveResolver, ResolveError
+from repro.dns.server import AuthoritativeServer, QueryContext, ZoneAnswerSource
+from repro.dns.stub import StubResolver
+from repro.dns.wire import Message, Rcode
+from repro.dns.zone import Zone
+from repro.netsim.addr import parse_address
+
+CTX = QueryContext(pop="pop1")
+
+
+def make_upstream(ttl=60):
+    zone = Zone("example.com")
+    zone.add_address("www.example.com", A(parse_address("192.0.2.10")), ttl=ttl)
+    server = AuthoritativeServer(ZoneAnswerSource([zone]))
+    return server, (lambda wire: server.handle_wire(wire, CTX))
+
+
+class TestRecursiveResolver:
+    def test_resolves_and_caches(self):
+        clock = Clock()
+        server, transport = make_upstream()
+        resolver = RecursiveResolver("r", clock, transport)
+        a1 = resolver.resolve_addresses("www.example.com")
+        a2 = resolver.resolve_addresses("www.example.com")
+        assert a1 == a2 == [parse_address("192.0.2.10")]
+        assert resolver.stats.upstream_queries == 1
+        assert resolver.stats.client_queries == 2
+
+    def test_cache_expiry_triggers_refetch(self):
+        clock = Clock()
+        server, transport = make_upstream(ttl=30)
+        resolver = RecursiveResolver("r", clock, transport)
+        resolver.resolve("www.example.com")
+        clock.advance(31)
+        resolver.resolve("www.example.com")
+        assert resolver.stats.upstream_queries == 2
+
+    def test_nxdomain_raises_and_is_negatively_cached(self):
+        clock = Clock()
+        server, transport = make_upstream()
+        resolver = RecursiveResolver("r", clock, transport)
+        with pytest.raises(ResolveError) as exc:
+            resolver.resolve("missing.example.com")
+        assert exc.value.rcode == Rcode.NXDOMAIN
+        upstream_before = resolver.stats.upstream_queries
+        with pytest.raises(ResolveError):
+            resolver.resolve("missing.example.com")
+        assert resolver.stats.upstream_queries == upstream_before  # served from cache
+        assert resolver.stats.nxdomains == 2
+
+    def test_nodata_returns_empty(self):
+        clock = Clock()
+        server, transport = make_upstream()
+        resolver = RecursiveResolver("r", clock, transport)
+        assert resolver.resolve("www.example.com", RRType.TXT) == ()
+        # Second call is a cached NODATA, not an error.
+        assert resolver.resolve("www.example.com", RRType.TXT) == ()
+        assert resolver.stats.upstream_queries == 1
+
+    def test_timeout_raises(self):
+        resolver = RecursiveResolver("r", Clock(), transport=lambda wire: None)
+        with pytest.raises(ResolveError):
+            resolver.resolve("www.example.com")
+        assert resolver.stats.servfails == 1
+
+    def test_malformed_response_raises(self):
+        resolver = RecursiveResolver("r", Clock(), transport=lambda wire: b"junk")
+        with pytest.raises(ResolveError):
+            resolver.resolve("www.example.com")
+
+    def test_id_mismatch_rejected(self):
+        def evil(wire):
+            msg = Message.decode(wire)
+            return Message.query((msg.id + 1) & 0xFFFF, "www.example.com", RRType.A).response().encode()
+
+        resolver = RecursiveResolver("r", Clock(), transport=evil)
+        with pytest.raises(ResolveError):
+            resolver.resolve("www.example.com")
+
+    def test_non_response_rejected(self):
+        def echo(wire):
+            return wire  # qr flag not set
+
+        resolver = RecursiveResolver("r", Clock(), transport=echo)
+        with pytest.raises(ResolveError):
+            resolver.resolve("www.example.com")
+
+    def test_refused_surfaces_rcode(self):
+        def refuse(wire):
+            return Message.decode(wire).response(rcode=Rcode.REFUSED, aa=False).encode()
+
+        resolver = RecursiveResolver("r", Clock(), transport=refuse)
+        with pytest.raises(ResolveError) as exc:
+            resolver.resolve("www.example.com")
+        assert exc.value.rcode == Rcode.REFUSED
+
+    def test_ttl_violating_resolver_stretches_binding(self):
+        """§4.4: clamping resolvers delay rebinds — visible as fewer
+        upstream queries over the same horizon."""
+        clock = Clock()
+        server, transport = make_upstream(ttl=10)
+        honest = RecursiveResolver("h", clock, transport)
+        violator = RecursiveResolver("v", clock, transport, ttl_policy=TTLPolicy.clamping(120))
+        for _ in range(7):  # queries at t = 0, 25, …, 150
+            honest.resolve("www.example.com")
+            violator.resolve("www.example.com")
+            clock.advance(25)
+        assert honest.stats.upstream_queries > violator.stats.upstream_queries
+        assert honest.stats.upstream_queries == 7   # every query misses (ttl 10 < 25)
+        assert violator.stats.upstream_queries == 2  # t=0 and t=125
+
+
+class TestStubResolver:
+    def test_lookup_addresses(self):
+        clock = Clock()
+        server, transport = make_upstream()
+        recursive = RecursiveResolver("r", clock, transport)
+        stub = StubResolver("s", clock, recursive)
+        assert stub.lookup("www.example.com") == [parse_address("192.0.2.10")]
+
+    def test_stub_cache_shields_recursive(self):
+        clock = Clock()
+        server, transport = make_upstream(ttl=60)
+        recursive = RecursiveResolver("r", clock, transport)
+        stub = StubResolver("s", clock, recursive)
+        for _ in range(10):
+            stub.lookup("www.example.com")
+        assert recursive.stats.client_queries == 1
+
+    def test_stub_respects_ttl(self):
+        clock = Clock()
+        server, transport = make_upstream(ttl=30)
+        recursive = RecursiveResolver("r", clock, transport)
+        stub = StubResolver("s", clock, recursive)
+        stub.lookup("www.example.com")
+        clock.advance(31)
+        stub.lookup("www.example.com")
+        assert recursive.stats.client_queries == 2
+
+    def test_stub_nxdomain_propagates(self):
+        clock = Clock()
+        server, transport = make_upstream()
+        recursive = RecursiveResolver("r", clock, transport)
+        stub = StubResolver("s", clock, recursive)
+        with pytest.raises(ResolveError):
+            stub.lookup("missing.example.com")

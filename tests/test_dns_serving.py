@@ -1,0 +1,124 @@
+"""Authoritative server scaffolding: rcodes, stats, wire handling."""
+
+import pytest
+
+from repro.dns.records import A, DomainName, Question, RRClass, RRType
+from repro.dns.server import (
+    Answer,
+    AnswerSource,
+    AuthoritativeServer,
+    QueryContext,
+    ZoneAnswerSource,
+)
+from repro.dns.wire import Flags, Message, Rcode
+from repro.dns.zone import Zone
+from repro.netsim.addr import parse_address
+
+CTX = QueryContext(pop="test-pop")
+
+
+@pytest.fixture
+def server():
+    zone = Zone("example.com")
+    zone.add_address("www.example.com", A(parse_address("192.0.2.1")), ttl=120)
+    return AuthoritativeServer(ZoneAnswerSource([zone]))
+
+
+class TestZoneAnswerSource:
+    def test_most_specific_zone_wins(self):
+        parent = Zone("example.com")
+        child = Zone("sub.example.com")
+        child.add_address("www.sub.example.com", A(parse_address("192.0.2.50")))
+        source = ZoneAnswerSource([parent, child])
+        zone = source.zone_for(DomainName.from_text("www.sub.example.com"))
+        assert zone is child
+
+    def test_refused_outside_all_zones(self):
+        source = ZoneAnswerSource([Zone("example.com")])
+        answer = source.answer(Question(DomainName.from_text("other.org"), RRType.A), CTX)
+        assert answer.rcode == Rcode.REFUSED
+
+    def test_nxdomain_carries_soa(self):
+        zone = Zone("example.com")
+        source = ZoneAnswerSource([zone])
+        answer = source.answer(
+            Question(DomainName.from_text("nope.example.com"), RRType.A), CTX
+        )
+        assert answer.rcode == Rcode.NXDOMAIN
+        assert answer.authority and answer.authority[0].rrtype == RRType.SOA
+
+    def test_nodata_noerror_with_soa(self):
+        zone = Zone("example.com")
+        zone.add_address("www.example.com", A(parse_address("192.0.2.1")))
+        source = ZoneAnswerSource([zone])
+        answer = source.answer(
+            Question(DomainName.from_text("www.example.com"), RRType.TXT), CTX
+        )
+        assert answer.rcode == Rcode.NOERROR
+        assert not answer.records and answer.authority
+
+    def test_needs_zones(self):
+        with pytest.raises(ValueError):
+            ZoneAnswerSource([])
+
+
+class TestAuthoritativeServer:
+    def test_positive_answer_is_authoritative(self, server):
+        query = Message.query(11, "www.example.com", RRType.A)
+        response = server.handle_query(query, CTX)
+        assert response.flags.qr and response.flags.aa
+        assert response.id == 11
+        assert response.answers[0].ttl == 120
+
+    def test_notimp_for_unsupported_type(self, server):
+        query = Message.query(1, "www.example.com", RRType.OPT)
+        response = server.handle_query(query, CTX)
+        assert response.flags.rcode == Rcode.NOTIMP
+
+    def test_refused_for_chaos_class(self, server):
+        q = Message(
+            id=2,
+            flags=Flags(),
+            questions=(Question(DomainName.from_text("version.bind"), RRType.TXT, RRClass.ANY),),
+        )
+        # RRClass.ANY is allowed; craft a fake class via int is not possible
+        # through the typed API — test the REFUSED path with qr set instead.
+        response = server.handle_query(
+            Message(id=3, flags=Flags(qr=True), questions=q.questions), CTX
+        )
+        assert response.flags.rcode == Rcode.FORMERR
+
+    def test_query_with_no_question_formerr(self, server):
+        response = server.handle_query(Message(id=4, flags=Flags()), CTX)
+        assert response.flags.rcode == Rcode.FORMERR
+
+    def test_wire_round_trip(self, server):
+        raw = Message.query(5, "www.example.com", RRType.A).encode()
+        out = server.handle_wire(raw, CTX)
+        decoded = Message.decode(out)
+        assert decoded.flags.rcode == Rcode.NOERROR
+        assert str(decoded.answers[0].rdata.address) == "192.0.2.1"
+
+    def test_garbage_wire_dropped(self, server):
+        assert server.handle_wire(b"\x01\x02", CTX) is None
+        assert server.stats.formerr_drops == 1
+
+    def test_stats_accumulate(self, server):
+        for i in range(3):
+            server.handle_wire(Message.query(i, "www.example.com", RRType.A).encode(), CTX)
+        server.handle_wire(Message.query(9, "no.example.com", RRType.A).encode(), CTX)
+        assert server.stats.queries == 4
+        assert server.stats.by_rcode[Rcode.NOERROR] == 3
+        assert server.stats.by_rcode[Rcode.NXDOMAIN] == 1
+        assert server.stats.by_type[RRType.A] == 4
+
+    def test_custom_source_plugs_in(self):
+        class FixedSource(AnswerSource):
+            def answer(self, question, context):
+                from repro.dns.records import ResourceRecord
+                record = ResourceRecord(question.name, A(parse_address("203.0.113.5")), 1)
+                return Answer(Rcode.NOERROR, records=(record,))
+
+        server = AuthoritativeServer(FixedSource())
+        out = server.handle_query(Message.query(1, "anything.at.all", RRType.A), CTX)
+        assert str(out.answers[0].rdata.address) == "203.0.113.5"

@@ -1,0 +1,242 @@
+"""Wire codec: round trips, name compression, malformed-input defence."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.dns.records import (
+    A,
+    AAAA,
+    CNAME,
+    NS,
+    SOA,
+    TXT,
+    DomainName,
+    Question,
+    ResourceRecord,
+    RRType,
+)
+from repro.dns.wire import Flags, Message, Opcode, Rcode, WireError, decode_name, encode_name
+from repro.netsim.addr import parse_address
+
+
+def rr(name: str, rdata, ttl: int = 300) -> ResourceRecord:
+    return ResourceRecord(DomainName.from_text(name), rdata, ttl)
+
+
+class TestFlags:
+    def test_pack_unpack_round_trip(self):
+        for flags in (
+            Flags(),
+            Flags(qr=True, aa=True, rcode=Rcode.NXDOMAIN),
+            Flags(qr=True, tc=True, ra=True, rd=False),
+            Flags(opcode=Opcode.NOTIFY),
+        ):
+            assert Flags.unpack(flags.pack()) == flags
+
+    def test_known_bit_positions(self):
+        assert Flags(qr=True).pack() & 0x8000
+        assert Flags(aa=True).pack() & 0x0400
+        assert Flags(rd=True).pack() & 0x0100
+        assert Flags(rcode=Rcode.SERVFAIL).pack() & 0x0002
+
+
+class TestNameCompression:
+    def test_compression_reuses_suffixes(self):
+        out = bytearray()
+        offsets: dict = {}
+        encode_name(DomainName.from_text("www.example.com"), out, offsets)
+        first_len = len(out)
+        encode_name(DomainName.from_text("mail.example.com"), out, offsets)
+        # The second name should be "mail" + a 2-byte pointer.
+        assert len(out) - first_len == 1 + 4 + 2
+
+    def test_identical_name_is_pure_pointer(self):
+        out = bytearray()
+        offsets: dict = {}
+        name = DomainName.from_text("www.example.com")
+        encode_name(name, out, offsets)
+        before = len(out)
+        encode_name(name, out, offsets)
+        assert len(out) - before == 2
+
+    def test_decode_follows_pointers(self):
+        out = bytearray()
+        offsets: dict = {}
+        encode_name(DomainName.from_text("www.example.com"), out, offsets)
+        encode_name(DomainName.from_text("ftp.example.com"), out, offsets)
+        name1, off1 = decode_name(bytes(out), 0)
+        name2, off2 = decode_name(bytes(out), off1)
+        assert str(name1) == "www.example.com."
+        assert str(name2) == "ftp.example.com."
+        assert off2 == len(out)
+
+    def test_pointer_loop_rejected(self):
+        # A pointer at offset 0 pointing to itself.
+        data = b"\xc0\x00"
+        with pytest.raises(WireError):
+            decode_name(data, 0)
+
+    def test_forward_pointer_rejected(self):
+        # Pointer to offset 4, beyond itself.
+        data = b"\xc0\x04\x00\x00\x01a\x00"
+        with pytest.raises(WireError):
+            decode_name(data, 0)
+
+    def test_truncated_label_rejected(self):
+        with pytest.raises(WireError):
+            decode_name(b"\x05ab", 0)
+
+    def test_reserved_label_type_rejected(self):
+        with pytest.raises(WireError):
+            decode_name(b"\x80a\x00", 0)
+
+
+class TestMessageRoundTrip:
+    def test_query_round_trip(self):
+        q = Message.query(0xBEEF, "www.example.com", RRType.A)
+        decoded = Message.decode(q.encode())
+        assert decoded.id == 0xBEEF
+        assert not decoded.flags.qr
+        assert decoded.question.name == DomainName.from_text("www.example.com")
+        assert decoded.question.rrtype == RRType.A
+
+    def test_response_with_all_sections(self):
+        query = Message.query(7, "x.example.com", RRType.A)
+        soa = SOA(
+            DomainName.from_text("ns1.example.com"),
+            DomainName.from_text("root.example.com"),
+            1, 2, 3, 4, 5,
+        )
+        response = query.response(
+            answers=(rr("x.example.com", A(parse_address("192.0.2.1"))),),
+            authority=(rr("example.com", soa, ttl=3600),),
+            additional=(rr("ns1.example.com", A(parse_address("192.0.2.53"))),),
+        )
+        decoded = Message.decode(response.encode())
+        assert decoded.flags.qr and decoded.flags.aa
+        assert len(decoded.answers) == 1
+        assert len(decoded.authority) == 1
+        assert len(decoded.additional) == 1
+        assert decoded.answers[0].rdata == A(parse_address("192.0.2.1"))
+        assert decoded.authority[0].rdata == soa
+
+    def test_aaaa_round_trip(self):
+        msg = Message.query(1, "v6.example.com", RRType.AAAA).response(
+            answers=(rr("v6.example.com", AAAA(parse_address("2001:db8::7"))),)
+        )
+        decoded = Message.decode(msg.encode())
+        assert decoded.answers[0].rdata == AAAA(parse_address("2001:db8::7"))
+
+    def test_cname_chain_round_trip(self):
+        msg = Message.query(2, "alias.example.com", RRType.A).response(
+            answers=(
+                rr("alias.example.com", CNAME(DomainName.from_text("real.example.com"))),
+                rr("real.example.com", A(parse_address("192.0.2.9"))),
+            )
+        )
+        decoded = Message.decode(msg.encode())
+        assert isinstance(decoded.answers[0].rdata, CNAME)
+        assert decoded.answers[0].rdata.target == DomainName.from_text("real.example.com")
+
+    def test_txt_round_trip(self):
+        msg = Message.query(3, "t.example.com", RRType.TXT).response(
+            answers=(rr("t.example.com", TXT(("hello", "wörld"))),)
+        )
+        decoded = Message.decode(msg.encode())
+        assert decoded.answers[0].rdata.strings == ("hello", "wörld")
+
+    def test_ns_round_trip(self):
+        msg = Message.query(4, "example.com", RRType.NS).response(
+            answers=(rr("example.com", NS(DomainName.from_text("ns1.example.com"))),)
+        )
+        decoded = Message.decode(msg.encode())
+        # NS decodes as NS (not CNAME).
+        assert decoded.answers[0].rrtype == RRType.NS
+
+    def test_compression_shrinks_multi_answer_messages(self):
+        answers = tuple(
+            rr(f"h{i}.example.com", A(parse_address(f"192.0.2.{i}"))) for i in range(1, 20)
+        )
+        msg = Message.query(5, "h1.example.com", RRType.A).response(answers=answers)
+        encoded = msg.encode()
+        # Without compression each "example.com" costs 13 bytes; with it, 2.
+        uncompressed_estimate = sum(len(str(a.name)) + 1 for a in answers)
+        assert len(encoded) < uncompressed_estimate + 200
+
+    def test_id_range_enforced(self):
+        with pytest.raises(ValueError):
+            Message(id=-1, flags=Flags())
+        with pytest.raises(ValueError):
+            Message(id=1 << 16, flags=Flags())
+
+
+class TestMalformedMessages:
+    def test_short_header(self):
+        with pytest.raises(WireError):
+            Message.decode(b"\x00\x01")
+
+    def test_truncated_question(self):
+        q = Message.query(1, "www.example.com", RRType.A).encode()
+        with pytest.raises(WireError):
+            Message.decode(q[:-3])
+
+    def test_rdata_overrun_rejected(self):
+        msg = Message.query(1, "x.com", RRType.A).response(
+            answers=(rr("x.com", A(parse_address("1.2.3.4"))),)
+        ).encode()
+        with pytest.raises(WireError):
+            Message.decode(msg[:-2])
+
+    def test_question_missing_raises_on_access(self):
+        m = Message(id=1, flags=Flags())
+        with pytest.raises(WireError):
+            _ = m.question
+
+
+_label = st.text(alphabet="abcdefghijklmnopqrstuvwxyz0123456789-", min_size=1, max_size=12).filter(
+    lambda s: not s.startswith("-") and not s.endswith("-")
+)
+_name = st.lists(_label, min_size=1, max_size=5).map(lambda ls: DomainName(tuple(ls)))
+
+
+@settings(max_examples=150)
+@given(names=st.lists(_name, min_size=1, max_size=8), qid=st.integers(0, 0xFFFF))
+def test_property_any_answer_set_round_trips(names, qid):
+    answers = tuple(
+        ResourceRecord(n, A(parse_address(f"10.0.{i % 256}.{(i * 7) % 256}")), ttl=60)
+        for i, n in enumerate(names)
+    )
+    msg = Message(
+        id=qid,
+        flags=Flags(qr=True),
+        questions=(Question(names[0], RRType.A),),
+        answers=answers,
+    )
+    decoded = Message.decode(msg.encode())
+    assert decoded.answers == answers
+    assert decoded.id == qid
+
+
+@settings(max_examples=150)
+@given(name=_name)
+def test_property_name_compression_round_trip(name):
+    out = bytearray(b"\x00" * 7)  # non-zero start offset exercises pointers
+    offsets: dict = {}
+    encode_name(name, out, offsets)
+    encode_name(name, out, offsets)
+    n1, off = decode_name(bytes(out), 7)
+    n2, _ = decode_name(bytes(out), off)
+    assert n1 == name and n2 == name
+
+
+@settings(max_examples=200)
+@given(data=st.binary(min_size=0, max_size=64))
+def test_property_decoder_never_crashes_on_junk(data):
+    """Malformed input must raise WireError (or decode), never crash."""
+    try:
+        Message.decode(data)
+    except WireError:
+        pass
+    except ValueError:
+        pass  # enum conversion of junk type/class codes

@@ -1,0 +1,137 @@
+"""Zone semantics: the conventional Figure 3a lookup table."""
+
+import random
+
+import pytest
+
+from repro.dns.records import A, CNAME, DomainName, Question, RRType, TXT
+from repro.dns.zone import RRSelection, Zone, ZoneError
+from repro.netsim.addr import parse_address
+
+
+def name(text: str) -> DomainName:
+    return DomainName.from_text(text)
+
+
+@pytest.fixture
+def zone():
+    z = Zone("example.com")
+    z.add_address("www.example.com", A(parse_address("192.0.2.1")), ttl=60)
+    z.add_address("www.example.com", A(parse_address("192.0.2.2")), ttl=60)
+    z.add_address("www.example.com", A(parse_address("192.0.2.3")), ttl=60)
+    return z
+
+
+class TestZoneStructure:
+    def test_soa_auto_created(self, zone):
+        assert zone.soa().rrtype == RRType.SOA
+
+    def test_out_of_bailiwick_rejected(self, zone):
+        with pytest.raises(ZoneError):
+            zone.add_address("www.other.org", A(parse_address("192.0.2.9")))
+
+    def test_cname_and_other_data_conflict(self, zone):
+        zone.add_record(
+            # alias with only a CNAME is fine
+            __import__("repro.dns.records", fromlist=["ResourceRecord"]).ResourceRecord(
+                name("alias.example.com"), CNAME(name("www.example.com")), 60
+            )
+        )
+        with pytest.raises(ZoneError):
+            zone.add_address("alias.example.com", A(parse_address("192.0.2.4")))
+
+    def test_second_cname_rejected(self, zone):
+        from repro.dns.records import ResourceRecord
+        zone.add_record(ResourceRecord(name("a.example.com"), CNAME(name("b.example.com")), 60))
+        with pytest.raises(ZoneError):
+            zone.add_record(ResourceRecord(name("a.example.com"), CNAME(name("c.example.com")), 60))
+
+    def test_cname_on_name_with_data_rejected(self, zone):
+        from repro.dns.records import ResourceRecord
+        with pytest.raises(ZoneError):
+            zone.add_record(
+                ResourceRecord(name("www.example.com"), CNAME(name("x.example.com")), 60)
+            )
+
+    def test_record_count(self, zone):
+        assert zone.record_count() == 4  # SOA + 3 A
+
+
+class TestLookup:
+    def test_positive_lookup(self, zone):
+        result = zone.lookup(Question(name("www.example.com"), RRType.A))
+        assert result.found and len(result.answers) == 3
+
+    def test_nxdomain(self, zone):
+        result = zone.lookup(Question(name("missing.example.com"), RRType.A))
+        assert not result.found
+
+    def test_nodata_when_type_absent(self, zone):
+        result = zone.lookup(Question(name("www.example.com"), RRType.TXT))
+        assert result.found and result.answers == ()
+
+    def test_empty_non_terminal_is_nodata_not_nxdomain(self, zone):
+        zone.add_address("deep.sub.example.com", A(parse_address("192.0.2.8")))
+        result = zone.lookup(Question(name("sub.example.com"), RRType.A))
+        assert result.found and result.answers == ()
+
+    def test_cname_chase_in_zone(self, zone):
+        from repro.dns.records import ResourceRecord
+        zone.add_record(ResourceRecord(name("alias.example.com"), CNAME(name("www.example.com")), 60))
+        result = zone.lookup(Question(name("alias.example.com"), RRType.A))
+        assert result.found
+        assert len(result.cname_chain) == 1
+        assert len(result.answers) == 3
+
+    def test_out_of_zone_cname_returns_chain_only(self, zone):
+        from repro.dns.records import ResourceRecord
+        zone.add_record(ResourceRecord(name("ext.example.com"), CNAME(name("cdn.other.net")), 60))
+        result = zone.lookup(Question(name("ext.example.com"), RRType.A))
+        assert result.found and result.answers == ()
+        assert result.cname_chain[0].rdata.target == name("cdn.other.net")
+
+    def test_cname_loop_bounded(self, zone):
+        from repro.dns.records import ResourceRecord
+        zone.add_record(ResourceRecord(name("l1.example.com"), CNAME(name("l2.example.com")), 60))
+        zone.add_record(ResourceRecord(name("l2.example.com"), CNAME(name("l1.example.com")), 60))
+        with pytest.raises(ZoneError):
+            zone.lookup(Question(name("l1.example.com"), RRType.A))
+
+
+class TestSelection:
+    def test_round_robin_rotates(self):
+        z = Zone("example.com", selection=RRSelection.ROUND_ROBIN)
+        for i in (1, 2, 3):
+            z.add_address("www.example.com", A(parse_address(f"192.0.2.{i}")), ttl=60)
+        q = Question(name("www.example.com"), RRType.A)
+        firsts = [z.lookup(q).answers[0].rdata.address.value & 0xFF for _ in range(6)]
+        assert firsts == [1, 2, 3, 1, 2, 3]
+
+    def test_random_one_returns_single(self):
+        z = Zone("example.com", selection=RRSelection.RANDOM_ONE, rng=random.Random(1))
+        for i in (1, 2, 3):
+            z.add_address("www.example.com", A(parse_address(f"192.0.2.{i}")), ttl=60)
+        q = Question(name("www.example.com"), RRType.A)
+        seen = {z.lookup(q).answers[0].rdata.address for _ in range(50)}
+        assert all(len(z.lookup(q).answers) == 1 for _ in range(5))
+        assert len(seen) == 3  # all candidates eventually chosen
+
+
+class TestMutation:
+    def test_replace_addresses_atomic(self, zone):
+        from repro.dns.records import ResourceRecord
+        new = [ResourceRecord(name("www.example.com"), A(parse_address("198.51.100.1")), 30)]
+        zone.replace_addresses(name("www.example.com"), RRType.A, new)
+        result = zone.lookup(Question(name("www.example.com"), RRType.A))
+        assert [str(r.rdata.address) for r in result.answers] == ["198.51.100.1"]
+
+    def test_replace_type_mismatch_rejected(self, zone):
+        from repro.dns.records import ResourceRecord
+        bad = [ResourceRecord(name("www.example.com"), TXT(("x",)), 30)]
+        with pytest.raises(ZoneError):
+            zone.replace_addresses(name("www.example.com"), RRType.A, bad)
+
+    def test_remove_rrset(self, zone):
+        removed = zone.remove_rrset(name("www.example.com"), RRType.A)
+        assert removed == 3
+        assert not zone.lookup(Question(name("www.example.com"), RRType.A)).found

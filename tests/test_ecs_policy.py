@@ -1,0 +1,119 @@
+"""ECS-informed per-PoP assignment: fixing the §6 mismatch at its source.
+
+Extension experiment: the plain per-PoP policy attributes traffic by where
+the *query* arrived, so resolver↔client catchment mismatch produces
+legitimate "bleed" on other PoPs' addresses (§6's measurement).  With
+RFC 7871 Client Subnet, the authoritative can assign by the *client's*
+catchment instead — removing the bleed and letting the leak detector run
+with tight thresholds.
+"""
+
+import random
+
+import pytest
+
+from repro.clock import Clock
+from repro.agility.leaks import RouteLeakDetector
+from repro.core import (
+    AddressPool,
+    EcsPerPopAssignment,
+    PerPopAssignment,
+    Policy,
+    PolicyAnswerSource,
+    PolicyEngine,
+)
+from repro.dns import RecursiveResolver, StubResolver
+from repro.edge import ListenMode
+from repro.netsim.addr import IPAddress, Prefix, parse_prefix
+from repro.web import BrowserClient
+
+from conftest import POOL_PREFIX, make_cdn
+
+POPS = ["ashburn", "london"]
+
+#: Client prefixes per region; the CDN's geo oracle knows their catchments.
+REGION_PREFIX = {
+    "us": parse_prefix("100.64.0.0/24"),
+    "eu": parse_prefix("100.64.1.0/24"),
+}
+REGION_POP = {"us": "ashburn", "eu": "london"}
+
+
+def build(clock, use_ecs: bool):
+    cdn, hostnames = make_cdn(regions={"us": ["ashburn"], "eu": ["london"]})
+    cdn.announce_pool(POOL_PREFIX, ports=(443,), mode=ListenMode.SK_LOOKUP)
+    pool = AddressPool(POOL_PREFIX, name="perpop")
+    per_pop = PerPopAssignment(POPS)
+
+    def catchment_of(prefix_text: str):
+        prefix = parse_prefix(prefix_text)
+        for region, region_prefix in REGION_PREFIX.items():
+            if region_prefix.overlaps(prefix):
+                return REGION_POP[region]
+        return None
+
+    strategy = EcsPerPopAssignment(per_pop, catchment_of) if use_ecs else per_pop
+    engine = PolicyEngine(random.Random(5))
+    engine.add(Policy("perpop", pool, strategy=strategy, ttl=30))
+    cdn.set_answer_source(PolicyAnswerSource(engine, cdn.registry))
+    detector = RouteLeakDetector(pool, per_pop, POPS, min_requests=1, min_share=0.0)
+    return cdn, hostnames, pool, per_pop, detector
+
+
+def mismatched_client(cdn, clock, tag: str, ecs: bool):
+    """An EU client whose resolver is US-homed (the §6 mismatch)."""
+    client_region = "eu"
+    ecs_prefix = REGION_PREFIX[client_region] if ecs else None
+    resolver = RecursiveResolver(
+        f"res-{tag}", clock, cdn.dns_transport("eyeball:us:0"),
+        asn="eyeball:us:0", ecs_prefix=ecs_prefix,
+    )
+    stub = StubResolver(f"stub-{tag}", clock, resolver)
+    client_addr = IPAddress.v4(REGION_PREFIX[client_region].network | 0x7)
+    return BrowserClient(f"cl-{tag}", stub,
+                         cdn.transport_for("eyeball:eu:0", client_addr))
+
+
+class TestEcsPerPop:
+    def test_without_ecs_mismatch_bleeds(self, clock):
+        cdn, hostnames, pool, per_pop, detector = build(clock, use_ecs=False)
+        client = mismatched_client(cdn, clock, "plain", ecs=False)
+        for hostname in hostnames[:4]:
+            client.fetch(hostname)
+        # DNS at ashburn handed out ashburn's address; packets landed in
+        # london: with zero thresholds the detector fires on the bleed.
+        logs = {pop: cdn.datacenters[pop].traffic for pop in POPS}
+        alerts = detector.scan(logs)
+        assert alerts and alerts[0].observed_at == "london"
+
+    def test_with_ecs_mismatch_resolved(self, clock):
+        cdn, hostnames, pool, per_pop, detector = build(clock, use_ecs=True)
+        client = mismatched_client(cdn, clock, "ecs", ecs=True)
+        for hostname in hostnames[:4]:
+            client.fetch(hostname)
+        # ECS told the authoritative the client is EU: it answered with
+        # london's address, traffic lands at london on london's address.
+        logs = {pop: cdn.datacenters[pop].traffic for pop in POPS}
+        assert detector.scan(logs) == []
+        london_addr = per_pop.address_for_pop(pool, "london")
+        assert cdn.datacenters["london"].traffic.by_address()[london_addr].requests == 4
+
+    def test_ecs_absent_falls_back_to_arrival_pop(self, clock):
+        cdn, hostnames, pool, per_pop, detector = build(clock, use_ecs=True)
+        # Aligned client, resolver sends no ECS: arrival-PoP behaviour.
+        resolver = RecursiveResolver("r", clock, cdn.dns_transport("eyeball:us:1"))
+        stub = StubResolver("s", clock, resolver)
+        client = BrowserClient("c", stub, cdn.transport_for("eyeball:us:1"))
+        client.fetch(hostnames[0])
+        ashburn_addr = per_pop.address_for_pop(pool, "ashburn")
+        assert ashburn_addr in cdn.datacenters["ashburn"].traffic.by_address()
+
+    def test_unknown_subnet_falls_back(self, clock):
+        cdn, hostnames, pool, per_pop, detector = build(clock, use_ecs=True)
+        resolver = RecursiveResolver(
+            "r", clock, cdn.dns_transport("eyeball:us:1"),
+            ecs_prefix=parse_prefix("172.16.0.0/24"),  # oracle doesn't know it
+        )
+        stub = StubResolver("s", clock, resolver)
+        addrs = stub.lookup(hostnames[0])
+        assert addrs == [per_pop.address_for_pop(pool, "ashburn")]

@@ -1,0 +1,138 @@
+"""EDNS(0)/OPT and Client Subnet: wire handling and server behaviour."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.dns.edns import ClientSubnet, OptRecord, attach_opt, extract_opt
+from repro.dns.records import A, OPTPseudo, RRType
+from repro.dns.server import AuthoritativeServer, QueryContext, ZoneAnswerSource
+from repro.dns.wire import Message, Rcode, WireError
+from repro.dns.zone import Zone
+from repro.netsim.addr import IPAddress, Prefix, parse_address, parse_prefix
+
+
+class TestClientSubnet:
+    def test_pack_unpack_v4(self):
+        ecs = ClientSubnet(parse_prefix("203.0.113.0/24"))
+        assert ClientSubnet.unpack(ecs.pack()) == ecs
+
+    def test_pack_unpack_v6(self):
+        ecs = ClientSubnet(parse_prefix("2001:db8::/56"), scope=48)
+        out = ClientSubnet.unpack(ecs.pack())
+        assert out.prefix == ecs.prefix and out.scope == 48
+
+    def test_partial_byte_prefix(self):
+        ecs = ClientSubnet(parse_prefix("203.0.112.0/22"))
+        out = ClientSubnet.unpack(ecs.pack())
+        assert out.prefix == parse_prefix("203.0.112.0/22")
+
+    def test_scope_bound(self):
+        with pytest.raises(ValueError):
+            ClientSubnet(parse_prefix("203.0.113.0/24"), scope=64)
+
+    def test_malformed_rejected(self):
+        with pytest.raises(WireError):
+            ClientSubnet.unpack(b"\x00")
+        with pytest.raises(WireError):
+            ClientSubnet.unpack(b"\x00\x09\x18\x00\xcb")  # family 9
+        with pytest.raises(WireError):
+            ClientSubnet.unpack(b"\x00\x01\x18\x00\xcb")  # 1 of 3 addr bytes
+
+
+class TestOptRoundTrip:
+    def test_message_round_trip_with_ecs(self):
+        query = Message.query(5, "www.example.com", RRType.A)
+        ecs = ClientSubnet(parse_prefix("198.51.100.0/24"))
+        wired = attach_opt(query, OptRecord(client_subnet=ecs)).encode()
+        decoded = Message.decode(wired)
+        opt = extract_opt(decoded)
+        assert opt is not None
+        assert opt.client_subnet.prefix == parse_prefix("198.51.100.0/24")
+        assert opt.udp_payload_size == 1232
+
+    def test_unknown_options_preserved(self):
+        opt = OptRecord(raw_options=((10, b"\x01\x02\x03"),))  # COOKIE-ish
+        query = attach_opt(Message.query(1, "x.example", RRType.A), opt)
+        out = extract_opt(Message.decode(query.encode()))
+        assert out.raw_options == ((10, b"\x01\x02\x03"),)
+
+    def test_no_opt_returns_none(self):
+        assert extract_opt(Message.query(1, "x.example", RRType.A)) is None
+
+    def test_dnssec_ok_flag(self):
+        opt = OptRecord(dnssec_ok=True)
+        query = attach_opt(Message.query(1, "x.example", RRType.A), opt)
+        out = extract_opt(Message.decode(query.encode()))
+        assert out.dnssec_ok
+
+    def test_opt_pseudo_text(self):
+        record = OPTPseudo(udp_payload_size=512, ttl_word=0, data=b"")
+        assert "512" in record.rdata_text()
+
+
+class TestServerEDNSBehaviour:
+    def make_server(self):
+        zone = Zone("example.com")
+        zone.add_address("www.example.com", A(parse_address("192.0.2.1")), ttl=60)
+        source = ZoneAnswerSourceRecordingContext(zone)
+        return AuthoritativeServer(source), source
+
+    def test_ecs_populates_context_and_is_echoed(self):
+        server, source = self.make_server()
+        query = Message.query(9, "www.example.com", RRType.A)
+        ecs = ClientSubnet(parse_prefix("203.0.113.0/24"))
+        wired = attach_opt(query, OptRecord(client_subnet=ecs)).encode()
+        raw = server.handle_wire(wired, QueryContext(pop="iad"))
+        response = Message.decode(raw)
+        assert response.flags.rcode == Rcode.NOERROR
+        # Context saw the subnet...
+        assert source.last_context.client_subnet == "203.0.113.0/24"
+        # ...and the response echoes OPT with scope set.
+        opt = extract_opt(response)
+        assert opt is not None
+        assert opt.client_subnet.scope == 24
+
+    def test_plain_queries_unaffected(self):
+        server, source = self.make_server()
+        raw = server.handle_wire(
+            Message.query(1, "www.example.com", RRType.A).encode(),
+            QueryContext(pop="iad"),
+        )
+        response = Message.decode(raw)
+        assert extract_opt(response) is None
+        assert source.last_context.client_subnet is None
+
+    def test_opt_without_ecs_still_echoed(self):
+        server, _ = self.make_server()
+        query = attach_opt(Message.query(2, "www.example.com", RRType.A),
+                           OptRecord(udp_payload_size=4096))
+        response = Message.decode(server.handle_wire(query.encode(), QueryContext(pop="iad")))
+        opt = extract_opt(response)
+        assert opt is not None and opt.udp_payload_size == 4096
+
+
+class ZoneAnswerSourceRecordingContext(ZoneAnswerSource):
+    """Test double: remembers the context each answer saw."""
+
+    def __init__(self, zone):
+        super().__init__([zone])
+        self.last_context = None
+
+    def answer(self, question, context):
+        self.last_context = context
+        return super().answer(question, context)
+
+
+@settings(max_examples=100)
+@given(
+    value=st.integers(0, (1 << 32) - 1),
+    length=st.integers(0, 32),
+    scope=st.integers(0, 32),
+)
+def test_property_ecs_round_trip_v4(value, length, scope):
+    prefix = Prefix.of(IPAddress.v4(value), length)
+    ecs = ClientSubnet(prefix, scope=min(scope, 32))
+    out = ClientSubnet.unpack(ecs.pack())
+    assert out.prefix == prefix
+    assert out.scope == ecs.scope

@@ -1,0 +1,180 @@
+"""Experiment harnesses at test scale: every run_* works and keeps shape.
+
+The benchmarks exercise these at full scale; these tests pin the same
+invariants on small, fast configurations so a plain ``pytest tests/`` run
+covers the whole reproduction pipeline.
+"""
+
+import pytest
+
+from repro.core.pool import AddressPool
+from repro.core.strategies import RandomSelection, StaticAssignment
+from repro.experiments import fig7, fig8, fig9, dnsqps, dos, reduction, sklookup_perf, spillover, ttl
+from repro.netsim.addr import parse_prefix
+from repro.netsim.packet import Protocol
+
+
+class TestFig7Harness:
+    CONFIG = fig7.Fig7Config(num_sites=800, requests=12_000)
+
+    def test_static_vs_random_ordering(self):
+        static = fig7.run_fig7_panel(
+            "7a", AddressPool(parse_prefix("10.0.0.0/22"), name="static"),
+            StaticAssignment(per_address=8), self.CONFIG,
+        )
+        rand = fig7.run_fig7_panel(
+            "7c", AddressPool(fig7.AGILE_SLASH24, name="rand"),
+            RandomSelection(), self.CONFIG,
+        )
+        assert static.request_spread_orders > rand.request_spread_orders
+        assert static.requests_dist.gini > rand.requests_dist.gini
+
+    def test_wire_and_message_paths_agree(self):
+        """use_wire must not change the distribution (same RNG stream)."""
+        pool = AddressPool(fig7.AGILE_SLASH24)
+        config = fig7.Fig7Config(num_sites=100, requests=800)
+        a = fig7.run_fig7_panel("x", pool, RandomSelection(), config, use_wire=False)
+        pool2 = AddressPool(fig7.AGILE_SLASH24)
+        b = fig7.run_fig7_panel("x", pool2, RandomSelection(), config, use_wire=True)
+        assert a.requests_dist.sorted_desc == b.requests_dist.sorted_desc
+
+    def test_all_requests_accounted(self):
+        result = fig7.run_fig7_panel(
+            "x", AddressPool(fig7.AGILE_SLASH24), RandomSelection(), self.CONFIG
+        )
+        assert result.requests_dist.total == self.CONFIG.requests
+
+    def test_render(self):
+        results = fig7.run_fig7(fig7.Fig7Config(num_sites=60, requests=500))
+        out = fig7.render_fig7_table(results)
+        assert "7a" in out and "one" in out
+
+
+class TestFig8Harness:
+    CONFIG = fig8.Fig8Config(num_sites=80, sessions=40)
+
+    def test_one_ip_beats_random(self):
+        one = fig8.run_fig8_arm("one", fig8.ONE_IP_POOL, self.CONFIG)
+        rest = fig8.run_fig8_arm("rest", fig8.REST_OF_WORLD_POOL, self.CONFIG)
+        assert one.mean(one.tcp_rpc) > rest.mean(rest.tcp_rpc)
+
+    def test_full_run_and_significance(self):
+        result = fig8.run_fig8(fig8.Fig8Config(num_sites=80, sessions=60))
+        assert result.ad_all.rejects_same_population(0.001)
+        out = fig8.render_fig8_table(result)
+        assert "one-ip" in out and "rejected" in out
+
+
+class TestFig9Harness:
+    def test_detection_and_mitigation(self):
+        outcome = fig9.run_fig9(fig9.Fig9Config(requests_per_phase=40))
+        assert outcome.detected
+        assert outcome.post_mitigation_clean
+        assert outcome.mitigation_horizon == outcome.ttl
+        assert "leak detected" in fig9.render_fig9_table(outcome)
+
+
+class TestDosHarness:
+    def test_case_and_sweep(self):
+        run = dos.run_dos_case(n_services=64, k=4, attack="l7")
+        assert run.verdict.kind == "L7" and run.verdict.within_bound
+        runs = dos.run_dos_sweep(n_services=64, ks=(2, 8))
+        assert "within bound" in dos.render_dos_table(runs)
+
+    def test_unknown_attack_rejected(self):
+        with pytest.raises(ValueError):
+            dos.run_dos_case(attack="quantum")
+
+
+class TestReductionHarness:
+    def test_exact_numbers(self):
+        rows = reduction.run_reduction_table()
+        assert rows[1].reduction_pct == pytest.approx(94.4, abs=0.05)
+        assert rows[2].reduction_pct == pytest.approx(99.7, abs=0.05)
+        assert "94.4%" in reduction.render_reduction_table(rows)
+
+
+class TestTTLHarness:
+    def test_bounds_hold(self):
+        runs = ttl.run_ttl_experiment(authoritative_ttl=20, clamp_mins=(0, 100))
+        for run in runs:
+            assert run.observed_flip_time <= run.bound
+        assert runs[1].observed_flip_time > runs[0].observed_flip_time
+
+
+class TestSpilloverHarness:
+    def test_v6_heavier_than_v4(self):
+        runs = spillover.run_spillover(clients=16, requests_per_client=3)
+        v4, v6 = runs
+        assert v4.family == "IPv4" and v6.family == "IPv6"
+        assert v6.spillover_share >= v4.spillover_share
+        assert "IPv6" in spillover.render_spillover_table(runs)
+
+
+class TestSkLookupPerfHarness:
+    def test_builders_dispatch(self):
+        for builder, to_internal in (
+            (sklookup_perf.build_baseline_listener, True),
+            (sklookup_perf.build_wildcard, False),
+            (sklookup_perf.build_sk_lookup, False),
+        ):
+            setup = builder()
+            packets = sklookup_perf.make_packets(500, to_internal=to_internal)
+            assert sklookup_perf.dispatch_all(setup, packets) == 500
+
+    def test_per_ip_builder(self):
+        pool = parse_prefix("192.0.2.0/26")
+        setup = sklookup_perf.build_per_ip_binds(pool)
+        assert setup.socket_count == 64
+        packets = sklookup_perf.make_packets(200, pool=pool)
+        assert sklookup_perf.dispatch_all(setup, packets) == 200
+
+    def test_udp_workload(self):
+        setup = sklookup_perf.build_sk_lookup(protocol=Protocol.UDP)
+        packets = sklookup_perf.make_packets(300, protocol=Protocol.UDP)
+        assert sklookup_perf.dispatch_all(setup, packets) == 300
+
+    def test_scaling_table_renders(self):
+        out = sklookup_perf.render_scaling_table((28, 26))
+        assert "/28" in out and "/26" in out
+
+
+class TestQPSHarness:
+    def test_both_servers_answer_everything(self):
+        queries = dnsqps.make_queries(300, num_hostnames=200)
+        for build in (dnsqps.build_policy_server, dnsqps.build_zone_server):
+            setup = build(num_hostnames=200)
+            assert dnsqps.answer_all(setup, queries) == 300
+
+
+class TestDnsLoadHarness:
+    def test_queries_fall_with_ttl(self):
+        from repro.experiments import dnsload
+
+        runs = dnsload.run_dns_load(sessions=25)
+        assert runs[0].http_requests == runs[-1].http_requests
+        root_like = next(r for r in runs if r.ttl == 86400)
+        short = next(r for r in runs if r.label.startswith("random"))
+        assert root_like.queries_per_request < short.queries_per_request
+        assert "queries/request" in dnsload.render_dns_load_table(runs)
+
+
+class TestPageLoadHarness:
+    def test_one_address_faster(self):
+        from repro.experiments import pageload
+
+        runs = pageload.run_pageload(sessions=25)
+        one = next(r for r in runs if r.label.startswith("one-ip"))
+        rand = next(r for r in runs if r.label.startswith("random"))
+        assert one.account.share("setup") < rand.account.share("setup")
+        assert one.mean_fetch_ms < rand.mean_fetch_ms
+        assert "dns share" in pageload.render_pageload_table(runs)
+
+
+class TestColoringHarness:
+    def test_sweep_monotone(self):
+        from repro.experiments import coloring
+
+        runs = coloring.run_coloring_sweep(radii_km=(500, 4000))
+        assert runs[0].colors_needed <= runs[1].colors_needed
+        assert all(r.isolated for r in runs)

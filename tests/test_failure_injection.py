@@ -1,0 +1,234 @@
+"""Failure injection: the system under loss, churn, and misbehaviour.
+
+The paper's first-order success signal is "the absence of breakage"
+(§4).  These tests inject the breakage candidates — flaky DNS transports,
+socket churn during live repoints, PoP withdrawals, stale map entries —
+and assert the system degrades exactly as designed, never silently.
+"""
+
+import itertools
+import random
+
+import pytest
+
+from repro.clock import Clock
+from repro.core import AddressPool, Policy, PolicyAnswerSource, PolicyEngine
+from repro.dns import Message, RecursiveResolver, ResolveError, RRType, StubResolver
+from repro.edge import ListenMode
+from repro.netsim import parse_address, parse_prefix
+from repro.netsim.packet import FiveTuple, Protocol
+from repro.sockets import LookupPath, MatchRule, SkLookupProgram, SockArray, SocketTable, Verdict
+from repro.web.http import HTTPVersion, Request, Status
+from repro.web.tls import ClientHello
+
+from conftest import POOL_PREFIX, make_client, make_cdn, make_policy_cdn
+
+
+class FlakyTransport:
+    """Wraps a DNS transport: drops, corrupts, or delays responses."""
+
+    def __init__(self, inner, rng, drop=0.0, corrupt=0.0):
+        self.inner = inner
+        self.rng = rng
+        self.drop = drop
+        self.corrupt = corrupt
+        self.calls = 0
+
+    def __call__(self, wire: bytes):
+        self.calls += 1
+        if self.rng.random() < self.drop:
+            return None
+        response = self.inner(wire)
+        if response is not None and self.rng.random() < self.corrupt:
+            return b"\xff" + response[1:]
+        return response
+
+
+class TestDNSPathFailures:
+    def test_resolver_survives_lossy_transport(self, clock):
+        cdn, hostnames, *_ = make_policy_cdn(clock)
+        flaky = FlakyTransport(cdn.dns_transport("eyeball:us:0"),
+                               random.Random(1), drop=0.5)
+        resolver = RecursiveResolver("r", clock, flaky)
+        successes = failures = 0
+        for hostname in hostnames:
+            try:
+                addrs = resolver.resolve_addresses(hostname)
+                assert addrs and all(a in POOL_PREFIX for a in addrs)
+                successes += 1
+            except ResolveError:
+                failures += 1
+        assert successes > 0 and failures > 0  # both outcomes exercised
+        assert resolver.stats.servfails == failures
+
+    def test_resolver_rejects_corrupted_responses(self, clock):
+        cdn, hostnames, *_ = make_policy_cdn(clock)
+        flaky = FlakyTransport(cdn.dns_transport("eyeball:us:0"),
+                               random.Random(2), corrupt=1.0)
+        resolver = RecursiveResolver("r", clock, flaky)
+        with pytest.raises(ResolveError):
+            resolver.resolve(hostnames[0])
+        # Nothing bogus may enter the cache.
+        assert len(resolver.cache) == 0
+
+    def test_dns_unrouted_resolver_times_out(self, clock):
+        cdn, hostnames, *_ = make_policy_cdn(clock)
+        resolver = RecursiveResolver("r", clock, cdn.dns_transport("not-an-as"))
+        with pytest.raises(ResolveError):
+            resolver.resolve(hostnames[0])
+
+
+class TestPoPWithdrawal:
+    def test_clients_fail_over_when_pop_withdraws(self, clock):
+        cdn, hostnames, engine, pool = make_policy_cdn(clock)
+        client = make_client(cdn, clock, "eyeball:eu:0", name="eu")
+        client.fetch(hostnames[0])
+        assert cdn.datacenters["london"].traffic.total_requests() == 1
+
+        # London withdraws the pool prefix (maintenance): EU clients must
+        # reach Ashburn instead — anycast failover, no DNS change at all.
+        cdn.network.withdraw_from(POOL_PREFIX, "london")
+        client.close_all()
+        client.stub.cache.flush()
+        client.fetch(hostnames[1])
+        assert cdn.datacenters["ashburn"].traffic.total_requests() >= 1
+
+    def test_total_withdrawal_is_loud(self, clock):
+        cdn, hostnames, *_ = make_policy_cdn(clock)
+        for pop in list(cdn.pop_names()):
+            cdn.network.withdraw_from(POOL_PREFIX, pop)
+        client = make_client(cdn, clock, "eyeball:us:0")
+        with pytest.raises(ConnectionRefusedError):
+            client.fetch(hostnames[0])
+
+
+class TestLiveRepoint:
+    def test_established_connections_survive_repoint(self):
+        """§3.3: re-pointing IP+port mappings must not touch existing
+        connections — the connected-socket stage matches first."""
+        table = SocketTable()
+        internal = parse_address("198.18.0.1")
+        listener = table.bind_listen(Protocol.TCP, internal, 443)
+        arr = SockArray(1)
+        arr.update(0, listener)
+        program = SkLookupProgram("svc", arr, [
+            MatchRule(Verdict.PASS, Protocol.TCP, (POOL_PREFIX,), 443, 443,
+                      map_key=0, label="pool"),
+        ])
+        path = LookupPath(table)
+        path.attach(program)
+
+        t = FiveTuple(Protocol.TCP, parse_address("100.64.0.1"), 50000,
+                      POOL_PREFIX.address_at(9), 443)
+        from repro.netsim.packet import Packet
+        syn = Packet(t, syn=True)
+        assert path.dispatch(syn).delivered
+        child = table.establish(listener, t)
+
+        # Re-point the pool elsewhere.
+        program.remove_rules("pool")
+        new_pool = parse_prefix("203.0.113.0/24")
+        program.add_rule(MatchRule(Verdict.PASS, Protocol.TCP, (new_pool,),
+                                   443, 443, map_key=0, label="pool"))
+
+        # Mid-connection packets still reach the established socket...
+        data = Packet(t)
+        result = path.dispatch(data)
+        assert result.socket is child
+        # ...while NEW connections to the old pool are refused.
+        fresh = Packet(FiveTuple(Protocol.TCP, parse_address("100.64.0.2"),
+                                 50001, POOL_PREFIX.address_at(9), 443), syn=True)
+        assert not path.dispatch(fresh).delivered
+
+    def test_stale_map_entry_fails_closed(self):
+        """A crashed service leaves a closed socket in the map: packets
+        must MISS (surfacing the outage), never crash the dispatcher."""
+        table = SocketTable()
+        listener = table.bind_listen(Protocol.TCP, parse_address("198.18.0.1"), 443)
+        arr = SockArray(1)
+        arr.update(0, listener)
+        program = SkLookupProgram("svc", arr, [
+            MatchRule(Verdict.PASS, Protocol.TCP, (POOL_PREFIX,), 443, 443, map_key=0),
+        ])
+        path = LookupPath(table)
+        path.attach(program)
+        table.close(listener)  # the service dies
+
+        from repro.netsim.packet import Packet
+        pkt = Packet(FiveTuple(Protocol.TCP, parse_address("100.64.0.1"), 50002,
+                               POOL_PREFIX.address_at(1), 443), syn=True)
+        result = path.dispatch(pkt)
+        assert not result.delivered
+
+    def test_socket_activation_replaces_dead_service(self):
+        """...and the activation service installing a fresh socket restores
+        service with a single map update."""
+        table = SocketTable()
+        listener = table.bind_listen(Protocol.TCP, parse_address("198.18.0.1"), 443)
+        arr = SockArray(1)
+        arr.update(0, listener)
+        program = SkLookupProgram("svc", arr, [
+            MatchRule(Verdict.PASS, Protocol.TCP, (POOL_PREFIX,), 443, 443, map_key=0),
+        ])
+        path = LookupPath(table)
+        path.attach(program)
+        table.close(listener)
+        replacement = table.bind_listen(Protocol.TCP, parse_address("198.18.0.1"), 443)
+        arr.update(0, replacement)
+
+        from repro.netsim.packet import Packet
+        pkt = Packet(FiveTuple(Protocol.TCP, parse_address("100.64.0.1"), 50003,
+                               POOL_PREFIX.address_at(1), 443), syn=True)
+        assert path.dispatch(pkt).socket is replacement
+
+
+class TestServingEdgeCases:
+    def test_unknown_hostname_resolves_but_tls_fails(self, clock):
+        """A hostname nobody registered matches the catch-all policy and
+        resolves fine — DNS does not validate hostnames in this
+        architecture — but the edge, holding no certificate for it,
+        refuses the handshake.  (The layering: rejection happens at
+        connection termination, not in DNS.)"""
+        from repro.web.tls import TLSError
+        cdn, hostnames, *_ = make_policy_cdn(clock)
+        client = make_client(cdn, clock, "eyeball:us:0")
+        # DNS happily answers…
+        addresses = client.stub.lookup("never-registered.example.com")
+        assert addresses and all(a in POOL_PREFIX for a in addresses)
+        # …and the edge refuses at TLS.
+        with pytest.raises(TLSError):
+            client.fetch("never-registered.example.com")
+
+    def test_hosted_hostname_without_origin_404s(self, clock):
+        """Registered hostname, provisioned cert, but no origin content:
+        the suite answers 404/503 — not a hang, not a crash."""
+        cdn, hostnames, *_ = make_policy_cdn(clock)
+        cdn.registry.add_hostname(cdn.registry.customers()[0].name,
+                                  "newsite.example.com")
+        from repro.web.tls import Certificate
+        cdn.certs.add(Certificate("newsite.example.com"))
+        client = make_client(cdn, clock, "eyeball:us:0")
+        outcome = client.fetch("newsite.example.com")
+        assert outcome.response.status in (Status.NOT_FOUND, Status.UNAVAILABLE)
+
+    def test_aaaa_query_refused_when_only_v4_policy(self, clock):
+        cdn, hostnames, *_ = make_policy_cdn(clock)
+        dc = cdn.datacenters["ashburn"]
+        wire = Message.query(1, hostnames[0], RRType.AAAA).encode()
+        response = Message.decode(dc.handle_dns(wire))
+        assert response.flags.rcode.name == "REFUSED"
+
+    def test_v6_pool_end_to_end(self, clock):
+        """AAAA policy answering + v6 connection termination."""
+        cdn, hostnames = make_cdn()
+        v6_prefix = parse_prefix("2001:db8:f00::/48")
+        cdn.announce_pool(v6_prefix, ports=(443,), mode=ListenMode.SK_LOOKUP)
+        engine = PolicyEngine(random.Random(6))
+        engine.add(Policy("v6", AddressPool(v6_prefix), ttl=30))
+        cdn.set_answer_source(PolicyAnswerSource(engine, cdn.registry))
+
+        client = make_client(cdn, clock, "eyeball:us:0")
+        client.rrtype = RRType.AAAA
+        outcome = client.fetch(hostnames[0])
+        assert outcome.response.status is Status.OK
+        assert outcome.connection.remote_addr in v6_prefix

@@ -1,0 +1,96 @@
+"""Small substrate pieces: geography, packets, the simulated clock."""
+
+import pytest
+
+from repro.clock import Clock
+from repro.netsim.geo import WELL_KNOWN_CITIES, GeoPoint, great_circle_km, propagation_rtt_ms
+from repro.netsim.packet import FiveTuple, FlowRecord, Packet, Protocol
+from repro.netsim.addr import parse_address
+
+
+class TestGeo:
+    def test_distance_symmetric(self):
+        a, b = WELL_KNOWN_CITIES["london"], WELL_KNOWN_CITIES["newyork"]
+        assert great_circle_km(a, b) == pytest.approx(great_circle_km(b, a))
+
+    def test_london_newyork_distance_plausible(self):
+        km = great_circle_km(WELL_KNOWN_CITIES["london"], WELL_KNOWN_CITIES["newyork"])
+        assert 5300 < km < 5800
+
+    def test_zero_distance(self):
+        a = WELL_KNOWN_CITIES["tokyo"]
+        assert great_circle_km(a, a) == 0.0
+
+    def test_rtt_monotone_in_distance(self):
+        ash = WELL_KNOWN_CITIES["ashburn"]
+        chi = WELL_KNOWN_CITIES["chicago"]
+        syd = WELL_KNOWN_CITIES["sydney"]
+        assert propagation_rtt_ms(ash, chi) < propagation_rtt_ms(ash, syd)
+
+    def test_rtt_includes_hop_cost(self):
+        a = WELL_KNOWN_CITIES["paris"]
+        assert propagation_rtt_ms(a, a, hops=4) > 0
+
+    def test_bad_coordinates_rejected(self):
+        with pytest.raises(ValueError):
+            GeoPoint("x", 91.0, 0.0)
+        with pytest.raises(ValueError):
+            GeoPoint("x", 0.0, 181.0)
+
+
+class TestPacket:
+    def make_tuple(self, proto=Protocol.TCP):
+        return FiveTuple(
+            proto,
+            parse_address("10.0.0.1"), 4000,
+            parse_address("192.0.2.1"), 443,
+        )
+
+    def test_port_range_validated(self):
+        with pytest.raises(ValueError):
+            FiveTuple(Protocol.TCP, parse_address("10.0.0.1"), 70000,
+                      parse_address("192.0.2.1"), 443)
+
+    def test_reversed(self):
+        t = self.make_tuple()
+        r = t.reversed()
+        assert (r.src, r.src_port, r.dst, r.dst_port) == (t.dst, t.dst_port, t.src, t.src_port)
+        assert r.reversed() == t
+
+    def test_quic_wire_protocol_is_udp(self):
+        assert Protocol.QUIC.wire_protocol is Protocol.UDP
+        assert Protocol.TCP.wire_protocol is Protocol.TCP
+
+    def test_packet_accessors(self):
+        p = Packet(self.make_tuple(), payload_len=120, syn=True)
+        assert p.dst == parse_address("192.0.2.1")
+        assert p.dst_port == 443 and p.src_port == 4000
+        assert p.syn
+
+    def test_flow_record_accumulates(self):
+        rec = FlowRecord(self.make_tuple())
+        rec.add_request("a.example.com", 100)
+        rec.add_request("b.example.com", 200)
+        assert rec.requests == 2 and rec.bytes == 300
+        assert rec.hostnames == {"a.example.com", "b.example.com"}
+
+
+class TestClock:
+    def test_starts_at_zero(self):
+        assert Clock().now() == 0.0
+
+    def test_advance(self):
+        c = Clock()
+        assert c.advance(5.0) == 5.0
+        assert c.now() == 5.0
+
+    def test_negative_advance_rejected(self):
+        with pytest.raises(ValueError):
+            Clock().advance(-1)
+
+    def test_advance_to(self):
+        c = Clock(10.0)
+        c.advance_to(12.5)
+        assert c.now() == 12.5
+        with pytest.raises(ValueError):
+            c.advance_to(1.0)

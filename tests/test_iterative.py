@@ -1,0 +1,169 @@
+"""Iterative resolution: root → TLD → authoritative, with the policy engine
+at the bottom of the delegation chain.
+"""
+
+import random
+
+import pytest
+
+from repro.clock import Clock
+from repro.core import AddressPool, Policy, PolicyAnswerSource, PolicyEngine
+from repro.dns.iterative import IterativeResolver, ServerDirectory
+from repro.dns.records import A, NS, DomainName, ResourceRecord, RRType
+from repro.dns.resolver import ResolveError
+from repro.dns.server import AuthoritativeServer, QueryContext, ZoneAnswerSource
+from repro.dns.wire import Message, Rcode
+from repro.dns.zone import Zone
+from repro.edge.customers import AccountType, Customer, CustomerRegistry
+from repro.netsim.addr import parse_address, parse_prefix
+
+POOL = parse_prefix("192.0.2.0/24")
+ROOT_IP = parse_address("198.41.0.4")
+TLD_IP = parse_address("192.5.6.30")
+CDN_NS_IP = parse_address("198.51.100.53")
+CTX = QueryContext(pop="dc1")
+
+
+def name(text):
+    return DomainName.from_text(text)
+
+
+def build_tree(policy_backend=False, glueless=False):
+    """root. → com. → example.com., the last served by zone or policy."""
+    directory = ServerDirectory()
+
+    root_zone = Zone(".")
+    root_zone.add_record(ResourceRecord(name("com"), NS(name("a.gtld-servers.net")), 172800))
+    root_zone.add_record(ResourceRecord(name("net"), NS(name("a.gtld-servers.net")), 172800))
+    # Glue for the TLD server (it lives under net., also delegated to it —
+    # the classic in-bailiwick glue situation).
+    root_zone.add_record(ResourceRecord(name("a.gtld-servers.net"), A(TLD_IP), 172800))
+    directory.register(ROOT_IP, lambda w: AuthoritativeServer(
+        ZoneAnswerSource([root_zone]), "root").handle_wire(w, CTX))
+
+    tld_zone = Zone("com")
+    net_zone = Zone("net")
+    net_zone.add_record(ResourceRecord(name("a.gtld-servers.net"), A(TLD_IP), 86400))
+    if glueless:
+        # Delegation to an out-of-bailiwick NS: no glue possible in com.;
+        # the resolver must separately resolve ns1.cdnprovider.net.
+        tld_zone.add_record(
+            ResourceRecord(name("example.com"), NS(name("ns1.cdnprovider.net")), 86400)
+        )
+        net_zone.add_record(ResourceRecord(name("ns1.cdnprovider.net"), A(CDN_NS_IP), 86400))
+    else:
+        tld_zone.add_record(
+            ResourceRecord(name("example.com"), NS(name("ns1.cdn.example.com")), 86400)
+        )
+        tld_zone.add_record(ResourceRecord(name("ns1.cdn.example.com"), A(CDN_NS_IP), 86400))
+    directory.register(TLD_IP, lambda w: AuthoritativeServer(
+        ZoneAnswerSource([tld_zone, net_zone]), "tld").handle_wire(w, CTX))
+
+    if policy_backend:
+        registry = CustomerRegistry()
+        registry.add(Customer("acme", AccountType.FREE, {"www.example.com"}))
+        engine = PolicyEngine(random.Random(5))
+        engine.add(Policy("agile", AddressPool(POOL), ttl=30))
+        zone = Zone("example.com")
+        zone.add_record(ResourceRecord(name("ns1.cdn.example.com"), A(CDN_NS_IP), 300))
+        source = PolicyAnswerSource(engine, registry, fallback=ZoneAnswerSource([zone]))
+    else:
+        zone = Zone("example.com")
+        zone.add_address("www.example.com", A(parse_address("192.0.2.80")), ttl=300)
+        zone.add_record(ResourceRecord(name("ns1.cdn.example.com"), A(CDN_NS_IP), 300))
+        source = ZoneAnswerSource([zone])
+    directory.register(CDN_NS_IP, lambda w: AuthoritativeServer(
+        source, "cdn").handle_wire(w, CTX))
+    return directory
+
+
+def make_resolver(directory, clock=None):
+    return IterativeResolver(
+        "iter", clock or Clock(), directory, [ROOT_IP], rng=random.Random(1)
+    )
+
+
+class TestReferralServing:
+    def test_parent_returns_referral_not_answer(self):
+        directory = build_tree()
+        raw = directory.send(ROOT_IP, Message.query(1, "www.example.com", RRType.A).encode())
+        response = Message.decode(raw)
+        assert response.flags.rcode == Rcode.NOERROR
+        assert not response.flags.aa          # referrals are not authoritative
+        assert not response.answers
+        assert any(r.rrtype == RRType.NS for r in response.authority)
+        assert any(r.rrtype == RRType.A for r in response.additional)  # glue
+
+    def test_apex_ns_is_not_a_referral(self):
+        zone = Zone("example.com")
+        zone.add_record(ResourceRecord(name("example.com"), NS(name("ns1.example.com")), 300))
+        zone.add_address("www.example.com", A(parse_address("192.0.2.1")), ttl=60)
+        server = AuthoritativeServer(ZoneAnswerSource([zone]))
+        response = server.handle_query(Message.query(1, "www.example.com", RRType.A), CTX)
+        assert response.flags.aa and response.answers
+
+
+class TestIteration:
+    def test_full_walk_resolves(self):
+        directory = build_tree()
+        resolver = make_resolver(directory)
+        addresses = resolver.resolve_addresses("www.example.com")
+        assert addresses == [parse_address("192.0.2.80")]
+        assert resolver.stats.referrals_followed >= 2  # root→com, com→example
+
+    def test_delegations_cached_second_lookup_short(self):
+        directory = build_tree()
+        resolver = make_resolver(directory)
+        resolver.resolve("www.example.com")
+        sent_before = resolver.stats.queries_sent
+        resolver.cache.flush(name("www.example.com"))
+        resolver.resolve("www.example.com")
+        # Second resolution reuses cached NS chain: exactly one query.
+        assert resolver.stats.queries_sent == sent_before + 1
+
+    def test_policy_engine_behind_delegation(self):
+        """The paper's serving path at the bottom of real iteration:
+        per-query random addresses arrive through root+TLD referrals."""
+        directory = build_tree(policy_backend=True)
+        resolver = make_resolver(directory)
+        a1 = resolver.resolve_addresses("www.example.com")
+        resolver.cache.flush(name("www.example.com"))
+        a2 = resolver.resolve_addresses("www.example.com")
+        assert a1 and a2
+        assert all(a in POOL for a in a1 + a2)
+
+    def test_glueless_delegation_resolved(self):
+        directory = build_tree(glueless=True)
+        resolver = make_resolver(directory)
+        addresses = resolver.resolve_addresses("www.example.com")
+        assert addresses == [parse_address("192.0.2.80")]
+        assert resolver.stats.glue_misses_resolved >= 1
+
+    def test_nxdomain_from_authoritative(self):
+        directory = build_tree()
+        resolver = make_resolver(directory)
+        with pytest.raises(ResolveError) as exc:
+            resolver.resolve("missing.example.com")
+        assert exc.value.rcode == Rcode.NXDOMAIN
+
+    def test_unreachable_root_fails_cleanly(self):
+        resolver = IterativeResolver(
+            "iter", Clock(), ServerDirectory(), [ROOT_IP], rng=random.Random(1)
+        )
+        with pytest.raises(ResolveError):
+            resolver.resolve("www.example.com")
+        assert resolver.stats.timeouts >= 1
+
+    def test_needs_root_hints(self):
+        with pytest.raises(ValueError):
+            IterativeResolver("iter", Clock(), ServerDirectory(), [])
+
+    def test_ttl_expiry_forces_rewalk(self):
+        clock = Clock()
+        directory = build_tree()
+        resolver = make_resolver(directory, clock)
+        resolver.resolve("www.example.com")
+        clock.advance(400)  # past the leaf's 300s TTL, delegations live on
+        sent_before = resolver.stats.queries_sent
+        resolver.resolve("www.example.com")
+        assert resolver.stats.queries_sent == sent_before + 1

@@ -1,0 +1,97 @@
+"""Multiple concurrent service pools on one edge: the add_pool paths."""
+
+import pytest
+
+from repro.edge import ListenMode
+from repro.netsim.addr import parse_address, parse_prefix
+from repro.netsim.packet import FiveTuple, Packet, Protocol
+
+from conftest import BACKUP_PREFIX, POOL_PREFIX, make_cdn
+from test_edge_server import make_server
+
+SMALL_A = parse_prefix("192.0.2.0/28")
+SMALL_B = parse_prefix("203.0.113.0/28")
+
+
+def syn(dst, port=443):
+    return Packet(
+        FiveTuple(Protocol.TCP, parse_address("100.64.0.1"), 40000,
+                  dst, port),
+        syn=True,
+    )
+
+
+class TestAddPoolPerMode:
+    def test_sk_lookup_add_pool_no_new_sockets(self):
+        server = make_server()
+        server.configure_listening(SMALL_A, ports=(443,), mode=ListenMode.SK_LOOKUP)
+        before = server.socket_count()
+        server.add_pool(SMALL_B)
+        assert server.socket_count() == before
+        assert server.dispatch(syn(SMALL_A.address_at(3))).delivered
+        assert server.dispatch(syn(SMALL_B.address_at(3))).delivered
+        assert server.pools == [SMALL_A, SMALL_B]
+
+    def test_add_pool_idempotent(self):
+        server = make_server()
+        server.configure_listening(SMALL_A, ports=(443,), mode=ListenMode.SK_LOOKUP)
+        server.add_pool(SMALL_B)
+        rules_before = len(server._sk_program.rules())
+        server.add_pool(SMALL_B)
+        assert len(server._sk_program.rules()) == rules_before
+
+    def test_per_ip_add_pool_binds_new_addresses(self):
+        server = make_server()
+        server.configure_listening(SMALL_A, ports=(443,), mode=ListenMode.PER_IP_BINDS)
+        before = server.socket_count()
+        server.add_pool(SMALL_B)
+        assert server.socket_count() == before * 2
+        assert server.dispatch(syn(SMALL_B.address_at(1))).delivered
+
+    def test_wildcard_add_pool_noop(self):
+        server = make_server()
+        server.configure_listening(SMALL_A, ports=(443,), mode=ListenMode.WILDCARD)
+        before = server.socket_count()
+        server.add_pool(SMALL_B)
+        assert server.socket_count() == before
+        assert server.dispatch(syn(SMALL_B.address_at(1))).delivered
+
+    def test_add_pool_requires_configuration(self):
+        server = make_server()
+        with pytest.raises(RuntimeError):
+            server.add_pool(SMALL_B)
+
+
+class TestCDNMultiPool:
+    def test_two_pools_both_served(self, clock):
+        cdn, hostnames = make_cdn()
+        cdn.announce_pool(POOL_PREFIX, ports=(443,), mode=ListenMode.SK_LOOKUP)
+        cdn.announce_pool(BACKUP_PREFIX, ports=(443,), mode=ListenMode.SK_LOOKUP)
+        dc = cdn.datacenters["ashburn"]
+        from repro.web.tls import ClientHello
+        from repro.web.http import HTTPVersion
+        for prefix in (POOL_PREFIX, BACKUP_PREFIX):
+            t = FiveTuple(Protocol.TCP, parse_address("100.64.0.9"), 41000,
+                          prefix.address_at(2), 443)
+            conn = dc.connect(t, ClientHello(sni=hostnames[0]), HTTPVersion.H2)
+            assert conn.remote_addr in prefix
+
+    def test_mismatched_second_pool_config_rejected(self, clock):
+        cdn, _ = make_cdn()
+        cdn.announce_pool(POOL_PREFIX, ports=(443,), mode=ListenMode.SK_LOOKUP)
+        with pytest.raises(ValueError, match="existing ports/mode"):
+            cdn.announce_pool(BACKUP_PREFIX, ports=(80,), mode=ListenMode.SK_LOOKUP)
+
+    def test_repoint_collapses_to_single_pool(self):
+        server = make_server()
+        server.configure_listening(SMALL_A, ports=(443,), mode=ListenMode.SK_LOOKUP)
+        server.add_pool(SMALL_B)
+        new = parse_prefix("198.51.100.0/28")
+        server.repoint_pool(new)
+        assert server.pools == [new]
+        assert server.dispatch(syn(new.address_at(0))).delivered
+        assert not server.dispatch(syn(SMALL_A.address_at(0))).delivered
+        assert not server.dispatch(syn(SMALL_B.address_at(0))).delivered
+        # Rule count matches a single pool's worth.
+        labels = [r for r in server._sk_program.rules()]
+        assert len(labels) == 2  # one port x two protocols

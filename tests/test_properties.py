@@ -1,0 +1,248 @@
+"""Cross-cutting property-based tests on core invariants.
+
+These target the load-bearing guarantees: valley-free routing, selection
+staying inside pools, dispatch never mis-delivering, cache TTL safety.
+"""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.policy import Policy, PolicyAttributes, PolicyEngine
+from repro.core.pool import AddressPool
+from repro.core.strategies import (
+    HashedAssignment,
+    MappedAssignment,
+    PerPopAssignment,
+    RandomSelection,
+    SelectionContext,
+    StaticAssignment,
+)
+from repro.netsim.addr import IPAddress, Prefix, parse_prefix
+from repro.netsim.bgp import Announcement, ASGraph, BGPSimulation, Relationship
+from repro.netsim.packet import FiveTuple, Packet, Protocol
+from repro.sockets.lookup import LookupPath, LookupStage
+from repro.sockets.sklookup import MatchRule, SkLookupProgram, SockArray, Verdict
+from repro.sockets.socktable import SocketTable
+
+PFX = parse_prefix("198.51.100.0/24")
+
+
+def random_topology(rng: random.Random, n_transit: int = 5, n_stub: int = 10) -> ASGraph:
+    """A random but structurally valid AS graph: transit tree + stubs."""
+    graph = ASGraph()
+    transits = [f"t{i}" for i in range(n_transit)]
+    for i, t in enumerate(transits):
+        graph.add_as(t)
+        if i > 0:
+            provider = transits[rng.randrange(i)]
+            graph.add_provider(t, provider)
+    # Some peering among transits.
+    for _ in range(n_transit):
+        a, b = rng.sample(transits, 2)
+        try:
+            graph.add_peering(a, b)
+        except ValueError:
+            pass  # already related
+    for i in range(n_stub):
+        stub = f"s{i}"
+        graph.add_provider(stub, rng.choice(transits))
+        if rng.random() < 0.3:
+            other = rng.choice(transits)
+            try:
+                graph.add_provider(stub, other)
+            except ValueError:
+                pass
+    return graph
+
+
+def path_is_valley_free(graph: ASGraph, receiver, path: tuple) -> bool:
+    """Gao–Rexford validity: once the path goes down (p2c) or sideways
+    (p2p), it must never go up or sideways again.
+
+    ``path`` is the AS-path as stored in the receiver's RIB: next hop
+    first, origin last.  Traffic flows receiver -> ... -> origin; the
+    export chain runs origin -> ... -> receiver, so we walk it reversed.
+    """
+    chain = [receiver, *path]           # receiver, next hop, ..., origin
+    hops = list(reversed(chain))        # origin ... receiver = export order
+    seen_down_or_peer = False
+    for sender, recipient in zip(hops, hops[1:]):
+        rel_of_sender = graph.relationship(recipient, sender)
+        if rel_of_sender is Relationship.CUSTOMER:
+            # Sender is the recipient's customer: an "up" export (customer
+            # route) — only legal while we have not yet gone down/sideways.
+            if seen_down_or_peer:
+                return False
+        else:
+            seen_down_or_peer = True
+    return True
+
+
+@settings(max_examples=40, deadline=None)
+@given(seed=st.integers(0, 10_000))
+def test_property_all_routes_valley_free(seed):
+    rng = random.Random(seed)
+    graph = random_topology(rng)
+    sim = BGPSimulation(graph)
+    origin = f"s{rng.randrange(10)}"
+    sim.announce(Announcement(PFX, origin))
+    sim.converge()
+    for asn in graph.ases():
+        route = sim.rib(asn).best(PFX)
+        if route is None or not route.as_path:
+            continue
+        assert path_is_valley_free(graph, asn, route.as_path), (
+            f"valley at {asn}: {route.as_path}"
+        )
+
+
+@settings(max_examples=40, deadline=None)
+@given(seed=st.integers(0, 10_000))
+def test_property_forwarding_reaches_origin(seed):
+    rng = random.Random(seed)
+    graph = random_topology(rng)
+    sim = BGPSimulation(graph)
+    origin = f"s{rng.randrange(10)}"
+    sim.announce(Announcement(PFX, origin))
+    sim.converge()
+    for asn in graph.ases():
+        path = sim.forwarding_path(asn, PFX.first)
+        if path is not None:
+            assert path[-1] == origin
+            assert len(set(path)) == len(path)  # loop-free
+
+
+_strategies = st.sampled_from([
+    RandomSelection(),
+    HashedAssignment(),
+    StaticAssignment(per_address=4),
+    PerPopAssignment(["iad", "lhr", "sin"]),
+    MappedAssignment(),
+])
+
+
+@settings(max_examples=100, deadline=None)
+@given(
+    strategy=_strategies,
+    length=st.integers(min_value=24, max_value=32),
+    hostname=st.text(alphabet="abcdefghij", min_size=1, max_size=10),
+    pop=st.sampled_from(["iad", "lhr", "sin", "mystery"]),
+    seed=st.integers(0, 1 << 16),
+)
+def test_property_every_strategy_stays_in_pool(strategy, length, hostname, pop, seed):
+    pool = AddressPool(Prefix.of(IPAddress.from_text("192.0.2.0"), min(length, 24)),
+                       active=Prefix.of(IPAddress.from_text("192.0.2.0"), length))
+    ctx = SelectionContext(hostname=f"{hostname}.example", pop=pop)
+    address = strategy.select(pool, ctx, random.Random(seed))
+    assert pool.contains(address)
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    pops=st.lists(st.sampled_from(["a", "b", "c", "d", "e"]), min_size=1, max_size=5,
+                  unique=True),
+    seed=st.integers(0, 1 << 16),
+)
+def test_property_per_pop_assignment_injective(pops, seed):
+    pool = AddressPool(parse_prefix("192.0.2.0/24"))
+    strategy = PerPopAssignment(pops)
+    addresses = [strategy.address_for_pop(pool, pop) for pop in pops]
+    assert len(set(addresses)) == len(pops)
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    dst_suffix=st.integers(0, 255),
+    port=st.integers(1, 65535),
+    proto=st.sampled_from([Protocol.TCP, Protocol.UDP, Protocol.QUIC]),
+)
+def test_property_sk_lookup_never_misdelivers(dst_suffix, port, proto):
+    """A program steering (pool, 443) must deliver exactly the packets
+    matching both, and nothing else."""
+    pool = parse_prefix("192.0.2.0/25")  # only half the /24
+    table = SocketTable()
+    sock = table.bind_listen(Protocol.TCP, IPAddress.from_text("198.18.0.1"), 443)
+    arr = SockArray(1)
+    arr.update(0, sock)
+    program = SkLookupProgram("p", arr, [
+        MatchRule(Verdict.PASS, Protocol.TCP, (pool,), 443, 443, map_key=0),
+    ])
+    path = LookupPath(table)
+    path.attach(program)
+
+    dst = IPAddress.from_text("192.0.2.0")
+    dst = IPAddress.v4(dst.value + dst_suffix)
+    packet = Packet(FiveTuple(proto, IPAddress.from_text("100.64.0.1"), 9999, dst, port),
+                    syn=True)
+    result = path.dispatch(packet)
+    should_match = (dst in pool) and port == 443 and proto.wire_protocol is Protocol.TCP
+    assert (result.stage is LookupStage.SK_LOOKUP) == should_match
+    if not should_match:
+        assert result.stage is LookupStage.MISS
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    ttl=st.integers(1, 10_000),
+    clamp_min=st.integers(0, 5_000),
+    clamp_max=st.integers(0, 100_000),
+    elapsed=st.floats(0, 200_000),
+)
+def test_property_cache_never_serves_past_effective_ttl(ttl, clamp_min, clamp_max, elapsed):
+    from repro.clock import Clock
+    from repro.dns.cache import DNSCache, TTLPolicy
+    from repro.dns.records import A, DomainName, Question, ResourceRecord, RRType
+
+    if clamp_min > clamp_max:
+        clamp_min, clamp_max = clamp_max, clamp_min
+    if clamp_min == clamp_max == 0:
+        clamp_max = 1
+    policy = TTLPolicy(clamp_min=clamp_min, clamp_max=clamp_max)
+    clock = Clock()
+    cache = DNSCache(clock, policy)
+    question = Question(DomainName.from_text("x.example"), RRType.A)
+    record = ResourceRecord(question.name, A(IPAddress.from_text("192.0.2.1")), ttl)
+    cache.store(question, [record])
+    clock.advance(elapsed)
+    hit = cache.get(question)
+    effective = policy.effective_ttl(ttl)
+    if elapsed >= effective:
+        assert hit is None
+    elif hit is not None:
+        assert hit[0].ttl <= effective
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    n_policies=st.integers(1, 6),
+    pop=st.sampled_from(["iad", "lhr"]),
+    account=st.sampled_from(["free", "pro", None]),
+    seed=st.integers(0, 1 << 16),
+)
+def test_property_engine_first_match_semantics(n_policies, pop, account, seed):
+    """Whatever the configuration, the decision (if any) comes from the
+    lowest-priority matching policy and lies inside that policy's pool."""
+    rng = random.Random(seed)
+    engine = PolicyEngine(random.Random(seed + 1))
+    pools = []
+    for i in range(n_policies):
+        pool = AddressPool(Prefix.of(IPAddress.v4(0x0A000000 + (i << 8)), 24))
+        pools.append(pool)
+        match = {}
+        if rng.random() < 0.5:
+            match["pop"] = {rng.choice(["iad", "lhr"])}
+        if rng.random() < 0.5:
+            match["account_type"] = {rng.choice(["free", "pro"])}
+        engine.add(Policy(f"p{i}", pool, match=match, priority=rng.randrange(10)))
+    attrs = PolicyAttributes(pop=pop, account_type=account, family=4, hostname="h.example")
+    decision = engine.evaluate(attrs)
+    matching = [p for p in sorted(engine.policies(), key=lambda p: p.priority)
+                if p.matches(attrs)]
+    if decision is None:
+        assert not matching
+    else:
+        assert decision.policy.name == matching[0].name
+        assert decision.policy.pool.contains(decision.address)

@@ -1,0 +1,69 @@
+"""ssh known_hosts under addressing agility (§4.4 vs §5.1)."""
+
+import random
+
+import pytest
+
+from repro.core import AddressPool, RandomSelection, SelectionContext
+from repro.netsim.addr import parse_prefix
+from repro.web.ssh import HostKeyChangedError, KnownHostsClient
+
+POOL_24 = AddressPool(parse_prefix("192.0.2.0/24"))
+POOL_32 = AddressPool(parse_prefix("192.0.2.0/24"), active=parse_prefix("192.0.2.1/32"))
+
+
+def connect_series(client: KnownHostsClient, pool: AddressPool, n: int, seed: int) -> int:
+    """n connections to one host whose address comes from pool selection."""
+    rng = random.Random(seed)
+    strategy = RandomSelection()
+    ctx = SelectionContext(hostname="git.example.com", pop="iad")
+    for _ in range(n):
+        address = strategy.select(pool, ctx, rng)
+        client.connect("git.example.com", address, host_key="ed25519:AAAA")
+    return client.warnings
+
+
+class TestKnownHosts:
+    def test_random_addressing_triggers_warnings(self):
+        """§4.4: randomized IPs trip the hostname↔IP association."""
+        client = KnownHostsClient()
+        warnings = connect_series(client, POOL_24, n=30, seed=1)
+        assert warnings >= 25  # nearly every connection hits a fresh address
+
+    def test_one_address_produces_no_warnings(self):
+        """§5.1: one-address preserves the IP semantics ssh relies on."""
+        client = KnownHostsClient()
+        warnings = connect_series(client, POOL_32, n=30, seed=2)
+        assert warnings == 0
+
+    def test_first_contact_is_not_a_warning(self):
+        client = KnownHostsClient()
+        result = client.connect("h.example", POOL_24.address_at(0), "k1")
+        assert result.new_host and not result.ip_warning
+
+    def test_repeat_same_address_quiet(self):
+        client = KnownHostsClient()
+        a = POOL_24.address_at(7)
+        client.connect("h.example", a, "k1")
+        result = client.connect("h.example", a, "k1")
+        assert not result.ip_warning and not result.new_host
+
+    def test_key_change_hard_fails(self):
+        """Agility must never look like a MITM: keys are per-hostname.
+        An actual key change still fails loudly."""
+        client = KnownHostsClient()
+        client.connect("h.example", POOL_24.address_at(1), "k1")
+        with pytest.raises(HostKeyChangedError):
+            client.connect("h.example", POOL_24.address_at(2), "k2")
+
+    def test_check_host_ip_off_models_modern_default(self):
+        """OpenSSH ≥ 8.5 defaults CheckHostIP to no — §4.4 calls the
+        association 'outdated and already broken'."""
+        client = KnownHostsClient(check_host_ip=False)
+        warnings = connect_series(client, POOL_24, n=30, seed=3)
+        assert warnings == 0
+
+    def test_addresses_accumulate(self):
+        client = KnownHostsClient()
+        connect_series(client, POOL_24, n=50, seed=4)
+        assert len(client.known_addresses("git.example.com")) > 40

@@ -1,0 +1,67 @@
+"""The latency model: per-fetch charging and page-load decomposition."""
+
+import pytest
+
+from repro.web.http import HTTPVersion
+from repro.web.timing import FetchTiming, LatencyParams, PageLoadAccount, time_fetch
+
+PARAMS = LatencyParams(client_edge_rtt_ms=20.0, client_resolver_rtt_ms=8.0,
+                       bandwidth_bytes_per_ms=1000.0)
+
+
+class TestTimeFetch:
+    def test_cached_dns_reused_connection_is_transfer_only(self):
+        t = time_fetch(PARAMS, HTTPVersion.H2, new_connection=False,
+                       stub_missed=False, recursive_missed=False, body_len=1000)
+        assert t.dns_ms == 0 and t.setup_ms == 0
+        assert t.transfer_ms == pytest.approx(20.0 + 1.0)
+
+    def test_full_cold_tcp_fetch(self):
+        t = time_fetch(PARAMS, HTTPVersion.H2, new_connection=True,
+                       stub_missed=True, recursive_missed=True, body_len=0)
+        assert t.dns_ms == pytest.approx(8.0 + 20.0)   # stub→recursive→auth
+        assert t.setup_ms == pytest.approx(20.0 * 2)   # TCP + TLS1.3
+        assert t.total_ms == pytest.approx(28.0 + 40.0 + 20.0)
+
+    def test_stub_miss_recursive_hit(self):
+        t = time_fetch(PARAMS, HTTPVersion.H2, new_connection=False,
+                       stub_missed=True, recursive_missed=False, body_len=0)
+        assert t.dns_ms == pytest.approx(8.0)
+
+    def test_quic_handshake_is_one_rtt(self):
+        tcp = time_fetch(PARAMS, HTTPVersion.H2, True, False, False, 0)
+        quic = time_fetch(PARAMS, HTTPVersion.H3, True, False, False, 0)
+        assert quic.setup_ms == pytest.approx(20.0)
+        assert tcp.setup_ms == pytest.approx(40.0)
+
+    def test_tls12_costs_extra_rtt(self):
+        params = LatencyParams(client_edge_rtt_ms=20.0, tls_rtts=2.0)
+        t = time_fetch(params, HTTPVersion.H2, True, False, False, 0)
+        assert t.setup_ms == pytest.approx(60.0)
+
+    def test_transfer_scales_with_body(self):
+        small = time_fetch(PARAMS, HTTPVersion.H2, False, False, False, 1_000)
+        large = time_fetch(PARAMS, HTTPVersion.H2, False, False, False, 100_000)
+        assert large.transfer_ms - small.transfer_ms == pytest.approx(99.0)
+
+    def test_custom_resolver_auth_rtt(self):
+        params = LatencyParams(client_edge_rtt_ms=20.0,
+                               resolver_authoritative_rtt_ms=3.0)
+        t = time_fetch(params, HTTPVersion.H2, False, True, True, 0)
+        assert t.dns_ms == pytest.approx(8.0 + 3.0)
+
+
+class TestPageLoadAccount:
+    def test_accumulation_and_shares(self):
+        account = PageLoadAccount()
+        account.add(FetchTiming(dns_ms=10, setup_ms=30, transfer_ms=60))
+        account.add(FetchTiming(dns_ms=0, setup_ms=0, transfer_ms=100))
+        assert account.fetches == 2
+        assert account.total_ms == 200
+        assert account.share("dns") == pytest.approx(0.05)
+        assert account.share("setup") == pytest.approx(0.15)
+        assert account.share("transfer") == pytest.approx(0.80)
+
+    def test_empty_account(self):
+        account = PageLoadAccount()
+        assert account.total_ms == 0 and account.share("dns") == 0.0

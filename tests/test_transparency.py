@@ -1,0 +1,129 @@
+"""§4.3's transparency claims, as executable properties.
+
+"We emphasize that no changes were required to surrounding components, our
+changes are scoped to DNS and otherwise are completely transparent": the
+same workload driven under conventional vs. agile addressing must leave
+ECMP balance, L4LB state, cache behaviour, and origin traffic untouched.
+"""
+
+import random
+
+import pytest
+
+from repro.clock import Clock
+from repro.core import AddressPool, Policy, PolicyAnswerSource, PolicyEngine
+from repro.dns import A, Zone, ZoneAnswerSource
+from repro.dns.resolver import ResolveError
+from repro.edge import ListenMode
+from repro.web.http import Status
+
+from conftest import POOL_PREFIX, make_cdn, make_client
+
+
+def drive(cdn, clock, hostnames, fetches=40, seed=5):
+    """A fixed browsing script over a CDN; returns observable summaries."""
+    rng = random.Random(seed)
+    clients = {
+        asn: make_client(cdn, clock, asn, name=f"c-{asn}-{seed}")
+        for asn in ("eyeball:us:0", "eyeball:us:1", "eyeball:eu:0")
+    }
+    statuses = []
+    for i in range(fetches):
+        client = clients[rng.choice(list(clients))]
+        hostname = rng.choice(hostnames)
+        try:
+            statuses.append(client.fetch(hostname, f"/p{i % 7}").response.status)
+        except (ResolveError, ConnectionRefusedError):  # pragma: no cover
+            statuses.append(None)
+    return statuses
+
+
+def build_pair(clock):
+    """Two identical CDNs: one conventional, one agile."""
+    deployments = {}
+    for kind in ("conventional", "agile"):
+        cdn, hostnames = make_cdn()
+        cdn.announce_pool(POOL_PREFIX, ports=(443,), mode=ListenMode.SK_LOOKUP)
+        if kind == "conventional":
+            zone = Zone("example.com")
+            rng = random.Random(99)
+            for hostname in hostnames:
+                zone.add_address(hostname, A(POOL_PREFIX.random_address(rng)), ttl=30)
+            cdn.set_answer_source(ZoneAnswerSource([zone]))
+        else:
+            engine = PolicyEngine(random.Random(3))
+            engine.add(Policy("agile", AddressPool(POOL_PREFIX), ttl=30))
+            cdn.set_answer_source(PolicyAnswerSource(engine, cdn.registry))
+        deployments[kind] = (cdn, hostnames)
+    return deployments
+
+
+class TestTransparency:
+    def test_every_request_succeeds_under_both(self, clock):
+        for kind, (cdn, hostnames) in build_pair(clock).items():
+            statuses = drive(cdn, clock, hostnames)
+            assert all(s is Status.OK for s in statuses), kind
+
+    def test_cache_behaviour_identical(self, clock):
+        """The cache keys on content identity; hit sequences must match
+        exactly between addressing schemes for the same request script."""
+        hits = {}
+        for kind, (cdn, hostnames) in build_pair(clock).items():
+            drive(cdn, clock, hostnames)
+            hits[kind] = {
+                name: (node.stats.hits, node.stats.misses)
+                for dc in cdn.datacenters.values()
+                for name, node in dc.cache.nodes().items()
+            }
+        assert hits["conventional"] == hits["agile"]
+
+    def test_origin_traffic_identical(self, clock):
+        volumes = {}
+        for kind, (cdn, hostnames) in build_pair(clock).items():
+            drive(cdn, clock, hostnames)
+            volumes[kind] = sorted(
+                (o.name, o.requests, o.bytes_served) for o in cdn.origins.origins()
+            )
+        assert volumes["conventional"] == volumes["agile"]
+
+    def test_ecmp_stays_balanced_under_agility(self, clock):
+        """§4.3: ECMP complexity is about servers, not addresses."""
+        deployments = build_pair(clock)
+        for kind, (cdn, hostnames) in deployments.items():
+            drive(cdn, clock, hostnames, fetches=120, seed=8)
+            for dc in cdn.datacenters.values():
+                per_server = dc.ecmp.stats.per_server
+                if not per_server or dc.ecmp.stats.routed < 10:
+                    continue
+                top = max(per_server.values())
+                assert top <= 0.95 * dc.ecmp.stats.routed or len(per_server) == 1
+
+    def test_l4lb_table_scales_with_connections_not_addresses(self, clock):
+        deployments = build_pair(clock)
+        flows = {}
+        for kind, (cdn, hostnames) in deployments.items():
+            drive(cdn, clock, hostnames, fetches=60, seed=9)
+            flows[kind] = sum(dc.l4lb.tracked_flows() for dc in cdn.datacenters.values())
+            conns = sum(dc.connection_count() for dc in cdn.datacenters.values())
+            assert flows[kind] == conns
+        # Agile addressing spreads destinations over 256 addresses but must
+        # not inflate L4LB state relative to connection count.
+        # (Connection counts differ between schemes because coalescing
+        # differs; the invariant is flows == connections, checked above.)
+
+    def test_routing_unchanged_by_policy_swap(self, clock):
+        """BGP state is untouched by the answer-source swap."""
+        cdn, hostnames = make_cdn()
+        cdn.announce_pool(POOL_PREFIX, ports=(443,))
+        before = {
+            asn: cdn.network.pop_for(asn, POOL_PREFIX.first)
+            for asn in cdn.network.client_ases()
+        }
+        engine = PolicyEngine(random.Random(3))
+        engine.add(Policy("agile", AddressPool(POOL_PREFIX), ttl=30))
+        cdn.set_answer_source(PolicyAnswerSource(engine, cdn.registry))
+        after = {
+            asn: cdn.network.pop_for(asn, POOL_PREFIX.first)
+            for asn in cdn.network.client_ases()
+        }
+        assert before == after

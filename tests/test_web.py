@@ -1,0 +1,166 @@
+"""Web substrate: certificates/SNI, HTTP connections, coalescing rules."""
+
+import pytest
+
+from repro.netsim.addr import parse_address
+from repro.netsim.packet import Protocol
+from repro.web.http import Connection, HTTPVersion, Request, Response, Status
+from repro.web.origin import OriginPool, OriginServer, fixed_size
+from repro.web.tls import Certificate, CertificateStore, ClientHello, TLSError
+
+IP1 = parse_address("192.0.2.1")
+IP2 = parse_address("192.0.2.2")
+
+
+class TestCertificate:
+    def test_exact_match(self):
+        cert = Certificate("www.example.com", ("example.com",))
+        assert cert.covers("www.example.com")
+        assert cert.covers("EXAMPLE.COM.")
+        assert not cert.covers("other.example.com")
+
+    def test_wildcard_single_label(self):
+        cert = Certificate("*.example.com")
+        assert cert.covers("a.example.com")
+        assert not cert.covers("example.com")
+        assert not cert.covers("a.b.example.com")
+
+    def test_bare_star_matches_nothing(self):
+        cert = Certificate("*.")
+        assert not cert.covers("example.com")
+
+
+class TestCertificateStore:
+    def test_exact_selection(self):
+        store = CertificateStore()
+        cert = Certificate("a.example.com", ("b.example.com",))
+        store.add(cert)
+        assert store.select(ClientHello(sni="b.example.com")) is cert
+
+    def test_wildcard_selection(self):
+        store = CertificateStore()
+        wild = Certificate("*.example.com")
+        store.add(wild)
+        assert store.select(ClientHello(sni="zzz.example.com")) is wild
+
+    def test_default_fallback(self):
+        default = Certificate("fallback.cdn.net")
+        store = CertificateStore(default=default)
+        assert store.select(ClientHello(sni="unknown.org")) is default
+        assert store.select(ClientHello(sni=None)) is default
+
+    def test_no_sni_rejected_when_required(self):
+        store = CertificateStore(default=Certificate("x"), require_sni=True)
+        with pytest.raises(TLSError):
+            store.select(ClientHello(sni=None))
+
+    def test_unknown_sni_without_default_rejected(self):
+        store = CertificateStore()
+        store.add(Certificate("a.example.com"))
+        with pytest.raises(TLSError):
+            store.select(ClientHello(sni="b.example.com"))
+
+
+class TestHTTPVersion:
+    def test_transports(self):
+        assert HTTPVersion.H1.transport is Protocol.TCP
+        assert HTTPVersion.H2.transport is Protocol.TCP
+        assert HTTPVersion.H3.transport is Protocol.QUIC
+
+    def test_multiplexing(self):
+        assert not HTTPVersion.H1.multiplexes
+        assert HTTPVersion.H2.multiplexes and HTTPVersion.H3.multiplexes
+
+    def test_ip_match_requirement(self):
+        assert HTTPVersion.H2.requires_ip_match_for_coalescing
+        assert not HTTPVersion.H3.requires_ip_match_for_coalescing
+
+
+class TestRequest:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            Request(authority="")
+        with pytest.raises(ValueError):
+            Request(authority="a.com", path="nope")
+
+
+def make_conn(version=HTTPVersion.H2, addr=IP1, san=("a.example.com", "b.example.com")):
+    return Connection(
+        version=version,
+        remote_addr=addr,
+        remote_port=443,
+        certificate=Certificate(san[0], tuple(san[1:])),
+        sni=san[0],
+    )
+
+
+class TestCoalescing:
+    """RFC 7540 §9.1.1 — the two conditions, and the h3 exemption (§4.4)."""
+
+    def test_h2_requires_cert_and_ip(self):
+        conn = make_conn()
+        assert conn.can_coalesce("b.example.com", [IP1])
+        assert not conn.can_coalesce("b.example.com", [IP2])       # IP mismatch
+        assert not conn.can_coalesce("c.example.com", [IP1])       # cert miss
+
+    def test_h2_ip_set_membership(self):
+        conn = make_conn()
+        assert conn.can_coalesce("b.example.com", [IP2, IP1])  # conn addr ∈ set
+
+    def test_h3_waives_ip_condition(self):
+        conn = make_conn(version=HTTPVersion.H3)
+        assert conn.can_coalesce("b.example.com", [IP2])
+        assert not conn.can_coalesce("c.example.com", [IP2])  # cert still gates
+
+    def test_h1_never_coalesces(self):
+        conn = make_conn(version=HTTPVersion.H1)
+        assert not conn.can_coalesce("b.example.com", [IP1])
+
+    def test_ip_match_none_variant(self):
+        conn = make_conn()
+        assert conn.can_coalesce("b.example.com", [IP2], ip_match="none")
+
+    def test_closed_connection_rejected(self):
+        conn = make_conn()
+        conn.close()
+        assert not conn.can_coalesce("b.example.com", [IP1])
+
+    def test_h2_empty_resolution_rejected(self):
+        conn = make_conn()
+        assert not conn.can_coalesce("b.example.com", [])
+
+    def test_record_accounting(self):
+        conn = make_conn()
+        conn.record(Request("a.example.com"), Response(Status.OK, body_len=100))
+        conn.record(Request("b.example.com"), Response(Status.OK, body_len=50))
+        assert conn.requests == 2 and conn.bytes == 150
+        assert conn.authorities == {"a.example.com", "b.example.com"}
+
+    def test_record_on_closed_raises(self):
+        conn = make_conn()
+        conn.close()
+        with pytest.raises(RuntimeError):
+            conn.record(Request("a.example.com"), Response(Status.OK))
+
+
+class TestOrigins:
+    def test_origin_serves_its_hostnames(self):
+        origin = OriginServer("o", {"a.example.com"}, fixed_size(500))
+        resp = origin.serve(Request("a.example.com"))
+        assert resp.status is Status.OK and resp.body_len == 500
+        assert origin.serve(Request("b.example.com")).status is Status.NOT_FOUND
+
+    def test_pool_routes_by_hostname(self):
+        pool = OriginPool()
+        pool.add(OriginServer("o1", {"a.example.com"}, fixed_size(1)))
+        pool.add(OriginServer("o2", {"b.example.com"}, fixed_size(2)))
+        assert pool.fetch(Request("b.example.com")).body_len == 2
+        assert pool.fetch(Request("nope.example.com")).status is Status.UNAVAILABLE
+
+    def test_pool_accounting(self):
+        pool = OriginPool()
+        o = OriginServer("o1", {"a.example.com"}, fixed_size(10))
+        pool.add(o)
+        pool.fetch(Request("a.example.com"))
+        pool.fetch(Request("a.example.com"))
+        assert o.requests == 2 and o.bytes_served == 20
