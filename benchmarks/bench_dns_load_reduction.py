@@ -16,7 +16,6 @@ def test_dns_stress_falls_with_ttl(benchmark, save_table):
     runs = benchmark.pedantic(run_dns_load, kwargs=dict(sessions=120),
                               rounds=1, iterations=1)
     save_table("dns_load_reduction", render_dns_load_table(runs))
-    by_label = {run.label.split(" ")[0] + str(run.ttl): run for run in runs}
     random30 = next(r for r in runs if r.label.startswith("random"))
     one30 = next(r for r in runs if r.label == "one-ip ttl=30")
     one3600 = next(r for r in runs if r.ttl == 3600)

@@ -1,0 +1,71 @@
+"""E17: failover recovery — detect → rebind → recover at TTL timescales.
+
+Claims checked:
+
+* with the health-monitor loop enabled, client success rate recovers
+  within ``TTL + probe_interval`` of a total PoP outage (§4.4's
+  ``max(conn lifetime, TTL)`` bound plus detection latency);
+* the no-agility negative control stays blackholed until the prefix is
+  re-originated after "BGP reconvergence" — an order of magnitude longer;
+* recovery time scales with the TTL knob, not with BGP timers;
+* the whole chaos scenario is deterministic given its seed.
+"""
+
+from repro.analysis.reporting import TextTable
+from repro.experiments.failover import (
+    FailoverConfig,
+    render_failover_table,
+    run_failover,
+    run_failover_pair,
+)
+
+
+def test_failover_recovery_bounded_by_ttl(benchmark, save_table):
+    pair = benchmark.pedantic(run_failover_pair, args=(FailoverConfig(),),
+                              rounds=1, iterations=1)
+    agile, control = pair["agile"], pair["control"]
+    config = agile.config
+
+    # Detection: the monitor notices within one probe interval.
+    assert agile.detection_time <= config.probe_interval
+    # Recovery: within TTL + probe interval of the outage.
+    assert agile.recovered_within_bound
+    # Negative control: blackholed at the bound, only BGP saves it.
+    assert not control.recovered_within_bound
+    assert control.success_rate_between(
+        config.fail_at, config.fail_at + config.recovery_bound) == 0.0
+    assert control.recovery_time >= config.bgp_reconverge_s - 1.0
+    # Both end healthy (the run outlives both recovery paths).
+    assert agile.ticks[-1].failures == 0
+    assert control.ticks[-1].failures == 0
+    save_table("failover_recovery", render_failover_table(pair))
+
+
+def test_failover_recovery_tracks_ttl(benchmark, save_table):
+    """The recovery bound is a TTL property: halve the TTL, recover
+    roughly twice as fast, while the control's exit never moves."""
+    rows = []
+    for ttl in (10, 20, 40):
+        outcome = run_failover(FailoverConfig(ttl=ttl, seed=2021 + ttl))
+        assert outcome.recovered_within_bound
+        rows.append((ttl, outcome.detection_time, outcome.recovery_time,
+                     outcome.config.recovery_bound))
+    table = TextTable("E17 ablation — recovery time vs DNS TTL",
+                      ["TTL (s)", "detection (s)", "recovery (s)", "bound (s)"])
+    for ttl, detect, recover, bound in rows:
+        table.add_row(ttl, f"{detect:.0f}", f"{recover:.0f}", f"{bound:.0f}")
+    save_table("failover_ttl_sweep", table.render())
+    assert rows[0][2] <= rows[-1][2]  # shorter TTL, no slower recovery
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+
+
+def test_failover_scenario_is_deterministic(benchmark):
+    """Same seed ⇒ identical chaos: tick series, detection, recovery."""
+    a = run_failover(FailoverConfig())
+    b = run_failover(FailoverConfig())
+    assert a.ticks == b.ticks
+    assert a.detection_time == b.detection_time
+    assert a.recovery_time == b.recovery_time
+    assert [(e.at, e.kind, e.phase) for e in a.timeline] == \
+           [(e.at, e.kind, e.phase) for e in b.timeline]
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)

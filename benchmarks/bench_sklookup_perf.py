@@ -21,7 +21,6 @@ from repro.experiments.sklookup_perf import (
     DEFAULT_POOL,
     build_baseline_listener,
     build_sk_lookup,
-    build_wildcard,
     dispatch_all,
     make_packets,
 )

@@ -23,7 +23,6 @@ from repro.dns import (
     NS,
     QueryContext,
     ResourceRecord,
-    RRType,
     ServerDirectory,
     Zone,
     ZoneAnswerSource,

@@ -15,9 +15,8 @@ service as much as a CDN.  This example plays that operator:
 Run:  python examples/migrate_conventional_zone.py
 """
 
-import random
 
-from repro.core import AddressPool, PolicyAnswerSource
+from repro.core import PolicyAnswerSource
 from repro.core.spec import AttributeDomain, compile_and_verify
 from repro.dns import AuthoritativeServer, Message, QueryContext, RRType, ZoneAnswerSource
 from repro.dns.zonefile import load_zone

@@ -12,6 +12,7 @@
     python -m repro spillover
     python -m repro coloring
     python -m repro dnsload
+    python -m repro failover --ttl 20
     python -m repro scaling
 
 Each subcommand prints the same table its benchmark saves under
@@ -85,6 +86,13 @@ def _cmd_dnsload(args) -> str:
     return render_dns_load_table(run_dns_load(sessions=args.sessions))
 
 
+def _cmd_failover(args) -> str:
+    from .experiments.failover import FailoverConfig, render_failover_table, run_failover_pair
+
+    config = FailoverConfig(ttl=args.ttl, probe_interval=args.probe_interval)
+    return render_failover_table(run_failover_pair(config))
+
+
 def _cmd_scaling(args) -> str:
     from .experiments.sklookup_perf import render_scaling_table
 
@@ -108,6 +116,7 @@ _COMMANDS: dict[str, tuple[Callable, str]] = {
     "spillover": (_cmd_spillover, "§6: DC2 measurement (resolver/client mismatch)"),
     "coloring": (_cmd_coloring, "§6: map colouring for anycast traffic tuning"),
     "dnsload": (_cmd_dnsload, "§5.2: DNS-stress reduction under one-address"),
+    "failover": (_cmd_failover, "§3.4/§4.4: failover recovery time vs BGP reconvergence"),
     "scaling": (_cmd_scaling, "Figure 4: socket-table scaling comparison"),
     "list": (_cmd_list, "list available experiments"),
 }
@@ -152,6 +161,10 @@ def build_parser() -> argparse.ArgumentParser:
 
     p = sub.add_parser("dnsload", help=_COMMANDS["dnsload"][1])
     p.add_argument("--sessions", type=int, default=120)
+
+    p = sub.add_parser("failover", help=_COMMANDS["failover"][1])
+    p.add_argument("--ttl", type=int, default=20)
+    p.add_argument("--probe-interval", type=float, default=5.0, dest="probe_interval")
 
     sub.add_parser("scaling", help=_COMMANDS["scaling"][1])
     sub.add_parser("list", help=_COMMANDS["list"][1])

@@ -13,7 +13,6 @@ listening sockets.
 from __future__ import annotations
 
 import random
-from dataclasses import dataclass
 
 from ..netsim.addr import IPAddress, Prefix
 

@@ -22,7 +22,7 @@ state (static/mapped assignments).
 from __future__ import annotations
 
 import random
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from ..netsim.addr import IPAddress
 from .pool import AddressPool

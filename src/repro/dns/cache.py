@@ -90,12 +90,25 @@ class DNSCache:
     forwarding a cached answer would.
     """
 
-    def __init__(self, clock: Clock, policy: TTLPolicy | None = None, capacity: int = 1_000_000) -> None:
+    def __init__(
+        self,
+        clock: Clock,
+        policy: TTLPolicy | None = None,
+        capacity: int = 1_000_000,
+        serve_stale_window: float = 0.0,
+    ) -> None:
+        """``serve_stale_window``: opt-in RFC 8767 retention — expired
+        positive entries linger (invisible to :meth:`lookup`) for this many
+        seconds so :meth:`lookup_stale` can serve them while every upstream
+        is unreachable.  0 (default) keeps strict RFC 2181 expiry."""
         if capacity <= 0:
             raise ValueError("capacity must be positive")
+        if serve_stale_window < 0:
+            raise ValueError("serve_stale_window must be non-negative")
         self.clock = clock
         self.policy = policy or TTLPolicy.honest()
         self.capacity = capacity
+        self.serve_stale_window = serve_stale_window
         self.stats = CacheStats()
         self._entries: dict[tuple[DomainName, RRType], _Entry] = {}
 
@@ -167,8 +180,16 @@ class DNSCache:
             self.stats.misses += 1
             return None
         if entry.expires_at <= now:
-            del self._entries[key]
-            self.stats.expirations += 1
+            # Stale-but-retained positive entries stay for lookup_stale;
+            # they read as misses here so callers still try upstream first.
+            keep = (
+                self.serve_stale_window > 0
+                and not entry.negative
+                and now < entry.expires_at + self.serve_stale_window
+            )
+            if not keep:
+                del self._entries[key]
+                self.stats.expirations += 1
             self.stats.misses += 1
             return None
         self.stats.hits += 1
@@ -177,6 +198,35 @@ class DNSCache:
         remaining = int(entry.expires_at - now)
         records = tuple(r.with_ttl(min(r.ttl, max(remaining, 0))) for r in entry.records)
         return records, False
+
+    def lookup_stale(self, question: Question, stale_ttl: int = 30) -> tuple[ResourceRecord, ...] | None:
+        """An expired-but-retained answer (RFC 8767 serve-stale), or None.
+
+        Only meaningful with a positive ``serve_stale_window``.  Returned
+        records carry ``stale_ttl`` (the RFC's recommended short TTL) so a
+        downstream cache cannot pin staleness for long.
+        """
+        entry = self._entries.get((question.name, question.rrtype))
+        if entry is None or entry.negative:
+            return None
+        now = self.clock.now()
+        if entry.expires_at > now:  # still fresh: use lookup()
+            return None
+        if now >= entry.expires_at + self.serve_stale_window:
+            return None
+        return tuple(r.with_ttl(stale_ttl) for r in entry.records)
+
+    def negative_ttl_remaining(self, question: Question) -> float | None:
+        """Remaining lifetime of a cached negative entry (NODATA/NXDOMAIN).
+
+        Lets a downstream cache (the stub) inherit the authoritative SOA
+        minimum this cache stored, instead of inventing its own.
+        """
+        entry = self._entries.get((question.name, question.rrtype))
+        if entry is None or not entry.negative:
+            return None
+        remaining = entry.expires_at - self.clock.now()
+        return remaining if remaining > 0 else None
 
     def flush(self, name: DomainName | None = None) -> int:
         """Drop everything, or everything under ``name``; returns count."""

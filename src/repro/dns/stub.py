@@ -58,7 +58,14 @@ class StubResolver:
         if records:
             self.cache.store(question, records)
         else:
-            self.cache.store_negative(question, soa_minimum=30, nxdomain=False)
+            # NODATA: inherit the authoritative SOA minimum the recursive
+            # just cached rather than inventing one.  If the recursive
+            # cached nothing (SOA minimum of 0), neither do we.
+            soa_minimum = self.recursive.cache.negative_ttl_remaining(question)
+            if soa_minimum is not None:
+                self.cache.store_negative(
+                    question, int(soa_minimum), nxdomain=False
+                )
         return self._addresses(records, rrtype)
 
     @staticmethod

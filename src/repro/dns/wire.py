@@ -16,7 +16,7 @@ from __future__ import annotations
 
 import enum
 import struct
-from dataclasses import dataclass, field, replace
+from dataclasses import dataclass, replace
 
 from ..netsim.addr import IPAddress
 from .records import (

@@ -8,7 +8,7 @@ reads ("every CDN location [can] monitor requests on unexpected IPs").
 from __future__ import annotations
 
 import random
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from ..dns.server import AuthoritativeServer, QueryContext
 from ..netsim.addr import IPAddress, Prefix
@@ -142,6 +142,26 @@ class Datacenter:
 
     def set_dns(self, server: AuthoritativeServer) -> None:
         self.dns = server
+
+    # -- failure injection --------------------------------------------------------
+
+    def crash_server(self, server_name: str) -> None:
+        self.servers[server_name].crash()
+
+    def restore_server(self, server_name: str) -> None:
+        self.servers[server_name].restore()
+
+    def crash_all_servers(self) -> None:
+        """A whole-PoP outage (power/fabric failure): every rack dies."""
+        for server in self.servers.values():
+            server.crash()
+
+    def restore_all_servers(self) -> None:
+        for server in self.servers.values():
+            server.restore()
+
+    def healthy_server_count(self) -> int:
+        return sum(1 for s in self.servers.values() if not s.crashed)
 
     # -- DNS plane ------------------------------------------------------------
 

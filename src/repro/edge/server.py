@@ -29,7 +29,7 @@ from ..netsim.addr import IPAddress, Prefix
 from ..netsim.packet import FiveTuple, Packet, Protocol
 from ..sockets.lookup import DispatchResult, LookupPath
 from ..sockets.sklookup import MatchRule, SkLookupProgram, SockArray, Verdict
-from ..sockets.socktable import Socket, SocketTable
+from ..sockets.socktable import SocketTable
 from ..web.http import Connection, HTTPVersion, Request, Response, Status
 from ..web.tls import CertificateStore, ClientHello, TLSError
 from .cache import DistributedCache
@@ -79,8 +79,10 @@ class EdgeServer:
         self.table = SocketTable()
         self.lookup_path = LookupPath(self.table)
         self.stats = EdgeServerStats()
+        self.crashed = False
         self.listen_mode: str | None = None
         self._service_ports: tuple[int, ...] = ()
+        self._protocols: tuple[Protocol, ...] = ()
         self._sk_program: SkLookupProgram | None = None
         self._sk_map: SockArray | None = None
         self._pool_rules_label = "service-pool"
@@ -105,6 +107,7 @@ class EdgeServer:
         self._teardown_listening()
         self.listen_mode = mode
         self._service_ports = tuple(ports)
+        self._protocols = tuple(protocols)
         self.pools = [pool]
 
         if mode == ListenMode.PER_IP_BINDS:
@@ -226,6 +229,37 @@ class EdgeServer:
             self.table.close(sock)
         self.listen_mode = None
 
+    # -- failure injection --------------------------------------------------------
+
+    def crash(self) -> None:
+        """Simulate machine/process failure: every socket dies at once.
+
+        New SYNs fall through the lookup path (connection refused) and
+        requests on established connections are reset — the loud, abrupt
+        failure mode a health monitor must detect from the outside.  The
+        listening configuration is remembered so :meth:`restore` can bring
+        the box back exactly as it was.
+        """
+        if self.crashed:
+            return
+        saved = (list(self.pools), self._service_ports, self.listen_mode, self._protocols)
+        self._teardown_listening()
+        self._saved_config = saved
+        self.crashed = True
+
+    def restore(self) -> None:
+        """Recover from :meth:`crash`: rebind the saved listening config."""
+        if not self.crashed:
+            return
+        pools, ports, mode, protocols = self._saved_config
+        self.crashed = False
+        del self._saved_config
+        if mode is None:
+            return  # crashed before ever listening; nothing to rebind
+        self.configure_listening(pools[0], ports, mode, protocols)
+        for extra in pools[1:]:
+            self.add_pool(extra)
+
     # -- data path ---------------------------------------------------------------
 
     def dispatch(self, packet: Packet, deliver: bool = False) -> DispatchResult:
@@ -264,6 +298,10 @@ class EdgeServer:
         answered 421 Misdirected Request — the guard that keeps coalescing
         honest (RFC 7540 §9.1.2).  Unknown hostnames get 404.
         """
+        if self.crashed:
+            raise ConnectionResetError(
+                f"{self.name}: server crashed; connection {connection.conn_id} reset"
+            )
         self.stats.requests += 1
         if not connection.certificate.covers(request.authority):
             return Response(Status.MISDIRECTED, served_by=self.name)

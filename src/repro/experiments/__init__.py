@@ -19,15 +19,17 @@ EXPERIMENTS.md records their output against the paper's numbers.
 | dnsqps          | §4.2 answering-rate claims             |
 | dnsload         | §5.2 DNS-stress reduction (extension)  |
 | pageload        | §5.2 page-load decomposition (extension)|
+| failover        | §3.4/§4.4 failover recovery (extension)|
 """
 
-from . import coloring, dnsload, dnsqps, dos, fig7, fig8, fig9, pageload, reduction, sklookup_perf, spillover, ttl
+from . import coloring, dnsload, dnsqps, dos, failover, fig7, fig8, fig9, pageload, reduction, sklookup_perf, spillover, ttl
 
 __all__ = [
     "coloring",
     "dnsload",
     "dnsqps",
     "dos",
+    "failover",
     "pageload",
     "fig7",
     "fig8",

@@ -1,0 +1,51 @@
+"""Fault injection and the failure-aware control plane.
+
+The paper sells addressing agility as *robustness*: when a PoP fails or a
+prefix is leaked, operators rebind pools at DNS-TTL timescales instead of
+waiting for BGP (§3.4, §6).  This package provides both halves of the
+argument:
+
+* **injection** — :class:`FaultPlan`/:class:`FaultInjector` schedule
+  deterministic, seeded faults (lossy DNS transports, server crashes,
+  whole-PoP withdrawals, BGP flaps) against simulated-clock time, every
+  one recorded as a :class:`FaultEvent` on a queryable
+  :class:`FaultTimeline`;
+* **detection & reaction** — :class:`HealthMonitor` probes the service
+  end-to-end (policy DNS → anycast route → TLS → HTTP) and drives the
+  :class:`~repro.core.agility.AgilityController` to drain a dead pool onto
+  a pre-advertised standby.
+
+:mod:`repro.experiments.failover` measures the closed loop: recovery
+bounded by ``TTL + probe interval``, versus blackholed traffic until BGP
+reconvergence without agility.
+"""
+
+from .events import FaultEvent, FaultTimeline
+from .injector import (
+    Fault,
+    FaultInjector,
+    FaultPlan,
+    FaultTargets,
+    PopOutage,
+    PopWithdrawal,
+    ServerCrash,
+    TransportDegrade,
+)
+from .monitor import HealthMonitor, ProbeResult
+from .transport import FlakyTransport
+
+__all__ = [
+    "FaultEvent",
+    "FaultTimeline",
+    "Fault",
+    "FaultInjector",
+    "FaultPlan",
+    "FaultTargets",
+    "PopOutage",
+    "PopWithdrawal",
+    "ServerCrash",
+    "TransportDegrade",
+    "HealthMonitor",
+    "ProbeResult",
+    "FlakyTransport",
+]

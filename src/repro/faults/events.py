@@ -1,0 +1,88 @@
+"""Structured fault telemetry: every injected fault, every reaction.
+
+Chaos experiments are only useful if the run leaves an audit trail: *what*
+was broken, *when*, and what the control plane did about it.  Every
+injection, reversion, probe failure, and failover decision lands on one
+:class:`FaultTimeline` as a :class:`FaultEvent`, so a scenario can be
+replayed from its seed and interrogated afterwards ("how long between the
+withdrawal and the pool swap?") without scraping logs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator
+
+__all__ = ["FaultEvent", "FaultTimeline"]
+
+
+@dataclass(frozen=True, slots=True)
+class FaultEvent:
+    """One timestamped entry on the fault timeline.
+
+    ``kind`` is a short machine-matchable tag (``pop_withdrawn``,
+    ``server_crashed``, ``probe_failed``, ``failover_triggered``, …);
+    ``phase`` separates the injection from its scheduled reversion.
+    """
+
+    at: float
+    kind: str
+    target: str
+    detail: str = ""
+    phase: str = "inject"  # "inject" | "revert" | "observe" | "react"
+
+
+@dataclass(slots=True)
+class FaultTimeline:
+    """An append-only, queryable record of a chaos scenario."""
+
+    _events: list[FaultEvent] = field(default_factory=list)
+
+    def record(self, event: FaultEvent) -> FaultEvent:
+        if self._events and event.at < self._events[-1].at:
+            raise ValueError(
+                f"timeline must be appended in time order "
+                f"({event.at} < {self._events[-1].at})"
+            )
+        self._events.append(event)
+        return event
+
+    def emit(self, at: float, kind: str, target: str, detail: str = "",
+             phase: str = "inject") -> FaultEvent:
+        return self.record(FaultEvent(at, kind, target, detail, phase))
+
+    # -- queries -------------------------------------------------------------
+
+    def events(
+        self,
+        kind: str | None = None,
+        target: str | None = None,
+        since: float | None = None,
+        until: float | None = None,
+    ) -> list[FaultEvent]:
+        out = []
+        for e in self._events:
+            if kind is not None and e.kind != kind:
+                continue
+            if target is not None and e.target != target:
+                continue
+            if since is not None and e.at < since:
+                continue
+            if until is not None and e.at > until:
+                continue
+            out.append(e)
+        return out
+
+    def first(self, kind: str, since: float | None = None) -> FaultEvent | None:
+        matches = self.events(kind=kind, since=since)
+        return matches[0] if matches else None
+
+    def last(self, kind: str) -> FaultEvent | None:
+        matches = self.events(kind=kind)
+        return matches[-1] if matches else None
+
+    def __len__(self) -> int:
+        return len(self._events)
+
+    def __iter__(self) -> Iterator[FaultEvent]:
+        return iter(self._events)

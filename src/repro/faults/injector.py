@@ -1,0 +1,322 @@
+"""Seeded, clock-scheduled fault injection against a live deployment.
+
+The paper's robustness story (§4, §6) is exercised here from the other
+side: a :class:`FaultPlan` declares *what breaks when* — DNS paths degrade,
+edge servers crash, whole PoPs withdraw, BGP announcements flap — and a
+:class:`FaultInjector` executes the plan against simulated-clock time,
+emitting a :class:`~repro.faults.events.FaultEvent` for every injection and
+reversion.  Scenarios are deterministic: schedules are explicit, and any
+randomness a fault needs comes from the injector's ``random.Random``.
+
+Usage::
+
+    plan = FaultPlan()
+    plan.at(60.0, PopOutage("ashburn"), duration=120.0)
+    plan.flap(POOL, "london", start=30.0, period=20.0, cycles=3)
+    injector = FaultInjector(clock, plan, FaultTargets(cdn=cdn))
+    while clock.now() < horizon:
+        injector.tick()        # applies/reverts everything now due
+        ... drive traffic ...
+        clock.advance(1.0)
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+import random
+from dataclasses import dataclass, field
+
+from ..clock import Clock
+from ..edge.cdn import CDN
+from ..netsim.addr import Prefix
+from ..netsim.anycast import AnycastNetwork
+from .events import FaultEvent, FaultTimeline
+from .transport import FlakyTransport
+
+__all__ = [
+    "FaultTargets",
+    "Fault",
+    "PopWithdrawal",
+    "PopOutage",
+    "ServerCrash",
+    "TransportDegrade",
+    "FaultPlan",
+    "FaultInjector",
+]
+
+
+@dataclass(slots=True)
+class FaultTargets:
+    """What a plan's faults may reach into.
+
+    ``network`` defaults to ``cdn.network``; ``transports`` holds named
+    :class:`FlakyTransport` wrappers for DNS-path faults.
+    """
+
+    cdn: CDN | None = None
+    network: AnycastNetwork | None = None
+    transports: dict[str, FlakyTransport] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.network is None and self.cdn is not None:
+            self.network = self.cdn.network
+
+    def require_cdn(self) -> CDN:
+        if self.cdn is None:
+            raise RuntimeError("this fault needs a CDN target")
+        return self.cdn
+
+    def require_network(self) -> AnycastNetwork:
+        if self.network is None:
+            raise RuntimeError("this fault needs an anycast network target")
+        return self.network
+
+
+class Fault:
+    """One injectable failure; subclasses implement apply/revert."""
+
+    kind: str = "fault"
+
+    @property
+    def target(self) -> str:
+        raise NotImplementedError
+
+    def apply(self, targets: FaultTargets, rng: random.Random) -> str:
+        """Inject; returns a human-readable detail string."""
+        raise NotImplementedError
+
+    def revert(self, targets: FaultTargets, rng: random.Random) -> str:
+        """Undo the injection (scheduled via ``duration``)."""
+        raise NotImplementedError
+
+
+@dataclass(slots=True)
+class PopWithdrawal(Fault):
+    """Withdraw one prefix's BGP origination at one PoP (maintenance or
+    misconfiguration); reverting re-announces it — so a scheduled
+    withdraw+revert pair is precisely a BGP flap."""
+
+    prefix: Prefix
+    pop: str
+    kind: str = "pop_withdrawal"
+
+    @property
+    def target(self) -> str:
+        return f"{self.pop}:{self.prefix}"
+
+    def apply(self, targets: FaultTargets, rng: random.Random) -> str:
+        targets.require_network().withdraw_from(self.prefix, self.pop)
+        return f"withdrew {self.prefix} from {self.pop}"
+
+    def revert(self, targets: FaultTargets, rng: random.Random) -> str:
+        targets.require_network().announce_from(self.prefix, [self.pop])
+        return f"re-announced {self.prefix} from {self.pop}"
+
+
+@dataclass(slots=True)
+class PopOutage(Fault):
+    """A whole-PoP failure: every server crashes and every prefix the PoP
+    originates is withdrawn (the routers lose their anycast next-hops)."""
+
+    pop: str
+    kind: str = "pop_outage"
+    _withdrawn: list[Prefix] = field(default_factory=list)
+
+    @property
+    def target(self) -> str:
+        return self.pop
+
+    def apply(self, targets: FaultTargets, rng: random.Random) -> str:
+        cdn = targets.require_cdn()
+        network = targets.require_network()
+        cdn.datacenters[self.pop].crash_all_servers()
+        self._withdrawn = [
+            prefix for prefix, pops in network.announced_prefixes().items()
+            if self.pop in pops
+        ]
+        for prefix in self._withdrawn:
+            network.withdraw_from(prefix, self.pop)
+        return f"{self.pop} down: {len(self._withdrawn)} prefixes withdrawn, servers crashed"
+
+    def revert(self, targets: FaultTargets, rng: random.Random) -> str:
+        cdn = targets.require_cdn()
+        network = targets.require_network()
+        for prefix in self._withdrawn:
+            network.announce_from(prefix, [self.pop])
+        cdn.datacenters[self.pop].restore_all_servers()
+        restored, self._withdrawn = self._withdrawn, []
+        return f"{self.pop} restored: {len(restored)} prefixes re-announced"
+
+
+@dataclass(slots=True)
+class ServerCrash(Fault):
+    """Crash one edge server (``server=None``: a seeded random pick)."""
+
+    pop: str
+    server: str | None = None
+    kind: str = "server_crash"
+    _crashed: str | None = None
+
+    @property
+    def target(self) -> str:
+        return f"{self.pop}:{self.server or '?'}"
+
+    def apply(self, targets: FaultTargets, rng: random.Random) -> str:
+        dc = targets.require_cdn().datacenters[self.pop]
+        name = self.server if self.server is not None else rng.choice(sorted(dc.servers))
+        dc.crash_server(name)
+        self._crashed = name
+        return f"crashed {name}"
+
+    def revert(self, targets: FaultTargets, rng: random.Random) -> str:
+        if self._crashed is None:
+            return "nothing to restore"
+        targets.require_cdn().datacenters[self.pop].restore_server(self._crashed)
+        name, self._crashed = self._crashed, None
+        return f"restored {name}"
+
+
+@dataclass(slots=True)
+class TransportDegrade(Fault):
+    """Degrade a named DNS transport (loss/corruption/latency); reverting
+    heals the path back to clean forwarding."""
+
+    transport: str
+    drop: float = 0.0
+    corrupt: float = 0.0
+    delay_s: float = 0.0
+    kind: str = "transport_degrade"
+
+    @property
+    def target(self) -> str:
+        return self.transport
+
+    def _wrapper(self, targets: FaultTargets) -> FlakyTransport:
+        try:
+            return targets.transports[self.transport]
+        except KeyError:
+            raise KeyError(f"no transport named {self.transport!r} in targets") from None
+
+    def apply(self, targets: FaultTargets, rng: random.Random) -> str:
+        self._wrapper(targets).set_fault(self.drop, self.corrupt, self.delay_s)
+        return f"drop={self.drop} corrupt={self.corrupt} delay={self.delay_s}s"
+
+    def revert(self, targets: FaultTargets, rng: random.Random) -> str:
+        self._wrapper(targets).set_fault()
+        return "healed"
+
+
+@dataclass(frozen=True, slots=True)
+class ScheduledFault:
+    at: float
+    fault: Fault
+    duration: float | None = None  # None = permanent until manual revert
+
+
+class FaultPlan:
+    """A declarative, clock-indexed schedule of faults."""
+
+    def __init__(self) -> None:
+        self.entries: list[ScheduledFault] = []
+
+    def at(self, when: float, fault: Fault, duration: float | None = None) -> "FaultPlan":
+        if when < 0:
+            raise ValueError("fault time must be non-negative")
+        if duration is not None and duration <= 0:
+            raise ValueError("fault duration must be positive")
+        self.entries.append(ScheduledFault(when, fault, duration))
+        return self
+
+    def flap(
+        self,
+        prefix: Prefix,
+        pop: str,
+        start: float,
+        period: float,
+        cycles: int,
+    ) -> "FaultPlan":
+        """BGP flapping: ``cycles`` withdraw/re-announce oscillations of
+        ``prefix`` at ``pop``, each half a ``period`` long."""
+        if period <= 0 or cycles <= 0:
+            raise ValueError("flap needs positive period and cycles")
+        for i in range(cycles):
+            self.at(start + i * period, PopWithdrawal(prefix, pop), duration=period / 2)
+        return self
+
+    def __len__(self) -> int:
+        return len(self.entries)
+
+
+class FaultInjector:
+    """Executes a :class:`FaultPlan` against simulated time.
+
+    Call :meth:`tick` from the scenario loop; every scheduled injection
+    (and every ``duration``-scheduled reversion) whose time has come fires,
+    in schedule order, each emitting onto the timeline.
+    """
+
+    def __init__(
+        self,
+        clock: Clock,
+        plan: FaultPlan,
+        targets: FaultTargets,
+        rng: random.Random | None = None,
+        timeline: FaultTimeline | None = None,
+    ) -> None:
+        self.clock = clock
+        self.targets = targets
+        self.rng = rng or random.Random(0xFA07)
+        self.timeline = timeline if timeline is not None else FaultTimeline()
+        self._seq = itertools.count()
+        # Heap of (time, seq, phase, scheduled) — seq keeps ordering stable.
+        self._queue: list[tuple[float, int, str, ScheduledFault]] = []
+        for entry in plan.entries:
+            heapq.heappush(self._queue, (entry.at, next(self._seq), "inject", entry))
+        self._active: dict[int, ScheduledFault] = {}
+
+    # -- execution -----------------------------------------------------------
+
+    def tick(self) -> list[FaultEvent]:
+        """Fire everything due at or before the current simulated time."""
+        now = self.clock.now()
+        fired: list[FaultEvent] = []
+        while self._queue and self._queue[0][0] <= now:
+            _, _, phase, entry = heapq.heappop(self._queue)
+            if phase == "inject":
+                detail = entry.fault.apply(self.targets, self.rng)
+                self._active[id(entry)] = entry
+                if entry.duration is not None:
+                    heapq.heappush(
+                        self._queue,
+                        (entry.at + entry.duration, next(self._seq), "revert", entry),
+                    )
+            else:
+                detail = entry.fault.revert(self.targets, self.rng)
+                self._active.pop(id(entry), None)
+            fired.append(self.timeline.emit(
+                now, entry.fault.kind, entry.fault.target, detail, phase=phase
+            ))
+        return fired
+
+    def revert_all(self) -> list[FaultEvent]:
+        """Manually heal every still-active fault (scenario teardown)."""
+        fired = []
+        for entry in list(self._active.values()):
+            detail = entry.fault.revert(self.targets, self.rng)
+            fired.append(self.timeline.emit(
+                self.clock.now(), entry.fault.kind, entry.fault.target, detail,
+                phase="revert",
+            ))
+        self._active.clear()
+        self._queue = [item for item in self._queue if item[2] != "revert"]
+        heapq.heapify(self._queue)
+        return fired
+
+    # -- introspection ---------------------------------------------------------
+
+    def active_faults(self) -> list[Fault]:
+        return [entry.fault for entry in self._active.values()]
+
+    def pending_count(self) -> int:
+        return len(self._queue)

@@ -1,0 +1,184 @@
+"""Failure-aware control plane: probe PoPs, detect blackholes, rebind.
+
+The paper's robustness claim (§3.4, §6) is that when addresses stop
+working — a PoP fails, a prefix is leaked or attacked — the operator
+*rebinds* at DNS-TTL timescales instead of waiting out BGP convergence.
+This module closes that loop: a :class:`HealthMonitor` periodically probes
+the service through the full simulated data path (policy DNS answer →
+anycast route → TLS handshake → HTTP response) from a set of vantage ASes,
+and after a configurable run of consecutive failures drives the
+:class:`~repro.core.agility.AgilityController` to drain the affected pool
+(``swap_pool`` to a pre-advertised standby, the §6 mitigation move).
+
+End-to-end recovery is then bounded by ``detection + TTL``: detection
+takes at most ``failure_threshold × probe_interval``, and downstream
+caches age out the dead addresses within one TTL of the swap — the
+``max(connection lifetime, TTL)`` bound of §4.4, measured by
+:mod:`repro.experiments.failover`.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from ..clock import Clock
+from ..core.agility import AgilityController
+from ..core.pool import AddressPool
+from ..dns.resolver import RecursiveResolver, ResolveError
+from ..edge.cdn import CDN
+from ..netsim.addr import IPAddress
+from ..web.http import HTTPVersion, Request
+from ..web.tls import ClientHello, TLSError
+from .events import FaultTimeline
+
+__all__ = ["ProbeResult", "HealthMonitor"]
+
+
+@dataclass(frozen=True, slots=True)
+class ProbeResult:
+    """One end-to-end probe: DNS answer + data-path fetch from a vantage."""
+
+    at: float
+    vantage: object
+    address: IPAddress | None  # the answer probed (None: DNS itself failed)
+    pop: str | None            # catchment PoP for that address (None: blackhole)
+    ok: bool
+    detail: str = ""
+
+
+class HealthMonitor:
+    """Synthetic monitoring + automatic pool drain.
+
+    Parameters
+    ----------
+    vantages:
+        Client ASes to probe from — pick at least one per region so a
+        regional blackhole is visible from inside the region.
+    failover_pool:
+        The standby :class:`AddressPool` (already advertised and
+        listening, like the §6 backup prefix).  ``None`` makes the
+        monitor observe-only.
+    failure_threshold:
+        Consecutive failed probe rounds (any vantage failing fails the
+        round) before the failover fires.  1 = act on first blood.
+    """
+
+    def __init__(
+        self,
+        cdn: CDN,
+        clock: Clock,
+        controller: AgilityController,
+        policy_name: str,
+        probe_hostname: str,
+        vantages: list[object],
+        failover_pool: AddressPool | None = None,
+        probe_interval: float = 5.0,
+        failure_threshold: int = 2,
+        timeline: FaultTimeline | None = None,
+        rng: random.Random | None = None,
+    ) -> None:
+        if not vantages:
+            raise ValueError("health monitoring needs at least one vantage AS")
+        if probe_interval <= 0:
+            raise ValueError("probe_interval must be positive")
+        if failure_threshold < 1:
+            raise ValueError("failure_threshold must be at least 1")
+        self.cdn = cdn
+        self.clock = clock
+        self.controller = controller
+        self.policy_name = policy_name
+        self.probe_hostname = probe_hostname
+        self.vantages = list(vantages)
+        self.failover_pool = failover_pool
+        self.probe_interval = probe_interval
+        self.failure_threshold = failure_threshold
+        self.timeline = timeline if timeline is not None else FaultTimeline()
+        self._rng = rng or random.Random(0x4EA1)
+        self.consecutive_failures = 0
+        self.failed_over = False
+        self.probes_run = 0
+        self._next_probe_at: float | None = None  # None: probe on first tick
+
+    # -- probing -------------------------------------------------------------
+
+    def probe_from(self, vantage: object) -> ProbeResult:
+        """One full-path probe: fresh resolver (no cache — synthetic
+        monitors must see the *current* answer), then a real fetch."""
+        now = self.clock.now()
+        resolver = RecursiveResolver(
+            f"probe-{vantage}-{self.probes_run}",
+            self.clock,
+            self.cdn.dns_transport(vantage),
+            rng=random.Random(self._rng.getrandbits(32)),
+        )
+        try:
+            addresses = resolver.resolve_addresses(self.probe_hostname)
+        except ResolveError as exc:
+            return ProbeResult(now, vantage, None, None, False, f"dns: {exc}")
+        if not addresses:
+            return ProbeResult(now, vantage, None, None, False, "dns: empty answer")
+        address = addresses[0]
+        pop = self.cdn.network.pop_for(vantage, address)
+        transport = self.cdn.transport_for(vantage)
+        try:
+            connection = transport.handshake(
+                f"probe-{vantage}", address, 443,
+                ClientHello(sni=self.probe_hostname), HTTPVersion.H2,
+            )
+            transport.serve(connection, Request(authority=self.probe_hostname, path="/"))
+        except (ConnectionRefusedError, ConnectionResetError, TLSError) as exc:
+            return ProbeResult(now, vantage, address, pop, False, f"data path: {exc}")
+        return ProbeResult(now, vantage, address, pop, True)
+
+    def probe_round(self) -> list[ProbeResult]:
+        """Probe every vantage once and react; returns the results."""
+        self.probes_run += 1
+        results = [self.probe_from(v) for v in self.vantages]
+        failures = [r for r in results if not r.ok]
+        for r in failures:
+            self.timeline.emit(
+                r.at, "probe_failed", str(r.vantage),
+                f"{r.address} via {r.pop}: {r.detail}", phase="observe",
+            )
+        if failures:
+            self.consecutive_failures += 1
+            if self.consecutive_failures >= self.failure_threshold:
+                self._trigger_failover(failures)
+        else:
+            if self.consecutive_failures:
+                self.timeline.emit(
+                    self.clock.now(), "probe_recovered", self.policy_name,
+                    phase="observe",
+                )
+            self.consecutive_failures = 0
+        return results
+
+    def tick(self) -> list[ProbeResult]:
+        """Probe if a probe is due; the scenario loop calls this freely."""
+        now = self.clock.now()
+        if self._next_probe_at is not None and now < self._next_probe_at:
+            return []
+        self._next_probe_at = now + self.probe_interval
+        return self.probe_round()
+
+    # -- reaction ------------------------------------------------------------
+
+    def _trigger_failover(self, failures: list[ProbeResult]) -> None:
+        if self.failed_over or self.failover_pool is None:
+            return
+        op = self.controller.swap_pool(self.policy_name, self.failover_pool)
+        self.failed_over = True
+        self.consecutive_failures = 0
+        blackholed = sorted({str(r.pop) for r in failures})
+        self.timeline.emit(
+            self.clock.now(), "failover_triggered", self.policy_name,
+            f"drained to {self.failover_pool.name} (failing: {', '.join(blackholed)}); "
+            f"horizon t={op.propagation_horizon:.0f}",
+            phase="react",
+        )
+
+    def reset(self) -> None:
+        """Re-arm after the operator repairs and fails back manually."""
+        self.failed_over = False
+        self.consecutive_failures = 0

@@ -1,0 +1,77 @@
+"""Fault-injecting DNS transport wrappers.
+
+A resolver's upstream is a callable ``(query_bytes) -> response_bytes |
+None`` (see :mod:`repro.dns.resolver`), which makes the failure surface a
+one-line wrapper: drop the response (timeout), corrupt it (bit damage /
+off-path spoofing debris), or delay it (congested path).  All randomness
+comes from an explicit ``random.Random``; all delay is simulated-clock
+time, so lossy scenarios replay exactly.
+"""
+
+from __future__ import annotations
+
+import random
+
+from ..clock import Clock
+from .events import FaultTimeline
+
+__all__ = ["FlakyTransport"]
+
+
+class FlakyTransport:
+    """Wraps a DNS transport: drops, corrupts, or delays responses.
+
+    ``drop``/``corrupt`` are per-call probabilities; ``delay_s`` (with a
+    ``clock``) advances simulated time on every forwarded call, modelling a
+    slow upstream path.  Probabilities may be retuned at runtime — the
+    :class:`~repro.faults.injector.FaultInjector` does exactly that to
+    degrade and later heal a path mid-scenario.
+    """
+
+    def __init__(
+        self,
+        inner,
+        rng: random.Random,
+        drop: float = 0.0,
+        corrupt: float = 0.0,
+        delay_s: float = 0.0,
+        clock: Clock | None = None,
+        timeline: FaultTimeline | None = None,
+        name: str = "flaky",
+    ) -> None:
+        if delay_s > 0 and clock is None:
+            raise ValueError("delay_s needs a clock to charge the delay against")
+        self.inner = inner
+        self.rng = rng
+        self.drop = drop
+        self.corrupt = corrupt
+        self.delay_s = delay_s
+        self.clock = clock
+        self.timeline = timeline
+        self.name = name
+        self.calls = 0
+
+    def __call__(self, wire: bytes):
+        self.calls += 1
+        if self.delay_s > 0 and self.clock is not None:
+            self.clock.advance(self.delay_s)
+        if self.rng.random() < self.drop:
+            self._emit("transport_dropped")
+            return None
+        response = self.inner(wire)
+        if response is not None and self.rng.random() < self.corrupt:
+            self._emit("transport_corrupted")
+            return b"\xff" + response[1:]
+        return response
+
+    def set_fault(self, drop: float = 0.0, corrupt: float = 0.0, delay_s: float = 0.0) -> None:
+        """Retune the failure mix (injector hook); 0/0/0 heals the path."""
+        if delay_s > 0 and self.clock is None:
+            raise ValueError("delay_s needs a clock to charge the delay against")
+        self.drop = drop
+        self.corrupt = corrupt
+        self.delay_s = delay_s
+
+    def _emit(self, kind: str) -> None:
+        if self.timeline is not None and self.clock is not None:
+            self.timeline.emit(self.clock.now(), kind, self.name, phase="inject")

@@ -24,7 +24,7 @@ from ..dns.resolver import ResolveError
 from ..dns.stub import StubResolver
 from ..netsim.addr import IPAddress
 from .http import Connection, HTTPVersion, Request, Response
-from .tls import ClientHello, TLSError
+from .tls import ClientHello
 
 __all__ = ["EdgeTransport", "BrowserClient", "FetchOutcome", "ClientStats"]
 
@@ -57,6 +57,9 @@ class ClientStats:
     coalesced_requests: int = 0
     dns_lookups: int = 0
     errors: int = 0
+    connect_retries: int = 0    # extra addresses tried after a refused dial
+    connect_failures: int = 0   # dials where every resolved address failed
+    dead_connections: int = 0   # pooled connections found reset mid-use
 
     @property
     def requests_per_connection(self) -> float:
@@ -122,7 +125,9 @@ class BrowserClient:
                 lookups += did_lookup
             for conn in candidates:
                 if conn.can_coalesce(hostname, resolved or [], ip_match=self.ip_match):
-                    response = self.transport.serve(conn, request)
+                    response = self._serve_pooled(conn, request)
+                    if response is None:
+                        continue  # connection was dead; try the next one
                     conn.record(request, response)
                     self.stats.coalesced_requests += 1
                     return FetchOutcome(response, conn, coalesced=True, dns_lookups=lookups)
@@ -131,7 +136,9 @@ class BrowserClient:
         if self.version is HTTPVersion.H1:
             for conn in self._pool:
                 if not conn.closed and hostname in conn.authorities:
-                    response = self.transport.serve(conn, request)
+                    response = self._serve_pooled(conn, request)
+                    if response is None:
+                        continue
                     conn.record(request, response)
                     return FetchOutcome(response, conn, coalesced=False, dns_lookups=lookups)
 
@@ -140,8 +147,7 @@ class BrowserClient:
         if not resolved:
             self.stats.errors += 1
             raise ResolveError(f"{hostname}: no addresses")
-        address = resolved[0]
-        conn = self._dial(address, hostname)
+        conn = self._dial_any(resolved, hostname)
         response = self.transport.serve(conn, request)
         conn.record(request, response)
         return FetchOutcome(response, conn, coalesced=False, dns_lookups=lookups)
@@ -164,6 +170,41 @@ class BrowserClient:
         if missed:
             self.stats.dns_lookups += 1
         return addresses, int(missed)
+
+    def _serve_pooled(self, conn: Connection, request: Request) -> Response | None:
+        """Serve over a pooled connection; None if it turned out dead.
+
+        A crashed server resets established connections — the client
+        evicts the corpse from the pool and falls back to a fresh dial
+        instead of surfacing the reset (what real browsers do on a stale
+        keep-alive connection)."""
+        try:
+            return self.transport.serve(conn, request)
+        except ConnectionResetError:
+            conn.close()
+            self.stats.dead_connections += 1
+            return None
+
+    def _dial_any(self, addresses: list[IPAddress], sni: str) -> Connection:
+        """Dial the resolved addresses in order until one accepts.
+
+        §4.4's resilience assumption made real: every address in a pool is
+        equivalent, so connection setup failing on one address retries the
+        next before reporting failure.  TLS failures are not retried — the
+        handshake reached a server; another address changes nothing.
+        """
+        last_error: ConnectionRefusedError | None = None
+        for i, address in enumerate(addresses):
+            if i:
+                self.stats.connect_retries += 1
+            try:
+                return self._dial(address, sni)
+            except ConnectionRefusedError as exc:
+                last_error = exc
+        self.stats.connect_failures += 1
+        self.stats.errors += 1
+        assert last_error is not None
+        raise last_error
 
     def _dial(self, address: IPAddress, sni: str) -> Connection:
         if len([c for c in self._pool if not c.closed]) >= self.max_connections:

@@ -10,7 +10,7 @@ HTTP/2 connection coalescing, Figure 8).  No cryptography is simulated.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 __all__ = ["Certificate", "ClientHello", "CertificateStore", "TLSError"]
 

@@ -6,7 +6,6 @@ import random
 import pytest
 
 from repro.agility.dos import (
-    DoSVerdict,
     KarySearchMitigator,
     L7Attacker,
     L34Attacker,

@@ -5,7 +5,6 @@ import random
 import pytest
 
 from repro.agility.leaks import LeakMitigator, RouteLeakDetector
-from repro.clock import Clock
 from repro.core import (
     AddressPool,
     AgilityController,
@@ -19,7 +18,7 @@ from repro.edge import ListenMode
 from repro.edge.datacenter import TrafficLog
 from repro.netsim import inject_route_leak, parse_prefix
 from repro.netsim.routeleak import attach_multihomed_leaker
-from repro.web import BrowserClient, HTTPVersion
+from repro.web import BrowserClient
 
 from conftest import BACKUP_PREFIX, POOL_PREFIX, make_cdn
 

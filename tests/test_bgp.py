@@ -7,10 +7,8 @@ from repro.netsim.bgp import (
     Announcement,
     ASGraph,
     BGPSimulation,
-    GaoRexfordExport,
     LeakingExport,
     Relationship,
-    Route,
 )
 
 PFX = parse_prefix("198.51.100.0/24")

@@ -3,7 +3,7 @@
 import pytest
 
 from repro.clock import Clock
-from repro.dns.records import A, RRType
+from repro.dns.records import A
 from repro.dns.resolver import RecursiveResolver, ResolveError
 from repro.dns.server import AuthoritativeServer, QueryContext, ZoneAnswerSource
 from repro.dns.stub import StubResolver

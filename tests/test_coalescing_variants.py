@@ -13,7 +13,6 @@ import random
 
 import pytest
 
-from repro.clock import Clock
 from repro.dns.resolver import ResolveError
 from repro.web.http import HTTPVersion
 

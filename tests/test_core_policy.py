@@ -9,7 +9,7 @@ from repro.core.agility import AgilityController
 from repro.core.authoritative import PolicyAnswerSource
 from repro.core.policy import Policy, PolicyAttributes, PolicyEngine
 from repro.core.pool import AddressPool
-from repro.core.strategies import MappedAssignment, PerPopAssignment, RandomSelection
+from repro.core.strategies import MappedAssignment
 from repro.dns.records import DomainName, Question, RRType
 from repro.dns.server import Answer, AnswerSource, QueryContext
 from repro.dns.wire import Rcode

@@ -7,7 +7,7 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.core.pool import AddressPool, PoolError
-from repro.netsim.addr import IPAddress, parse_address, parse_prefix
+from repro.netsim.addr import parse_address, parse_prefix
 
 SLASH20 = parse_prefix("192.0.0.0/20")
 SLASH24 = parse_prefix("192.0.2.0/24")

@@ -13,7 +13,7 @@ from repro.core.strategies import (
     SelectionContext,
     StaticAssignment,
 )
-from repro.netsim.addr import parse_address, parse_prefix
+from repro.netsim.addr import parse_prefix
 
 POOL = AddressPool(parse_prefix("192.0.2.0/24"))
 

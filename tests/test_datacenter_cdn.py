@@ -4,9 +4,8 @@ import random
 
 import pytest
 
-from repro.clock import Clock
 from repro.core import AddressPool, Policy, PolicyAnswerSource, PolicyEngine
-from repro.dns import A, RecursiveResolver, RRType, Zone, ZoneAnswerSource
+from repro.dns import A, RRType, Zone, ZoneAnswerSource
 from repro.dns.wire import Message
 from repro.edge import ListenMode
 from repro.netsim.addr import parse_address
@@ -14,7 +13,7 @@ from repro.netsim.packet import FiveTuple, Protocol
 from repro.web.http import HTTPVersion, Request, Status
 from repro.web.tls import ClientHello
 
-from conftest import BACKUP_PREFIX, POOL_PREFIX, make_cdn, make_client, make_policy_cdn
+from conftest import POOL_PREFIX, make_cdn, make_client, make_policy_cdn
 
 
 class TestDatacenterPipeline:

@@ -3,7 +3,7 @@
 import pytest
 
 from repro.deploy import Deployment, DeploymentConfig
-from repro.edge.server import ListenMode
+from repro.faults import FaultInjector, FaultPlan, FaultTargets, PopWithdrawal
 from repro.netsim.addr import parse_prefix
 from repro.web.http import Status
 
@@ -55,6 +55,47 @@ class TestManoeuvres:
         deployment = Deployment.build(DeploymentConfig(num_hostnames=10, backup=None))
         with pytest.raises(RuntimeError):
             deployment.failover_to_backup()
+
+    def test_failover_recovers_from_injected_total_withdrawal(self):
+        """The §6 mitigation drill: the advertised prefix is withdrawn
+        everywhere (route leak / takedown); failing over to the backup
+        restores service within one TTL — no BGP repair needed."""
+        deployment = Deployment.build(DeploymentConfig(num_hostnames=20))
+        advertised = parse_prefix(deployment.config.advertised)
+        plan = FaultPlan()
+        for pop in deployment.cdn.pop_names():
+            plan.at(0.0, PopWithdrawal(advertised, pop))
+        injector = FaultInjector(deployment.clock, plan,
+                                 FaultTargets(cdn=deployment.cdn))
+        injector.tick()
+
+        client = deployment.new_client("eyeball:us:0")
+        with pytest.raises(ConnectionRefusedError):
+            client.fetch(deployment.universe.site(0))
+
+        deployment.failover_to_backup()
+        deployment.clock.advance(deployment.config.ttl + 1)  # caches drain
+        outcome = client.fetch(deployment.universe.site(0))
+        assert outcome.response.status is Status.OK
+        assert outcome.connection.remote_addr in parse_prefix("203.0.113.0/24")
+
+    def test_shrink_active_survives_single_pop_withdrawal(self):
+        """Narrowing the active set while one PoP's announcement is down:
+        the single remaining address still serves every client, via the
+        surviving PoP's anycast catchment."""
+        deployment = Deployment.build(DeploymentConfig(num_hostnames=20))
+        advertised = parse_prefix(deployment.config.advertised)
+        plan = FaultPlan().at(0.0, PopWithdrawal(advertised, "london"))
+        FaultInjector(deployment.clock, plan,
+                      FaultTargets(cdn=deployment.cdn)).tick()
+
+        deployment.shrink_active("192.0.2.1/32")
+        client = deployment.new_client("eyeball:eu:0")
+        outcome = client.fetch(deployment.universe.site(0))
+        assert outcome.response.status is Status.OK
+        assert str(outcome.connection.remote_addr) == "192.0.2.1"
+        # EU traffic crossed the pond to the PoP still announcing.
+        assert deployment.cdn.datacenters["ashburn"].traffic.total_requests() >= 1
 
     def test_mismatched_resolver_client(self):
         deployment = Deployment.build(DeploymentConfig(num_hostnames=20))

@@ -8,8 +8,6 @@ the mitigator must wait out cache expiry before each observation.
 
 import random
 
-import pytest
-
 from repro.agility.dos import KarySearchMitigator, ResolvingL7Attacker
 from repro.clock import Clock
 from repro.core import (

@@ -10,9 +10,7 @@ with tight thresholds.
 
 import random
 
-import pytest
 
-from repro.clock import Clock
 from repro.agility.leaks import RouteLeakDetector
 from repro.core import (
     AddressPool,
@@ -24,7 +22,7 @@ from repro.core import (
 )
 from repro.dns import RecursiveResolver, StubResolver
 from repro.edge import ListenMode
-from repro.netsim.addr import IPAddress, Prefix, parse_prefix
+from repro.netsim.addr import IPAddress, parse_prefix
 from repro.web import BrowserClient
 
 from conftest import POOL_PREFIX, make_cdn

@@ -6,42 +6,20 @@ socket churn during live repoints, PoP withdrawals, stale map entries —
 and assert the system degrades exactly as designed, never silently.
 """
 
-import itertools
 import random
 
 import pytest
 
-from repro.clock import Clock
 from repro.core import AddressPool, Policy, PolicyAnswerSource, PolicyEngine
-from repro.dns import Message, RecursiveResolver, ResolveError, RRType, StubResolver
+from repro.dns import Message, RecursiveResolver, ResolveError, RRType
 from repro.edge import ListenMode
+from repro.faults import FlakyTransport
 from repro.netsim import parse_address, parse_prefix
 from repro.netsim.packet import FiveTuple, Protocol
 from repro.sockets import LookupPath, MatchRule, SkLookupProgram, SockArray, SocketTable, Verdict
-from repro.web.http import HTTPVersion, Request, Status
-from repro.web.tls import ClientHello
+from repro.web.http import Status
 
 from conftest import POOL_PREFIX, make_client, make_cdn, make_policy_cdn
-
-
-class FlakyTransport:
-    """Wraps a DNS transport: drops, corrupts, or delays responses."""
-
-    def __init__(self, inner, rng, drop=0.0, corrupt=0.0):
-        self.inner = inner
-        self.rng = rng
-        self.drop = drop
-        self.corrupt = corrupt
-        self.calls = 0
-
-    def __call__(self, wire: bytes):
-        self.calls += 1
-        if self.rng.random() < self.drop:
-            return None
-        response = self.inner(wire)
-        if response is not None and self.rng.random() < self.corrupt:
-            return b"\xff" + response[1:]
-        return response
 
 
 class TestDNSPathFailures:

@@ -1,0 +1,505 @@
+"""The fault-injection subsystem and the failure-aware control plane.
+
+Three layers under test, matching ``repro.faults``:
+
+* **injection** — seeded, clock-scheduled chaos (``FaultPlan`` /
+  ``FaultInjector``) with a queryable ``FaultTimeline`` audit trail;
+* **resilience** — the client-side behaviours that absorb faults:
+  resolver retries/rotation/serve-stale, browser dial fallback and
+  dead-connection eviction, stub SOA-minimum inheritance;
+* **control** — the ``HealthMonitor`` detect → rebind loop that turns a
+  blackhole into a pool swap at probe-interval timescales (§3.4, §6).
+"""
+
+import random
+
+import pytest
+
+from repro.clock import Clock
+from repro.core import AddressPool
+from repro.core.agility import AgilityController
+from repro.dns import RecursiveResolver, ResolveError, RRType, StubResolver
+from repro.dns.records import DomainName, Question, ResourceRecord, SOA
+from repro.dns.wire import Message
+from repro.faults import (
+    FaultEvent,
+    FaultInjector,
+    FaultPlan,
+    FaultTargets,
+    FaultTimeline,
+    FlakyTransport,
+    HealthMonitor,
+    PopOutage,
+    PopWithdrawal,
+    ServerCrash,
+    TransportDegrade,
+)
+from repro.edge import ListenMode
+from repro.netsim import parse_address
+from repro.web.client import BrowserClient
+from repro.web.http import Connection, Response, Status
+from repro.web.tls import Certificate
+
+from conftest import BACKUP_PREFIX, POOL_PREFIX, make_client, make_policy_cdn
+
+
+class TestFaultTimeline:
+    def test_append_only_in_time_order(self):
+        timeline = FaultTimeline()
+        timeline.emit(1.0, "a", "x")
+        timeline.emit(1.0, "b", "x")  # ties are fine
+        timeline.emit(2.0, "c", "x")
+        with pytest.raises(ValueError):
+            timeline.record(FaultEvent(1.5, "late", "x"))
+
+    def test_queries(self):
+        timeline = FaultTimeline()
+        timeline.emit(0.0, "pop_withdrawal", "london", phase="inject")
+        timeline.emit(5.0, "probe_failed", "eyeball:us:0", phase="observe")
+        timeline.emit(5.0, "failover_triggered", "svc", phase="react")
+        timeline.emit(9.0, "pop_withdrawal", "london", phase="revert")
+
+        assert len(timeline) == 4
+        assert [e.kind for e in timeline][0] == "pop_withdrawal"
+        assert len(timeline.events(kind="pop_withdrawal")) == 2
+        assert len(timeline.events(target="london")) == 2
+        assert len(timeline.events(since=5.0)) == 3
+        assert len(timeline.events(until=5.0)) == 3
+        assert timeline.first("pop_withdrawal").phase == "inject"
+        assert timeline.last("pop_withdrawal").phase == "revert"
+        assert timeline.first("no_such_kind") is None
+
+
+class TestFlakyTransport:
+    def test_delay_charges_simulated_clock(self):
+        clock = Clock()
+        flaky = FlakyTransport(lambda wire: b"ok", random.Random(1),
+                               delay_s=3.0, clock=clock)
+        assert flaky(b"q") == b"ok"
+        assert clock.now() == pytest.approx(3.0)
+
+    def test_delay_requires_clock(self):
+        with pytest.raises(ValueError):
+            FlakyTransport(lambda wire: b"ok", random.Random(1), delay_s=1.0)
+        flaky = FlakyTransport(lambda wire: b"ok", random.Random(1))
+        with pytest.raises(ValueError):
+            flaky.set_fault(delay_s=1.0)
+
+    def test_set_fault_retunes_and_heals(self):
+        flaky = FlakyTransport(lambda wire: b"ok", random.Random(1))
+        flaky.set_fault(drop=1.0)
+        assert flaky(b"q") is None
+        flaky.set_fault()  # heal
+        assert flaky(b"q") == b"ok"
+        assert flaky.calls == 2
+
+    def test_drops_land_on_timeline(self):
+        clock, timeline = Clock(), FaultTimeline()
+        flaky = FlakyTransport(lambda wire: b"ok", random.Random(1), drop=1.0,
+                               clock=clock, timeline=timeline, name="us-path")
+        flaky(b"q")
+        event = timeline.first("transport_dropped")
+        assert event is not None and event.target == "us-path"
+
+
+class TestFaultPlan:
+    def test_validation(self):
+        plan = FaultPlan()
+        fault = PopWithdrawal(POOL_PREFIX, "london")
+        with pytest.raises(ValueError):
+            plan.at(-1.0, fault)
+        with pytest.raises(ValueError):
+            plan.at(0.0, fault, duration=0.0)
+        with pytest.raises(ValueError):
+            plan.flap(POOL_PREFIX, "london", start=0.0, period=0.0, cycles=2)
+        with pytest.raises(ValueError):
+            plan.flap(POOL_PREFIX, "london", start=0.0, period=10.0, cycles=0)
+
+    def test_flap_expands_to_withdrawals(self):
+        plan = FaultPlan().flap(POOL_PREFIX, "london", start=10.0,
+                                period=20.0, cycles=3)
+        assert len(plan) == 3
+        assert [e.at for e in plan.entries] == [10.0, 30.0, 50.0]
+        assert all(e.duration == 10.0 for e in plan.entries)
+
+
+class TestFaultInjector:
+    def test_fires_only_when_due(self, clock):
+        cdn, *_ = make_policy_cdn(clock)
+        plan = FaultPlan().at(10.0, PopWithdrawal(POOL_PREFIX, "ashburn"))
+        injector = FaultInjector(clock, plan, FaultTargets(cdn=cdn))
+
+        assert injector.tick() == []  # t=0: nothing due
+        assert injector.pending_count() == 1
+        clock.advance(10.0)
+        fired = injector.tick()
+        assert [e.kind for e in fired] == ["pop_withdrawal"]
+        assert "ashburn" not in cdn.network.announced_prefixes()[POOL_PREFIX]
+        assert injector.active_faults()
+
+    def test_duration_schedules_the_reversion(self, clock):
+        cdn, *_ = make_policy_cdn(clock)
+        plan = FaultPlan().at(10.0, PopWithdrawal(POOL_PREFIX, "ashburn"),
+                              duration=5.0)
+        injector = FaultInjector(clock, plan, FaultTargets(cdn=cdn))
+        clock.advance(10.0)
+        injector.tick()
+        assert "ashburn" not in cdn.network.announced_prefixes()[POOL_PREFIX]
+        clock.advance(5.0)
+        fired = injector.tick()
+        assert [e.phase for e in fired] == ["revert"]
+        assert "ashburn" in cdn.network.announced_prefixes()[POOL_PREFIX]
+        assert not injector.active_faults()
+        assert injector.pending_count() == 0
+
+    def test_flap_oscillates_announcement(self, clock):
+        cdn, *_ = make_policy_cdn(clock)
+        plan = FaultPlan().flap(POOL_PREFIX, "london", start=5.0,
+                                period=10.0, cycles=2)
+        injector = FaultInjector(clock, plan, FaultTargets(cdn=cdn))
+        observed = []
+        while clock.now() <= 30.0:
+            injector.tick()
+            observed.append("london" in cdn.network.announced_prefixes()[POOL_PREFIX])
+            clock.advance(1.0)
+        # Announced, withdrawn, back, withdrawn, back.
+        assert observed[0] and not observed[6] and observed[11]
+        assert not observed[16] and observed[21]
+        events = injector.timeline.events(kind="pop_withdrawal")
+        assert [e.phase for e in events] == ["inject", "revert", "inject", "revert"]
+
+    def test_pop_outage_and_revert_all(self, clock):
+        cdn, *_ = make_policy_cdn(clock)
+        dc = cdn.datacenters["ashburn"]
+        before = dc.healthy_server_count()
+        assert before > 0
+        plan = FaultPlan().at(0.0, PopOutage("ashburn"))
+        injector = FaultInjector(clock, plan, FaultTargets(cdn=cdn))
+        injector.tick()
+        assert dc.healthy_server_count() == 0
+        assert all("ashburn" not in pops
+                   for pops in cdn.network.announced_prefixes().values())
+
+        fired = injector.revert_all()
+        assert [e.phase for e in fired] == ["revert"]
+        assert dc.healthy_server_count() == before
+        assert "ashburn" in cdn.network.announced_prefixes()[POOL_PREFIX]
+        assert not injector.active_faults()
+
+    def test_server_crash_pick_is_seeded(self, clock):
+        details = []
+        for _ in range(2):
+            cdn, *_ = make_policy_cdn(Clock())
+            plan = FaultPlan().at(0.0, ServerCrash("london"))
+            injector = FaultInjector(Clock(), plan, FaultTargets(cdn=cdn),
+                                     rng=random.Random(42))
+            [event] = injector.tick()
+            details.append(event.detail)
+            assert cdn.datacenters["london"].healthy_server_count() == 1
+        assert details[0] == details[1]  # same seed, same victim
+
+    def test_transport_degrade_and_heal(self, clock):
+        cdn, hostnames, *_ = make_policy_cdn(clock)
+        flaky = FlakyTransport(cdn.dns_transport("eyeball:us:0"),
+                               random.Random(3), clock=clock, name="us-path")
+        resolver = RecursiveResolver("r", clock, flaky)
+        plan = FaultPlan().at(5.0, TransportDegrade("us-path", drop=1.0),
+                              duration=10.0)
+        injector = FaultInjector(clock, plan,
+                                 FaultTargets(cdn=cdn, transports={"us-path": flaky}))
+
+        assert resolver.resolve_addresses(hostnames[0])  # clean path
+        clock.advance(5.0)
+        injector.tick()
+        assert flaky.drop == 1.0
+        with pytest.raises(ResolveError):
+            resolver.resolve(hostnames[1])
+        while clock.now() < 15.0:
+            clock.advance(1.0)
+        injector.tick()
+        assert flaky.drop == 0.0
+        assert resolver.resolve_addresses(hostnames[2])
+
+    def test_transport_degrade_unknown_name_is_loud(self, clock):
+        cdn, *_ = make_policy_cdn(clock)
+        plan = FaultPlan().at(0.0, TransportDegrade("no-such-path", drop=1.0))
+        injector = FaultInjector(clock, plan, FaultTargets(cdn=cdn))
+        with pytest.raises(KeyError):
+            injector.tick()
+
+
+class TestResolverResilience:
+    def test_retry_rotates_to_healthy_upstream(self, clock):
+        cdn, hostnames, *_ = make_policy_cdn(clock)
+        dead = lambda wire: None  # noqa: E731 — a permanently black path
+        resolver = RecursiveResolver(
+            "r", clock, dead,
+            upstreams=[cdn.dns_transport("eyeball:us:0")],
+            max_retries=2, rng=random.Random(5),
+        )
+        addresses = resolver.resolve_addresses(hostnames[0])
+        assert addresses and all(a in POOL_PREFIX for a in addresses)
+        assert resolver.stats.upstream_failures == 1  # the dead primary
+        assert resolver.stats.retries == 1            # one re-attempt sufficed
+        assert resolver.stats.servfails == 0
+        # The failure cost simulated time: timeout + jittered backoff.
+        assert clock.now() >= resolver.timeout_s
+
+    def test_retries_exhausted_is_servfail(self, clock):
+        resolver = RecursiveResolver("r", clock, lambda wire: None,
+                                     max_retries=2, rng=random.Random(5))
+        with pytest.raises(ResolveError):
+            resolver.resolve("site000.example.com")
+        assert resolver.stats.upstream_failures == 3  # initial + 2 retries
+        assert resolver.stats.retries == 2
+        assert resolver.stats.servfails == 1
+
+    def test_timeout_charges_simulated_clock(self, clock):
+        resolver = RecursiveResolver("r", clock, lambda wire: None,
+                                     timeout_s=2.0)
+        with pytest.raises(ResolveError):
+            resolver.resolve("site000.example.com")
+        assert clock.now() == pytest.approx(2.0)
+
+    def test_serve_stale_answers_from_expired_cache(self, clock):
+        cdn, hostnames, *_ = make_policy_cdn(clock)  # policy TTL 30
+        resolver = RecursiveResolver("r", clock,
+                                     cdn.dns_transport("eyeball:us:0"),
+                                     serve_stale=True)
+        fresh = resolver.resolve_addresses(hostnames[0])
+        clock.advance(31.0)  # past TTL, inside the stale window
+        resolver.transport = lambda wire: None  # every upstream now dead
+        stale = resolver.resolve_addresses(hostnames[0])
+        assert stale == fresh
+        assert resolver.stats.stale_served == 1
+        assert resolver.stats.servfails == 0
+
+    def test_stale_serving_is_opt_in(self, clock):
+        cdn, hostnames, *_ = make_policy_cdn(clock)
+        resolver = RecursiveResolver("r", clock,
+                                     cdn.dns_transport("eyeball:us:0"))
+        resolver.resolve_addresses(hostnames[0])
+        clock.advance(31.0)
+        resolver.transport = lambda wire: None
+        with pytest.raises(ResolveError):
+            resolver.resolve(hostnames[0])
+        assert resolver.stats.stale_served == 0
+
+    def test_knob_validation(self, clock):
+        with pytest.raises(ValueError):
+            RecursiveResolver("r", clock, lambda w: None, max_retries=-1)
+        with pytest.raises(ValueError):
+            RecursiveResolver("r", clock, lambda w: None, timeout_s=-1.0)
+
+
+class TestStubSOAMinimum:
+    """Satellite: the stub inherits the authoritative SOA minimum for
+    NODATA, instead of the old hardcoded 30 seconds."""
+
+    @staticmethod
+    def _nodata_transport(minimum: int):
+        def transport(wire: bytes) -> bytes:
+            query = Message.decode(wire)
+            soa = ResourceRecord(
+                DomainName.from_text("example.com"),
+                SOA(DomainName.from_text("ns1.example.com"),
+                    DomainName.from_text("hostmaster.example.com"),
+                    1, 3600, 600, 86400, minimum),
+                ttl=minimum,
+            )
+            return query.response(authority=(soa,)).encode()
+        return transport
+
+    def test_stub_negative_ttl_tracks_soa_minimum(self, clock):
+        recursive = RecursiveResolver("r", clock, self._nodata_transport(7))
+        stub = StubResolver("s", clock, recursive)
+        assert stub.lookup("empty.example.com") == []
+        question = Question(DomainName.from_text("empty.example.com"), RRType.A)
+        assert stub.cache.negative_ttl_remaining(question) == pytest.approx(7)
+
+    def test_stub_negative_entry_expires_with_soa_minimum(self, clock):
+        recursive = RecursiveResolver("r", clock, self._nodata_transport(7))
+        stub = StubResolver("s", clock, recursive)
+        stub.lookup("empty.example.com")
+        upstream_before = recursive.stats.upstream_queries
+        clock.advance(5.0)
+        stub.lookup("empty.example.com")  # still negatively cached
+        assert recursive.stats.upstream_queries == upstream_before
+        clock.advance(3.0)  # t=8 > minimum=7: both tiers expired
+        stub.lookup("empty.example.com")
+        assert recursive.stats.upstream_queries == upstream_before + 1
+
+
+class _FixedStub:
+    """The minimal stub surface BrowserClient needs: lookup + miss stats."""
+
+    class _Cache:
+        class _Stats:
+            misses = 0
+
+        def __init__(self):
+            self.stats = self._Stats()
+
+    def __init__(self, addresses):
+        self.addresses = list(addresses)
+        self.cache = self._Cache()
+
+    def lookup(self, hostname, rrtype=RRType.A):
+        self.cache.stats.misses += 1
+        return list(self.addresses)
+
+
+class _PickyTransport:
+    """Refuses connections to a chosen subset of addresses."""
+
+    def __init__(self, refuse=()):
+        self.refuse = set(refuse)
+
+    def handshake(self, client_name, dst, port, hello, version):
+        if dst in self.refuse:
+            raise ConnectionRefusedError(f"{dst}: refused")
+        return Connection(version, dst, port, Certificate(hello.sni),
+                          sni=hello.sni)
+
+    def serve(self, connection, request):
+        return Response(Status.OK)
+
+
+class TestClientResilience:
+    def test_dial_falls_through_to_next_address(self):
+        first, second = parse_address("192.0.2.1"), parse_address("192.0.2.2")
+        client = BrowserClient("c", _FixedStub([first, second]),
+                               _PickyTransport(refuse={first}))
+        outcome = client.fetch("site.example.com")
+        assert outcome.response.status is Status.OK
+        assert outcome.connection.remote_addr == second
+        assert client.stats.connect_retries == 1
+        assert client.stats.connect_failures == 0
+
+    def test_dial_exhaustion_counts_and_raises(self):
+        addrs = [parse_address("192.0.2.1"), parse_address("192.0.2.2")]
+        client = BrowserClient("c", _FixedStub(addrs),
+                               _PickyTransport(refuse=set(addrs)))
+        with pytest.raises(ConnectionRefusedError):
+            client.fetch("site.example.com")
+        assert client.stats.connect_retries == 1
+        assert client.stats.connect_failures == 1
+        assert client.stats.errors == 1
+
+    def test_dead_pooled_connection_is_evicted(self, clock):
+        cdn, hostnames, *_ = make_policy_cdn(clock)
+        client = make_client(cdn, clock, "eyeball:us:0")
+        client.fetch(hostnames[0])
+        assert len(client.open_connections()) == 1
+
+        for dc in cdn.datacenters.values():
+            dc.crash_all_servers()
+        # The pooled connection is found reset and evicted; the fresh dial
+        # then fails loudly (every server is down).
+        with pytest.raises(ConnectionRefusedError):
+            client.fetch(hostnames[0])
+        assert client.stats.dead_connections == 1
+        assert client.open_connections() == []
+
+        for dc in cdn.datacenters.values():
+            dc.restore_all_servers()
+        outcome = client.fetch(hostnames[0])
+        assert outcome.response.status is Status.OK
+        assert client.stats.connections_opened == 2
+
+
+class TestHealthMonitor:
+    def _monitored_cdn(self, clock, failover_pool=True, threshold=1):
+        cdn, hostnames, engine, pool = make_policy_cdn(clock)
+        cdn.announce_pool(BACKUP_PREFIX, ports=(80, 443), mode=ListenMode.SK_LOOKUP)
+        controller = AgilityController(engine, clock)
+        monitor = HealthMonitor(
+            cdn, clock, controller, "randomize-all",
+            probe_hostname=hostnames[0],
+            vantages=["eyeball:us:0", "eyeball:eu:0"],
+            failover_pool=AddressPool(BACKUP_PREFIX, name="backup")
+            if failover_pool else None,
+            probe_interval=5.0,
+            failure_threshold=threshold,
+            rng=random.Random(9),
+        )
+        return cdn, hostnames, monitor
+
+    def test_healthy_probes_and_interval(self, clock):
+        cdn, hostnames, monitor = self._monitored_cdn(clock)
+        results = monitor.tick()  # first tick probes immediately
+        assert len(results) == 2 and all(r.ok for r in results)
+        assert monitor.tick() == []  # not due yet
+        clock.advance(5.0)
+        assert len(monitor.tick()) == 2
+        assert monitor.consecutive_failures == 0
+        assert not monitor.failed_over
+
+    def test_blackhole_triggers_pool_swap(self, clock):
+        cdn, hostnames, monitor = self._monitored_cdn(clock)
+        for pop in list(cdn.pop_names()):
+            cdn.network.withdraw_from(POOL_PREFIX, pop)
+
+        results = monitor.tick()
+        assert any(not r.ok for r in results)
+        assert monitor.failed_over
+        event = monitor.timeline.first("failover_triggered")
+        assert event is not None and event.phase == "react"
+        assert monitor.timeline.events(kind="probe_failed")
+
+        # New resolutions land on the standby pool end-to-end.
+        client = make_client(cdn, clock, "eyeball:us:0")
+        outcome = client.fetch(hostnames[1])
+        assert outcome.connection.remote_addr in BACKUP_PREFIX
+        # The swap is latched: further failed rounds don't re-fire.
+        clock.advance(5.0)
+        monitor.tick()
+        assert len(monitor.timeline.events(kind="failover_triggered")) == 1
+
+    def test_threshold_delays_the_reaction(self, clock):
+        cdn, hostnames, monitor = self._monitored_cdn(clock, threshold=2)
+        for pop in list(cdn.pop_names()):
+            cdn.network.withdraw_from(POOL_PREFIX, pop)
+        monitor.tick()
+        assert not monitor.failed_over  # one bad round < threshold
+        clock.advance(5.0)
+        monitor.tick()
+        assert monitor.failed_over
+
+    def test_observe_only_mode_never_swaps(self, clock):
+        cdn, hostnames, monitor = self._monitored_cdn(clock, failover_pool=False)
+        for pop in list(cdn.pop_names()):
+            cdn.network.withdraw_from(POOL_PREFIX, pop)
+        for _ in range(3):
+            monitor.tick()
+            clock.advance(5.0)
+        assert not monitor.failed_over
+        assert monitor.consecutive_failures == 3
+        assert monitor.timeline.first("failover_triggered") is None
+
+    def test_recovery_resets_the_failure_run(self, clock):
+        cdn, hostnames, monitor = self._monitored_cdn(clock, failover_pool=False)
+        for pop in list(cdn.pop_names()):
+            cdn.network.withdraw_from(POOL_PREFIX, pop)
+        monitor.tick()
+        assert monitor.consecutive_failures == 1
+        cdn.network.announce_from(POOL_PREFIX, list(cdn.pop_names()))
+        clock.advance(5.0)
+        monitor.tick()
+        assert monitor.consecutive_failures == 0
+        assert monitor.timeline.first("probe_recovered") is not None
+
+    def test_validation(self, clock):
+        cdn, hostnames, engine, _ = make_policy_cdn(clock)
+        controller = AgilityController(engine, clock)
+        with pytest.raises(ValueError):
+            HealthMonitor(cdn, clock, controller, "randomize-all",
+                          hostnames[0], vantages=[])
+        with pytest.raises(ValueError):
+            HealthMonitor(cdn, clock, controller, "randomize-all",
+                          hostnames[0], vantages=["eyeball:us:0"],
+                          probe_interval=0.0)
+        with pytest.raises(ValueError):
+            HealthMonitor(cdn, clock, controller, "randomize-all",
+                          hostnames[0], vantages=["eyeball:us:0"],
+                          failure_threshold=0)

@@ -9,8 +9,6 @@ verifies the same ordering emerges in the *datacenter traffic logs*.
 
 import random
 
-import pytest
-
 from repro.analysis.loadstats import pool_load
 from repro.core import AddressPool, Policy, PolicyAnswerSource, PolicyEngine, StaticAssignment
 from repro.dns.resolver import ResolveError
@@ -30,7 +28,6 @@ REQUESTS = 600
 
 
 def run_full_stack(strategy, seed=21):
-    clock_seed = seed
     universe = HostnameUniverse(UniverseConfig(num_hostnames=150, assets_per_site=1,
                                                seed=seed))
     network = build_regional_topology({"us": ["ashburn"]}, clients_per_region=4,

@@ -51,7 +51,6 @@ class TestOneAddressExhaustion:
     def test_udp_exhausts_under_one_address(self):
         """§5.2: QUIC flows to one CDN address consume external ports
         exclusively; the NAT runs dry at ports×IPs concurrent flows."""
-        nat = CarrierGradeNAT([EXT1])
         # Use a tiny synthetic port space by exhausting a slice: bind until
         # failure with a patched range would be slow; instead verify the
         # accounting invariant on a sample and the failure on a full sweep

@@ -6,7 +6,6 @@ staying inside pools, dispatch never mis-delivering, cache TTL safety.
 
 import random
 
-import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 

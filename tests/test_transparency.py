@@ -8,9 +8,7 @@ ECMP balance, L4LB state, cache behaviour, and origin traffic untouched.
 
 import random
 
-import pytest
 
-from repro.clock import Clock
 from repro.core import AddressPool, Policy, PolicyAnswerSource, PolicyEngine
 from repro.dns import A, Zone, ZoneAnswerSource
 from repro.dns.resolver import ResolveError

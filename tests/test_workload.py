@@ -7,8 +7,6 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.clock import Clock
-from repro.edge import ListenMode
 from repro.workload.clients import ClientPopulation, PopulationConfig
 from repro.workload.hostnames import HostnameUniverse, UniverseConfig, lognormal_sizes
 from repro.workload.traffic import RequestStream, SessionGenerator
