@@ -1,0 +1,67 @@
+"""repro.check: static analysis for the addressing-agility control plane.
+
+The paper's socket-dispatch layer only works because the BPF verifier
+rejects malformed programs *at attach time* (§3.3); nothing equivalent
+guarded the policy/pool control plane that mints addresses (§3.1–§3.2),
+or the determinism discipline the simulator's reproducibility rests on.
+This package is that missing static pass, three checkers behind one
+:class:`~repro.check.core.Finding` framework:
+
+* :mod:`repro.check.program` — an sk_lookup program verifier: shadowed and
+  unreachable rules, conflicting redirects across programs on one lookup
+  path, port/prefix sanity, dead SOCKARRAY slots, DROP rules that swallow
+  addresses a policy can still mint;
+* :mod:`repro.check.controlplane` — cross-validates policies/pools against
+  the BGP/listening layer: unrouted pools, unterminated pools, overlapping
+  pools, undispatched standby pools, TTL sanity, and sampled end-to-end
+  policy → route → dispatch reachability;
+* :mod:`repro.check.determinism` — an AST lint over simulation code for
+  wall-clock reads, unseeded/global randomness, salted ``hash()`` seeds,
+  unordered-set iteration, and mutable shared state.
+
+Run everything with ``python -m repro check`` (see :mod:`repro.check.cli`),
+or programmatically::
+
+    from repro.check import context_from_deployment, run_checkers
+    report = run_checkers(context_from_deployment(deployment))
+    assert report.ok, report.render()
+"""
+
+from .controlplane import ControlPlaneChecker
+from .core import (
+    CheckContext,
+    CheckError,
+    Checker,
+    Finding,
+    PolicyInfo,
+    ProgramView,
+    Report,
+    Severity,
+    run_checkers,
+)
+from .deployment import (
+    context_from_cdn,
+    context_from_deployment,
+    precheck_rebind,
+)
+from .determinism import DeterminismChecker, lint_paths
+from .program import ProgramChecker
+
+__all__ = [
+    "CheckContext",
+    "CheckError",
+    "Checker",
+    "Finding",
+    "PolicyInfo",
+    "ProgramView",
+    "Report",
+    "Severity",
+    "run_checkers",
+    "ProgramChecker",
+    "ControlPlaneChecker",
+    "DeterminismChecker",
+    "lint_paths",
+    "context_from_cdn",
+    "context_from_deployment",
+    "precheck_rebind",
+]

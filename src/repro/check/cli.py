@@ -1,0 +1,63 @@
+"""``python -m repro check``: the static-analysis front door.
+
+Two modes:
+
+* **no config argument** — build the default in-memory deployment
+  (:meth:`repro.deploy.Deployment.build`), verify its programs and control
+  plane, and run the determinism lint over the installed ``repro``
+  package sources.  This is the CI gate: the shipped configuration and
+  the shipped code must both come back clean.
+* **a check-config JSON path** — load the described control plane
+  (:mod:`repro.check.config`) and verify *it*, plus any ``lint`` paths it
+  names.  Broken configs exit non-zero with one finding per defect.
+
+Exit status: 0 when no error findings (``--strict``: no findings at all),
+1 otherwise; 2 for an unreadable/malformed config file.
+"""
+
+from __future__ import annotations
+
+import os
+
+from .config import CheckConfigError, load_check_config
+from .core import Report, run_checkers
+from .deployment import context_from_deployment
+
+__all__ = ["run_check"]
+
+
+def _default_lint_paths() -> list[str]:
+    import repro
+
+    return [os.path.dirname(os.path.abspath(repro.__file__))]
+
+
+def run_check(
+    config: str | None = None,
+    lint: list[str] | None = None,
+    no_lint: bool = False,
+    strict: bool = False,
+    no_deployment: bool = False,
+) -> tuple[str, int]:
+    """Run the requested passes; returns (rendered report, exit code)."""
+    if config is not None:
+        try:
+            ctx = load_check_config(config)
+        except CheckConfigError as exc:
+            return f"check-config error: {exc}", 2
+    elif no_deployment:
+        from .core import CheckContext
+
+        ctx = CheckContext(service_ports=())
+    else:
+        from ..deploy import Deployment
+
+        ctx = context_from_deployment(Deployment.build())
+    if lint:
+        ctx.lint_paths = [*ctx.lint_paths, *lint]
+    elif config is None and not ctx.lint_paths:
+        ctx.lint_paths = _default_lint_paths()
+    if no_lint:
+        ctx.lint_paths = []
+    report: Report = run_checkers(ctx)
+    return report.render(), report.exit_code(strict=strict)

@@ -1,0 +1,175 @@
+"""Check-config loader: describe a control plane as JSON, get a context.
+
+A check-config is the operator-facing input to ``python -m repro check``:
+a declarative description of what *should* be deployed — announced space,
+listening space, policies (the :mod:`repro.core.spec` shape), standby
+pools, and sk_lookup programs — that the passes cross-validate without
+standing anything up.  Because programs are described as plain rule dicts,
+deliberately broken rule sets (the kind ``add_rule`` would reject at
+attach time) can still be expressed and diagnosed.
+
+Shape::
+
+    {
+      "advertised":    ["192.0.0.0/20"],          # BGP-announced space
+      "listening":     ["192.0.0.0/20"],          # optional; default: advertised
+      "service_ports": [80, 443],                 # optional
+      "soa_minimum":   300,                       # optional
+      "policies":      [{... repro.core.spec policy spec ...}],
+      "standby_pools": [{"advertised": "...", "active": "...", "name": "..."}],
+      "programs": [
+        {"name": "edge", "map_size": 4, "live_slots": [0, 1], "path": "default",
+         "rules": [{"action": "pass", "protocol": "tcp",
+                    "prefixes": ["192.0.2.0/24"],
+                    "port_lo": 443, "port_hi": 443,
+                    "map_key": 0, "label": "svc"}]}
+      ],
+      "lint": ["src/repro"]                       # paths, relative to this file
+    }
+"""
+
+from __future__ import annotations
+
+import json
+import os
+
+from ..core.pool import AddressPool
+from ..core.spec import PolicySpecError, compile_policy
+from ..netsim.packet import Protocol
+from ..netsim.addr import parse_prefix
+from ..sockets.sklookup import MatchRule, Verdict
+from .core import CheckContext, PolicyInfo, ProgramView
+
+__all__ = ["CheckConfigError", "load_check_config"]
+
+_TOP_KEYS = {
+    "advertised", "listening", "service_ports", "soa_minimum",
+    "policies", "standby_pools", "programs", "lint",
+}
+_RULE_KEYS = {"action", "protocol", "prefixes", "port_lo", "port_hi", "map_key", "label"}
+_PROGRAM_KEYS = {"name", "map_size", "live_slots", "rules", "path"}
+
+_PROTOCOLS = {"tcp": Protocol.TCP, "udp": Protocol.UDP, "quic": Protocol.QUIC}
+
+
+class CheckConfigError(ValueError):
+    """The config file itself is malformed (vs. describing a broken system)."""
+
+
+def _parse_rule(raw: dict, where: str) -> MatchRule:
+    unknown = set(raw) - _RULE_KEYS
+    if unknown:
+        raise CheckConfigError(f"{where}: unknown rule keys {sorted(unknown)}")
+    action_text = raw.get("action", "pass")
+    try:
+        action = {"pass": Verdict.PASS, "drop": Verdict.DROP}[action_text]
+    except KeyError:
+        raise CheckConfigError(f"{where}: action must be 'pass' or 'drop', "
+                               f"got {action_text!r}") from None
+    protocol_text = raw.get("protocol")
+    if protocol_text is not None and protocol_text not in _PROTOCOLS:
+        raise CheckConfigError(f"{where}: unknown protocol {protocol_text!r}")
+    try:
+        prefixes = tuple(parse_prefix(p) for p in raw.get("prefixes", []))
+    except ValueError as exc:
+        raise CheckConfigError(f"{where}: {exc}") from exc
+    return MatchRule(
+        action=action,
+        protocol=_PROTOCOLS[protocol_text] if protocol_text else None,
+        prefixes=prefixes,
+        port_lo=int(raw.get("port_lo", 1)),
+        port_hi=int(raw.get("port_hi", 0xFFFF)),
+        map_key=raw.get("map_key"),
+        label=raw.get("label", ""),
+    )
+
+
+def _parse_program(raw: dict, index: int) -> ProgramView:
+    unknown = set(raw) - _PROGRAM_KEYS
+    if unknown:
+        raise CheckConfigError(f"programs[{index}]: unknown keys {sorted(unknown)}")
+    name = raw.get("name", f"program{index}")
+    rules = tuple(
+        _parse_rule(rule, f"{name}#rule{i}") for i, rule in enumerate(raw.get("rules", []))
+    )
+    return ProgramView(
+        name=name,
+        rules=rules,
+        map_size=int(raw.get("map_size", 64)),
+        live_slots=frozenset(int(k) for k in raw.get("live_slots", [])),
+        path=raw.get("path", "default"),
+    )
+
+
+def _parse_pool(raw: dict, where: str) -> AddressPool:
+    try:
+        advertised = parse_prefix(raw["advertised"])
+        active = raw.get("active")
+        return AddressPool(
+            advertised,
+            active=parse_prefix(active) if active is not None else None,
+            name=raw.get("name", ""),
+        )
+    except KeyError as exc:
+        raise CheckConfigError(f"{where}: missing key {exc}") from exc
+    except ValueError as exc:
+        raise CheckConfigError(f"{where}: {exc}") from exc
+
+
+def load_check_config(path: str) -> CheckContext:
+    """Parse a check-config JSON file into a :class:`CheckContext`.
+
+    Raises :class:`CheckConfigError` for malformed files; a well-formed
+    file describing a broken system loads fine — diagnosing it is the
+    checkers' job.
+    """
+    try:
+        with open(path, encoding="utf-8") as handle:
+            raw = json.load(handle)
+    except OSError as exc:
+        raise CheckConfigError(f"cannot read {path}: {exc}") from exc
+    except json.JSONDecodeError as exc:
+        raise CheckConfigError(f"{path} is not valid JSON: {exc}") from exc
+    if not isinstance(raw, dict):
+        raise CheckConfigError(f"{path}: top level must be a JSON object")
+    unknown = set(raw) - _TOP_KEYS
+    if unknown:
+        raise CheckConfigError(f"{path}: unknown top-level keys {sorted(unknown)}")
+
+    try:
+        announced = [parse_prefix(p) for p in raw.get("advertised", [])]
+        listening = [parse_prefix(p) for p in raw.get("listening", raw.get("advertised", []))]
+    except ValueError as exc:
+        raise CheckConfigError(f"{path}: {exc}") from exc
+
+    policies = []
+    for i, spec in enumerate(raw.get("policies", [])):
+        try:
+            policies.append(PolicyInfo.from_policy(compile_policy(spec)))
+        except PolicySpecError as exc:
+            raise CheckConfigError(f"{path}: policies[{i}]: {exc}") from exc
+
+    standby = [
+        _parse_pool(p, f"standby_pools[{i}]")
+        for i, p in enumerate(raw.get("standby_pools", []))
+    ]
+    programs = [_parse_program(p, i) for i, p in enumerate(raw.get("programs", []))]
+
+    base = os.path.dirname(os.path.abspath(path))
+    lint = [
+        entry if os.path.isabs(entry) else os.path.join(base, entry)
+        for entry in raw.get("lint", [])
+    ]
+
+    ports = tuple(int(p) for p in raw.get("service_ports", (80, 443)))
+    soa = raw.get("soa_minimum")
+    return CheckContext(
+        policies=policies,
+        standby_pools=standby,
+        announced=announced,
+        listening=listening,
+        programs=programs,
+        service_ports=ports,
+        soa_minimum=int(soa) if soa is not None else None,
+        lint_paths=lint,
+    )

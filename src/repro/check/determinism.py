@@ -1,0 +1,371 @@
+"""Pass 3: the determinism lint — a race detector for seeded simulations.
+
+Every experiment in this repository promises bit-reproducibility: same
+seed, same tables.  That promise dies quietly the moment simulation code
+reads the wall clock, draws from the process-global RNG, seeds anything
+from salted ``hash()``, lets ``set`` iteration order feed the event
+scheduler, or shares mutable state across simulated actors through a
+default argument or class attribute.  None of those crash; they just make
+run N+1 differ from run N — the concurrency-bug shape of simulator bugs.
+
+This pass walks the AST (stdlib :mod:`ast`, no new dependencies) of every
+``.py`` file under the configured roots and flags:
+
+* ``DT001 wall-clock``          — ``time.time``/``monotonic``/…,
+  ``datetime.now``/``utcnow``/``today`` (use the sim ``Clock``);
+* ``DT002 unseeded-random``     — module-level ``random.*`` calls,
+  ``random.Random()``/``numpy.random.default_rng()`` with no seed,
+  ``random.SystemRandom`` (use a seeded ``random.Random`` instance);
+* ``DT003 salted-hash``         — builtin ``hash()``: salted per process
+  for str/bytes (use :func:`repro.hashing.stable_hash`);
+* ``DT004 unordered-iteration`` — ``for``/comprehension iteration or
+  ``list()``/``tuple()`` materialisation of a set expression (sort first);
+* ``DT005 mutable-default``     — list/dict/set default arguments shared
+  across every simulated actor that calls the function;
+* ``DT006 mutable-class-state`` — list/dict/set class attributes shared
+  across every instance.
+
+False positives are suppressed — and justified — in place with a pragma::
+
+    t = time.time()  # repro: allow-wall-clock benchmarks measure real time
+
+A pragma with no justification text is itself flagged (``DT007``), so
+"runs clean" means every exception is explained where it stands.
+"""
+
+from __future__ import annotations
+
+import ast
+import os
+import re
+from dataclasses import dataclass
+
+from .core import Checker, CheckContext, Finding, Severity
+
+__all__ = ["DeterminismChecker", "lint_paths", "lint_file", "RULES"]
+
+#: rule id -> (name, severity, hint)
+RULES: dict[str, tuple[str, Severity, str]] = {
+    "DT000": ("parse-error", Severity.ERROR,
+              "fix the syntax error so the file can be analysed"),
+    "DT001": ("wall-clock", Severity.ERROR,
+              "thread the simulated repro.clock.Clock through instead"),
+    "DT002": ("unseeded-random", Severity.ERROR,
+              "use a random.Random(seed) instance plumbed from the caller"),
+    "DT003": ("salted-hash", Severity.ERROR,
+              "use repro.hashing.stable_hash — builtin hash() is salted per process"),
+    "DT004": ("unordered-iteration", Severity.WARNING,
+              "iterate sorted(...) so event order is independent of hash seeds"),
+    "DT005": ("mutable-default", Severity.WARNING,
+              "default to None and create the object inside the function"),
+    "DT006": ("mutable-class-state", Severity.WARNING,
+              "initialise per-instance state in __init__ (or use a field factory)"),
+    "DT007": ("unjustified-pragma", Severity.WARNING,
+              "say *why* the rule does not apply, on the same line"),
+}
+
+_WALL_CLOCK = {
+    "time.time", "time.time_ns", "time.monotonic", "time.monotonic_ns",
+    "time.perf_counter", "time.perf_counter_ns", "time.process_time",
+    "time.localtime", "time.gmtime", "time.ctime",
+    "datetime.datetime.now", "datetime.datetime.utcnow",
+    "datetime.datetime.today", "datetime.date.today",
+}
+
+_GLOBAL_RANDOM_FNS = {
+    "random", "uniform", "randint", "randrange", "getrandbits", "choice",
+    "choices", "shuffle", "sample", "seed", "betavariate", "expovariate",
+    "gauss", "normalvariate", "lognormvariate", "paretovariate",
+    "triangular", "vonmisesvariate", "weibullvariate", "randbytes",
+}
+
+_NUMPY_RANDOM_FNS = {
+    "rand", "randn", "random", "random_sample", "randint", "choice",
+    "shuffle", "permutation", "seed", "uniform", "normal", "standard_normal",
+}
+
+_MUTABLE_CALLS = {
+    "list", "dict", "set", "bytearray",
+    "collections.defaultdict", "collections.deque", "collections.Counter",
+    "collections.OrderedDict", "defaultdict", "deque", "Counter", "OrderedDict",
+}
+
+_PRAGMA = re.compile(r"#\s*repro:\s*allow-([A-Za-z0-9_-]+)\s*(.*)$")
+
+
+@dataclass(frozen=True, slots=True)
+class _Pragma:
+    rule: str       # rule id ("DT003") or name ("salted-hash") or "all"
+    justified: bool
+
+
+def _collect_pragmas(source: str) -> dict[int, list[_Pragma]]:
+    pragmas: dict[int, list[_Pragma]] = {}
+    for lineno, line in enumerate(source.splitlines(), start=1):
+        match = _PRAGMA.search(line)
+        if match:
+            pragmas.setdefault(lineno, []).append(
+                _Pragma(rule=match.group(1), justified=bool(match.group(2).strip()))
+            )
+    return pragmas
+
+
+class _NameTable:
+    """Resolve names to dotted module paths via the file's imports."""
+
+    def __init__(self) -> None:
+        self.modules: dict[str, str] = {}  # local name -> module path
+        self.names: dict[str, str] = {}    # local name -> module.attr path
+
+    def add_import(self, node: ast.Import) -> None:
+        for alias in node.names:
+            if alias.asname:
+                self.modules[alias.asname] = alias.name
+            else:
+                # "import numpy.random" binds the top-level name "numpy".
+                root = alias.name.split(".")[0]
+                self.modules[root] = root
+
+    def add_import_from(self, node: ast.ImportFrom) -> None:
+        if node.level or node.module is None:
+            return  # relative import: package-internal, not a stdlib source
+        for alias in node.names:
+            self.names[alias.asname or alias.name] = f"{node.module}.{alias.name}"
+
+    def resolve(self, node: ast.expr) -> str | None:
+        """Dotted path for a call target, or the bare builtin name."""
+        parts: list[str] = []
+        cur = node
+        while isinstance(cur, ast.Attribute):
+            parts.append(cur.attr)
+            cur = cur.value
+        if not isinstance(cur, ast.Name):
+            return None
+        parts.reverse()
+        base = cur.id
+        if base in self.modules:
+            return ".".join([self.modules[base], *parts])
+        if base in self.names:
+            return ".".join([self.names[base], *parts])
+        if not parts:
+            return base  # plausibly a builtin: hash, set, list, ...
+        return None
+
+
+class _FileVisitor(ast.NodeVisitor):
+    def __init__(self, display: str, table: _NameTable) -> None:
+        self.display = display
+        self.table = table
+        self.findings: list[Finding] = []
+
+    # -- helpers ------------------------------------------------------------
+
+    def _flag(self, rule: str, lineno: int, message: str) -> None:
+        name, severity, hint = RULES[rule]
+        self.findings.append(Finding(
+            rule, name, severity, message, f"{self.display}:{lineno}", hint,
+        ))
+
+    def _is_set_expr(self, node: ast.expr) -> bool:
+        if isinstance(node, (ast.Set, ast.SetComp)):
+            return True
+        if isinstance(node, ast.Call):
+            return self.table.resolve(node.func) in ("set", "frozenset")
+        return False
+
+    def _is_mutable_literal(self, node: ast.expr) -> bool:
+        if isinstance(node, (ast.List, ast.Dict, ast.Set,
+                             ast.ListComp, ast.DictComp, ast.SetComp)):
+            return True
+        if isinstance(node, ast.Call):
+            return self.table.resolve(node.func) in _MUTABLE_CALLS
+        return False
+
+    # -- imports ---------------------------------------------------------------
+
+    def visit_Import(self, node: ast.Import) -> None:
+        self.table.add_import(node)
+        self.generic_visit(node)
+
+    def visit_ImportFrom(self, node: ast.ImportFrom) -> None:
+        self.table.add_import_from(node)
+        self.generic_visit(node)
+
+    # -- calls: wall clock, global randomness, salted hash ------------------------
+
+    def visit_Call(self, node: ast.Call) -> None:
+        path = self.table.resolve(node.func)
+        if path is not None:
+            self._check_call(node, path)
+        # list(set(...)) / tuple(set(...)) materialise unordered state.
+        if path in ("list", "tuple") and node.args and self._is_set_expr(node.args[0]):
+            self._flag("DT004", node.lineno,
+                       f"{path}() over a set materialises hash-seed-dependent order")
+        self.generic_visit(node)
+
+    def _check_call(self, node: ast.Call, path: str) -> None:
+        if path in _WALL_CLOCK:
+            self._flag("DT001", node.lineno,
+                       f"{path}() reads the wall clock inside simulation code")
+            return
+        if path.startswith("random."):
+            fn = path.removeprefix("random.")
+            if fn in _GLOBAL_RANDOM_FNS:
+                self._flag("DT002", node.lineno,
+                           f"{path}() draws from the shared module-level RNG")
+            elif fn == "Random" and not node.args and not node.keywords:
+                self._flag("DT002", node.lineno,
+                           "random.Random() with no seed is seeded from the OS")
+            elif fn == "SystemRandom":
+                self._flag("DT002", node.lineno,
+                           "random.SystemRandom is nondeterministic by design")
+            return
+        if path.startswith("numpy.random."):
+            fn = path.removeprefix("numpy.random.")
+            if fn in _NUMPY_RANDOM_FNS:
+                self._flag("DT002", node.lineno,
+                           f"{path}() draws from numpy's shared global RNG")
+            elif fn == "default_rng" and not node.args and not node.keywords:
+                self._flag("DT002", node.lineno,
+                           "numpy.random.default_rng() with no seed is entropy-seeded")
+            return
+        if path == "hash":
+            self._flag("DT003", node.lineno,
+                       "builtin hash() is salted per process (PYTHONHASHSEED); "
+                       "its value is not reproducible across runs")
+
+    # -- iteration order ------------------------------------------------------------
+
+    def visit_For(self, node: ast.For) -> None:
+        if self._is_set_expr(node.iter):
+            self._flag("DT004", node.iter.lineno,
+                       "for-loop iterates a set: order depends on the hash seed")
+        self.generic_visit(node)
+
+    def _check_comprehension(self, node) -> None:
+        for gen in node.generators:
+            if self._is_set_expr(gen.iter):
+                self._flag("DT004", gen.iter.lineno,
+                           "comprehension iterates a set: order depends on the hash seed")
+        self.generic_visit(node)
+
+    visit_ListComp = _check_comprehension
+    visit_GeneratorExp = _check_comprehension
+
+    def visit_SetComp(self, node: ast.SetComp) -> None:
+        # Building a set from a set stays orderless — no finding.
+        self.generic_visit(node)
+
+    def visit_DictComp(self, node: ast.DictComp) -> None:
+        self._check_comprehension(node)
+
+    # -- shared mutable state ----------------------------------------------------------
+
+    def _check_function(self, node) -> None:
+        args = node.args
+        for default in [*args.defaults, *[d for d in args.kw_defaults if d is not None]]:
+            if self._is_mutable_literal(default):
+                self._flag("DT005", default.lineno,
+                           f"mutable default argument in {node.name}(): one object "
+                           "is shared by every simulated actor that calls it")
+        self.generic_visit(node)
+
+    visit_FunctionDef = _check_function
+    visit_AsyncFunctionDef = _check_function
+
+    def visit_ClassDef(self, node: ast.ClassDef) -> None:
+        for stmt in node.body:
+            value = None
+            target = None
+            if isinstance(stmt, ast.Assign) and len(stmt.targets) == 1:
+                value, target = stmt.value, stmt.targets[0]
+            elif isinstance(stmt, ast.AnnAssign) and stmt.value is not None:
+                value, target = stmt.value, stmt.target
+            if value is None or not isinstance(target, ast.Name):
+                continue
+            if self._is_mutable_literal(value):
+                self._flag("DT006", value.lineno,
+                           f"class attribute {node.name}.{target.id} is mutable and "
+                           "shared by every instance")
+        self.generic_visit(node)
+
+
+def lint_file(path: str, display: str | None = None) -> list[Finding]:
+    """Lint one file; pragma-suppressed findings are dropped, unjustified
+    pragmas are themselves flagged."""
+    display = display if display is not None else path
+    try:
+        with open(path, encoding="utf-8") as handle:
+            source = handle.read()
+    except OSError as exc:
+        name, severity, hint = RULES["DT000"]
+        return [Finding("DT000", name, severity, f"cannot read file: {exc}", display, hint)]
+    try:
+        tree = ast.parse(source, filename=path)
+    except SyntaxError as exc:
+        name, severity, hint = RULES["DT000"]
+        return [Finding("DT000", name, severity, f"syntax error: {exc.msg}",
+                        f"{display}:{exc.lineno or 0}", hint)]
+
+    visitor = _FileVisitor(display, _NameTable())
+    visitor.visit(tree)
+    pragmas = _collect_pragmas(source)
+
+    findings: list[Finding] = []
+    used: set[tuple[int, int]] = set()  # (lineno, index of pragma used)
+    for finding in visitor.findings:
+        lineno = int(finding.location.rsplit(":", 1)[-1])
+        suppressed = False
+        for idx, pragma in enumerate(pragmas.get(lineno, [])):
+            if pragma.rule in (finding.rule, finding.name, "all"):
+                suppressed = True
+                used.add((lineno, idx))
+                if not pragma.justified:
+                    name, severity, hint = RULES["DT007"]
+                    findings.append(Finding(
+                        "DT007", name, severity,
+                        f"pragma allow-{pragma.rule} suppresses {finding.rule} "
+                        "without an in-line justification",
+                        f"{display}:{lineno}", hint,
+                    ))
+                break
+        if not suppressed:
+            findings.append(finding)
+    return findings
+
+
+def _display_for(file_path: str, root: str) -> str:
+    """Stable display path: the root's basename plus the relative path."""
+    root = os.path.abspath(root)
+    file_path = os.path.abspath(file_path)
+    if os.path.isfile(root):
+        return os.path.basename(root)
+    rel = os.path.relpath(file_path, root)
+    return os.path.join(os.path.basename(root), rel)
+
+
+def lint_paths(paths: list[str]) -> list[Finding]:
+    """Lint every ``.py`` file under each path (file or directory)."""
+    findings: list[Finding] = []
+    for root in paths:
+        if os.path.isfile(root):
+            findings.extend(lint_file(root, _display_for(root, root)))
+            continue
+        for dirpath, dirnames, filenames in os.walk(root):
+            dirnames.sort()
+            dirnames[:] = [d for d in dirnames if d not in ("__pycache__", ".git")]
+            for filename in sorted(filenames):
+                if not filename.endswith(".py"):
+                    continue
+                full = os.path.join(dirpath, filename)
+                findings.extend(lint_file(full, _display_for(full, root)))
+    return findings
+
+
+class DeterminismChecker(Checker):
+    """Checker adapter: lints ``ctx.lint_paths``."""
+
+    name = "determinism"
+
+    def run(self, ctx: CheckContext) -> list[Finding]:
+        return lint_paths(ctx.lint_paths)

@@ -1,0 +1,274 @@
+"""Pass 1: the sk_lookup program verifier.
+
+The attach-time checks in :func:`repro.sockets.sklookup.verify_program`
+are the moral equivalent of the BPF verifier's *safety* checks — they stop
+a program that cannot run.  This pass is the next tier, the one a CDN
+actually needs before shipping a dispatch program fleet-wide: rules that
+can never fire, redirects into empty map slots, sockets no rule reaches,
+programs on the same lookup path fighting over the same packets, and DROP
+rules that silently blackhole addresses the policy control plane can still
+mint (the fCDN failure mode: misdirected dispatch drops traffic with no
+error anywhere).
+
+Every check is decided from the rule set alone — no packets needed —
+because a :class:`~repro.sockets.sklookup.MatchRule`'s match space is a
+product of finite boxes: protocol × port interval × prefix set.
+"""
+
+from __future__ import annotations
+
+from ..netsim.addr import Prefix
+from ..sockets.sklookup import MatchRule, Verdict
+from .core import Checker, CheckContext, Finding, ProgramView, Severity
+
+__all__ = ["ProgramChecker", "rule_covers", "rules_overlap"]
+
+
+def _proto_covers(earlier: MatchRule, later: MatchRule) -> bool:
+    if earlier.protocol is None:
+        return True
+    if later.protocol is None:
+        return False
+    return earlier.protocol.wire_protocol is later.protocol.wire_protocol
+
+
+def _proto_overlap(a: MatchRule, b: MatchRule) -> bool:
+    if a.protocol is None or b.protocol is None:
+        return True
+    return a.protocol.wire_protocol is b.protocol.wire_protocol
+
+
+def _ports_cover(earlier: MatchRule, later: MatchRule) -> bool:
+    return earlier.port_lo <= later.port_lo and later.port_hi <= earlier.port_hi
+
+
+def _ports_overlap(a: MatchRule, b: MatchRule) -> bool:
+    return a.port_lo <= b.port_hi and b.port_lo <= a.port_hi
+
+
+def _prefixes_cover(earlier: MatchRule, later: MatchRule) -> bool:
+    if not earlier.prefixes:
+        return True  # match-any address
+    if not later.prefixes:
+        return False  # later matches everything; a constrained rule cannot cover it
+    return all(any(ep.contains(lp) for ep in earlier.prefixes) for lp in later.prefixes)
+
+
+def _prefixes_overlap(a: MatchRule, b: MatchRule) -> bool:
+    if not a.prefixes or not b.prefixes:
+        return True
+    return any(ap.overlaps(bp) for ap in a.prefixes for bp in b.prefixes)
+
+
+def rule_covers(earlier: MatchRule, later: MatchRule) -> bool:
+    """Is ``later``'s entire match space inside ``earlier``'s?"""
+    return (
+        _proto_covers(earlier, later)
+        and _ports_cover(earlier, later)
+        and _prefixes_cover(earlier, later)
+    )
+
+
+def rules_overlap(a: MatchRule, b: MatchRule) -> bool:
+    """Do the two match spaces share at least one packet?"""
+    return _proto_overlap(a, b) and _ports_overlap(a, b) and _prefixes_overlap(a, b)
+
+
+def _is_terminal(rule: MatchRule, live_slots: frozenset[int]) -> bool:
+    """Does a match on ``rule`` always end evaluation?
+
+    DROP and plain PASS rules are terminal; a redirect is terminal only
+    while its slot holds a live socket (an empty/stale slot falls through
+    at dispatch, exactly like ``bpf_sk_assign`` failing on NULL).
+    """
+    if rule.action is Verdict.DROP:
+        return True
+    if rule.is_redirect:
+        return rule.map_key in live_slots
+    return True  # explicit pass-through
+
+
+def _where(program: ProgramView, index: int, rule: MatchRule) -> str:
+    label = f" ({rule.label})" if rule.label else ""
+    return f"{program.name}#rule{index}{label}"
+
+
+class ProgramChecker(Checker):
+    """Static verification of every :class:`ProgramView` in the context."""
+
+    name = "program"
+
+    def run(self, ctx: CheckContext) -> list[Finding]:
+        findings: list[Finding] = []
+        for program in ctx.programs:
+            findings.extend(self._check_sanity(program))
+            findings.extend(self._check_shadowing(program))
+            findings.extend(self._check_slots(program))
+            findings.extend(self._check_drops_vs_policies(program, ctx))
+        findings.extend(self._check_cross_program(ctx))
+        return findings
+
+    # -- SK001: per-rule sanity ------------------------------------------------
+
+    def _check_sanity(self, program: ProgramView) -> list[Finding]:
+        findings = []
+        for i, rule in enumerate(program.rules):
+            where = _where(program, i, rule)
+            if not 1 <= rule.port_lo <= rule.port_hi <= 0xFFFF:
+                findings.append(Finding(
+                    "SK001", "bad-port-range", Severity.ERROR,
+                    f"port range {rule.port_lo}..{rule.port_hi} is not within 1..65535 "
+                    "in ascending order",
+                    where, "fix the range; ports are an inclusive 1..65535 interval",
+                ))
+            if len({p.family for p in rule.prefixes}) > 1:
+                findings.append(Finding(
+                    "SK001", "mixed-family", Severity.ERROR,
+                    "rule mixes IPv4 and IPv6 prefixes; a packet has one family",
+                    where, "split into one rule per address family",
+                ))
+            if rule.action is Verdict.DROP and rule.map_key is not None:
+                findings.append(Finding(
+                    "SK001", "drop-with-map-key", Severity.ERROR,
+                    "DROP rules cannot carry a map key",
+                    where, "remove the map_key or make the rule a redirect",
+                ))
+            if rule.is_redirect and not 0 <= rule.map_key < program.map_size:
+                findings.append(Finding(
+                    "SK001", "map-key-range", Severity.ERROR,
+                    f"map key {rule.map_key} outside SOCKARRAY size {program.map_size}",
+                    where, f"use a key in 0..{program.map_size - 1} or grow the map",
+                ))
+        return findings
+
+    # -- SK002: shadowed / unreachable rules ------------------------------------
+
+    def _check_shadowing(self, program: ProgramView) -> list[Finding]:
+        findings = []
+        for j, later in enumerate(program.rules):
+            for i in range(j):
+                earlier = program.rules[i]
+                if not _is_terminal(earlier, program.live_slots):
+                    continue
+                if rule_covers(earlier, later):
+                    note = ""
+                    if earlier.is_redirect:
+                        note = (f" (while slot {earlier.map_key} stays populated;"
+                                " an emptied slot would un-shadow it)")
+                    findings.append(Finding(
+                        "SK002", "shadowed-rule", Severity.ERROR,
+                        f"never matches: fully shadowed by rule {i}"
+                        f" [{earlier.action.value}"
+                        + (f" -> slot {earlier.map_key}" if earlier.is_redirect else "")
+                        + f"]{note}",
+                        _where(program, j, later),
+                        "remove the dead rule, or reorder/narrow the earlier one",
+                    ))
+                    break  # one shadowing witness per rule is enough
+        return findings
+
+    # -- SK004/SK005: map-slot hygiene -------------------------------------------
+
+    def _check_slots(self, program: ProgramView) -> list[Finding]:
+        findings = []
+        referenced: set[int] = set()
+        for i, rule in enumerate(program.rules):
+            if not rule.is_redirect:
+                continue
+            referenced.add(rule.map_key)
+            if 0 <= rule.map_key < program.map_size and rule.map_key not in program.live_slots:
+                findings.append(Finding(
+                    "SK004", "empty-slot-redirect", Severity.WARNING,
+                    f"redirects to SOCKARRAY slot {rule.map_key} which holds no "
+                    "listening socket; dispatch falls through at runtime",
+                    _where(program, i, rule),
+                    "populate the slot via the socket-activation service, or drop the rule",
+                ))
+        for slot in sorted(program.live_slots - referenced):
+            findings.append(Finding(
+                "SK005", "dead-slot", Severity.WARNING,
+                f"SOCKARRAY slot {slot} holds a listening socket no rule redirects to",
+                f"{program.name}[{slot}]",
+                "add a redirect rule for it or release the socket",
+            ))
+        return findings
+
+    # -- SK006: DROP rules vs. mintable addresses ---------------------------------
+
+    def _check_drops_vs_policies(self, program: ProgramView, ctx: CheckContext) -> list[Finding]:
+        findings = []
+        service_ports = ctx.service_ports
+        for i, rule in enumerate(program.rules):
+            if rule.action is not Verdict.DROP:
+                continue
+            if service_ports and not any(
+                rule.port_lo <= port <= rule.port_hi for port in service_ports
+            ):
+                continue  # drop outside the service ports cannot eat minted traffic
+            for policy in ctx.policies:
+                if self._drop_hits_pool(rule, policy.pool):
+                    findings.append(Finding(
+                        "SK006", "drop-shadows-pool", Severity.ERROR,
+                        f"DROP rule swallows addresses policy {policy.name!r} can "
+                        f"still mint from pool {policy.pool.name!r} — minted answers "
+                        "would blackhole silently",
+                        _where(program, i, rule),
+                        "shrink the policy's active set away from the dropped "
+                        "prefix, or narrow the DROP rule",
+                    ))
+        return findings
+
+    @staticmethod
+    def _drop_hits_pool(rule: MatchRule, pool) -> bool:
+        """Can the policy's *active* set mint an address the DROP matches?"""
+        active: Prefix | None = pool.active_prefix
+        if active is not None:
+            if not rule.prefixes:
+                return True
+            return any(p.overlaps(active) for p in rule.prefixes)
+        # Explicit address list: test each minted address directly.
+        addresses = pool.active_addresses() or ()
+        if not rule.prefixes:
+            return bool(addresses)
+        return any(addr in p for addr in addresses for p in rule.prefixes)
+
+    # -- SK003: conflicting redirects across programs on one path -----------------
+
+    def _check_cross_program(self, ctx: CheckContext) -> list[Finding]:
+        findings = []
+        by_path: dict[str, list[ProgramView]] = {}
+        for program in ctx.programs:
+            by_path.setdefault(program.path, []).append(program)
+        for path, programs in by_path.items():
+            if len(programs) < 2:
+                continue
+            for a_idx, first in enumerate(programs):
+                for second in programs[a_idx + 1:]:
+                    findings.extend(self._conflicts_between(path, first, second))
+        return findings
+
+    def _conflicts_between(
+        self, path: str, first: ProgramView, second: ProgramView
+    ) -> list[Finding]:
+        """Programs run in attach order; the first to return a socket or a
+        drop wins.  A later program whose redirect overlaps an earlier
+        program's live redirect with a *different* target never sees those
+        packets — dispatch silently depends on attach order."""
+        findings = []
+        for i, early in enumerate(first.rules):
+            if not (early.is_redirect and early.map_key in first.live_slots):
+                continue
+            for j, late in enumerate(second.rules):
+                if not late.is_redirect:
+                    continue
+                if rules_overlap(early, late):
+                    findings.append(Finding(
+                        "SK003", "conflicting-redirect", Severity.WARNING,
+                        f"overlaps {_where(first, i, early)} (attached earlier on "
+                        f"path {path!r}) which redirects to a different socket; "
+                        "the earlier program claims the shared packets",
+                        _where(second, j, late),
+                        "disjoint the match spaces, or merge the programs so one "
+                        "rule order decides",
+                    ))
+        return findings

@@ -14,18 +14,30 @@
     python -m repro dnsload
     python -m repro failover --ttl 20
     python -m repro scaling
+    python -m repro check [config.json] [--strict]
 
 Each subcommand prints the same table its benchmark saves under
-``benchmarks/results/``.  For timing data use the benchmarks.
+``benchmarks/results/``.  For timing data use the benchmarks.  ``check``
+is different: it runs the :mod:`repro.check` static-analysis passes and
+exits non-zero when they find errors.
 """
 
 from __future__ import annotations
 
 import argparse
 import sys
-from typing import Callable
+from collections.abc import Callable
 
 __all__ = ["main", "build_parser"]
+
+
+class _CommandFailed(Exception):
+    """A handler produced output but the command must exit non-zero."""
+
+    def __init__(self, output: str, code: int) -> None:
+        super().__init__(output)
+        self.output = output
+        self.code = code
 
 
 def _cmd_fig7(args) -> str:
@@ -99,6 +111,21 @@ def _cmd_scaling(args) -> str:
     return render_scaling_table()
 
 
+def _cmd_check(args) -> str:
+    from .check.cli import run_check
+
+    output, code = run_check(
+        config=args.config,
+        lint=args.lint,
+        no_lint=args.no_lint,
+        strict=args.strict,
+        no_deployment=args.no_deployment,
+    )
+    if code != 0:
+        raise _CommandFailed(output, code)
+    return output
+
+
 def _cmd_list(args) -> str:
     lines = ["available experiments:"]
     for name, (_, help_text) in sorted(_COMMANDS.items()):
@@ -118,6 +145,7 @@ _COMMANDS: dict[str, tuple[Callable, str]] = {
     "dnsload": (_cmd_dnsload, "§5.2: DNS-stress reduction under one-address"),
     "failover": (_cmd_failover, "§3.4/§4.4: failover recovery time vs BGP reconvergence"),
     "scaling": (_cmd_scaling, "Figure 4: socket-table scaling comparison"),
+    "check": (_cmd_check, "static analysis: program verifier + control-plane + determinism lint"),
     "list": (_cmd_list, "list available experiments"),
 }
 
@@ -167,6 +195,21 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--probe-interval", type=float, default=5.0, dest="probe_interval")
 
     sub.add_parser("scaling", help=_COMMANDS["scaling"][1])
+
+    p = sub.add_parser("check", help=_COMMANDS["check"][1])
+    p.add_argument("config", nargs="?", default=None,
+                   help="check-config JSON (default: verify the built-in deployment "
+                        "and lint the repro package sources)")
+    p.add_argument("--lint", action="append", default=None, metavar="PATH",
+                   help="additional file/directory for the determinism lint")
+    p.add_argument("--no-lint", action="store_true", dest="no_lint",
+                   help="skip the determinism lint pass")
+    p.add_argument("--no-deployment", action="store_true", dest="no_deployment",
+                   help="without a config, skip building the default deployment "
+                        "(lint-only run)")
+    p.add_argument("--strict", action="store_true",
+                   help="exit non-zero on warnings too")
+
     sub.add_parser("list", help=_COMMANDS["list"][1])
     return parser
 
@@ -176,6 +219,9 @@ def main(argv: list[str] | None = None) -> int:
     handler, _ = _COMMANDS[args.command]
     try:
         print(handler(args))
+    except _CommandFailed as failure:
+        print(failure.output)
+        return failure.code
     except BrokenPipeError:  # output piped into head/less that closed early
         return 0
     return 0

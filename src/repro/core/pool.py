@@ -69,6 +69,11 @@ class AddressPool:
     def active_prefix(self) -> Prefix | None:
         return self._active_prefix
 
+    def active_addresses(self) -> "tuple[IPAddress, ...] | None":
+        """The explicit active address list, or ``None`` when the active
+        set is a prefix (use :attr:`active_prefix` then)."""
+        return self._active_list
+
     # -- geometry ----------------------------------------------------------------
 
     @property

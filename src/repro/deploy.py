@@ -16,6 +16,7 @@ underlying objects are all exposed.
 
 from __future__ import annotations
 
+import logging
 import random
 from dataclasses import dataclass, field
 
@@ -59,6 +60,11 @@ class DeploymentConfig:
     ttl: int = 30
     policy_name: str = "default"
     seed: int = 1
+    #: Run the control-plane checker before every rebind manoeuvre and
+    #: *refuse* (raise :class:`~repro.check.core.CheckError`) on error
+    #: findings — the attach-time-verifier discipline applied to the
+    #: control plane.  Default (False) logs instead of raising.
+    strict_checks: bool = False
 
     def __post_init__(self) -> None:
         if self.listen_mode not in ListenMode.ALL:
@@ -185,15 +191,71 @@ class Deployment:
         return BrowserClient(f"client-{tag}", stub, self.cdn.transport_for(asn),
                              version=version)
 
+    # -- static analysis ---------------------------------------------------------
+
+    def check(self, lint: bool = False):
+        """Run the static-analysis passes over this deployment.
+
+        Returns the :class:`~repro.check.core.Report`; ``lint=True`` also
+        runs the determinism lint over the installed ``repro`` sources.
+        """
+        from .check.cli import _default_lint_paths
+        from .check.core import run_checkers
+        from .check.deployment import context_from_deployment
+
+        ctx = context_from_deployment(self)
+        if lint:
+            ctx.lint_paths = _default_lint_paths()
+        return run_checkers(ctx)
+
+    def _precheck_rebind(self, candidate_pool: AddressPool) -> None:
+        """Verify the control plane as it would be *after* a rebind.
+
+        Strict mode refuses the manoeuvre (raises ``CheckError``) when the
+        candidate pool would mint unroutable or undispatched addresses;
+        otherwise error findings are logged and the caller proceeds.
+        """
+        from .check.core import CheckError
+        from .check.deployment import precheck_rebind
+
+        report = precheck_rebind(
+            self.cdn, self.engine, self.config.policy_name, candidate_pool,
+            standby_pools=[
+                p for p in (self.backup_pool,)
+                if p is not None and p is not candidate_pool
+            ],
+            service_ports=tuple(self.config.ports),
+            deployment=self,
+        )
+        if report.ok:
+            return
+        rendered = report.render()
+        if self.config.strict_checks:
+            raise CheckError(
+                f"rebind of {self.config.policy_name!r} to "
+                f"{candidate_pool.name or candidate_pool.advertised} rejected:\n"
+                f"{rendered}",
+                report.errors,
+            )
+        logging.getLogger("repro.check").warning(
+            "rebind precheck found errors (proceeding; set strict_checks "
+            "to refuse):\n%s", rendered,
+        )
+
     # -- common manoeuvres -------------------------------------------------------
 
     def shrink_active(self, active: "str | Prefix"):
         """The §4.2 timetable move: narrow the in-use set, one call."""
         prefix = parse_prefix(active) if isinstance(active, str) else active
+        current = self.engine.get(self.config.policy_name).pool
+        self._precheck_rebind(AddressPool(
+            current.advertised, active=prefix, name=current.name,
+        ))
         return self.controller.set_active(self.config.policy_name, prefix)
 
     def failover_to_backup(self):
         """The §6 mitigation move: keep the policy, change the prefix."""
         if self.backup_pool is None:
             raise RuntimeError("deployment was built without a backup prefix")
+        self._precheck_rebind(self.backup_pool)
         return self.controller.swap_pool(self.config.policy_name, self.backup_pool)

@@ -12,7 +12,7 @@ clamping low TTLs up (cache-friendly resolvers) and capping high TTLs down.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterable
+from collections.abc import Iterable
 
 from ..clock import Clock
 from .records import DomainName, Question, ResourceRecord, RRType

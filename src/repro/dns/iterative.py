@@ -17,9 +17,10 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass
-from typing import Callable
+from collections.abc import Callable
 
 from ..clock import Clock
+from ..hashing import stable_hash
 from ..netsim.addr import IPAddress
 from .cache import DNSCache, TTLPolicy
 from .records import A, AAAA, NS, DomainName, Question, ResourceRecord, RRType
@@ -81,7 +82,7 @@ class IterativeResolver:
         self.root_servers = list(root_servers)
         self.cache = DNSCache(clock, ttl_policy or TTLPolicy.honest())
         self.stats = IterationStats()
-        self._rng = rng or random.Random(hash(name) & 0xFFFFFFFF)
+        self._rng = rng or random.Random(stable_hash(name) & 0xFFFFFFFF)
 
     # -- public API ----------------------------------------------------------
 

@@ -18,6 +18,7 @@ from __future__ import annotations
 import itertools
 
 from ..dns.server import AnswerSource, AuthoritativeServer
+from ..hashing import stable_hash
 from ..netsim.addr import IPAddress, Prefix, parse_prefix
 from ..netsim.anycast import AnycastNetwork
 from ..netsim.packet import FiveTuple
@@ -144,7 +145,7 @@ class CDN:
         """An :class:`EdgeTransport` that routes via the client AS's catchments."""
         if client_address is None:
             # Synthesize a stable client address in CGNAT space (100.64/10).
-            h = abs(hash(("client", str(client_asn)))) % (1 << 22)
+            h = stable_hash("client", str(client_asn)) % (1 << 22)
             client_address = IPAddress.v4(IPAddress.from_text("100.64.0.0").value + h)
         return CDNTransport(self, client_asn, client_address)
 

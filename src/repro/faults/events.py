@@ -11,7 +11,7 @@ withdrawal and the pool swap?") without scraping logs.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Iterator
+from collections.abc import Iterator
 
 __all__ = ["FaultEvent", "FaultTimeline"]
 
@@ -29,7 +29,7 @@ class FaultEvent:
     kind: str
     target: str
     detail: str = ""
-    phase: str = "inject"  # "inject" | "revert" | "observe" | "react"
+    phase: str = "inject"  # "inject" | "revert" | "observe" | "check" | "react"
 
 
 @dataclass(slots=True)

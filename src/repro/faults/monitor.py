@@ -19,6 +19,7 @@ caches age out the dead addresses within one TTL of the swap — the
 
 from __future__ import annotations
 
+import logging
 import random
 from dataclasses import dataclass
 
@@ -62,6 +63,12 @@ class HealthMonitor:
     failure_threshold:
         Consecutive failed probe rounds (any vantage failing fails the
         round) before the failover fires.  1 = act on first blood.
+    strict_checks:
+        Run the control-plane checker against the post-swap state before
+        enacting the failover.  ``False`` (default) logs and records a
+        timeline event on error findings but still swaps — availability
+        over purity, a monitor must not deadlock the mitigation; ``True``
+        refuses the swap with :class:`~repro.check.core.CheckError`.
     """
 
     def __init__(
@@ -77,6 +84,7 @@ class HealthMonitor:
         failure_threshold: int = 2,
         timeline: FaultTimeline | None = None,
         rng: random.Random | None = None,
+        strict_checks: bool = False,
     ) -> None:
         if not vantages:
             raise ValueError("health monitoring needs at least one vantage AS")
@@ -94,6 +102,7 @@ class HealthMonitor:
         self.probe_interval = probe_interval
         self.failure_threshold = failure_threshold
         self.timeline = timeline if timeline is not None else FaultTimeline()
+        self.strict_checks = strict_checks
         self._rng = rng or random.Random(0x4EA1)
         self.consecutive_failures = 0
         self.failed_over = False
@@ -164,9 +173,44 @@ class HealthMonitor:
 
     # -- reaction ------------------------------------------------------------
 
+    def _precheck_failover(self) -> None:
+        """Verify the post-swap control plane before enacting the swap.
+
+        The §6 mitigation only restores service when the standby prefix is
+        already announced and already dispatched by the edge — exactly what
+        the control-plane checker proves.  A failing precheck means the
+        swap would trade a blackhole for another blackhole.
+        """
+        from ..check.core import CheckError
+        from ..check.deployment import precheck_rebind
+
+        report = precheck_rebind(
+            self.cdn, self.controller.engine, self.policy_name,
+            self.failover_pool,
+        )
+        if report.ok:
+            return
+        rendered = "; ".join(f.message for f in report.errors)
+        self.timeline.emit(
+            self.clock.now(), "precheck_failed", self.policy_name,
+            f"standby {self.failover_pool.name or self.failover_pool.advertised}: "
+            f"{rendered}",
+            phase="check",
+        )
+        if self.strict_checks:
+            raise CheckError(
+                f"failover of {self.policy_name!r} rejected by precheck: {rendered}",
+                report.errors,
+            )
+        logging.getLogger("repro.check").warning(
+            "failover precheck found errors (proceeding; strict_checks "
+            "would refuse): %s", rendered,
+        )
+
     def _trigger_failover(self, failures: list[ProbeResult]) -> None:
         if self.failed_over or self.failover_pool is None:
             return
+        self._precheck_failover()
         op = self.controller.swap_pool(self.policy_name, self.failover_pool)
         self.failed_over = True
         self.consecutive_failures = 0

@@ -1,0 +1,45 @@
+"""Process-stable hashing for seeds and synthetic identities.
+
+Python's builtin ``hash()`` is salted per process (PYTHONHASHSEED) for
+str/bytes, so any RNG seeded from it — or any address derived from it —
+differs between two runs of the *same* seeded simulation.  That breaks the
+bit-reproducibility the whole clock/seed discipline exists for, and it is
+exactly what the :mod:`repro.check` determinism lint's ``salted-hash`` rule
+flags.  Everything in the simulator that needs "a number from a name" goes
+through :func:`stable_hash` instead.
+"""
+
+from __future__ import annotations
+
+__all__ = ["fnv1a64", "stable_hash"]
+
+_FNV_OFFSET = 0xCBF29CE484222325
+_FNV_PRIME = 0x100000001B3
+_MASK = 0xFFFFFFFFFFFFFFFF
+
+
+def fnv1a64(data: bytes) -> int:
+    """64-bit FNV-1a over ``data``: tiny, dependency-free, run-stable."""
+    h = _FNV_OFFSET
+    for byte in data:
+        h ^= byte
+        h = (h * _FNV_PRIME) & _MASK
+    return h
+
+
+def stable_hash(*parts: object) -> int:
+    """A deterministic 64-bit hash of a tuple of simple values.
+
+    Accepts strings, ints, floats, bools and ``None``; each part is folded
+    into the digest with a type tag so ``("1",)`` and ``(1,)`` differ.
+    Unlike ``hash()``, the result is identical in every process and on
+    every platform, making it safe for RNG seeding and synthetic address
+    derivation.
+    """
+    h = _FNV_OFFSET
+    for part in parts:
+        tagged = f"{type(part).__name__}:{part!r};"
+        for byte in tagged.encode("utf-8"):
+            h ^= byte
+            h = (h * _FNV_PRIME) & _MASK
+    return h

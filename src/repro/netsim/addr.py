@@ -18,7 +18,7 @@ from __future__ import annotations
 import ipaddress
 import random
 from dataclasses import dataclass
-from typing import Iterator
+from collections.abc import Iterator
 
 __all__ = [
     "IPv4",

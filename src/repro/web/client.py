@@ -22,6 +22,7 @@ from typing import Protocol as TypingProtocol
 from ..dns.records import RRType
 from ..dns.resolver import ResolveError
 from ..dns.stub import StubResolver
+from ..hashing import stable_hash
 from ..netsim.addr import IPAddress
 from .http import Connection, HTTPVersion, Request, Response
 from .tls import ClientHello
@@ -103,7 +104,7 @@ class BrowserClient:
         self.max_connections = max_connections
         self.rrtype = rrtype
         self.stats = ClientStats()
-        self._rng = rng or random.Random(hash(name) & 0xFFFFFFFF)
+        self._rng = rng or random.Random(stable_hash(name) & 0xFFFFFFFF)
         self._pool: list[Connection] = []
 
     # -- public API ----------------------------------------------------------

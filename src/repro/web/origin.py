@@ -10,7 +10,7 @@ because the experiments only account bytes, never payloads.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable
+from collections.abc import Callable
 
 from .http import Request, Response, Status
 

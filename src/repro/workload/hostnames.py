@@ -14,6 +14,7 @@ import random
 from dataclasses import dataclass
 
 from ..edge.customers import AccountType, Customer, CustomerRegistry
+from ..hashing import stable_hash
 from ..web.origin import OriginPool, OriginServer, SizeModel
 
 __all__ = ["UniverseConfig", "HostnameUniverse", "lognormal_sizes"]
@@ -39,7 +40,7 @@ def lognormal_sizes(median_bytes: float = 20_000.0, sigma: float = 1.2, seed: in
     mu = math.log(median_bytes)
 
     def model(hostname: str, path: str) -> int:
-        rng = random.Random(hash((seed, hostname, path)) & 0xFFFFFFFFFFFF)
+        rng = random.Random(stable_hash(seed, hostname, path) & 0xFFFFFFFFFFFF)
         return max(64, int(rng.lognormvariate(mu, sigma)))
 
     return model

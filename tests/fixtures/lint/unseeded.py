@@ -1,0 +1,38 @@
+"""Deliberately nondeterministic module: the determinism lint's test dummy.
+
+Every construct below is a true positive for one DT rule; the golden CLI
+test asserts the lint reports each of them (and honours the pragmas).
+"""
+
+import random
+import time
+
+
+def jitter():
+    return random.random()  # DT002: module-level RNG
+
+
+def stamp():
+    return time.time()  # DT001: wall clock
+
+
+def bucket(name):
+    return hash(name) % 8  # DT003: salted hash
+
+
+def drain(events):
+    for event in set(events):  # DT004: set iteration order
+        print(event)
+
+
+def enqueue(item, queue=[]):  # DT005: shared mutable default
+    queue.append(item)
+    return queue
+
+
+def sanctioned():
+    return time.time()  # repro: allow-wall-clock measures real benchmark duration
+
+
+def unexplained():
+    return time.time()  # repro: allow-wall-clock

@@ -1,0 +1,77 @@
+"""``python -m repro check``: exit codes, golden output, config errors."""
+
+import os
+
+from repro.check.cli import run_check
+from repro.cli import main
+
+FIXTURES = os.path.join(os.path.dirname(os.path.abspath(__file__)), "fixtures")
+BROKEN = os.path.join(FIXTURES, "broken_check.json")
+GOLDEN = os.path.join(FIXTURES, "broken_check.golden")
+
+
+class TestBrokenFixture:
+    def test_broken_config_exits_nonzero(self):
+        output, code = run_check(config=BROKEN)
+        assert code == 1
+        # The three headline defects the fixture plants:
+        assert "SK002" in output          # shadowed rule
+        assert "CP001" in output          # uncovered pool
+        assert "DT002" in output          # unseeded random
+
+    def test_output_matches_golden(self):
+        # Findings are rendered sorted and all sampling is seeded, so the
+        # report is byte-stable run to run and machine to machine.
+        output, _ = run_check(config=BROKEN)
+        with open(GOLDEN, encoding="utf-8") as handle:
+            assert output + "\n" == handle.read()
+
+    def test_runs_are_deterministic(self):
+        assert run_check(config=BROKEN) == run_check(config=BROKEN)
+
+
+class TestExitCodes:
+    def test_malformed_config_exits_2(self, tmp_path):
+        bad = tmp_path / "bad.json"
+        bad.write_text("{not json")
+        output, code = run_check(config=str(bad))
+        assert code == 2 and "check-config error" in output
+
+    def test_unknown_key_exits_2(self, tmp_path):
+        bad = tmp_path / "bad.json"
+        bad.write_text('{"advertized": ["192.0.2.0/24"]}')
+        output, code = run_check(config=str(bad))
+        assert code == 2 and "advertized" in output
+
+    def test_warnings_pass_unless_strict(self, tmp_path):
+        mod = tmp_path / "warn_only.py"
+        mod.write_text("def f(x, q=[]):\n    q.append(x)\n")
+        relaxed = run_check(no_deployment=True, lint=[str(tmp_path)])
+        strict = run_check(no_deployment=True, lint=[str(tmp_path)], strict=True)
+        assert relaxed[1] == 0 and "DT005" in relaxed[0]
+        assert strict[1] == 1
+
+    def test_no_lint_skips_the_pass(self):
+        output, code = run_check(config=BROKEN, no_lint=True)
+        assert code == 1
+        assert "DT00" not in output
+
+
+class TestShippedConfiguration:
+    def test_default_deployment_and_sources_are_clean(self):
+        # The acceptance gate: the shipped deployment and the shipped
+        # sources (determinism lint included) come back with no findings.
+        output, code = run_check()
+        assert code == 0
+        assert output.startswith("ok — no findings")
+        assert "3 checker(s)" in output
+
+
+class TestMainEntry:
+    def test_main_propagates_failure_code(self, capsys):
+        assert main(["check", BROKEN]) == 1
+        assert "SK002" in capsys.readouterr().out
+
+    def test_main_success_on_empty_context(self, capsys):
+        assert main(["check", "--no-deployment", "--no-lint"]) == 0
+        assert "ok — no findings" in capsys.readouterr().out

@@ -1,0 +1,189 @@
+"""The control-plane checker pass (repro.check.controlplane), rule by rule."""
+
+from repro.check import CheckContext, PolicyInfo, ProgramView
+from repro.check.controlplane import ControlPlaneChecker, sample_pool_addresses
+from repro.core.pool import AddressPool
+from repro.netsim.addr import parse_prefix
+from repro.netsim.packet import Protocol
+from repro.sockets.sklookup import MatchRule, Verdict
+
+WEB = parse_prefix("192.0.2.0/24")
+STANDBY = parse_prefix("203.0.113.0/24")
+
+
+def pool(prefix=WEB, name="web-pool", active=None):
+    return AddressPool(prefix, active=active, name=name)
+
+
+def policy(name="web", ttl=30, prefix=WEB, pool_name=None):
+    return PolicyInfo(name=name, ttl=ttl,
+                      pool=pool(prefix, name=pool_name or f"{name}-pool"))
+
+
+def redirect(prefixes=(WEB,), key=0, lo=1, hi=0xFFFF):
+    return MatchRule(action=Verdict.PASS, protocol=Protocol.TCP,
+                     prefixes=tuple(prefixes), port_lo=lo, port_hi=hi, map_key=key)
+
+
+def program(rules, live=(0,), name="edge"):
+    return ProgramView(name=name, rules=tuple(rules), map_size=8,
+                       live_slots=frozenset(live), path=name)
+
+
+def ctx(**kwargs):
+    kwargs.setdefault("announced", [WEB, STANDBY])
+    kwargs.setdefault("listening", [WEB, STANDBY])
+    kwargs.setdefault("programs", [program([redirect((WEB,)), redirect((STANDBY,))])])
+    return CheckContext(**kwargs)
+
+
+def run(context):
+    return ControlPlaneChecker().run(context)
+
+
+def rules_of(findings):
+    return sorted(f.rule for f in findings)
+
+
+class TestSampling:
+    def test_prefix_sampling_is_deterministic_and_cornered(self):
+        p = pool()
+        a, b = sample_pool_addresses(p, 6), sample_pool_addresses(p, 6)
+        assert a == b
+        assert a[0] == WEB.first and a[1] == WEB.last
+
+    def test_explicit_list_sampled_verbatim(self):
+        p = pool()
+        p.set_active([WEB.first, WEB.last])
+        assert sample_pool_addresses(p, 6) == [WEB.first, WEB.last]
+
+
+class TestCoverage:
+    def test_clean_context(self):
+        assert run(ctx(policies=[policy()])) == []
+
+    def test_unrouted_pool_cp001(self):
+        findings = run(ctx(policies=[policy(prefix=parse_prefix("198.18.7.0/24"))],
+                           programs=[]))
+        assert "CP001" in rules_of(findings)
+
+    def test_unlistened_pool_cp002(self):
+        findings = run(ctx(policies=[policy()], listening=[STANDBY], programs=[]))
+        assert "CP002" in rules_of(findings)
+
+    def test_no_announcements_known_means_no_coverage_claim(self):
+        # An empty announcement table means "not modelled", not "nothing
+        # announced" — the checker must not cry wolf.
+        findings = run(CheckContext(policies=[policy()]))
+        assert "CP001" not in rules_of(findings)
+
+
+class TestOverlapCP003:
+    def test_distinct_pools_sharing_space_warn(self):
+        findings = run(ctx(policies=[
+            policy("a"), policy("b", prefix=parse_prefix("192.0.2.0/25")),
+        ]))
+        cp003 = [f for f in findings if f.rule == "CP003"]
+        assert len(cp003) == 1 and "'b'" in cp003[0].message
+
+    def test_shared_pool_object_is_deliberate(self):
+        shared = pool()
+        findings = run(ctx(policies=[
+            PolicyInfo("a", shared, 30), PolicyInfo("b", shared, 30),
+        ]))
+        assert "CP003" not in rules_of(findings)
+
+
+class TestTTL:
+    def test_ttl_zero_warns_cp005(self):
+        findings = run(ctx(policies=[policy(ttl=0)]))
+        assert "CP005" in rules_of(findings)
+
+    def test_ttl_past_horizon_warns_cp006(self):
+        findings = run(ctx(policies=[policy(ttl=7200)]))
+        assert "CP006" in rules_of(findings)
+
+    def test_horizon_is_configurable(self):
+        context = ctx(policies=[policy(ttl=7200)])
+        context.ttl_horizon_max = 10_000
+        assert "CP006" not in rules_of(run(context))
+
+    def test_soa_minimum_cp007(self):
+        context = ctx(policies=[policy()])
+        context.soa_minimum = 0
+        assert "CP007" in rules_of(run(context))
+        context.soa_minimum = 100_000
+        assert "CP007" in rules_of(run(context))
+        context.soa_minimum = 300
+        assert "CP007" not in rules_of(run(context))
+
+
+class TestStandbyCP004:
+    def test_undispatched_standby_errors(self):
+        findings = run(ctx(standby_pools=[pool(STANDBY, name="backup")],
+                           programs=[program([redirect((WEB,))])]))
+        assert "CP004" in rules_of(findings)
+
+    def test_dispatched_standby_is_fine(self):
+        findings = run(ctx(standby_pools=[pool(STANDBY, name="backup")]))
+        assert "CP004" not in rules_of(findings)
+
+    def test_redirect_with_empty_slot_does_not_count(self):
+        findings = run(ctx(
+            standby_pools=[pool(STANDBY, name="backup")],
+            programs=[program([redirect((WEB,)), redirect((STANDBY,), key=5)])],
+        ))
+        assert "CP004" in rules_of(findings)
+
+    def test_redirect_outside_service_ports_does_not_count(self):
+        findings = run(ctx(
+            standby_pools=[pool(STANDBY, name="backup")],
+            programs=[program([redirect((WEB,)), redirect((STANDBY,), lo=22, hi=22)])],
+        ))
+        assert "CP004" in rules_of(findings)
+
+    def test_no_programs_means_dispatch_not_modelled(self):
+        findings = run(ctx(standby_pools=[pool(STANDBY, name="backup")], programs=[]))
+        assert "CP004" not in rules_of(findings)
+
+
+class TestEndToEndCP008:
+    def test_unannounced_addresses_fail_statically(self):
+        findings = run(ctx(policies=[policy()], announced=[STANDBY], programs=[]))
+        cp008 = [f for f in findings if f.rule == "CP008"]
+        assert len(cp008) == 1
+        assert "no announced prefix covers it" in cp008[0].message
+
+    def test_drop_rule_fails_the_probe(self):
+        findings = run(ctx(
+            policies=[policy()],
+            programs=[program([
+                MatchRule(action=Verdict.DROP, protocol=Protocol.TCP,
+                          prefixes=(WEB,), port_lo=80, port_hi=80),
+                redirect((WEB,)),
+            ])],
+        ))
+        cp008 = [f for f in findings if f.rule == "CP008"]
+        assert len(cp008) == 1
+        assert "DROP rule swallows port 80" in cp008[0].message
+
+    def test_uncovered_port_fails_the_probe(self):
+        findings = run(ctx(
+            policies=[policy()],
+            programs=[program([redirect((WEB,), lo=443, hi=443)])],
+        ))
+        cp008 = [f for f in findings if f.rule == "CP008"]
+        assert len(cp008) == 1
+        assert "no program dispatches port 80" in cp008[0].message
+
+    def test_empty_slot_falls_through_to_next_rule(self):
+        findings = run(ctx(
+            policies=[policy()],
+            programs=[program([redirect((WEB,), key=5), redirect((WEB,), key=0)])],
+        ))
+        assert "CP008" not in rules_of(findings)
+
+    def test_findings_aggregate_per_policy(self):
+        findings = run(ctx(policies=[policy()], announced=[STANDBY], programs=[]))
+        cp008 = [f for f in findings if f.rule == "CP008"]
+        assert len(cp008) == 1 and cp008[0].message.startswith("8/8")

@@ -1,0 +1,224 @@
+"""The determinism lint (repro.check.determinism): rules and pragmas."""
+
+import textwrap
+
+from repro.check.determinism import lint_file, lint_paths
+
+
+def lint_source(tmp_path, source, name="mod.py"):
+    path = tmp_path / name
+    path.write_text(textwrap.dedent(source))
+    return lint_file(str(path), display=name)
+
+
+def rules_of(findings):
+    return sorted(f.rule for f in findings)
+
+
+class TestWallClockDT001:
+    def test_time_time(self, tmp_path):
+        findings = lint_source(tmp_path, """
+            import time
+            def now(): return time.time()
+        """)
+        assert rules_of(findings) == ["DT001"]
+        assert findings[0].location == "mod.py:3"
+
+    def test_datetime_now_and_aliased_import(self, tmp_path):
+        findings = lint_source(tmp_path, """
+            import datetime as dt
+            import time as t
+            a = dt.datetime.now()
+            b = t.monotonic()
+        """)
+        assert rules_of(findings) == ["DT001", "DT001"]
+
+    def test_from_import(self, tmp_path):
+        findings = lint_source(tmp_path, """
+            from time import perf_counter
+            x = perf_counter()
+        """)
+        assert rules_of(findings) == ["DT001"]
+
+    def test_sim_clock_is_fine(self, tmp_path):
+        findings = lint_source(tmp_path, """
+            def at(clock): return clock.now()
+        """)
+        assert findings == []
+
+
+class TestUnseededRandomDT002:
+    def test_module_level_functions(self, tmp_path):
+        findings = lint_source(tmp_path, """
+            import random
+            x = random.random()
+            y = random.choice([1, 2])
+        """)
+        assert rules_of(findings) == ["DT002", "DT002"]
+
+    def test_unseeded_constructor_flagged_seeded_ok(self, tmp_path):
+        findings = lint_source(tmp_path, """
+            import random
+            bad = random.Random()
+            good = random.Random(7)
+        """)
+        assert rules_of(findings) == ["DT002"]
+        assert findings[0].location == "mod.py:3"
+
+    def test_system_random(self, tmp_path):
+        findings = lint_source(tmp_path, """
+            import random
+            r = random.SystemRandom()
+        """)
+        assert rules_of(findings) == ["DT002"]
+
+    def test_instance_draws_are_fine(self, tmp_path):
+        findings = lint_source(tmp_path, """
+            import random
+            def draw(rng: random.Random): return rng.random()
+        """)
+        assert findings == []
+
+
+class TestSaltedHashDT003:
+    def test_builtin_hash(self, tmp_path):
+        findings = lint_source(tmp_path, """
+            def bucket(name): return hash(name) % 8
+        """)
+        assert rules_of(findings) == ["DT003"]
+
+    def test_stable_hash_is_fine(self, tmp_path):
+        findings = lint_source(tmp_path, """
+            from repro.hashing import stable_hash
+            def bucket(name): return stable_hash(name) % 8
+        """)
+        assert findings == []
+
+
+class TestUnorderedIterationDT004:
+    def test_for_over_set_call(self, tmp_path):
+        findings = lint_source(tmp_path, """
+            def drain(xs):
+                for x in set(xs):
+                    yield x
+        """)
+        assert rules_of(findings) == ["DT004"]
+
+    def test_comprehension_over_set_literal(self, tmp_path):
+        findings = lint_source(tmp_path, """
+            out = [x for x in {1, 2, 3}]
+        """)
+        assert rules_of(findings) == ["DT004"]
+
+    def test_list_materialising_a_set(self, tmp_path):
+        findings = lint_source(tmp_path, """
+            def names(xs): return list(set(xs))
+        """)
+        assert rules_of(findings) == ["DT004"]
+
+    def test_set_from_set_stays_orderless(self, tmp_path):
+        findings = lint_source(tmp_path, """
+            def dedupe(xs): return {x for x in set(xs)}
+        """)
+        assert findings == []
+
+    def test_sorted_set_is_fine(self, tmp_path):
+        findings = lint_source(tmp_path, """
+            def drain(xs):
+                for x in sorted(set(xs)):
+                    yield x
+        """)
+        assert findings == []
+
+
+class TestSharedStateDT005DT006:
+    def test_mutable_default_argument(self, tmp_path):
+        findings = lint_source(tmp_path, """
+            def enqueue(item, queue=[]):
+                queue.append(item)
+        """)
+        assert rules_of(findings) == ["DT005"]
+
+    def test_keyword_only_default(self, tmp_path):
+        findings = lint_source(tmp_path, """
+            def enqueue(item, *, queue={}):
+                queue[item] = True
+        """)
+        assert rules_of(findings) == ["DT005"]
+
+    def test_none_default_is_fine(self, tmp_path):
+        findings = lint_source(tmp_path, """
+            def enqueue(item, queue=None):
+                queue = queue or []
+        """)
+        assert findings == []
+
+    def test_mutable_class_attribute(self, tmp_path):
+        findings = lint_source(tmp_path, """
+            class Actor:
+                inbox: list = []
+                limit = 5
+        """)
+        assert rules_of(findings) == ["DT006"]
+
+    def test_immutable_class_attributes_are_fine(self, tmp_path):
+        findings = lint_source(tmp_path, """
+            class Actor:
+                LIMIT = 5
+                NAME = "actor"
+                KINDS = ("a", "b")
+        """)
+        assert findings == []
+
+
+class TestPragmas:
+    def test_justified_pragma_suppresses(self, tmp_path):
+        findings = lint_source(tmp_path, """
+            import time
+            t = time.time()  # repro: allow-wall-clock benchmark wants real time
+        """)
+        assert findings == []
+
+    def test_rule_id_and_all_also_match(self, tmp_path):
+        findings = lint_source(tmp_path, """
+            import time
+            a = time.time()  # repro: allow-DT001 measured wall duration
+            b = time.time()  # repro: allow-all this line is exempt wholesale
+        """)
+        assert findings == []
+
+    def test_unjustified_pragma_flagged_dt007(self, tmp_path):
+        findings = lint_source(tmp_path, """
+            import time
+            t = time.time()  # repro: allow-wall-clock
+        """)
+        assert rules_of(findings) == ["DT007"]
+
+    def test_wrong_rule_pragma_does_not_suppress(self, tmp_path):
+        findings = lint_source(tmp_path, """
+            import time
+            t = time.time()  # repro: allow-salted-hash not the right rule
+        """)
+        assert rules_of(findings) == ["DT001"]
+
+
+class TestFilesAndTrees:
+    def test_syntax_error_is_dt000(self, tmp_path):
+        findings = lint_source(tmp_path, "def broken(:\n")
+        assert rules_of(findings) == ["DT000"]
+
+    def test_lint_paths_walks_and_sorts(self, tmp_path):
+        (tmp_path / "pkg").mkdir()
+        (tmp_path / "pkg" / "b.py").write_text("import time\nt = time.time()\n")
+        (tmp_path / "pkg" / "a.py").write_text("x = hash('a')\n")
+        findings = lint_paths([str(tmp_path / "pkg")])
+        assert [f.rule for f in findings] == ["DT003", "DT001"]  # a.py then b.py
+        assert findings[0].location.startswith("pkg/")
+
+    def test_shipped_sources_are_clean(self):
+        import os
+
+        import repro
+
+        root = os.path.dirname(os.path.abspath(repro.__file__))
+        assert lint_paths([root]) == []
