@@ -20,7 +20,7 @@ from repro.experiments.failover import (
 )
 
 
-def test_failover_recovery_bounded_by_ttl(benchmark, save_table):
+def test_failover_recovery_bounded_by_ttl(benchmark, save_table, save_bench):
     pair = benchmark.pedantic(run_failover_pair, args=(FailoverConfig(),),
                               rounds=1, iterations=1)
     agile, control = pair["agile"], pair["control"]
@@ -39,6 +39,15 @@ def test_failover_recovery_bounded_by_ttl(benchmark, save_table):
     assert agile.ticks[-1].failures == 0
     assert control.ticks[-1].failures == 0
     save_table("failover_recovery", render_failover_table(pair))
+    save_bench(
+        "failover_recovery",
+        metrics=agile.registry,
+        detection_s=agile.detection_time,
+        recovery_s=agile.recovery_time,
+        control_recovery_s=control.recovery_time,
+        phase_durations_s=agile.tracer.phase_durations(),
+        span_count=len(agile.tracer),
+    )
 
 
 def test_failover_recovery_tracks_ttl(benchmark, save_table):

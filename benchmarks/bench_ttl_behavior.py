@@ -10,15 +10,23 @@ Claims checked:
 """
 
 from repro.experiments.ttl import render_ttl_table, run_ttl_experiment
+from repro.obs import MetricsRegistry
 
 
-def test_binding_lifetime_bounds(benchmark, save_table):
+def test_binding_lifetime_bounds(benchmark, save_table, save_bench):
+    registry = MetricsRegistry()
     runs = benchmark.pedantic(
         run_ttl_experiment,
-        kwargs=dict(authoritative_ttl=30, clamp_mins=(0, 60, 300)),
+        kwargs=dict(authoritative_ttl=30, clamp_mins=(0, 60, 300),
+                    registry=registry),
         rounds=1, iterations=1,
     )
     save_table("ttl_binding_lifetime", render_ttl_table(runs))
+    save_bench(
+        "ttl_binding_lifetime",
+        metrics=registry,
+        flips_s={r.resolver_label: r.observed_flip_time for r in runs},
+    )
     for run in runs:
         assert run.observed_flip_time <= run.bound
     honest = next(r for r in runs if r.clamp_min == 0)

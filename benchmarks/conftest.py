@@ -4,10 +4,18 @@ Every bench regenerates one paper artefact.  Besides pytest-benchmark's
 timing table, each bench writes its paper-shaped text table into
 ``benchmarks/results/<name>.txt`` so the run leaves inspectable artefacts
 even when pytest captures stdout.
+
+Benches with a :mod:`repro.obs` hookup additionally save a
+``benchmarks/results/BENCH_<name>.json`` snapshot (the ``save_bench``
+fixture): a metrics-registry snapshot plus any scalars the bench adds,
+with wall-clock timing folded in from pytest-benchmark when available.
+These are the perf-trajectory data points CI uploads as artifacts;
+``python -m repro metrics --diff`` compares any two of them.
 """
 
 from __future__ import annotations
 
+import json
 import pathlib
 
 import pytest
@@ -29,5 +37,37 @@ def save_table(results_dir):
         path = results_dir / f"{name}.txt"
         path.write_text(text + "\n")
         print(f"\n{text}\n[saved to {path}]")
+
+    return save
+
+
+@pytest.fixture
+def save_bench(results_dir, benchmark):
+    """save(name, metrics=None, **scalars): persist BENCH_<name>.json.
+
+    ``metrics`` is a :class:`repro.obs.MetricsRegistry` snapshot dict (or a
+    registry, which is snapshotted here).  Real-time stats from the
+    ``benchmark`` fixture ride along under ``"timing"`` when the bench ran
+    one, keyed so successive CI runs chart the perf trajectory.
+    """
+
+    def save(name: str, metrics=None, **scalars) -> pathlib.Path:
+        payload: dict = {"bench": name}
+        if metrics is not None:
+            snapshot = metrics.snapshot() if hasattr(metrics, "snapshot") else metrics
+            payload["metrics"] = snapshot
+        if scalars:
+            payload["results"] = scalars
+        stats = getattr(benchmark, "stats", None)
+        if stats is not None:
+            payload["timing"] = {
+                "mean_s": stats.stats.mean,
+                "stddev_s": stats.stats.stddev,
+                "rounds": stats.stats.rounds,
+            }
+        path = results_dir / f"BENCH_{name}.json"
+        path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+        print(f"[bench snapshot saved to {path}]")
+        return path
 
     return save

@@ -15,6 +15,8 @@
     python -m repro failover --ttl 20
     python -m repro scaling
     python -m repro check [config.json] [--strict]
+    python -m repro metrics [--experiment ttl|failover] [--format json|prom]
+    python -m repro metrics --diff before.json after.json
 
 Each subcommand prints the same table its benchmark saves under
 ``benchmarks/results/``.  For timing data use the benchmarks.  ``check``
@@ -111,6 +113,71 @@ def _cmd_scaling(args) -> str:
     return render_scaling_table()
 
 
+def _cmd_metrics(args) -> str:
+    import json
+
+    from .obs import diff_snapshots, render_diff, to_json, to_prometheus
+
+    if args.diff:
+        before_path, after_path = args.diff
+        try:
+            with open(before_path) as fh:
+                before = json.load(fh)
+            with open(after_path) as fh:
+                after = json.load(fh)
+        except (OSError, json.JSONDecodeError) as exc:
+            raise _CommandFailed(f"metrics --diff: {exc}", 2)
+        # Accept both bare registry snapshots and the documents this
+        # command writes (metrics nested under a "metrics" key).
+        before = before.get("metrics", before)
+        after = after.get("metrics", after)
+        header = f"metrics diff: {before_path} -> {after_path}"
+        return f"{header}\n{render_diff(diff_snapshots(before, after))}"
+
+    snapshot, traces = _collect_metrics(args.experiment)
+    if args.format == "prom":
+        output = to_prometheus(snapshot)
+    else:
+        document = {"experiment": args.experiment, "metrics": snapshot, "traces": traces}
+        output = to_json(document)
+    if args.out:
+        with open(args.out, "w") as fh:
+            fh.write(output + "\n")
+        return (
+            f"wrote {args.format} snapshot of '{args.experiment}' to {args.out} "
+            f"({len(snapshot['counters'])} counters, "
+            f"{len(snapshot['histograms'])} histograms)"
+        )
+    return output
+
+
+def _collect_metrics(experiment: str) -> tuple[dict, dict]:
+    """Run ``experiment`` instrumented; returns (snapshot, trace summary)."""
+    from .obs import MetricsRegistry
+
+    if experiment == "failover":
+        from .experiments.failover import FailoverConfig, run_failover
+
+        outcome = run_failover(FailoverConfig())
+        mitigation = [
+            {"trace": s.trace, "phase": s.phase, "start": s.start,
+             "end": s.end, "duration": s.duration, "detail": s.detail}
+            for s in outcome.tracer if s.trace.startswith("failover")
+        ]
+        traces = {
+            "span_count": len(outcome.tracer),
+            "phase_durations": outcome.tracer.phase_durations(),
+            "mitigation_spans": mitigation,
+        }
+        return outcome.registry.snapshot(), traces
+
+    from .experiments.ttl import run_ttl_experiment
+
+    registry = MetricsRegistry()
+    run_ttl_experiment(registry=registry)
+    return registry.snapshot(), {}
+
+
 def _cmd_check(args) -> str:
     from .check.cli import run_check
 
@@ -146,6 +213,7 @@ _COMMANDS: dict[str, tuple[Callable, str]] = {
     "failover": (_cmd_failover, "§3.4/§4.4: failover recovery time vs BGP reconvergence"),
     "scaling": (_cmd_scaling, "Figure 4: socket-table scaling comparison"),
     "check": (_cmd_check, "static analysis: program verifier + control-plane + determinism lint"),
+    "metrics": (_cmd_metrics, "repro.obs: run an instrumented experiment, export metrics"),
     "list": (_cmd_list, "list available experiments"),
 }
 
@@ -195,6 +263,16 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--probe-interval", type=float, default=5.0, dest="probe_interval")
 
     sub.add_parser("scaling", help=_COMMANDS["scaling"][1])
+
+    p = sub.add_parser("metrics", help=_COMMANDS["metrics"][1])
+    p.add_argument("--experiment", choices=("ttl", "failover"), default="ttl",
+                   help="which instrumented scenario produces the snapshot")
+    p.add_argument("--format", choices=("json", "prom"), default="json",
+                   help="JSON document (metrics + traces) or Prometheus text")
+    p.add_argument("--out", metavar="FILE", default=None,
+                   help="write the export to FILE instead of stdout")
+    p.add_argument("--diff", nargs=2, metavar=("BEFORE", "AFTER"), default=None,
+                   help="compare two saved JSON snapshots instead of running")
 
     p = sub.add_parser("check", help=_COMMANDS["check"][1])
     p.add_argument("config", nargs="?", default=None,

@@ -20,6 +20,7 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
 
 from ..dns.records import A, AAAA, Question, ResourceRecord, RRType
 from ..dns.server import Answer, AnswerSource, QueryContext
@@ -27,6 +28,9 @@ from ..dns.wire import Rcode
 from ..edge.customers import CustomerRegistry
 from ..netsim.addr import IPv4, IPv6
 from .policy import PolicyAttributes, PolicyDecision, PolicyEngine
+
+if TYPE_CHECKING:
+    from ..obs.trace import TraceRecorder
 
 __all__ = ["PolicyAnswerSource", "PolicyAnswerLog"]
 
@@ -68,11 +72,16 @@ class PolicyAnswerSource(AnswerSource):
         registry: CustomerRegistry,
         fallback: AnswerSource | None = None,
         rng: random.Random | None = None,
+        tracer: "TraceRecorder | None" = None,
     ) -> None:
         self.engine = engine
         self.registry = registry
         self.fallback = fallback
         self.log = PolicyAnswerLog()
+        #: Optional :class:`~repro.obs.trace.TraceRecorder`: when set, every
+        #: policy-path answer emits query → policy_match → mint spans (the
+        #: §3.2 steps, observable per query).
+        self.tracer = tracer
         self._rng = rng or random.Random(0x5EED)
 
     def answer(self, question: Question, context: QueryContext) -> Answer:
@@ -88,10 +97,20 @@ class PolicyAnswerSource(AnswerSource):
             hostname=hostname,
             client_subnet=context.client_subnet,
         )
-        decision = self.engine.evaluate(attrs)
-        if decision is None:
-            return self._fall_through(question, context)
-        return self._policy_answer(question, decision)
+        if self.tracer is None:
+            decision = self.engine.evaluate(attrs)
+            if decision is None:
+                return self._fall_through(question, context)
+            return self._policy_answer(question, decision)
+
+        trace = self.tracer.next_trace_id("query")
+        with self.tracer.span(trace, "query", hostname):
+            with self.tracer.span(trace, "policy_match"):
+                decision = self.engine.evaluate(attrs)
+            if decision is None:
+                return self._fall_through(question, context)
+            with self.tracer.span(trace, "mint", decision.policy.name):
+                return self._policy_answer(question, decision)
 
     # -- internals -------------------------------------------------------------
 

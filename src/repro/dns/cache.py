@@ -64,7 +64,8 @@ class TTLPolicy:
 class CacheStats:
     hits: int = 0
     misses: int = 0
-    expirations: int = 0
+    expirations: int = 0   # entries dropped because their TTL ran out
+    evictions: int = 0     # fresh entries displaced by capacity pressure
     insertions: int = 0
 
     @property
@@ -85,9 +86,11 @@ class _Entry:
 class DNSCache:
     """A (name, type)-keyed cache with simulated-clock expiry.
 
-    Remaining-TTL semantics follow RFC 2181: a hit returns records with
-    their TTL decremented by time-in-cache (rounded down), as a resolver
-    forwarding a cached answer would.
+    Remaining-TTL semantics follow RFC 2181: a hit returns records carrying
+    the entry's remaining lifetime (rounded down), as a resolver forwarding
+    a cached answer would.  The remaining lifetime is measured against the
+    *effective* (policy-adjusted) TTL — a clamping resolver advertises the
+    stretched TTL downstream, because that is what its cache actually does.
     """
 
     def __init__(
@@ -125,8 +128,9 @@ class DNSCache:
         if ttl <= 0:
             return  # TTL 0 answers are use-once; never cached
         now = self.clock.now()
-        self._evict_if_full()
-        self._entries[(question.name, question.rrtype)] = _Entry(
+        key = (question.name, question.rrtype)
+        self._evict_if_full(key)
+        self._entries[key] = _Entry(
             records=records, stored_at=now, expires_at=now + ttl
         )
         self.stats.insertions += 1
@@ -139,25 +143,28 @@ class DNSCache:
         if ttl <= 0:
             return
         now = self.clock.now()
-        self._evict_if_full()
-        self._entries[(question.name, question.rrtype)] = _Entry(
+        key = (question.name, question.rrtype)
+        self._evict_if_full(key)
+        self._entries[key] = _Entry(
             records=(), stored_at=now, expires_at=now + ttl, negative=True, nxdomain=nxdomain
         )
         self.stats.insertions += 1
 
-    def _evict_if_full(self) -> None:
+    def _evict_if_full(self, key: tuple[DomainName, RRType]) -> None:
         if len(self._entries) < self.capacity:
             return
+        if key in self._entries:
+            return  # overwrite in place: no new slot needed, nothing to evict
         now = self.clock.now()
         expired = [k for k, e in self._entries.items() if e.expires_at <= now]
         for k in expired:
             del self._entries[k]
             self.stats.expirations += 1
         while len(self._entries) >= self.capacity:
-            # Fallback: evict the soonest-to-expire entry.
+            # Fallback: evict the soonest-to-expire (still-fresh) entry.
             victim = min(self._entries, key=lambda k: self._entries[k].expires_at)
             del self._entries[victim]
-            self.stats.expirations += 1
+            self.stats.evictions += 1
 
     # -- reads -----------------------------------------------------------------
 
@@ -195,8 +202,12 @@ class DNSCache:
         self.stats.hits += 1
         if entry.negative:
             return (), entry.nxdomain
-        remaining = int(entry.expires_at - now)
-        records = tuple(r.with_ttl(min(r.ttl, max(remaining, 0))) for r in entry.records)
+        # Advertise the remaining *effective* lifetime, not the original
+        # record TTL: a clamp_min-stretched entry (the §4.4 violator) keeps
+        # being served here for the clamped lifetime, and downstream caches
+        # must see that — it is exactly the rebind delay §4.4 warns about.
+        remaining = max(int(entry.expires_at - now), 0)
+        records = tuple(r.with_ttl(remaining) for r in entry.records)
         return records, False
 
     def lookup_stale(self, question: Question, stale_ttl: int = 30) -> tuple[ResourceRecord, ...] | None:

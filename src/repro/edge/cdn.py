@@ -122,6 +122,24 @@ class CDN:
         for dc in self.datacenters.values():
             dc.set_dns(AuthoritativeServer(source, name=f"authdns-{dc.name}"))
 
+    def attach_observability(self, registry=None, tracer=None) -> None:
+        """Wire this deployment into a metrics registry and/or tracer.
+
+        ``registry`` (a :class:`~repro.obs.MetricsRegistry`) gets a
+        collector per edge-side stats surface — ECMP, per-server sk_lookup
+        programs, edge-cache nodes, plus a rollup — via
+        :func:`~repro.obs.adapters.watch_cdn`.  ``tracer`` (a
+        :class:`~repro.obs.TraceRecorder`) turns on per-connection
+        ecmp → dispatch → serve spans at every datacenter.
+        """
+        if registry is not None:
+            from ..obs.adapters import watch_cdn
+
+            watch_cdn(registry, self)
+        if tracer is not None:
+            for dc in self.datacenters.values():
+                dc.tracer = tracer
+
     # -- DNS plane -------------------------------------------------------------
 
     def pop_for_dns(self, resolver_asn: object) -> str | None:

@@ -117,7 +117,12 @@ class Datacenter:
         self.ecmp = ECMPRouter(list(self.servers))
         self.l4lb = L4LoadBalancer(f"{name}-l4lb")
         self.dns: AuthoritativeServer | None = None
+        #: Optional :class:`~repro.obs.trace.TraceRecorder` (set by
+        #: ``CDN.attach_observability``): when present, every connection
+        #: emits ecmp → dispatch spans and every request a serve span.
+        self.tracer = None
         self._conn_owner: dict[int, str] = {}
+        self._conn_trace: dict[int, str] = {}
 
     # -- configuration -----------------------------------------------------
 
@@ -176,10 +181,20 @@ class Datacenter:
     def connect(self, tuple5: FiveTuple, hello: ClientHello, version: HTTPVersion) -> Connection:
         """Ingress pipeline for a new connection: ECMP → L4LB → server."""
         syn = Packet(tuple5, syn=True)
-        ecmp_choice = self.ecmp.route(syn)
-        owner = self.l4lb.admit(syn, ecmp_choice)
-        server = self.servers[owner]
-        connection = server.handshake(tuple5, hello, version)
+        if self.tracer is None:
+            ecmp_choice = self.ecmp.route(syn)
+            owner = self.l4lb.admit(syn, ecmp_choice)
+            connection = self.servers[owner].handshake(tuple5, hello, version)
+        else:
+            trace = self.tracer.next_trace_id(f"conn@{self.name}")
+            with self.tracer.span(trace, "ecmp"):
+                ecmp_choice = self.ecmp.route(syn)
+            # sk_lookup steering and TLS termination both happen inside
+            # the server's handshake — one span covers the dispatch hop.
+            with self.tracer.span(trace, "dispatch", ecmp_choice):
+                owner = self.l4lb.admit(syn, ecmp_choice)
+                connection = self.servers[owner].handshake(tuple5, hello, version)
+            self._conn_trace[connection.conn_id] = trace
         self._conn_owner[connection.conn_id] = owner
         self.traffic.record_connection(tuple5.dst)
         return connection
@@ -190,7 +205,12 @@ class Datacenter:
             raise RuntimeError(
                 f"connection {connection.conn_id} was not established at {self.name}"
             )
-        response = self.servers[owner].serve(connection, request)
+        trace = self._conn_trace.get(connection.conn_id) if self.tracer else None
+        if trace is None:
+            response = self.servers[owner].serve(connection, request)
+        else:
+            with self.tracer.span(trace, "serve", request.path):
+                response = self.servers[owner].serve(connection, request)
         self.traffic.record_request(connection.remote_addr, response.body_len)
         return response
 

@@ -23,7 +23,11 @@ from dataclasses import dataclass, field
 from ..netsim.packet import Packet
 from ..sockets.lookup import flow_hash
 
-__all__ = ["ECMPRouter", "EcmpStats"]
+__all__ = ["ECMPRouter", "EcmpStats", "UnknownServerError"]
+
+
+class UnknownServerError(LookupError):
+    """Membership change targeting a server this ECMP group never had."""
 
 
 _MASK64 = 0xFFFFFFFFFFFFFFFF
@@ -75,7 +79,19 @@ class ECMPRouter:
         self._servers.append(server)
 
     def remove_server(self, server: str) -> None:
-        self._servers.remove(server)
+        """Drop a member; raises :class:`UnknownServerError` if absent.
+
+        A bare ``list.remove`` ValueError leaked here before — opaque to
+        callers draining servers during failover, and easy to mistake for
+        a bad argument elsewhere.  Stats are untouched either way:
+        ``EcmpStats`` is routing history, not membership."""
+        try:
+            self._servers.remove(server)
+        except ValueError:
+            raise UnknownServerError(
+                f"server {server!r} not in ECMP group "
+                f"(members: {', '.join(self._servers) or 'none'})"
+            ) from None
 
     def servers(self) -> list[str]:
         return list(self._servers)

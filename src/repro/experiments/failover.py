@@ -46,6 +46,8 @@ from ..faults.injector import Fault, FaultInjector, FaultPlan, FaultTargets, Pop
 from ..faults.monitor import HealthMonitor
 from ..netsim.addr import Prefix, parse_prefix
 from ..netsim.anycast import build_regional_topology
+from ..obs import MetricsRegistry, TraceRecorder
+from ..obs.adapters import watch_cache_stats, watch_fault_timeline, watch_resolver_stats
 from ..web.client import BrowserClient
 from ..workload.hostnames import HostnameUniverse, UniverseConfig
 
@@ -104,6 +106,8 @@ class FailoverOutcome:
     detection_time: float       # outage → failover_triggered (inf: never/no monitor)
     recovery_time: float        # outage → sustained full success (inf: never)
     timeline: FaultTimeline
+    registry: MetricsRegistry   # every stats surface of the run, snapshotable
+    tracer: TraceRecorder       # dispatch + mitigation spans (sim seconds)
 
     def success_rate_between(self, start: float, end: float) -> float:
         window = [s for s in self.ticks if start <= s.t < end]
@@ -144,6 +148,9 @@ def run_failover(config: FailoverConfig | None = None) -> FailoverOutcome:
     clock = Clock()
     rng = random.Random(config.seed)
     timeline = FaultTimeline()
+    registry = MetricsRegistry(clock)
+    tracer = TraceRecorder(clock)
+    watch_fault_timeline(registry, "faults", timeline)
 
     universe = HostnameUniverse(UniverseConfig(
         num_hostnames=config.num_sites, assets_per_site=1, seed=config.seed,
@@ -165,7 +172,8 @@ def run_failover(config: FailoverConfig | None = None) -> FailoverOutcome:
     engine = PolicyEngine(random.Random(config.seed + 1))
     engine.add(Policy("svc", AddressPool(PRIMARY_PREFIX, name="primary"),
                       ttl=config.ttl))
-    cdn.set_answer_source(PolicyAnswerSource(engine, universe.registry))
+    cdn.set_answer_source(PolicyAnswerSource(engine, universe.registry, tracer=tracer))
+    cdn.attach_observability(registry=registry, tracer=tracer)
     controller = AgilityController(engine, clock)
 
     plan = FaultPlan()
@@ -186,6 +194,7 @@ def run_failover(config: FailoverConfig | None = None) -> FailoverOutcome:
             failure_threshold=config.failure_threshold,
             timeline=timeline,
             rng=random.Random(config.seed + 3),
+            tracer=tracer,
         )
 
     clients: list[BrowserClient] = []
@@ -194,6 +203,8 @@ def run_failover(config: FailoverConfig | None = None) -> FailoverOutcome:
             asn = f"eyeball:{region}:{i}"
             resolver = RecursiveResolver(f"r-{asn}", clock, cdn.dns_transport(asn), asn=asn)
             stub = StubResolver(f"s-{asn}", clock, resolver)
+            watch_resolver_stats(registry, f"resolver.{asn}", resolver.stats)
+            watch_cache_stats(registry, f"resolver.{asn}.cache", resolver.cache.stats)
             clients.append(BrowserClient(f"c-{asn}", stub, cdn.transport_for(asn)))
 
     ticks: list[TickSample] = []
@@ -224,12 +235,36 @@ def run_failover(config: FailoverConfig | None = None) -> FailoverOutcome:
             recovery_time = sample.t - config.fail_at
             break
 
+    # Close the mitigation trace: the monitor recorded detect → precheck →
+    # rebind as they happened; the fault instant and the recovery tail are
+    # only known here.  All durations are simulated seconds.
+    trace = (monitor.last_failover_trace if monitor is not None else None) or "failover:control"
+    tracer.record(trace, "fault", config.fail_at, config.fail_at,
+                  f"{FAILING_POP} outage")
+    if recovery_time != float("inf"):
+        rebind = timeline.first("failover_triggered")
+        recover_start = rebind.at if rebind is not None else config.fail_at
+        tracer.record(trace, "recover", recover_start,
+                      config.fail_at + recovery_time,
+                      "sustained full success")
+        registry.histogram(
+            "failover.recovery_seconds",
+            help="outage -> sustained success, simulated seconds",
+        ).observe(recovery_time)
+    if detection_time != float("inf"):
+        registry.histogram(
+            "failover.detection_seconds",
+            help="outage -> failover_triggered, simulated seconds",
+        ).observe(detection_time)
+
     return FailoverOutcome(
         config=config,
         ticks=tuple(ticks),
         detection_time=detection_time,
         recovery_time=recovery_time,
         timeline=timeline,
+        registry=registry,
+        tracer=tracer,
     )
 
 
@@ -266,4 +301,13 @@ def render_failover_table(pair: dict[str, FailoverOutcome]) -> str:
     )
     table.add_row("BGP reconvergence (s, control's only exit)",
                   "—", f"{config.bgp_reconverge_s:.0f}")
+    trace = agile.timeline.first("failover_triggered")
+    if trace is not None:
+        phases = agile.tracer.phase_durations()
+        rendered = "  ".join(
+            f"{phase}={phases[phase]:.0f}"
+            for phase in ("detect", "precheck", "rebind", "recover")
+            if phase in phases
+        )
+        table.add_row("mitigation phase durations (s, simulated)", rendered, "—")
     return table.render()

@@ -30,6 +30,8 @@ from ..dns.resolver import RecursiveResolver
 from ..dns.server import AuthoritativeServer, QueryContext
 from ..edge.customers import AccountType, Customer, CustomerRegistry
 from ..netsim.addr import parse_prefix
+from ..obs import MetricsRegistry, TraceRecorder
+from ..obs.adapters import watch_cache_stats, watch_resolver_stats
 
 __all__ = ["TTLRun", "run_ttl_experiment", "render_ttl_table"]
 
@@ -51,15 +53,20 @@ def run_ttl_experiment(
     clamp_mins: tuple[int, ...] = (0, 60, 300),
     probe_interval: float = 1.0,
     seed: int = 3,
+    registry: MetricsRegistry | None = None,
 ) -> list[TTLRun]:
+    """``registry``: optional :class:`~repro.obs.MetricsRegistry` — each
+    resolver's cache/query counters are attached under ``ttl.<label>.*``,
+    observed flip times land in the ``ttl.flip_seconds`` histogram, and
+    per-phase (warm / converge) span durations are recorded."""
     runs: list[TTLRun] = []
     for clamp in clamp_mins:
         clock = Clock()
-        registry = CustomerRegistry()
-        registry.add(Customer("c", AccountType.FREE, {"site.example.com"}))
+        customers = CustomerRegistry()
+        customers.add(Customer("c", AccountType.FREE, {"site.example.com"}))
         engine = PolicyEngine(random.Random(seed))
         engine.add(Policy("p", AddressPool(POOL_A, name="A"), ttl=authoritative_ttl))
-        server = AuthoritativeServer(PolicyAnswerSource(engine, registry))
+        server = AuthoritativeServer(PolicyAnswerSource(engine, customers))
         controller = AgilityController(engine, clock)
 
         policy = TTLPolicy.honest() if clamp == 0 else TTLPolicy.clamping(clamp)
@@ -68,8 +75,18 @@ def run_ttl_experiment(
             transport=lambda wire: server.handle_wire(wire, QueryContext(pop="dc1")),
             ttl_policy=policy,
         )
+        label = "honest" if clamp == 0 else f"clamps-to-{clamp}s"
+        tracer = TraceRecorder(clock) if registry is not None else None
+        if registry is not None:
+            watch_resolver_stats(registry, f"ttl.{label}.resolver", resolver.stats)
+            watch_cache_stats(registry, f"ttl.{label}.cache", resolver.cache.stats)
+
         # Warm the cache just before the rebind (worst case for staleness).
-        resolver.resolve_addresses("site.example.com")
+        if tracer is not None:
+            with tracer.span(f"rebind:{label}", "warm"):
+                resolver.resolve_addresses("site.example.com")
+        else:
+            resolver.resolve_addresses("site.example.com")
         controller.swap_pool("p", AddressPool(POOL_B, name="B"))
         rebind_at = clock.now()
 
@@ -81,8 +98,22 @@ def run_ttl_experiment(
             if addresses and all(a in POOL_B for a in addresses):
                 flip_time = clock.now() - rebind_at
                 break
+        if tracer is not None:
+            tracer.record(f"rebind:{label}", "converge", rebind_at, clock.now(),
+                          "rebind -> answers on pool B" if flip_time != float("inf")
+                          else "never converged within horizon")
+            for phase, duration in tracer.phase_durations().items():
+                registry.histogram(
+                    f"ttl.phase_seconds.{phase}",
+                    help="simulated seconds spent in this rebind phase",
+                ).observe(duration)
+            if flip_time != float("inf"):
+                registry.histogram(
+                    "ttl.flip_seconds",
+                    help="rebind -> observed answer flip, simulated seconds",
+                ).observe(flip_time)
         runs.append(TTLRun(
-            resolver_label="honest" if clamp == 0 else f"clamps-to-{clamp}s",
+            resolver_label=label,
             authoritative_ttl=authoritative_ttl,
             clamp_min=clamp,
             observed_flip_time=flip_time,

@@ -29,6 +29,7 @@ from ..core.pool import AddressPool
 from ..dns.resolver import RecursiveResolver, ResolveError
 from ..edge.cdn import CDN
 from ..netsim.addr import IPAddress
+from ..obs.trace import TraceRecorder
 from ..web.http import HTTPVersion, Request
 from ..web.tls import ClientHello, TLSError
 from .events import FaultTimeline
@@ -85,6 +86,7 @@ class HealthMonitor:
         timeline: FaultTimeline | None = None,
         rng: random.Random | None = None,
         strict_checks: bool = False,
+        tracer: TraceRecorder | None = None,
     ) -> None:
         if not vantages:
             raise ValueError("health monitoring needs at least one vantage AS")
@@ -103,10 +105,16 @@ class HealthMonitor:
         self.failure_threshold = failure_threshold
         self.timeline = timeline if timeline is not None else FaultTimeline()
         self.strict_checks = strict_checks
+        self.tracer = tracer
+        #: Trace id of the most recent failover's span group ("detect" /
+        #: "precheck" / "rebind"); scenarios append their own "recover"
+        #: span to the same trace once they can see recovery.
+        self.last_failover_trace: str | None = None
         self._rng = rng or random.Random(0x4EA1)
         self.consecutive_failures = 0
         self.failed_over = False
         self.probes_run = 0
+        self._first_failure_at: float | None = None
         self._next_probe_at: float | None = None  # None: probe on first tick
 
     # -- probing -------------------------------------------------------------
@@ -151,6 +159,8 @@ class HealthMonitor:
                 f"{r.address} via {r.pop}: {r.detail}", phase="observe",
             )
         if failures:
+            if self.consecutive_failures == 0:
+                self._first_failure_at = failures[0].at
             self.consecutive_failures += 1
             if self.consecutive_failures >= self.failure_threshold:
                 self._trigger_failover(failures)
@@ -161,6 +171,7 @@ class HealthMonitor:
                     phase="observe",
                 )
             self.consecutive_failures = 0
+            self._first_failure_at = None
         return results
 
     def tick(self) -> list[ProbeResult]:
@@ -210,8 +221,33 @@ class HealthMonitor:
     def _trigger_failover(self, failures: list[ProbeResult]) -> None:
         if self.failed_over or self.failover_pool is None:
             return
-        self._precheck_failover()
+        trace = None
+        if self.tracer is not None:
+            trace = self.tracer.next_trace_id("failover")
+            self.last_failover_trace = trace
+            # Detection: first failed probe of this run → threshold crossed.
+            detect_start = (
+                self._first_failure_at if self._first_failure_at is not None
+                else self.clock.now()
+            )
+            self.tracer.record(
+                trace, "detect", detect_start, self.clock.now(),
+                f"{self.consecutive_failures}/{self.failure_threshold} failed rounds",
+            )
+        if trace is not None:
+            with self.tracer.span(trace, "precheck",
+                                  f"standby {self.failover_pool.name}"):
+                self._precheck_failover()
+        else:
+            self._precheck_failover()
+        rebind_start = self.clock.now()
         op = self.controller.swap_pool(self.policy_name, self.failover_pool)
+        if trace is not None:
+            self.tracer.record(
+                trace, "rebind", rebind_start, self.clock.now(),
+                f"swap to {self.failover_pool.name}; "
+                f"horizon t={op.propagation_horizon:.0f}",
+            )
         self.failed_over = True
         self.consecutive_failures = 0
         blackholed = sorted({str(r.pop) for r in failures})

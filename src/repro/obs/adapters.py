@@ -1,0 +1,154 @@
+"""Stock collectors: the five legacy stats surfaces, readable in one place.
+
+Each ``watch_*`` function attaches a pull collector to a
+:class:`~repro.obs.metrics.MetricsRegistry`: the legacy object keeps its
+cheap ad-hoc counters on the hot path, and the registry reads them only
+at snapshot time.  Covered surfaces:
+
+==========================  =============================================
+legacy surface              metrics (under the caller's prefix)
+==========================  =============================================
+``dns.cache.CacheStats``    hits, misses, expirations, evictions,
+                            insertions
+``edge.ecmp.EcmpStats``     routed, servers, per_server.<name>
+``dns.resolver.             client_queries, upstream_queries, servfails,
+ResolverStats``             nxdomains, retries, upstream_failures,
+                            stale_served
+``sockets.sklookup`` stats  runs, redirects, drops, fallthroughs,
+                            rules_removed, rules (gauge-like), map_size
+``faults.FaultTimeline``    events, by_kind.<kind>, by_phase.<phase>
+==========================  =============================================
+
+``watch_cdn`` walks a whole :class:`~repro.edge.cdn.CDN` and attaches the
+edge-side surfaces (ECMP, sk_lookup, edge caches, traffic) per
+datacenter/server, so one call makes an entire deployment observable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import fields
+from typing import TYPE_CHECKING
+
+from .metrics import MetricsRegistry
+
+if TYPE_CHECKING:  # import cycles: obs must stay importable from every layer
+    from ..dns.cache import CacheStats
+    from ..dns.resolver import ResolverStats
+    from ..edge.cache import CacheNodeStats
+    from ..edge.cdn import CDN
+    from ..edge.ecmp import ECMPRouter
+    from ..faults.events import FaultTimeline
+    from ..sockets.sklookup import SkLookupProgram
+
+__all__ = [
+    "watch_cache_stats",
+    "watch_ecmp",
+    "watch_resolver_stats",
+    "watch_sklookup",
+    "watch_fault_timeline",
+    "watch_cache_node_stats",
+    "watch_cdn",
+]
+
+
+def _dataclass_counters(stats) -> dict[str, int | float]:
+    """Flatten a slots-dataclass stats object: numeric fields become
+    metrics; dict-valued fields become ``<field>.<key>`` metrics."""
+    out: dict[str, int | float] = {}
+    for f in fields(stats):
+        value = getattr(stats, f.name)
+        if isinstance(value, dict):
+            for key, sub in value.items():
+                out[f"{f.name}.{key}"] = sub
+        elif isinstance(value, (int, float)):
+            out[f.name] = value
+    return out
+
+
+def watch_cache_stats(registry: MetricsRegistry, prefix: str, stats: "CacheStats") -> None:
+    registry.attach(prefix, lambda: _dataclass_counters(stats))
+
+
+def watch_resolver_stats(registry: MetricsRegistry, prefix: str, stats: "ResolverStats") -> None:
+    registry.attach(prefix, lambda: _dataclass_counters(stats))
+
+
+def watch_cache_node_stats(registry: MetricsRegistry, prefix: str, stats: "CacheNodeStats") -> None:
+    registry.attach(prefix, lambda: _dataclass_counters(stats))
+
+
+def watch_ecmp(registry: MetricsRegistry, prefix: str, router: "ECMPRouter") -> None:
+    def collect() -> dict[str, int | float]:
+        out = _dataclass_counters(router.stats)
+        out["servers"] = len(router)
+        return out
+
+    registry.attach(prefix, collect)
+
+
+def watch_sklookup(registry: MetricsRegistry, prefix: str, program: "SkLookupProgram") -> None:
+    def collect() -> dict[str, int | float]:
+        out: dict[str, int | float] = dict(program.stats)
+        out["rules"] = len(program.rules())
+        out["map_size"] = len(program.map)
+        return out
+
+    registry.attach(prefix, collect)
+
+
+def watch_fault_timeline(registry: MetricsRegistry, prefix: str, timeline: "FaultTimeline") -> None:
+    def collect() -> dict[str, int | float]:
+        out: dict[str, int | float] = {"events": len(timeline)}
+        for event in timeline:
+            out[f"by_kind.{event.kind}"] = out.get(f"by_kind.{event.kind}", 0) + 1
+            out[f"by_phase.{event.phase}"] = out.get(f"by_phase.{event.phase}", 0) + 1
+        return out
+
+    registry.attach(prefix, collect)
+
+
+def watch_cdn(registry: MetricsRegistry, cdn: "CDN", prefix: str = "cdn") -> None:
+    """Attach every edge-side surface of a deployment in one call.
+
+    Per datacenter: the ECMP router and the per-server sk_lookup programs
+    and edge-cache node stats; plus one rollup collector for request and
+    connection totals.
+    """
+    for dc_name in sorted(cdn.datacenters):
+        dc = cdn.datacenters[dc_name]
+        watch_ecmp(registry, f"{prefix}.{dc_name}.ecmp", dc.ecmp)
+        for server_name in sorted(dc.servers):
+            server = dc.servers[server_name]
+
+            def sk_collect(server=server) -> dict[str, int | float]:
+                # Read through the server: crash/restore replaces the
+                # attached program, and the collector must follow it.
+                program = server._sk_program
+                if program is None:
+                    return {"attached": 0}
+                out: dict[str, int | float] = dict(program.stats)
+                out["attached"] = 1
+                out["rules"] = len(program.rules())
+                out["map_size"] = len(program.map)
+                return out
+
+            registry.attach(f"{prefix}.{dc_name}.sklookup.{server_name}", sk_collect)
+            node = dc.cache.nodes().get(server_name)
+            if node is not None:
+                watch_cache_node_stats(
+                    registry, f"{prefix}.{dc_name}.edge_cache.{server_name}",
+                    node.stats,
+                )
+
+    def rollup() -> dict[str, int | float]:
+        return {
+            "requests": cdn.total_requests(),
+            "connections": sum(
+                dc.connection_count() for dc in cdn.datacenters.values()
+            ),
+            "sockets": sum(
+                dc.total_socket_count() for dc in cdn.datacenters.values()
+            ),
+        }
+
+    registry.attach(f"{prefix}.totals", rollup)

@@ -1,0 +1,101 @@
+"""Snapshot export: JSON, Prometheus text format, and snapshot diffing.
+
+Snapshots are plain dicts (see :meth:`MetricsRegistry.snapshot`), so the
+exporters here are pure functions — easy to test byte-for-byte, and the
+diff mode works on any two saved files regardless of which run produced
+them.  ``BENCH_*.json`` perf-trajectory artefacts are these snapshots
+plus whatever scalars the benchmark adds.
+"""
+
+from __future__ import annotations
+
+import json
+import re
+
+__all__ = [
+    "to_json",
+    "to_prometheus",
+    "diff_snapshots",
+    "render_diff",
+]
+
+_NAME_BAD = re.compile(r"[^a-zA-Z0-9_:]")
+
+
+def _prom_name(name: str) -> str:
+    """Sanitise a dotted metric name into the Prometheus charset."""
+    sane = _NAME_BAD.sub("_", name)
+    if sane and sane[0].isdigit():
+        sane = "_" + sane
+    return sane
+
+
+def to_json(snapshot: dict, indent: int = 2) -> str:
+    return json.dumps(snapshot, indent=indent, sort_keys=True)
+
+
+def to_prometheus(snapshot: dict, namespace: str = "repro") -> str:
+    """The text exposition format (one sample per line, sorted names)."""
+    lines: list[str] = []
+    if snapshot.get("at") is not None:
+        lines.append(f"# simulated time: {snapshot['at']:g}s")
+    for name, value in sorted(snapshot.get("counters", {}).items()):
+        sane = f"{namespace}_{_prom_name(name)}"
+        lines.append(f"# TYPE {sane} counter")
+        lines.append(f"{sane} {value:g}")
+    for name, value in sorted(snapshot.get("gauges", {}).items()):
+        sane = f"{namespace}_{_prom_name(name)}"
+        lines.append(f"# TYPE {sane} gauge")
+        lines.append(f"{sane} {value:g}")
+    for name, hist in sorted(snapshot.get("histograms", {}).items()):
+        sane = f"{namespace}_{_prom_name(name)}"
+        lines.append(f"# TYPE {sane} histogram")
+        for le, count in hist["buckets"]:
+            lines.append(f'{sane}_bucket{{le="{le}"}} {count}')
+        lines.append(f"{sane}_sum {hist['sum']:g}")
+        lines.append(f"{sane}_count {hist['count']}")
+    return "\n".join(lines) + "\n"
+
+
+def diff_snapshots(before: dict, after: dict) -> dict:
+    """Per-metric deltas between two snapshots (counters and gauges).
+
+    Histograms diff on ``count``/``sum``.  Metrics present on only one
+    side appear with the other side read as 0 — a new counter's first
+    snapshot *is* its delta.
+    """
+    out: dict = {"at": [before.get("at"), after.get("at")], "counters": {}, "gauges": {},
+                 "histograms": {}}
+    for section in ("counters", "gauges"):
+        a, b = before.get(section, {}), after.get(section, {})
+        for name in sorted(set(a) | set(b)):
+            delta = b.get(name, 0) - a.get(name, 0)
+            if delta:
+                out[section][name] = delta
+    ah, bh = before.get("histograms", {}), after.get("histograms", {})
+    for name in sorted(set(ah) | set(bh)):
+        empty = {"count": 0, "sum": 0.0}
+        a, b = ah.get(name, empty), bh.get(name, empty)
+        dcount = b["count"] - a["count"]
+        if dcount:
+            out["histograms"][name] = {"count": dcount, "sum": b["sum"] - a["sum"]}
+    return out
+
+
+def render_diff(diff: dict) -> str:
+    """Human-readable diff table (what ``repro metrics --diff`` prints)."""
+    lines = []
+    at_a, at_b = diff.get("at", [None, None])
+    if at_a is not None and at_b is not None:
+        lines.append(f"simulated time: {at_a:g}s -> {at_b:g}s")
+    for section in ("counters", "gauges"):
+        for name, delta in sorted(diff.get(section, {}).items()):
+            lines.append(f"  {name:<56} {delta:+g}")
+    for name, d in sorted(diff.get("histograms", {}).items()):
+        mean = d["sum"] / d["count"] if d["count"] else 0.0
+        lines.append(
+            f"  {name:<56} {d['count']:+g} observations (mean {mean:g})"
+        )
+    if len(lines) <= 1:
+        lines.append("  (no change)")
+    return "\n".join(lines)

@@ -1,0 +1,231 @@
+"""The metrics registry: one deterministic surface over every counter.
+
+The paper's evaluation is measurement-driven — TTL-bounded rebind
+convergence (§4.4), per-address query spread (Fig. 7), dispatch behaviour
+(§3.3) — yet the reproduction grew five ad-hoc stats surfaces
+(``CacheStats``, ``EcmpStats``, ``ResolverStats``, the sk_lookup ``stats``
+dict, ``FaultTimeline``) with no common way to read them.  This module is
+the union type: a :class:`MetricsRegistry` owns first-class instruments
+(:class:`Counter`, :class:`Gauge`, :class:`Histogram`) *and* polls legacy
+surfaces attached as collectors, so one :meth:`MetricsRegistry.snapshot`
+sees everything.
+
+Determinism is a hard requirement (the ``repro check`` DT lints run over
+this package): no wall clock — timestamps come from the simulated
+:class:`~repro.clock.Clock` when one is provided — and snapshots are
+emitted in sorted-name order so two runs of the same seed produce
+byte-identical exports.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left
+from collections.abc import Callable, Iterable
+
+from ..clock import Clock
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "MetricError",
+    "DEFAULT_BUCKETS",
+    "bucket_label",
+]
+
+#: Default histogram buckets, in simulated seconds: spans the sub-second
+#: dispatch path up through multi-minute convergence horizons.
+DEFAULT_BUCKETS: tuple[float, ...] = (
+    0.001, 0.005, 0.01, 0.05, 0.1, 0.5, 1.0, 5.0, 10.0, 30.0,
+    60.0, 120.0, 300.0, 600.0,
+)
+
+
+class MetricError(Exception):
+    """Registry misuse: duplicate name with a different type, bad buckets."""
+
+
+class Counter:
+    """A monotonically increasing count (queries served, rules removed)."""
+
+    __slots__ = ("name", "help", "value")
+
+    def __init__(self, name: str, help: str = "") -> None:
+        self.name = name
+        self.help = help
+        self.value = 0
+
+    def inc(self, amount: int | float = 1) -> None:
+        if amount < 0:
+            raise MetricError(f"counter {self.name}: negative increment {amount}")
+        self.value += amount
+
+
+class Gauge:
+    """A value that can go both ways (active entries, healthy servers)."""
+
+    __slots__ = ("name", "help", "value")
+
+    def __init__(self, name: str, help: str = "") -> None:
+        self.name = name
+        self.help = help
+        self.value = 0.0
+
+    def set(self, value: int | float) -> None:
+        self.value = value
+
+    def inc(self, amount: int | float = 1) -> None:
+        self.value += amount
+
+    def dec(self, amount: int | float = 1) -> None:
+        self.value -= amount
+
+
+class Histogram:
+    """Fixed-bucket histogram of observations (per-phase sim durations).
+
+    Buckets are cumulative upper bounds, Prometheus-style; an implicit
+    ``+Inf`` bucket catches everything.  Fixed buckets keep snapshots
+    deterministic and mergeable — no adaptive resizing, no quantile sketch
+    whose state depends on arrival order.
+    """
+
+    __slots__ = ("name", "help", "buckets", "bucket_counts", "sum", "count")
+
+    def __init__(
+        self,
+        name: str,
+        buckets: Iterable[float] = DEFAULT_BUCKETS,
+        help: str = "",
+    ) -> None:
+        bounds = tuple(float(b) for b in buckets)
+        if not bounds:
+            raise MetricError(f"histogram {name}: needs at least one bucket")
+        if any(b2 <= b1 for b1, b2 in zip(bounds, bounds[1:])):
+            raise MetricError(f"histogram {name}: buckets must strictly increase")
+        self.name = name
+        self.help = help
+        self.buckets = bounds
+        self.bucket_counts = [0] * (len(bounds) + 1)  # last slot: +Inf
+        self.sum = 0.0
+        self.count = 0
+
+    def observe(self, value: int | float) -> None:
+        self.bucket_counts[bisect_left(self.buckets, value)] += 1
+        self.sum += value
+        self.count += 1
+
+    def cumulative(self) -> list[tuple[float, int]]:
+        """(upper_bound, cumulative_count) pairs, ``inf`` last."""
+        out: list[tuple[float, int]] = []
+        running = 0
+        for bound, n in zip((*self.buckets, float("inf")), self.bucket_counts):
+            running += n
+            out.append((bound, running))
+        return out
+
+
+#: A collector reads a legacy stats surface *at snapshot time* and returns
+#: ``{metric_name: numeric_value}``.  Pull-based on purpose: the hot paths
+#: keep their cheap ad-hoc counters and pay nothing until someone looks.
+Collector = Callable[[], dict[str, "int | float"]]
+
+
+class MetricsRegistry:
+    """Owns instruments, polls collectors, renders deterministic snapshots."""
+
+    def __init__(self, clock: Clock | None = None) -> None:
+        self.clock = clock
+        self._counters: dict[str, Counter] = {}
+        self._gauges: dict[str, Gauge] = {}
+        self._histograms: dict[str, Histogram] = {}
+        self._collectors: dict[str, Collector] = {}
+
+    # -- instrument registration ---------------------------------------------
+
+    def counter(self, name: str, help: str = "") -> Counter:
+        return self._get_or_create(self._counters, Counter, name, help)
+
+    def gauge(self, name: str, help: str = "") -> Gauge:
+        return self._get_or_create(self._gauges, Gauge, name, help)
+
+    def histogram(
+        self,
+        name: str,
+        buckets: Iterable[float] = DEFAULT_BUCKETS,
+        help: str = "",
+    ) -> Histogram:
+        self._check_name_free(name, skip=self._histograms)
+        existing = self._histograms.get(name)
+        if existing is not None:
+            return existing
+        hist = Histogram(name, buckets, help)
+        self._histograms[name] = hist
+        return hist
+
+    def _get_or_create(self, table: dict, cls, name: str, help: str):
+        self._check_name_free(name, skip=table)
+        existing = table.get(name)
+        if existing is None:
+            existing = table[name] = cls(name, help)
+        return existing
+
+    def _check_name_free(self, name: str, skip: dict) -> None:
+        for table in (self._counters, self._gauges, self._histograms):
+            if table is not skip and name in table:
+                raise MetricError(f"metric name {name!r} already used by another type")
+
+    # -- legacy-surface attachment -------------------------------------------
+
+    def attach(self, prefix: str, collector: Collector) -> None:
+        """Poll ``collector`` at snapshot time, prefixing its metric names.
+
+        This is how the five pre-existing stats surfaces become readable
+        here without rewriting their hot paths — see
+        :mod:`repro.obs.adapters` for the stock bindings.
+        """
+        if prefix in self._collectors:
+            raise MetricError(f"collector prefix {prefix!r} already attached")
+        self._collectors[prefix] = collector
+
+    def detach(self, prefix: str) -> None:
+        self._collectors.pop(prefix, None)
+
+    def collected(self) -> dict[str, int | float]:
+        """One flat poll of every attached collector, names prefixed."""
+        out: dict[str, int | float] = {}
+        for prefix in sorted(self._collectors):
+            for name, value in sorted(self._collectors[prefix]().items()):
+                out[f"{prefix}.{name}"] = value
+        return out
+
+    # -- snapshots -------------------------------------------------------------
+
+    def snapshot(self) -> dict:
+        """A JSON-ready, deterministically ordered view of everything.
+
+        ``counters`` merges owned counters with collector output (legacy
+        surfaces are counter-shaped); ``at`` is simulated seconds, or
+        ``None`` when the registry has no clock.
+        """
+        counters = {name: c.value for name, c in sorted(self._counters.items())}
+        counters.update(self.collected())
+        return {
+            "at": self.clock.now() if self.clock is not None else None,
+            "counters": dict(sorted(counters.items())),
+            "gauges": {name: g.value for name, g in sorted(self._gauges.items())},
+            "histograms": {
+                name: {
+                    "buckets": [[bucket_label(bound), n] for bound, n in h.cumulative()],
+                    "sum": h.sum,
+                    "count": h.count,
+                }
+                for name, h in sorted(self._histograms.items())
+            },
+        }
+
+
+def bucket_label(bound: float) -> str:
+    """Prometheus ``le`` label text; keeps snapshots strict JSON (no Infinity)."""
+    return "+Inf" if bound == float("inf") else format(bound, "g")

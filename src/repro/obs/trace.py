@@ -1,0 +1,134 @@
+"""Structured span tracing on the simulated clock.
+
+The two critical paths the paper's claims live or die on:
+
+* **dispatch** — query → policy match → mint → ECMP → sk_lookup dispatch
+  → serve (§3.2/§3.3: the per-query answer and per-packet steering that
+  make addressing a pure control-plane decision);
+* **mitigation** — fault → detect → precheck → rebind → recover (§3.4/§6:
+  agility as a robustness primitive, bounded by TTL + detection).
+
+A :class:`TraceRecorder` collects :class:`SpanEvent` entries along both.
+Every timestamp is *simulated* seconds from the shared
+:class:`~repro.clock.Clock`; a span's duration is therefore the model's
+claim about elapsed time, not the host machine's scheduling noise — which
+is what makes per-phase durations comparable across runs and machines.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from dataclasses import dataclass
+
+from ..clock import Clock
+
+__all__ = ["SpanEvent", "TraceRecorder"]
+
+
+@dataclass(frozen=True, slots=True)
+class SpanEvent:
+    """One completed phase of one trace.
+
+    ``trace`` groups the phases of a single logical operation (one query,
+    one failover); ``phase`` is the step name within it.
+    """
+
+    trace: str
+    phase: str
+    start: float
+    end: float
+    detail: str = ""
+
+    def __post_init__(self) -> None:
+        if self.end < self.start:
+            raise ValueError(f"span {self.trace}/{self.phase} ends before it starts")
+
+    @property
+    def duration(self) -> float:
+        return self.end - self.start
+
+
+class TraceRecorder:
+    """Append-only span collection over one simulated clock."""
+
+    def __init__(self, clock: Clock) -> None:
+        self.clock = clock
+        self._spans: list[SpanEvent] = []
+        self._seq = 0
+
+    def next_trace_id(self, kind: str) -> str:
+        """A fresh deterministic trace id (``kind:N``) for a new operation."""
+        self._seq += 1
+        return f"{kind}:{self._seq}"
+
+    # -- recording -------------------------------------------------------------
+
+    def record(self, trace: str, phase: str, start: float, end: float,
+               detail: str = "") -> SpanEvent:
+        event = SpanEvent(trace, phase, start, end, detail)
+        self._spans.append(event)
+        return event
+
+    @contextmanager
+    def span(self, trace: str, phase: str, detail: str = ""):
+        """Measure a phase in simulated time::
+
+            with tracer.span("failover:1", "rebind"):
+                controller.swap_pool(...)
+        """
+        start = self.clock.now()
+        try:
+            yield
+        finally:
+            self.record(trace, phase, start, self.clock.now(), detail)
+
+    def mark(self, trace: str, phase: str, detail: str = "") -> SpanEvent:
+        """A zero-duration event at the current instant."""
+        now = self.clock.now()
+        return self.record(trace, phase, now, now, detail)
+
+    # -- queries ---------------------------------------------------------------
+
+    def spans(self, trace: str | None = None, phase: str | None = None) -> list[SpanEvent]:
+        return [
+            s for s in self._spans
+            if (trace is None or s.trace == trace)
+            and (phase is None or s.phase == phase)
+        ]
+
+    def phase_durations(self, trace: str | None = None) -> dict[str, float]:
+        """Total simulated seconds per phase, insertion-ordered."""
+        out: dict[str, float] = {}
+        for s in self._spans:
+            if trace is not None and s.trace != trace:
+                continue
+            out[s.phase] = out.get(s.phase, 0.0) + s.duration
+        return out
+
+    def __len__(self) -> int:
+        return len(self._spans)
+
+    def __iter__(self):
+        return iter(self._spans)
+
+    def clear(self) -> None:
+        self._spans.clear()
+
+    # -- export ----------------------------------------------------------------
+
+    def to_dict(self) -> dict:
+        """JSON-ready: the span list plus a per-phase duration rollup."""
+        return {
+            "spans": [
+                {
+                    "trace": s.trace,
+                    "phase": s.phase,
+                    "start": s.start,
+                    "end": s.end,
+                    "duration": s.duration,
+                    **({"detail": s.detail} if s.detail else {}),
+                }
+                for s in self._spans
+            ],
+            "phase_durations": self.phase_durations(),
+        }

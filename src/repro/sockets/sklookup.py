@@ -164,7 +164,10 @@ class SkLookupProgram:
         self.name = name
         self.map = sock_map
         self._rules: list[MatchRule] = []
-        self.stats: dict[str, int] = {"runs": 0, "redirects": 0, "drops": 0, "fallthroughs": 0}
+        self.stats: dict[str, int] = {
+            "runs": 0, "redirects": 0, "drops": 0, "fallthroughs": 0,
+            "rules_removed": 0,
+        }
         for rule in rules or []:
             self.add_rule(rule)
 
@@ -177,10 +180,22 @@ class SkLookupProgram:
         self._rules.append(rule)
 
     def remove_rules(self, label: str) -> int:
-        """Remove all rules carrying ``label``; returns how many."""
+        """Remove all rules carrying ``label``; returns how many.
+
+        The empty label is rejected: ``MatchRule.label`` defaults to
+        ``""``, so ``remove_rules("")`` would silently delete every
+        unlabeled rule — almost certainly a caller bug, never a rollback.
+        """
+        if not label:
+            raise ProgramError(
+                f"program {self.name}: remove_rules needs a non-empty label "
+                f"(\"\" would match every unlabeled rule)"
+            )
         before = len(self._rules)
         self._rules = [r for r in self._rules if r.label != label]
-        return before - len(self._rules)
+        removed = before - len(self._rules)
+        self.stats["rules_removed"] += removed
+        return removed
 
     def rules(self) -> tuple[MatchRule, ...]:
         return tuple(self._rules)

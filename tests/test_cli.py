@@ -1,5 +1,7 @@
 """CLI: every subcommand parses, runs at small scale, and prints a table."""
 
+import json
+
 import pytest
 
 from repro.cli import build_parser, main
@@ -20,6 +22,8 @@ class TestParser:
             ["dnsload", "--sessions", "5"],
             ["scaling"],
             ["list"],
+            ["metrics"],
+            ["metrics", "--experiment", "failover", "--format", "prom"],
         ):
             args = parser.parse_args(argv)
             assert args.command == argv[0]
@@ -89,3 +93,34 @@ class TestExecutionSlowPaths:
     def test_coloring(self, capsys):
         out = self.run(["coloring"], capsys)
         assert "prefixes (colours)" in out
+
+
+class TestMetricsCommand:
+    def run(self, argv, capsys) -> str:
+        assert main(argv) == 0
+        return capsys.readouterr().out
+
+    def test_metrics_json_document(self, capsys):
+        doc = json.loads(self.run(["metrics"], capsys))
+        assert doc["experiment"] == "ttl"
+        counters = doc["metrics"]["counters"]
+        assert counters["ttl.honest.resolver.client_queries"] > 0
+        assert "ttl.flip_seconds" in doc["metrics"]["histograms"]
+
+    def test_metrics_prometheus_format(self, capsys):
+        out = self.run(["metrics", "--format", "prom"], capsys)
+        assert "# TYPE repro_ttl_honest_resolver_client_queries counter" in out
+
+    def test_metrics_bad_experiment_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["metrics", "--experiment", "vibes"])
+
+    def test_metrics_out_and_diff(self, capsys, tmp_path):
+        before, after = tmp_path / "a.json", tmp_path / "b.json"
+        self.run(["metrics", "--out", str(before)], capsys)
+        # Hand-bump one counter so the diff has a known delta.
+        doc = json.loads(before.read_text())
+        doc["metrics"]["counters"]["ttl.honest.resolver.client_queries"] += 5
+        after.write_text(json.dumps(doc))
+        out = self.run(["metrics", "--diff", str(before), str(after)], capsys)
+        assert "ttl.honest.resolver.client_queries" in out and "+5" in out

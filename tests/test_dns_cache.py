@@ -1,5 +1,7 @@
 """DNS cache: TTL expiry, clamping policies, negative entries, eviction."""
 
+import random
+
 import pytest
 
 from repro.clock import Clock
@@ -168,3 +170,135 @@ class TestFlushAndEvict:
     def test_capacity_must_be_positive(self):
         with pytest.raises(ValueError):
             DNSCache(Clock(), capacity=0)
+
+
+class TestEvictionRegressions:
+    """Bugfix: overwriting a cached key at capacity must not evict an
+    unrelated entry, and capacity evictions are counted apart from TTL
+    expirations."""
+
+    def test_overwrite_at_capacity_does_not_evict_neighbour(self):
+        clock = Clock()
+        cache = DNSCache(clock, capacity=2)
+        cache.store(question("a.example.com"), [record("a.example.com", ttl=900)])
+        cache.store(question("b.example.com"), [record("b.example.com", ttl=100)])
+        # Refresh 'a' while full: same key, no new slot needed.  The
+        # pre-fix code evicted the soonest-to-expire entry ('b', an
+        # unrelated fresh neighbour) before noticing the overwrite.
+        cache.store(question("a.example.com"), [record("a.example.com", ttl=900)])
+        assert cache.get(question("a.example.com")) is not None
+        assert cache.get(question("b.example.com")) is not None
+        assert cache.stats.evictions == 0
+
+    def test_evictions_counted_apart_from_expirations(self):
+        clock = Clock()
+        cache = DNSCache(clock, capacity=2)
+        cache.store(question("a.example.com"), [record("a.example.com", ttl=100)])
+        cache.store(question("b.example.com"), [record("b.example.com", ttl=900)])
+        # Fresh entries only: displacing one is an eviction, not an expiry.
+        cache.store(question("c.example.com"), [record("c.example.com", ttl=900)])
+        assert cache.stats.evictions == 1
+        assert cache.stats.expirations == 0
+        # Now let one run out and displace it: that's an expiration.
+        clock.advance(950)  # b and c both expired
+        cache.store(question("d.example.com"), [record("d.example.com", ttl=50)])
+        cache.store(question("e.example.com"), [record("e.example.com", ttl=50)])
+        cache.store(question("f.example.com"), [record("f.example.com", ttl=50)])
+        assert cache.stats.expirations >= 2  # b, c swept at capacity
+        assert cache.stats.evictions == 2   # plus one more fresh displacement
+
+    def test_seeded_random_capacity_and_preference_invariants(self):
+        """Property: the cache never exceeds capacity, and never evicts a
+        fresh entry while an expired one is still occupying a slot."""
+        rng = random.Random(2021)
+        clock = Clock()
+        cache = DNSCache(clock, capacity=8)
+        names = [f"h{i}.example.com" for i in range(24)]
+        for step in range(600):
+            name = rng.choice(names)
+            ttl = rng.choice((1, 5, 30, 300))
+            evictions_before = cache.stats.evictions
+            had_expired = any(
+                e.expires_at <= clock.now() for e in cache._entries.values()
+            )
+            cache.store(question(name), [record(name, ttl=ttl)])
+            assert len(cache) <= 8, f"capacity exceeded at step {step}"
+            if cache.stats.evictions > evictions_before:
+                assert not had_expired, (
+                    f"step {step}: evicted a fresh entry while an expired "
+                    f"one remained"
+                )
+            if rng.random() < 0.3:
+                clock.advance(rng.choice((1, 10, 100)))
+
+
+class TestRemainingEffectiveTTL:
+    """Bugfix: a hit advertises the remaining *effective* lifetime, so a
+    clamp-stretched entry (§4.4 violator) propagates its stretched TTL
+    downstream instead of the original record TTL."""
+
+    def test_clamped_entry_advertises_remaining_clamped_ttl(self):
+        clock = Clock()
+        cache = DNSCache(clock, TTLPolicy.clamping(300))
+        cache.store(question(), [record(ttl=30)])
+        clock.advance(100)
+        hit = cache.get(question())
+        # Pre-fix: min(remaining, record.ttl) returned 30 here.
+        assert hit[0].ttl == 200
+
+    def test_honest_cache_unaffected(self):
+        clock = Clock()
+        cache = DNSCache(clock)
+        cache.store(question(), [record(ttl=60)])
+        clock.advance(25)
+        assert cache.get(question())[0].ttl == 35
+
+    def test_override_policy_advertises_remaining_override(self):
+        clock = Clock()
+        cache = DNSCache(clock, TTLPolicy(honour=False, override=120))
+        cache.store(question(), [record(ttl=5)])
+        clock.advance(40)
+        assert cache.get(question())[0].ttl == 80
+
+    def test_downstream_stub_inherits_clamped_lifetime(self):
+        """E-ttl regression: an honest stub behind a clamping recursive
+        holds the binding for the clamp, not the authoritative TTL — so
+        it re-queries the recursive once per clamp period, not once per
+        record TTL."""
+        from repro.core.authoritative import PolicyAnswerSource
+        from repro.core.policy import Policy, PolicyEngine
+        from repro.core.pool import AddressPool
+        from repro.dns.resolver import RecursiveResolver
+        from repro.dns.server import AuthoritativeServer, QueryContext
+        from repro.dns.stub import StubResolver
+        from repro.edge.customers import AccountType, Customer, CustomerRegistry
+        from repro.netsim.addr import parse_prefix
+
+        clock = Clock()
+        customers = CustomerRegistry()
+        customers.add(Customer("c", AccountType.FREE, {"site.example.com"}))
+        engine = PolicyEngine(random.Random(7))
+        engine.add(Policy("p", AddressPool(parse_prefix("192.0.2.0/24"), name="A"),
+                          ttl=30))
+        server = AuthoritativeServer(PolicyAnswerSource(engine, customers))
+        recursive = RecursiveResolver(
+            "clamping", clock,
+            transport=lambda wire: server.handle_wire(wire, QueryContext(pop="dc1")),
+            ttl_policy=TTLPolicy.clamping(300),
+        )
+        stub = StubResolver("stub", clock, recursive)
+
+        stub.lookup("site.example.com")
+        assert recursive.stats.client_queries == 1
+        # Probe well past the 30 s record TTL but inside the 300 s clamp:
+        # the stub cached the clamped remaining lifetime, so it never goes
+        # back to the recursive.  Pre-fix it cached 30 s and re-queried
+        # on every probe below.
+        for _ in range(5):
+            clock.advance(50)
+            stub.lookup("site.example.com")
+        assert recursive.stats.client_queries == 1
+        # Past the clamp the stub must refresh.
+        clock.advance(60)  # t = 310 > 300
+        stub.lookup("site.example.com")
+        assert recursive.stats.client_queries == 2

@@ -4,7 +4,7 @@ import pytest
 
 from repro.edge.cache import DistributedCache
 from repro.edge.customers import AccountType, Customer, CustomerRegistry
-from repro.edge.ecmp import ECMPRouter
+from repro.edge.ecmp import ECMPRouter, UnknownServerError
 from repro.edge.l4lb import L4LoadBalancer
 from repro.netsim.addr import parse_address, parse_prefix
 from repro.netsim.packet import FiveTuple, Packet, Protocol
@@ -70,6 +70,22 @@ class TestECMP:
         router = ECMPRouter(["a", "b"])
         router.remove_server("a")
         assert router.servers() == ["b"]
+
+    def test_remove_absent_server_raises_typed_error(self):
+        """Bugfix: removing an unknown member used to surface as a bare
+        ``ValueError`` from ``list.remove`` — now a typed, catchable
+        error naming the group."""
+        router = ECMPRouter(["a", "b"])
+        router.route(packet(sport=1))
+        with pytest.raises(UnknownServerError) as exc:
+            router.remove_server("zz")
+        assert "zz" in str(exc.value)
+        assert isinstance(exc.value, LookupError)
+        # The failed remove must leave membership and stats untouched.
+        assert router.servers() == ["a", "b"]
+        assert router.stats.routed == 1
+        router.route(packet(sport=2))  # still routable
+        assert router.stats.routed == 2
 
 
 class TestL4LB:

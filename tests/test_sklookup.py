@@ -212,6 +212,31 @@ class TestProgramSemantics:
         _, sock = prog.run(packet())
         assert sock is None
 
+    def test_remove_rules_counted_in_stats(self, table, listener):
+        arr = SockArray(2)
+        arr.update(0, listener)
+        prog = SkLookupProgram("p", arr, [
+            MatchRule(Verdict.PASS, Protocol.TCP, (POOL,), 80, 80, map_key=0, label="pool"),
+            MatchRule(Verdict.PASS, Protocol.TCP, (POOL,), 443, 443, map_key=0, label="pool"),
+        ])
+        prog.remove_rules("pool")
+        assert prog.stats["rules_removed"] == 2
+        prog.remove_rules("pool")  # nothing left: counter must not move
+        assert prog.stats["rules_removed"] == 2
+
+    def test_remove_rules_empty_label_rejected(self, table, listener):
+        """Bugfix: ``remove_rules("")`` used to silently match every
+        unlabeled rule — a detach typo could strip a live program."""
+        arr = SockArray(2)
+        arr.update(0, listener)
+        prog = SkLookupProgram("p", arr, [
+            MatchRule(Verdict.PASS, Protocol.TCP, (POOL,), 80, 80, map_key=0),
+        ])
+        with pytest.raises(ProgramError):
+            prog.remove_rules("")
+        assert len(prog.rules()) == 1  # untouched
+        assert prog.stats["rules_removed"] == 0
+
     def test_map_update_takes_effect_immediately(self, table, listener):
         """The §3.3 capability: re-pointing live traffic via map update."""
         other = table.bind_listen(Protocol.TCP, parse_address("198.18.0.2"), 80)
