@@ -45,7 +45,7 @@ def test_zone_static_answering_rate(benchmark, queries, rates):
     rates["zone"] = N_QUERIES / benchmark.stats["mean"]
 
 
-def test_rates_comparable_and_sufficient(benchmark, rates, save_table):
+def test_rates_comparable_and_sufficient(benchmark, rates, save_table, save_bench):
     assert {"policy", "zone"} <= set(rates)
     table = TextTable(
         "§4.2 authoritative answering rate (wire-level, pure Python; "
@@ -59,4 +59,10 @@ def test_rates_comparable_and_sufficient(benchmark, rates, save_table):
     assert rates["policy"] > 1_000
     # Randomization is not the bottleneck vs conventional serving.
     assert rates["policy"] > 0.5 * rates["zone"]
+    save_bench(
+        "dns_qps",
+        policy_qps=rates["policy"],
+        zone_qps=rates["zone"],
+        policy_vs_zone=rates["policy"] / rates["zone"],
+    )
     benchmark.pedantic(lambda: None, rounds=1, iterations=1)

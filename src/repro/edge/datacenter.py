@@ -14,6 +14,7 @@ from ..dns.server import AuthoritativeServer, QueryContext
 from ..netsim.addr import IPAddress, Prefix
 from ..netsim.geo import GeoPoint
 from ..netsim.packet import FiveTuple, Packet, Protocol
+from ..sockets.lookup import flow_hash
 from ..web.http import Connection, HTTPVersion, Request, Response
 from ..web.origin import OriginPool
 from ..web.tls import CertificateStore, ClientHello
@@ -40,7 +41,16 @@ class TrafficLog:
 
     ``sample_rate`` thins recording the way the paper's measurements do
     ("data is comprised of 1 % of all requests", Fig. 7 caption); analysis
-    code can scale counts back up or, as the paper does, plot the sample.
+    code scales counts back up via :meth:`scaled_by_address`, or, as the
+    paper does, plots the sample.
+
+    Sampling is **flow-coherent**: the coin is flipped once per connection
+    (:meth:`record_connection` returns the decision) and every request on
+    that connection inherits it.  The earlier per-record coin meant a
+    sampled flow's connection and its requests landed in *different*
+    samples — per-address connections, requests, and bytes were mutually
+    incoherent, so ratios like requests-per-connection were garbage at any
+    ``sample_rate < 1.0``.
     """
 
     def __init__(self, sample_rate: float = 1.0, rng: random.Random | None = None) -> None:
@@ -50,13 +60,29 @@ class TrafficLog:
         self._rng = rng or random.Random(0x10C)
         self._by_addr: dict[IPAddress, AddressTraffic] = {}
 
-    def record_connection(self, dst: IPAddress) -> None:
-        if self.sample_rate < 1.0 and self._rng.random() >= self.sample_rate:
-            return
-        self._entry(dst).connections += 1
+    def _flip(self) -> bool:
+        return self.sample_rate >= 1.0 or self._rng.random() < self.sample_rate
 
-    def record_request(self, dst: IPAddress, nbytes: int) -> None:
-        if self.sample_rate < 1.0 and self._rng.random() >= self.sample_rate:
+    def record_connection(self, dst: IPAddress) -> bool:
+        """Record (or skip) one connection; returns the sampling decision.
+
+        Callers hold on to the returned flag and pass it back to
+        :meth:`record_request` for every request the connection carries.
+        """
+        sampled = self._flip()
+        if sampled:
+            self._entry(dst).connections += 1
+        return sampled
+
+    def record_request(self, dst: IPAddress, nbytes: int,
+                       sampled: bool | None = None) -> None:
+        """Record one request.  ``sampled`` is the owning connection's
+        decision from :meth:`record_connection`; ``None`` (for
+        connectionless callers, e.g. synthetic per-request feeds) flips an
+        independent coin."""
+        if sampled is None:
+            sampled = self._flip()
+        if not sampled:
             return
         entry = self._entry(dst)
         entry.requests += 1
@@ -72,11 +98,30 @@ class TrafficLog:
     def by_address(self) -> dict[IPAddress, AddressTraffic]:
         return dict(self._by_addr)
 
+    def scaled_by_address(self) -> dict[IPAddress, AddressTraffic]:
+        """Counts scaled back up by 1/sample_rate (Horvitz–Thompson style).
+
+        With flow-coherent sampling the same factor applies to connections,
+        requests, and bytes, so scaled ratios are unbiased too."""
+        factor = 1.0 / self.sample_rate
+        return {
+            addr: AddressTraffic(
+                requests=round(t.requests * factor),
+                bytes=round(t.bytes * factor),
+                connections=round(t.connections * factor),
+            )
+            for addr, t in self._by_addr.items()
+        }
+
     def addresses_seen(self) -> set[IPAddress]:
         return set(self._by_addr)
 
     def total_requests(self) -> int:
         return sum(t.requests for t in self._by_addr.values())
+
+    def estimated_total_requests(self) -> int:
+        """Sampled request count scaled up to an estimate of the true total."""
+        return round(self.total_requests() / self.sample_rate)
 
     def clear(self) -> None:
         self._by_addr.clear()
@@ -123,6 +168,9 @@ class Datacenter:
         self.tracer = None
         self._conn_owner: dict[int, str] = {}
         self._conn_trace: dict[int, str] = {}
+        # Per-connection sampling decision: requests inherit it so the
+        # traffic log stays flow-coherent (see TrafficLog).
+        self._conn_sampled: dict[int, bool] = {}
 
     # -- configuration -----------------------------------------------------
 
@@ -179,25 +227,59 @@ class Datacenter:
     # -- data plane ---------------------------------------------------------------
 
     def connect(self, tuple5: FiveTuple, hello: ClientHello, version: HTTPVersion) -> Connection:
-        """Ingress pipeline for a new connection: ECMP → L4LB → server."""
+        """Ingress pipeline for a new connection: ECMP → L4LB → server.
+
+        The flow hash is computed exactly once per SYN and reused for both
+        ECMP fan-out and (inside the server's handshake) listener
+        selection; it used to be recomputed at each stage.
+        """
         syn = Packet(tuple5, syn=True)
+        fh = flow_hash(syn)
         if self.tracer is None:
-            ecmp_choice = self.ecmp.route(syn)
+            ecmp_choice = self.ecmp.route(syn, flow_hash_value=fh)
             owner = self.l4lb.admit(syn, ecmp_choice)
-            connection = self.servers[owner].handshake(tuple5, hello, version)
+            connection = self.servers[owner].handshake(tuple5, hello, version, flow_hash=fh)
         else:
             trace = self.tracer.next_trace_id(f"conn@{self.name}")
             with self.tracer.span(trace, "ecmp"):
-                ecmp_choice = self.ecmp.route(syn)
+                ecmp_choice = self.ecmp.route(syn, flow_hash_value=fh)
             # sk_lookup steering and TLS termination both happen inside
             # the server's handshake — one span covers the dispatch hop.
             with self.tracer.span(trace, "dispatch", ecmp_choice):
                 owner = self.l4lb.admit(syn, ecmp_choice)
-                connection = self.servers[owner].handshake(tuple5, hello, version)
+                connection = self.servers[owner].handshake(tuple5, hello, version, flow_hash=fh)
             self._conn_trace[connection.conn_id] = trace
         self._conn_owner[connection.conn_id] = owner
-        self.traffic.record_connection(tuple5.dst)
+        self._conn_sampled[connection.conn_id] = self.traffic.record_connection(tuple5.dst)
         return connection
+
+    def connect_batch(
+        self, requests: list[tuple[FiveTuple, ClientHello, HTTPVersion]]
+    ) -> list[Connection]:
+        """Batched ingress: one flow hash per SYN, shared across ECMP and
+        listener selection, with per-connection attribute lookups hoisted.
+
+        Semantics match :meth:`connect` in a loop, minus per-connection
+        trace spans (batch callers are throughput experiments; span
+        recording per packet would dominate what they measure).
+        """
+        route = self.ecmp.route
+        admit = self.l4lb.admit
+        servers = self.servers
+        conn_owner = self._conn_owner
+        conn_sampled = self._conn_sampled
+        record_connection = self.traffic.record_connection
+        connections: list[Connection] = []
+        append = connections.append
+        for tuple5, hello, version in requests:
+            syn = Packet(tuple5, syn=True)
+            fh = flow_hash(syn)
+            owner = admit(syn, route(syn, flow_hash_value=fh))
+            connection = servers[owner].handshake(tuple5, hello, version, flow_hash=fh)
+            conn_owner[connection.conn_id] = owner
+            conn_sampled[connection.conn_id] = record_connection(tuple5.dst)
+            append(connection)
+        return connections
 
     def serve(self, connection: Connection, request: Request) -> Response:
         owner = self._conn_owner.get(connection.conn_id)
@@ -211,8 +293,38 @@ class Datacenter:
         else:
             with self.tracer.span(trace, "serve", request.path):
                 response = self.servers[owner].serve(connection, request)
-        self.traffic.record_request(connection.remote_addr, response.body_len)
+        self.traffic.record_request(
+            connection.remote_addr,
+            response.body_len,
+            sampled=self._conn_sampled.get(connection.conn_id),
+        )
         return response
+
+    def serve_batch(
+        self, pairs: list[tuple[Connection, Request]]
+    ) -> list[Response]:
+        """Serve many (connection, request) pairs; ``serve`` in a loop with
+        the per-request dict probes and trace plumbing hoisted out."""
+        conn_owner = self._conn_owner
+        conn_sampled = self._conn_sampled
+        servers = self.servers
+        record_request = self.traffic.record_request
+        responses: list[Response] = []
+        append = responses.append
+        for connection, request in pairs:
+            owner = conn_owner.get(connection.conn_id)
+            if owner is None:
+                raise RuntimeError(
+                    f"connection {connection.conn_id} was not established at {self.name}"
+                )
+            response = servers[owner].serve(connection, request)
+            record_request(
+                connection.remote_addr,
+                response.body_len,
+                sampled=conn_sampled.get(connection.conn_id),
+            )
+            append(response)
+        return responses
 
     # -- accounting ------------------------------------------------------------
 

@@ -18,6 +18,7 @@ irrelevant to fan-out correctness.  Tests assert exactly that.
 
 from __future__ import annotations
 
+from collections.abc import Callable
 from dataclasses import dataclass, field
 
 from ..netsim.packet import Packet
@@ -63,10 +64,20 @@ class EcmpStats:
 
 
 class ECMPRouter:
-    """Rendezvous-hash router over a named server set."""
+    """Rendezvous-hash router over a named server set.
 
-    def __init__(self, servers: list[str] | None = None) -> None:
+    ``weight_fn`` is injectable (tests use degenerate weights to exercise
+    tie handling deterministically); production callers take the default
+    :func:`_hrw_weight`.
+    """
+
+    def __init__(
+        self,
+        servers: list[str] | None = None,
+        weight_fn: Callable[[str, int], int] = _hrw_weight,
+    ) -> None:
         self._servers: list[str] = []
+        self._weight = weight_fn
         self.stats = EcmpStats()
         for s in servers or []:
             self.add_server(s)
@@ -101,12 +112,24 @@ class ECMPRouter:
 
     # -- routing -------------------------------------------------------------
 
-    def route(self, packet: Packet) -> str:
-        """Pick the server for a packet's flow; deterministic per 5-tuple."""
+    def route(self, packet: Packet, flow_hash_value: int | None = None) -> str:
+        """Pick the server for a packet's flow; deterministic per 5-tuple.
+
+        ``flow_hash_value`` reuses a hash the ingress pipeline already
+        computed — the hot path hashes each packet exactly once.
+
+        Weight ties break on the server *name*, never on list position:
+        HRW's minimal-remap guarantee is a property of the (server, flow)
+        weights alone, and a position-dependent tie-break silently
+        reintroduced membership-order sensitivity — a remove-then-re-add
+        (drain and restore, in failover terms) would reshuffle tied flows
+        that should have stayed put.
+        """
         if not self._servers:
             raise RuntimeError("ECMP group is empty")
-        fh = flow_hash(packet)
-        chosen = max(self._servers, key=lambda s: _hrw_weight(s, fh))
+        fh = flow_hash(packet) if flow_hash_value is None else flow_hash_value
+        weight = self._weight
+        chosen = max(self._servers, key=lambda s: (weight(s, fh), s))
         self.stats.record(chosen)
         return chosen
 

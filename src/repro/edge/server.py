@@ -262,15 +262,32 @@ class EdgeServer:
 
     # -- data path ---------------------------------------------------------------
 
-    def dispatch(self, packet: Packet, deliver: bool = False) -> DispatchResult:
-        return self.lookup_path.dispatch(packet, deliver=deliver)
+    def dispatch(self, packet: Packet, deliver: bool = False,
+                 flow_hash: int | None = None) -> DispatchResult:
+        return self.lookup_path.dispatch(packet, deliver=deliver, flow_hash=flow_hash)
+
+    def dispatch_batch(self, packets: list[Packet], deliver: bool = False,
+                       flow_hashes: list[int] | None = None) -> list[DispatchResult]:
+        """Batched lookup through this server's path (see
+        :meth:`~repro.sockets.lookup.LookupPath.dispatch_batch`)."""
+        return self.lookup_path.dispatch_batch(
+            packets, deliver=deliver, flow_hashes=flow_hashes
+        )
 
     def handshake(
-        self, tuple5: FiveTuple, hello: ClientHello, version: HTTPVersion
+        self,
+        tuple5: FiveTuple,
+        hello: ClientHello,
+        version: HTTPVersion,
+        flow_hash: int | None = None,
     ) -> Connection:
-        """Terminate a new connection: SYN dispatch, accept, TLS select."""
+        """Terminate a new connection: SYN dispatch, accept, TLS select.
+
+        ``flow_hash`` forwards the hash the datacenter's ECMP stage already
+        computed for this SYN, so listener selection never re-hashes.
+        """
         syn = Packet(tuple5, syn=True)
-        result = self.dispatch(syn)
+        result = self.dispatch(syn, flow_hash=flow_hash)
         if result.socket is None:
             self.stats.refused_syns += 1
             raise ConnectionRefusedError(

@@ -22,7 +22,7 @@ from dataclasses import dataclass
 from ..analysis.reporting import TextTable, format_quantity
 from ..netsim.addr import IPAddress, Prefix, parse_address, parse_prefix
 from ..netsim.packet import FiveTuple, Packet, Protocol
-from ..sockets.lookup import LookupPath
+from ..sockets.lookup import Engine, LookupPath
 from ..sockets.sklookup import MatchRule, SkLookupProgram, SockArray, Verdict
 from ..sockets.socktable import SocketTable
 
@@ -34,6 +34,7 @@ __all__ = [
     "build_per_ip_binds",
     "make_packets",
     "dispatch_all",
+    "dispatch_all_batched",
     "render_scaling_table",
 ]
 
@@ -77,10 +78,13 @@ def build_wildcard(pool: Prefix = DEFAULT_POOL, port: int = 80,
 
 
 def build_sk_lookup(pool: Prefix = DEFAULT_POOL, port: int = 80,
-                    protocol: Protocol = Protocol.TCP, extra_rules: int = 0) -> DispatchSetup:
+                    protocol: Protocol = Protocol.TCP, extra_rules: int = 0,
+                    engine: Engine | str = Engine.COMPILED) -> DispatchSetup:
     """The paper's configuration: one socket, one prefix rule (plus
     ``extra_rules`` no-match rules ahead of it, for program-length
-    sensitivity ablations)."""
+    sensitivity ablations).  ``engine`` picks the program executor —
+    benchmarks build the same program twice to report the
+    interpreter-vs-compiled speedup."""
     table = SocketTable()
     sock = table.bind_listen(protocol, INTERNAL, port, owner="svc")
     sock_map = SockArray(1)
@@ -92,9 +96,9 @@ def build_sk_lookup(pool: Prefix = DEFAULT_POOL, port: int = 80,
     ]
     rules.append(MatchRule(Verdict.PASS, protocol, (pool,), port, port, map_key=0))
     program = SkLookupProgram("svc", sock_map, rules)
-    path = LookupPath(table)
+    path = LookupPath(table, engine=engine)
     path.attach(program)
-    return DispatchSetup(f"sk_lookup(+{extra_rules})", table, path)
+    return DispatchSetup(f"sk_lookup(+{extra_rules},{Engine(engine).value})", table, path)
 
 
 def build_per_ip_binds(pool: Prefix, port: int = 80,
@@ -132,12 +136,26 @@ def make_packets(
 
 
 def dispatch_all(setup: DispatchSetup, packets: list[Packet]) -> int:
-    """Dispatch a batch (lookup only); returns delivered count."""
+    """Dispatch packets one at a time (lookup only); returns delivered count."""
     dispatch = setup.path.dispatch
     delivered = 0
     for packet in packets:
         if dispatch(packet, deliver=False).socket is not None:
             delivered += 1
+    return delivered
+
+
+def dispatch_all_batched(setup: DispatchSetup, packets: list[Packet],
+                         batch_size: int = 1024) -> int:
+    """Dispatch via :meth:`LookupPath.dispatch_batch` in ``batch_size``
+    chunks (lookup only); returns delivered count.  This is the throughput
+    configuration the batched workload driver uses."""
+    dispatch_batch = setup.path.dispatch_batch
+    delivered = 0
+    for start in range(0, len(packets), batch_size):
+        for result in dispatch_batch(packets[start:start + batch_size], deliver=False):
+            if result.socket is not None:
+                delivered += 1
     return delivered
 
 

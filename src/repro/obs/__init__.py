@@ -8,11 +8,14 @@ with snapshot diffing (:mod:`repro.obs.export`).  Front door:
 """
 
 from .adapters import (
+    DISPATCH_LATENCY_BUCKETS,
+    time_lookup_path,
     watch_cache_node_stats,
     watch_cache_stats,
     watch_cdn,
     watch_ecmp,
     watch_fault_timeline,
+    watch_lookup_path,
     watch_resolver_stats,
     watch_sklookup,
 )
@@ -46,6 +49,9 @@ __all__ = [
     "watch_ecmp",
     "watch_resolver_stats",
     "watch_sklookup",
+    "watch_lookup_path",
+    "time_lookup_path",
+    "DISPATCH_LATENCY_BUCKETS",
     "watch_fault_timeline",
     "watch_cache_node_stats",
     "watch_cdn",

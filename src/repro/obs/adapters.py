@@ -32,23 +32,38 @@ from typing import TYPE_CHECKING
 from .metrics import MetricsRegistry
 
 if TYPE_CHECKING:  # import cycles: obs must stay importable from every layer
+    from collections.abc import Callable
+
     from ..dns.cache import CacheStats
     from ..dns.resolver import ResolverStats
     from ..edge.cache import CacheNodeStats
     from ..edge.cdn import CDN
     from ..edge.ecmp import ECMPRouter
     from ..faults.events import FaultTimeline
+    from ..sockets.lookup import LookupPath
     from ..sockets.sklookup import SkLookupProgram
 
 __all__ = [
+    "DISPATCH_LATENCY_BUCKETS",
     "watch_cache_stats",
     "watch_ecmp",
     "watch_resolver_stats",
     "watch_sklookup",
+    "watch_lookup_path",
+    "time_lookup_path",
     "watch_fault_timeline",
     "watch_cache_node_stats",
     "watch_cdn",
 ]
+
+#: Buckets for per-packet dispatch latency, in *real* seconds: the Python
+#: hot path sits in the single-digit-microsecond range, so the default
+#: simulated-seconds buckets (1 ms floor) would collapse everything into
+#: the first bucket.
+DISPATCH_LATENCY_BUCKETS: tuple[float, ...] = (
+    1e-7, 2.5e-7, 5e-7, 1e-6, 2.5e-6, 5e-6,
+    1e-5, 2.5e-5, 5e-5, 1e-4, 1e-3, 1e-2,
+)
 
 
 def _dataclass_counters(stats) -> dict[str, int | float]:
@@ -91,9 +106,53 @@ def watch_sklookup(registry: MetricsRegistry, prefix: str, program: "SkLookupPro
         out: dict[str, int | float] = dict(program.stats)
         out["rules"] = len(program.rules())
         out["map_size"] = len(program.map)
+        out["map_replacements"] = program.map.replacements
         return out
 
     registry.attach(prefix, collect)
+
+
+def watch_lookup_path(registry: MetricsRegistry, prefix: str, path: "LookupPath") -> None:
+    """Per-stage dispatch counters plus the batch-path accounting.
+
+    Covers the Figure 5a pipeline: packets resolved per stage (connected /
+    sk_lookup / listener / wildcard / dropped / miss), how many batches the
+    batched entry point ran, and how many packets they carried."""
+
+    def collect() -> dict[str, int | float]:
+        out: dict[str, int | float] = {
+            f"stage.{stage.value}": count for stage, count in path.stage_counts.items()
+        }
+        out["batches"] = path.batches
+        out["batch_packets"] = path.batch_packets
+        out["programs"] = len(path.programs())
+        return out
+
+    registry.attach(prefix, collect)
+
+
+def time_lookup_path(
+    registry: MetricsRegistry,
+    name: str,
+    path: "LookupPath",
+    timer: "Callable[[], float]",
+):
+    """Attach a dispatch-latency histogram to a lookup path's batch entry.
+
+    ``timer`` is a float-seconds callable — benchmarks pass
+    ``time.perf_counter``.  It is *injected* rather than imported here so
+    simulation code stays wall-clock-free (the DT001 lint runs over this
+    package); only measurement harnesses opt into real time.  Each
+    ``dispatch_batch`` call observes its mean per-packet latency.
+    """
+    hist = registry.histogram(
+        name,
+        buckets=DISPATCH_LATENCY_BUCKETS,
+        help="mean per-packet dispatch latency per batch (real seconds)",
+    )
+    path.timer = timer
+    path.latency_hist = hist
+    return hist
 
 
 def watch_fault_timeline(registry: MetricsRegistry, prefix: str, timeline: "FaultTimeline") -> None:
@@ -130,9 +189,14 @@ def watch_cdn(registry: MetricsRegistry, cdn: "CDN", prefix: str = "cdn") -> Non
                 out["attached"] = 1
                 out["rules"] = len(program.rules())
                 out["map_size"] = len(program.map)
+                out["map_replacements"] = program.map.replacements
                 return out
 
             registry.attach(f"{prefix}.{dc_name}.sklookup.{server_name}", sk_collect)
+            watch_lookup_path(
+                registry, f"{prefix}.{dc_name}.lookup.{server_name}",
+                server.lookup_path,
+            )
             node = dc.cache.nodes().get(server_name)
             if node is not None:
                 watch_cache_node_stats(

@@ -1,13 +1,15 @@
 """Socket substrate: BSD socket table, kernel lookup path, and sk_lookup."""
 
+from .compiled import CompiledProgram
 from .errors import (
     AddressInUseError,
     InvalidSocketStateError,
     ProgramError,
+    ProgramNotAttachedError,
     SocketError,
     VerifierError,
 )
-from .lookup import DispatchResult, LookupPath, LookupStage, flow_hash
+from .lookup import DispatchResult, Engine, LookupPath, LookupStage, flow_hash
 from .nat import CarrierGradeNAT, NatBinding, NatExhaustedError
 from .sklookup import (
     MAX_RULES_PER_PROGRAM,
@@ -27,11 +29,14 @@ from .socktable import (
 
 __all__ = [
     "AddressInUseError",
+    "CompiledProgram",
     "InvalidSocketStateError",
     "ProgramError",
+    "ProgramNotAttachedError",
     "SocketError",
     "VerifierError",
     "DispatchResult",
+    "Engine",
     "LookupPath",
     "LookupStage",
     "flow_hash",

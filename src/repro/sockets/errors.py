@@ -7,6 +7,7 @@ __all__ = [
     "AddressInUseError",
     "InvalidSocketStateError",
     "ProgramError",
+    "ProgramNotAttachedError",
     "VerifierError",
 ]
 
@@ -31,6 +32,16 @@ class InvalidSocketStateError(SocketError):
 
 class ProgramError(SocketError):
     """An sk_lookup program misbehaved at dispatch time."""
+
+
+class ProgramNotAttachedError(ProgramError):
+    """Detach of a program the lookup path never attached (or already lost).
+
+    A bare ``list.remove`` ValueError leaked here before — indistinguishable
+    from any other bad argument for callers tearing down listening state
+    during failover.  The message names the program, mirroring the typed
+    ``UnknownServerError`` the ECMP membership path raises.
+    """
 
 
 class VerifierError(SocketError):

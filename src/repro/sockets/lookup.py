@@ -6,18 +6,44 @@ socket lookup; then the exact listener; then the INADDR_ANY wildcard; then
 miss.  :class:`LookupPath` implements exactly that pipeline over a
 :class:`~repro.sockets.socktable.SocketTable`, with per-stage counters so
 experiments can show where packets resolve.
+
+Two engines execute the sk_lookup stage:
+
+``Engine.COMPILED`` (the default)
+    each program's rule list lowered to an indexed matcher
+    (:mod:`repro.sockets.compiled`) — constant probes per packet;
+``Engine.INTERPRETER``
+    the faithful rule-by-rule scan of :meth:`SkLookupProgram.run`,
+    kept for differential testing and the interpreter-vs-compiled
+    benchmarks.
+
+Both produce identical verdicts and identical program stats; the
+differential property suite enforces it.  :meth:`LookupPath.dispatch_batch`
+is the high-throughput entry: compiled forms are fetched once per batch
+(not per packet), flow hashes can be supplied precomputed so the edge
+pipeline hashes each packet exactly once, and per-batch counters plus an
+optional dispatch-latency histogram feed :mod:`repro.obs`.
 """
 
 from __future__ import annotations
 
 import enum
+from collections.abc import Callable, Sequence
 from dataclasses import dataclass
 
 from ..netsim.packet import Packet
+from .errors import ProgramNotAttachedError
 from .sklookup import SkLookupProgram, Verdict
 from .socktable import Socket, SocketTable
 
-__all__ = ["LookupStage", "DispatchResult", "LookupPath", "flow_hash"]
+__all__ = ["Engine", "LookupStage", "DispatchResult", "LookupPath", "flow_hash"]
+
+
+class Engine(str, enum.Enum):
+    """Which executor runs attached sk_lookup programs."""
+
+    INTERPRETER = "interpreter"
+    COMPILED = "compiled"
 
 
 class LookupStage(enum.Enum):
@@ -45,7 +71,9 @@ def flow_hash(packet: Packet) -> int:
     """A deterministic per-flow hash (kernel: jhash on the flow key).
 
     Used for SO_REUSEPORT member selection and by the ECMP router; stable
-    across calls for the same 5-tuple.
+    across calls for the same 5-tuple.  The edge pipeline computes it once
+    per packet and threads it through ECMP, L4LB, and listener selection
+    (see :meth:`~repro.edge.datacenter.Datacenter.connect`).
     """
     t = packet.tuple5
     h = 0xCBF29CE484222325
@@ -71,10 +99,22 @@ class LookupPath:
     the kernel's multi-program semantics.
     """
 
-    def __init__(self, table: SocketTable) -> None:
+    def __init__(self, table: SocketTable, engine: Engine | str = Engine.COMPILED) -> None:
         self.table = table
+        self.engine = Engine(engine)
         self._programs: list[SkLookupProgram] = []
         self.stage_counts: dict[LookupStage, int] = {stage: 0 for stage in LookupStage}
+        #: Batch accounting, read by :func:`repro.obs.adapters.watch_lookup_path`.
+        self.batches = 0
+        self.batch_packets = 0
+        #: Optional dispatch-latency hookup (see
+        #: :func:`repro.obs.adapters.time_lookup_path`): ``timer`` is a
+        #: float-seconds callable supplied by *measurement* code — the
+        #: simulation itself never reads the wall clock — and
+        #: ``latency_hist`` receives one mean-per-packet observation per
+        #: batch.
+        self.timer: Callable[[], float] | None = None
+        self.latency_hist = None
 
     # -- program management ------------------------------------------------
 
@@ -84,41 +124,116 @@ class LookupPath:
         self._programs.append(program)
 
     def detach(self, program: SkLookupProgram) -> None:
-        self._programs.remove(program)
+        """Remove an attached program; typed error when it was never here."""
+        try:
+            self._programs.remove(program)
+        except ValueError:
+            attached = ", ".join(p.name for p in self._programs) or "none"
+            raise ProgramNotAttachedError(
+                f"program {program.name} is not attached to this lookup path "
+                f"(attached: {attached})"
+            ) from None
 
     def programs(self) -> tuple[SkLookupProgram, ...]:
         return tuple(self._programs)
 
+    def _runners(self) -> list[Callable[[Packet], tuple[Verdict, Socket | None]]]:
+        """Per-program executors for the configured engine.
+
+        Fetched once per dispatch call (once per *batch* on the batch
+        path), which is also where compiled-form invalidation is checked —
+        rule changes mid-batch are not observed, exactly like a kernel
+        program swap is atomic per packet.
+        """
+        if self.engine is Engine.COMPILED:
+            return [program.compiled().run for program in self._programs]
+        return [program.run for program in self._programs]
+
     # -- dispatch ------------------------------------------------------------
 
-    def dispatch(self, packet: Packet, deliver: bool = True) -> DispatchResult:
+    def dispatch(
+        self,
+        packet: Packet,
+        deliver: bool = True,
+        flow_hash: int | None = None,
+    ) -> DispatchResult:
         """Find the receiving socket for ``packet`` (and enqueue it).
 
         ``deliver=False`` performs lookup only — benchmarks use it to
-        measure pure dispatch cost without queue churn.
+        measure pure dispatch cost without queue churn.  ``flow_hash``
+        reuses a hash the caller already computed (ECMP ingress computes
+        it for routing; listener selection must not pay for it twice).
         """
-        result = self._lookup(packet)
+        result = self._lookup(packet, self._runners(), flow_hash)
         self.stage_counts[result.stage] += 1
         if deliver and result.socket is not None:
             result.socket.deliver(packet)
         return result
 
-    def _lookup(self, packet: Packet) -> DispatchResult:
+    def dispatch_batch(
+        self,
+        packets: Sequence[Packet],
+        deliver: bool = True,
+        flow_hashes: Sequence[int] | None = None,
+    ) -> list[DispatchResult]:
+        """Dispatch many packets through one engine/program setup.
+
+        The batch entry point hoists per-packet overhead: compiled program
+        forms (and their invalidation check) are fetched once, stage
+        counters are folded in once, and ``flow_hashes`` — parallel to
+        ``packets`` — lets the edge pipeline reuse the hashes its ECMP
+        stage already computed.  Returns one :class:`DispatchResult` per
+        packet, in order; semantics are exactly ``dispatch`` in a loop.
+        """
+        timer = self.timer
+        started = timer() if timer is not None else 0.0
+        runners = self._runners()
+        lookup = self._lookup
+        results: list[DispatchResult] = []
+        append = results.append
+        if flow_hashes is None:
+            for packet in packets:
+                result = lookup(packet, runners, None)
+                append(result)
+                if deliver and result.socket is not None:
+                    result.socket.deliver(packet)
+        else:
+            for packet, fh in zip(packets, flow_hashes):
+                result = lookup(packet, runners, fh)
+                append(result)
+                if deliver and result.socket is not None:
+                    result.socket.deliver(packet)
+        counts = self.stage_counts
+        for result in results:
+            counts[result.stage] += 1
+        self.batches += 1
+        self.batch_packets += len(results)
+        if timer is not None and self.latency_hist is not None and results:
+            self.latency_hist.observe((timer() - started) / len(results))
+        return results
+
+    def _lookup(
+        self,
+        packet: Packet,
+        runners: list[Callable[[Packet], tuple[Verdict, Socket | None]]],
+        fh: int | None = None,
+    ) -> DispatchResult:
         # Stage 1: connected sockets (4-tuple match).
         connected = self.table.find_connected(packet)
         if connected is not None:
             return DispatchResult(LookupStage.CONNECTED, connected)
 
         # Stage 2: sk_lookup programs, attach order.
-        for program in self._programs:
-            verdict, sock = program.run(packet)
+        for run in runners:
+            verdict, sock = run(packet)
             if verdict is Verdict.DROP:
                 return DispatchResult(LookupStage.DROPPED, None)
             if sock is not None:
                 return DispatchResult(LookupStage.SK_LOOKUP, sock)
 
         # Stages 3+4: exact listener, then wildcard.
-        fh = flow_hash(packet)
+        if fh is None:
+            fh = flow_hash(packet)
         sock = self.table.find_listener(packet.protocol, packet.dst, packet.dst_port, flow_hash=fh)
         if sock is not None:
             stage = LookupStage.WILDCARD if sock.is_wildcard else LookupStage.LISTENER

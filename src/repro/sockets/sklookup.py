@@ -66,14 +66,32 @@ class SockArray:
         self.size = size
         self._slots: dict[int, Socket] = {}
         self.updates = 0
+        #: Updates that silently displaced a *different live* socket.  A
+        #: replacement is a legitimate operation (re-pointing a slot is the
+        #: §3.3 mechanism) but an unnoticed one is how a misconfigured
+        #: activation service blackholes a service — so it is counted, and
+        #: surfaced through the sk_lookup metrics collector.
+        self.replacements = 0
 
     def update(self, key: int, sock: Socket) -> None:
-        """Install/replace a socket reference (bpf_map_update_elem)."""
+        """Install/replace a socket reference (bpf_map_update_elem).
+
+        Replacing an occupied slot is allowed — the kernel map makes no
+        distinction — but when the displaced socket is still listening the
+        swap is counted in :attr:`replacements` so operators can tell a
+        deliberate re-point from a collision."""
         self._check_key(key)
         if sock.state is not SocketState.LISTENING:
             raise ProgramError(
                 f"map {self.name}[{key}]: socket fd={sock.fd} is not listening"
             )
+        previous = self._slots.get(key)
+        if (
+            previous is not None
+            and previous is not sock
+            and previous.state is SocketState.LISTENING
+        ):
+            self.replacements += 1
         self._slots[key] = sock
         self.updates += 1
 
@@ -166,8 +184,14 @@ class SkLookupProgram:
         self._rules: list[MatchRule] = []
         self.stats: dict[str, int] = {
             "runs": 0, "redirects": 0, "drops": 0, "fallthroughs": 0,
-            "rules_removed": 0,
+            "rules_removed": 0, "compiles": 0,
         }
+        # Rule-list generation counter: bumped on every add/remove so the
+        # compiled form (see :meth:`compiled`) knows when it is stale.  Map
+        # content changes deliberately do NOT bump it — the compiled form
+        # reads the sock array live, as the kernel program reads its map.
+        self._rule_version = 0
+        self._compiled_cache = None
         for rule in rules or []:
             self.add_rule(rule)
 
@@ -178,6 +202,7 @@ class SkLookupProgram:
         if len(self._rules) >= MAX_RULES_PER_PROGRAM:
             raise VerifierError(f"program {self.name}: rule limit reached")
         self._rules.append(rule)
+        self._rule_version += 1
 
     def remove_rules(self, label: str) -> int:
         """Remove all rules carrying ``label``; returns how many.
@@ -195,10 +220,38 @@ class SkLookupProgram:
         self._rules = [r for r in self._rules if r.label != label]
         removed = before - len(self._rules)
         self.stats["rules_removed"] += removed
+        if removed:
+            self._rule_version += 1
         return removed
 
     def rules(self) -> tuple[MatchRule, ...]:
         return tuple(self._rules)
+
+    @property
+    def rule_version(self) -> int:
+        """Monotone rule-list generation; compiled forms are tagged with it."""
+        return self._rule_version
+
+    # -- compilation -------------------------------------------------------------
+
+    def compiled(self):
+        """The program's compiled form, rebuilt only when rules changed.
+
+        Returns a :class:`~repro.sockets.compiled.CompiledProgram` whose
+        verdicts are exactly the interpreter's (differential property
+        tests enforce this).  Rebuilds — counted in ``stats["compiles"]``
+        — happen on the first dispatch after :meth:`add_rule` or
+        :meth:`remove_rules`; sock-array updates never invalidate, and a
+        crash/restore that swaps in a fresh program starts from a fresh
+        cache by construction.
+        """
+        from .compiled import CompiledProgram  # deferred: avoids import cycle
+
+        cache = self._compiled_cache
+        if cache is None or cache.version != self._rule_version:
+            cache = self._compiled_cache = CompiledProgram(self)
+            self.stats["compiles"] += 1
+        return cache
 
     # -- dispatch ----------------------------------------------------------------
 

@@ -20,7 +20,34 @@ from collections.abc import Iterator
 from .hostnames import HostnameUniverse
 from .zipf import ZipfDistribution
 
-__all__ = ["RequestStream", "PageView", "Session", "SessionGenerator"]
+__all__ = [
+    "RequestStream",
+    "PageView",
+    "Session",
+    "SessionGenerator",
+    "batched",
+]
+
+
+def batched(items: Iterator[str] | list[str], batch_size: int) -> Iterator[list[str]]:
+    """Chunk any iterable into lists of ``batch_size`` (last may be short).
+
+    The batching primitive under every batched driver: generators stay
+    lazy, so a million-request workload never materialises at once — each
+    batch is built, pushed through a ``*_batch`` API, and dropped.
+    """
+    if batch_size <= 0:
+        raise ValueError("batch_size must be positive")
+    batch: list = []
+    append = batch.append
+    for item in items:
+        append(item)
+        if len(batch) >= batch_size:
+            yield batch
+            batch = []
+            append = batch.append
+    if batch:
+        yield batch
 
 
 @dataclass(frozen=True, slots=True)
@@ -68,6 +95,23 @@ class RequestStream:
         while emitted < n:
             yield self.universe.site(self.zipf.sample(rng))
             emitted += 1
+
+    def sample_batches(
+        self,
+        n: int,
+        seed: int,
+        batch_size: int = 1024,
+        include_assets: bool = True,
+    ) -> Iterator[list[str]]:
+        """Yield ``n`` request hostnames in ``batch_size`` chunks.
+
+        The batched workload driver: experiments push each chunk through
+        the edge's ``connect_batch``/``serve_batch`` (or the lookup path's
+        ``dispatch_batch``) so runs of millions of requests pay per-batch,
+        not per-request, orchestration overhead — and never hold more than
+        one batch in memory.
+        """
+        return batched(self.sample_hostnames(n, seed, include_assets), batch_size)
 
 
 class SessionGenerator:

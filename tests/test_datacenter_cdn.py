@@ -71,6 +71,92 @@ class TestDatacenterPipeline:
         with pytest.raises(ValueError):
             TrafficLog(sample_rate=1.5)
 
+    def test_sampling_is_flow_coherent(self):
+        """Bugfix: the log used to flip an independent coin per record, so
+        a sampled connection's requests could land outside the sample and
+        vice versa — requests-per-connection ratios were garbage at any
+        rate < 1.  The coin is now flipped once per connection and every
+        request inherits it: with 3 requests per connection the sampled
+        ratio is *exactly* 3, not 3-in-expectation."""
+        from repro.edge.datacenter import TrafficLog
+        log = TrafficLog(sample_rate=0.3, rng=random.Random(21))
+        addr = POOL_PREFIX.address_at(7)
+        for _ in range(1000):
+            sampled = log.record_connection(addr)
+            for _ in range(3):
+                log.record_request(addr, 100, sampled=sampled)
+        entry = log.by_address()[addr]
+        assert 0 < entry.connections < 1000  # sampling actually thinned
+        assert entry.requests == 3 * entry.connections
+        assert entry.bytes == 100 * entry.requests
+
+    def test_scaled_by_address_inverts_sampling(self):
+        """Horvitz–Thompson scale-up: sampled counts × 1/rate estimate the
+        true totals, and flow coherence keeps the scaled ratio exact."""
+        from repro.edge.datacenter import TrafficLog
+        log = TrafficLog(sample_rate=0.25, rng=random.Random(5))
+        addr = POOL_PREFIX.address_at(3)
+        for _ in range(4000):
+            sampled = log.record_connection(addr)
+            log.record_request(addr, 50, sampled=sampled)
+        scaled = log.scaled_by_address()[addr]
+        assert abs(scaled.connections - 4000) < 4 * (4000 * 0.25) ** 0.5 / 0.25
+        assert scaled.requests == scaled.connections
+        assert abs(log.estimated_total_requests() - 4000) < 1000
+
+    def test_datacenter_requests_inherit_connection_sampling(self, clock):
+        """End to end through connect/serve: per-address requests stay an
+        exact multiple of connections at sample_rate < 1."""
+        from repro.edge.datacenter import TrafficLog
+        cdn, hostnames = make_cdn()
+        cdn.announce_pool(POOL_PREFIX, ports=(443,), mode=ListenMode.SK_LOOKUP)
+        dc = cdn.datacenters["ashburn"]
+        dc.traffic = TrafficLog(sample_rate=0.5, rng=random.Random(17))
+        dst = POOL_PREFIX.address_at(5)
+        for i in range(400):
+            t = FiveTuple(Protocol.TCP, parse_address("100.64.0.1"), 30000 + i, dst, 443)
+            conn = dc.connect(t, ClientHello(sni=hostnames[0]), HTTPVersion.H2)
+            dc.serve(conn, Request(hostnames[0]))
+            dc.serve(conn, Request(hostnames[0]))
+        entry = dc.traffic.by_address()[dst]
+        assert 0 < entry.connections < 400
+        assert entry.requests == 2 * entry.connections
+
+    def test_connect_and_serve_batch_match_sequential(self, clock):
+        """The batched ingress/serve paths are the sequential ones minus
+        per-packet overhead: same owners, same traffic accounting."""
+        cdn_a, hostnames = make_cdn(servers_per_dc=4)
+        cdn_b, _ = make_cdn(servers_per_dc=4)
+        for cdn in (cdn_a, cdn_b):
+            cdn.announce_pool(POOL_PREFIX, ports=(443,), mode=ListenMode.SK_LOOKUP)
+        dc_seq = cdn_a.datacenters["ashburn"]
+        dc_bat = cdn_b.datacenters["ashburn"]
+        requests = [
+            (FiveTuple(Protocol.TCP, parse_address("100.64.0.9"), 20000 + i,
+                       POOL_PREFIX.address_at(i % 32), 443),
+             ClientHello(sni=hostnames[i % len(hostnames)]), HTTPVersion.H2)
+            for i in range(64)
+        ]
+        seq_conns = [dc_seq.connect(*req) for req in requests]
+        bat_conns = dc_bat.connect_batch(requests)
+        assert [dc_seq._conn_owner[c.conn_id] for c in seq_conns] == \
+               [dc_bat._conn_owner[c.conn_id] for c in bat_conns]
+        assert dc_bat.connection_count() == 64
+
+        pairs = [(c, Request(req[1].sni)) for c, req in zip(bat_conns, requests)]
+        responses = dc_bat.serve_batch(pairs)
+        assert all(r.status is Status.OK for r in responses)
+        assert dc_bat.traffic.total_requests() == 64
+
+    def test_serve_batch_unknown_connection_rejected(self, clock):
+        cdn, hostnames = make_cdn()
+        cdn.announce_pool(POOL_PREFIX, ports=(443,), mode=ListenMode.SK_LOOKUP)
+        from repro.web.http import Connection
+        from repro.web.tls import Certificate
+        ghost = Connection(HTTPVersion.H2, POOL_PREFIX.first, 443, Certificate("x"))
+        with pytest.raises(RuntimeError):
+            cdn.datacenters["ashburn"].serve_batch([(ghost, Request(hostnames[0]))])
+
 
 class TestCDNEndToEnd:
     def test_fetch_via_policy_dns(self, clock):

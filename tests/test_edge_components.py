@@ -87,6 +87,47 @@ class TestECMP:
         router.route(packet(sport=2))  # still routable
         assert router.stats.routed == 2
 
+    def test_weight_ties_break_on_name_not_list_position(self):
+        """Bugfix: HRW ties used to break on list position (``max`` keeps
+        the earliest element), so insertion order leaked into routing.  A
+        degenerate weight function makes every flow a tie: the winner must
+        be the max server *name*, whatever order members joined in."""
+        tied = lambda server, fh: 0  # noqa: E731
+        for order in (["a", "b", "c"], ["c", "b", "a"], ["b", "c", "a"]):
+            router = ECMPRouter(list(order), weight_fn=tied)
+            assert router.route(packet(sport=7)) == "c", order
+
+    def test_tied_flows_stable_across_drain_and_restore(self):
+        """Drain a server and re-add it (failover's remove-then-restore):
+        with position-dependent tie-breaks the restored member re-enters at
+        the tail and every tied flow silently rehomes."""
+        tied = lambda server, fh: 0  # noqa: E731
+        router = ECMPRouter(["a", "b", "c"], weight_fn=tied)
+        before = router.route(packet(sport=9))
+        router.remove_server("a")
+        router.add_server("a")  # now last in the member list
+        assert router.route(packet(sport=9)) == before
+
+    def test_minimal_remap_after_membership_churn(self):
+        """Rendezvous hashing's contract under churn: removing one server
+        remaps exactly that server's flows, and restoring it brings every
+        flow back to its original home — zero collateral movement."""
+        servers = [f"s{i}" for i in range(8)]
+        router = ECMPRouter(list(servers))
+        flows = [packet(sport=10000 + i) for i in range(2000)]
+        original = {f.tuple5.src_port: router.route(f) for f in flows}
+        displaced = {p for p, s in original.items() if s == "s3"}
+        assert displaced  # the drained server owned some flows
+
+        router.remove_server("s3")
+        during = {f.tuple5.src_port: router.route(f) for f in flows}
+        moved = {p for p in original if during[p] != original[p]}
+        assert moved == displaced  # only s3's flows moved, all of them
+
+        router.add_server("s3")  # restored at a different list position
+        after = {f.tuple5.src_port: router.route(f) for f in flows}
+        assert after == original  # every flow back where it started
+
 
 class TestL4LB:
     def test_new_flow_follows_ecmp(self):

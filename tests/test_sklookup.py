@@ -4,7 +4,7 @@ import pytest
 
 from repro.netsim.addr import parse_address, parse_prefix
 from repro.netsim.packet import FiveTuple, Packet, Protocol
-from repro.sockets.errors import ProgramError, VerifierError
+from repro.sockets.errors import ProgramError, ProgramNotAttachedError, VerifierError
 from repro.sockets.lookup import LookupPath, LookupStage, flow_hash
 from repro.sockets.sklookup import (
     MAX_RULES_PER_PROGRAM,
@@ -74,6 +74,29 @@ class TestSockArray:
     def test_size_positive(self):
         with pytest.raises(ValueError):
             SockArray(0)
+
+    def test_silent_replacement_is_counted(self, table, listener):
+        """Bugfix: ``update`` over an occupied slot silently dropped the
+        previous socket from the map — correct sk_lookup semantics, but
+        invisible in stats, so a control-plane bug that repeatedly clobbered
+        a live listener's slot left no trace.  Replacements now count."""
+        other = table.bind_listen(Protocol.TCP, parse_address("198.18.0.2"), 80)
+        arr = SockArray(4)
+        arr.update(0, listener)
+        assert arr.replacements == 0
+        arr.update(0, other)  # displaces a live listener
+        assert arr.replacements == 1
+        arr.update(0, other)  # same socket again: not a replacement
+        assert arr.replacements == 1
+
+    def test_replacing_stale_slot_not_counted(self, table, listener):
+        """Overwriting a closed socket's slot is cleanup, not displacement."""
+        other = table.bind_listen(Protocol.TCP, parse_address("198.18.0.2"), 80)
+        arr = SockArray(4)
+        arr.update(0, listener)
+        table.close(listener)
+        arr.update(0, other)
+        assert arr.replacements == 0
 
 
 class TestVerifier:
@@ -324,6 +347,27 @@ class TestLookupPathPipeline:
         path.attach(prog)
         with pytest.raises(ValueError):
             path.attach(prog)
+
+    def test_detach_never_attached_raises_typed_error(self, table):
+        """Bugfix: detaching a program that was never attached leaked a bare
+        ``ValueError`` from ``list.remove`` — indistinguishable from every
+        other ValueError in a failover handler.  It is now a
+        :class:`ProgramNotAttachedError` naming both sides."""
+        attached = SkLookupProgram("live", SockArray(1))
+        stranger = SkLookupProgram("stranger", SockArray(1))
+        path = LookupPath(table)
+        path.attach(attached)
+        with pytest.raises(ProgramNotAttachedError) as err:
+            path.detach(stranger)
+        assert "stranger" in str(err.value) and "live" in str(err.value)
+        assert isinstance(err.value, ProgramError)
+        assert path.programs() == (attached,)  # untouched
+
+    def test_detach_from_empty_path_names_no_programs(self, table):
+        path = LookupPath(table)
+        with pytest.raises(ProgramNotAttachedError) as err:
+            path.detach(SkLookupProgram("p", SockArray(1)))
+        assert "none" in str(err.value)
 
     def test_deliver_enqueues(self, table, listener):
         arr = SockArray(1)
