@@ -1,0 +1,93 @@
+"""E18: chaos soak — randomized fault campaigns vs control-plane invariants.
+
+Claims checked:
+
+* a correctly tuned control plane survives a soak of seeded random fault
+  campaigns (hard outages + gray failures) with **zero** invariant
+  violations;
+* the whole soak is deterministic: same seed, byte-identical reports;
+* a gray drill (PoP-wide 10× serve latency) is drained via the latency
+  path within detection + TTL with no hard probe failure;
+* the pinned mis-tuned-monitor campaign violates and delta-minimizes to
+  its single causal fault.
+"""
+
+import json
+import pathlib
+
+from repro.chaos import (
+    Campaign,
+    ChaosConfig,
+    FaultSpec,
+    minimize_campaign,
+    run_campaign,
+)
+from repro.experiments.chaos_soak import (
+    ChaosSoakConfig,
+    render_chaos_soak_table,
+    run_chaos_soak,
+)
+
+BAD_CAMPAIGN = pathlib.Path(__file__).parent.parent / "tests" / "fixtures" / "chaos_bad_campaign.json"
+SMOKE_CHAOS = ChaosConfig(horizon=120.0, clients_per_region=2, num_sites=8)
+
+
+def test_chaos_soak_holds_invariants(benchmark, save_table, save_bench):
+    config = ChaosSoakConfig(seed=7, campaigns=8, chaos=SMOKE_CHAOS)
+    outcome = benchmark.pedantic(run_chaos_soak, args=(config,),
+                                 rounds=1, iterations=1)
+    assert outcome.ok, [r.report()["violations"] for r in outcome.results if not r.ok]
+    reports = outcome.reports()
+    save_table("chaos_soak", render_chaos_soak_table(outcome))
+    save_bench(
+        "chaos_soak",
+        campaigns=len(reports),
+        violations=outcome.violation_count,
+        availability_min=min(r["availability"] for r in reports),
+        p99_latency_ms_max=max(r["p99_latency_ms"] for r in reports),
+        sheds_total=sum(r["sheds"] for r in reports),
+        gray_rounds_total=sum(r["gray_rounds"] for r in reports),
+        hedges_total=sum(r["hedges"] for r in reports),
+    )
+
+
+def test_chaos_soak_is_deterministic(benchmark):
+    config = ChaosSoakConfig(seed=11, campaigns=3, chaos=SMOKE_CHAOS)
+    a = run_chaos_soak(config).reports_json()
+    b = run_chaos_soak(config).reports_json()
+    assert a == b
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+
+
+def test_gray_drill_drains_without_hard_failure(benchmark):
+    drill = Campaign("gray-drill", seed=42, faults=(
+        FaultSpec(when=30.0, kind="slow_server", duration=60.0,
+                  params={"pop": "ashburn", "factor": 10.0}),
+    ))
+    result = benchmark.pedantic(run_campaign, args=(drill, SMOKE_CHAOS),
+                                rounds=1, iterations=1)
+    assert result.ok
+    failover = result.timeline.first("failover_triggered")
+    assert failover is not None, "gray failure never drained"
+    # Drained within detection budget + TTL of the slowdown, latency path.
+    assert failover.at <= 30.0 + SMOKE_CHAOS.detection_budget_s + SMOKE_CHAOS.ttl
+    assert result.timeline.first("gray_detected") is not None
+    assert not result.timeline.events(kind="probe_failed")
+    assert "latency" not in {e.kind for e in result.timeline}  # sanity: reason in detail
+    assert "slow" in failover.detail
+
+
+def test_bad_campaign_minimizes_to_causal_fault(benchmark):
+    campaign = Campaign.from_json(BAD_CAMPAIGN.read_text())
+    result = run_campaign(campaign)
+    assert {v.invariant for v in result.violations} >= {"recovery"}
+    minimal = benchmark.pedantic(
+        minimize_campaign, args=(campaign,), kwargs={"invariant": "recovery"},
+        rounds=1, iterations=1,
+    )
+    assert [spec.kind for spec in minimal.minimized.faults] == ["pop_outage"]
+    assert len(minimal.minimized.faults) <= 2
+    # Deterministic replay: the minimized campaign still violates the same way.
+    replay = run_campaign(minimal.minimized)
+    assert any(v.invariant == "recovery" for v in replay.violations)
+    assert json.loads(minimal.minimized.to_json())["seed"] == campaign.seed

@@ -1,0 +1,55 @@
+"""Deterministic chaos campaigns against the simulated deployment.
+
+The paper's robustness argument (§3.4, §6) is a claim about *recovery
+under arbitrary failure*, not about one hand-picked outage — so this
+package stress-tests the control plane the way operators stress real
+fleets: generate randomized-but-seeded fault schedules (**campaigns**),
+replay each against the full simulated deployment, and check a set of
+**invariants** the paper's bounds promise (service meets its SLO outside
+fault windows, recovery lands within detection + TTL, no stale binding is
+served past TTL after a rebind, the monitor does not flap, the dispatch
+stats stay coherent).  Because every campaign is pure data over seeded
+simulation, a violating campaign can be **minimized**: the delta-debugging
+minimizer replays subsets until only the faults that actually cause the
+violation remain.
+
+Layout:
+
+* :mod:`~repro.chaos.generator` — :class:`FaultSpec` / :class:`Campaign`
+  (JSON-round-trippable schedules) and the seeded
+  :class:`CampaignGenerator`;
+* :mod:`~repro.chaos.world` — :class:`ChaosConfig` and the standard
+  two-region deployment campaigns run against;
+* :mod:`~repro.chaos.runner` — :func:`run_campaign` →
+  :class:`CampaignResult` with per-tick samples and a deterministic
+  report dict;
+* :mod:`~repro.chaos.invariants` — :func:`check_invariants` and the
+  individual invariant checkers;
+* :mod:`~repro.chaos.minimizer` — :func:`minimize_campaign` (ddmin).
+"""
+
+from .generator import Campaign, CampaignGenerator, FaultSpec
+from .invariants import INVARIANTS, Violation, check_invariants, fault_windows
+from .minimizer import MinimizationResult, ddmin, minimize_campaign
+from .runner import CampaignResult, ChaosTick, FetchSample, run_campaign
+from .world import ChaosConfig, ChaosWorld, build_world
+
+__all__ = [
+    "FaultSpec",
+    "Campaign",
+    "CampaignGenerator",
+    "ChaosConfig",
+    "ChaosWorld",
+    "build_world",
+    "ChaosTick",
+    "FetchSample",
+    "CampaignResult",
+    "run_campaign",
+    "Violation",
+    "INVARIANTS",
+    "check_invariants",
+    "fault_windows",
+    "MinimizationResult",
+    "ddmin",
+    "minimize_campaign",
+]

@@ -1,0 +1,216 @@
+"""Invariant monitors: what a healthy deployment must satisfy under chaos.
+
+Each invariant is a pure function over a finished
+:class:`~repro.chaos.runner.CampaignResult` — evaluated over the per-tick
+sample stream the runner recorded, so a violation names the simulated
+instant it first held.  Registered checkers (run in sorted-name order):
+
+``availability``
+    Outside every fault window the aggregate success rate meets the SLO.
+    A fault window runs from injection to its *recovery deadline* (see
+    :func:`fault_windows`): faults may break service, but only while they
+    — plus the promised recovery — are in effect.
+``recovery``
+    After each fault episode's deadline the service is fully back: a
+    reverted fault allows ``grace`` past the revert; a fault that never
+    reverts inside the horizon must be mitigated (rebind to standby)
+    within ``ChaosConfig.recovery_bound`` — TTL plus the *declared*
+    detection budget.  This is the invariant that catches a mis-tuned
+    monitor: detection slower than the budget leaves failing ticks past
+    the deadline.
+``stale_binding``
+    §4.4's bound made checkable: once a failover has rebound the policy
+    and a TTL (+ grace) has elapsed, no *freshly dialled* fetch may still
+    land on the old pool's prefix.  Coalesced fetches are exempt —
+    riding an established connection past TTL is the legal
+    ``max(connection lifetime, TTL)`` half of the bound.
+``single_failover``
+    At most one failover per fault episode: the monitor must latch, not
+    flap between pools while a fault oscillates.
+``stats_coherence``
+    The dispatch layer's accounting identities hold whichever engine
+    (interpreter or compiled) served the run: every sk_lookup program's
+    ``runs`` equals its outcomes, every ECMP router's total equals the
+    sum of its per-server counts.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+from dataclasses import dataclass
+from typing import TYPE_CHECKING
+
+from .world import PRIMARY_PREFIX
+
+if TYPE_CHECKING:
+    from .generator import Campaign
+    from .runner import CampaignResult
+    from .world import ChaosConfig
+
+__all__ = ["Violation", "INVARIANTS", "check_invariants", "fault_windows"]
+
+
+@dataclass(frozen=True, slots=True)
+class Violation:
+    """One invariant breach: which invariant, when, and the evidence."""
+
+    invariant: str
+    at: float
+    detail: str
+
+
+def fault_windows(campaign: "Campaign", config: "ChaosConfig") -> list[tuple[float, float]]:
+    """Per-fault ``(inject, recovery deadline)`` intervals.
+
+    A fault that reverts inside the horizon must be healed ``grace_s``
+    after the revert; a permanent (or horizon-crossing) fault must be
+    *mitigated* within ``recovery_bound`` of injection — the §6 rebind is
+    the only exit, so the deadline does not wait for a revert that never
+    comes.
+    """
+    windows = []
+    for spec in campaign.faults:
+        end = None if spec.duration is None else spec.when + spec.duration
+        if end is not None and end < config.horizon:
+            deadline = end + config.grace_s
+        else:
+            deadline = spec.when + config.recovery_bound
+        windows.append((spec.when, deadline))
+    return sorted(windows)
+
+
+def _episodes(windows: list[tuple[float, float]]) -> list[tuple[float, float]]:
+    """Merge overlapping fault windows into disjoint episodes."""
+    merged: list[tuple[float, float]] = []
+    for start, end in windows:
+        if merged and start <= merged[-1][1]:
+            merged[-1] = (merged[-1][0], max(merged[-1][1], end))
+        else:
+            merged.append((start, end))
+    return merged
+
+
+def _inside(t: float, windows: list[tuple[float, float]]) -> bool:
+    return any(start <= t <= end for start, end in windows)
+
+
+# -- checkers ------------------------------------------------------------------
+
+
+def _check_availability(result: "CampaignResult") -> list[Violation]:
+    windows = fault_windows(result.campaign, result.config)
+    outside = [s for s in result.ticks if not _inside(s.t, windows)]
+    successes = sum(s.successes for s in outside)
+    total = successes + sum(s.failures for s in outside)
+    if not total:
+        return []
+    rate = successes / total
+    if rate >= result.config.slo:
+        return []
+    first_bad = next((s.t for s in outside if s.failures), outside[0].t)
+    return [Violation(
+        "availability", first_bad,
+        f"success rate {rate:.4f} < SLO {result.config.slo} outside fault windows "
+        f"({total - successes}/{total} failed)",
+    )]
+
+
+def _check_recovery(result: "CampaignResult") -> list[Violation]:
+    episodes = _episodes(fault_windows(result.campaign, result.config))
+    violations = []
+    for i, (start, deadline) in enumerate(episodes):
+        next_start = episodes[i + 1][0] if i + 1 < len(episodes) else float("inf")
+        late = [s for s in result.ticks
+                if deadline < s.t < next_start and s.failures]
+        if late:
+            violations.append(Violation(
+                "recovery", late[0].t,
+                f"episode starting t={start:g} still failing "
+                f"{late[0].t - deadline:.0f}s past its recovery deadline "
+                f"t={deadline:g} ({len(late)} failing tick(s))",
+            ))
+    return violations
+
+
+def _check_stale_binding(result: "CampaignResult") -> list[Violation]:
+    failover = result.timeline.first("failover_triggered")
+    if failover is None:
+        return []
+    boundary = failover.at + result.config.ttl + result.config.grace_s
+    for fetch in result.fetches:
+        if not fetch.ok or fetch.coalesced or fetch.t <= boundary:
+            continue
+        if fetch.address is not None and fetch.address in PRIMARY_PREFIX:
+            return [Violation(
+                "stale_binding", fetch.t,
+                f"fresh dial to {fetch.address} (old pool {PRIMARY_PREFIX}) "
+                f"{fetch.t - failover.at:.0f}s after failover — past "
+                f"TTL {result.config.ttl}s + grace",
+            )]
+    return []
+
+
+def _check_single_failover(result: "CampaignResult") -> list[Violation]:
+    failovers = result.timeline.events(kind="failover_triggered")
+    if len(failovers) <= 1:
+        return []
+    episodes = _episodes(fault_windows(result.campaign, result.config))
+    violations = []
+    for start, end in episodes:
+        inside = [f for f in failovers if start <= f.at <= end]
+        if len(inside) > 1:
+            violations.append(Violation(
+                "single_failover", inside[1].at,
+                f"{len(inside)} failovers within episode "
+                f"[{start:g}, {end:g}] — the monitor is flapping",
+            ))
+    if not violations and len(failovers) > len(episodes):
+        violations.append(Violation(
+            "single_failover", failovers[-1].at,
+            f"{len(failovers)} failovers for {len(episodes)} fault episode(s)",
+        ))
+    return violations
+
+
+def _check_stats_coherence(result: "CampaignResult") -> list[Violation]:
+    horizon = result.config.horizon
+    violations = []
+    for dc_name in sorted(result.cdn.datacenters):
+        dc = result.cdn.datacenters[dc_name]
+        routed = dc.ecmp.stats.routed
+        per_server = sum(dc.ecmp.stats.per_server.values())
+        if routed != per_server:
+            violations.append(Violation(
+                "stats_coherence", horizon,
+                f"{dc_name}: ECMP routed {routed} != per-server sum {per_server}",
+            ))
+        for server_name in sorted(dc.servers):
+            program = dc.servers[server_name]._sk_program
+            if program is None:
+                continue
+            outcomes = (program.stats["redirects"] + program.stats["drops"]
+                        + program.stats["fallthroughs"])
+            if program.stats["runs"] != outcomes:
+                violations.append(Violation(
+                    "stats_coherence", horizon,
+                    f"{dc_name}/{server_name}: sk_lookup runs "
+                    f"{program.stats['runs']} != outcome sum {outcomes}",
+                ))
+    return violations
+
+
+INVARIANTS: dict[str, Callable[["CampaignResult"], list[Violation]]] = {
+    "availability": _check_availability,
+    "recovery": _check_recovery,
+    "stale_binding": _check_stale_binding,
+    "single_failover": _check_single_failover,
+    "stats_coherence": _check_stats_coherence,
+}
+
+
+def check_invariants(result: "CampaignResult") -> tuple[Violation, ...]:
+    """Run every registered invariant; violations in (name, time) order."""
+    violations: list[Violation] = []
+    for name in sorted(INVARIANTS):
+        violations.extend(INVARIANTS[name](result))
+    return tuple(sorted(violations, key=lambda v: (v.invariant, v.at)))

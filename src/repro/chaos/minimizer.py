@@ -1,0 +1,104 @@
+"""Delta-debugging: shrink a violating campaign to its causal core.
+
+A generated campaign that trips an invariant usually carries bystander
+faults — schedules are sampled, not crafted.  Because a campaign is pure
+data over a deterministic replay (same seed → same world → same report),
+Zeller's *ddmin* applies directly: test subsets of the fault list, keep
+any subset that still produces the **same invariant violation**, and
+converge to a 1-minimal schedule — removing any single remaining fault
+makes the violation disappear.  That minimal schedule is the bug report:
+"these faults, in this order, break this promise."
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Sequence
+from dataclasses import dataclass
+
+from .generator import Campaign, FaultSpec
+from .runner import run_campaign
+from .world import ChaosConfig
+
+__all__ = ["MinimizationResult", "ddmin", "minimize_campaign"]
+
+
+@dataclass(frozen=True, slots=True)
+class MinimizationResult:
+    original: Campaign
+    minimized: Campaign
+    invariant: str          # the violation the minimizer preserved
+    tests_run: int          # replays spent shrinking
+
+    @property
+    def removed(self) -> int:
+        return len(self.original.faults) - len(self.minimized.faults)
+
+
+def ddmin(items: Sequence, test: Callable[[Sequence], bool]) -> list:
+    """Zeller's ddmin over ``items``: smallest sublist where ``test`` holds.
+
+    ``test(items)`` must be True (the caller verifies the full input
+    fails).  Subsets preserve relative order — fault schedules are
+    order-sensitive.  The result is 1-minimal: dropping any single
+    element makes ``test`` False.
+    """
+    items = list(items)
+    granularity = 2
+    while len(items) >= 2:
+        size = (len(items) + granularity - 1) // granularity
+        chunks = [items[i:i + size] for i in range(0, len(items), size)]
+        reduced = False
+        for i, chunk in enumerate(chunks):
+            if test(chunk):
+                items, granularity, reduced = chunk, 2, True
+                break
+            complement = [x for j, c in enumerate(chunks) if j != i for x in c]
+            if complement and test(complement):
+                items = complement
+                granularity = max(granularity - 1, 2)
+                reduced = True
+                break
+        if not reduced:
+            if granularity >= len(items):
+                break
+            granularity = min(len(items), granularity * 2)
+    return items
+
+
+def minimize_campaign(
+    campaign: Campaign,
+    base_config: ChaosConfig | None = None,
+    invariant: str | None = None,
+) -> MinimizationResult:
+    """Shrink ``campaign`` to the minimal schedule still violating.
+
+    ``invariant`` pins which violation to preserve; by default the first
+    (most severe by the invariant ordering) violation of the full run.
+    Raises ``ValueError`` if the campaign does not violate at all — there
+    is nothing to minimize.
+    """
+    first = run_campaign(campaign, base_config)
+    if not first.violations:
+        raise ValueError(f"campaign {campaign.name!r} violates no invariant")
+    target = invariant or first.violations[0].invariant
+    if not any(v.invariant == target for v in first.violations):
+        raise ValueError(
+            f"campaign {campaign.name!r} does not violate {target!r} "
+            f"(it violates: {sorted({v.invariant for v in first.violations})})"
+        )
+
+    tests = 0
+
+    def still_violates(subset: Sequence[FaultSpec]) -> bool:
+        nonlocal tests
+        tests += 1
+        result = run_campaign(campaign.with_faults(tuple(subset)), base_config)
+        return any(v.invariant == target for v in result.violations)
+
+    minimal = ddmin(list(campaign.faults), still_violates)
+    return MinimizationResult(
+        original=campaign,
+        minimized=campaign.with_faults(tuple(minimal)),
+        invariant=target,
+        tests_run=tests,
+    )

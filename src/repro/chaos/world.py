@@ -1,0 +1,196 @@
+"""The standard deployment chaos campaigns run against.
+
+One fixed, seed-parameterized world keeps campaigns comparable and
+replayable: the two-region topology of :mod:`repro.experiments.failover`
+(the ``svc`` pool originated at a single primary PoP, a standby prefix
+pre-advertised everywhere — §6's instant-rebind setup), plus the pieces
+chaos needs on top:
+
+* every client resolver's upstream path is wrapped in a
+  :class:`~repro.faults.transport.FlakyTransport` registered as
+  ``resolver:<asn>`` so campaigns can degrade or brown out DNS per client
+  or fleet-wide;
+* client resolvers retry with capped full-jitter backoff (small simulated
+  budgets, so a browned-out tick stays bounded);
+* the :class:`~repro.faults.monitor.HealthMonitor` runs with gray-failure
+  detection on (latency baseline + hedged probes).
+
+Everything is seeded: build the same world twice, get the same world.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field, replace
+
+from ..clock import Clock
+from ..core.agility import AgilityController
+from ..core.authoritative import PolicyAnswerSource
+from ..core.policy import Policy, PolicyEngine
+from ..core.pool import AddressPool
+from ..dns.resolver import RecursiveResolver
+from ..dns.stub import StubResolver
+from ..edge.cdn import CDN
+from ..edge.server import ListenMode
+from ..faults.events import FaultTimeline
+from ..faults.injector import FaultTargets
+from ..faults.monitor import HealthMonitor
+from ..faults.transport import FlakyTransport
+from ..hashing import stable_hash
+from ..netsim.addr import parse_prefix
+from ..netsim.anycast import build_regional_topology
+from ..obs import MetricsRegistry
+from ..obs.adapters import watch_fault_timeline
+from ..web.client import BrowserClient
+from ..workload.hostnames import HostnameUniverse, UniverseConfig
+
+__all__ = [
+    "PRIMARY_PREFIX",
+    "STANDBY_PREFIX",
+    "PRIMARY_POP",
+    "STANDBY_POP",
+    "ChaosConfig",
+    "ChaosWorld",
+    "build_world",
+    "resolver_transport_names",
+]
+
+PRIMARY_PREFIX = parse_prefix("192.0.2.0/24")
+STANDBY_PREFIX = parse_prefix("203.0.113.0/24")
+PRIMARY_POP = "ashburn"
+STANDBY_POP = "london"
+REGIONS = (("us", PRIMARY_POP), ("eu", STANDBY_POP))
+
+
+@dataclass(frozen=True, slots=True)
+class ChaosConfig:
+    """Tunables of the chaos world — and the bounds invariants enforce.
+
+    ``detection_budget_s`` is the *declared* detection SLO, deliberately
+    independent of how the monitor is tuned: the recovery invariant holds
+    the deployment to ``TTL + detection budget + grace``, so a mis-tuned
+    monitor (threshold so high it detects late or never) is a violation
+    rather than a silently relaxed bound.
+    """
+
+    ttl: int = 20
+    probe_interval: float = 5.0
+    failure_threshold: int = 1
+    latency_factor: float = 3.0
+    gray_threshold: int = 2
+    horizon: float = 180.0
+    clients_per_region: int = 3
+    num_sites: int = 12
+    slo: float = 0.99             # availability floor outside fault windows
+    grace_s: float = 5.0          # measurement-grain slack on every bound
+    detection_budget_s: float = 10.0
+
+    @property
+    def recovery_bound(self) -> float:
+        """§4.4's binding-lifetime promise plus the declared detection SLO:
+        after a fault (or its failover), full service within one TTL of the
+        rebind, the rebind within the detection budget of the fault."""
+        return self.ttl + self.detection_budget_s + self.grace_s
+
+    def apply(self, overrides: dict) -> "ChaosConfig":
+        """Campaign-level overrides (unknown keys rejected by replace)."""
+        return replace(self, **overrides) if overrides else self
+
+
+def resolver_transport_names(config: ChaosConfig) -> list[str]:
+    """The ``resolver:<asn>`` FlakyTransport names the world registers —
+    the generator samples transport-fault targets from this list."""
+    return [
+        f"resolver:eyeball:{region}:{i}"
+        for region, _ in REGIONS
+        for i in range(config.clients_per_region)
+    ]
+
+
+@dataclass(slots=True)
+class ChaosWorld:
+    """Everything a campaign run touches, built from (config, seed)."""
+
+    config: ChaosConfig
+    clock: Clock
+    cdn: CDN
+    universe: HostnameUniverse
+    engine: PolicyEngine
+    controller: AgilityController
+    monitor: HealthMonitor
+    targets: FaultTargets
+    timeline: FaultTimeline
+    registry: MetricsRegistry
+    clients: list[tuple[str, BrowserClient]] = field(default_factory=list)
+
+
+def build_world(config: ChaosConfig, seed: int) -> ChaosWorld:
+    clock = Clock()
+    timeline = FaultTimeline()
+    registry = MetricsRegistry(clock)
+    watch_fault_timeline(registry, "faults", timeline)
+
+    universe = HostnameUniverse(UniverseConfig(
+        num_hostnames=config.num_sites, assets_per_site=1, seed=seed,
+    ))
+    network = build_regional_topology(
+        {region: [pop] for region, pop in REGIONS},
+        clients_per_region=config.clients_per_region,
+        rng=random.Random(seed),
+    )
+    cdn = CDN(network, universe.registry, universe.origins, servers_per_dc=2)
+    cdn.provision_certificates()
+    cdn.announce_pool(PRIMARY_PREFIX, ports=(443,), mode=ListenMode.SK_LOOKUP,
+                      pops=[PRIMARY_POP])
+    cdn.announce_pool(STANDBY_PREFIX, ports=(443,), mode=ListenMode.SK_LOOKUP)
+
+    engine = PolicyEngine(random.Random(seed + 1))
+    engine.add(Policy("svc", AddressPool(PRIMARY_PREFIX, name="primary"),
+                      ttl=config.ttl))
+    cdn.set_answer_source(PolicyAnswerSource(engine, universe.registry))
+    cdn.attach_observability(registry=registry)
+    controller = AgilityController(engine, clock)
+
+    monitor = HealthMonitor(
+        cdn, clock, controller, "svc",
+        probe_hostname=universe.sites[0],
+        vantages=[f"eyeball:{region}:0" for region, _ in REGIONS],
+        failover_pool=AddressPool(STANDBY_PREFIX, name="standby"),
+        probe_interval=config.probe_interval,
+        failure_threshold=config.failure_threshold,
+        latency_factor=config.latency_factor,
+        gray_threshold=config.gray_threshold,
+        timeline=timeline,
+        rng=random.Random(seed + 3),
+    )
+
+    targets = FaultTargets(cdn=cdn)
+    world = ChaosWorld(
+        config=config, clock=clock, cdn=cdn, universe=universe, engine=engine,
+        controller=controller, monitor=monitor, targets=targets,
+        timeline=timeline, registry=registry,
+    )
+    for region, _ in REGIONS:
+        for i in range(config.clients_per_region):
+            asn = f"eyeball:{region}:{i}"
+            flaky = FlakyTransport(
+                cdn.dns_transport(asn),
+                rng=random.Random(stable_hash("chaos-flaky", asn, seed) & 0xFFFFFFFF),
+                clock=clock,
+                name=f"resolver:{asn}",
+            )
+            targets.transports[f"resolver:{asn}"] = flaky
+            # Small retry budgets: survive a browned-out path without a
+            # single tick's DNS work inflating the simulated clock much.
+            resolver = RecursiveResolver(
+                f"r-{asn}", clock, flaky, asn=asn,
+                rng=random.Random(stable_hash("chaos-resolver", asn, seed) & 0xFFFFFFFF),
+                max_retries=2, timeout_s=0.05,
+                backoff_base_s=0.05, backoff_cap_s=0.2,
+            )
+            stub = StubResolver(f"s-{asn}", clock, resolver)
+            world.clients.append((asn, BrowserClient(
+                f"c-{asn}", stub, cdn.transport_for(asn),
+                rng=random.Random(stable_hash("chaos-client", asn, seed) & 0xFFFFFFFF),
+            )))
+    return world

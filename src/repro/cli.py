@@ -13,6 +13,9 @@
     python -m repro coloring
     python -m repro dnsload
     python -m repro failover --ttl 20
+    python -m repro chaos --seed 7 --campaigns 20
+    python -m repro chaos --campaign tests/fixtures/chaos_bad_campaign.json
+    python -m repro chaos --minimize tests/fixtures/chaos_bad_campaign.json
     python -m repro scaling
     python -m repro check [config.json] [--strict]
     python -m repro metrics [--experiment ttl|failover] [--format json|prom]
@@ -105,6 +108,76 @@ def _cmd_failover(args) -> str:
 
     config = FailoverConfig(ttl=args.ttl, probe_interval=args.probe_interval)
     return render_failover_table(run_failover_pair(config))
+
+
+def _cmd_chaos(args) -> str:
+    from .chaos import minimize_campaign, run_campaign
+    from .experiments.chaos_soak import (
+        ChaosSoakConfig,
+        render_chaos_soak_table,
+        run_chaos_soak,
+    )
+
+    if args.minimize:
+        campaign = _load_campaign(args.minimize)
+        try:
+            result = minimize_campaign(campaign, invariant=args.invariant)
+        except ValueError as exc:
+            raise _CommandFailed(f"chaos --minimize: {exc}", 2)
+        kinds = [spec.kind for spec in result.minimized.faults]
+        lines = [
+            f"campaign {campaign.name!r}: {len(campaign.faults)} fault(s) -> "
+            f"{len(result.minimized.faults)} (invariant {result.invariant!r}, "
+            f"{result.tests_run} replays)",
+            f"minimal schedule: {', '.join(kinds)}",
+            result.minimized.to_json(indent=2),
+        ]
+        output = "\n".join(lines)
+        if args.expect_minimal is not None:
+            expected = [k for k in args.expect_minimal.split(",") if k]
+            if kinds != expected:
+                raise _CommandFailed(
+                    f"{output}\nexpected minimal schedule "
+                    f"{', '.join(expected)} — got {', '.join(kinds)}", 1)
+        return output
+
+    if args.campaign:
+        campaign = _load_campaign(args.campaign)
+        result = run_campaign(campaign)
+        output = _json_dumps(result.report())
+        if result.violations:
+            raise _CommandFailed(output, 1)
+        return output
+
+    from .chaos import ChaosConfig
+
+    overrides = {"horizon": args.horizon, "clients_per_region": args.clients,
+                 "num_sites": args.sites}
+    chaos = ChaosConfig().apply(
+        {k: v for k, v in overrides.items() if v is not None})
+    soak = run_chaos_soak(
+        ChaosSoakConfig(seed=args.seed, campaigns=args.campaigns, chaos=chaos))
+    output = soak.reports_json() if args.json else render_chaos_soak_table(soak)
+    if not soak.ok:
+        raise _CommandFailed(output, 1)
+    return output
+
+
+def _load_campaign(path: str):
+    from .chaos import Campaign
+    from .faults import FaultConfigError
+
+    try:
+        with open(path) as fh:
+            return Campaign.from_json(fh.read())
+    except (OSError, ValueError, KeyError, FaultConfigError) as exc:
+        raise _CommandFailed(f"chaos: cannot load campaign {path!r}: {exc}", 2)
+
+
+def _json_dumps(document) -> str:
+    import json
+
+    return json.dumps(document, indent=2)
 
 
 def _cmd_scaling(args) -> str:
@@ -211,6 +284,7 @@ _COMMANDS: dict[str, tuple[Callable, str]] = {
     "coloring": (_cmd_coloring, "§6: map colouring for anycast traffic tuning"),
     "dnsload": (_cmd_dnsload, "§5.2: DNS-stress reduction under one-address"),
     "failover": (_cmd_failover, "§3.4/§4.4: failover recovery time vs BGP reconvergence"),
+    "chaos": (_cmd_chaos, "§3.4/§6: seeded chaos campaigns vs control-plane invariants"),
     "scaling": (_cmd_scaling, "Figure 4: socket-table scaling comparison"),
     "check": (_cmd_check, "static analysis: program verifier + control-plane + determinism lint"),
     "metrics": (_cmd_metrics, "repro.obs: run an instrumented experiment, export metrics"),
@@ -261,6 +335,29 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser("failover", help=_COMMANDS["failover"][1])
     p.add_argument("--ttl", type=int, default=20)
     p.add_argument("--probe-interval", type=float, default=5.0, dest="probe_interval")
+
+    p = sub.add_parser("chaos", help=_COMMANDS["chaos"][1])
+    p.add_argument("--seed", type=int, default=7)
+    p.add_argument("--campaigns", type=int, default=20)
+    p.add_argument("--horizon", type=float, default=None,
+                   help="simulated seconds per campaign (default 180)")
+    p.add_argument("--clients", type=int, default=None,
+                   help="clients per region (default 3)")
+    p.add_argument("--sites", type=int, default=None,
+                   help="hosted sites in the universe (default 12)")
+    p.add_argument("--json", action="store_true",
+                   help="emit per-campaign reports as JSON (deterministic bytes)")
+    p.add_argument("--campaign", metavar="FILE", default=None,
+                   help="replay one campaign JSON instead of generating; "
+                        "exits non-zero if it violates any invariant")
+    p.add_argument("--minimize", metavar="FILE", default=None,
+                   help="delta-minimize the violating campaign in FILE")
+    p.add_argument("--invariant", default=None,
+                   help="with --minimize: which invariant to preserve")
+    p.add_argument("--expect-minimal", dest="expect_minimal", default=None,
+                   metavar="KINDS",
+                   help="with --minimize: fail unless the minimal schedule "
+                        "is exactly this comma-separated kind list")
 
     sub.add_parser("scaling", help=_COMMANDS["scaling"][1])
 

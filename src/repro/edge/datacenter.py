@@ -11,6 +11,7 @@ import random
 from dataclasses import dataclass
 
 from ..dns.server import AuthoritativeServer, QueryContext
+from ..hashing import stable_hash
 from ..netsim.addr import IPAddress, Prefix
 from ..netsim.geo import GeoPoint
 from ..netsim.packet import FiveTuple, Packet, Protocol
@@ -162,6 +163,21 @@ class Datacenter:
         self.ecmp = ECMPRouter(list(self.servers))
         self.l4lb = L4LoadBalancer(f"{name}-l4lb")
         self.dns: AuthoritativeServer | None = None
+        # -- gray-failure knobs (driven by repro.faults.gray) ---------------
+        #: Probability an arriving SYN is silently lost at this PoP's
+        #: ingress (LossyLink fault).  Connection attempts surface it as a
+        #: refusal, the visible face of an unanswered handshake.
+        self.ingress_loss = 0.0
+        #: Admission cap per capacity window (OverloadedPoP fault); ``None``
+        #: is uncapped.  Scenario loops call :meth:`begin_capacity_window`
+        #: once per tick to open a fresh window.
+        self.capacity: int | None = None
+        self._window_admitted = 0
+        #: Connections refused because the PoP was over capacity.
+        self.sheds = 0
+        #: SYNs lost to ingress loss.
+        self.syn_drops = 0
+        self._chaos_rng = random.Random(stable_hash("dc-ingress", name) & 0xFFFFFFFF)
         #: Optional :class:`~repro.obs.trace.TraceRecorder` (set by
         #: ``CDN.attach_observability``): when present, every connection
         #: emits ecmp → dispatch spans and every request a serve span.
@@ -216,6 +232,29 @@ class Datacenter:
     def healthy_server_count(self) -> int:
         return sum(1 for s in self.servers.values() if not s.crashed)
 
+    def begin_capacity_window(self) -> None:
+        """Open a fresh admission window (call once per scenario tick)."""
+        self._window_admitted = 0
+
+    def _admit_ingress(self, tuple5: FiveTuple) -> None:
+        """Gray-failure gate ahead of ECMP: lossy ingress and load shedding.
+
+        Both failure modes answer *some* SYNs and lose others — the partial
+        degradation that makes gray failures hard to detect with binary
+        probes."""
+        if self.ingress_loss and self._chaos_rng.random() < self.ingress_loss:
+            self.syn_drops += 1
+            raise ConnectionRefusedError(
+                f"{self.name}: SYN to {tuple5.dst} lost at ingress"
+            )
+        if self.capacity is not None:
+            if self._window_admitted >= self.capacity:
+                self.sheds += 1
+                raise ConnectionRefusedError(
+                    f"{self.name}: over capacity ({self.capacity}/window), load shed"
+                )
+            self._window_admitted += 1
+
     # -- DNS plane ------------------------------------------------------------
 
     def handle_dns(self, wire: bytes, resolver_address: IPAddress | None = None) -> bytes | None:
@@ -233,6 +272,7 @@ class Datacenter:
         ECMP fan-out and (inside the server's handshake) listener
         selection; it used to be recomputed at each stage.
         """
+        self._admit_ingress(tuple5)
         syn = Packet(tuple5, syn=True)
         fh = flow_hash(syn)
         if self.tracer is None:
@@ -272,6 +312,7 @@ class Datacenter:
         connections: list[Connection] = []
         append = connections.append
         for tuple5, hello, version in requests:
+            self._admit_ingress(tuple5)
             syn = Packet(tuple5, syn=True)
             fh = flow_hash(syn)
             owner = admit(syn, route(syn, flow_hash_value=fh))

@@ -23,7 +23,7 @@ narrative:
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 
 from ..netsim.addr import IPAddress, Prefix
 from ..netsim.packet import FiveTuple, Packet, Protocol
@@ -35,7 +35,12 @@ from ..web.tls import CertificateStore, ClientHello, TLSError
 from .cache import DistributedCache
 from .customers import CustomerRegistry
 
-__all__ = ["ListenMode", "EdgeServer", "EdgeServerStats"]
+__all__ = ["ListenMode", "EdgeServer", "EdgeServerStats", "BASE_SERVE_LATENCY_S"]
+
+#: Nominal per-request service time of a healthy edge server, simulated
+#: seconds.  Gray-failure faults multiply it; the health monitor's latency
+#: baseline is built from it.
+BASE_SERVE_LATENCY_S = 0.02
 
 #: Cloudflare terminates on "ports 80, 443, and 11 others" (§4.2).
 DEFAULT_SERVICE_PORTS = (
@@ -79,6 +84,11 @@ class EdgeServer:
         self.table = SocketTable()
         self.lookup_path = LookupPath(self.table)
         self.stats = EdgeServerStats()
+        #: Current per-request service time.  A healthy box serves at
+        #: :data:`BASE_SERVE_LATENCY_S`; a :class:`~repro.faults.gray.SlowServer`
+        #: fault inflates it (and restores it on revert) without ever
+        #: touching the success/failure surface.
+        self.serve_latency_s = BASE_SERVE_LATENCY_S
         self.crashed = False
         self.listen_mode: str | None = None
         self._service_ports: tuple[int, ...] = ()
@@ -321,12 +331,16 @@ class EdgeServer:
             )
         self.stats.requests += 1
         if not connection.certificate.covers(request.authority):
-            return Response(Status.MISDIRECTED, served_by=self.name)
+            return self._timed(Response(Status.MISDIRECTED, served_by=self.name))
         if not self.registry.is_hosted(request.authority):
-            return Response(Status.NOT_FOUND, served_by=self.name)
+            return self._timed(Response(Status.NOT_FOUND, served_by=self.name))
         response = self.cache.fetch(request)
         self.stats.bytes_served += response.body_len
-        return response
+        return self._timed(response)
+
+    def _timed(self, response: Response) -> Response:
+        """Stamp this server's current service time onto the response."""
+        return replace(response, latency_s=self.serve_latency_s)
 
     # -- accounting ------------------------------------------------------------
 

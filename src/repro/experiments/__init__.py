@@ -20,11 +20,13 @@ EXPERIMENTS.md records their output against the paper's numbers.
 | dnsload         | §5.2 DNS-stress reduction (extension)  |
 | pageload        | §5.2 page-load decomposition (extension)|
 | failover        | §3.4/§4.4 failover recovery (extension)|
+| chaos_soak      | §3.4/§6 chaos campaigns vs invariants (extension)|
 """
 
-from . import coloring, dnsload, dnsqps, dos, failover, fig7, fig8, fig9, pageload, reduction, sklookup_perf, spillover, ttl
+from . import chaos_soak, coloring, dnsload, dnsqps, dos, failover, fig7, fig8, fig9, pageload, reduction, sklookup_perf, spillover, ttl
 
 __all__ = [
+    "chaos_soak",
     "coloring",
     "dnsload",
     "dnsqps",

@@ -1,0 +1,101 @@
+"""Experiment E18: chaos soak — randomized fault campaigns vs invariants.
+
+E17 (:mod:`~repro.experiments.failover`) demonstrates recovery from *one*
+hand-picked outage; E18 asks the operational question behind §3.4/§6 —
+does the detect → rebind → recover loop hold under **arbitrary** fault
+schedules, including the gray failures (slow PoPs, lossy ingress,
+resolver brownouts, shedding edges) that never trip a binary probe?
+
+A soak generates ``campaigns`` seeded schedules over the whole registered
+fault vocabulary, replays each deterministically against the standard
+two-region deployment, and evaluates every :mod:`repro.chaos.invariants`
+checker.  The headline result is the **zero row**: a correctly tuned
+control plane violates nothing across the soak, while per-campaign
+columns (availability, tail latency, sheds, detection, recovery) show the
+loop absorbing each schedule.  The negative control lives in CI: a pinned
+mis-tuned-monitor campaign must violate and must delta-minimize to its
+single causal fault.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+
+from ..analysis.reporting import TextTable
+from ..chaos.generator import CampaignGenerator
+from ..chaos.runner import CampaignResult, run_campaign
+from ..chaos.world import ChaosConfig
+
+__all__ = [
+    "ChaosSoakConfig",
+    "ChaosSoakOutcome",
+    "run_chaos_soak",
+    "render_chaos_soak_table",
+]
+
+
+@dataclass(frozen=True, slots=True)
+class ChaosSoakConfig:
+    seed: int = 7
+    campaigns: int = 20
+    chaos: ChaosConfig = field(default_factory=ChaosConfig)
+
+
+@dataclass(frozen=True, slots=True)
+class ChaosSoakOutcome:
+    config: ChaosSoakConfig
+    results: tuple[CampaignResult, ...]
+
+    @property
+    def ok(self) -> bool:
+        return all(r.ok for r in self.results)
+
+    @property
+    def violation_count(self) -> int:
+        return sum(len(r.violations) for r in self.results)
+
+    def reports(self) -> list[dict]:
+        return [r.report() for r in self.results]
+
+    def reports_json(self) -> str:
+        """The soak as one deterministic JSON document: same seed, same
+        byte stream — CI diffs two invocations to pin determinism."""
+        return json.dumps(self.reports(), indent=2)
+
+
+def run_chaos_soak(config: ChaosSoakConfig | None = None) -> ChaosSoakOutcome:
+    config = config or ChaosSoakConfig()
+    generator = CampaignGenerator(config.chaos)
+    campaigns = generator.generate(config.seed, config.campaigns)
+    results = tuple(run_campaign(c, config.chaos) for c in campaigns)
+    return ChaosSoakOutcome(config=config, results=results)
+
+
+def _dash(value: float | None, fmt: str = "{:.0f}") -> str:
+    return "—" if value is None else fmt.format(value)
+
+
+def render_chaos_soak_table(outcome: ChaosSoakOutcome) -> str:
+    table = TextTable(
+        f"E18 — chaos soak: {len(outcome.results)} seeded campaigns "
+        f"(seed {outcome.config.seed}) vs control-plane invariants",
+        ["campaign", "faults", "avail", "p99 (ms)", "sheds",
+         "detect (s)", "recover (s)", "violations"],
+    )
+    for result in outcome.results:
+        report = result.report()
+        kinds = ",".join(spec.kind for spec in result.campaign.faults)
+        table.add_row(
+            result.campaign.name,
+            kinds,
+            f"{report['availability']:.4f}",
+            f"{report['p99_latency_ms']:.1f}",
+            report["sheds"],
+            _dash(report["detection_s"]),
+            _dash(report["recovery_s"]),
+            len(result.violations) or "none",
+        )
+    verdict = ("all invariants hold" if outcome.ok
+               else f"{outcome.violation_count} VIOLATION(S)")
+    return f"{table.render()}\n{verdict} across {len(outcome.results)} campaigns"

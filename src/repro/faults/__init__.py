@@ -20,7 +20,9 @@ bounded by ``TTL + probe interval``, versus blackholed traffic until BGP
 reconvergence without agility.
 """
 
+from .errors import FaultConfigError, FaultError, UnknownFaultKindError
 from .events import FaultEvent, FaultTimeline
+from .gray import LossyLink, OverloadedPoP, ResolverBrownout, SlowServer
 from .injector import (
     Fault,
     FaultInjector,
@@ -32,9 +34,13 @@ from .injector import (
     TransportDegrade,
 )
 from .monitor import HealthMonitor, ProbeResult
+from .registry import build_fault, fault_kinds, register_fault
 from .transport import FlakyTransport
 
 __all__ = [
+    "FaultError",
+    "FaultConfigError",
+    "UnknownFaultKindError",
     "FaultEvent",
     "FaultTimeline",
     "Fault",
@@ -45,7 +51,14 @@ __all__ = [
     "PopWithdrawal",
     "ServerCrash",
     "TransportDegrade",
+    "SlowServer",
+    "LossyLink",
+    "ResolverBrownout",
+    "OverloadedPoP",
     "HealthMonitor",
     "ProbeResult",
     "FlakyTransport",
+    "build_fault",
+    "register_fault",
+    "fault_kinds",
 ]

@@ -1,0 +1,23 @@
+"""Typed errors for the fault subsystem.
+
+Misconfigured chaos is worse than no chaos: a ``drop=1.3`` silently clamps
+(or worse, doesn't) and the campaign "passes" while testing nothing.  All
+configuration mistakes raise :class:`FaultConfigError` at construction
+time, never at injection time.
+"""
+
+from __future__ import annotations
+
+__all__ = ["FaultError", "FaultConfigError", "UnknownFaultKindError"]
+
+
+class FaultError(Exception):
+    """Base class for fault-subsystem errors."""
+
+
+class FaultConfigError(FaultError, ValueError):
+    """A fault was configured with out-of-range or inconsistent parameters."""
+
+
+class UnknownFaultKindError(FaultError, KeyError):
+    """A campaign named a fault kind no registered factory builds."""

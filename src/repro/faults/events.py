@@ -10,7 +10,8 @@ withdrawal and the pool swap?") without scraping logs.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+import json
+from dataclasses import asdict, dataclass, field
 from collections.abc import Iterator
 
 __all__ = ["FaultEvent", "FaultTimeline"]
@@ -86,3 +87,22 @@ class FaultTimeline:
 
     def __iter__(self) -> Iterator[FaultEvent]:
         return iter(self._events)
+
+    # -- serialization -------------------------------------------------------
+
+    def to_json(self, indent: int | None = None) -> str:
+        """The full timeline as a JSON array (chaos reports, replay audits).
+
+        Round-trips exactly through :meth:`from_json`: the chaos minimizer
+        saves a violating campaign's timeline alongside the campaign spec so
+        a replay can be diffed event-for-event against the original run.
+        """
+        return json.dumps([asdict(e) for e in self._events], indent=indent)
+
+    @classmethod
+    def from_json(cls, text: str) -> "FaultTimeline":
+        """Rebuild a timeline from :meth:`to_json` output (order-checked)."""
+        timeline = cls()
+        for entry in json.loads(text):
+            timeline.record(FaultEvent(**entry))
+        return timeline

@@ -1,0 +1,186 @@
+"""Gray failures: slow-but-alive degradations the binary probes miss.
+
+Real CDN incidents are rarely clean blackholes.  A server answers — ten
+times slower than it should; a PoP's ingress loses a third of its SYNs; an
+upstream resolver path browns out without going dark; an edge under load
+sheds the connections it cannot absorb.  Every fault here keeps the
+service *partially* working, which is exactly the regime where a naive
+ok/dead health monitor either never reacts (everything "works") or
+flip-flops (everything "fails" intermittently).  The latency-aware
+detection in :class:`~repro.faults.monitor.HealthMonitor` and the
+:mod:`repro.chaos` invariants are tested against these.
+
+All four are ordinary :class:`~repro.faults.injector.Fault` subclasses, so
+they schedule on a :class:`~repro.faults.injector.FaultPlan` next to the
+hard faults and registered under their ``kind`` strings in
+:mod:`repro.faults.registry` for campaign (de)serialization.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+
+from .errors import FaultConfigError
+from .injector import Fault, FaultTargets
+
+__all__ = ["SlowServer", "LossyLink", "ResolverBrownout", "OverloadedPoP"]
+
+
+@dataclass(slots=True)
+class SlowServer(Fault):
+    """Inflate serve latency at a PoP — correct answers, delivered late.
+
+    ``server=None`` (the gray drill's default) slows *every* server in the
+    PoP: the whole-PoP slowdown an overloaded upstream or a failing NIC
+    offload produces, and the case the monitor's latency drain targets.  A
+    named ``server`` slows just that box (hedged probes absorb it — one
+    slow machine in a rack is ECMP noise, not a pool-level incident).
+    """
+
+    pop: str
+    server: str | None = None
+    factor: float = 10.0
+    kind: str = "slow_server"
+    _saved: dict[str, float] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.factor <= 1.0:
+            raise FaultConfigError(f"slow_server factor must exceed 1, got {self.factor}")
+
+    @property
+    def target(self) -> str:
+        return f"{self.pop}:{self.server or '*'}"
+
+    def apply(self, targets: FaultTargets, rng: random.Random) -> str:
+        dc = targets.require_cdn().datacenters[self.pop]
+        names = [self.server] if self.server is not None else sorted(dc.servers)
+        for name in names:
+            server = dc.servers[name]
+            self._saved[name] = server.serve_latency_s
+            server.serve_latency_s = server.serve_latency_s * self.factor
+        return f"{len(names)} server(s) serving at {self.factor:g}x latency"
+
+    def revert(self, targets: FaultTargets, rng: random.Random) -> str:
+        dc = targets.require_cdn().datacenters[self.pop]
+        for name, latency in self._saved.items():
+            dc.servers[name].serve_latency_s = latency
+        restored, self._saved = len(self._saved), {}
+        return f"{restored} server(s) back to nominal latency"
+
+
+@dataclass(slots=True)
+class LossyLink(Fault):
+    """Partial SYN loss at one PoP's ingress (fabric fault, peering loss).
+
+    Some connections succeed, some are refused — the intermittent failure
+    mix that exercises the monitor's consecutive-round hysteresis and the
+    chaos flip-flop invariant.
+    """
+
+    pop: str
+    drop: float = 0.5
+    kind: str = "lossy_link"
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.drop <= 1.0:
+            raise FaultConfigError(f"lossy_link drop must be in (0, 1], got {self.drop}")
+
+    @property
+    def target(self) -> str:
+        return self.pop
+
+    def apply(self, targets: FaultTargets, rng: random.Random) -> str:
+        targets.require_cdn().datacenters[self.pop].ingress_loss = self.drop
+        return f"ingress dropping {self.drop:.0%} of SYNs"
+
+    def revert(self, targets: FaultTargets, rng: random.Random) -> str:
+        targets.require_cdn().datacenters[self.pop].ingress_loss = 0.0
+        return "ingress clean"
+
+
+@dataclass(slots=True)
+class ResolverBrownout(Fault):
+    """Degrade (not kill) upstream DNS paths: slow answers, partial loss.
+
+    ``transport`` names one registered :class:`~repro.faults.transport.
+    FlakyTransport` from the targets, or ``"*"`` to brown out every
+    registered path at once — a regional resolver brownout as seen by the
+    whole client fleet.  Resolvers with retries enabled survive it, which
+    is precisely what makes their *retry timing* matter (full-jitter
+    backoff keeps the fleet from retrying in lockstep).
+    """
+
+    transport: str = "*"
+    drop: float = 0.3
+    delay_s: float = 1.0
+    kind: str = "resolver_brownout"
+    _applied: list[str] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.drop < 1.0:
+            raise FaultConfigError(
+                f"resolver_brownout drop must be in [0, 1) — a full outage "
+                f"is a TransportDegrade, got {self.drop}"
+            )
+        if self.delay_s < 0:
+            raise FaultConfigError(f"delay_s must be non-negative, got {self.delay_s}")
+
+    @property
+    def target(self) -> str:
+        return self.transport
+
+    def _names(self, targets: FaultTargets) -> list[str]:
+        if self.transport == "*":
+            return sorted(targets.transports)
+        if self.transport not in targets.transports:
+            raise KeyError(f"no transport named {self.transport!r} in targets")
+        return [self.transport]
+
+    def apply(self, targets: FaultTargets, rng: random.Random) -> str:
+        self._applied = self._names(targets)
+        for name in self._applied:
+            targets.transports[name].set_fault(drop=self.drop, delay_s=self.delay_s)
+        return (
+            f"{len(self._applied)} path(s) browned out: "
+            f"drop={self.drop:g} delay={self.delay_s:g}s"
+        )
+
+    def revert(self, targets: FaultTargets, rng: random.Random) -> str:
+        for name in self._applied:
+            targets.transports[name].set_fault()
+        healed, self._applied = len(self._applied), []
+        return f"{healed} path(s) healed"
+
+
+@dataclass(slots=True)
+class OverloadedPoP(Fault):
+    """Capacity-bound a PoP: it serves what it can and sheds the rest.
+
+    The admission cap is per capacity window (the scenario loop opens one
+    per tick via :meth:`~repro.edge.datacenter.Datacenter.
+    begin_capacity_window`), so a campaign tick with more arrivals than
+    ``capacity`` refuses the excess and counts it in ``Datacenter.sheds``.
+    """
+
+    pop: str
+    capacity: int = 2
+    kind: str = "overloaded_pop"
+
+    def __post_init__(self) -> None:
+        if self.capacity < 1:
+            raise FaultConfigError(f"capacity must be at least 1, got {self.capacity}")
+
+    @property
+    def target(self) -> str:
+        return self.pop
+
+    def apply(self, targets: FaultTargets, rng: random.Random) -> str:
+        dc = targets.require_cdn().datacenters[self.pop]
+        dc.capacity = self.capacity
+        dc.begin_capacity_window()
+        return f"admission capped at {self.capacity}/window"
+
+    def revert(self, targets: FaultTargets, rng: random.Random) -> str:
+        targets.require_cdn().datacenters[self.pop].capacity = None
+        return "capacity uncapped"

@@ -254,6 +254,13 @@ class FaultInjector:
     Call :meth:`tick` from the scenario loop; every scheduled injection
     (and every ``duration``-scheduled reversion) whose time has come fires,
     in schedule order, each emitting onto the timeline.
+
+    Ordering is deterministic even for same-timestamp events: the queue
+    sorts on ``(when, seq)`` where ``seq`` is a monotonically increasing
+    sequence number assigned at enqueue time, so ties fire in insertion
+    order (plan order for injections; apply order for reversions) and two
+    runs of the same plan always produce the same
+    :class:`~repro.faults.events.FaultTimeline`.
     """
 
     def __init__(

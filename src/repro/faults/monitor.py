@@ -21,6 +21,7 @@ from __future__ import annotations
 
 import logging
 import random
+from collections import deque
 from dataclasses import dataclass
 
 from ..clock import Clock
@@ -47,6 +48,10 @@ class ProbeResult:
     pop: str | None            # catchment PoP for that address (None: blackhole)
     ok: bool
     detail: str = ""
+    #: End-to-end probe time, simulated seconds: DNS path time (delays,
+    #: timeouts) plus the server's service time.  The gray-failure signal —
+    #: an ``ok=True`` probe can still be ten times slower than baseline.
+    latency_s: float = 0.0
 
 
 class HealthMonitor:
@@ -64,6 +69,21 @@ class HealthMonitor:
     failure_threshold:
         Consecutive failed probe rounds (any vantage failing fails the
         round) before the failover fires.  1 = act on first blood.
+    latency_factor / gray_threshold / latency_window / min_latency_samples:
+        Gray-failure detection.  Successful probes feed a rolling latency
+        window (``latency_window`` samples); the baseline is the median
+        after ejecting the slowest eighth (outlier ejection, so one slow
+        box never poisons it).  A probe slower than ``latency_factor`` ×
+        baseline is *slow*; a round where **every** vantage stays slow even
+        after a hedged re-probe is a *gray round*; ``gray_threshold``
+        consecutive gray rounds drain the pool exactly like a blackhole
+        would — the slow PoP is rebound away *before* it ever fails a
+        probe outright.  ``latency_factor=0`` disables gray detection.
+    hedged_probes:
+        Re-probe a slow vantage once and keep the faster of the pair.  A
+        single slow server behind ECMP is absorbed by the hedge (the
+        re-probe usually lands elsewhere); a PoP-wide slowdown is not —
+        which is the distinction between noise and incident.
     strict_checks:
         Run the control-plane checker against the post-swap state before
         enacting the failover.  ``False`` (default) logs and records a
@@ -87,6 +107,11 @@ class HealthMonitor:
         rng: random.Random | None = None,
         strict_checks: bool = False,
         tracer: TraceRecorder | None = None,
+        latency_factor: float = 3.0,
+        gray_threshold: int = 2,
+        latency_window: int = 16,
+        min_latency_samples: int = 4,
+        hedged_probes: bool = True,
     ) -> None:
         if not vantages:
             raise ValueError("health monitoring needs at least one vantage AS")
@@ -94,6 +119,12 @@ class HealthMonitor:
             raise ValueError("probe_interval must be positive")
         if failure_threshold < 1:
             raise ValueError("failure_threshold must be at least 1")
+        if latency_factor < 0:
+            raise ValueError("latency_factor must be non-negative (0 disables)")
+        if gray_threshold < 1:
+            raise ValueError("gray_threshold must be at least 1")
+        if min_latency_samples < 1 or latency_window < min_latency_samples:
+            raise ValueError("latency_window must hold at least min_latency_samples")
         self.cdn = cdn
         self.clock = clock
         self.controller = controller
@@ -111,9 +142,17 @@ class HealthMonitor:
         #: span to the same trace once they can see recovery.
         self.last_failover_trace: str | None = None
         self._rng = rng or random.Random(0x4EA1)
+        self.latency_factor = latency_factor
+        self.gray_threshold = gray_threshold
+        self.min_latency_samples = min_latency_samples
+        self.hedged_probes = hedged_probes
         self.consecutive_failures = 0
+        self.consecutive_gray = 0
         self.failed_over = False
         self.probes_run = 0
+        self.hedges_run = 0
+        self.gray_rounds = 0
+        self._latencies: deque[float] = deque(maxlen=latency_window)
         self._first_failure_at: float | None = None
         self._next_probe_at: float | None = None  # None: probe on first tick
 
@@ -132,9 +171,11 @@ class HealthMonitor:
         try:
             addresses = resolver.resolve_addresses(self.probe_hostname)
         except ResolveError as exc:
-            return ProbeResult(now, vantage, None, None, False, f"dns: {exc}")
+            return ProbeResult(now, vantage, None, None, False, f"dns: {exc}",
+                               latency_s=self.clock.now() - now)
         if not addresses:
-            return ProbeResult(now, vantage, None, None, False, "dns: empty answer")
+            return ProbeResult(now, vantage, None, None, False, "dns: empty answer",
+                               latency_s=self.clock.now() - now)
         address = addresses[0]
         pop = self.cdn.network.pop_for(vantage, address)
         transport = self.cdn.transport_for(vantage)
@@ -143,10 +184,14 @@ class HealthMonitor:
                 f"probe-{vantage}", address, 443,
                 ClientHello(sni=self.probe_hostname), HTTPVersion.H2,
             )
-            transport.serve(connection, Request(authority=self.probe_hostname, path="/"))
+            response = transport.serve(
+                connection, Request(authority=self.probe_hostname, path="/")
+            )
         except (ConnectionRefusedError, ConnectionResetError, TLSError) as exc:
-            return ProbeResult(now, vantage, address, pop, False, f"data path: {exc}")
-        return ProbeResult(now, vantage, address, pop, True)
+            return ProbeResult(now, vantage, address, pop, False, f"data path: {exc}",
+                               latency_s=self.clock.now() - now)
+        latency = (self.clock.now() - now) + response.latency_s
+        return ProbeResult(now, vantage, address, pop, True, latency_s=latency)
 
     def probe_round(self) -> list[ProbeResult]:
         """Probe every vantage once and react; returns the results."""
@@ -172,7 +217,86 @@ class HealthMonitor:
                 )
             self.consecutive_failures = 0
             self._first_failure_at = None
+            self._observe_latencies(results)
         return results
+
+    def latency_baseline(self) -> float | None:
+        """Median of the latency window after ejecting the slowest eighth.
+
+        ``None`` until ``min_latency_samples`` healthy probes have been
+        seen — the monitor never judges slowness against an empty or
+        still-warming baseline.  Outlier ejection keeps one chronically
+        slow vantage from dragging the baseline up until slow looks
+        normal (the classic gray-failure masking bug).
+        """
+        if len(self._latencies) < self.min_latency_samples:
+            return None
+        ordered = sorted(self._latencies)
+        keep = ordered[: len(ordered) - len(ordered) // 8] or ordered
+        return keep[len(keep) // 2]
+
+    def _observe_latencies(self, results: list[ProbeResult]) -> None:
+        """Gray-failure detection over an all-ok probe round.
+
+        A probe slower than ``latency_factor × baseline`` is re-probed
+        once (the hedge); if the pair's best time is still slow the
+        vantage counts as *slow* this round.  Only a round where every
+        vantage is slow is a gray round — pop-wide degradation, not one
+        bad path — and ``gray_threshold`` consecutive gray rounds drain
+        the pool through the same failover path a blackhole takes.
+        """
+        if self.latency_factor <= 0 or self.failed_over:
+            for r in results:
+                self._latencies.append(r.latency_s)
+            return
+        baseline = self.latency_baseline()
+        if baseline is None or baseline <= 0:
+            for r in results:
+                self._latencies.append(r.latency_s)
+            return
+        threshold = baseline * self.latency_factor
+        slow: list[ProbeResult] = []
+        healthy: list[ProbeResult] = []
+        for r in results:
+            if r.latency_s > threshold and self.hedged_probes:
+                self.hedges_run += 1
+                hedge = self.probe_from(r.vantage)
+                if hedge.ok and hedge.latency_s < r.latency_s:
+                    r = hedge
+            if r.latency_s > threshold:
+                slow.append(r)
+                self.timeline.emit(
+                    r.at, "probe_slow", str(r.vantage),
+                    f"{r.address} via {r.pop}: {r.latency_s * 1e3:.0f}ms "
+                    f"vs baseline {baseline * 1e3:.0f}ms", phase="observe",
+                )
+            else:
+                healthy.append(r)
+        if slow and not healthy:
+            self.gray_rounds += 1
+            if self.consecutive_gray == 0:
+                self._first_failure_at = slow[0].at
+            self.consecutive_gray += 1
+            if self.consecutive_gray >= self.gray_threshold:
+                self.timeline.emit(
+                    self.clock.now(), "gray_detected", self.policy_name,
+                    f"{len(slow)} vantage(s) slow after hedging, "
+                    f"{self.consecutive_gray} consecutive rounds",
+                    phase="observe",
+                )
+                self._trigger_failover(slow, reason="latency")
+        else:
+            if self.consecutive_gray:
+                self.timeline.emit(
+                    self.clock.now(), "gray_recovered", self.policy_name,
+                    phase="observe",
+                )
+            self.consecutive_gray = 0
+            self._first_failure_at = None
+            # Only feed the baseline from rounds that are not suspect —
+            # learning the gray latency as the new normal would mask it.
+            for r in healthy:
+                self._latencies.append(r.latency_s)
 
     def tick(self) -> list[ProbeResult]:
         """Probe if a probe is due; the scenario loop calls this freely."""
@@ -218,7 +342,9 @@ class HealthMonitor:
             "would refuse): %s", rendered,
         )
 
-    def _trigger_failover(self, failures: list[ProbeResult]) -> None:
+    def _trigger_failover(
+        self, failures: list[ProbeResult], reason: str = "blackhole"
+    ) -> None:
         if self.failed_over or self.failover_pool is None:
             return
         trace = None
@@ -230,9 +356,13 @@ class HealthMonitor:
                 self._first_failure_at if self._first_failure_at is not None
                 else self.clock.now()
             )
+            detect_detail = (
+                f"{self.consecutive_gray}/{self.gray_threshold} all-slow rounds"
+                if reason == "latency"
+                else f"{self.consecutive_failures}/{self.failure_threshold} failed rounds"
+            )
             self.tracer.record(
-                trace, "detect", detect_start, self.clock.now(),
-                f"{self.consecutive_failures}/{self.failure_threshold} failed rounds",
+                trace, "detect", detect_start, self.clock.now(), detect_detail,
             )
         if trace is not None:
             with self.tracer.span(trace, "precheck",
@@ -250,15 +380,25 @@ class HealthMonitor:
             )
         self.failed_over = True
         self.consecutive_failures = 0
-        blackholed = sorted({str(r.pop) for r in failures})
+        self.consecutive_gray = 0
+        verb = "slow" if reason == "latency" else "failing"
+        affected = sorted({str(r.pop) for r in failures})
         self.timeline.emit(
             self.clock.now(), "failover_triggered", self.policy_name,
-            f"drained to {self.failover_pool.name} (failing: {', '.join(blackholed)}); "
+            f"drained to {self.failover_pool.name} ({verb}: {', '.join(affected)}); "
             f"horizon t={op.propagation_horizon:.0f}",
             phase="react",
         )
 
     def reset(self) -> None:
-        """Re-arm after the operator repairs and fails back manually."""
+        """Re-arm after the operator repairs and fails back manually.
+
+        Clears the failover latch *and* all latency state — the repaired
+        pool's baseline must be re-learned from scratch, not judged
+        against the pre-incident window.
+        """
         self.failed_over = False
         self.consecutive_failures = 0
+        self.consecutive_gray = 0
+        self._latencies.clear()
+        self._first_failure_at = None

@@ -1,0 +1,76 @@
+"""Fault-kind registry: build any fault from its (kind, params) spec.
+
+Chaos campaigns must be *data* — JSON a minimizer can slice, a fixture
+file can pin, a report can embed — so every injectable fault registers a
+factory under its ``kind`` string.  :func:`build_fault` turns a spec back
+into a live :class:`~repro.faults.injector.Fault`; the round trip
+``spec -> build_fault -> apply`` is what makes deterministic campaign
+replay (and therefore delta-debugging) possible.
+
+Params are JSON-scalar only; the one structured type (an address prefix)
+is accepted as its string form and parsed here.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+
+from ..netsim.addr import Prefix, parse_prefix
+from .errors import FaultConfigError, UnknownFaultKindError
+from .gray import LossyLink, OverloadedPoP, ResolverBrownout, SlowServer
+from .injector import Fault, PopOutage, PopWithdrawal, ServerCrash, TransportDegrade
+
+__all__ = ["FAULT_KINDS", "register_fault", "build_fault", "fault_kinds"]
+
+FAULT_KINDS: dict[str, Callable[..., Fault]] = {}
+
+
+def register_fault(kind: str, factory: Callable[..., Fault]) -> None:
+    """Register ``factory`` under ``kind`` (campaign specs name kinds)."""
+    if kind in FAULT_KINDS:
+        raise FaultConfigError(f"fault kind {kind!r} already registered")
+    FAULT_KINDS[kind] = factory
+
+
+def fault_kinds() -> list[str]:
+    """Every buildable kind, sorted (campaign generators sample from it)."""
+    return sorted(FAULT_KINDS)
+
+
+def build_fault(kind: str, **params) -> Fault:
+    """Instantiate the fault a campaign spec describes.
+
+    Raises :class:`UnknownFaultKindError` for unregistered kinds and
+    :class:`FaultConfigError` (via the fault's own validation) for bad
+    parameters — both before anything is scheduled.
+    """
+    factory = FAULT_KINDS.get(kind)
+    if factory is None:
+        raise UnknownFaultKindError(
+            f"unknown fault kind {kind!r}; registered: {', '.join(fault_kinds())}"
+        )
+    try:
+        return factory(**params)
+    except TypeError as exc:
+        raise FaultConfigError(f"fault kind {kind!r}: {exc}") from exc
+
+
+def _with_prefix(cls):
+    """Wrap a prefix-taking fault class to accept the JSON string form."""
+
+    def factory(prefix, **params) -> Fault:
+        if not isinstance(prefix, Prefix):
+            prefix = parse_prefix(prefix)
+        return cls(prefix=prefix, **params)
+
+    return factory
+
+
+register_fault("pop_withdrawal", _with_prefix(PopWithdrawal))
+register_fault("pop_outage", PopOutage)
+register_fault("server_crash", ServerCrash)
+register_fault("transport_degrade", TransportDegrade)
+register_fault("slow_server", SlowServer)
+register_fault("lossy_link", LossyLink)
+register_fault("resolver_brownout", ResolverBrownout)
+register_fault("overloaded_pop", OverloadedPoP)

@@ -13,9 +13,29 @@ from __future__ import annotations
 import random
 
 from ..clock import Clock
+from .errors import FaultConfigError
 from .events import FaultTimeline
 
 __all__ = ["FlakyTransport"]
+
+
+def _validate_fault_mix(drop: float, corrupt: float, delay_s: float) -> None:
+    """Reject impossible probability mixes up front (FaultConfigError).
+
+    ``drop`` and ``corrupt`` are probabilities of mutually exclusive
+    outcomes for one call, so each must lie in [0, 1] and their sum cannot
+    exceed 1 — a combined mass above 1 silently reweights the mix the
+    caller asked for."""
+    if not 0.0 <= drop <= 1.0:
+        raise FaultConfigError(f"drop probability must be in [0, 1], got {drop}")
+    if not 0.0 <= corrupt <= 1.0:
+        raise FaultConfigError(f"corrupt probability must be in [0, 1], got {corrupt}")
+    if drop + corrupt > 1.0:
+        raise FaultConfigError(
+            f"drop + corrupt must not exceed 1 (got {drop} + {corrupt} = {drop + corrupt})"
+        )
+    if delay_s < 0:
+        raise FaultConfigError(f"delay_s must be non-negative, got {delay_s}")
 
 
 class FlakyTransport:
@@ -39,6 +59,7 @@ class FlakyTransport:
         timeline: FaultTimeline | None = None,
         name: str = "flaky",
     ) -> None:
+        _validate_fault_mix(drop, corrupt, delay_s)
         if delay_s > 0 and clock is None:
             raise ValueError("delay_s needs a clock to charge the delay against")
         self.inner = inner
@@ -66,6 +87,7 @@ class FlakyTransport:
 
     def set_fault(self, drop: float = 0.0, corrupt: float = 0.0, delay_s: float = 0.0) -> None:
         """Retune the failure mix (injector hook); 0/0/0 heals the path."""
+        _validate_fault_mix(drop, corrupt, delay_s)
         if delay_s > 0 and self.clock is None:
             raise ValueError("delay_s needs a clock to charge the delay against")
         self.drop = drop

@@ -13,6 +13,7 @@ from .adapters import (
     watch_cache_node_stats,
     watch_cache_stats,
     watch_cdn,
+    watch_datacenter_load,
     watch_ecmp,
     watch_fault_timeline,
     watch_lookup_path,
@@ -54,5 +55,6 @@ __all__ = [
     "DISPATCH_LATENCY_BUCKETS",
     "watch_fault_timeline",
     "watch_cache_node_stats",
+    "watch_datacenter_load",
     "watch_cdn",
 ]

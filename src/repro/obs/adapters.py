@@ -38,6 +38,7 @@ if TYPE_CHECKING:  # import cycles: obs must stay importable from every layer
     from ..dns.resolver import ResolverStats
     from ..edge.cache import CacheNodeStats
     from ..edge.cdn import CDN
+    from ..edge.datacenter import Datacenter
     from ..edge.ecmp import ECMPRouter
     from ..faults.events import FaultTimeline
     from ..sockets.lookup import LookupPath
@@ -53,6 +54,7 @@ __all__ = [
     "time_lookup_path",
     "watch_fault_timeline",
     "watch_cache_node_stats",
+    "watch_datacenter_load",
     "watch_cdn",
 ]
 
@@ -166,6 +168,26 @@ def watch_fault_timeline(registry: MetricsRegistry, prefix: str, timeline: "Faul
     registry.attach(prefix, collect)
 
 
+def watch_datacenter_load(
+    registry: MetricsRegistry, prefix: str, dc: "Datacenter"
+) -> None:
+    """Ingress-pressure gauges for one PoP: connections shed by the
+    capacity cap, SYNs dropped by ingress loss, and the live fault knobs
+    (``capacity`` gauge is 0 when uncapped, ``ingress_loss`` the current
+    drop probability) — the surface chaos invariants read to tell "PoP
+    shedding under overload" from "PoP silently blackholing"."""
+
+    def collect() -> dict[str, int | float]:
+        return {
+            "sheds": dc.sheds,
+            "syn_drops": dc.syn_drops,
+            "capacity": dc.capacity or 0,
+            "ingress_loss": dc.ingress_loss,
+        }
+
+    registry.attach(prefix, collect)
+
+
 def watch_cdn(registry: MetricsRegistry, cdn: "CDN", prefix: str = "cdn") -> None:
     """Attach every edge-side surface of a deployment in one call.
 
@@ -176,6 +198,7 @@ def watch_cdn(registry: MetricsRegistry, cdn: "CDN", prefix: str = "cdn") -> Non
     for dc_name in sorted(cdn.datacenters):
         dc = cdn.datacenters[dc_name]
         watch_ecmp(registry, f"{prefix}.{dc_name}.ecmp", dc.ecmp)
+        watch_datacenter_load(registry, f"{prefix}.{dc_name}.load", dc)
         for server_name in sorted(dc.servers):
             server = dc.servers[server_name]
 

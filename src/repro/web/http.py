@@ -80,6 +80,11 @@ class Response:
     body_len: int = 0
     served_by: str = ""
     cache_hit: bool = False
+    #: Simulated server-side service time for this response.  Gray-failure
+    #: faults (:class:`~repro.faults.gray.SlowServer`) inflate it, and the
+    #: health monitor's latency-aware detection reads it back out — a slow
+    #: server answers *correctly but late*, which no status code shows.
+    latency_s: float = 0.0
 
 
 @dataclass(slots=True, eq=False)

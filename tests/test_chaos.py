@@ -1,0 +1,540 @@
+"""The chaos-campaign engine and the gray-failure-aware control plane.
+
+Four layers under test, matching the PR's surface:
+
+* **gray faults** — the slow-but-alive degradations in
+  :mod:`repro.faults.gray` and the validation/registry plumbing that
+  makes every fault buildable from a ``(kind, params)`` spec;
+* **gray detection** — the :class:`HealthMonitor` latency baseline,
+  hedged probes, and the latency-reason drain;
+* **campaigns** — :mod:`repro.chaos`: seeded generation, deterministic
+  replay, invariant checking, and ddmin minimization;
+* **satellites** — FlakyTransport validation, injector tie ordering,
+  resolver full-jitter backoff, timeline JSON round-trip, monitor reset.
+"""
+
+import json
+import random
+
+import pytest
+
+from repro.chaos import (
+    Campaign,
+    CampaignGenerator,
+    ChaosConfig,
+    FaultSpec,
+    check_invariants,
+    ddmin,
+    fault_windows,
+    minimize_campaign,
+    run_campaign,
+)
+from repro.clock import Clock
+from repro.core import AddressPool
+from repro.core.agility import AgilityController
+from repro.dns import RecursiveResolver, ResolveError
+from repro.faults import (
+    FaultConfigError,
+    FaultInjector,
+    FaultPlan,
+    FaultTargets,
+    FaultTimeline,
+    FlakyTransport,
+    HealthMonitor,
+    LossyLink,
+    OverloadedPoP,
+    PopWithdrawal,
+    ResolverBrownout,
+    SlowServer,
+    UnknownFaultKindError,
+    build_fault,
+    fault_kinds,
+)
+from repro.edge import ListenMode
+from repro.web.http import HTTPVersion
+from repro.web.tls import ClientHello
+
+from conftest import BACKUP_PREFIX, POOL_PREFIX, make_policy_cdn
+
+SMOKE = ChaosConfig(horizon=100.0, clients_per_region=2, num_sites=6)
+
+BAD_CAMPAIGN = Campaign(
+    "bad-monitor", seed=99,
+    overrides={"failure_threshold": 8, "horizon": 120.0,
+               "clients_per_region": 2, "num_sites": 8},
+    faults=(
+        FaultSpec(30.0, "pop_outage", None, {"pop": "ashburn"}),
+        FaultSpec(40.0, "server_crash", 10.0, {"pop": "london"}),
+        FaultSpec(50.0, "lossy_link", 10.0, {"pop": "london", "drop": 0.5}),
+    ),
+)
+
+
+# -- fault validation and the registry ----------------------------------------
+
+
+class TestFaultValidation:
+    def test_flaky_transport_rejects_bad_probabilities(self):
+        for kwargs in ({"drop": 1.5}, {"drop": -0.1}, {"corrupt": 2.0},
+                       {"drop": 0.6, "corrupt": 0.6}, {"delay_s": -1.0}):
+            with pytest.raises(FaultConfigError):
+                FlakyTransport(lambda wire: b"ok", random.Random(1), **kwargs)
+
+    def test_flaky_transport_set_fault_validates_too(self):
+        """Regression: a live retune must be checked as strictly as the
+        constructor — a drop+corrupt mass above 1 silently reweighted."""
+        flaky = FlakyTransport(lambda wire: b"ok", random.Random(1))
+        with pytest.raises(FaultConfigError):
+            flaky.set_fault(drop=0.7, corrupt=0.7)
+        with pytest.raises(FaultConfigError):
+            flaky.set_fault(drop=1.01)
+        assert (flaky.drop, flaky.corrupt) == (0.0, 0.0)  # untouched on error
+
+    def test_fault_config_error_is_a_value_error(self):
+        assert issubclass(FaultConfigError, ValueError)
+
+    def test_gray_fault_param_validation(self):
+        with pytest.raises(FaultConfigError):
+            SlowServer("ashburn", factor=1.0)
+        with pytest.raises(FaultConfigError):
+            LossyLink("ashburn", drop=0.0)
+        with pytest.raises(FaultConfigError):
+            LossyLink("ashburn", drop=1.2)
+        with pytest.raises(FaultConfigError):
+            ResolverBrownout(drop=1.0)  # full outage is TransportDegrade
+        with pytest.raises(FaultConfigError):
+            OverloadedPoP("ashburn", capacity=0)
+
+    def test_registry_builds_every_kind(self):
+        assert {"pop_outage", "slow_server", "lossy_link",
+                "resolver_brownout", "overloaded_pop"} <= set(fault_kinds())
+        fault = build_fault("slow_server", pop="ashburn", factor=5.0)
+        assert isinstance(fault, SlowServer) and fault.factor == 5.0
+        withdrawal = build_fault("pop_withdrawal",
+                                 prefix=str(POOL_PREFIX), pop="ashburn")
+        assert isinstance(withdrawal, PopWithdrawal)
+        assert withdrawal.prefix == POOL_PREFIX
+
+    def test_registry_errors_are_typed(self):
+        with pytest.raises(UnknownFaultKindError):
+            build_fault("meteor_strike")
+        with pytest.raises(FaultConfigError):
+            build_fault("slow_server", pop="ashburn", warp=9)  # bad kwarg
+        with pytest.raises(FaultConfigError):
+            build_fault("lossy_link", pop="ashburn", drop=7.0)  # bad value
+
+
+# -- satellite: deterministic same-timestamp ordering --------------------------
+
+
+class TestInjectorTieOrdering:
+    def _run_once(self):
+        clock = Clock()
+        cdn, *_ = make_policy_cdn(clock)
+        cdn.announce_pool(BACKUP_PREFIX, ports=(80, 443), mode=ListenMode.SK_LOOKUP)
+        plan = FaultPlan()
+        plan.at(10.0, PopWithdrawal(POOL_PREFIX, "ashburn"), duration=5.0)
+        plan.at(10.0, PopWithdrawal(BACKUP_PREFIX, "ashburn"), duration=5.0)
+        plan.at(10.0, PopWithdrawal(POOL_PREFIX, "london"), duration=5.0)
+        injector = FaultInjector(clock, plan, FaultTargets(cdn=cdn),
+                                 rng=random.Random(3))
+        clock.advance(10.0)
+        injected = injector.tick()
+        clock.advance(5.0)
+        reverted = injector.tick()
+        return [e.target for e in injected], [e.target for e in reverted]
+
+    def test_same_timestamp_fires_in_plan_order(self):
+        injected, reverted = self._run_once()
+        assert injected == [f"ashburn:{POOL_PREFIX}", f"ashburn:{BACKUP_PREFIX}",
+                            f"london:{POOL_PREFIX}"]
+        # Reversions scheduled at apply time inherit the same ordering.
+        assert reverted == injected
+
+    def test_tie_order_is_reproducible(self):
+        assert self._run_once() == self._run_once()
+
+
+# -- satellite: full-jitter capped exponential backoff -------------------------
+
+
+class TestResolverBackoffJitter:
+    def _retry_cost(self, seed: int) -> float:
+        """Simulated seconds one resolver burns retrying a dead upstream."""
+        clock = Clock()
+        resolver = RecursiveResolver(
+            f"r{seed}", clock, lambda wire: None, rng=random.Random(seed),
+            max_retries=3, timeout_s=0.0, backoff_base_s=1.0, backoff_cap_s=4.0,
+        )
+        with pytest.raises(ResolveError):
+            resolver.resolve_addresses("dead.example.com")
+        return clock.now()
+
+    def test_full_jitter_desynchronizes_the_fleet(self):
+        """No retry storm: resolvers sharing a browned-out upstream must
+        not back off in lockstep.  Full jitter draws each delay uniformly
+        from [0, backoff), so a fleet spreads over the whole window
+        instead of re-clustering around the old equal-jitter midpoint."""
+        costs = [self._retry_cost(seed) for seed in range(8)]
+        # Capped exponential ceiling: 1 + 2 + 4 simulated seconds.
+        assert all(0.0 <= cost < 7.0 for cost in costs)
+        # Desynchronized: every resolver lands on a distinct schedule.
+        assert len(set(costs)) == len(costs)
+        # Full jitter reaches below the old scheme's floor (0.5 × delay
+        # each round ⇒ 3.5 s minimum) — that low half is what breaks the
+        # lockstep.
+        assert min(costs) < 3.5
+
+    def test_backoff_respects_the_cap(self):
+        clock = Clock()
+        resolver = RecursiveResolver(
+            "capped", clock, lambda wire: None, rng=random.Random(5),
+            max_retries=6, timeout_s=0.0, backoff_base_s=2.0, backoff_cap_s=3.0,
+        )
+        with pytest.raises(ResolveError):
+            resolver.resolve_addresses("dead.example.com")
+        # Six delays, each < cap even though 2·2^k explodes past it.
+        assert clock.now() < 6 * 3.0
+
+
+# -- satellite: timeline JSON round-trip ---------------------------------------
+
+
+class TestTimelineRoundTrip:
+    def test_to_json_from_json_is_lossless(self):
+        timeline = FaultTimeline()
+        timeline.emit(10.0, "pop_outage", "ashburn", "2 prefixes withdrawn")
+        timeline.emit(15.0, "probe_failed", "eyeball:us:0", phase="observe")
+        timeline.emit(15.0, "failover_triggered", "svc", "drained", phase="react")
+        rebuilt = FaultTimeline.from_json(timeline.to_json())
+        assert list(rebuilt) == list(timeline)
+        assert rebuilt.to_json() == timeline.to_json()
+        # indent only changes formatting, not content
+        assert FaultTimeline.from_json(timeline.to_json(indent=2)).to_json() \
+            == timeline.to_json()
+
+    def test_from_json_rejects_out_of_order_events(self):
+        text = json.dumps([
+            {"at": 5.0, "kind": "a", "target": "x", "detail": "", "phase": "inject"},
+            {"at": 1.0, "kind": "b", "target": "x", "detail": "", "phase": "inject"},
+        ])
+        with pytest.raises(ValueError):
+            FaultTimeline.from_json(text)
+
+
+# -- gray-failure detection in the monitor -------------------------------------
+
+
+class TestGrayDetection:
+    def _monitored_cdn(self, clock, **knobs):
+        cdn, hostnames, engine, pool = make_policy_cdn(clock)
+        cdn.announce_pool(BACKUP_PREFIX, ports=(80, 443), mode=ListenMode.SK_LOOKUP)
+        controller = AgilityController(engine, clock)
+        monitor = HealthMonitor(
+            cdn, clock, controller, "randomize-all",
+            probe_hostname=hostnames[0],
+            vantages=["eyeball:us:0", "eyeball:eu:0"],
+            failover_pool=AddressPool(BACKUP_PREFIX, name="backup"),
+            probe_interval=5.0,
+            rng=random.Random(9),
+            **knobs,
+        )
+        return cdn, hostnames, monitor
+
+    def _warm_baseline(self, clock, monitor, rounds=3):
+        for _ in range(rounds):
+            monitor.tick()
+            clock.advance(5.0)
+
+    def _slow_every_server(self, cdn, factor=10.0):
+        for dc in cdn.datacenters.values():
+            for server in dc.servers.values():
+                server.serve_latency_s *= factor
+
+    def test_popwide_slowdown_drains_without_hard_failure(self, clock):
+        cdn, hostnames, monitor = self._monitored_cdn(clock)
+        self._warm_baseline(clock, monitor)
+        self._slow_every_server(cdn)
+
+        monitor.tick()  # gray round 1: hedged, still slow, below threshold
+        assert monitor.consecutive_gray == 1 and not monitor.failed_over
+        assert monitor.hedges_run >= 2  # both vantages re-probed
+        clock.advance(5.0)
+        monitor.tick()  # gray round 2: threshold crossed -> drain
+        assert monitor.failed_over
+        assert monitor.timeline.first("gray_detected") is not None
+        failover = monitor.timeline.first("failover_triggered")
+        assert failover is not None and "slow:" in failover.detail
+        # The whole incident was gray: no probe ever failed outright.
+        assert not monitor.timeline.events(kind="probe_failed")
+
+    def test_single_slow_server_is_absorbed(self, clock):
+        """One slow box behind ECMP is noise, not an incident: the healthy
+        vantage (and the hedge) keep every round from counting as gray."""
+        cdn, hostnames, monitor = self._monitored_cdn(clock)
+        self._warm_baseline(clock, monitor)
+        slow = sorted(cdn.datacenters["ashburn"].servers)[0]
+        cdn.datacenters["ashburn"].servers[slow].serve_latency_s *= 10.0
+        for _ in range(6):
+            monitor.tick()
+            clock.advance(5.0)
+        assert not monitor.failed_over
+        assert monitor.timeline.first("gray_detected") is None
+
+    def test_latency_factor_zero_disables_gray_detection(self, clock):
+        cdn, hostnames, monitor = self._monitored_cdn(clock, latency_factor=0.0)
+        self._warm_baseline(clock, monitor)
+        self._slow_every_server(cdn)
+        for _ in range(4):
+            monitor.tick()
+            clock.advance(5.0)
+        assert not monitor.failed_over and monitor.gray_rounds == 0
+
+    def test_probe_results_carry_latency(self, clock):
+        cdn, hostnames, monitor = self._monitored_cdn(clock)
+        results = monitor.tick()
+        assert all(r.ok and r.latency_s > 0 for r in results)
+        baseline_input = max(r.latency_s for r in results)
+        self._slow_every_server(cdn)
+        clock.advance(5.0)
+        slow = monitor.tick()
+        assert min(r.latency_s for r in slow) > baseline_input
+
+    def test_reset_clears_latency_state(self, clock):
+        """Satellite regression: re-arming after repair must forget the
+        pre-incident baseline and any gray run in progress."""
+        cdn, hostnames, monitor = self._monitored_cdn(clock)
+        self._warm_baseline(clock, monitor)
+        self._slow_every_server(cdn)
+        monitor.tick()
+        assert monitor.consecutive_gray == 1
+        assert len(monitor._latencies) > 0
+        clock.advance(5.0)
+        monitor.tick()
+        assert monitor.failed_over
+
+        monitor.reset()
+        assert not monitor.failed_over
+        assert monitor.consecutive_failures == 0
+        assert monitor.consecutive_gray == 0
+        assert len(monitor._latencies) == 0
+        assert monitor._first_failure_at is None
+        assert monitor.latency_baseline() is None
+
+    def test_gray_knob_validation(self, clock):
+        cdn, hostnames, engine, _ = make_policy_cdn(clock)
+        controller = AgilityController(engine, clock)
+        base = dict(probe_hostname=hostnames[0], vantages=["eyeball:us:0"])
+        with pytest.raises(ValueError):
+            HealthMonitor(cdn, clock, controller, "randomize-all",
+                          latency_factor=-1.0, **base)
+        with pytest.raises(ValueError):
+            HealthMonitor(cdn, clock, controller, "randomize-all",
+                          gray_threshold=0, **base)
+        with pytest.raises(ValueError):
+            HealthMonitor(cdn, clock, controller, "randomize-all",
+                          latency_window=2, min_latency_samples=4, **base)
+
+
+# -- the gray faults against a live deployment ---------------------------------
+
+
+class TestGrayFaults:
+    def test_slow_server_inflates_and_restores(self, clock):
+        cdn, *_ = make_policy_cdn(clock)
+        targets = FaultTargets(cdn=cdn)
+        dc = cdn.datacenters["ashburn"]
+        before = {name: s.serve_latency_s for name, s in dc.servers.items()}
+        fault = SlowServer("ashburn", factor=10.0)
+        fault.apply(targets, random.Random(1))
+        assert all(s.serve_latency_s == pytest.approx(before[n] * 10.0)
+                   for n, s in dc.servers.items())
+        fault.revert(targets, random.Random(1))
+        assert {n: s.serve_latency_s for n, s in dc.servers.items()} == before
+
+    def test_lossy_link_drops_syns(self, clock):
+        cdn, hostnames, *_ = make_policy_cdn(clock)
+        targets = FaultTargets(cdn=cdn)
+        dc = cdn.datacenters["ashburn"]
+        transport = cdn.transport_for("eyeball:us:0")
+        address = POOL_PREFIX.address_at(7)
+        hello = ClientHello(sni=hostnames[0])
+
+        LossyLink("ashburn", drop=1.0).apply(targets, random.Random(1))
+        with pytest.raises(ConnectionRefusedError):
+            transport.handshake("c", address, 443, hello, HTTPVersion.H2)
+        assert dc.syn_drops == 1
+
+        LossyLink("ashburn", drop=1.0).revert(targets, random.Random(1))
+        assert dc.ingress_loss == 0.0
+        transport.handshake("c", address, 443, hello, HTTPVersion.H2)
+
+    def test_overloaded_pop_sheds_beyond_capacity(self, clock):
+        cdn, hostnames, *_ = make_policy_cdn(clock)
+        targets = FaultTargets(cdn=cdn)
+        dc = cdn.datacenters["ashburn"]
+        transport = cdn.transport_for("eyeball:us:0")
+        address = POOL_PREFIX.address_at(9)
+        hello = ClientHello(sni=hostnames[0])
+
+        fault = OverloadedPoP("ashburn", capacity=1)
+        fault.apply(targets, random.Random(1))
+        transport.handshake("c1", address, 443, hello, HTTPVersion.H2)
+        with pytest.raises(ConnectionRefusedError):
+            transport.handshake("c2", address, 443, hello, HTTPVersion.H2)
+        assert dc.sheds == 1
+
+        # A new admission window (the per-tick grain) admits again — the
+        # edge sheds overload, it does not melt down: no retry storm, the
+        # next tick's arrivals are served within capacity as usual.
+        dc.begin_capacity_window()
+        transport.handshake("c3", address, 443, hello, HTTPVersion.H2)
+        assert dc.sheds == 1
+
+        fault.revert(targets, random.Random(1))
+        assert dc.capacity is None
+        transport.handshake("c4", address, 443, hello, HTTPVersion.H2)
+
+    def test_resolver_brownout_star_hits_every_path(self, clock):
+        cdn, *_ = make_policy_cdn(clock)
+        targets = FaultTargets(cdn=cdn)
+        for name in ("resolver:a", "resolver:b"):
+            targets.transports[name] = FlakyTransport(
+                lambda wire: b"ok", random.Random(1), clock=clock, name=name)
+        fault = ResolverBrownout(transport="*", drop=0.3, delay_s=0.5)
+        fault.apply(targets, random.Random(1))
+        assert all(t.drop == 0.3 and t.delay_s == 0.5
+                   for t in targets.transports.values())
+        fault.revert(targets, random.Random(1))
+        assert all(t.drop == 0.0 and t.delay_s == 0.0
+                   for t in targets.transports.values())
+
+    def test_brownout_unknown_transport_is_loud(self, clock):
+        cdn, *_ = make_policy_cdn(clock)
+        with pytest.raises(KeyError):
+            ResolverBrownout(transport="resolver:ghost").apply(
+                FaultTargets(cdn=cdn), random.Random(1))
+
+
+# -- campaigns: generation, replay, invariants ---------------------------------
+
+
+class TestCampaigns:
+    def test_fault_spec_and_campaign_round_trip(self):
+        rebuilt = Campaign.from_json(BAD_CAMPAIGN.to_json(indent=2))
+        assert rebuilt == BAD_CAMPAIGN
+        assert rebuilt.faults[0].duration is None
+        assert rebuilt.overrides["failure_threshold"] == 8
+
+    def test_generator_is_deterministic_and_buildable(self):
+        generator = CampaignGenerator(SMOKE)
+        a = generator.generate(7, 4)
+        b = generator.generate(7, 4)
+        assert a == b
+        for campaign in a:
+            assert 1 <= len(campaign.faults) <= generator.max_faults
+            assert len(campaign.plan()) == len(campaign.faults)  # all valid
+        # Different seeds sample different schedules.
+        assert generator.generate(8, 4) != a
+
+    def test_with_faults_keeps_the_replay_context(self):
+        subset = BAD_CAMPAIGN.with_faults(BAD_CAMPAIGN.faults[:1])
+        assert subset.seed == BAD_CAMPAIGN.seed
+        assert subset.overrides == BAD_CAMPAIGN.overrides
+        assert len(subset.faults) == 1
+
+    def test_fault_windows_and_deadlines(self):
+        config = ChaosConfig(horizon=120.0)
+        windows = fault_windows(BAD_CAMPAIGN, config)
+        # Permanent fault: deadline = inject + recovery bound.
+        assert windows[0] == (30.0, 30.0 + config.recovery_bound)
+        # Reverting fault: deadline = revert + grace.
+        assert windows[1] == (40.0, 50.0 + config.grace_s)
+
+
+class TestRunCampaign:
+    def test_replay_is_byte_identical(self):
+        campaign = CampaignGenerator(SMOKE).campaign(7, 1)
+        a = json.dumps(run_campaign(campaign, SMOKE).report())
+        b = json.dumps(run_campaign(campaign, SMOKE).report())
+        assert a == b
+
+    def test_healthy_deployment_passes_all_invariants(self):
+        for campaign in CampaignGenerator(SMOKE).generate(7, 3):
+            result = run_campaign(campaign, SMOKE)
+            assert result.ok, result.report()["violations"]
+            assert result.violations == check_invariants(result)
+
+    def test_mistuned_monitor_violates_recovery_bound(self):
+        result = run_campaign(BAD_CAMPAIGN)
+        assert not result.ok
+        assert "recovery" in {v.invariant for v in result.violations}
+        # The report carries the evidence for the table/CI log.
+        report = result.report()
+        assert report["ok"] is False and report["violations"]
+
+    def test_gray_drill_drains_via_latency_path(self):
+        drill = Campaign("gray-drill", seed=42, faults=(
+            FaultSpec(30.0, "slow_server", 60.0,
+                      {"pop": "ashburn", "factor": 10.0}),
+        ))
+        result = run_campaign(drill, SMOKE)
+        assert result.ok
+        failover = result.timeline.first("failover_triggered")
+        assert failover is not None
+        assert failover.at <= 30.0 + SMOKE.detection_budget_s + SMOKE.ttl
+        assert result.timeline.first("gray_detected") is not None
+        assert not result.timeline.events(kind="probe_failed")
+
+    def test_overload_sheds_but_recovers(self):
+        campaign = Campaign("overload", seed=13, faults=(
+            FaultSpec(30.0, "overloaded_pop", 20.0,
+                      {"pop": "ashburn", "capacity": 1}),
+        ))
+        result = run_campaign(campaign, SMOKE)
+        assert result.ok  # recovery invariant: no post-window retry storm
+        assert sum(result.sheds.values()) > 0
+        assert result.report()["sheds"] == sum(result.sheds.values())
+
+    def test_unknown_override_is_rejected(self):
+        bad = Campaign("bad", seed=1, overrides={"warp_factor": 9},
+                       faults=(FaultSpec(10.0, "pop_outage", 5.0,
+                                         {"pop": "ashburn"}),))
+        with pytest.raises(TypeError):
+            run_campaign(bad, SMOKE)
+
+
+class TestMinimizer:
+    def test_ddmin_is_one_minimal(self):
+        # The "bug" needs both 3 and 7 present, order preserved.
+        def test_fn(items):
+            return 3 in items and 7 in items
+
+        minimal = ddmin(list(range(10)), test_fn)
+        assert minimal == [3, 7]
+
+    def test_ddmin_single_culprit(self):
+        assert ddmin(list(range(16)), lambda s: 11 in s) == [11]
+
+    def test_bad_campaign_minimizes_to_the_causal_fault(self):
+        result = minimize_campaign(BAD_CAMPAIGN, invariant="recovery")
+        assert [s.kind for s in result.minimized.faults] == ["pop_outage"]
+        assert len(result.minimized.faults) <= 2
+        assert result.removed == 2
+        # The minimal campaign still reproduces the violation on replay.
+        replay = run_campaign(result.minimized)
+        assert any(v.invariant == "recovery" for v in replay.violations)
+
+    def test_minimizing_a_healthy_campaign_is_an_error(self):
+        healthy = Campaign("fine", seed=3, overrides=dict(BAD_CAMPAIGN.overrides,
+                                                          failure_threshold=1),
+                           faults=(FaultSpec(30.0, "pop_outage", 20.0,
+                                             {"pop": "ashburn"}),))
+        with pytest.raises(ValueError):
+            minimize_campaign(healthy)
+
+    def test_fixture_file_matches_the_inline_campaign(self):
+        """CI pins tests/fixtures/chaos_bad_campaign.json; keep it in sync
+        with the campaign these tests reason about."""
+        with open("tests/fixtures/chaos_bad_campaign.json") as fh:
+            assert Campaign.from_json(fh.read()) == BAD_CAMPAIGN

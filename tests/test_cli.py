@@ -24,6 +24,10 @@ class TestParser:
             ["list"],
             ["metrics"],
             ["metrics", "--experiment", "failover", "--format", "prom"],
+            ["chaos", "--seed", "7", "--campaigns", "2"],
+            ["chaos", "--campaign", "c.json", "--json"],
+            ["chaos", "--minimize", "c.json", "--invariant", "recovery",
+             "--expect-minimal", "pop_outage"],
         ):
             args = parser.parse_args(argv)
             assert args.command == argv[0]
@@ -93,6 +97,47 @@ class TestExecutionSlowPaths:
     def test_coloring(self, capsys):
         out = self.run(["coloring"], capsys)
         assert "prefixes (colours)" in out
+
+
+class TestChaosCommand:
+    FIXTURE = "tests/fixtures/chaos_bad_campaign.json"
+
+    def run(self, argv, capsys) -> str:
+        assert main(argv) == 0
+        return capsys.readouterr().out
+
+    def test_chaos_soak_small(self, capsys):
+        out = self.run(["chaos", "--seed", "7", "--campaigns", "2",
+                        "--horizon", "100", "--clients", "2", "--sites", "6"],
+                       capsys)
+        assert "campaign-7-000" in out and "all invariants hold" in out
+
+    def test_chaos_json_is_deterministic(self, capsys):
+        argv = ["chaos", "--seed", "7", "--campaigns", "2",
+                "--horizon", "100", "--clients", "2", "--sites", "6", "--json"]
+        a = self.run(argv, capsys)
+        b = self.run(argv, capsys)
+        assert a == b
+        assert len(json.loads(a)) == 2
+
+    def test_bad_campaign_replay_fails(self, capsys):
+        assert main(["chaos", "--campaign", self.FIXTURE]) == 1
+        out = capsys.readouterr().out
+        assert "recovery" in out
+
+    def test_bad_campaign_minimizes_to_golden(self, capsys):
+        out = self.run(["chaos", "--minimize", self.FIXTURE,
+                        "--invariant", "recovery",
+                        "--expect-minimal", "pop_outage"], capsys)
+        assert "pop_outage" in out
+
+    def test_wrong_golden_fails(self, capsys):
+        assert main(["chaos", "--minimize", self.FIXTURE,
+                     "--invariant", "recovery",
+                     "--expect-minimal", "server_crash"]) == 1
+
+    def test_unreadable_campaign_exits_2(self, capsys):
+        assert main(["chaos", "--campaign", "no/such/file.json"]) == 2
 
 
 class TestMetricsCommand:
