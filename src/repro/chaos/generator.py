@@ -27,7 +27,13 @@ from ..faults.errors import FaultConfigError
 from ..faults.injector import Fault, FaultPlan
 from ..faults.registry import build_fault
 from ..hashing import stable_hash
-from .world import PRIMARY_POP, PRIMARY_PREFIX, ChaosConfig, resolver_transport_names
+from .world import (
+    LEAKER_AS,
+    PRIMARY_POP,
+    PRIMARY_PREFIX,
+    ChaosConfig,
+    resolver_transport_names,
+)
 
 __all__ = ["FaultSpec", "Campaign", "CampaignGenerator"]
 
@@ -137,6 +143,23 @@ class CampaignGenerator:
         ("overloaded_pop", 2),
     )
 
+    #: Extra kinds sampled only for speakers-mode configs: routing gray
+    #: faults need the event-driven engine to mean anything.
+    ROUTING_KIND_WEIGHTS: tuple[tuple[str, int], ...] = (
+        ("route_leak", 2),
+        ("session_reset", 2),
+        ("slow_convergence", 2),
+        ("persistent_flap", 1),
+    )
+
+    #: Sessions near the primary PoP worth resetting — each sits on the
+    #: announcement path from ashburn to the US eyeballs.
+    RESET_SESSIONS: tuple[tuple[str, str], ...] = (
+        ("pop:ashburn", "transit:us:0"),
+        ("pop:ashburn", "transit:us:1"),
+        ("transit:us:0", "t1:0"),
+    )
+
     def __init__(self, config: ChaosConfig | None = None,
                  max_faults: int = 3, warmup_s: float = 20.0,
                  max_fault_s: float = 35.0) -> None:
@@ -157,16 +180,26 @@ class CampaignGenerator:
             (self._sample_fault(rng) for _ in range(n)),
             key=lambda spec: (spec.when, spec.kind),
         )
+        # Speakers campaigns carry the engine choice as an override so a
+        # pinned fixture replays standalone, without the generator config.
+        overrides = (
+            {"routing": "speakers"}
+            if self.config.routing == "speakers" else {}
+        )
         return Campaign(
             name=f"campaign-{seed}-{index:03d}",
             seed=stable_hash("chaos-run", seed, index) & 0x7FFFFFFF,
             faults=tuple(specs),
+            overrides=overrides,
         )
 
     # -- sampling ------------------------------------------------------------
 
     def _sample_fault(self, rng: random.Random) -> FaultSpec:
-        kinds = [k for k, w in self.KIND_WEIGHTS for _ in range(w)]
+        weights = self.KIND_WEIGHTS
+        if self.config.routing == "speakers":
+            weights = weights + self.ROUTING_KIND_WEIGHTS
+        kinds = [k for k, w in weights for _ in range(w)]
         kind = rng.choice(kinds)
         when = round(rng.uniform(self.warmup_s, self.config.horizon * 0.55), 1)
         duration = round(rng.uniform(10.0, self.max_fault_s), 1)
@@ -201,4 +234,17 @@ class CampaignGenerator:
             # Coalescing keeps fresh dials per tick low — only a cap this
             # tight actually makes an edge shed.
             return {"pop": PRIMARY_POP, "capacity": rng.randint(1, 3)}
+        if kind == "route_leak":
+            return {"leaker": LEAKER_AS, "prefix": str(PRIMARY_PREFIX)}
+        if kind == "session_reset":
+            a, b = rng.choice(self.RESET_SESSIONS)
+            return {"a": a, "b": b}
+        if kind == "slow_convergence":
+            return {"factor": round(rng.uniform(3.0, 8.0), 1)}
+        if kind == "persistent_flap":
+            return {
+                "prefix": str(PRIMARY_PREFIX),
+                "pop": PRIMARY_POP,
+                "period": round(rng.uniform(4.0, 10.0), 1),
+            }
         raise FaultConfigError(f"generator has no sampler for kind {kind!r}")

@@ -32,6 +32,23 @@ instant it first held.  Registered checkers (run in sorted-name order):
     (interpreter or compiled) served the run: every sk_lookup program's
     ``runs`` equals its outcomes, every ECMP router's total equals the
     sum of its per-server counts.
+``bgp_oracle``
+    Speakers mode, differential: once the event-driven network has fully
+    converged (no down sessions, suppressions, or live flaps at the
+    horizon), per-client anycast catchments must equal the static
+    Gao–Rexford fixpoint of :class:`~repro.netsim.bgp.BGPSimulation` —
+    event scheduling may reorder the path to the answer, never the
+    answer.
+``convergence_window``
+    Speakers mode: during a withdrawal-class fault, client-visible
+    unavailability is bounded by ``min(TTL + detection budget, measured
+    BGP convergence time)`` — whichever control plane (DNS rebind or
+    route withdrawal propagation) heals first sets the deadline.
+``leak_containment``
+    Speakers mode: no fresh fetch may still ride a route learned from a
+    :class:`~repro.netsim.bgp.LeakingExport` AS past the leak-detection
+    budget (+ TTL + grace) — the monitor's catchment-churn detection
+    must have drained production traffic off the leaked path by then.
 """
 
 from __future__ import annotations
@@ -199,12 +216,100 @@ def _check_stats_coherence(result: "CampaignResult") -> list[Violation]:
     return violations
 
 
+def _check_bgp_oracle(result: "CampaignResult") -> list[Violation]:
+    if not result.oracle_checked or not result.oracle_mismatches:
+        return []
+    client, address, event_driven, static = result.oracle_mismatches[0]
+    return [Violation(
+        "bgp_oracle", result.config.horizon,
+        f"{len(result.oracle_mismatches)} catchment mismatch(es) vs the "
+        f"static Gao–Rexford fixpoint; first: client {client} -> {address} "
+        f"reaches {event_driven} event-driven but {static} static",
+    )]
+
+
+#: Fault kinds that withdraw the primary PoP's announcement (directly or by
+#: taking the whole PoP down) — the faults a convergence window must cover.
+_WITHDRAWAL_KINDS = frozenset({"pop_withdrawal", "pop_outage"})
+
+
+def _check_convergence_window(result: "CampaignResult") -> list[Violation]:
+    if result.routing == "static":
+        return []
+    config = result.config
+    all_windows = fault_windows(result.campaign, config)
+    violations = []
+    for spec in result.campaign.faults:
+        if spec.kind not in _WITHDRAWAL_KINDS:
+            continue
+        # The convergence window this withdrawal opened: the first one
+        # starting within a couple of simulated seconds of injection
+        # (injection lands on a tick boundary; the first UPDATE follows
+        # within one MRAI round).
+        window = next(
+            (w for w in result.convergence_windows
+             if spec.when <= w[0] <= spec.when + 2.0),
+            None,
+        )
+        if window is None:
+            continue
+        convergence = window[1] - spec.when
+        dns_bound = config.ttl + config.detection_budget_s
+        deadline = spec.when + min(dns_bound, convergence) + config.grace_s
+        end = config.horizon if spec.duration is None else spec.when + spec.duration
+        others = [w for w in all_windows if w[0] != spec.when]
+        late = [
+            s for s in result.ticks
+            if deadline < s.t <= end and s.failures and not _inside(s.t, others)
+        ]
+        if late:
+            violations.append(Violation(
+                "convergence_window", late[0].t,
+                f"{spec.kind} at t={spec.when:g}: still failing at "
+                f"t={late[0].t:g}, past min(TTL+budget={dns_bound:g}s, "
+                f"convergence={convergence:.1f}s) + grace deadline "
+                f"t={deadline:.1f} ({len(late)} failing tick(s))",
+            ))
+    return violations
+
+
+def _check_leak_containment(result: "CampaignResult") -> list[Violation]:
+    if result.routing == "static":
+        return []
+    config = result.config
+    violations = []
+    for spec in result.campaign.faults:
+        if spec.kind != "route_leak":
+            continue
+        boundary = (spec.when + config.detection_budget_s + config.ttl
+                    + config.grace_s)
+        leaked = next(
+            (f for f in result.fetches
+             if f.ok and f.via_leaker and not f.coalesced and f.t > boundary),
+            None,
+        )
+        if leaked is not None:
+            violations.append(Violation(
+                "leak_containment", leaked.t,
+                f"route_leak at t={spec.when:g}: fresh fetch by "
+                f"{leaked.client} still riding the leaked path at "
+                f"t={leaked.t:g}, {leaked.t - boundary:.0f}s past the "
+                f"containment boundary t={boundary:g} "
+                f"(budget {config.detection_budget_s:g}s + TTL "
+                f"{config.ttl}s + grace)",
+            ))
+    return violations
+
+
 INVARIANTS: dict[str, Callable[["CampaignResult"], list[Violation]]] = {
     "availability": _check_availability,
     "recovery": _check_recovery,
     "stale_binding": _check_stale_binding,
     "single_failover": _check_single_failover,
     "stats_coherence": _check_stats_coherence,
+    "bgp_oracle": _check_bgp_oracle,
+    "convergence_window": _check_convergence_window,
+    "leak_containment": _check_leak_containment,
 }
 
 

@@ -24,6 +24,7 @@ from ..dns.resolver import ResolveError
 from ..faults.events import FaultTimeline
 from ..faults.injector import FaultInjector
 from ..netsim.addr import IPAddress
+from ..netsim.speakers import oracle_mismatches
 from .generator import Campaign
 from .invariants import Violation, check_invariants
 from .world import ChaosConfig, build_world
@@ -51,6 +52,10 @@ class FetchSample:
     address: IPAddress | None
     latency_s: float
     error: str = ""
+    #: Speakers mode: the forwarding path for this fetch traversed an AS
+    #: with an active ``route_leak`` fault — production traffic riding a
+    #: leaked route (the ``leak_containment`` invariant's raw signal).
+    via_leaker: bool = False
 
 
 @dataclass(slots=True)
@@ -71,6 +76,12 @@ class CampaignResult:
     detection_time: float            # first fault -> failover (inf: none)
     recovery_time: float             # first fault -> sustained success
     violations: tuple[Violation, ...] = field(default_factory=tuple)
+    # -- speakers-mode extras (defaults keep static-mode reports identical) --
+    routing: str = "static"
+    convergence_windows: tuple[tuple[float, float], ...] = ()
+    bgp: dict = field(default_factory=dict)      # ConvergenceTracker snapshot
+    oracle_checked: bool = False
+    oracle_mismatches: tuple = ()
 
     @property
     def ok(self) -> bool:
@@ -112,6 +123,29 @@ class CampaignResult:
                 for v in self.violations
             ],
             "ok": self.ok,
+            # Static-mode reports stay byte-identical to the pre-speakers
+            # format; the routing section only appears for speaker runs.
+            **(
+                {
+                    "routing": {
+                        "mode": self.routing,
+                        "convergence_windows": [
+                            [round(opened, 3), round(closed, 3)]
+                            for opened, closed in self.convergence_windows
+                        ],
+                        "bgp": {k: self.bgp[k] for k in sorted(self.bgp)},
+                        "oracle_checked": self.oracle_checked,
+                        "oracle_mismatches": [
+                            list(row) for row in self.oracle_mismatches
+                        ],
+                        "leaked_fetches": sum(
+                            1 for f in self.fetches if f.via_leaker
+                        ),
+                    }
+                }
+                if self.routing != "static"
+                else {}
+            ),
         }
 
 
@@ -126,6 +160,8 @@ def run_campaign(
     config = (base_config or ChaosConfig()).apply(campaign.overrides)
     world = build_world(config, campaign.seed)
     clock, cdn = world.clock, world.cdn
+    sim = cdn.network.sim
+    speakers = bool(getattr(sim, "incremental", False))
     injector = FaultInjector(
         clock, campaign.plan(), world.targets,
         rng=random.Random(campaign.seed + 2), timeline=world.timeline,
@@ -138,7 +174,13 @@ def run_campaign(
         for dc_name in sorted(cdn.datacenters):
             cdn.datacenters[dc_name].begin_capacity_window()
         injector.tick()
+        if speakers:
+            sim.tick()  # deliver BGP updates due this second
         world.monitor.tick()
+        leakers = (
+            [f.leaker for f in injector.active_faults() if f.kind == "route_leak"]
+            if speakers else []
+        )
         successes = failures = 0
         for asn, client in world.clients:
             site = workload.choice(world.universe.sites)
@@ -153,9 +195,14 @@ def run_campaign(
                 ))
             else:
                 successes += 1
+                via_leaker = False
+                if leakers:
+                    path = sim.forwarding_path(asn, outcome.connection.remote_addr)
+                    via_leaker = bool(path) and any(l in path for l in leakers)
                 fetches.append(FetchSample(
                     t, client.name, True, outcome.coalesced,
                     outcome.connection.remote_addr, outcome.response.latency_s,
+                    via_leaker=via_leaker,
                 ))
         ticks.append(ChaosTick(clock.now(), successes, failures))
         clock.advance(1.0)
@@ -169,6 +216,40 @@ def run_campaign(
         if all(later.failures == 0 for later in post[i:]):
             recovery_time = sample.t - first_fault
             break
+
+    convergence_windows: tuple[tuple[float, float], ...] = ()
+    bgp: dict = {}
+    oracle_checked = False
+    mismatches: tuple = ()
+    if speakers:
+        tracker = sim.tracker
+        windows = list(tracker.windows)
+        opened = sim.open_window_since()
+        if opened is not None:
+            # Still converging at the horizon: close the window at the
+            # horizon so the invariant sees an honest (pessimistic) bound.
+            windows.append((opened, config.horizon))
+        convergence_windows = tuple(windows)
+        # The differential oracle only applies when the network can reach
+        # the static fixpoint at all: any down session, suppressed route,
+        # or live flap makes static's answer the wrong reference.
+        applicable = (
+            not sim.sessions_down()
+            and not sim.active_flaps()
+            and sim.suppressed_count() == 0
+        )
+        sim.settle()
+        bgp = tracker.snapshot()
+        if applicable:
+            network = cdn.network
+            addresses = sorted(
+                (prefix.first for prefix in network.announced_prefixes()),
+                key=str,
+            )
+            mismatches = tuple(oracle_mismatches(
+                sim, sorted(network.client_ases(), key=str), addresses,
+            ))
+            oracle_checked = True
 
     result = CampaignResult(
         campaign=campaign,
@@ -184,6 +265,11 @@ def run_campaign(
         hedges_run=world.monitor.hedges_run,
         detection_time=detection_time,
         recovery_time=recovery_time,
+        routing=config.routing,
+        convergence_windows=convergence_windows,
+        bgp=bgp,
+        oracle_checked=oracle_checked,
+        oracle_mismatches=mismatches,
     )
     result.violations = check_invariants(result)
     return result

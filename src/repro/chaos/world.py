@@ -49,6 +49,7 @@ __all__ = [
     "STANDBY_PREFIX",
     "PRIMARY_POP",
     "STANDBY_POP",
+    "LEAKER_AS",
     "ChaosConfig",
     "ChaosWorld",
     "build_world",
@@ -60,6 +61,10 @@ STANDBY_PREFIX = parse_prefix("203.0.113.0/24")
 PRIMARY_POP = "ashburn"
 STANDBY_POP = "london"
 REGIONS = (("us", PRIMARY_POP), ("eu", STANDBY_POP))
+#: The leak-prone stub AS present in speakers-mode worlds: a customer of
+#: one transit per region (Figure 9's AS3 shape), so flipping its export
+#: policy pulls one region's eyeballs cross-region through it.
+LEAKER_AS = "leaky:cust"
 
 
 @dataclass(frozen=True, slots=True)
@@ -71,6 +76,16 @@ class ChaosConfig:
     the deployment to ``TTL + detection budget + grace``, so a mis-tuned
     monitor (threshold so high it detects late or never) is a violation
     rather than a silently relaxed bound.
+
+    ``routing`` selects the BGP engine: ``"static"`` (default) is the
+    instantaneous fixpoint the repo has always used; ``"speakers"`` runs
+    the event-driven :class:`~repro.netsim.speakers.SpeakerSimulation` on
+    the world clock (MRAI ``mrai_s``, per-link delays scaled from
+    ``link_delay_s``), announces the primary prefix *anycast* from both
+    PoPs (so routing faults shift catchments instead of just blackholing),
+    attaches the :data:`LEAKER_AS` stub, probes every eyeball as a
+    vantage, and turns on the monitor's catchment-churn detection with
+    ``routing_threshold`` consecutive rerouted rounds.
     """
 
     ttl: int = 20
@@ -84,6 +99,10 @@ class ChaosConfig:
     slo: float = 0.99             # availability floor outside fault windows
     grace_s: float = 5.0          # measurement-grain slack on every bound
     detection_budget_s: float = 10.0
+    routing: str = "static"       # "static" | "speakers"
+    mrai_s: float = 1.0
+    link_delay_s: float = 0.1
+    routing_threshold: int = 2
 
     @property
     def recovery_bound(self) -> float:
@@ -125,6 +144,9 @@ class ChaosWorld:
 
 
 def build_world(config: ChaosConfig, seed: int) -> ChaosWorld:
+    if config.routing not in ("static", "speakers"):
+        raise ValueError(f"unknown routing engine {config.routing!r}")
+    speakers = config.routing == "speakers"
     clock = Clock()
     timeline = FaultTimeline()
     registry = MetricsRegistry(clock)
@@ -138,11 +160,37 @@ def build_world(config: ChaosConfig, seed: int) -> ChaosWorld:
         clients_per_region=config.clients_per_region,
         rng=random.Random(seed),
     )
+    if speakers:
+        from ..netsim.routeleak import attach_multihomed_leaker
+        from ..netsim.speakers import LinkProfile, SpeakerSimulation
+
+        attach_multihomed_leaker(
+            network, LEAKER_AS, "transit:us:0", "transit:eu:0"
+        )
+        network.use_simulation(SpeakerSimulation(
+            network.graph, clock=clock,
+            profile=LinkProfile(
+                base_delay_s=config.link_delay_s,
+                jitter_s=config.link_delay_s,
+                mrai_s=config.mrai_s,
+            ),
+        ))
     cdn = CDN(network, universe.registry, universe.origins, servers_per_dc=2)
     cdn.provision_certificates()
-    cdn.announce_pool(PRIMARY_PREFIX, ports=(443,), mode=ListenMode.SK_LOOKUP,
-                      pops=[PRIMARY_POP])
+    # Speakers mode announces the primary prefix anycast from both PoPs:
+    # routing faults then *shift* catchments (the interesting regime)
+    # rather than leaving the prefix single-homed and merely unreachable.
+    if speakers:
+        cdn.announce_pool(PRIMARY_PREFIX, ports=(443,), mode=ListenMode.SK_LOOKUP)
+    else:
+        cdn.announce_pool(PRIMARY_PREFIX, ports=(443,), mode=ListenMode.SK_LOOKUP,
+                          pops=[PRIMARY_POP])
     cdn.announce_pool(STANDBY_PREFIX, ports=(443,), mode=ListenMode.SK_LOOKUP)
+    if speakers:
+        # Build-time convergence happens on the virtual time axis; the run
+        # then starts from a quiet, converged network with fresh counters.
+        network.sim.settle()
+        network.sim.warm_reset()
 
     engine = PolicyEngine(random.Random(seed + 1))
     engine.add(Policy("svc", AddressPool(PRIMARY_PREFIX, name="primary"),
@@ -151,10 +199,16 @@ def build_world(config: ChaosConfig, seed: int) -> ChaosWorld:
     cdn.attach_observability(registry=registry)
     controller = AgilityController(engine, clock)
 
+    vantages = (
+        [f"eyeball:{region}:{i}" for region, _ in REGIONS
+         for i in range(config.clients_per_region)]
+        if speakers
+        else [f"eyeball:{region}:0" for region, _ in REGIONS]
+    )
     monitor = HealthMonitor(
         cdn, clock, controller, "svc",
         probe_hostname=universe.sites[0],
-        vantages=[f"eyeball:{region}:0" for region, _ in REGIONS],
+        vantages=vantages,
         failover_pool=AddressPool(STANDBY_PREFIX, name="standby"),
         probe_interval=config.probe_interval,
         failure_threshold=config.failure_threshold,
@@ -162,6 +216,8 @@ def build_world(config: ChaosConfig, seed: int) -> ChaosWorld:
         gray_threshold=config.gray_threshold,
         timeline=timeline,
         rng=random.Random(seed + 3),
+        detect_routing=speakers,
+        routing_threshold=config.routing_threshold,
     )
 
     targets = FaultTargets(cdn=cdn)

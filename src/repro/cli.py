@@ -16,6 +16,7 @@
     python -m repro chaos --seed 7 --campaigns 20
     python -m repro chaos --campaign tests/fixtures/chaos_bad_campaign.json
     python -m repro chaos --minimize tests/fixtures/chaos_bad_campaign.json
+    python -m repro bgp --seed 7 [--json]
     python -m repro scaling
     python -m repro check [config.json] [--strict]
     python -m repro metrics [--experiment ttl|failover] [--format json|prom]
@@ -180,6 +181,20 @@ def _json_dumps(document) -> str:
     return json.dumps(document, indent=2)
 
 
+def _cmd_bgp(args) -> str:
+    from .experiments.bgp_convergence import (
+        BGPConvergenceConfig,
+        render_bgp_table,
+        run_bgp_convergence,
+    )
+
+    outcome = run_bgp_convergence(BGPConvergenceConfig(seed=args.seed))
+    output = outcome.reports_json() if args.json else render_bgp_table(outcome)
+    if not outcome.ok:
+        raise _CommandFailed(output, 1)
+    return output
+
+
 def _cmd_scaling(args) -> str:
     from .experiments.sklookup_perf import render_scaling_table
 
@@ -285,6 +300,7 @@ _COMMANDS: dict[str, tuple[Callable, str]] = {
     "dnsload": (_cmd_dnsload, "§5.2: DNS-stress reduction under one-address"),
     "failover": (_cmd_failover, "§3.4/§4.4: failover recovery time vs BGP reconvergence"),
     "chaos": (_cmd_chaos, "§3.4/§6: seeded chaos campaigns vs control-plane invariants"),
+    "bgp": (_cmd_bgp, "§4.4/§6: BGP convergence windows racing the DNS rebind"),
     "scaling": (_cmd_scaling, "Figure 4: socket-table scaling comparison"),
     "check": (_cmd_check, "static analysis: program verifier + control-plane + determinism lint"),
     "metrics": (_cmd_metrics, "repro.obs: run an instrumented experiment, export metrics"),
@@ -358,6 +374,11 @@ def build_parser() -> argparse.ArgumentParser:
                    metavar="KINDS",
                    help="with --minimize: fail unless the minimal schedule "
                         "is exactly this comma-separated kind list")
+
+    p = sub.add_parser("bgp", help=_COMMANDS["bgp"][1])
+    p.add_argument("--seed", type=int, default=7)
+    p.add_argument("--json", action="store_true",
+                   help="emit per-scenario reports as JSON (deterministic bytes)")
 
     sub.add_parser("scaling", help=_COMMANDS["scaling"][1])
 

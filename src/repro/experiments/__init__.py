@@ -21,11 +21,13 @@ EXPERIMENTS.md records their output against the paper's numbers.
 | pageload        | §5.2 page-load decomposition (extension)|
 | failover        | §3.4/§4.4 failover recovery (extension)|
 | chaos_soak      | §3.4/§6 chaos campaigns vs invariants (extension)|
+| bgp_convergence | §4.4/§6 convergence windows vs DNS rebind (extension)|
 """
 
-from . import chaos_soak, coloring, dnsload, dnsqps, dos, failover, fig7, fig8, fig9, pageload, reduction, sklookup_perf, spillover, ttl
+from . import bgp_convergence, chaos_soak, coloring, dnsload, dnsqps, dos, failover, fig7, fig8, fig9, pageload, reduction, sklookup_perf, spillover, ttl
 
 __all__ = [
+    "bgp_convergence",
     "chaos_soak",
     "coloring",
     "dnsload",

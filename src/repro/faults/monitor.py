@@ -90,6 +90,18 @@ class HealthMonitor:
         timeline event on error findings but still swaps — availability
         over purity, a monitor must not deadlock the mitigation; ``True``
         refuses the swap with :class:`~repro.check.core.CheckError`.
+    detect_routing / routing_threshold:
+        Routing-aware detection for worlds running the event-driven BGP
+        speakers.  The monitor learns each vantage's *baseline* catchment
+        PoP from its first healthy probe; a probe that still succeeds but
+        lands on a different PoP is *rerouted* (catchment churn — a leak,
+        a withdrawal mid-convergence).  ``routing_threshold`` consecutive
+        rounds with at least one rerouted vantage drain the pool with
+        ``reason="routing"``; and when probes outright *fail* but every
+        failing vantage's catchment has shifted from baseline, the
+        failover is attributed to routing rather than server health.
+        Disabled by default: the static BGP engine flips catchments
+        instantaneously and deliberately, so churn there is signal-free.
     """
 
     def __init__(
@@ -112,6 +124,8 @@ class HealthMonitor:
         latency_window: int = 16,
         min_latency_samples: int = 4,
         hedged_probes: bool = True,
+        detect_routing: bool = False,
+        routing_threshold: int = 2,
     ) -> None:
         if not vantages:
             raise ValueError("health monitoring needs at least one vantage AS")
@@ -125,6 +139,8 @@ class HealthMonitor:
             raise ValueError("gray_threshold must be at least 1")
         if min_latency_samples < 1 or latency_window < min_latency_samples:
             raise ValueError("latency_window must hold at least min_latency_samples")
+        if routing_threshold < 1:
+            raise ValueError("routing_threshold must be at least 1")
         self.cdn = cdn
         self.clock = clock
         self.controller = controller
@@ -146,12 +162,19 @@ class HealthMonitor:
         self.gray_threshold = gray_threshold
         self.min_latency_samples = min_latency_samples
         self.hedged_probes = hedged_probes
+        self.detect_routing = detect_routing
+        self.routing_threshold = routing_threshold
         self.consecutive_failures = 0
         self.consecutive_gray = 0
+        self.consecutive_rerouted = 0
         self.failed_over = False
         self.probes_run = 0
         self.hedges_run = 0
         self.gray_rounds = 0
+        self.reroute_rounds = 0
+        #: First healthy catchment PoP seen per vantage — the "where this
+        #: vantage's packets are supposed to land" reference for churn.
+        self._baseline_pops: dict[object, str] = {}
         self._latencies: deque[float] = deque(maxlen=latency_window)
         self._first_failure_at: float | None = None
         self._next_probe_at: float | None = None  # None: probe on first tick
@@ -198,6 +221,7 @@ class HealthMonitor:
         self.probes_run += 1
         results = [self.probe_from(v) for v in self.vantages]
         failures = [r for r in results if not r.ok]
+        rerouted = self._note_catchments(results)
         for r in failures:
             self.timeline.emit(
                 r.at, "probe_failed", str(r.vantage),
@@ -208,7 +232,16 @@ class HealthMonitor:
                 self._first_failure_at = failures[0].at
             self.consecutive_failures += 1
             if self.consecutive_failures >= self.failure_threshold:
-                self._trigger_failover(failures)
+                # When every failing vantage's catchment has shifted from
+                # its learned baseline, routing churn — not server health —
+                # explains the failures.
+                reason = (
+                    "routing"
+                    if self.detect_routing and failures
+                    and all(self._is_rerouted(r) for r in failures)
+                    else "blackhole"
+                )
+                self._trigger_failover(failures, reason=reason)
         else:
             if self.consecutive_failures:
                 self.timeline.emit(
@@ -217,8 +250,61 @@ class HealthMonitor:
                 )
             self.consecutive_failures = 0
             self._first_failure_at = None
+            self._observe_reroutes(rerouted)
             self._observe_latencies(results)
         return results
+
+    # -- routing-aware detection ----------------------------------------------
+
+    def _is_rerouted(self, result: ProbeResult) -> bool:
+        baseline = self._baseline_pops.get(result.vantage)
+        return baseline is not None and result.pop != baseline
+
+    def _note_catchments(self, results: list[ProbeResult]) -> list[ProbeResult]:
+        """Learn first-seen baselines; return this round's rerouted probes."""
+        if not self.detect_routing:
+            return []
+        rerouted: list[ProbeResult] = []
+        for r in results:
+            baseline = self._baseline_pops.get(r.vantage)
+            if baseline is None:
+                if r.ok and r.pop is not None:
+                    self._baseline_pops[r.vantage] = r.pop
+                continue
+            if r.pop != baseline:
+                rerouted.append(r)
+                self.timeline.emit(
+                    r.at, "probe_rerouted", str(r.vantage),
+                    f"{r.address} now via {r.pop or 'blackhole'}, "
+                    f"baseline {baseline}", phase="observe",
+                )
+        return rerouted
+
+    def _observe_reroutes(self, rerouted: list[ProbeResult]) -> None:
+        """Healthy-round churn: probes succeed but land on the wrong PoP.
+
+        This is the leak signature — a :class:`LeakingExport` AS pulls a
+        vantage cross-region and the probe still *works*, just via the
+        wrong catchment — so it must drain the pool on its own, without
+        waiting for anything to fail.
+        """
+        if not self.detect_routing or self.failed_over:
+            return
+        if rerouted:
+            self.reroute_rounds += 1
+            if self.consecutive_rerouted == 0:
+                self._first_failure_at = rerouted[0].at
+            self.consecutive_rerouted += 1
+            if self.consecutive_rerouted >= self.routing_threshold:
+                self.timeline.emit(
+                    self.clock.now(), "routing_churn_detected", self.policy_name,
+                    f"{len(rerouted)} vantage(s) rerouted, "
+                    f"{self.consecutive_rerouted} consecutive rounds",
+                    phase="observe",
+                )
+                self._trigger_failover(rerouted, reason="routing")
+        else:
+            self.consecutive_rerouted = 0
 
     def latency_baseline(self) -> float | None:
         """Median of the latency window after ejecting the slowest eighth.
@@ -292,7 +378,8 @@ class HealthMonitor:
                     phase="observe",
                 )
             self.consecutive_gray = 0
-            self._first_failure_at = None
+            if self.consecutive_rerouted == 0:
+                self._first_failure_at = None
             # Only feed the baseline from rounds that are not suspect —
             # learning the gray latency as the new normal would mask it.
             for r in healthy:
@@ -356,11 +443,20 @@ class HealthMonitor:
                 self._first_failure_at if self._first_failure_at is not None
                 else self.clock.now()
             )
-            detect_detail = (
-                f"{self.consecutive_gray}/{self.gray_threshold} all-slow rounds"
-                if reason == "latency"
-                else f"{self.consecutive_failures}/{self.failure_threshold} failed rounds"
-            )
+            if reason == "latency":
+                detect_detail = (
+                    f"{self.consecutive_gray}/{self.gray_threshold} all-slow rounds"
+                )
+            elif reason == "routing":
+                detect_detail = (
+                    f"catchment shifted from baseline "
+                    f"({max(self.consecutive_rerouted, self.consecutive_failures)} "
+                    f"round(s))"
+                )
+            else:
+                detect_detail = (
+                    f"{self.consecutive_failures}/{self.failure_threshold} failed rounds"
+                )
             self.tracer.record(
                 trace, "detect", detect_start, self.clock.now(), detect_detail,
             )
@@ -381,7 +477,8 @@ class HealthMonitor:
         self.failed_over = True
         self.consecutive_failures = 0
         self.consecutive_gray = 0
-        verb = "slow" if reason == "latency" else "failing"
+        self.consecutive_rerouted = 0
+        verb = {"latency": "slow", "routing": "rerouted"}.get(reason, "failing")
         affected = sorted({str(r.pop) for r in failures})
         self.timeline.emit(
             self.clock.now(), "failover_triggered", self.policy_name,
@@ -400,5 +497,7 @@ class HealthMonitor:
         self.failed_over = False
         self.consecutive_failures = 0
         self.consecutive_gray = 0
+        self.consecutive_rerouted = 0
+        self._baseline_pops.clear()
         self._latencies.clear()
         self._first_failure_at = None

@@ -19,6 +19,7 @@ from ..netsim.addr import Prefix, parse_prefix
 from .errors import FaultConfigError, UnknownFaultKindError
 from .gray import LossyLink, OverloadedPoP, ResolverBrownout, SlowServer
 from .injector import Fault, PopOutage, PopWithdrawal, ServerCrash, TransportDegrade
+from .routing import PersistentFlap, RouteLeak, SessionReset, SlowConvergence
 
 __all__ = ["FAULT_KINDS", "register_fault", "build_fault", "fault_kinds"]
 
@@ -60,7 +61,10 @@ def _with_prefix(cls):
 
     def factory(prefix, **params) -> Fault:
         if not isinstance(prefix, Prefix):
-            prefix = parse_prefix(prefix)
+            try:
+                prefix = parse_prefix(prefix)
+            except (ValueError, TypeError) as exc:
+                raise FaultConfigError(f"bad prefix {prefix!r}: {exc}") from exc
         return cls(prefix=prefix, **params)
 
     return factory
@@ -74,3 +78,7 @@ register_fault("slow_server", SlowServer)
 register_fault("lossy_link", LossyLink)
 register_fault("resolver_brownout", ResolverBrownout)
 register_fault("overloaded_pop", OverloadedPoP)
+register_fault("route_leak", _with_prefix(RouteLeak))
+register_fault("session_reset", SessionReset)
+register_fault("slow_convergence", SlowConvergence)
+register_fault("persistent_flap", _with_prefix(PersistentFlap))

@@ -1,0 +1,173 @@
+"""Routing gray faults: leaks, session resets, slow convergence, flapping.
+
+These are the failure modes the paper's §6 incident taxonomy describes at
+the *routing* layer — the ones a static fixpoint engine cannot express in
+time.  ``route_leak`` works against either BGP engine (on the static one it
+recomputes the fixpoint, matching the legacy
+:func:`~repro.netsim.routeleak.inject_route_leak` behaviour); the other
+three need the event-driven :class:`~repro.netsim.speakers.SpeakerSimulation`
+and raise :class:`~repro.faults.errors.FaultConfigError` when the world is
+running the static engine, so a campaign that cannot be faithfully executed
+fails at build time rather than silently measuring nothing.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from ..netsim.addr import Prefix
+from ..netsim.bgp import BGPSimulation, LeakingExport
+from .errors import FaultConfigError
+from .injector import Fault, FaultTargets
+
+__all__ = ["RouteLeak", "SessionReset", "SlowConvergence", "PersistentFlap"]
+
+
+def _network_sim(targets: FaultTargets) -> BGPSimulation:
+    return targets.require_network().sim
+
+
+def _require_speakers(targets: FaultTargets, kind: str):
+    sim = _network_sim(targets)
+    if not getattr(sim, "incremental", False):
+        raise FaultConfigError(
+            f"fault {kind!r} needs the event-driven speaker substrate "
+            "(routing='speakers'); the static engine cannot express it"
+        )
+    return sim
+
+
+@dataclass(slots=True)
+class RouteLeak(Fault):
+    """Flip ``leaker``'s export policy to leak ``prefix`` (Figure 9's AS3).
+
+    On the speaker substrate the leak then *propagates* — transit by
+    transit, MRAI slot by MRAI slot — and the ``leak_containment``
+    invariant measures how long leaked routes carry production traffic.
+    """
+
+    leaker: object
+    prefix: Prefix
+    kind: str = "route_leak"
+
+    @property
+    def target(self) -> str:
+        return f"{self.leaker}:{self.prefix}"
+
+    def apply(self, targets: FaultTargets, rng: random.Random) -> str:
+        sim = _network_sim(targets)
+        if self.leaker not in targets.require_network().graph:
+            raise KeyError(f"unknown AS {self.leaker!r}")
+        sim.set_export_policy(self.leaker, LeakingExport([self.prefix]))
+        if not getattr(sim, "incremental", False):
+            sim.reconverge_from_scratch()
+        return f"{self.leaker} leaking {self.prefix} past valley-free export"
+
+    def revert(self, targets: FaultTargets, rng: random.Random) -> str:
+        sim = _network_sim(targets)
+        sim.set_export_policy(self.leaker, None)
+        if not getattr(sim, "incremental", False):
+            sim.reconverge_from_scratch()
+        return f"{self.leaker} export policy restored"
+
+
+@dataclass(slots=True)
+class SessionReset(Fault):
+    """Tear down the BGP session between two adjacent ASes.
+
+    Both sides drop everything learned over the session and re-advertise on
+    revert — the convergence the network pays twice is the observable.
+    """
+
+    a: object
+    b: object
+    kind: str = "session_reset"
+
+    @property
+    def target(self) -> str:
+        return f"{self.a}<->{self.b}"
+
+    def apply(self, targets: FaultTargets, rng: random.Random) -> str:
+        sim = _require_speakers(targets, self.kind)
+        sim.set_session(self.a, self.b, up=False)
+        return f"session {self.a}<->{self.b} down"
+
+    def revert(self, targets: FaultTargets, rng: random.Random) -> str:
+        sim = _require_speakers(targets, self.kind)
+        sim.set_session(self.a, self.b, up=True)
+        return f"session {self.a}<->{self.b} re-established"
+
+
+@dataclass(slots=True)
+class SlowConvergence(Fault):
+    """Scale every link's propagation delay by ``factor``.
+
+    The gray-failure flavour of routing trouble: nothing is *down*, updates
+    just take several times longer to spread, widening every convergence
+    window that overlaps the fault.
+    """
+
+    factor: float = 5.0
+    kind: str = "slow_convergence"
+    _saved: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.factor <= 1.0:
+            raise FaultConfigError(
+                f"slow_convergence factor must exceed 1.0, got {self.factor}"
+            )
+
+    @property
+    def target(self) -> str:
+        return f"x{self.factor:g}"
+
+    def apply(self, targets: FaultTargets, rng: random.Random) -> str:
+        sim = _require_speakers(targets, self.kind)
+        self._saved = sim.delay_factor
+        sim.delay_factor = self._saved * self.factor
+        return f"propagation delays scaled x{self.factor:g}"
+
+    def revert(self, targets: FaultTargets, rng: random.Random) -> str:
+        sim = _require_speakers(targets, self.kind)
+        sim.delay_factor = self._saved
+        return "propagation delays restored"
+
+
+@dataclass(slots=True)
+class PersistentFlap(Fault):
+    """Flap a prefix's origination at one PoP until reverted.
+
+    Each half-``period`` the origin toggles announce/withdraw.  Upstream
+    speakers accumulate damping penalty and eventually suppress the
+    flapping route — RFC 2439's containment, observable as ``suppressions``
+    in the tracker.  Reverting stops the flap and leaves the prefix
+    announced.
+    """
+
+    prefix: Prefix
+    pop: str
+    period: float = 6.0
+    kind: str = "persistent_flap"
+
+    def __post_init__(self) -> None:
+        if self.period <= 0:
+            raise FaultConfigError(f"flap period must be positive, got {self.period}")
+
+    @property
+    def target(self) -> str:
+        return f"{self.pop}:{self.prefix}"
+
+    @property
+    def _origin(self) -> str:
+        return f"pop:{self.pop}"
+
+    def apply(self, targets: FaultTargets, rng: random.Random) -> str:
+        sim = _require_speakers(targets, self.kind)
+        sim.start_flap(self.prefix, self._origin, self.period)
+        return f"{self.pop} flapping {self.prefix} every {self.period:g}s"
+
+    def revert(self, targets: FaultTargets, rng: random.Random) -> str:
+        sim = _require_speakers(targets, self.kind)
+        sim.stop_flap(self.prefix, self._origin)
+        return f"{self.pop} flap stopped, {self.prefix} re-announced"

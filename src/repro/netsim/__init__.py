@@ -7,6 +7,7 @@ from .bgp import (
     ASGraph,
     BGPSimulation,
     GaoRexfordExport,
+    GraphConflictError,
     LeakingExport,
     Relationship,
     Route,
@@ -20,6 +21,13 @@ from .routeleak import (
     diff_catchments,
     inject_hijack,
     inject_route_leak,
+)
+from .speakers import (
+    ConvergenceTracker,
+    LinkProfile,
+    SpeakerSimulation,
+    UpdateMessage,
+    oracle_mismatches,
 )
 
 __all__ = [
@@ -53,4 +61,10 @@ __all__ = [
     "diff_catchments",
     "inject_hijack",
     "inject_route_leak",
+    "GraphConflictError",
+    "ConvergenceTracker",
+    "LinkProfile",
+    "SpeakerSimulation",
+    "UpdateMessage",
+    "oracle_mismatches",
 ]

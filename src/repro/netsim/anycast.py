@@ -78,6 +78,18 @@ class AnycastNetwork:
         self.sim = BGPSimulation(graph)
         self._announced: dict[Prefix, set[str]] = {}
 
+    def use_simulation(self, sim: BGPSimulation) -> None:
+        """Swap the BGP engine (e.g. for an event-driven
+        :class:`~repro.netsim.speakers.SpeakerSimulation`), replaying any
+        announcements already made into the new engine."""
+        if sim.graph is not self.graph:
+            raise ValueError("replacement engine must be built over this network's graph")
+        announced = self.announced_prefixes()
+        self.sim = sim
+        self._announced.clear()
+        for prefix in sorted(announced, key=str):
+            self.announce_from(prefix, sorted(announced[prefix]))
+
     # -- announcements -----------------------------------------------------
 
     def announce_from_all(self, prefix: Prefix) -> None:

@@ -30,6 +30,7 @@ from .addr import IPAddress, Prefix
 __all__ = [
     "Relationship",
     "ASGraph",
+    "GraphConflictError",
     "Route",
     "Announcement",
     "RoutingTable",
@@ -38,6 +39,17 @@ __all__ = [
     "GaoRexfordExport",
     "LeakingExport",
 ]
+
+
+class GraphConflictError(ValueError):
+    """Re-declaring an existing link with a different relationship.
+
+    A silent overwrite here would flip provider/customer economics under an
+    already-built topology — precisely the kind of misconfiguration the
+    route-leak machinery *injects deliberately* — so accidental rewrites
+    must be loud.  Pass ``replace=True`` to :meth:`ASGraph.add_link` when a
+    relationship change is intended.
+    """
 
 
 class Relationship(enum.Enum):
@@ -80,19 +92,30 @@ class ASGraph:
     def add_as(self, asn: object) -> None:
         self._neighbors.setdefault(asn, {})
 
-    def add_link(self, a: object, b: object, rel_of_b_to_a: Relationship) -> None:
+    def add_link(
+        self,
+        a: object,
+        b: object,
+        rel_of_b_to_a: Relationship,
+        replace: bool = False,
+    ) -> None:
         """Add a link; ``rel_of_b_to_a`` is what *b is to a*.
 
         ``add_link(1, 2, Relationship.CUSTOMER)`` means AS 2 is AS 1's
-        customer (so AS 1 is AS 2's provider).
+        customer (so AS 1 is AS 2's provider).  Re-declaring an existing
+        link with a *different* relationship raises
+        :class:`GraphConflictError` unless ``replace=True``.
         """
         if a == b:
             raise ValueError("an AS cannot neighbor itself")
         self.add_as(a)
         self.add_as(b)
         existing = self._neighbors[a].get(b)
-        if existing is not None and existing is not rel_of_b_to_a:
-            raise ValueError(f"conflicting relationship for link {a}<->{b}")
+        if existing is not None and existing is not rel_of_b_to_a and not replace:
+            raise GraphConflictError(
+                f"conflicting relationship for link {a}<->{b}: "
+                f"{existing.value} -> {rel_of_b_to_a.value} (pass replace=True if intended)"
+            )
         self._neighbors[a][b] = rel_of_b_to_a
         self._neighbors[b][a] = rel_of_b_to_a.inverse
 
@@ -251,6 +274,18 @@ class RoutingTable:
         self._lengths = None
         return True
 
+    def replace(self, route: Route) -> None:
+        """Unconditionally set the best route for ``route.prefix``.
+
+        The event-driven speakers (:mod:`repro.netsim.speakers`) select a
+        best path *themselves* over RIB-in and only then publish it here, so
+        the install-if-better comparison of :meth:`install` must not second-
+        guess them — e.g. after the old best was withdrawn, the replacement
+        is legitimately "worse" than what the table last saw.
+        """
+        self._routes[route.prefix] = route
+        self._lengths = None
+
     def withdraw(self, prefix: Prefix) -> bool:
         if prefix in self._routes:
             del self._routes[prefix]
@@ -293,6 +328,10 @@ class BGPSimulation:
     per-AS (``set_export_policy``) to model leaks.
     """
 
+    #: Instantaneous fixpoint engine: ``converge()`` reaches the final state
+    #: in zero simulated time.  The event-driven speakers flip this to True.
+    incremental = False
+
     def __init__(self, graph: ASGraph) -> None:
         self.graph = graph
         self._ribs: dict[object, RoutingTable] = {asn: RoutingTable() for asn in graph.ases()}
@@ -320,6 +359,10 @@ class BGPSimulation:
 
     def _policy(self, asn: object) -> ExportPolicy:
         return self._policies.get(asn, self._default_policy)
+
+    def policies(self) -> dict[object, ExportPolicy]:
+        """Per-AS export-policy overrides currently in force."""
+        return dict(self._policies)
 
     # -- announcements -----------------------------------------------------
 
@@ -352,6 +395,15 @@ class BGPSimulation:
         for ann in pending:
             self.announce(ann)
         self.converge()
+
+    def rebuilt(self, graph: ASGraph) -> "BGPSimulation":
+        """A fresh simulation of the same engine flavour over ``graph``.
+
+        Subclasses carrying extra wiring (clock, link profile, tracker)
+        override this so topology edits — e.g. attaching a leaker AS —
+        preserve the engine configuration.
+        """
+        return type(self)(graph)
 
     # -- propagation -------------------------------------------------------
 

@@ -10,11 +10,12 @@ detector built in :mod:`repro.agility.leaks` has something to detect.
 
 from __future__ import annotations
 
+import random
 from dataclasses import dataclass
 
 from .addr import Prefix
 from .anycast import AnycastNetwork
-from .bgp import Announcement, LeakingExport
+from .bgp import Announcement
 
 __all__ = [
     "LeakScenario",
@@ -42,40 +43,55 @@ def attach_multihomed_leaker(
         raise KeyError("both providers must exist in the topology")
     network.graph.add_provider(name, provider_a)
     network.graph.add_provider(name, provider_b)
-    # New node needs a RIB; rebuild the fixpoint over the grown graph.
-    network.sim = type(network.sim)(network.graph)
-    announced = network.announced_prefixes()
-    network._announced.clear()
-    for prefix, pop_names in announced.items():
-        network.announce_from(prefix, sorted(pop_names))
+    # New node needs a RIB; rebuild the engine (preserving its flavour and
+    # wiring) over the grown graph and replay the announcements.
+    network.use_simulation(network.sim.rebuilt(network.graph))
     return name
 
 
 @dataclass(frozen=True, slots=True)
 class LeakScenario:
-    """Handle for an injected leak, so it can be healed again."""
+    """Handle for an injected leak, so it can be healed again.
+
+    ``fault`` is the registry-built :class:`~repro.faults.routing.RouteLeak`
+    behind the injection; healing reverts it, so manual injections and
+    chaos-campaign injections share one code path.
+    """
 
     network: AnycastNetwork
     leaker: object
     prefix: Prefix
+    fault: object | None = None
 
     def heal(self) -> None:
         """Remove the leaking export policy and restore routing."""
-        self.network.sim.set_export_policy(self.leaker, None)
-        self.network.sim.reconverge_from_scratch()
+        from ..faults.injector import FaultTargets
+
+        if self.fault is not None:
+            self.fault.revert(FaultTargets(network=self.network), random.Random(0))
+        else:
+            self.network.sim.set_export_policy(self.leaker, None)
+            self.network.sim.reconverge_from_scratch()
 
 
 def inject_route_leak(network: AnycastNetwork, leaker: object, prefix: Prefix) -> LeakScenario:
     """Make ``leaker`` re-export ``prefix`` in violation of valley-free rules.
 
-    After injection the BGP fixpoint is recomputed; callers compare
-    catchments before/after (see :func:`diff_catchments`).
+    Builds the fault through :func:`repro.faults.registry.build_fault` — the
+    same factory chaos campaigns use — so parameter validation (typed
+    :class:`~repro.faults.errors.FaultConfigError` on a malformed prefix)
+    and injection semantics cannot drift between the two entry points.  On
+    the static engine the fixpoint is recomputed immediately; callers
+    compare catchments before/after (see :func:`diff_catchments`).
     """
+    from ..faults.injector import FaultTargets
+    from ..faults.registry import build_fault
+
     if leaker not in network.graph:
         raise KeyError(f"unknown AS {leaker!r}")
-    network.sim.set_export_policy(leaker, LeakingExport([prefix]))
-    network.sim.reconverge_from_scratch()
-    return LeakScenario(network, leaker, prefix)
+    fault = build_fault("route_leak", leaker=leaker, prefix=str(prefix))
+    fault.apply(FaultTargets(network=network), random.Random(0))
+    return LeakScenario(network, leaker, fault.prefix, fault=fault)
 
 
 def inject_hijack(network: AnycastNetwork, hijacker: object, prefix: Prefix) -> None:

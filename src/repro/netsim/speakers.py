@@ -1,0 +1,710 @@
+"""Event-driven per-AS BGP speakers on the simulated clock.
+
+The static :class:`~repro.netsim.bgp.BGPSimulation` jumps straight to the
+Gao–Rexford fixpoint, which is the right model for steady state but erases
+the regime the paper's robustness argument actually targets: the paper
+motivates DNS-timescale agility by contrast with the ~150 s BGP withdrawal
+convergence it measured (§6).  This module rebuilds the substrate as
+*speakers*: every AS keeps RIB-in (one route per neighbor per prefix),
+selects a best path locally, diffs its RIB-out per neighbor, and sends
+UPDATE messages that arrive after a per-link propagation delay, rate-limited
+by an MRAI-style per-session interval.  Between injection and quiescence the
+network is genuinely inconsistent — catchments churn, withdrawn routes
+linger, leaks spread hop by hop — and that window is what the chaos tier
+measures DNS failover against.
+
+Design notes:
+
+* **Same fixpoint.**  Selection uses the same ``_preference_key`` as the
+  static engine, and RIB-in holds at most one route per (prefix, neighbor),
+  so the post-convergence catchment equals the static outcome — enforced by
+  the :func:`oracle_mismatches` differential oracle.
+* **Latest-state coalescing.**  Each (sender, receiver, prefix) edge
+  carries a version counter; delivery drops messages whose version is
+  stale.  This models MRAI batching (intermediate flaps within one MRAI
+  slot are invisible) without replaying per-message history.
+* **Two time bases.**  ``tick()`` drains events due at the shared
+  :class:`~repro.clock.Clock` — the chaos loop's per-second heartbeat.
+  ``settle()`` drains *everything* on a virtual time axis (used at build
+  time and for end-of-run oracles) without touching the world clock;
+  ``warm_reset()`` then re-arms the speaker for a run starting "now".
+* **Flap damping.**  RFC-2439-shaped: withdrawals accumulate an
+  exponentially decaying penalty per (prefix, neighbor); crossing the
+  suppress threshold hides that neighbor's route from selection until the
+  penalty decays below the reuse threshold, which is what contains a
+  :class:`~repro.faults.routing.PersistentFlap` at its first upstream hop.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+import math
+from dataclasses import dataclass, field
+from collections.abc import Callable, Iterable
+
+from ..clock import Clock
+from .addr import IPAddress, Prefix
+from .bgp import (
+    Announcement,
+    ASGraph,
+    BGPSimulation,
+    ExportPolicy,
+    Route,
+    RoutingTable,
+    _preference_key,
+    hash_to_unit,
+)
+
+__all__ = [
+    "LinkProfile",
+    "UpdateMessage",
+    "ConvergenceTracker",
+    "SpeakerSimulation",
+    "oracle_mismatches",
+]
+
+
+@dataclass(frozen=True, slots=True)
+class LinkProfile:
+    """Per-link timing: propagation delay and the MRAI pacing interval.
+
+    Delay is ``base + jitter * u`` where ``u`` is a deterministic hash of
+    the directed link label — stable across runs and AS insertion orders,
+    but different per link so convergence has realistic skew instead of a
+    lock-step wavefront.
+    """
+
+    base_delay_s: float = 0.05
+    jitter_s: float = 0.25
+    mrai_s: float = 2.0
+
+    def __post_init__(self) -> None:
+        if self.base_delay_s <= 0:
+            raise ValueError("link base delay must be positive")
+        if self.jitter_s < 0 or self.mrai_s < 0:
+            raise ValueError("jitter and MRAI must be non-negative")
+
+    def delay(self, sender: object, receiver: object) -> float:
+        return self.base_delay_s + self.jitter_s * hash_to_unit(
+            f"link-delay:{sender}->{receiver}"
+        )
+
+
+@dataclass(frozen=True, slots=True)
+class UpdateMessage:
+    """One UPDATE in flight: an announcement (``route``) or withdrawal
+    (``route is None``) of ``prefix`` from ``sender`` to ``receiver``."""
+
+    sender: object
+    receiver: object
+    prefix: Prefix
+    route: Route | None
+    version: int
+
+
+class ConvergenceTracker:
+    """Counters and convergence windows for one speaker simulation.
+
+    A *window* opens when the first message enters an idle network and
+    closes when the in-flight count returns to zero — the simulated span
+    during which some RIB disagrees with the eventual fixpoint.  Windows,
+    message counts, and catchment-churn events are the raw series behind
+    the ``watch_speakers`` obs adapter and the convergence-aware chaos
+    invariants.
+    """
+
+    def __init__(self, tracer=None) -> None:
+        self.tracer = tracer
+        #: Called with each closed window's duration (obs histograms hook in).
+        self.observers: list[Callable[[float], None]] = []
+        self.reset()
+
+    def reset(self) -> None:
+        """Zero all counters and series; observers and tracer survive."""
+        self.announcements_sent = 0
+        self.withdrawals_sent = 0
+        self.delivered = 0
+        self.coalesced = 0
+        self.dropped = 0
+        self.loops_rejected = 0
+        self.best_path_changes = 0
+        self.churn_events = 0
+        self.suppressions = 0
+        self.reuses = 0
+        self.session_events = 0
+        self.windows: list[tuple[float, float]] = []
+        self.churn: list[tuple[float, object, object, object]] = []
+
+    @property
+    def messages_sent(self) -> int:
+        return self.announcements_sent + self.withdrawals_sent
+
+    def durations(self) -> list[float]:
+        return [closed - opened for opened, closed in self.windows]
+
+    def record_churn(
+        self, at: float, asn: object, old_origin: object, new_origin: object
+    ) -> None:
+        """A best path flipped *origin* at ``asn`` — catchment churn."""
+        self.churn_events += 1
+        self.churn.append((at, asn, old_origin, new_origin))
+
+    def window_closed(self, opened: float, closed: float) -> None:
+        self.windows.append((opened, closed))
+        duration = closed - opened
+        for observer in self.observers:
+            observer(duration)
+        if self.tracer is not None:
+            trace = self.tracer.next_trace_id("bgp")
+            self.tracer.record(
+                trace, "converge", opened, closed,
+                detail=f"window {len(self.windows)}: {duration:.3f}s",
+            )
+
+    def snapshot(self) -> dict[str, int | float]:
+        """Counter-shaped view (sorted keys) for obs collectors/reports."""
+        durations = self.durations()
+        return {
+            "announcements_sent": self.announcements_sent,
+            "best_path_changes": self.best_path_changes,
+            "churn_events": self.churn_events,
+            "coalesced": self.coalesced,
+            "convergence_last_s": round(durations[-1], 6) if durations else 0.0,
+            "convergence_total_s": round(sum(durations), 6),
+            "convergence_windows": len(self.windows),
+            "delivered": self.delivered,
+            "dropped": self.dropped,
+            "loops_rejected": self.loops_rejected,
+            "messages_sent": self.messages_sent,
+            "reuses": self.reuses,
+            "session_events": self.session_events,
+            "suppressions": self.suppressions,
+            "withdrawals_sent": self.withdrawals_sent,
+        }
+
+
+@dataclass(slots=True)
+class _Speaker:
+    """Per-AS protocol state.  ``table`` aliases the simulation's loc-RIB
+    for this AS, so the inherited LPM lookups read speaker output directly."""
+
+    asn: object
+    table: RoutingTable
+    rib_in: dict[Prefix, dict[object, Route]] = field(default_factory=dict)
+    local: dict[Prefix, Route] = field(default_factory=dict)
+    rib_out: dict[object, dict[Prefix, Route]] = field(default_factory=dict)
+    penalty: dict[tuple, tuple[float, float]] = field(default_factory=dict)
+    suppressed: set[tuple] = field(default_factory=set)
+
+
+class SpeakerSimulation(BGPSimulation):
+    """Per-AS event-driven speakers over an :class:`ASGraph`.
+
+    Drop-in for :class:`BGPSimulation` (same ``announce`` / ``withdraw`` /
+    ``rib`` / ``forwarding_path`` / ``catchment`` surface) with time-aware
+    semantics: ``converge()`` only drains events already due on the shared
+    clock, so callers observe the *transient* state mid-convergence.  Extra
+    surface: ``tick``/``settle``/``warm_reset``, per-session control
+    (:meth:`set_session`), origination flapping (:meth:`start_flap`), and a
+    ``delay_factor`` knob the ``slow_convergence`` gray fault scales.
+    """
+
+    incremental = True
+
+    #: Flap-damping shape (RFC 2439 spirit): each withdrawal adds 1.0 of
+    #: penalty; at ``SUPPRESS_THRESHOLD`` the neighbor's route is hidden
+    #: from selection until exponential decay (``HALF_LIFE_S``) brings the
+    #: penalty under ``REUSE_THRESHOLD``.
+    SUPPRESS_THRESHOLD = 3.0
+    REUSE_THRESHOLD = 1.5
+    HALF_LIFE_S = 60.0
+
+    def __init__(
+        self,
+        graph: ASGraph,
+        clock: Clock | None = None,
+        profile: LinkProfile | None = None,
+        tracker: ConvergenceTracker | None = None,
+    ) -> None:
+        super().__init__(graph)
+        self.clock = clock
+        self.profile = profile or LinkProfile()
+        self.tracker = tracker or ConvergenceTracker()
+        #: Multiplier on link delays; the slow_convergence fault raises it.
+        self.delay_factor = 1.0
+        self._speakers = {
+            asn: _Speaker(asn, table=self._ribs[asn]) for asn in graph.ases()
+        }
+        self._queue: list[tuple[float, int, tuple]] = []
+        self._seq = itertools.count()
+        self._vtime = 0.0
+        self._versions: dict[tuple, int] = {}
+        self._mrai_ready: dict[tuple, float] = {}
+        self._down: set[tuple] = set()
+        self._flaps: dict[tuple, float] = {}
+        self._pending_msgs = 0
+        self._window_open: float | None = None
+
+    # -- time ----------------------------------------------------------------
+
+    def _now(self) -> float:
+        base = self.clock.now() if self.clock is not None else 0.0
+        return max(base, self._vtime)
+
+    def _push(self, at: float, event: tuple) -> None:
+        heapq.heappush(self._queue, (at, next(self._seq), event))
+
+    # -- configuration -------------------------------------------------------
+
+    def set_export_policy(self, asn: object, policy: ExportPolicy | None) -> None:
+        """Override one AS's export policy and re-advertise incrementally.
+
+        Unlike the static engine, no ``reconverge_from_scratch`` is needed:
+        the speaker re-diffs its RIB-out under the new policy and sends the
+        resulting UPDATEs/withdrawals, which then propagate with real delays
+        — a leak *spreads*, and a leak fix *heals*, over simulated time.
+        """
+        super().set_export_policy(asn, policy)
+        self._refresh_exports(asn, self._now())
+
+    def _refresh_exports(self, asn: object, at: float) -> None:
+        speaker = self._speakers[asn]
+        prefixes = set(speaker.table.prefixes())
+        for table in speaker.rib_out.values():
+            prefixes.update(table)
+        for prefix in sorted(prefixes, key=str):
+            self._export(asn, prefix, at)
+
+    # -- originations --------------------------------------------------------
+
+    def announce(self, announcement: Announcement) -> None:
+        self._announce(announcement, self._now())
+
+    def _announce(self, announcement: Announcement, at: float) -> None:
+        if announcement.origin not in self.graph:
+            raise KeyError(f"unknown origin AS {announcement.origin!r}")
+        self._announcements.append(announcement)
+        speaker = self._speakers[announcement.origin]
+        speaker.local[announcement.prefix] = Route(
+            announcement.prefix, announcement.origin, (), None
+        )
+        self._reselect(announcement.origin, announcement.prefix, at)
+
+    def withdraw(self, prefix: Prefix, origin: object) -> None:
+        """Withdraw an origination *incrementally*: the withdrawal message
+        propagates hop by hop (route hunting included), unlike the static
+        engine's recompute-from-scratch."""
+        self._withdraw(prefix, origin, self._now())
+
+    def _withdraw(self, prefix: Prefix, origin: object, at: float) -> None:
+        self._announcements = [
+            a for a in self._announcements
+            if not (a.prefix == prefix and a.origin == origin)
+        ]
+        speaker = self._speakers[origin]
+        if speaker.local.pop(prefix, None) is not None:
+            self._reselect(origin, prefix, at)
+
+    def announcements(self) -> list[Announcement]:
+        return list(self._announcements)
+
+    # -- selection and export ------------------------------------------------
+
+    def _reselect(self, asn: object, prefix: Prefix, at: float) -> None:
+        speaker = self._speakers[asn]
+        candidates = []
+        local = speaker.local.get(prefix)
+        if local is not None:
+            candidates.append(local)
+        learned = speaker.rib_in.get(prefix)
+        if learned:
+            # Sorted neighbor order: selection must not depend on dict
+            # insertion order (the key is total over distinct neighbors,
+            # but iterate deterministically anyway).
+            for neighbor in sorted(learned, key=str):
+                if (prefix, neighbor) in speaker.suppressed:
+                    continue
+                candidates.append(learned[neighbor])
+        old = speaker.table.best(prefix)
+        best = max(candidates, key=_preference_key) if candidates else None
+        if best == old:
+            return
+        if best is None:
+            speaker.table.withdraw(prefix)
+        else:
+            speaker.table.replace(best)
+        self.tracker.best_path_changes += 1
+        old_origin = old.origin if old is not None else None
+        new_origin = best.origin if best is not None else None
+        if old_origin != new_origin:
+            self.tracker.record_churn(at, asn, old_origin, new_origin)
+        self._export(asn, prefix, at)
+
+    def _export(self, asn: object, prefix: Prefix, at: float) -> None:
+        speaker = self._speakers[asn]
+        best = speaker.table.best(prefix)
+        policy = self._policy(asn)
+        for neighbor, rel_of_neighbor in sorted(
+            self.graph.neighbors(asn).items(), key=lambda item: str(item[0])
+        ):
+            if self._session_key(asn, neighbor) in self._down:
+                continue  # rib_out toward a down peer stays cleared
+            advertised = None
+            if best is not None:
+                if neighbor in best.as_path or neighbor == best.origin:
+                    self.tracker.loops_rejected += 1
+                elif policy.allows(self.graph, asn, best, neighbor):
+                    advertised = Route(
+                        prefix=prefix,
+                        origin=best.origin,
+                        as_path=(asn, *best.as_path),
+                        learned_from=rel_of_neighbor.inverse,
+                    )
+            out = speaker.rib_out.setdefault(neighbor, {})
+            if advertised == out.get(prefix):
+                continue  # peer already holds exactly this state
+            if advertised is None:
+                del out[prefix]
+            else:
+                out[prefix] = advertised
+            self._send(asn, neighbor, prefix, advertised, at)
+
+    def _send(
+        self, sender: object, receiver: object, prefix: Prefix,
+        route: Route | None, at: float,
+    ) -> None:
+        key = (sender, receiver, prefix)
+        self._versions[key] = self._versions.get(key, 0) + 1
+        pair = (sender, receiver)
+        ready = max(at, self._mrai_ready.get(pair, 0.0))
+        self._mrai_ready[pair] = ready + self.profile.mrai_s
+        deliver = ready + self.profile.delay(sender, receiver) * self.delay_factor
+        if route is None:
+            self.tracker.withdrawals_sent += 1
+        else:
+            self.tracker.announcements_sent += 1
+        if self._pending_msgs == 0 and self._window_open is None:
+            self._window_open = at
+        self._pending_msgs += 1
+        self._push(
+            deliver,
+            ("msg", UpdateMessage(sender, receiver, prefix, route, self._versions[key])),
+        )
+
+    # -- delivery ------------------------------------------------------------
+
+    def _process(self, event: tuple, at: float) -> None:
+        kind = event[0]
+        if kind == "msg":
+            self._pending_msgs -= 1
+            self._deliver(event[1], at)
+        elif kind == "reuse":
+            self._reuse(event[1], event[2], event[3], at)
+        elif kind == "flap":
+            self._flap_toggle(event[1], event[2], event[3], at)
+        if self._pending_msgs == 0 and self._window_open is not None:
+            self.tracker.window_closed(self._window_open, at)
+            self._window_open = None
+
+    def _deliver(self, msg: UpdateMessage, at: float) -> None:
+        key = (msg.sender, msg.receiver, msg.prefix)
+        if self._versions.get(key) != msg.version:
+            self.tracker.coalesced += 1  # a newer state superseded this one
+            return
+        if self._session_key(msg.sender, msg.receiver) in self._down:
+            self.tracker.dropped += 1  # session died while in flight
+            return
+        self.tracker.delivered += 1
+        speaker = self._speakers[msg.receiver]
+        learned = speaker.rib_in.setdefault(msg.prefix, {})
+        if msg.route is None:
+            if learned.pop(msg.sender, None) is None:
+                return
+            self._damp(speaker, msg.prefix, msg.sender, at)
+        else:
+            if msg.receiver in msg.route.as_path or msg.receiver == msg.route.origin:
+                self.tracker.loops_rejected += 1  # receiver-side AS_PATH check
+                return
+            learned[msg.sender] = msg.route
+        self._reselect(msg.receiver, msg.prefix, at)
+
+    # -- flap damping --------------------------------------------------------
+
+    def _decayed(self, speaker: _Speaker, key: tuple, at: float) -> float:
+        value, last = speaker.penalty.get(key, (0.0, at))
+        return value * 0.5 ** (max(0.0, at - last) / self.HALF_LIFE_S)
+
+    def _damp(self, speaker: _Speaker, prefix: Prefix, neighbor: object, at: float) -> None:
+        key = (prefix, neighbor)
+        value = self._decayed(speaker, key, at) + 1.0
+        speaker.penalty[key] = (value, at)
+        if value >= self.SUPPRESS_THRESHOLD and key not in speaker.suppressed:
+            speaker.suppressed.add(key)
+            self.tracker.suppressions += 1
+            wait = self.HALF_LIFE_S * math.log2(value / self.REUSE_THRESHOLD)
+            self._push(at + wait, ("reuse", speaker.asn, prefix, neighbor))
+
+    def _reuse(self, asn: object, prefix: Prefix, neighbor: object, at: float) -> None:
+        speaker = self._speakers[asn]
+        key = (prefix, neighbor)
+        if key not in speaker.suppressed:
+            return
+        value = self._decayed(speaker, key, at)
+        if value < self.REUSE_THRESHOLD:
+            speaker.suppressed.discard(key)
+            speaker.penalty.pop(key, None)
+            self.tracker.reuses += 1
+            self._reselect(asn, prefix, at)
+        else:
+            speaker.penalty[key] = (value, at)
+            wait = self.HALF_LIFE_S * math.log2(value / self.REUSE_THRESHOLD)
+            self._push(at + wait, ("reuse", asn, prefix, neighbor))
+
+    # -- sessions ------------------------------------------------------------
+
+    @staticmethod
+    def _session_key(a: object, b: object) -> tuple:
+        return (a, b) if str(a) <= str(b) else (b, a)
+
+    def set_session(self, a: object, b: object, up: bool) -> None:
+        """Tear down (``up=False``) or restore one BGP session.
+
+        Down: both sides lose every route learned over the session
+        immediately (notification semantics) and forget their RIB-out
+        toward the peer; in-flight messages on the session are invalidated.
+        Up: each side re-advertises its full table (the cleared RIB-out
+        makes the export diff send everything).
+        """
+        if b not in self.graph.neighbors(a):
+            raise KeyError(f"no link {a!r}<->{b!r} in the AS graph")
+        key = self._session_key(a, b)
+        now = self._now()
+        if up == (key not in self._down):
+            return  # already in the requested state
+        self.tracker.session_events += 1
+        for vkey in self._versions:
+            if (vkey[0] == a and vkey[1] == b) or (vkey[0] == b and vkey[1] == a):
+                self._versions[vkey] += 1  # strand in-flight messages
+        if not up:
+            self._down.add(key)
+            for receiver, sender in ((a, b), (b, a)):
+                self._speakers[sender].rib_out.pop(receiver, None)
+                speaker = self._speakers[receiver]
+                lost = sorted(
+                    (p for p, learned in speaker.rib_in.items() if sender in learned),
+                    key=str,
+                )
+                for prefix in lost:
+                    del speaker.rib_in[prefix][sender]
+                    self._reselect(receiver, prefix, now)
+        else:
+            self._down.discard(key)
+            for sender in (a, b):
+                speaker = self._speakers[sender]
+                for prefix in sorted(speaker.table.prefixes(), key=str):
+                    self._export(sender, prefix, now)
+
+    # -- origination flapping ------------------------------------------------
+
+    def start_flap(self, prefix: Prefix, origin: object, period_s: float) -> None:
+        """Toggle the origination every ``period_s / 2`` until stopped."""
+        if period_s <= 0:
+            raise ValueError("flap period must be positive")
+        if origin not in self.graph:
+            raise KeyError(f"unknown origin AS {origin!r}")
+        key = (prefix, origin)
+        if key in self._flaps:
+            return
+        self._flaps[key] = period_s
+        self._push(self._now() + period_s / 2, ("flap", prefix, origin, period_s))
+
+    def stop_flap(self, prefix: Prefix, origin: object) -> None:
+        """Stop flapping and leave the prefix announced (healed state)."""
+        if self._flaps.pop((prefix, origin), None) is None:
+            return
+        if prefix not in self._speakers[origin].local:
+            self._announce(Announcement(prefix, origin), self._now())
+
+    def _flap_toggle(self, prefix: Prefix, origin: object, period_s: float, at: float) -> None:
+        key = (prefix, origin)
+        if key not in self._flaps:
+            return  # stopped while the toggle was in flight
+        if prefix in self._speakers[origin].local:
+            self._withdraw(prefix, origin, at)
+        else:
+            self._announce(Announcement(prefix, origin), at)
+        self._push(at + period_s / 2, ("flap", prefix, origin, period_s))
+
+    def active_flaps(self) -> list[tuple]:
+        return sorted(self._flaps, key=str)
+
+    # -- driving -------------------------------------------------------------
+
+    def tick(self) -> int:
+        """Process every event due at or before the clock's current time."""
+        now = self._now()
+        processed = 0
+        while self._queue and self._queue[0][0] <= now:
+            at, _, event = heapq.heappop(self._queue)
+            self._process(event, at)
+            processed += 1
+        return processed
+
+    def converge(self, max_iterations: int = 10_000_000) -> int:
+        """Drop-in for the static engine's ``converge``: drain what is due
+        *now*.  Convergence beyond the current instant stays pending — that
+        is the point of this engine."""
+        return self.tick()
+
+    def settle(self, max_events: int = 1_000_000) -> int:
+        """Drain the queue to quiescence on the virtual time axis.
+
+        Active flaps are cancelled (they never quiesce); damping reuse
+        timers run to completion.  The world clock is untouched — callers
+        wanting to continue a live run afterwards use :meth:`warm_reset`.
+        """
+        self._flaps.clear()
+        processed = 0
+        while self._queue:
+            processed += 1
+            if processed > max_events:
+                raise RuntimeError("speaker simulation did not settle")
+            at, _, event = heapq.heappop(self._queue)
+            if event[0] == "flap":
+                continue
+            self._vtime = max(self._vtime, at)
+            self._process(event, at)
+        return processed
+
+    def warm_reset(self) -> None:
+        """Re-arm a settled simulation for a live run starting at the clock.
+
+        Build-time convergence (topology bring-up) should not count against
+        run-time budgets: MRAI slots, damping penalties, and the tracker all
+        reset, and virtual time snaps back to the clock.
+        """
+        if self._queue:
+            raise RuntimeError("warm_reset requires a settled queue (call settle())")
+        self._mrai_ready.clear()
+        self._versions.clear()
+        for speaker in self._speakers.values():
+            speaker.penalty.clear()
+            speaker.suppressed.clear()
+        self._vtime = self.clock.now() if self.clock is not None else 0.0
+        self._window_open = None
+        self._pending_msgs = 0
+        self.tracker.reset()
+
+    def reconverge_from_scratch(self) -> None:
+        """Rebuild all speaker state and re-originate, then settle.
+
+        Kept for interface compatibility; sessions that are down stay down.
+        """
+        announcements = list(self._announcements)
+        self._announcements = []
+        self._ribs = {asn: RoutingTable() for asn in self.graph.ases()}
+        self._speakers = {
+            asn: _Speaker(asn, table=self._ribs[asn]) for asn in self.graph.ases()
+        }
+        self._queue.clear()
+        self._versions.clear()
+        self._mrai_ready.clear()
+        self._flaps.clear()
+        self._pending_msgs = 0
+        self._window_open = None
+        now = self._now()
+        for ann in announcements:
+            self._announce(ann, now)
+        self.settle()
+
+    def rebuilt(self, graph: ASGraph) -> "SpeakerSimulation":
+        return type(self)(
+            graph, clock=self.clock, profile=self.profile, tracker=self.tracker
+        )
+
+    # -- introspection -------------------------------------------------------
+
+    def converging(self) -> bool:
+        """True while UPDATE messages are still in flight."""
+        return self._pending_msgs > 0
+
+    def open_window_since(self) -> float | None:
+        """Start of the currently open convergence window, if any."""
+        return self._window_open
+
+    def pending_messages(self) -> int:
+        return self._pending_msgs
+
+    def sessions_down(self) -> list[tuple]:
+        return sorted(self._down, key=str)
+
+    def suppressed_count(self) -> int:
+        return sum(len(s.suppressed) for s in self._speakers.values())
+
+
+def _static_chain_is_stale(
+    static: BGPSimulation, client: object, address: IPAddress
+) -> bool:
+    """True when the static engine's answer at ``client`` rests on a
+    *phantom* route — a path attribute some hop no longer holds.
+
+    The work-queue engine is monotone install-if-better with no
+    per-neighbor RIB-in, so when a neighbor replaces an earlier
+    advertisement with a *worse* one, the receiver keeps the now-dead
+    route.  At preference ties this leaves the static fixpoint
+    self-inconsistent: the claimed AS path disagrees with what walking
+    the hops would yield.  The differential oracle attributes such
+    disagreements to the reference engine, not the speakers.
+    """
+    route = static.best_route(client, address)
+    while route is not None and route.as_path:
+        sender = route.as_path[0]
+        held = static.best_route(sender, address)
+        if (held is None or held.origin != route.origin
+                or tuple(route.as_path[1:]) != tuple(held.as_path)):
+            return True
+        route = held
+    return False
+
+
+def oracle_mismatches(
+    sim: SpeakerSimulation,
+    clients: Iterable[object],
+    addresses: Iterable[IPAddress],
+) -> list[tuple[str, str, str, str]]:
+    """Differential oracle: replay the speaker's announcements and policies
+    through the static work-queue engine and compare catchments.
+
+    Returns ``(client, address, event_driven_origin, static_origin)`` rows
+    for every disagreement; empty means the settled speaker state *is* the
+    Gao–Rexford fixpoint.  Only meaningful on a settled simulation with no
+    sessions down, no suppressed routes, and no active flaps — the static
+    engine cannot express those.
+
+    Disagreements where the static engine's own route chain is stale
+    (see :func:`_static_chain_is_stale`) are excluded: there the
+    *reference* is self-inconsistent, and holding the speakers to it
+    would institutionalize the reference's bug.
+    """
+    static = BGPSimulation(sim.graph)
+    for asn, policy in sorted(sim.policies().items(), key=lambda item: str(item[0])):
+        static.set_export_policy(asn, policy)
+    for ann in sim.announcements():
+        static.announce(ann)
+    static.converge()
+    clients = list(clients)
+    mismatches: list[tuple[str, str, str, str]] = []
+    for address in addresses:
+        event_driven = sim.catchment(address, clients)
+        fixed_point = static.catchment(address, clients)
+        for client in clients:
+            if event_driven[client] == fixed_point[client]:
+                continue
+            if _static_chain_is_stale(static, client, address):
+                continue
+            mismatches.append(
+                (str(client), str(address),
+                 str(event_driven[client]), str(fixed_point[client]))
+            )
+    return mismatches

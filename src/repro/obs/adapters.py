@@ -41,6 +41,7 @@ if TYPE_CHECKING:  # import cycles: obs must stay importable from every layer
     from ..edge.datacenter import Datacenter
     from ..edge.ecmp import ECMPRouter
     from ..faults.events import FaultTimeline
+    from ..netsim.speakers import SpeakerSimulation
     from ..sockets.lookup import LookupPath
     from ..sockets.sklookup import SkLookupProgram
 
@@ -55,6 +56,7 @@ __all__ = [
     "watch_fault_timeline",
     "watch_cache_node_stats",
     "watch_datacenter_load",
+    "watch_speakers",
     "watch_cdn",
 ]
 
@@ -188,6 +190,36 @@ def watch_datacenter_load(
     registry.attach(prefix, collect)
 
 
+def watch_speakers(
+    registry: MetricsRegistry, prefix: str, sim: "SpeakerSimulation"
+) -> None:
+    """Event-driven BGP surface: the :class:`ConvergenceTracker` counters
+    plus live gauges (pending messages, down sessions, suppressed routes)
+    and a convergence-duration histogram fed by every window the tracker
+    closes from now on (already-closed windows are replayed once)."""
+    tracker = sim.tracker
+
+    def collect() -> dict[str, int | float]:
+        out: dict[str, int | float] = {
+            k: v for k, v in tracker.snapshot().items()
+            if isinstance(v, (int, float))
+        }
+        out["pending_messages"] = sim.pending_messages()
+        out["sessions_down"] = len(sim.sessions_down())
+        out["suppressed_routes"] = sim.suppressed_count()
+        out["active_flaps"] = len(sim.active_flaps())
+        return out
+
+    registry.attach(prefix, collect)
+    hist = registry.histogram(
+        f"{prefix}.convergence_s",
+        help="BGP convergence window duration (simulated seconds)",
+    )
+    for opened, closed in tracker.windows:
+        hist.observe(closed - opened)
+    tracker.observers.append(hist.observe)
+
+
 def watch_cdn(registry: MetricsRegistry, cdn: "CDN", prefix: str = "cdn") -> None:
     """Attach every edge-side surface of a deployment in one call.
 
@@ -239,3 +271,9 @@ def watch_cdn(registry: MetricsRegistry, cdn: "CDN", prefix: str = "cdn") -> Non
         }
 
     registry.attach(f"{prefix}.totals", rollup)
+
+    # Event-driven routing engines expose a convergence tracker; the
+    # static BGPSimulation has nothing time-varying worth a collector.
+    sim = getattr(getattr(cdn, "network", None), "sim", None)
+    if getattr(sim, "incremental", False):
+        watch_speakers(registry, f"{prefix}.bgp", sim)

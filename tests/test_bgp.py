@@ -7,8 +7,11 @@ from repro.netsim.bgp import (
     Announcement,
     ASGraph,
     BGPSimulation,
+    GraphConflictError,
     LeakingExport,
     Relationship,
+    Route,
+    RoutingTable,
 )
 
 PFX = parse_prefix("198.51.100.0/24")
@@ -257,3 +260,36 @@ class TestCatchment:
         sim.announce(Announcement(PFX, "c"))
         sim.converge()
         assert sim.catchment(PFX.first, ["island"]) == {"island": None}
+
+
+class TestGraphConflicts:
+    def test_conflict_raises_typed_error(self):
+        g = ASGraph()
+        g.add_provider("a", "b")
+        with pytest.raises(GraphConflictError, match="replace=True"):
+            g.add_peering("a", "b")
+
+    def test_same_relationship_readd_is_a_no_op(self):
+        g = ASGraph()
+        g.add_provider("a", "b")
+        g.add_provider("a", "b")
+        assert g.relationship("a", "b") is Relationship.PROVIDER
+
+    def test_replace_flips_both_directions(self):
+        g = ASGraph()
+        g.add_provider("a", "b")  # b is a's provider
+        g.add_link("a", "b", Relationship.PEER, replace=True)
+        assert g.relationship("a", "b") is Relationship.PEER
+        assert g.relationship("b", "a") is Relationship.PEER
+
+
+class TestRoutingTableReplace:
+    def test_install_refuses_worse_but_replace_overrides(self):
+        table = RoutingTable()
+        good = Route(PFX, "o", ("n", "o"), Relationship.CUSTOMER)
+        worse = Route(PFX, "o", ("p", "x", "o"), Relationship.PROVIDER)
+        assert table.install(good)
+        assert not table.install(worse)
+        assert table.best(PFX) is good
+        table.replace(worse)
+        assert table.best(PFX) is worse

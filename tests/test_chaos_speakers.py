@@ -1,0 +1,122 @@
+"""Speakers-mode chaos: routing section, invariants, fixture, minimizer."""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.chaos.generator import Campaign, CampaignGenerator, FaultSpec
+from repro.chaos.minimizer import minimize_campaign
+from repro.chaos.runner import run_campaign
+from repro.chaos.world import ChaosConfig, build_world
+
+FIXTURE = Path(__file__).parent / "fixtures" / "bgp_bad_leak.json"
+
+LEAK = FaultSpec(when=30.0, kind="route_leak", duration=40.0,
+                 params={"leaker": "leaky:cust", "prefix": "192.0.2.0/24"})
+WITHDRAWAL = FaultSpec(when=30.0, kind="pop_withdrawal", duration=40.0,
+                       params={"prefix": "192.0.2.0/24", "pop": "ashburn"})
+SPEAKERS = {"routing": "speakers", "horizon": 90.0}
+
+
+def speakers_campaign(name, faults, seed=7, **extra):
+    return Campaign(name=name, seed=seed, faults=faults,
+                    overrides={**SPEAKERS, **extra})
+
+
+class TestWorld:
+    def test_unknown_routing_engine_rejected(self):
+        with pytest.raises(ValueError, match="routing engine"):
+            build_world(ChaosConfig(routing="quantum"), seed=7)
+
+    def test_speakers_world_runs_event_driven_engine(self):
+        world = build_world(ChaosConfig(routing="speakers"), seed=7)
+        sim = world.cdn.network.sim
+        assert sim.incremental
+        assert not sim.converging()          # settled and warm-reset
+        assert sim.tracker.messages_sent == 0  # build-time traffic erased
+        assert "leaky:cust" in sim.graph
+
+    def test_static_world_unchanged(self):
+        world = build_world(ChaosConfig(), seed=7)
+        assert not world.cdn.network.sim.incremental
+        assert "leaky:cust" not in world.cdn.network.sim.graph
+
+
+class TestSpeakersCampaigns:
+    def test_leak_under_defaults_is_detected_and_contained(self):
+        result = run_campaign(speakers_campaign("leak-ok", (LEAK,)))
+        report = result.report()
+        assert result.ok, report["violations"]
+        assert report["routing"]["mode"] == "speakers"
+        assert report["routing"]["leaked_fetches"] > 0
+        assert report["routing"]["oracle_checked"]
+        assert report["routing"]["oracle_mismatches"] == []
+        failover = result.timeline.first("failover_triggered")
+        assert failover is not None and "rerouted" in failover.detail
+
+    def test_withdrawal_records_convergence_windows(self):
+        result = run_campaign(speakers_campaign("wd", (WITHDRAWAL,)))
+        report = result.report()
+        assert result.ok, report["violations"]
+        windows = report["routing"]["convergence_windows"]
+        assert windows and windows[0][0] == pytest.approx(30.0, abs=2.0)
+
+    def test_reports_are_byte_identical_across_runs(self):
+        campaign = speakers_campaign("det", (LEAK,))
+        first = json.dumps(run_campaign(campaign).report(), sort_keys=True)
+        second = json.dumps(run_campaign(campaign).report(), sort_keys=True)
+        assert first == second
+
+    def test_static_report_has_no_routing_section(self):
+        campaign = Campaign(name="static", seed=7, faults=(WITHDRAWAL,),
+                            overrides={"horizon": 90.0})
+        report = run_campaign(campaign).report()
+        assert "routing" not in report
+
+
+class TestBadLeakFixture:
+    def test_mistuned_threshold_violates_leak_containment(self):
+        campaign = Campaign.from_json(FIXTURE.read_text())
+        result = run_campaign(campaign)
+        invariants = {v.invariant for v in result.violations}
+        assert "leak_containment" in invariants
+
+    def test_fixture_minimizes_to_the_causal_route_leak(self):
+        campaign = Campaign.from_json(FIXTURE.read_text())
+        minimization = minimize_campaign(campaign)
+        assert minimization.invariant == "leak_containment"
+        assert [s.kind for s in minimization.minimized.faults] == ["route_leak"]
+
+
+class TestGenerator:
+    def test_speakers_config_samples_routing_kinds(self):
+        generator = CampaignGenerator(ChaosConfig(routing="speakers"))
+        kinds = {
+            spec.kind
+            for campaign in generator.generate(seed=3, count=40)
+            for spec in campaign.faults
+        }
+        assert kinds & {"route_leak", "session_reset", "slow_convergence",
+                        "persistent_flap"}
+
+    def test_speakers_campaigns_carry_the_engine_override(self):
+        generator = CampaignGenerator(ChaosConfig(routing="speakers"))
+        for campaign in generator.generate(seed=3, count=5):
+            assert campaign.overrides["routing"] == "speakers"
+            # Standalone replay must rebuild the same world.
+            assert Campaign.from_json(campaign.to_json()).overrides == \
+                campaign.overrides
+
+    def test_static_config_never_samples_routing_kinds(self):
+        generator = CampaignGenerator(ChaosConfig())
+        for campaign in generator.generate(seed=3, count=40):
+            assert not campaign.overrides
+            for spec in campaign.faults:
+                assert spec.kind not in ("route_leak", "session_reset",
+                                         "slow_convergence", "persistent_flap")
+
+    def test_generated_speakers_campaigns_build_valid_plans(self):
+        generator = CampaignGenerator(ChaosConfig(routing="speakers"))
+        for campaign in generator.generate(seed=3, count=10):
+            campaign.plan()  # every sampled fault must validate

@@ -28,6 +28,8 @@ class TestParser:
             ["chaos", "--campaign", "c.json", "--json"],
             ["chaos", "--minimize", "c.json", "--invariant", "recovery",
              "--expect-minimal", "pop_outage"],
+            ["bgp", "--seed", "7"],
+            ["bgp", "--json"],
         ):
             args = parser.parse_args(argv)
             assert args.command == argv[0]
@@ -138,6 +140,26 @@ class TestChaosCommand:
 
     def test_unreadable_campaign_exits_2(self, capsys):
         assert main(["chaos", "--campaign", "no/such/file.json"]) == 2
+
+
+class TestBGPCommand:
+    def run(self, argv, capsys) -> str:
+        assert main(argv) == 0
+        return capsys.readouterr().out
+
+    def test_bgp_json_reports_all_scenarios(self, capsys):
+        doc = json.loads(self.run(["bgp", "--json"], capsys))
+        names = {report["campaign"] for report in doc}
+        assert names == {"e19-withdraw-static", "e19-withdraw-speakers",
+                         "e19-leak-speakers", "e19-slow-withdraw-speakers"}
+        speakers = [r for r in doc if "routing" in r]
+        assert len(speakers) == 3
+        assert all(not r["violations"] for r in doc)
+
+    def test_bgp_table_render(self, capsys):
+        out = self.run(["bgp"], capsys)
+        assert "scenario" in out and "converge" in out
+        assert "equal" in out  # oracle column for speakers scenarios
 
 
 class TestMetricsCommand:

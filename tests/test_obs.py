@@ -29,6 +29,7 @@ from repro.obs.adapters import (
     watch_fault_timeline,
     watch_resolver_stats,
     watch_sklookup,
+    watch_speakers,
 )
 from repro.sockets.sklookup import MatchRule, SkLookupProgram, SockArray, Verdict
 from repro.sockets.socktable import SocketTable
@@ -306,3 +307,43 @@ class TestCacheAdapterIntegration:
         counters = reg.snapshot()["counters"]
         assert counters["cache.evictions"] == 1
         assert counters["cache.expirations"] == 0
+
+
+class TestSpeakersAdapter:
+    def make_sim(self):
+        from repro.netsim.bgp import Announcement, ASGraph
+        from repro.netsim.speakers import LinkProfile, SpeakerSimulation
+
+        g = ASGraph()
+        g.add_provider("c", "t")
+        g.add_provider("d", "t")
+        sim = SpeakerSimulation(
+            g, profile=LinkProfile(base_delay_s=0.05, jitter_s=0.05, mrai_s=0.0)
+        )
+        sim.announce(Announcement(parse_prefix("198.51.100.0/24"), "d"))
+        sim.settle()
+        return sim
+
+    def test_watch_speakers_prometheus_golden(self):
+        sim = self.make_sim()
+        reg = MetricsRegistry()
+        watch_speakers(reg, "bgp", sim)
+        text = to_prometheus(reg.snapshot())
+        assert "repro_bgp_messages_sent" in text
+        assert "repro_bgp_pending_messages 0" in text
+        assert "repro_bgp_sessions_down 0" in text
+        # The pre-attach convergence window was replayed into the histogram.
+        assert 'repro_bgp_convergence_s_bucket{le="+Inf"} 1' in text
+        assert "repro_bgp_convergence_s_count 1" in text
+
+    def test_windows_closed_after_attach_feed_the_histogram(self):
+        from repro.netsim.bgp import Announcement
+        from repro.netsim.addr import parse_prefix as pp
+
+        sim = self.make_sim()
+        reg = MetricsRegistry()
+        watch_speakers(reg, "bgp", sim)
+        sim.announce(Announcement(pp("203.0.113.0/24"), "c"))
+        sim.settle()
+        hists = reg.snapshot()["histograms"]
+        assert hists["bgp.convergence_s"]["count"] == 2

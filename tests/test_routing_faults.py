@@ -1,0 +1,143 @@
+"""Routing gray faults: registry vocabulary, validation, engine gating."""
+
+import random
+
+import pytest
+
+from repro.faults.errors import FaultConfigError
+from repro.faults.injector import FaultTargets
+from repro.faults.registry import build_fault, fault_kinds
+from repro.netsim.addr import parse_prefix
+from repro.netsim.anycast import build_regional_topology
+from repro.netsim.routeleak import attach_multihomed_leaker
+from repro.netsim.speakers import LinkProfile, SpeakerSimulation
+
+PFX = parse_prefix("192.0.2.0/24")
+FAST = LinkProfile(base_delay_s=0.05, jitter_s=0.05, mrai_s=0.0)
+
+
+def two_region_network(speakers: bool):
+    network = build_regional_topology(
+        {"us": ["ashburn"], "eu": ["london"]},
+        clients_per_region=2, rng=random.Random(7),
+    )
+    attach_multihomed_leaker(network, "leaky:cust", "transit:us:0", "transit:eu:0")
+    if speakers:
+        network.use_simulation(SpeakerSimulation(network.graph, profile=FAST))
+    network.announce_from_all(PFX)
+    if speakers:
+        network.sim.settle()
+    return network
+
+
+class TestRegistry:
+    def test_routing_kinds_registered(self):
+        kinds = fault_kinds()
+        for kind in ("route_leak", "session_reset", "slow_convergence",
+                     "persistent_flap"):
+            assert kind in kinds
+
+    def test_route_leak_round_trips_through_builder(self):
+        fault = build_fault("route_leak", leaker="leaky:cust",
+                            prefix=str(PFX))
+        assert fault.kind == "route_leak"
+        assert fault.prefix == PFX
+        assert "leaky:cust" in fault.target
+
+    def test_bad_prefix_is_a_typed_config_error(self):
+        with pytest.raises(FaultConfigError, match="bad prefix"):
+            build_fault("route_leak", leaker="leaky:cust", prefix="not/a/prefix")
+        with pytest.raises(FaultConfigError, match="bad prefix"):
+            build_fault("persistent_flap", prefix="192.0.2.0/99",
+                        pop="ashburn", period=4.0)
+
+    def test_parameter_validation(self):
+        with pytest.raises(FaultConfigError):
+            build_fault("slow_convergence", factor=1.0)
+        with pytest.raises(FaultConfigError):
+            build_fault("persistent_flap", prefix=str(PFX), pop="ashburn",
+                        period=0.0)
+
+
+class TestEngineGating:
+    @pytest.mark.parametrize("kind,params", [
+        ("session_reset", {"a": "pop:ashburn", "b": "transit:us:0"}),
+        ("slow_convergence", {"factor": 5.0}),
+        ("persistent_flap", {"prefix": str(PFX), "pop": "ashburn",
+                             "period": 4.0}),
+    ])
+    def test_speakers_only_faults_reject_static_engine(self, kind, params):
+        targets = FaultTargets(network=two_region_network(speakers=False))
+        fault = build_fault(kind, **params)
+        with pytest.raises(FaultConfigError, match="speaker"):
+            fault.apply(targets, random.Random(0))
+
+    def test_route_leak_applies_on_both_engines(self):
+        for speakers in (False, True):
+            network = two_region_network(speakers=speakers)
+            targets = FaultTargets(network=network)
+            fault = build_fault("route_leak", leaker="leaky:cust",
+                                prefix=str(PFX))
+            fault.apply(targets, random.Random(0))
+            if speakers:
+                network.sim.settle()
+            assert network.sim.policies().get("leaky:cust") is not None
+            fault.revert(targets, random.Random(0))
+            if speakers:
+                network.sim.settle()
+            assert network.sim.policies().get("leaky:cust") is None
+
+    def test_route_leak_unknown_leaker_rejected(self):
+        targets = FaultTargets(network=two_region_network(speakers=True))
+        fault = build_fault("route_leak", leaker="nope", prefix=str(PFX))
+        with pytest.raises(KeyError):
+            fault.apply(targets, random.Random(0))
+
+
+class TestSpeakersFaultDynamics:
+    def test_session_reset_applies_and_reverts(self):
+        network = two_region_network(speakers=True)
+        targets = FaultTargets(network=network)
+        fault = build_fault("session_reset", a="pop:ashburn", b="transit:us:0")
+        fault.apply(targets, random.Random(0))
+        assert network.sim.sessions_down() == [("pop:ashburn", "transit:us:0")]
+        fault.revert(targets, random.Random(0))
+        network.sim.settle()
+        assert network.sim.sessions_down() == []
+
+    def test_slow_convergence_scales_and_restores_delay(self):
+        network = two_region_network(speakers=True)
+        targets = FaultTargets(network=network)
+        fault = build_fault("slow_convergence", factor=5.0)
+        fault.apply(targets, random.Random(0))
+        assert network.sim.delay_factor == 5.0
+        fault.revert(targets, random.Random(0))
+        assert network.sim.delay_factor == 1.0
+
+    def test_persistent_flap_starts_and_stops_flapping(self):
+        network = two_region_network(speakers=True)
+        targets = FaultTargets(network=network)
+        fault = build_fault("persistent_flap", prefix=str(PFX),
+                            pop="ashburn", period=4.0)
+        fault.apply(targets, random.Random(0))
+        assert network.sim.active_flaps() == [(PFX, "pop:ashburn")]
+        fault.revert(targets, random.Random(0))
+        network.sim.settle()
+        assert network.sim.active_flaps() == []
+        # Healed: the prefix is announced again from the flapped PoP.
+        assert "ashburn" in network.announced_prefixes()[PFX] or \
+            network.sim.rib("pop:ashburn").best(PFX) is not None
+
+
+class TestLegacyLeakHelpers:
+    def test_inject_route_leak_rides_the_fault_registry(self):
+        from repro.netsim.routeleak import inject_route_leak
+
+        network = two_region_network(speakers=True)
+        scenario = inject_route_leak(network, "leaky:cust", PFX)
+        network.sim.settle()
+        assert scenario.fault is not None
+        assert network.sim.policies().get("leaky:cust") is not None
+        scenario.heal()
+        network.sim.settle()
+        assert network.sim.policies().get("leaky:cust") is None

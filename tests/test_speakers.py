@@ -1,0 +1,409 @@
+"""Event-driven BGP speakers: propagation, MRAI, sessions, damping, oracle."""
+
+import random
+
+import pytest
+
+from repro.clock import Clock
+from repro.netsim.addr import parse_prefix
+from repro.netsim.bgp import (
+    Announcement,
+    ASGraph,
+    BGPSimulation,
+    LeakingExport,
+)
+from repro.netsim.speakers import (
+    ConvergenceTracker,
+    LinkProfile,
+    SpeakerSimulation,
+    oracle_mismatches,
+)
+
+PFX = parse_prefix("198.51.100.0/24")
+PFX2 = parse_prefix("203.0.113.0/24")
+FAST = LinkProfile(base_delay_s=0.05, jitter_s=0.05, mrai_s=0.0)
+
+
+def line_graph():
+    """stub s — transit t — stub d (t provides for both)."""
+    g = ASGraph()
+    g.add_provider("s", "t")
+    g.add_provider("d", "t")
+    return g
+
+
+def diamond_graph():
+    """Origin multihomed to two transits peering above a shared client."""
+    g = ASGraph()
+    g.add_provider("o", "t1")
+    g.add_provider("o", "t2")
+    g.add_peering("t1", "t2")
+    g.add_provider("c", "t1")
+    g.add_provider("c", "t2")
+    return g
+
+
+class TestPropagation:
+    def test_announcement_reaches_remote_as_after_settle(self):
+        sim = SpeakerSimulation(line_graph(), profile=FAST)
+        sim.announce(Announcement(PFX, "s"))
+        assert sim.rib("d").best(PFX) is None  # nothing delivered yet
+        sim.settle()
+        route = sim.rib("d").best(PFX)
+        assert route is not None and route.origin == "s"
+
+    def test_tick_only_drains_events_due_on_the_clock(self):
+        clock = Clock()
+        sim = SpeakerSimulation(line_graph(), clock=clock, profile=FAST)
+        sim.announce(Announcement(PFX, "s"))
+        sim.tick()
+        assert sim.rib("d").best(PFX) is None  # delay has not elapsed
+        assert sim.converging()
+        clock.advance(5.0)
+        sim.tick()
+        assert sim.rib("d").best(PFX).origin == "s"
+        assert not sim.converging()
+
+    def test_withdrawal_propagates_and_empties_tables(self):
+        sim = SpeakerSimulation(line_graph(), profile=FAST)
+        sim.announce(Announcement(PFX, "s"))
+        sim.settle()
+        sim.withdraw(PFX, "s")
+        sim.settle()
+        for asn in ("s", "t", "d"):
+            assert sim.rib(asn).best(PFX) is None
+        assert sim.tracker.withdrawals_sent > 0
+
+    def test_valley_free_holds_under_event_delivery(self):
+        # d learns o's route via its providers, but t1 must not relay the
+        # peer-learned route to t2 (no peer->peer transit).
+        sim = SpeakerSimulation(diamond_graph(), profile=FAST)
+        sim.announce(Announcement(PFX, "o"))
+        sim.settle()
+        path = sim.forwarding_path("c", PFX.first)
+        assert path is not None and path[-1] == "o"
+        assert oracle_mismatches(sim, ["c", "t1", "t2"], [PFX.first]) == []
+
+    def test_incremental_flag_distinguishes_engines(self):
+        assert SpeakerSimulation(line_graph()).incremental
+        assert not BGPSimulation(line_graph()).incremental
+
+
+class TestConvergenceWindows:
+    def test_settle_records_a_closed_window(self):
+        sim = SpeakerSimulation(line_graph(), profile=FAST)
+        sim.announce(Announcement(PFX, "s"))
+        sim.settle()
+        assert len(sim.tracker.windows) == 1
+        opened, closed = sim.tracker.windows[0]
+        assert closed > opened >= 0.0
+        assert sim.open_window_since() is None
+
+    def test_each_quiescence_gap_opens_a_new_window(self):
+        sim = SpeakerSimulation(line_graph(), profile=FAST)
+        sim.announce(Announcement(PFX, "s"))
+        sim.settle()
+        sim.withdraw(PFX, "s")
+        sim.settle()
+        assert len(sim.tracker.windows) == 2
+
+    def test_observers_receive_window_durations(self):
+        seen = []
+        tracker = ConvergenceTracker()
+        tracker.observers.append(seen.append)
+        sim = SpeakerSimulation(line_graph(), profile=FAST, tracker=tracker)
+        sim.announce(Announcement(PFX, "s"))
+        sim.settle()
+        assert seen == tracker.durations()
+
+    def test_slow_convergence_factor_stretches_the_window(self):
+        base = SpeakerSimulation(line_graph(), profile=FAST)
+        base.announce(Announcement(PFX, "s"))
+        base.settle()
+        slow = SpeakerSimulation(line_graph(), profile=FAST)
+        slow.delay_factor = 5.0
+        slow.announce(Announcement(PFX, "s"))
+        slow.settle()
+        assert slow.tracker.durations()[0] == pytest.approx(
+            5.0 * base.tracker.durations()[0])
+
+
+class TestMRAIAndCoalescing:
+    def test_rapid_flip_coalesces_to_latest_state(self):
+        # With a long MRAI the second UPDATE for the same session waits a
+        # full slot; the announce->withdraw flip supersedes the announce
+        # in flight, and the receiver ends with no route.
+        profile = LinkProfile(base_delay_s=0.05, jitter_s=0.0, mrai_s=5.0)
+        sim = SpeakerSimulation(line_graph(), profile=profile)
+        sim.announce(Announcement(PFX, "s"))
+        sim.withdraw(PFX, "s")
+        sim.settle()
+        assert sim.rib("t").best(PFX) is None
+        assert sim.tracker.coalesced > 0
+
+    def test_mrai_paces_successive_sends_on_one_session(self):
+        profile = LinkProfile(base_delay_s=0.05, jitter_s=0.0, mrai_s=5.0)
+        sim = SpeakerSimulation(line_graph(), profile=profile)
+        sim.announce(Announcement(PFX, "s"))
+        sim.announce(Announcement(PFX2, "s"))
+        sim.settle()
+        # The second prefix's UPDATE left one MRAI slot later, so the
+        # network only quiesced after that slot elapsed.
+        assert sim.tracker.windows[-1][1] >= 5.0
+
+
+class TestSessions:
+    def test_session_down_purges_learned_routes_both_sides(self):
+        sim = SpeakerSimulation(line_graph(), profile=FAST)
+        sim.announce(Announcement(PFX, "s"))
+        sim.settle()
+        assert sim.rib("d").best(PFX) is not None
+        sim.set_session("t", "d", up=False)
+        assert sim.rib("d").best(PFX) is None
+        assert sim.sessions_down() == [("d", "t")]
+        # s -> t is untouched.
+        assert sim.rib("t").best(PFX) is not None
+
+    def test_session_restore_readvertises_full_table(self):
+        sim = SpeakerSimulation(line_graph(), profile=FAST)
+        sim.announce(Announcement(PFX, "s"))
+        sim.settle()
+        sim.set_session("t", "d", up=False)
+        sim.set_session("t", "d", up=True)
+        sim.settle()
+        assert sim.rib("d").best(PFX).origin == "s"
+        assert sim.sessions_down() == []
+
+    def test_unknown_session_rejected(self):
+        sim = SpeakerSimulation(line_graph(), profile=FAST)
+        with pytest.raises(KeyError):
+            sim.set_session("s", "d", up=False)
+
+    def test_messages_in_flight_when_session_dies_are_dropped(self):
+        clock = Clock()
+        sim = SpeakerSimulation(line_graph(), clock=clock, profile=FAST)
+        sim.announce(Announcement(PFX, "s"))  # UPDATE now in flight to t
+        sim.set_session("s", "t", up=False)
+        clock.advance(10.0)
+        sim.tick()
+        assert sim.rib("t").best(PFX) is None
+
+
+class TestFlapDamping:
+    def test_persistent_flap_is_suppressed_at_first_hop(self):
+        clock = Clock()
+        sim = SpeakerSimulation(line_graph(), clock=clock, profile=FAST)
+        sim.announce(Announcement(PFX, "s"))
+        sim.settle()
+        sim.warm_reset()
+        sim.start_flap(PFX, "s", period_s=2.0)
+        for _ in range(30):
+            clock.advance(1.0)
+            sim.tick()
+        assert sim.tracker.suppressions > 0
+        assert sim.suppressed_count() > 0
+        assert sim.active_flaps() == [(PFX, "s")]
+
+    def test_reuse_restores_route_after_flap_stops(self):
+        clock = Clock()
+        sim = SpeakerSimulation(line_graph(), clock=clock, profile=FAST)
+        sim.announce(Announcement(PFX, "s"))
+        sim.settle()
+        sim.warm_reset()
+        sim.start_flap(PFX, "s", period_s=2.0)
+        for _ in range(30):
+            clock.advance(1.0)
+            sim.tick()
+        sim.stop_flap(PFX, "s")
+        sim.settle()  # drains damping reuse timers on virtual time
+        assert sim.active_flaps() == []
+        assert sim.suppressed_count() == 0
+        assert sim.tracker.reuses > 0
+        assert sim.rib("d").best(PFX).origin == "s"
+
+    def test_flap_period_validated(self):
+        sim = SpeakerSimulation(line_graph(), profile=FAST)
+        with pytest.raises(ValueError):
+            sim.start_flap(PFX, "s", period_s=0.0)
+        with pytest.raises(KeyError):
+            sim.start_flap(PFX, "nope", period_s=2.0)
+
+
+class TestWarmReset:
+    def test_warm_reset_zeroes_counters_and_snaps_to_clock(self):
+        clock = Clock()
+        clock.advance(42.0)
+        sim = SpeakerSimulation(line_graph(), clock=clock, profile=FAST)
+        sim.announce(Announcement(PFX, "s"))
+        sim.settle()
+        assert sim.tracker.messages_sent > 0
+        sim.warm_reset()
+        assert sim.tracker.messages_sent == 0
+        assert sim.tracker.windows == []
+        assert sim.rib("d").best(PFX) is not None  # RIBs survive
+        sim.withdraw(PFX, "s")
+        # Post-reset events are timestamped at the clock, not build vtime.
+        assert sim._queue[0][0] >= 42.0
+
+    def test_warm_reset_requires_a_settled_queue(self):
+        sim = SpeakerSimulation(line_graph(), profile=FAST)
+        sim.announce(Announcement(PFX, "s"))
+        with pytest.raises(RuntimeError):
+            sim.warm_reset()
+
+
+class TestLeakDynamics:
+    def test_leak_spreads_and_heals_incrementally(self):
+        # The origin *peers* with both transits (the CDN arrangement), so
+        # a customer-learned leak beats the direct peer route on local-pref.
+        g = ASGraph()
+        g.add_peering("o", "t1")
+        g.add_peering("o", "t2")
+        g.add_peering("t1", "t2")
+        g.add_provider("c", "t1")
+        g.add_provider("c", "t2")
+        g.add_provider("leak", "t1")
+        g.add_provider("leak", "t2")
+        sim = SpeakerSimulation(g, profile=FAST)
+        sim.announce(Announcement(PFX, "o"))
+        sim.settle()
+        assert sim.forwarding_path("c", PFX.first)[-1] == "o"
+        sim.set_export_policy("leak", LeakingExport([PFX]))
+        sim.settle()
+        # t2 prefers the customer-learned (leaked) route, so c's path now
+        # transits the leaker — and no reconverge_from_scratch was needed.
+        leaked_paths = [
+            sim.forwarding_path(c, PFX.first) for c in ("t1", "t2")
+        ]
+        assert any("leak" in p for p in leaked_paths if p)
+        sim.set_export_policy("leak", None)
+        sim.settle()
+        assert all(
+            "leak" not in (sim.forwarding_path(c, PFX.first) or ())
+            for c in ("c", "t1", "t2")
+        )
+        assert oracle_mismatches(sim, ["c", "t1", "t2"], [PFX.first]) == []
+
+
+def random_topology(rng: random.Random) -> tuple[ASGraph, list, list]:
+    """Random three-tier hierarchy: full-mesh tier-1s, multihomed mids
+    with scattered lateral peerings, stubs hanging off the mids."""
+    g = ASGraph()
+    t1s = [f"t1:{i}" for i in range(rng.randint(2, 4))]
+    for i, a in enumerate(t1s):
+        for b in t1s[i + 1:]:
+            g.add_peering(a, b)
+    mids = [f"mid:{i}" for i in range(rng.randint(3, 8))]
+    for m in mids:
+        for p in rng.sample(t1s, rng.randint(1, min(2, len(t1s)))):
+            g.add_provider(m, p)
+    for i, a in enumerate(mids):
+        for b in mids[i + 1:]:
+            if rng.random() < 0.3:
+                g.add_peering(a, b)
+    stubs = [f"stub:{i}" for i in range(rng.randint(4, 12))]
+    for s in stubs:
+        for p in rng.sample(mids, rng.randint(1, min(2, len(mids)))):
+            g.add_provider(s, p)
+    return g, mids, stubs
+
+
+class TestDifferentialOracle:
+    @pytest.mark.parametrize("block", range(8))
+    def test_settled_speakers_equal_static_fixpoint(self, block):
+        """225 seeded topologies (25 per block): anycast originations,
+        random MRAI, and occasional leaks — settled catchments must match
+        the static Gao–Rexford fixpoint exactly."""
+        for index in range(25):
+            seed = block * 25 + index
+            rng = random.Random(seed)
+            graph, mids, stubs = random_topology(rng)
+            profile = LinkProfile(
+                base_delay_s=0.05, jitter_s=0.2,
+                mrai_s=rng.choice([0.0, 1.0, 3.0]),
+            )
+            sim = SpeakerSimulation(graph, profile=profile)
+            origins = rng.sample(stubs, rng.randint(1, min(3, len(stubs))))
+            for origin in origins:
+                sim.announce(Announcement(PFX, origin))
+            leakers = [s for s in stubs if s not in origins]
+            if leakers and rng.random() < 0.5:
+                sim.set_export_policy(rng.choice(leakers), LeakingExport([PFX]))
+            sim.settle()
+            mismatches = oracle_mismatches(
+                sim, sorted(graph.ases(), key=str), [PFX.first])
+            assert mismatches == [], (
+                f"seed {seed}: {len(mismatches)} catchment mismatch(es), "
+                f"first {mismatches[:1]}")
+
+    def test_oracle_reports_a_seeded_divergence(self):
+        # Sanity-check the oracle itself: a deliberately desynchronized
+        # static comparison (extra origin the speaker never saw) differs.
+        sim = SpeakerSimulation(line_graph(), profile=FAST)
+        sim.announce(Announcement(PFX, "s"))
+        sim.settle()
+        static = BGPSimulation(line_graph())
+        static.converge()
+        assert sim.catchment(PFX.first, ["d"]) != static.catchment(
+            PFX.first, ["d"])
+
+
+class TestCatchmentDeterminism:
+    """Satellite: catchments are byte-identical across runs and stable
+    under AS insertion order."""
+
+    def _catchment_bytes(self, graph: ASGraph) -> bytes:
+        sim = SpeakerSimulation(graph, profile=FAST)
+        sim.announce(Announcement(PFX, "o1"))
+        sim.announce(Announcement(PFX, "o2"))
+        sim.settle()
+        clients = sorted(graph.ases(), key=str)
+        catchment = sim.catchment(PFX.first, clients)
+        return repr([(str(c), str(catchment[c])) for c in clients]).encode()
+
+    def _build(self, order: list[tuple[str, str, str]]) -> ASGraph:
+        g = ASGraph()
+        for kind, a, b in order:
+            if kind == "peer":
+                g.add_peering(a, b)
+            else:
+                g.add_provider(a, b)
+        return g
+
+    EDGES = [
+        ("peer", "t1", "t2"),
+        ("prov", "o1", "t1"),
+        ("prov", "o2", "t2"),
+        ("prov", "c1", "t1"),
+        ("prov", "c2", "t2"),
+        ("prov", "c3", "t1"),
+        ("prov", "c3", "t2"),
+    ]
+
+    def test_repeat_runs_are_byte_identical(self):
+        graph = self._build(self.EDGES)
+        assert self._catchment_bytes(graph) == self._catchment_bytes(
+            self._build(self.EDGES))
+
+    def test_insertion_order_does_not_change_catchments(self):
+        for seed in range(10):
+            shuffled = list(self.EDGES)
+            random.Random(seed).shuffle(shuffled)
+            assert self._catchment_bytes(self._build(shuffled)) == \
+                self._catchment_bytes(self._build(self.EDGES)), f"seed {seed}"
+
+    def test_static_engine_agrees_across_insertion_orders(self):
+        def static_bytes(graph):
+            sim = BGPSimulation(graph)
+            sim.announce(Announcement(PFX, "o1"))
+            sim.announce(Announcement(PFX, "o2"))
+            sim.converge()
+            clients = sorted(graph.ases(), key=str)
+            catchment = sim.catchment(PFX.first, clients)
+            return repr([(str(c), str(catchment[c])) for c in clients]).encode()
+
+        baseline = static_bytes(self._build(self.EDGES))
+        for seed in range(10):
+            shuffled = list(self.EDGES)
+            random.Random(seed).shuffle(shuffled)
+            assert static_bytes(self._build(shuffled)) == baseline
