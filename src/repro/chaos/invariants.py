@@ -49,6 +49,12 @@ instant it first held.  Registered checkers (run in sorted-name order):
     :class:`~repro.netsim.bgp.LeakingExport` AS past the leak-detection
     budget (+ TTL + grace) — the monitor's catchment-churn detection
     must have drained production traffic off the leaked path by then.
+``plan_safety``
+    Every enacted failover must be preceded by a symbolic pre-flight
+    verdict on the timeline (:func:`repro.check.plan.verify_plan`,
+    phase ``"check"``): a ``failover_triggered`` with no ``plan_verified``
+    on record — or following a ``plan_unsafe`` — means the monitor
+    rebound the policy onto space it could not prove reachable.
 """
 
 from __future__ import annotations
@@ -301,6 +307,28 @@ def _check_leak_containment(result: "CampaignResult") -> list[Violation]:
     return violations
 
 
+def _check_plan_safety(result: "CampaignResult") -> list[Violation]:
+    violations = []
+    for failover in result.timeline.events(kind="failover_triggered"):
+        checks = [
+            e for e in result.timeline.events(until=failover.at)
+            if e.kind in ("plan_verified", "plan_unsafe") and e.phase == "check"
+        ]
+        if not checks:
+            violations.append(Violation(
+                "plan_safety", failover.at,
+                f"failover of {failover.target!r} enacted with no symbolic "
+                f"plan verification on record",
+            ))
+        elif checks[-1].kind == "plan_unsafe":
+            violations.append(Violation(
+                "plan_safety", failover.at,
+                f"failover of {failover.target!r} enacted despite an unsafe "
+                f"plan verdict: {checks[-1].detail}",
+            ))
+    return violations
+
+
 INVARIANTS: dict[str, Callable[["CampaignResult"], list[Violation]]] = {
     "availability": _check_availability,
     "recovery": _check_recovery,
@@ -310,6 +338,7 @@ INVARIANTS: dict[str, Callable[["CampaignResult"], list[Violation]]] = {
     "bgp_oracle": _check_bgp_oracle,
     "convergence_window": _check_convergence_window,
     "leak_containment": _check_leak_containment,
+    "plan_safety": _check_plan_safety,
 }
 
 

@@ -17,7 +17,16 @@ This package is that missing static pass, three checkers behind one
   policy → route → dispatch reachability;
 * :mod:`repro.check.determinism` — an AST lint over simulation code for
   wall-clock reads, unseeded/global randomness, salted ``hash()`` seeds,
-  unordered-set iteration, and mutable shared state.
+  unordered-set iteration, environment reads, and mutable shared state;
+* :mod:`repro.check.symbolic` — an exact packet-space engine (prefix ×
+  protocol × port-interval rectangles) that upgrades the sampled
+  reachability check to a proof (SK100) and proves the compiled dispatch
+  engine equivalent to the interpreter (SK101), with concrete witness
+  packets on failure;
+* :mod:`repro.check.plan` — pre-flight rebind-plan analysis
+  (:func:`~repro.check.plan.verify_plan`): symbolically diffs the packet
+  space across a shrink/failover/migration, reporting blackholed space,
+  stranded established flows, and the stale-binding exposure window.
 
 Run everything with ``python -m repro check`` (see :mod:`repro.check.cli`),
 or programmatically::
@@ -45,7 +54,9 @@ from .deployment import (
     precheck_rebind,
 )
 from .determinism import DeterminismChecker, lint_paths
+from .plan import PlanDiff, RebindPlan, verify_plan
 from .program import ProgramChecker
+from .symbolic import PacketSpace, Rect, SymbolicChecker
 
 __all__ = [
     "CheckContext",
@@ -64,4 +75,10 @@ __all__ = [
     "context_from_cdn",
     "context_from_deployment",
     "precheck_rebind",
+    "SymbolicChecker",
+    "PacketSpace",
+    "Rect",
+    "RebindPlan",
+    "PlanDiff",
+    "verify_plan",
 ]

@@ -52,7 +52,7 @@ def sample_pool_addresses(pool: AddressPool, samples: int) -> list[IPAddress]:
     """
     explicit = pool.active_addresses()
     if explicit is not None:
-        return list(explicit[: max(samples, 2) + 2])
+        return list(explicit[: max(samples, 2)])
     prefix = pool.active_prefix
     assert prefix is not None
     rng = random.Random(_SAMPLE_SEED ^ prefix.network ^ prefix.length)

@@ -151,6 +151,8 @@ class CheckContext:
     ttl_horizon_max: int = 3600
     #: Addresses sampled per pool for end-to-end reachability (plus corners).
     samples_per_pool: int = 6
+    #: Optional MetricsRegistry; passes record region counts / durations here.
+    registry: object | None = None
 
     def covered_by_announced(self, prefix: Prefix) -> bool:
         return any(a.contains(prefix) for a in self.announced)
@@ -226,6 +228,23 @@ def run_checkers(ctx: CheckContext, checkers: list[Checker] | None = None) -> Re
         if ctx.lint_paths:
             checkers.append(DeterminismChecker())
     report = Report(checkers_run=len(checkers))
+    registry = ctx.registry
     for checker in checkers:
-        report.findings.extend(checker.run(ctx))
+        if registry is None:
+            report.findings.extend(checker.run(ctx))
+            continue
+        import time
+
+        start = time.perf_counter()  # repro: allow-wall-clock pass-duration metric only
+        found = checker.run(ctx)
+        elapsed = time.perf_counter() - start  # repro: allow-wall-clock pass-duration metric only
+        report.findings.extend(found)
+        registry.histogram(
+            "check_pass_duration_seconds",
+            help="Wall-clock duration of one checker pass",
+        ).observe(elapsed)
+        registry.counter(
+            f"check_pass_findings_total_{checker.name}",
+            help="Findings emitted by this checker pass",
+        ).inc(len(found))
     return report

@@ -84,11 +84,15 @@ def precheck_rebind(
     standby_pools: list[AddressPool] | None = None,
     service_ports: tuple[int, ...] | None = None,
     deployment=None,
+    symbolic: bool = False,
 ) -> Report:
     """Verify the control plane *as it would be* after a rebind.
 
     Substitutes ``new_pool`` for ``policy_name``'s pool in the extracted
-    state and runs the control-plane checker.  The live engine is never
+    state and runs the control-plane checker — plus, with ``symbolic``,
+    the exact packet-space pass (:class:`~repro.check.symbolic
+    .SymbolicChecker`), which upgrades the sampled reachability check to
+    a proof over the hypothetical state.  The live engine is never
     touched; an error finding means the maneuver would mint unroutable,
     unterminated, or undispatched addresses — reject it like a bad BPF
     program instead of blackholing at TTL timescales.
@@ -108,4 +112,9 @@ def precheck_rebind(
             replaced = True
     if not replaced:
         raise KeyError(f"no policy named {policy_name!r} to precheck")
-    return run_checkers(ctx, [ControlPlaneChecker()])
+    checkers: list = [ControlPlaneChecker()]
+    if symbolic:
+        from .symbolic import SymbolicChecker
+
+        checkers.append(SymbolicChecker())
+    return run_checkers(ctx, checkers)

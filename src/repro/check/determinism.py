@@ -23,7 +23,10 @@ This pass walks the AST (stdlib :mod:`ast`, no new dependencies) of every
 * ``DT005 mutable-default``     — list/dict/set default arguments shared
   across every simulated actor that calls the function;
 * ``DT006 mutable-class-state`` — list/dict/set class attributes shared
-  across every instance.
+  across every instance;
+* ``DT008 env-dependence``      — ``os.environ`` / ``os.getenv`` /
+  ``os.urandom`` reads: the same seed gives different runs on different
+  hosts (inject configuration explicitly; pragma spelling ``allow-env``).
 
 False positives are suppressed — and justified — in place with a pragma::
 
@@ -62,7 +65,13 @@ RULES: dict[str, tuple[str, Severity, str]] = {
               "initialise per-instance state in __init__ (or use a field factory)"),
     "DT007": ("unjustified-pragma", Severity.WARNING,
               "say *why* the rule does not apply, on the same line"),
+    "DT008": ("env-dependence", Severity.ERROR,
+              "pass configuration in explicitly — environment reads make the "
+              "same seed behave differently across hosts"),
 }
+
+#: Pragma shorthand: ``# repro: allow-env <why>`` spells DT008.
+_PRAGMA_ALIASES = {"env": "DT008"}
 
 _WALL_CLOCK = {
     "time.time", "time.time_ns", "time.monotonic", "time.monotonic_ns",
@@ -157,6 +166,7 @@ class _FileVisitor(ast.NodeVisitor):
         self.display = display
         self.table = table
         self.findings: list[Finding] = []
+        self._env_lines: set[int] = set()  # one DT008 per line, however written
 
     # -- helpers ------------------------------------------------------------
 
@@ -203,7 +213,21 @@ class _FileVisitor(ast.NodeVisitor):
                        f"{path}() over a set materialises hash-seed-dependent order")
         self.generic_visit(node)
 
+    def _flag_env(self, lineno: int, message: str) -> None:
+        if lineno in self._env_lines:
+            return
+        self._env_lines.add(lineno)
+        self._flag("DT008", lineno, message)
+
     def _check_call(self, node: ast.Call, path: str) -> None:
+        if path == "os.urandom":
+            self._flag_env(node.lineno,
+                           "os.urandom() draws OS entropy inside simulation code")
+            return
+        if path in ("os.getenv", "os.environ") or path.startswith("os.environ."):
+            self._flag_env(node.lineno,
+                           f"{path}() reads the process environment inside simulation code")
+            return
         if path in _WALL_CLOCK:
             self._flag("DT001", node.lineno,
                        f"{path}() reads the wall clock inside simulation code")
@@ -233,6 +257,15 @@ class _FileVisitor(ast.NodeVisitor):
             self._flag("DT003", node.lineno,
                        "builtin hash() is salted per process (PYTHONHASHSEED); "
                        "its value is not reproducible across runs")
+
+    # -- environment reads -----------------------------------------------------------
+
+    def visit_Subscript(self, node: ast.Subscript) -> None:
+        if self.table.resolve(node.value) == "os.environ":
+            self._flag_env(node.lineno,
+                           "os.environ[...] reads the process environment "
+                           "inside simulation code")
+        self.generic_visit(node)
 
     # -- iteration order ------------------------------------------------------------
 
@@ -317,7 +350,10 @@ def lint_file(path: str, display: str | None = None) -> list[Finding]:
         lineno = int(finding.location.rsplit(":", 1)[-1])
         suppressed = False
         for idx, pragma in enumerate(pragmas.get(lineno, [])):
-            if pragma.rule in (finding.rule, finding.name, "all"):
+            if (
+                pragma.rule in (finding.rule, finding.name, "all")
+                or _PRAGMA_ALIASES.get(pragma.rule) == finding.rule
+            ):
                 suppressed = True
                 used.add((lineno, idx))
                 if not pragma.justified:

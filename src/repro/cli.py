@@ -18,7 +18,8 @@
     python -m repro chaos --minimize tests/fixtures/chaos_bad_campaign.json
     python -m repro bgp --seed 7 [--json]
     python -m repro scaling
-    python -m repro check [config.json] [--strict]
+    python -m repro check [config.json] [--strict] [--symbolic] [--only NAME]
+    python -m repro plan plan.json
     python -m repro metrics [--experiment ttl|failover] [--format json|prom]
     python -m repro metrics --diff before.json after.json
 
@@ -267,15 +268,29 @@ def _collect_metrics(experiment: str) -> tuple[dict, dict]:
 
 
 def _cmd_check(args) -> str:
-    from .check.cli import run_check
+    from .check.cli import UnknownCheckerError, run_check
 
-    output, code = run_check(
-        config=args.config,
-        lint=args.lint,
-        no_lint=args.no_lint,
-        strict=args.strict,
-        no_deployment=args.no_deployment,
-    )
+    try:
+        output, code = run_check(
+            config=args.config,
+            lint=args.lint,
+            no_lint=args.no_lint,
+            strict=args.strict,
+            no_deployment=args.no_deployment,
+            only=args.only,
+            symbolic=args.symbolic,
+        )
+    except UnknownCheckerError as exc:
+        raise _CommandFailed(f"check: {exc}", 2)
+    if code != 0:
+        raise _CommandFailed(output, code)
+    return output
+
+
+def _cmd_plan(args) -> str:
+    from .check.cli import run_plan
+
+    output, code = run_plan(args.plan, strict=args.strict)
     if code != 0:
         raise _CommandFailed(output, code)
     return output
@@ -303,6 +318,7 @@ _COMMANDS: dict[str, tuple[Callable, str]] = {
     "bgp": (_cmd_bgp, "§4.4/§6: BGP convergence windows racing the DNS rebind"),
     "scaling": (_cmd_scaling, "Figure 4: socket-table scaling comparison"),
     "check": (_cmd_check, "static analysis: program verifier + control-plane + determinism lint"),
+    "plan": (_cmd_plan, "symbolic pre-flight verification of a rebind-plan JSON file"),
     "metrics": (_cmd_metrics, "repro.obs: run an instrumented experiment, export metrics"),
     "list": (_cmd_list, "list available experiments"),
 }
@@ -405,6 +421,16 @@ def build_parser() -> argparse.ArgumentParser:
                         "(lint-only run)")
     p.add_argument("--strict", action="store_true",
                    help="exit non-zero on warnings too")
+    p.add_argument("--symbolic", action="store_true",
+                   help="add the exact packet-space passes (SK100/SK101)")
+    p.add_argument("--only", action="append", default=None, metavar="NAME",
+                   help="run only the named checker(s); unknown names exit 2")
+
+    p = sub.add_parser("plan", help=_COMMANDS["plan"][1])
+    p.add_argument("plan", metavar="FILE",
+                   help="rebind-plan JSON (kind/policy plus active, pool, release)")
+    p.add_argument("--strict", action="store_true",
+                   help="exit non-zero on info findings too")
 
     sub.add_parser("list", help=_COMMANDS["list"][1])
     return parser

@@ -226,6 +226,7 @@ class Deployment:
             ],
             service_ports=tuple(self.config.ports),
             deployment=self,
+            symbolic=True,
         )
         if report.ok:
             return

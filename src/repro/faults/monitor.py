@@ -405,29 +405,45 @@ class HealthMonitor:
         """
         from ..check.core import CheckError
         from ..check.deployment import precheck_rebind
+        from ..check.plan import RebindPlan, verify_plan
 
         report = precheck_rebind(
             self.cdn, self.controller.engine, self.policy_name,
             self.failover_pool,
         )
-        if report.ok:
-            return
-        rendered = "; ".join(f.message for f in report.errors)
-        self.timeline.emit(
-            self.clock.now(), "precheck_failed", self.policy_name,
-            f"standby {self.failover_pool.name or self.failover_pool.advertised}: "
-            f"{rendered}",
-            phase="check",
-        )
-        if self.strict_checks:
-            raise CheckError(
-                f"failover of {self.policy_name!r} rejected by precheck: {rendered}",
-                report.errors,
+        if not report.ok:
+            rendered = "; ".join(f.message for f in report.errors)
+            self.timeline.emit(
+                self.clock.now(), "precheck_failed", self.policy_name,
+                f"standby {self.failover_pool.name or self.failover_pool.advertised}: "
+                f"{rendered}",
+                phase="check",
             )
-        logging.getLogger("repro.check").warning(
-            "failover precheck found errors (proceeding; strict_checks "
-            "would refuse): %s", rendered,
+            if self.strict_checks:
+                raise CheckError(
+                    f"failover of {self.policy_name!r} rejected by precheck: "
+                    f"{rendered}",
+                    report.errors,
+                )
+            logging.getLogger("repro.check").warning(
+                "failover precheck found errors (proceeding; strict_checks "
+                "would refuse): %s", rendered,
+            )
+        # Symbolic pre-flight: diff the packet space across the swap and
+        # record plan_verified/plan_unsafe on the timeline (phase="check")
+        # — the chaos plan_safety invariant audits exactly this record.
+        diff = verify_plan(
+            RebindPlan(kind="failover", policy=self.policy_name,
+                       pool=self.failover_pool),
+            self.cdn, self.controller.engine,
+            timeline=self.timeline, clock=self.clock,
+            strict=self.strict_checks,
         )
+        if not diff.ok:
+            logging.getLogger("repro.check").warning(
+                "failover plan is unsafe (proceeding; strict_checks would "
+                "refuse): %s", "; ".join(f.message for f in diff.report.errors),
+            )
 
     def _trigger_failover(
         self, failures: list[ProbeResult], reason: str = "blackhole"

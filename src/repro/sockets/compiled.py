@@ -180,6 +180,45 @@ class CompiledProgram:
             for proto in (Protocol.TCP, Protocol.UDP)
         }
 
+    # -- introspection -----------------------------------------------------
+
+    def describe(self) -> dict:
+        """The compiled index, as data: what the dispatcher *actually*
+        consults, independent of the rule list it was built from.
+
+        The symbolic verifier (:mod:`repro.check.symbolic`) evaluates this
+        description against the interpreter's rule list to prove the two
+        engines equivalent — reading the real ``breaks``/``lpm``/``actions``
+        structures means a corrupted or stale index produces a divergence
+        counterexample rather than a vacuous pass.  Masks are reported as
+        prefix lengths; segments as inclusive port spans.
+        """
+        actions = tuple(
+            ("drop" if op == _OP_DROP else "redirect" if op == _OP_REDIRECT else "pass",
+             key)
+            for op, key in self._actions
+        )
+        protocols: dict[int, tuple] = {}
+        for proto, index in self._by_proto.items():
+            segments = []
+            for i, start in enumerate(index.breaks):
+                end = index.breaks[i + 1] - 1 if i + 1 < len(index.breaks) else 0xFFFF
+                segment = index.segments[i]
+                lpm = {
+                    family: tuple(
+                        (mask.bit_count(), dict(nets)) for mask, nets in groups
+                    )
+                    for family, groups in segment.lpm.items()
+                }
+                segments.append((start, end, segment.always, lpm))
+            protocols[int(proto.value)] = tuple(segments)
+        return {
+            "name": self.name,
+            "version": self.version,
+            "actions": actions,
+            "protocols": protocols,
+        }
+
     # -- dispatch ----------------------------------------------------------
 
     def run(self, packet: Packet) -> tuple[Verdict, Socket | None]:

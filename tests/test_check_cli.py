@@ -2,7 +2,9 @@
 
 import os
 
-from repro.check.cli import run_check
+import pytest
+
+from repro.check.cli import UnknownCheckerError, run_check
 from repro.cli import main
 
 FIXTURES = os.path.join(os.path.dirname(os.path.abspath(__file__)), "fixtures")
@@ -75,3 +77,40 @@ class TestMainEntry:
     def test_main_success_on_empty_context(self, capsys):
         assert main(["check", "--no-deployment", "--no-lint"]) == 0
         assert "ok — no findings" in capsys.readouterr().out
+
+
+class TestOnlySelection:
+    def test_only_restricts_the_run_to_named_checkers(self):
+        output, code = run_check(config=BROKEN, only=["program"], no_lint=True)
+        assert code == 1
+        assert "SK002" in output and "CP001" not in output
+
+    def test_only_names_deduplicate_preserving_order(self):
+        once = run_check(config=BROKEN, only=["program"], no_lint=True)
+        twice = run_check(config=BROKEN, only=["program", "program"], no_lint=True)
+        assert once == twice
+
+    def test_unknown_name_is_a_typed_error(self):
+        with pytest.raises(UnknownCheckerError) as exc:
+            run_check(no_deployment=True, only=["nosuch"])
+        assert exc.value.checker == "nosuch"
+        assert exc.value.known == ("controlplane", "determinism", "program",
+                                   "symbolic")
+        assert "known checkers:" in str(exc.value)
+
+    def test_main_maps_unknown_checker_to_exit_2(self, capsys):
+        assert main(["check", "--no-deployment", "--only", "nosuch"]) == 2
+        out = capsys.readouterr().out
+        assert "unknown checker 'nosuch'" in out and "symbolic" in out
+
+
+class TestSymbolicFlag:
+    def test_symbolic_run_over_the_seed_deployment_is_clean(self):
+        output, code = run_check(symbolic=True, no_lint=True)
+        assert code == 0
+        assert output.startswith("ok — no findings")
+        assert "3 checker(s)" in output  # program, controlplane, symbolic
+
+    def test_only_symbolic_runs_just_that_pass(self):
+        output, code = run_check(only=["symbolic"], no_lint=True)
+        assert code == 0 and "1 checker(s)" in output

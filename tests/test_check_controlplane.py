@@ -3,7 +3,7 @@
 from repro.check import CheckContext, PolicyInfo, ProgramView
 from repro.check.controlplane import ControlPlaneChecker, sample_pool_addresses
 from repro.core.pool import AddressPool
-from repro.netsim.addr import parse_prefix
+from repro.netsim.addr import parse_address, parse_prefix
 from repro.netsim.packet import Protocol
 from repro.sockets.sklookup import MatchRule, Verdict
 
@@ -187,3 +187,21 @@ class TestEndToEndCP008:
         findings = run(ctx(policies=[policy()], announced=[STANDBY], programs=[]))
         cp008 = [f for f in findings if f.rule == "CP008"]
         assert len(cp008) == 1 and cp008[0].message.startswith("8/8")
+
+
+class TestSamplePoolAddresses:
+    def test_explicit_list_respects_the_sample_cap(self):
+        # Regression: the cap used to be max(samples, 2) + 2, silently
+        # probing two more addresses than asked for.
+        addrs = tuple(parse_address(f"192.0.2.{i}") for i in range(1, 11))
+        assert sample_pool_addresses(pool(active=addrs), 4) == list(addrs[:4])
+        assert len(sample_pool_addresses(pool(active=addrs), 64)) == 10
+
+    def test_explicit_list_keeps_the_two_sample_floor(self):
+        addrs = tuple(parse_address(f"192.0.2.{i}") for i in range(1, 11))
+        assert sample_pool_addresses(pool(active=addrs), 1) == list(addrs[:2])
+
+    def test_prefix_sampling_is_deterministic_with_corners_first(self):
+        probes = sample_pool_addresses(pool(), 4)
+        assert probes == sample_pool_addresses(pool(), 4)
+        assert probes[0] == WEB.first and probes[1] == WEB.last

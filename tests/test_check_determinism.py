@@ -171,6 +171,63 @@ class TestSharedStateDT005DT006:
         assert findings == []
 
 
+class TestEnvDependenceDT008:
+    def test_getenv_and_environ_get(self, tmp_path):
+        findings = lint_source(tmp_path, """
+            import os
+            a = os.getenv("SEED")
+            b = os.environ.get("SEED", "1")
+        """)
+        assert rules_of(findings) == ["DT008", "DT008"]
+        assert "environment" in findings[0].message
+
+    def test_environ_subscript(self, tmp_path):
+        findings = lint_source(tmp_path, """
+            import os
+            seed = os.environ["SEED"]
+        """)
+        assert rules_of(findings) == ["DT008"]
+        assert findings[0].location == "mod.py:3"
+
+    def test_urandom_draws_os_entropy(self, tmp_path):
+        findings = lint_source(tmp_path, """
+            import os
+            nonce = os.urandom(8)
+        """)
+        assert rules_of(findings) == ["DT008"]
+        assert "entropy" in findings[0].message
+
+    def test_justified_allow_env_pragma_suppresses(self, tmp_path):
+        findings = lint_source(tmp_path, """
+            import os
+            home = os.environ["HOME"]  # repro: allow-env CLI output dir only
+        """)
+        assert findings == []
+
+    def test_unjustified_allow_env_is_dt007(self, tmp_path):
+        findings = lint_source(tmp_path, """
+            import os
+            home = os.environ["HOME"]  # repro: allow-env
+        """)
+        assert rules_of(findings) == ["DT007"]
+
+    def test_rule_name_and_id_pragmas_also_match(self, tmp_path):
+        findings = lint_source(tmp_path, """
+            import os
+            a = os.getenv("A")  # repro: allow-env-dependence host override knob
+            b = os.getenv("B")  # repro: allow-DT008 host override knob
+        """)
+        assert findings == []
+
+    def test_unrelated_os_calls_are_fine(self, tmp_path):
+        findings = lint_source(tmp_path, """
+            import os
+            p = os.path.join("a", "b")
+            sep = os.sep
+        """)
+        assert findings == []
+
+
 class TestPragmas:
     def test_justified_pragma_suppresses(self, tmp_path):
         findings = lint_source(tmp_path, """

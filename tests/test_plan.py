@@ -1,0 +1,231 @@
+"""Pre-flight rebind-plan verification: verify_plan, CLI, monitor, chaos.
+
+The acceptance behaviors: a shrink that would strand an established flow
+is blocked (strict raises, the verdict lands on the timeline with phase
+``"check"``), the same shrink without the stranding passes, a failover to
+an unannounced pool is called out as a blackhole with the exact regions,
+and the ``plan_safety`` chaos invariant catches a failover enacted on an
+unsafe or unverified plan.
+"""
+
+import json
+import os
+import random
+from types import SimpleNamespace
+
+import pytest
+
+from repro.check import CheckError, RebindPlan, verify_plan
+from repro.check.cli import run_plan
+from repro.chaos.invariants import INVARIANTS
+from repro.cli import main
+from repro.core import AddressPool
+from repro.core.agility import AgilityController
+from repro.core.pool import PoolError
+from repro.deploy import Deployment, DeploymentConfig
+from repro.edge import ListenMode
+from repro.faults import FaultTimeline, HealthMonitor
+from repro.netsim import parse_address, parse_prefix
+from repro.netsim.packet import FiveTuple, Protocol
+from repro.obs import MetricsRegistry
+from repro.web.http import HTTPVersion
+from repro.web.tls import ClientHello
+
+from conftest import BACKUP_PREFIX, POOL_PREFIX, make_policy_cdn
+
+FIXTURES = os.path.join(os.path.dirname(os.path.abspath(__file__)), "fixtures")
+BAD_PLAN = os.path.join(FIXTURES, "bad_plan.json")
+BAD_PLAN_GOLDEN = os.path.join(FIXTURES, "bad_plan.golden")
+
+KEEP = parse_prefix("192.0.0.0/21")      # the half the shrink keeps
+VACATED = parse_prefix("192.0.8.0/21")   # the half it releases
+
+
+@pytest.fixture()
+def deployment():
+    return Deployment.build(DeploymentConfig(num_hostnames=40))
+
+
+def establish_flow(dep, dst="192.0.8.5", port=443):
+    """Terminate one real connection on an edge server at ``dst``."""
+    dc = dep.cdn.datacenters[sorted(dep.cdn.datacenters)[0]]
+    server = dc.servers[sorted(dc.servers)[0]]
+    tuple5 = FiveTuple(Protocol.TCP, parse_address("198.51.100.7"), 40_123,
+                       parse_address(dst), port)
+    server.handshake(tuple5, ClientHello(sni=dep.universe.hostnames[0]),
+                     HTTPVersion.H2)
+    return tuple5
+
+
+class TestVerifyPlan:
+    def test_stranding_shrink_is_blocked(self, deployment):
+        establish_flow(deployment, dst="192.0.8.5")
+        plan = RebindPlan(kind="shrink", policy="default", active=KEEP,
+                          release=(VACATED,))
+        timeline = FaultTimeline()
+        with pytest.raises(CheckError) as exc:
+            verify_plan(plan, deployment.cdn, deployment.engine,
+                        timeline=timeline, strict=True)
+        assert "SK103" in str(exc.value)
+
+        # The verdict is on the record even though strict mode aborted.
+        unsafe = timeline.events(kind="plan_unsafe")
+        assert len(unsafe) == 1 and unsafe[0].phase == "check"
+        assert "strands 1 established flow" in unsafe[0].detail
+
+    def test_stranding_shrink_diff_details(self, deployment):
+        establish_flow(deployment, dst="192.0.8.5")
+        plan = RebindPlan(kind="shrink", policy="default", active=KEEP,
+                          release=(VACATED,))
+        diff = verify_plan(plan, deployment.cdn, deployment.engine)
+        assert not diff.ok
+        assert diff.stranded == ("tcp 192.0.8.5:443 <- 198.51.100.7:40123",)
+        assert diff.blackholed.is_empty()  # releasing a /21 inside the /20
+        # The vacated half is exactly the stale-binding window, for one TTL.
+        assert diff.stale.equals(diff.before.subtract(diff.after))
+        assert diff.exposure_s == 30.0
+        assert "stranded flows: 1" in diff.render()
+
+    def test_safe_shrink_passes_strict(self, deployment):
+        establish_flow(deployment, dst="192.0.8.5")
+        plan = RebindPlan(kind="shrink", policy="default", active=KEEP)
+        diff = verify_plan(plan, deployment.cdn, deployment.engine, strict=True)
+        assert diff.ok and not diff.stranded and diff.blackholed.is_empty()
+        # Still informative: the vacated space is a TTL exposure window.
+        assert not diff.stale.is_empty()
+        assert [f.rule for f in diff.report.findings] == ["SK103"]
+
+    def test_verified_plan_lands_on_the_timeline(self, deployment):
+        timeline = FaultTimeline()
+        plan = RebindPlan(kind="failover", policy="default",
+                          pool=deployment.backup_pool)
+        diff = verify_plan(plan, deployment.cdn, deployment.engine,
+                           timeline=timeline, strict=True)
+        assert diff.ok
+        verified = timeline.events(kind="plan_verified")
+        assert len(verified) == 1 and verified[0].phase == "check"
+        assert "failover policy=default" in verified[0].detail
+
+    def test_rogue_failover_is_a_blackhole(self, deployment):
+        rogue = AddressPool(parse_prefix("198.51.100.0/24"), name="rogue")
+        plan = RebindPlan(kind="failover", policy="default", pool=rogue)
+        diff = verify_plan(plan, deployment.cdn, deployment.engine)
+        assert not diff.ok
+        assert [f.rule for f in diff.report.errors] == ["SK102"]
+        # The whole candidate space is unreachable, both protocols.
+        assert diff.blackholed.equals(diff.after)
+        assert "198.51.100.0/24" in diff.report.errors[0].message
+
+    def test_gauges_record_the_last_verdict(self, deployment):
+        establish_flow(deployment, dst="192.0.8.5")
+        registry = MetricsRegistry()
+        plan = RebindPlan(kind="shrink", policy="default", active=KEEP,
+                          release=(VACATED,))
+        verify_plan(plan, deployment.cdn, deployment.engine, registry=registry)
+        assert registry.gauge("check_plan_stranded_flows").value == 1
+        assert registry.gauge("check_plan_blackholed_regions").value == 0
+
+    def test_malformed_plans_fail_loudly(self, deployment):
+        cdn, engine = deployment.cdn, deployment.engine
+        with pytest.raises(KeyError):
+            verify_plan(RebindPlan(kind="shrink", policy="nope", active=KEEP),
+                        cdn, engine)
+        with pytest.raises(ValueError):
+            verify_plan(RebindPlan(kind="expand", policy="default"), cdn, engine)
+        with pytest.raises(ValueError):
+            verify_plan(RebindPlan(kind="shrink", policy="default"), cdn, engine)
+        with pytest.raises(PoolError):  # active outside the advertisement
+            verify_plan(RebindPlan(kind="shrink", policy="default",
+                                   active=parse_prefix("10.0.0.0/24")),
+                        cdn, engine)
+
+
+class TestPlanCli:
+    def test_bad_plan_fixture_fails_and_matches_golden(self):
+        output, code = run_plan(BAD_PLAN)
+        assert code == 1 and "SK102" in output
+        with open(BAD_PLAN_GOLDEN, encoding="utf-8") as handle:
+            assert output + "\n" == handle.read()
+
+    def test_plan_runs_are_deterministic(self):
+        assert run_plan(BAD_PLAN) == run_plan(BAD_PLAN)
+
+    def test_safe_plan_file_passes(self, tmp_path):
+        path = tmp_path / "shrink.json"
+        path.write_text(json.dumps(
+            {"kind": "shrink", "policy": "default", "active": "192.0.0.0/21"}))
+        output, code = run_plan(str(path))
+        assert code == 0
+        assert "stale-binding window" in output
+
+    def test_unreadable_or_malformed_plan_exits_2(self, tmp_path):
+        assert run_plan(str(tmp_path / "missing.json"))[1] == 2
+        bad = tmp_path / "bad.json"
+        bad.write_text('{"policy": "default"}')  # no kind
+        output, code = run_plan(str(bad))
+        assert code == 2 and "plan error" in output
+
+    def test_main_entry_propagates_the_code(self, capsys):
+        assert main(["plan", BAD_PLAN]) == 1
+        assert "SK102" in capsys.readouterr().out
+
+
+def _monitored_cdn(clock, failover_pool):
+    cdn, hostnames, engine, _pool = make_policy_cdn(clock)
+    cdn.announce_pool(BACKUP_PREFIX, ports=(80, 443), mode=ListenMode.SK_LOOKUP)
+    monitor = HealthMonitor(
+        cdn, clock, AgilityController(engine, clock), "randomize-all",
+        probe_hostname=hostnames[0],
+        vantages=["eyeball:us:0", "eyeball:eu:0"],
+        failover_pool=failover_pool,
+        probe_interval=5.0,
+        failure_threshold=1,
+        rng=random.Random(9),
+    )
+    return cdn, monitor
+
+
+class TestMonitorIntegration:
+    def test_failover_is_plan_verified_first(self, clock):
+        cdn, monitor = _monitored_cdn(
+            clock, AddressPool(BACKUP_PREFIX, name="backup"))
+        for pop in list(cdn.pop_names()):
+            cdn.network.withdraw_from(POOL_PREFIX, pop)
+        monitor.tick()
+        assert monitor.failed_over
+        verified = monitor.timeline.events(kind="plan_verified")
+        failover = monitor.timeline.first("failover_triggered")
+        assert len(verified) == 1 and verified[0].phase == "check"
+        assert verified[0].at <= failover.at
+        result = SimpleNamespace(timeline=monitor.timeline)
+        assert INVARIANTS["plan_safety"](result) == []
+
+    def test_unsafe_plan_is_recorded_and_flagged(self, clock):
+        rogue = AddressPool(parse_prefix("198.51.100.0/24"), name="rogue")
+        cdn, monitor = _monitored_cdn(clock, rogue)
+        for pop in list(cdn.pop_names()):
+            cdn.network.withdraw_from(POOL_PREFIX, pop)
+        monitor.tick()
+        assert monitor.failed_over  # non-strict: warned, then proceeded
+        unsafe = monitor.timeline.events(kind="plan_unsafe")
+        assert len(unsafe) == 1 and "SK102" in unsafe[0].detail
+
+        violations = INVARIANTS["plan_safety"](
+            SimpleNamespace(timeline=monitor.timeline))
+        assert len(violations) == 1
+        assert "despite an unsafe plan verdict" in violations[0].detail
+
+
+class TestPlanSafetyInvariant:
+    def test_unverified_failover_is_a_violation(self):
+        timeline = FaultTimeline()
+        timeline.emit(10.0, "failover_triggered", "default", phase="react")
+        violations = INVARIANTS["plan_safety"](SimpleNamespace(timeline=timeline))
+        assert len(violations) == 1
+        assert "no symbolic plan verification" in violations[0].detail
+
+    def test_verified_then_enacted_is_clean(self):
+        timeline = FaultTimeline()
+        timeline.emit(9.0, "plan_verified", "default", phase="check")
+        timeline.emit(10.0, "failover_triggered", "default", phase="react")
+        assert INVARIANTS["plan_safety"](SimpleNamespace(timeline=timeline)) == []

@@ -1,0 +1,155 @@
+"""Differential suite: the symbolic engine vs both real dispatch engines.
+
+``test_compiled`` fuzzes interpreter against compiled engine packet by
+packet; this suite turns the same 1000-seed corpus on the *symbolic*
+model.  Equivalence is proven region-exhaustively per seed (every packet
+in the universe, not twelve samples), and the model itself is validated
+by replaying region witnesses on the real engines: if the symbolic
+partition says a rectangle redirects to slot 3, a packet drawn from that
+rectangle must come back from ``run()`` with slot 3's socket.
+"""
+
+import random
+
+from repro.check.symbolic import (
+    PacketSpace,
+    compiled_verdicts,
+    equivalence_counterexample,
+    program_verdicts,
+)
+from repro.netsim.addr import parse_address
+from repro.netsim.packet import FiveTuple, IPAddress, Packet, Protocol
+from repro.sockets.sklookup import Verdict
+
+from test_compiled import build_twin_programs
+
+SRC = parse_address("198.51.100.9")
+
+
+def _live_slots(program):
+    return {k for k in range(program.map.size) if program.map.lookup(k) is not None}
+
+
+def _witness(rect):
+    return Packet(FiveTuple(
+        Protocol(rect.proto), SRC, 40_000,
+        IPAddress(rect.family, rect.network), rect.port_lo,
+    ), syn=True)
+
+
+def _expected_outcome(program, key):
+    """The concrete ``run()`` result a verdict-partition key predicts."""
+    if key == "drop":
+        return (Verdict.DROP, None)
+    if isinstance(key, tuple):  # ("redirect", slot) — must be live
+        return (Verdict.PASS, program.map.lookup(key[1]))
+    return (Verdict.PASS, None)  # "pass" and "miss" share the runtime encoding
+
+
+def test_symbolic_equivalence_holds_over_the_full_corpus():
+    """Zero divergences across all 1000 corpus seeds, whole packet universe."""
+    for seed in range(1000):
+        rng = random.Random(seed)
+        interp, compiled, _source = build_twin_programs(rng)
+        divergence = equivalence_counterexample(
+            interp, description=compiled.describe())
+        assert divergence is None, f"seed={seed}: {divergence.render()}"
+
+
+def test_region_witnesses_replay_on_both_engines():
+    """Model soundness: every region's witness behaves as classified."""
+    domain = PacketSpace.universe()
+    for seed in range(0, 1000, 10):
+        rng = random.Random(seed)
+        interp, compiled, _source = build_twin_programs(rng)
+        live = _live_slots(interp)
+        partitions = (
+            (program_verdicts(interp.rules(), live, domain), interp),
+            (compiled_verdicts(compiled.describe(), live, domain), compiled),
+        )
+        for verdicts, engine in partitions:
+            for key, space in verdicts.items():
+                want = _expected_outcome(interp, key)
+                for rect in space.rects[:6]:
+                    got = engine.run(_witness(rect))
+                    assert got == want, (
+                        f"seed={seed} {rect.render()}: symbolic says "
+                        f"{key!r}, {engine.name} returned {got}"
+                    )
+
+
+def test_verdict_partition_is_exact_over_the_corpus():
+    """Disjointness + coverage in one equation: point counts must add up."""
+    domain = PacketSpace.universe()
+    for seed in range(0, 1000, 25):
+        rng = random.Random(seed)
+        interp, compiled, _source = build_twin_programs(rng)
+        live = _live_slots(interp)
+        for verdicts in (
+            program_verdicts(interp.rules(), live, domain),
+            compiled_verdicts(compiled.describe(), live, domain),
+        ):
+            union = PacketSpace.empty()
+            total = 0
+            for space in verdicts.values():
+                union = union.union(space)
+                total += space.points
+            assert total == domain.points, f"seed={seed}"
+            assert union.equals(domain), f"seed={seed}"
+
+
+def test_round_trip_identity_on_corpus_rule_spaces():
+    """(a − b) ∪ (a ∩ b) == a holds for the partitions real rules induce."""
+    domain = PacketSpace.universe()
+    for seed in range(0, 1000, 50):
+        rng = random.Random(seed)
+        interp, _compiled, _source = build_twin_programs(rng)
+        spaces = list(
+            program_verdicts(interp.rules(), _live_slots(interp), domain).values()
+        )
+        for a in spaces:
+            for b in spaces[:3]:
+                assert a.subtract(b).union(a.intersect(b)).equals(a)
+
+
+def test_region_witnesses_lie_inside_their_region():
+    domain = PacketSpace.universe()
+    for seed in range(0, 1000, 50):
+        rng = random.Random(seed)
+        interp, _compiled, _source = build_twin_programs(rng)
+        verdicts = program_verdicts(interp.rules(), _live_slots(interp), domain)
+        for space in verdicts.values():
+            if space.is_empty():
+                continue
+            assert space.contains_point(*space.witness())
+            for rect in space.rects:
+                assert rect.contains_point(
+                    rect.family, rect.network, rect.proto, rect.port_lo)
+
+
+def test_corrupted_description_is_caught_across_the_corpus():
+    """Flipping one LPM network in the description must surface somewhere:
+    the verifier reads the index as data, so damage can't hide behind the
+    shared rule list."""
+    caught = 0
+    for seed in range(0, 200, 10):
+        rng = random.Random(seed)
+        interp, compiled, _source = build_twin_programs(rng)
+        description = compiled.describe()
+        if not _shift_one_network(description):
+            continue  # no prefix rules this seed
+        if equivalence_counterexample(interp, description=description) is not None:
+            caught += 1
+    assert caught >= 10  # the great majority of corruptions must be visible
+
+
+def _shift_one_network(description):
+    for segments in description["protocols"].values():
+        for _start, _end, _always, lpm in segments:
+            for groups in lpm.values():
+                for _length, nets in groups:
+                    if nets:
+                        key = sorted(nets)[0]
+                        nets[key ^ (1 << 8)] = nets.pop(key)
+                        return True
+    return False
