@@ -15,6 +15,13 @@ those:
 ``dns_qps``
     ``policy_vs_zone`` — randomized answering / static zone serving
 
+``flow_hash`` / ``flow_resolve`` / ``flow_connect`` / ``flow_dispatch`` /
+``flow_serve`` / ``flow_end_to_end``
+    ``batch_speedup``  — columnar flow-engine stage throughput over the
+                         loop-of-scalars reference (``bench_flow_engine``;
+                         floors sit below the measured ratios so a stage
+                         silently regressing to slower-than-scalar fails)
+
 A metric fails the gate when it drops more than its tolerance (default
 ``--tolerance``, 20 %; noisy metrics carry a wider per-metric override in
 ``GATED``) below its committed baseline in ``benchmarks/baselines/``, or
@@ -45,6 +52,16 @@ BENCH_DIR = pathlib.Path(__file__).parent
 GATED: dict[str, dict[str, dict[str, float]]] = {
     "sklookup_perf": {"speedup": {"floor": 3.0}, "batch_speedup": {"floor": 3.0}},
     "dns_qps": {"policy_vs_zone": {"floor": 0.5, "tolerance": 0.45}},
+    # Flow-engine stage ratios (batched / scalar, measured back to back on
+    # one machine).  Stages close to 1.0 (serve is origin-bound) get wider
+    # tolerances so runner noise doesn't flap the gate; the floors defend
+    # the real claim — batching must never lose to the scalar loop.
+    "flow_hash": {"batch_speedup": {"floor": 1.0, "tolerance": 0.30}},
+    "flow_resolve": {"batch_speedup": {"floor": 0.9, "tolerance": 0.25}},
+    "flow_connect": {"batch_speedup": {"floor": 0.9, "tolerance": 0.25}},
+    "flow_dispatch": {"batch_speedup": {"floor": 1.2, "tolerance": 0.30}},
+    "flow_serve": {"batch_speedup": {"floor": 0.8, "tolerance": 0.25}},
+    "flow_end_to_end": {"batch_speedup": {"floor": 0.95, "tolerance": 0.25}},
 }
 DEFAULT_TOLERANCE = 0.20
 

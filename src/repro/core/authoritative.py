@@ -19,6 +19,8 @@ is what let the deployment run one global codebase.
 from __future__ import annotations
 
 import random
+from collections import Counter
+from collections.abc import Sequence
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING
 
@@ -111,6 +113,82 @@ class PolicyAnswerSource(AnswerSource):
                 return self._fall_through(question, context)
             with self.tracer.span(trace, "mint", decision.policy.name):
                 return self._policy_answer(question, decision)
+
+    def answer_batch(
+        self, questions: Sequence[Question], context: QueryContext
+    ) -> list[Answer]:
+        """Batched :meth:`answer`: one policy-engine batch call, log
+        counters folded once.
+
+        A traced source stays on the per-question path — spans are a
+        per-query artefact, and batching them would change the recorded
+        topology (this is a documented batch-of-one delegation exception;
+        see DESIGN.md §12).  The untraced hot path evaluates every
+        policy-eligible question through one
+        :meth:`~repro.core.policy.PolicyEngine.evaluate_batch` call; the
+        RNG draw order matches the scalar loop because fallback answers
+        never touch the engine RNG.
+        """
+        if self.tracer is not None:
+            answer = self.answer
+            return [answer(question, context) for question in questions]
+
+        registry = self.registry
+        pop = context.pop
+        client_subnet = context.client_subnet
+        attrs_list: list[PolicyAttributes] = []
+        eligible: list[int] = []
+        for i, question in enumerate(questions):
+            if question.rrtype not in (RRType.A, RRType.AAAA):
+                continue
+            hostname = str(question.name).rstrip(".")
+            account = registry.account_type_for(hostname)
+            attrs_list.append(
+                PolicyAttributes(
+                    pop=pop,
+                    account_type=account.value if account is not None else None,
+                    family=IPv4 if question.rrtype == RRType.A else IPv6,
+                    hostname=hostname,
+                    client_subnet=client_subnet,
+                )
+            )
+            eligible.append(i)
+
+        decisions: dict[int, PolicyDecision | None] = dict(
+            zip(eligible, self.engine.evaluate_batch(attrs_list))
+        )
+        fallback = self.fallback
+        policy_answers = fallback_answers = refused = 0
+        by_policy: Counter[str] = Counter()
+        answers: list[Answer] = []
+        append = answers.append
+        try:
+            for i, question in enumerate(questions):
+                decision = decisions.get(i)
+                if decision is not None:
+                    rdata = (
+                        A(decision.address)
+                        if question.rrtype == RRType.A
+                        else AAAA(decision.address)
+                    )
+                    record = ResourceRecord(question.name, rdata, ttl=decision.ttl)
+                    policy_answers += 1
+                    by_policy[decision.policy.name] += 1
+                    append(Answer(Rcode.NOERROR, records=(record,)))
+                elif fallback is None:
+                    refused += 1
+                    append(Answer(Rcode.REFUSED))
+                else:
+                    fallback_answers += 1
+                    append(fallback.answer(question, context))
+        finally:
+            log = self.log
+            log.policy_answers += policy_answers
+            log.fallback_answers += fallback_answers
+            log.refused += refused
+            for name, n in by_policy.items():
+                log.by_policy[name] = log.by_policy.get(name, 0) + n
+        return answers
 
     # -- internals -------------------------------------------------------------
 

@@ -16,6 +16,8 @@ actually used (datacenter ∈ {…} ∧ account_type ∈ {…}).
 from __future__ import annotations
 
 import random
+from collections import Counter
+from collections.abc import Sequence
 from dataclasses import dataclass
 
 from ..netsim.addr import IPAddress
@@ -150,14 +152,48 @@ class PolicyEngine:
     # -- evaluation -------------------------------------------------------------
 
     def evaluate(self, attrs: PolicyAttributes) -> PolicyDecision | None:
-        """First-match policy evaluation; selects an address on match."""
-        self.evaluations += 1
-        for policy in self._policies:
-            if policy.pool.family != attrs.family:
-                continue
-            if policy.matches(attrs):
-                policy.hits += 1
-                self.matches += 1
-                address = policy.select(attrs, self._rng)
-                return PolicyDecision(policy=policy, address=address, ttl=policy.ttl)
-        return None
+        """First-match policy evaluation; selects an address on match.
+
+        :meth:`evaluate_batch` of one — scalar and batched evaluation share
+        one code path so their decisions and counters cannot drift."""
+        return self.evaluate_batch((attrs,))[0]
+
+    def evaluate_batch(
+        self, batch: Sequence[PolicyAttributes]
+    ) -> list[PolicyDecision | None]:
+        """Evaluate many attribute tuples; counters folded once per batch.
+
+        Selection draws from the engine RNG in item order, so a batch
+        produces the same address sequence as scalar calls in a loop.  The
+        fold runs even if a strategy raises partway: the in-flight item has
+        already been counted (evaluations, and hits/matches when it
+        matched), exactly as the scalar path counts before selecting.
+        """
+        policies = self._policies
+        rng = self._rng
+        evaluations = matches = 0
+        hit_counts: Counter[Policy] = Counter()
+        decisions: list[PolicyDecision | None] = []
+        append = decisions.append
+        try:
+            for attrs in batch:
+                evaluations += 1
+                decision = None
+                for policy in policies:
+                    if policy.pool.family != attrs.family:
+                        continue
+                    if policy.matches(attrs):
+                        hit_counts[policy] += 1
+                        matches += 1
+                        address = policy.select(attrs, rng)
+                        decision = PolicyDecision(
+                            policy=policy, address=address, ttl=policy.ttl
+                        )
+                        break
+                append(decision)
+        finally:
+            self.evaluations += evaluations
+            self.matches += matches
+            for policy, n in hit_counts.items():
+                policy.hits += n
+        return decisions

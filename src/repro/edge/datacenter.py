@@ -8,6 +8,8 @@ reads ("every CDN location [can] monitor requests on unexpected IPs").
 from __future__ import annotations
 
 import random
+from collections import Counter
+from collections.abc import Sequence
 from dataclasses import dataclass
 
 from ..dns.server import AuthoritativeServer, QueryContext
@@ -15,6 +17,7 @@ from ..hashing import stable_hash
 from ..netsim.addr import IPAddress, Prefix
 from ..netsim.geo import GeoPoint
 from ..netsim.packet import FiveTuple, Packet, Protocol
+from ..sockets.errors import BatchShapeError
 from ..sockets.lookup import flow_hash
 from ..web.http import Connection, HTTPVersion, Request, Response
 from ..web.origin import OriginPool
@@ -69,25 +72,60 @@ class TrafficLog:
 
         Callers hold on to the returned flag and pass it back to
         :meth:`record_request` for every request the connection carries.
+        :meth:`record_connection_batch` of one.
         """
-        sampled = self._flip()
-        if sampled:
-            self._entry(dst).connections += 1
-        return sampled
+        return self.record_connection_batch((dst,))[0]
+
+    def record_connection_batch(self, dsts: Sequence[IPAddress]) -> list[bool]:
+        """Flip per connection (in order, so batch and scalar sampling
+        decisions are identical on the same RNG state) and fold the
+        per-address connection counts in once."""
+        flip = self._flip
+        decisions: list[bool] = []
+        append = decisions.append
+        sampled_counts: Counter[IPAddress] = Counter()
+        try:
+            for dst in dsts:
+                sampled = flip()
+                append(sampled)
+                if sampled:
+                    sampled_counts[dst] += 1
+        finally:
+            for dst, n in sampled_counts.items():
+                self._entry(dst).connections += n
+        return decisions
 
     def record_request(self, dst: IPAddress, nbytes: int,
                        sampled: bool | None = None) -> None:
         """Record one request.  ``sampled`` is the owning connection's
         decision from :meth:`record_connection`; ``None`` (for
         connectionless callers, e.g. synthetic per-request feeds) flips an
-        independent coin."""
-        if sampled is None:
-            sampled = self._flip()
-        if not sampled:
-            return
-        entry = self._entry(dst)
-        entry.requests += 1
-        entry.bytes += nbytes
+        independent coin.  :meth:`record_request_batch` of one."""
+        self.record_request_batch(((dst, nbytes, sampled),))
+
+    def record_request_batch(
+        self, items: Sequence[tuple[IPAddress, int, bool | None]]
+    ) -> None:
+        """Record many ``(dst, nbytes, sampled)`` requests with one fold.
+
+        Independent coins (``sampled=None``) are still flipped per item in
+        order; only the per-address counter writes are hoisted."""
+        flip = self._flip
+        request_counts: Counter[IPAddress] = Counter()
+        byte_counts: Counter[IPAddress] = Counter()
+        try:
+            for dst, nbytes, sampled in items:
+                if sampled is None:
+                    sampled = flip()
+                if not sampled:
+                    continue
+                request_counts[dst] += 1
+                byte_counts[dst] += nbytes
+        finally:
+            for dst, n in request_counts.items():
+                entry = self._entry(dst)
+                entry.requests += n
+                entry.bytes += byte_counts[dst]
 
     def _entry(self, dst: IPAddress) -> AddressTraffic:
         entry = self._by_addr.get(dst)
@@ -294,32 +332,58 @@ class Datacenter:
         return connection
 
     def connect_batch(
-        self, requests: list[tuple[FiveTuple, ClientHello, HTTPVersion]]
+        self,
+        requests: Sequence[tuple[FiveTuple, ClientHello, HTTPVersion]],
+        flow_hashes: Sequence[int] | None = None,
     ) -> list[Connection]:
         """Batched ingress: one flow hash per SYN, shared across ECMP and
-        listener selection, with per-connection attribute lookups hoisted.
+        listener selection, with ECMP and traffic-log accounting folded in
+        once per batch rather than incremented per connection.
+
+        ``flow_hashes`` — parallel to ``requests`` — reuses hashes the flow
+        engine computed up front (one vectorised pass over the whole
+        batch); a mismatched column raises :class:`BatchShapeError`.
 
         Semantics match :meth:`connect` in a loop, minus per-connection
         trace spans (batch callers are throughput experiments; span
-        recording per packet would dominate what they measure).
+        recording per packet would dominate what they measure).  Counter
+        parity holds under partial failure too: the folds run in a
+        ``finally``, and within each item accounting is ordered as the
+        scalar path orders it — the ECMP choice counts even when the
+        handshake then refuses, the connection sample flips only after the
+        handshake succeeds.
         """
-        route = self.ecmp.route
+        if flow_hashes is not None and len(flow_hashes) != len(requests):
+            raise BatchShapeError(
+                "connect_batch", "flow_hashes must parallel requests",
+                {"requests": len(requests), "flow_hashes": len(flow_hashes)},
+            )
+        choose = self.ecmp.choose
         admit = self.l4lb.admit
         servers = self.servers
         conn_owner = self._conn_owner
-        conn_sampled = self._conn_sampled
-        record_connection = self.traffic.record_connection
+        choices: list[str] = []
+        dsts: list[IPAddress] = []
         connections: list[Connection] = []
         append = connections.append
-        for tuple5, hello, version in requests:
-            self._admit_ingress(tuple5)
-            syn = Packet(tuple5, syn=True)
-            fh = flow_hash(syn)
-            owner = admit(syn, route(syn, flow_hash_value=fh))
-            connection = servers[owner].handshake(tuple5, hello, version, flow_hash=fh)
-            conn_owner[connection.conn_id] = owner
-            conn_sampled[connection.conn_id] = record_connection(tuple5.dst)
-            append(connection)
+        try:
+            for i, (tuple5, hello, version) in enumerate(requests):
+                self._admit_ingress(tuple5)
+                syn = Packet(tuple5, syn=True)
+                fh = flow_hash(syn) if flow_hashes is None else flow_hashes[i]
+                ecmp_choice = choose(fh)
+                choices.append(ecmp_choice)
+                owner = admit(syn, ecmp_choice)
+                connection = servers[owner].handshake(tuple5, hello, version, flow_hash=fh)
+                conn_owner[connection.conn_id] = owner
+                dsts.append(tuple5.dst)
+                append(connection)
+        finally:
+            self.ecmp.stats.fold(choices)
+            sampled = self.traffic.record_connection_batch(dsts)
+            conn_sampled = self._conn_sampled
+            for connection, decision in zip(connections, sampled):
+                conn_sampled[connection.conn_id] = decision
         return connections
 
     def serve(self, connection: Connection, request: Request) -> Response:
@@ -342,29 +406,37 @@ class Datacenter:
         return response
 
     def serve_batch(
-        self, pairs: list[tuple[Connection, Request]]
+        self, pairs: Sequence[tuple[Connection, Request]]
     ) -> list[Response]:
         """Serve many (connection, request) pairs; ``serve`` in a loop with
-        the per-request dict probes and trace plumbing hoisted out."""
+        the per-request dict probes and trace plumbing hoisted out and the
+        traffic-log fold deferred to once per batch (in a ``finally``, so
+        requests served before a mid-batch failure are still counted, as
+        the scalar loop would have counted them)."""
         conn_owner = self._conn_owner
         conn_sampled = self._conn_sampled
         servers = self.servers
-        record_request = self.traffic.record_request
+        records: list[tuple[IPAddress, int, bool | None]] = []
         responses: list[Response] = []
         append = responses.append
-        for connection, request in pairs:
-            owner = conn_owner.get(connection.conn_id)
-            if owner is None:
-                raise RuntimeError(
-                    f"connection {connection.conn_id} was not established at {self.name}"
+        try:
+            for connection, request in pairs:
+                owner = conn_owner.get(connection.conn_id)
+                if owner is None:
+                    raise RuntimeError(
+                        f"connection {connection.conn_id} was not established at {self.name}"
+                    )
+                response = servers[owner].serve(connection, request)
+                records.append(
+                    (
+                        connection.remote_addr,
+                        response.body_len,
+                        conn_sampled.get(connection.conn_id),
+                    )
                 )
-            response = servers[owner].serve(connection, request)
-            record_request(
-                connection.remote_addr,
-                response.body_len,
-                sampled=conn_sampled.get(connection.conn_id),
-            )
-            append(response)
+                append(response)
+        finally:
+            self.traffic.record_request_batch(records)
         return responses
 
     # -- accounting ------------------------------------------------------------
@@ -377,3 +449,16 @@ class Datacenter:
 
     def connection_count(self) -> int:
         return len(self._conn_owner)
+
+    def connection_owner(self, conn_id: int) -> str:
+        """Which server owns an established connection.
+
+        The flow engine groups request packets by owner so each server's
+        lookup path sees one contiguous batch; a typed KeyError here beats
+        a silent miss."""
+        try:
+            return self._conn_owner[conn_id]
+        except KeyError:
+            raise KeyError(
+                f"connection {conn_id} was not established at {self.name}"
+            ) from None

@@ -18,10 +18,12 @@ irrelevant to fan-out correctness.  Tests assert exactly that.
 
 from __future__ import annotations
 
-from collections.abc import Callable
+from collections import Counter
+from collections.abc import Callable, Sequence
 from dataclasses import dataclass, field
 
 from ..netsim.packet import Packet
+from ..sockets.errors import BatchShapeError
 from ..sockets.lookup import flow_hash
 
 __all__ = ["ECMPRouter", "EcmpStats", "UnknownServerError"]
@@ -61,6 +63,15 @@ class EcmpStats:
     def record(self, server: str) -> None:
         self.routed += 1
         self.per_server[server] = self.per_server.get(server, 0) + 1
+
+    def fold(self, choices: Sequence[str]) -> None:
+        """Fold a whole batch of routing decisions in at once — the hot
+        loop makes stateless picks and accounting happens per batch, not
+        per packet.  Equivalent to :meth:`record` per choice."""
+        self.routed += len(choices)
+        per_server = self.per_server
+        for server, n in Counter(choices).items():
+            per_server[server] = per_server.get(server, 0) + n
 
 
 class ECMPRouter:
@@ -112,11 +123,12 @@ class ECMPRouter:
 
     # -- routing -------------------------------------------------------------
 
-    def route(self, packet: Packet, flow_hash_value: int | None = None) -> str:
-        """Pick the server for a packet's flow; deterministic per 5-tuple.
+    def choose(self, flow_hash_value: int) -> str:
+        """The stateless HRW pick for one flow hash — no stats recorded.
 
-        ``flow_hash_value`` reuses a hash the ingress pipeline already
-        computed — the hot path hashes each packet exactly once.
+        Batch drivers call this per flow and fold accounting once per
+        batch (:meth:`EcmpStats.fold`); :meth:`route` composes pick and
+        record for the scalar path.
 
         Weight ties break on the server *name*, never on list position:
         HRW's minimal-remap guarantee is a property of the (server, flow)
@@ -127,11 +139,54 @@ class ECMPRouter:
         """
         if not self._servers:
             raise RuntimeError("ECMP group is empty")
-        fh = flow_hash(packet) if flow_hash_value is None else flow_hash_value
         weight = self._weight
-        chosen = max(self._servers, key=lambda s: (weight(s, fh), s))
+        return max(self._servers, key=lambda s: (weight(s, flow_hash_value), s))
+
+    def route(self, packet: Packet, flow_hash_value: int | None = None) -> str:
+        """Pick the server for a packet's flow; deterministic per 5-tuple.
+
+        ``flow_hash_value`` reuses a hash the ingress pipeline already
+        computed — the hot path hashes each packet exactly once.  This is
+        :meth:`route_batch` of one: scalar routing delegates to the batch
+        machinery so the two paths cannot drift.
+        """
+        fh = flow_hash(packet) if flow_hash_value is None else flow_hash_value
+        chosen = self.choose(fh)
         self.stats.record(chosen)
         return chosen
+
+    def route_batch(
+        self,
+        packets: Sequence[Packet],
+        flow_hashes: Sequence[int] | None = None,
+    ) -> list[str]:
+        """Route a batch of packets; stats folded once per batch.
+
+        ``flow_hashes`` — parallel to ``packets`` — reuses hashes the flow
+        engine computed up front (one vectorised pass per batch); a
+        mismatched column raises :class:`BatchShapeError`.  Identical
+        decisions and identical final counters to :meth:`route` in a loop,
+        including on partial failure: choices made before an exception are
+        still folded in.
+        """
+        if flow_hashes is not None and len(flow_hashes) != len(packets):
+            raise BatchShapeError(
+                "ECMPRouter.route_batch", "flow_hashes must parallel packets",
+                {"packets": len(packets), "flow_hashes": len(flow_hashes)},
+            )
+        choose = self.choose
+        choices: list[str] = []
+        append = choices.append
+        try:
+            if flow_hashes is None:
+                for packet in packets:
+                    append(choose(flow_hash(packet)))
+            else:
+                for fh in flow_hashes:
+                    append(choose(fh))
+        finally:
+            self.stats.fold(choices)
+        return choices
 
     def route_tuple(self, tuple5) -> str:
         """Route by 5-tuple without constructing a Packet."""

@@ -22,9 +22,10 @@ EXPERIMENTS.md records their output against the paper's numbers.
 | failover        | §3.4/§4.4 failover recovery (extension)|
 | chaos_soak      | §3.4/§6 chaos campaigns vs invariants (extension)|
 | bgp_convergence | §4.4/§6 convergence windows vs DNS rebind (extension)|
+| flow_perf       | ROADMAP item 1: columnar flow-engine throughput (extension)|
 """
 
-from . import bgp_convergence, chaos_soak, coloring, dnsload, dnsqps, dos, failover, fig7, fig8, fig9, pageload, reduction, sklookup_perf, spillover, ttl
+from . import bgp_convergence, chaos_soak, coloring, dnsload, dnsqps, dos, failover, fig7, fig8, fig9, flow_perf, pageload, reduction, sklookup_perf, spillover, ttl
 
 __all__ = [
     "bgp_convergence",
@@ -34,6 +35,7 @@ __all__ = [
     "dnsqps",
     "dos",
     "failover",
+    "flow_perf",
     "pageload",
     "fig7",
     "fig8",

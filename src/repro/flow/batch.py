@@ -1,0 +1,100 @@
+"""The struct-of-arrays flow batch.
+
+A :class:`FlowBatch` is the unit of work the flow engine moves through the
+pipeline: parallel columns, one slot per flow, appended to stage by stage.
+Input columns (hostname, source address, source port) are set at
+construction; each pipeline stage fills in its output columns for every
+flow in one pass.  Columns are plain Python lists — the numpy acceleration
+lives in the hash backend, not the container, so the batch stays cheap to
+index per flow where per-flow semantics (cache duplicate handling, RNG
+draw order) require it.
+
+Every column write is length-checked: the silent-truncation family of bugs
+(``zip`` over mismatched columns) is exactly what
+:class:`~repro.sockets.errors.BatchShapeError` exists to catch, and the
+batch enforces it at the container level too.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+from dataclasses import dataclass, field
+
+from ..netsim.addr import IPAddress
+from ..netsim.packet import FiveTuple
+from ..sockets.errors import BatchShapeError
+from ..sockets.lookup import LookupStage
+from ..web.http import Connection
+
+__all__ = ["FlowBatch"]
+
+
+@dataclass(slots=True)
+class FlowBatch:
+    """One batch of flows, as parallel columns.
+
+    Input columns (always populated, all the same length):
+
+    ``hostnames``, ``src_addrs``, ``src_ports``
+
+    Stage-output columns (populated by the engine as the batch advances;
+    ``None`` in a slot means the flow fell out at an earlier stage):
+
+    ``addresses``/``ttls``/``cached`` — resolve: the minted (or cached)
+    address, its TTL, and whether the resolver cache answered;
+    ``tuple5s``/``flow_hashes`` — connect setup: the 5-tuple and its hash,
+    computed once per batch by the backend and reused by ECMP, listener
+    selection, and dispatch;
+    ``servers``/``connections`` — connect: ECMP+L4LB owner and the
+    established connection;
+    ``stages`` — dispatch: which lookup stage resolved the request packet;
+    ``statuses`` — serve: the HTTP status per flow.
+    """
+
+    hostnames: list[str]
+    src_addrs: list[IPAddress]
+    src_ports: list[int]
+    addresses: list[IPAddress | None] = field(default_factory=list)
+    ttls: list[int] = field(default_factory=list)
+    cached: list[bool] = field(default_factory=list)
+    tuple5s: list[FiveTuple | None] = field(default_factory=list)
+    flow_hashes: list[int | None] = field(default_factory=list)
+    servers: list[str | None] = field(default_factory=list)
+    connections: list[Connection | None] = field(default_factory=list)
+    stages: list[LookupStage | None] = field(default_factory=list)
+    statuses: list[int | None] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        if not (len(self.hostnames) == len(self.src_addrs) == len(self.src_ports)):
+            raise BatchShapeError(
+                "FlowBatch", "input columns must be parallel",
+                {
+                    "hostnames": len(self.hostnames),
+                    "src_addrs": len(self.src_addrs),
+                    "src_ports": len(self.src_ports),
+                },
+            )
+
+    def __len__(self) -> int:
+        return len(self.hostnames)
+
+    # -- column plumbing -----------------------------------------------------
+
+    def set_column(self, name: str, values: Sequence) -> None:
+        """Install a stage-output column; must parallel the batch."""
+        if len(values) != len(self):
+            raise BatchShapeError(
+                f"FlowBatch.{name}", f"{name} must parallel the batch",
+                {"flows": len(self), name: len(values)},
+            )
+        setattr(self, name, list(values))
+
+    # -- views ----------------------------------------------------------------
+
+    def resolved_indices(self) -> list[int]:
+        """Slots that survived the resolve stage (have an address)."""
+        return [i for i, addr in enumerate(self.addresses) if addr is not None]
+
+    def connected_indices(self) -> list[int]:
+        """Slots that survived the connect stage (have a connection)."""
+        return [i for i, conn in enumerate(self.connections) if conn is not None]

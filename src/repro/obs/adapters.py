@@ -41,6 +41,7 @@ if TYPE_CHECKING:  # import cycles: obs must stay importable from every layer
     from ..edge.datacenter import Datacenter
     from ..edge.ecmp import ECMPRouter
     from ..faults.events import FaultTimeline
+    from ..flow.engine import FlowEngine
     from ..netsim.speakers import SpeakerSimulation
     from ..sockets.lookup import LookupPath
     from ..sockets.sklookup import SkLookupProgram
@@ -56,6 +57,7 @@ __all__ = [
     "watch_fault_timeline",
     "watch_cache_node_stats",
     "watch_datacenter_load",
+    "watch_flow_engine",
     "watch_speakers",
     "watch_cdn",
 ]
@@ -186,6 +188,20 @@ def watch_datacenter_load(
             "capacity": dc.capacity or 0,
             "ingress_loss": dc.ingress_loss,
         }
+
+    registry.attach(prefix, collect)
+
+
+def watch_flow_engine(registry: MetricsRegistry, prefix: str, engine: "FlowEngine") -> None:
+    """The columnar flow engine's per-batch rollup, plus which hash
+    backend is live (``backend.<name>`` gauge) — the engine itself never
+    increments a counter per flow, so this collector is the only place its
+    throughput accounting surfaces."""
+
+    def collect() -> dict[str, int | float]:
+        out = _dataclass_counters(engine.stats)
+        out[f"backend.{engine.backend.name}"] = 1
+        return out
 
     registry.attach(prefix, collect)
 

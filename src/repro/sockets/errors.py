@@ -5,6 +5,7 @@ from __future__ import annotations
 __all__ = [
     "SocketError",
     "AddressInUseError",
+    "BatchShapeError",
     "InvalidSocketStateError",
     "ProgramError",
     "ProgramNotAttachedError",
@@ -42,6 +43,24 @@ class ProgramNotAttachedError(ProgramError):
     during failover.  The message names the program, mirroring the typed
     ``UnknownServerError`` the ECMP membership path raises.
     """
+
+
+class BatchShapeError(SocketError):
+    """Parallel batch columns disagree in length.
+
+    Every ``*_batch`` entry point takes struct-of-arrays inputs whose
+    columns must be the same length.  ``zip`` over mismatched columns used
+    to truncate silently — :meth:`LookupPath.dispatch_batch` simply never
+    dispatched the trailing packets (``batch_packets`` undercounted and
+    ``deliver=True`` skipped delivery with no error).  The message always
+    names both lengths so the caller can see which column is short.
+    """
+
+    def __init__(self, context: str, expected: str, lengths: dict[str, int]) -> None:
+        cols = ", ".join(f"{name}={n}" for name, n in lengths.items())
+        super().__init__(f"{context}: mismatched batch columns ({cols}); {expected}")
+        #: Column name → observed length, for programmatic inspection.
+        self.lengths = dict(lengths)
 
 
 class VerifierError(SocketError):

@@ -31,12 +31,19 @@ import enum
 from collections.abc import Callable, Sequence
 from dataclasses import dataclass
 
-from ..netsim.packet import Packet
-from .errors import ProgramNotAttachedError
+from ..netsim.packet import FiveTuple, Packet
+from .errors import BatchShapeError, ProgramNotAttachedError
 from .sklookup import SkLookupProgram, Verdict
 from .socktable import Socket, SocketTable
 
-__all__ = ["Engine", "LookupStage", "DispatchResult", "LookupPath", "flow_hash"]
+__all__ = [
+    "Engine",
+    "LookupStage",
+    "DispatchResult",
+    "LookupPath",
+    "flow_hash",
+    "flow_hash_tuple",
+]
 
 
 class Engine(str, enum.Enum):
@@ -75,7 +82,14 @@ def flow_hash(packet: Packet) -> int:
     per packet and threads it through ECMP, L4LB, and listener selection
     (see :meth:`~repro.edge.datacenter.Datacenter.connect`).
     """
-    t = packet.tuple5
+    return flow_hash_tuple(packet.tuple5)
+
+
+def flow_hash_tuple(t: FiveTuple) -> int:
+    """:func:`flow_hash` on a bare 5-tuple — the form the columnar flow
+    engine uses, since its batches carry tuple columns, not Packets.  The
+    numpy backend (:mod:`repro.flow.backend`) reimplements exactly this
+    chain over uint64 arrays; the differential suite pins bit-equality."""
     h = 0xCBF29CE484222325
     for part in (
         int(t.protocol.wire_protocol),
@@ -184,30 +198,45 @@ class LookupPath:
         ``packets`` — lets the edge pipeline reuse the hashes its ECMP
         stage already computed.  Returns one :class:`DispatchResult` per
         packet, in order; semantics are exactly ``dispatch`` in a loop.
+
+        ``flow_hashes`` must be exactly as long as ``packets``: a shorter
+        (or longer) column raises :class:`BatchShapeError` up front.  The
+        old ``zip`` silently dropped the unpaired tail — those packets were
+        never dispatched, never delivered, and never counted.
         """
+        if flow_hashes is not None and len(flow_hashes) != len(packets):
+            raise BatchShapeError(
+                "dispatch_batch", "flow_hashes must parallel packets",
+                {"packets": len(packets), "flow_hashes": len(flow_hashes)},
+            )
         timer = self.timer
         started = timer() if timer is not None else 0.0
         runners = self._runners()
         lookup = self._lookup
         results: list[DispatchResult] = []
         append = results.append
-        if flow_hashes is None:
-            for packet in packets:
-                result = lookup(packet, runners, None)
-                append(result)
-                if deliver and result.socket is not None:
-                    result.socket.deliver(packet)
-        else:
-            for packet, fh in zip(packets, flow_hashes):
-                result = lookup(packet, runners, fh)
-                append(result)
-                if deliver and result.socket is not None:
-                    result.socket.deliver(packet)
-        counts = self.stage_counts
-        for result in results:
-            counts[result.stage] += 1
-        self.batches += 1
-        self.batch_packets += len(results)
+        try:
+            if flow_hashes is None:
+                for packet in packets:
+                    result = lookup(packet, runners, None)
+                    append(result)
+                    if deliver and result.socket is not None:
+                        result.socket.deliver(packet)
+            else:
+                for packet, fh in zip(packets, flow_hashes):
+                    result = lookup(packet, runners, fh)
+                    append(result)
+                    if deliver and result.socket is not None:
+                        result.socket.deliver(packet)
+        finally:
+            # Fold in a finally so a mid-batch failure (a program raising)
+            # leaves the same counters a scalar loop would have left for
+            # the packets that did dispatch.
+            counts = self.stage_counts
+            for result in results:
+                counts[result.stage] += 1
+            self.batches += 1
+            self.batch_packets += len(results)
         if timer is not None and self.latency_hist is not None and results:
             self.latency_hist.observe((timer() - started) / len(results))
         return results

@@ -17,6 +17,7 @@ import random
 from dataclasses import dataclass
 from collections.abc import Iterator
 
+from ..netsim.addr import IPAddress
 from .hostnames import HostnameUniverse
 from .zipf import ZipfDistribution
 
@@ -27,6 +28,10 @@ __all__ = [
     "SessionGenerator",
     "batched",
 ]
+
+#: Client sources are synthesised in CGNAT space (RFC 6598, 100.64/10),
+#: matching how the CDN transport fabricates eyeball addresses.
+_CLIENT_SRC_BASE = 0x64400000  # 100.64.0.0
 
 
 def batched(items: Iterator[str] | list[str], batch_size: int) -> Iterator[list[str]]:
@@ -112,6 +117,33 @@ class RequestStream:
         one batch in memory.
         """
         return batched(self.sample_hostnames(n, seed, include_assets), batch_size)
+
+    def sample_flow_batches(
+        self,
+        n: int,
+        seed: int,
+        batch_size: int = 1024,
+        include_assets: bool = True,
+    ) -> Iterator[tuple[list[str], list[IPAddress], list[int]]]:
+        """Yield struct-of-arrays flow columns: ``(hostnames, src_addrs,
+        src_ports)``, each batch's columns parallel.
+
+        The flow-engine feed: hostnames follow the Zipf workload exactly
+        like :meth:`sample_batches`, while source addresses (CGNAT space)
+        and ephemeral ports are drawn per flow from a second seeded RNG —
+        distinct 5-tuples, deterministic corpus.  Columns stay plain lists
+        so the caller can hand them straight to
+        ``FlowBatch(hostnames, src_addrs, src_ports)`` (or any scalar
+        loop) without reshaping.
+        """
+        rng = random.Random(seed ^ 0x5F10)
+        for hostnames in self.sample_batches(n, seed, batch_size, include_assets):
+            src_addrs = [
+                IPAddress.v4(_CLIENT_SRC_BASE + rng.randrange(1 << 22))
+                for _ in hostnames
+            ]
+            src_ports = [20_000 + rng.randrange(40_000) for _ in hostnames]
+            yield hostnames, src_addrs, src_ports
 
 
 class SessionGenerator:

@@ -1,0 +1,387 @@
+"""Batched ≡ scalar: the flow-engine differential parity suite.
+
+Satellites 2+3 of the columnar-flow-engine PR.  Two identically-seeded
+worlds are driven over the same corpus — one through the columnar
+``FlowEngine``, one through the loop-of-scalars reference — and every
+per-flow verdict column plus every counter surface must be identical.
+Seam-level differentials then pin each ``*_batch`` entry point against
+its scalar form in isolation, including the awkward cases: expiry and
+negative entries mid-batch, serve-stale retention, sub-1.0 sampling
+rates, and partial failure part-way through a batch.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.clock import Clock
+from repro.core.authoritative import PolicyAnswerSource
+from repro.core.policy import Policy, PolicyAttributes, PolicyEngine
+from repro.core.pool import AddressPool
+from repro.dns.cache import DNSCache
+from repro.dns.records import A, DomainName, Question, ResourceRecord, RRType
+from repro.edge.datacenter import TrafficLog
+from repro.experiments.flow_perf import build_flow_world, make_flow_columns
+from repro.flow import FlowBatch
+from repro.netsim import parse_address
+from repro.netsim.addr import parse_prefix
+from repro.workload.hostnames import HostnameUniverse, UniverseConfig
+
+# (corpus seed, flows, batch size) — odd sizes, batch-of-one, and
+# Zipf-duplicate-heavy batches all ride through the same assertions.
+CORPUS = [
+    (101, 64, 16),
+    (202, 50, 7),
+    (303, 48, 1),
+    (404, 40, 40),
+    (505, 33, 32),
+]
+
+VERDICT_COLUMNS = (
+    "addresses",
+    "ttls",
+    "cached",
+    "tuple5s",
+    "flow_hashes",
+    "servers",
+    "stages",
+    "statuses",
+)
+
+
+def _twin_worlds(**kwargs):
+    """Two independently-built but identically-seeded deployments."""
+    return build_flow_world(**kwargs), build_flow_world(**kwargs)
+
+
+def _counter_surface(world) -> dict:
+    """Every counter the pipeline touches, as one comparable structure.
+
+    Batch-only bookkeeping (``LookupPath.batches``/``batch_packets`` and
+    the engine's own :class:`FlowStats`) is deliberately absent: those
+    exist *because* of batching and have no scalar counterpart.
+    """
+    dc = world.dc
+    cs = world.cache.stats
+    eng = world.source.engine
+    log = world.source.log
+    l4 = dc.l4lb.stats
+    return {
+        "cache": (cs.hits, cs.misses, cs.expirations, cs.evictions, cs.insertions),
+        "policy_engine": (eng.evaluations, eng.matches),
+        "policy_hits": {p.name: p.hits for p in eng.policies()},
+        "answers": (
+            log.policy_answers,
+            log.fallback_answers,
+            log.refused,
+            dict(log.by_policy),
+        ),
+        "ecmp": (dc.ecmp.stats.routed, dict(dc.ecmp.stats.per_server)),
+        "l4lb": (l4.new_flows, l4.tracked_hits, l4.rehomed, l4.closed),
+        "ingress": (dc.sheds, dc.syn_drops),
+        "servers": {
+            name: (
+                dict(s.lookup_path.stage_counts),
+                s.stats.connections,
+                s.stats.tls_failures,
+                s.stats.requests,
+                s.stats.bytes_served,
+                s.stats.refused_syns,
+            )
+            for name, s in dc.servers.items()
+        },
+        "traffic": {
+            str(addr): (t.requests, t.bytes, t.connections)
+            for addr, t in dc.traffic.by_address().items()
+        },
+    }
+
+
+def _assert_batches_equal(batched: FlowBatch, scalar: FlowBatch, context: str) -> None:
+    for column in VERDICT_COLUMNS:
+        assert getattr(batched, column) == getattr(scalar, column), (
+            f"{context}: column {column!r} diverged"
+        )
+
+
+class TestEndToEndParity:
+    @pytest.mark.parametrize(("seed", "n", "batch_size"), CORPUS)
+    def test_columns_and_counters_identical(self, seed, n, batch_size):
+        world_a, world_b = _twin_worlds(num_hostnames=16, num_servers=4)
+        columns = make_flow_columns(world_a, n, seed=seed, batch_size=batch_size)
+        for k, (hostnames, src_addrs, src_ports) in enumerate(columns):
+            batched = world_a.engine.run_batch(
+                FlowBatch(list(hostnames), list(src_addrs), list(src_ports))
+            )
+            scalar = world_b.engine.run_scalar(hostnames, src_addrs, src_ports)
+            _assert_batches_equal(
+                batched, scalar, f"corpus seed={seed} batch={k} size={batch_size}"
+            )
+        assert _counter_surface(world_a) == _counter_surface(world_b)
+
+    def test_ttl_zero_forces_mint_path_both_arms(self):
+        """TTL-0 answers are use-once (never cached): every flow mints."""
+        world_a, world_b = _twin_worlds(num_hostnames=8, num_servers=2, ttl=0)
+        columns = make_flow_columns(world_a, 24, seed=606, batch_size=8)
+        for hostnames, src_addrs, src_ports in columns:
+            batched = world_a.engine.run_batch(
+                FlowBatch(list(hostnames), list(src_addrs), list(src_ports))
+            )
+            scalar = world_b.engine.run_scalar(hostnames, src_addrs, src_ports)
+            _assert_batches_equal(batched, scalar, "ttl=0")
+            assert not any(batched.cached)
+        assert world_a.cache.stats.insertions == 0
+        assert _counter_surface(world_a) == _counter_surface(world_b)
+
+    def test_obs_snapshots_identical_minus_batch_only_keys(self):
+        """The two arms look the same through ``repro.obs`` too — except
+        the keys that only exist because batching exists."""
+        from repro.obs import MetricsRegistry
+        from repro.obs.adapters import (
+            watch_cache_stats,
+            watch_ecmp,
+            watch_lookup_path,
+        )
+
+        world_a, world_b = _twin_worlds(num_hostnames=16, num_servers=4)
+        registries = {}
+        for arm, world in (("batched", world_a), ("scalar", world_b)):
+            registry = MetricsRegistry()
+            watch_cache_stats(registry, "cache", world.cache.stats)
+            watch_ecmp(registry, "ecmp", world.dc.ecmp)
+            for name, server in world.dc.servers.items():
+                watch_lookup_path(registry, f"lookup.{name}", server.lookup_path)
+            registries[arm] = registry
+        columns = make_flow_columns(world_a, 64, seed=707, batch_size=16)
+        for hostnames, src_addrs, src_ports in columns:
+            world_a.engine.run_batch(
+                FlowBatch(list(hostnames), list(src_addrs), list(src_ports))
+            )
+            world_b.engine.run_scalar(hostnames, src_addrs, src_ports)
+
+        def comparable(registry):
+            counters = registry.snapshot()["counters"]
+            return {
+                key: value
+                for key, value in counters.items()
+                if not key.endswith((".batches", ".batch_packets"))
+            }
+
+        snap_a, snap_b = comparable(registries["batched"]), comparable(registries["scalar"])
+        assert snap_a == snap_b
+        assert snap_a["ecmp.routed"] > 0  # the comparison saw real traffic
+
+
+class TestPartialFailureParity:
+    def test_crashed_server_mid_batch_leaves_identical_counters(self):
+        """A crash part-way through ``connect_batch`` must leave exactly
+        the counters the scalar loop leaves when it dies at the same flow:
+        ECMP choices through the failing flow, L4LB admits through the
+        failing flow, traffic connections for successes only, one refused
+        SYN — nothing silently lost, nothing double-counted."""
+        world_a, world_b = _twin_worlds(num_hostnames=16, num_servers=4)
+        victim = sorted(world_a.dc.servers)[1]
+        world_a.dc.crash_server(victim)
+        world_b.dc.crash_server(victim)
+        columns = make_flow_columns(world_a, 64, seed=808, batch_size=64)
+        (hostnames, src_addrs, src_ports) = columns[0]
+        with pytest.raises(ConnectionRefusedError):
+            world_a.engine.run_batch(
+                FlowBatch(list(hostnames), list(src_addrs), list(src_ports))
+            )
+        with pytest.raises(ConnectionRefusedError):
+            world_b.engine.run_scalar(hostnames, src_addrs, src_ports)
+        surface_a = _counter_surface(world_a)
+        assert surface_a == _counter_surface(world_b)
+        assert surface_a["servers"][victim][5] == 1  # refused_syns
+        # The failing flow's ECMP choice is still counted (the scalar path
+        # counts the route before the handshake refuses).
+        assert surface_a["ecmp"][1][victim] == 1
+
+
+class TestCacheSeamParity:
+    """``lookup_batch``/``store_batch`` versus scalar loops, including
+    expiry, negative entries, duplicates, and serve-stale retention."""
+
+    @staticmethod
+    def _question(label: str) -> Question:
+        return Question(DomainName.from_text(f"{label}.example.com"), RRType.A)
+
+    @staticmethod
+    def _records(question: Question, fourth_octet: int, ttl: int):
+        rdata = A(parse_address(f"192.0.2.{fourth_octet}"))
+        return (ResourceRecord(question.name, rdata, ttl=ttl),)
+
+    def _load(self, cache: DNSCache, batched: bool) -> list[Question]:
+        questions = [self._question(f"host{i}") for i in range(6)]
+        items = [
+            (q, self._records(q, i + 1, ttl=30 if i % 2 else 120))
+            for i, q in enumerate(questions)
+        ]
+        if batched:
+            cache.store_batch(items)
+        else:
+            for question, records in items:
+                cache.store(question, records)
+        cache.store_negative(self._question("gone"), soa_minimum=60)
+        return questions
+
+    def _probe(self, cache: DNSCache, questions, batched: bool):
+        # Duplicates and a never-stored name ride along; the expired
+        # entries make the second occurrence observe the first's deletion.
+        probes = [*questions, questions[0], questions[1],
+                  self._question("gone"), self._question("never")]
+        if batched:
+            return cache.lookup_batch(probes)
+        return [cache.lookup(q) for q in probes]
+
+    @pytest.mark.parametrize("serve_stale_window", [0.0, 600.0])
+    def test_expiry_negative_and_stale_parity(self, serve_stale_window):
+        clocks = (Clock(), Clock())
+        caches = [
+            DNSCache(clock, serve_stale_window=serve_stale_window)
+            for clock in clocks
+        ]
+        results = {}
+        for cache, clock, batched in zip(caches, clocks, (True, False)):
+            questions = self._load(cache, batched)
+            clock.advance(45)  # past the ttl=30 entries, not the ttl=120 ones
+            results[batched] = self._probe(cache, questions, batched)
+        assert results[True] == results[False]
+        stats_a, stats_b = caches[0].stats, caches[1].stats
+        assert (stats_a.hits, stats_a.misses, stats_a.expirations, stats_a.insertions) == (
+            stats_b.hits, stats_b.misses, stats_b.expirations, stats_b.insertions
+        )
+        if serve_stale_window:
+            # Retained-stale entries read as misses but are NOT deleted.
+            assert stats_a.expirations == 0
+        else:
+            assert stats_a.expirations == 3  # host1/host3/host5, once each
+        assert len(caches[0]) == len(caches[1])
+
+    def test_store_batch_midway_failure_keeps_earlier_insertions(self):
+        """Satellite-2 regression: the ``insertions`` fold runs in a
+        ``finally``, so a poisoned item part-way through a batch still
+        counts the entries that made it in — exactly like a scalar loop
+        that dies on the same item."""
+        q0, q1 = self._question("ok0"), self._question("ok1")
+        poisoned = [
+            (q0, self._records(q0, 1, ttl=60)),
+            (q1, self._records(q1, 2, ttl=60)),
+            (self._question("boom"), None),  # tuple(None) raises
+        ]
+        batched = DNSCache(Clock())
+        with pytest.raises(TypeError):
+            batched.store_batch(poisoned)
+        scalar = DNSCache(Clock())
+        with pytest.raises(TypeError):
+            for question, records in poisoned:
+                scalar.store(question, records)
+        assert batched.stats.insertions == scalar.stats.insertions == 2
+        assert batched.lookup(q0) is not None
+        assert batched.lookup(q1) is not None
+
+
+class TestPolicySeamParity:
+    @staticmethod
+    def _engine(seed: int) -> PolicyEngine:
+        engine = PolicyEngine(random.Random(seed))
+        ent_pool = AddressPool(parse_prefix("198.51.100.0/26"), name="ent")
+        any_pool = AddressPool(parse_prefix("192.0.2.0/24"), name="any")
+        engine.add(Policy("enterprise", ent_pool,
+                          match={"account_type": {"enterprise"}},
+                          ttl=30, priority=10))
+        engine.add(Policy("catch-all", any_pool, match={}, ttl=300, priority=100))
+        return engine
+
+    @staticmethod
+    def _attrs() -> list[PolicyAttributes]:
+        accounts = ["free", "enterprise", "pro", "enterprise", "business", None]
+        attrs = [
+            PolicyAttributes(pop="pop1", account_type=acct, family=4,
+                             hostname=f"h{i}.example.com")
+            for i, acct in enumerate(accounts)
+        ]
+        # Family mismatch: v4 pools can never answer an AAAA query.
+        attrs.append(PolicyAttributes(pop="pop1", account_type="enterprise", family=6))
+        return attrs
+
+    def test_evaluate_batch_rng_and_counter_parity(self):
+        engine_a, engine_b = self._engine(99), self._engine(99)
+        attrs = self._attrs()
+        batched = engine_a.evaluate_batch(attrs)
+        scalar = [engine_b.evaluate(a) for a in attrs]
+        assert [
+            None if d is None else (d.policy.name, d.address, d.ttl) for d in batched
+        ] == [
+            None if d is None else (d.policy.name, d.address, d.ttl) for d in scalar
+        ]
+        assert batched[-1] is None  # the AAAA mismatch matched nothing
+        assert (engine_a.evaluations, engine_a.matches) == (
+            engine_b.evaluations, engine_b.matches
+        )
+        assert {p.name: p.hits for p in engine_a.policies()} == {
+            p.name: p.hits for p in engine_b.policies()
+        }
+        # RNG states converged too: the next draw is identical.
+        assert engine_a._rng.random() == engine_b._rng.random()
+
+    def test_answer_batch_parity_including_refusals(self):
+        from repro.dns.server import QueryContext
+
+        universe = HostnameUniverse(UniverseConfig(num_hostnames=12, seed=3))
+        sources = []
+        for _ in range(2):
+            engine = PolicyEngine(random.Random(7))
+            pool = AddressPool(parse_prefix("192.0.2.0/24"), name="ent-only")
+            engine.add(Policy("ent-only", pool,
+                              match={"account_type": {"enterprise"}}, ttl=30))
+            sources.append(PolicyAnswerSource(engine, universe.registry))
+        context = QueryContext(pop="pop1")
+        questions = [
+            Question(DomainName.from_text(h), RRType.A) for h in universe.sites
+        ]
+        # Non-address queries take the fallback arm (absent → REFUSED).
+        questions.append(Question(DomainName.from_text(universe.sites[0]), RRType.TXT))
+        batched = sources[0].answer_batch(questions, context)
+        scalar = [sources[1].answer(q, context) for q in questions]
+        assert [(a.rcode, a.records) for a in batched] == [
+            (a.rcode, a.records) for a in scalar
+        ]
+        log_a, log_b = sources[0].log, sources[1].log
+        assert (log_a.policy_answers, log_a.fallback_answers, log_a.refused) == (
+            log_b.policy_answers, log_b.fallback_answers, log_b.refused
+        )
+        assert log_a.by_policy == log_b.by_policy
+        assert log_a.refused > 0  # the corpus really exercised both arms
+
+
+class TestTrafficLogSeamParity:
+    def test_sampled_batches_flip_like_scalar_loops(self):
+        dsts = [parse_address(f"192.0.2.{i % 5 + 1}") for i in range(40)]
+        log_a = TrafficLog(sample_rate=0.5, rng=random.Random(42))
+        log_b = TrafficLog(sample_rate=0.5, rng=random.Random(42))
+        decisions_a = log_a.record_connection_batch(dsts)
+        decisions_b = [log_b.record_connection(d) for d in dsts]
+        assert decisions_a == decisions_b
+        assert 0 < sum(decisions_a) < len(dsts)  # the coin really flipped
+
+        # Requests inherit the connection decision; a few connectionless
+        # ``None`` records flip the independent coin in order.
+        items = [
+            (dst, 1000 + i, decisions_a[i] if i % 4 else None)
+            for i, dst in enumerate(dsts)
+        ]
+        log_a.record_request_batch(items)
+        for dst, nbytes, sampled in items:
+            log_b.record_request(dst, nbytes, sampled)
+
+        def surface(log):
+            return {
+                str(addr): (t.requests, t.bytes, t.connections)
+                for addr, t in log.by_address().items()
+            }
+
+        assert surface(log_a) == surface(log_b)

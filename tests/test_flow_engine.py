@@ -1,0 +1,191 @@
+"""The columnar flow engine end to end: stages, stats, backends, obs.
+
+Parity against the scalar reference lives in
+``tests/test_flow_differential.py``; these tests pin the engine's own
+behaviour — what each stage writes into the batch, how the per-batch stats
+fold, and how the engine surfaces through ``repro.obs``.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.policy import Policy
+from repro.experiments.flow_perf import (
+    build_flow_world,
+    make_flow_columns,
+    run_engine,
+    run_scalar,
+)
+from repro.flow import FlowBatch, default_backend
+from repro.netsim import parse_address
+from repro.obs import MetricsRegistry
+from repro.obs.adapters import watch_flow_engine
+from repro.sockets.lookup import LookupStage
+from repro.workload.traffic import RequestStream
+
+
+def _columns(world, n=96, seed=11, batch_size=32):
+    return make_flow_columns(world, n, seed=seed, batch_size=batch_size)
+
+
+class TestPipelineStages:
+    def test_full_pipeline_serves_everything(self):
+        world = build_flow_world(num_hostnames=16, num_servers=4)
+        served = run_engine(world, _columns(world))
+        assert served == 96
+        stats = world.engine.stats
+        assert stats.flows == 96
+        assert stats.batches == 3
+        assert stats.unresolved == 0
+        assert stats.connections == 96
+        assert stats.dispatched == 96
+        assert stats.served_errors == 0
+        assert stats.cache_hits + stats.minted == 96
+        assert stats.bytes_served > 0
+
+    def test_stage_columns_populated(self):
+        world = build_flow_world(num_hostnames=8, num_servers=2)
+        (hostnames, src_addrs, src_ports) = _columns(world, n=16, batch_size=16)[0]
+        batch = world.engine.run_batch(FlowBatch(hostnames, src_addrs, src_ports))
+        assert all(addr is not None for addr in batch.addresses)
+        assert all(t5 is not None for t5 in batch.tuple5s)
+        assert all(isinstance(fh, int) for fh in batch.flow_hashes)
+        assert all(server in world.dc.servers for server in batch.servers)
+        # Request packets on established flows resolve at the connected-
+        # socket stage — the 4-tuple match, never a fresh listener walk.
+        assert all(stage is LookupStage.CONNECTED for stage in batch.stages)
+        assert all(status == 200 for status in batch.statuses)
+
+    def test_flow_hashes_threaded_not_recomputed(self):
+        """The engine's hash column must be the exact hash the scalar path
+        computes — ECMP keys on it, so a drift would re-home flows."""
+        from repro.sockets.lookup import flow_hash_tuple
+
+        world = build_flow_world(num_hostnames=8, num_servers=2)
+        (hostnames, src_addrs, src_ports) = _columns(world, n=8, batch_size=8)[0]
+        batch = world.engine.run_batch(FlowBatch(hostnames, src_addrs, src_ports))
+        assert batch.flow_hashes == [flow_hash_tuple(t) for t in batch.tuple5s]
+
+    def test_second_pass_hits_resolver_cache(self):
+        world = build_flow_world(num_hostnames=8, num_servers=2, ttl=300)
+        columns = _columns(world, n=32, batch_size=32)
+        run_engine(world, columns)
+        minted_first = world.engine.stats.minted
+        assert minted_first > 0
+        # Same hostnames, fresh 5-tuples (a client can't reuse a live
+        # ephemeral port for a second connection to the same address).
+        fresh = [
+            (hostnames, src_addrs, list(range(10_000, 10_000 + len(src_ports))))
+            for hostnames, src_addrs, src_ports in columns
+        ]
+        run_engine(world, fresh)
+        assert world.engine.stats.minted == minted_first  # all cache hits
+        assert world.engine.stats.cache_hits >= 32
+
+    def test_duplicate_hostnames_fall_back_to_scalar_resolve(self):
+        """In-batch duplicates must observe earlier stores, like a scalar
+        loop: first occurrence mints, second hits the cache — and both get
+        the *same* address (the bound name, not a fresh mint)."""
+        world = build_flow_world(num_hostnames=8, num_servers=2)
+        host = world.universe.sites[0]
+        batch = FlowBatch(
+            [host, host],
+            [parse_address("100.64.0.1"), parse_address("100.64.0.2")],
+            [20_001, 20_002],
+        )
+        world.engine.run_batch(batch)
+        assert batch.cached == [False, True]
+        assert batch.addresses[0] == batch.addresses[1]
+        assert world.cache.stats.hits == 1
+        assert world.cache.stats.misses == 1
+
+    def test_unmatched_flows_fall_out_at_resolve(self):
+        """A flow no policy matches (and no fallback answers) carries
+        ``None`` through every later column and counts as unresolved."""
+        world = build_flow_world(num_hostnames=8, num_servers=2)
+        engine = world.source.engine
+        pool = engine.get("randomize-all").pool
+        engine.remove("randomize-all")
+        engine.add(
+            Policy("enterprise-only", pool,
+                   match={"account_type": {"enterprise"}}, ttl=30)
+        )
+        free_host = next(
+            h for h in world.universe.sites
+            if world.universe.customer_of(h).account_type.value != "enterprise"
+        )
+        batch = FlowBatch([free_host], [parse_address("100.64.0.1")], [20_001])
+        world.engine.run_batch(batch)
+        assert batch.addresses == [None]
+        assert batch.connections == [None]
+        assert batch.stages == [None]
+        assert batch.statuses == [None]
+        assert world.engine.stats.unresolved == 1
+        assert world.engine.stats.connections == 0
+        assert world.source.log.refused == 1
+
+    def test_run_columns_convenience(self):
+        world = build_flow_world(num_hostnames=8, num_servers=2)
+        host = world.universe.sites[0]
+        batch = world.engine.run_columns(
+            (host,), (parse_address("100.64.0.9"),), (23_456,)
+        )
+        assert batch.statuses == [200]
+
+
+class TestBackendsThroughEngine:
+    def test_numpy_and_python_engines_agree(self):
+        pytest.importorskip("numpy")
+        cols = None
+        batches = {}
+        for backend in ("python", "numpy"):
+            world = build_flow_world(num_hostnames=16, num_servers=4, backend=backend)
+            assert world.engine.backend.name == backend
+            cols = _columns(world, n=64, batch_size=64)
+            (hostnames, src_addrs, src_ports) = cols[0]
+            batches[backend] = world.engine.run_batch(
+                FlowBatch(hostnames, src_addrs, src_ports)
+            )
+        py, np_ = batches["python"], batches["numpy"]
+        assert py.flow_hashes == np_.flow_hashes
+        assert py.servers == np_.servers
+        assert py.addresses == np_.addresses
+        assert py.statuses == np_.statuses
+
+
+class TestFlowObservability:
+    def test_watch_flow_engine_snapshot(self):
+        world = build_flow_world(num_hostnames=8, num_servers=2)
+        registry = MetricsRegistry()
+        watch_flow_engine(registry, "flow", world.engine)
+        run_engine(world, _columns(world, n=32, batch_size=16))
+        counters = registry.snapshot()["counters"]
+        assert counters["flow.flows"] == 32
+        assert counters["flow.batches"] == 2
+        assert counters["flow.served_ok"] == 32
+        assert counters[f"flow.backend.{world.engine.backend.name}"] == 1
+
+
+class TestFlowWorkload:
+    def test_sample_flow_batches_columns_parallel_and_deterministic(self):
+        world = build_flow_world(num_hostnames=16, num_servers=2)
+        stream = RequestStream(world.universe)
+        a = list(stream.sample_flow_batches(100, seed=5, batch_size=32))
+        b = list(stream.sample_flow_batches(100, seed=5, batch_size=32))
+        assert [x[0] for x in a] == [x[0] for x in b]
+        assert [x[1] for x in a] == [x[1] for x in b]
+        assert [x[2] for x in a] == [x[2] for x in b]
+        assert sum(len(h) for h, _, _ in a) == 100
+        cgnat_lo = parse_address("100.64.0.0").value
+        cgnat_hi = parse_address("100.128.0.0").value
+        for hostnames, src_addrs, src_ports in a:
+            assert len(hostnames) == len(src_addrs) == len(src_ports)
+            assert all(cgnat_lo <= addr.value < cgnat_hi for addr in src_addrs)
+            assert all(20_000 <= port < 60_000 for port in src_ports)
+
+    def test_run_scalar_reference_serves_everything(self):
+        world = build_flow_world(num_hostnames=8, num_servers=2)
+        assert run_scalar(world, _columns(world, n=24, batch_size=8)) == 24
+        # The control arm never folds engine stats.
+        assert world.engine.stats.flows == 0
