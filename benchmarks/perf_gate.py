@@ -62,6 +62,13 @@ GATED: dict[str, dict[str, dict[str, float]]] = {
     "flow_dispatch": {"batch_speedup": {"floor": 1.2, "tolerance": 0.30}},
     "flow_serve": {"batch_speedup": {"floor": 0.8, "tolerance": 0.25}},
     "flow_end_to_end": {"batch_speedup": {"floor": 0.95, "tolerance": 0.25}},
+    # Real-socket pool (bench_serve_qps): multi-worker / single-worker UDP
+    # throughput.  On multi-core runners SO_REUSEPORT spreads load and the
+    # ratio exceeds 1; on a single-core container the arms tie (measured
+    # 0.95-1.17 run to run).  The floor defends against pool *collapse* —
+    # a drain bug serializing workers or a dead worker timing out its
+    # share — not against missing parallelism the hardware can't give.
+    "serve_qps": {"multi_vs_single": {"floor": 0.6, "tolerance": 0.45}},
 }
 DEFAULT_TOLERANCE = 0.20
 
@@ -75,12 +82,19 @@ def load_results(path: pathlib.Path) -> dict[str, float]:
 
 
 def run_gate(results_dir: pathlib.Path, baselines_dir: pathlib.Path,
-             tolerance: float) -> list[str]:
+             tolerance: float, only: list[str] | None = None) -> list[str]:
     """Returns a list of failure descriptions (empty = gate passes)."""
     failures: list[str] = []
-    width = max(len(f"{b}.{m}") for b, ms in GATED.items() for m in ms)
+    gated = GATED
+    if only:
+        unknown = sorted(set(only) - set(GATED))
+        if unknown:
+            return [f"--only: unknown bench(es) {unknown}; "
+                    f"gated benches: {sorted(GATED)}"]
+        gated = {bench: GATED[bench] for bench in only}
+    width = max(len(f"{b}.{m}") for b, ms in gated.items() for m in ms)
     print(f"perf gate: tolerance {tolerance:.0%} below baseline")
-    for bench, metrics in sorted(GATED.items()):
+    for bench, metrics in sorted(gated.items()):
         fresh_path = results_dir / f"BENCH_{bench}.json"
         base_path = baselines_dir / f"BENCH_{bench}.json"
         if not fresh_path.exists():
@@ -126,10 +140,13 @@ def main(argv: list[str] | None = None) -> int:
                         help="directory with committed baselines (default: baselines/)")
     parser.add_argument("--tolerance", type=float, default=DEFAULT_TOLERANCE,
                         help="allowed fractional drop below baseline (default: 0.20)")
+    parser.add_argument("--only", action="append", default=None, metavar="BENCH",
+                        help="gate only the named bench(es); jobs that run a "
+                             "subset of the suite skip the other snapshots")
     args = parser.parse_args(argv)
     if not 0.0 <= args.tolerance < 1.0:
         parser.error("--tolerance must be in [0, 1)")
-    failures = run_gate(args.results, args.baselines, args.tolerance)
+    failures = run_gate(args.results, args.baselines, args.tolerance, only=args.only)
     if failures:
         print("\nperf gate FAILED:", file=sys.stderr)
         for failure in failures:

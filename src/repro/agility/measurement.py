@@ -71,6 +71,7 @@ def build_mismatched_client(
         name=f"res-{resolver_asn}",
         clock=clock,
         transport=cdn.dns_transport(resolver_asn),
+        tcp_transport=cdn.dns_transport(resolver_asn, protocol="tcp"),
         asn=resolver_asn,
     )
     client_name = name or f"client-{client_asn}-via-{resolver_asn}"

@@ -267,6 +267,55 @@ def _collect_metrics(experiment: str) -> tuple[dict, dict]:
     return registry.snapshot(), {}
 
 
+def _cmd_serve(args) -> str:
+    from .serve import run_oneshot, run_smoke
+    from .serve.app import DEFAULT_SEED
+
+    seed = args.seed if args.seed is not None else DEFAULT_SEED
+    if args.smoke or args.queries is not None:
+        report = run_smoke(
+            queries=args.queries if args.queries is not None else 50,
+            workers=args.workers,
+            bind=args.bind,
+            seed=seed,
+        )
+        output = _json_dumps(report)
+        if not report["ok"]:
+            raise _CommandFailed(output, 1)
+        return output
+
+    if not args.oneshot:
+        raise _CommandFailed(
+            "serve: long-running mode is not wired into the reproduction "
+            "harness; use --oneshot (demo both wire paths once) or "
+            "--smoke/--queries N (CI soak)", 2)
+
+    report = run_oneshot(bind=args.bind, workers=args.workers, seed=seed)
+    plain, truncated = report["plain"], report["truncated"]
+    lines = [
+        f"; serving {report['address']} with {report['workers']} worker(s)",
+        "",
+        f";; QUESTION: {plain['question']}",
+        f";; transport: {plain['transport']}  rcode: {plain['rcode']}",
+        *(f"{plain['question'].split()[0]}  30  IN  A  {a}" for a in plain["addresses"]),
+        "",
+        f";; QUESTION: {truncated['question']}",
+        f";; flags: TC on UDP -> retried over {truncated['transport']}",
+        f";; answers: {truncated['answers']}/{truncated['expected_answers']} "
+        "(complete over TCP)",
+        "",
+        ";; pool counters: " + ", ".join(
+            f"{k}={v}" for k, v in sorted(report["counters"].items())
+            if not k.startswith("latency")
+        ),
+        f";; verdict: {'ok' if report['ok'] else 'FAILED'}",
+    ]
+    output = "\n".join(lines)
+    if not report["ok"]:
+        raise _CommandFailed(output, 1)
+    return output
+
+
 def _cmd_check(args) -> str:
     from .check.cli import UnknownCheckerError, run_check
 
@@ -317,6 +366,7 @@ _COMMANDS: dict[str, tuple[Callable, str]] = {
     "chaos": (_cmd_chaos, "§3.4/§6: seeded chaos campaigns vs control-plane invariants"),
     "bgp": (_cmd_bgp, "§4.4/§6: BGP convergence windows racing the DNS rebind"),
     "scaling": (_cmd_scaling, "Figure 4: socket-table scaling comparison"),
+    "serve": (_cmd_serve, "real-socket authoritative frontend (UDP+TCP, pre-fork workers)"),
     "check": (_cmd_check, "static analysis: program verifier + control-plane + determinism lint"),
     "plan": (_cmd_plan, "symbolic pre-flight verification of a rebind-plan JSON file"),
     "metrics": (_cmd_metrics, "repro.obs: run an instrumented experiment, export metrics"),
@@ -407,6 +457,21 @@ def build_parser() -> argparse.ArgumentParser:
                    help="write the export to FILE instead of stdout")
     p.add_argument("--diff", nargs=2, metavar=("BEFORE", "AFTER"), default=None,
                    help="compare two saved JSON snapshots instead of running")
+
+    p = sub.add_parser("serve", help=_COMMANDS["serve"][1])
+    p.add_argument("--bind", default="127.0.0.1:0", metavar="HOST:PORT",
+                   help="bind spec; port 0 picks a free port (default %(default)s)")
+    p.add_argument("--workers", type=int, default=1,
+                   help="pre-fork workers sharing the port via SO_REUSEPORT")
+    p.add_argument("--seed", type=int, default=None,
+                   help="world seed (worker i uses seed+i)")
+    p.add_argument("--oneshot", action="store_true",
+                   help="answer one plain query and one forced-truncation "
+                        "query over real sockets, print dig-style, exit")
+    p.add_argument("--smoke", action="store_true",
+                   help="CI soak: many queries incl. one forced-TC; JSON report")
+    p.add_argument("--queries", type=int, default=None, metavar="N",
+                   help="with --smoke: how many queries to send (implies --smoke)")
 
     p = sub.add_parser("check", help=_COMMANDS["check"][1])
     p.add_argument("config", nargs="?", default=None,

@@ -184,6 +184,9 @@ class Deployment:
         resolver = RecursiveResolver(
             f"res-{tag}", self.clock,
             transport=self.cdn.dns_transport(resolver_asn if resolver_asn is not None else asn),
+            tcp_transport=self.cdn.dns_transport(
+                resolver_asn if resolver_asn is not None else asn, protocol="tcp"
+            ),
             ttl_policy=ttl_policy,
             asn=resolver_asn if resolver_asn is not None else asn,
         )

@@ -25,11 +25,25 @@ from collections.abc import Sequence
 from dataclasses import dataclass, field
 
 from ..netsim.addr import IPAddress
-from .records import DomainName, Question, ResourceRecord, RRClass, RRType
-from .wire import Message, Rcode, WireError
+from .records import DomainName, OPTPseudo, Question, ResourceRecord, RRClass, RRType
+from .wire import Message, Opcode, Rcode, WireError
 from .zone import Zone
 
-__all__ = ["QueryContext", "Answer", "AnswerSource", "ZoneAnswerSource", "AuthoritativeServer", "ServerStats"]
+__all__ = [
+    "QueryContext",
+    "Answer",
+    "AnswerSource",
+    "ZoneAnswerSource",
+    "AuthoritativeServer",
+    "ServerStats",
+    "MIN_UDP_PAYLOAD",
+    "MAX_MESSAGE_SIZE",
+]
+
+#: RFC 1035 §4.2.1: without EDNS the requester can only take 512 octets.
+MIN_UDP_PAYLOAD = 512
+#: Hard cap either way — TCP frames carry a 16-bit length (RFC 1035 §4.2.2).
+MAX_MESSAGE_SIZE = 65535
 
 
 @dataclass(frozen=True, slots=True)
@@ -156,6 +170,7 @@ class ServerStats:
     by_rcode: dict[Rcode, int] = field(default_factory=dict)
     by_type: dict[RRType, int] = field(default_factory=dict)
     formerr_drops: int = 0
+    truncations: int = 0  # UDP responses trimmed + TC-flagged (RFC 2181 §9)
 
     def record(self, rrtype: RRType | None, rcode: Rcode) -> None:
         self.responses += 1
@@ -184,7 +199,14 @@ class AuthoritativeServer:
     # -- wire entry point ----------------------------------------------------
 
     def handle_wire(self, data: bytes, context: QueryContext) -> bytes | None:
-        """Process one datagram; returns response bytes (None = drop)."""
+        """Process one datagram; returns response bytes (None = drop).
+
+        UDP responses honour the client's advertised EDNS buffer size (512
+        without an OPT): an encoding that exceeds it is trimmed to a
+        well-formed message with TC set, telling the client to retry over
+        the TCP path (``context.transport == "tcp"``), where the only limit
+        is the 16-bit frame length.
+        """
         self.stats.queries += 1
         try:
             query = Message.decode(data)
@@ -192,7 +214,63 @@ class AuthoritativeServer:
             self.stats.formerr_drops += 1
             return None
         response = self.handle_query(query, context)
-        return response.encode()
+        wire = response.encode()
+        limit = (
+            self._payload_limit(query) if context.transport == "udp" else MAX_MESSAGE_SIZE
+        )
+        if len(wire) > limit:
+            self.stats.truncations += 1
+            wire = self._truncated(response, limit)
+        return wire
+
+    @staticmethod
+    def _payload_limit(query: Message) -> int:
+        """The client's advertised UDP capacity, clamped to [512, 65535]."""
+        from .edns import extract_opt
+
+        try:
+            opt = extract_opt(query)
+        except WireError:
+            return MIN_UDP_PAYLOAD  # bad OPT body: treated as EDNS-less
+        if opt is None:
+            return MIN_UDP_PAYLOAD
+        return min(max(opt.udp_payload_size, MIN_UDP_PAYLOAD), MAX_MESSAGE_SIZE)
+
+    @staticmethod
+    def _truncated(response: Message, limit: int) -> bytes:
+        """Trim ``response`` until it fits ``limit``; always sets TC.
+
+        Records are dropped whole, from the back: additional data first
+        (except the OPT, which the client needs to see the TC context),
+        then authority, then answers — every intermediate candidate is a
+        well-formed message, never a mid-record cut.
+        """
+        from dataclasses import replace as _replace
+
+        opts = [rr for rr in response.additional if isinstance(rr.rdata, OPTPseudo)]
+        extra = [rr for rr in response.additional if not isinstance(rr.rdata, OPTPseudo)]
+        answers = list(response.answers)
+        authority = list(response.authority)
+        truncated = _replace(response, flags=_replace(response.flags, tc=True))
+        while True:
+            truncated = _replace(
+                truncated,
+                answers=tuple(answers),
+                authority=tuple(authority),
+                additional=(*extra, *opts),
+            )
+            wire = truncated.encode()
+            if len(wire) <= limit:
+                return wire
+            if extra:
+                extra.pop()
+            elif authority:
+                authority.pop()
+            elif answers:
+                answers.pop()
+            else:
+                # Header + question + OPT always fit any ≥512 limit.
+                return wire
 
     # -- message-level entry point ---------------------------------------------
 
@@ -206,11 +284,23 @@ class AuthoritativeServer:
         if query.flags.qr or not query.questions:
             self.stats.record(None, Rcode.FORMERR)
             return query.response(rcode=Rcode.FORMERR, aa=False)
+        if query.flags.opcode != Opcode.QUERY:
+            # IQUERY/NOTIFY/UPDATE (or anything future): well-formed but not
+            # implemented here — RFC 1035 §4.1.1 NOTIMP, echoing the opcode.
+            self.stats.record(None, Rcode.NOTIMP)
+            return query.response(rcode=Rcode.NOTIMP, aa=False)
 
         from dataclasses import replace as _replace
         from .edns import OptRecord, attach_opt, extract_opt
 
-        opt = extract_opt(query)
+        try:
+            opt = extract_opt(query)
+        except WireError:
+            # The message framing decoded but the OPT option TLVs are
+            # garbage (RFC 6891 §6.1.3: FORMERR) — never let edns parsing
+            # raise out of the serving loop.
+            self.stats.record(None, Rcode.FORMERR)
+            return query.response(rcode=Rcode.FORMERR, aa=False)
         if opt is not None and opt.client_subnet is not None:
             context = _replace(context, client_subnet=str(opt.client_subnet.prefix))
         question = query.questions[0]

@@ -15,7 +15,11 @@ from .cache import DNSCache, TTLPolicy
 from .records import DomainName, Question, RRType
 from .resolver import RecursiveResolver, ResolveError
 
-__all__ = ["StubResolver"]
+__all__ = ["StubResolver", "MAX_CNAME_DEPTH"]
+
+#: RFC 1034 §3.6.2 expects short chains; this bounds both the walk and the
+#: re-queries a dangling (cross-zone) tail may trigger.
+MAX_CNAME_DEPTH = 8
 
 
 class StubResolver:
@@ -52,7 +56,7 @@ class StubResolver:
             records, nxdomain = hit
             if nxdomain:
                 raise ResolveError(f"{question}: cached NXDOMAIN")
-            return self._addresses(records, rrtype)
+            return self._chase(name, records, rrtype)
 
         records = self.recursive.resolve(name, rrtype)
         if records:
@@ -66,12 +70,50 @@ class StubResolver:
                 self.cache.store_negative(
                     question, int(soa_minimum), nxdomain=False
                 )
-        return self._addresses(records, rrtype)
+        return self._chase(name, records, rrtype)
 
-    @staticmethod
-    def _addresses(records, rrtype: RRType) -> list[IPAddress]:
-        return [
-            r.rdata.address
-            for r in records
-            if r.rrtype == rrtype and hasattr(r.rdata, "address")
-        ]
+    def _chase(self, name: DomainName, records, rrtype: RRType) -> list[IPAddress]:
+        """Follow the CNAME chain in ``records`` starting at ``name``.
+
+        Collecting *every* address record in the answer section would both
+        miss chains the authoritative could not finish (a cross-zone CNAME
+        leaves the chain dangling with zero addresses) and swallow records
+        for unrelated owner names.  So walk the chain by owner name from the
+        query name; when it dangles, re-query the recursive for the tail —
+        bounded by :data:`MAX_CNAME_DEPTH` and loop-guarded by a visited
+        set, since chains crossing servers can be circular.
+        """
+        from .records import CNAME as CNAMEData
+
+        current = name
+        visited = {current}
+        records = tuple(records)
+        while True:
+            addresses = [
+                r.rdata.address
+                for r in records
+                if r.name == current and r.rrtype == rrtype and hasattr(r.rdata, "address")
+            ]
+            if addresses:
+                return addresses
+            cname = next(
+                (r for r in records if r.name == current and r.rrtype == RRType.CNAME),
+                None,
+            )
+            if cname is None:
+                return []  # chain ended in NODATA
+            assert isinstance(cname.rdata, CNAMEData)
+            target = cname.rdata.target
+            if target in visited:
+                raise ResolveError(f"{name}: CNAME loop via {target}")
+            if len(visited) > MAX_CNAME_DEPTH:
+                raise ResolveError(
+                    f"{name}: CNAME chain exceeds {MAX_CNAME_DEPTH} links"
+                )
+            visited.add(target)
+            current = target
+            if not any(r.name == current for r in records):
+                # Dangling tail: the chain leaves this answer set (e.g. the
+                # target lives in a zone the authoritative would not follow
+                # into) — chase it with a fresh recursive query.
+                records = (*records, *self.recursive.resolve(current, rrtype))

@@ -62,6 +62,20 @@ class Rcode(enum.IntEnum):
     REFUSED = 5
 
 
+def _lenient(enum_cls, value: int):
+    """Map a wire value into ``enum_cls``, keeping unknown values as ints.
+
+    A query with opcode IQUERY or qtype MX is *well-formed* — a server must
+    answer it (NOTIMP), not crash decoding it.  IntEnum members compare and
+    hash equal to their values, so downstream ``==``/``in`` checks behave
+    identically whether the field decoded to a member or a raw int.
+    """
+    try:
+        return enum_cls(value)
+    except ValueError:
+        return value
+
+
 @dataclass(frozen=True, slots=True)
 class Flags:
     """The header's second 16-bit word, unpacked."""
@@ -94,12 +108,12 @@ class Flags:
     def unpack(cls, word: int) -> "Flags":
         return cls(
             qr=bool(word & (1 << 15)),
-            opcode=Opcode((word >> 11) & 0xF),
+            opcode=_lenient(Opcode, (word >> 11) & 0xF),
             aa=bool(word & (1 << 10)),
             tc=bool(word & (1 << 9)),
             rd=bool(word & (1 << 8)),
             ra=bool(word & (1 << 7)),
-            rcode=Rcode(word & 0xF),
+            rcode=_lenient(Rcode, word & 0xF),
         )
 
 
@@ -107,8 +121,16 @@ def encode_name(name: DomainName, out: bytearray, offsets: dict[tuple[str, ...],
     """Append ``name`` to ``out`` using RFC 1035 §4.1.4 compression.
 
     ``offsets`` maps previously emitted name suffixes to their buffer
-    offsets; suffixes at offsets beyond 0x3FFF are emitted uncompressed
-    (pointers are 14-bit).
+    offsets.  Invariant: only suffixes starting at or below 0x3FFF — the
+    14-bit pointer horizon — are ever registered, so every table entry is a
+    legal pointer target and lookup needs no second validation.  A suffix
+    first emitted beyond the horizon is written uncompressed and left
+    unregistered (it could never be pointed at); an already-registered
+    suffix is never overwritten, so a pointer always targets the earliest
+    — and therefore pointable — occurrence.  Suffix keys are the
+    (already case-normalised) label tuples of :class:`DomainName`, so two
+    registrations can only collide when the wire bytes are identical;
+    pointers never alias case-folded variants of different on-wire names.
     """
     labels = name.labels
     for i in range(len(labels)):
@@ -117,7 +139,7 @@ def encode_name(name: DomainName, out: bytearray, offsets: dict[tuple[str, ...],
         if at is not None and at <= 0x3FFF:
             out += struct.pack("!H", 0xC000 | at)
             return
-        if len(out) <= 0x3FFF:
+        if at is None and len(out) <= 0x3FFF:
             offsets[suffix] = len(out)
         label = labels[i].encode("ascii")
         out.append(len(label))
@@ -165,7 +187,12 @@ def decode_name(data: bytes, offset: int) -> tuple[DomainName, int]:
         total += length + 1
         if total + 1 > 255:
             raise WireError("name exceeds 255 octets")
-        labels.append(data[start:end].decode("ascii", errors="strict").lower())
+        try:
+            labels.append(data[start:end].decode("ascii", errors="strict").lower())
+        except UnicodeDecodeError as exc:
+            # The object model is ASCII hostnames (the only names this
+            # system mints or serves); binary labels are malformed here.
+            raise WireError(f"label contains non-ASCII bytes at offset {start}") from exc
         offset = end
     raise WireError("name has too many labels/pointers")
 
@@ -269,10 +296,11 @@ class Message:
         additional: tuple[ResourceRecord, ...] = (),
         ra: bool = False,
     ) -> "Message":
-        """Build the response skeleton for this query (echoes id+question)."""
+        """Build the response skeleton for this query (echoes id+opcode+question)."""
         return Message(
             id=self.id,
-            flags=Flags(qr=True, aa=aa, rd=self.flags.rd, ra=ra, rcode=rcode),
+            flags=Flags(qr=True, opcode=self.flags.opcode, aa=aa, rd=self.flags.rd,
+                        ra=ra, rcode=rcode),
             questions=self.questions,
             answers=answers,
             authority=authority,
@@ -326,6 +354,23 @@ class Message:
 
     @classmethod
     def decode(cls, data: bytes) -> "Message":
+        """Decode wire bytes; malformed input raises :class:`WireError`, only.
+
+        The real-socket serving loop (:mod:`repro.serve`) feeds attacker-
+        controlled datagrams straight through here — any non-WireError
+        escape would take a worker down, so stray ``ValueError``/
+        ``struct.error`` from enum coercion or unpacking are converted at
+        this boundary.
+        """
+        try:
+            return cls._decode(data)
+        except WireError:
+            raise
+        except (ValueError, struct.error, IndexError) as exc:
+            raise WireError(f"malformed message: {exc}") from exc
+
+    @classmethod
+    def _decode(cls, data: bytes) -> "Message":
         if len(data) < _HEADER.size:
             raise WireError("message shorter than header")
         qid, flagword, qd, an, ns, ar = _HEADER.unpack_from(data, 0)
@@ -337,7 +382,9 @@ class Message:
                 raise WireError("truncated question")
             rrtype, rrclass = struct.unpack_from("!HH", data, offset)
             offset += 4
-            questions.append(Question(name, RRType(rrtype), RRClass(rrclass)))
+            questions.append(
+                Question(name, _lenient(RRType, rrtype), _lenient(RRClass, rrclass))
+            )
 
         def read_rrs(count: int, offset: int) -> tuple[list[ResourceRecord], int]:
             records: list[ResourceRecord] = []
@@ -358,10 +405,10 @@ class Message:
                     offset += rdlen
                     records.append(ResourceRecord(name, rdata, ttl=0))
                     continue
-                rdata = _decode_rdata(RRType(rrtype_raw), data, offset, rdlen)
+                rdata = _decode_rdata(_lenient(RRType, rrtype_raw), data, offset, rdlen)
                 offset += rdlen
                 records.append(
-                    ResourceRecord(name, rdata, ttl & 0x7FFFFFFF, RRClass(rrclass_raw))
+                    ResourceRecord(name, rdata, ttl & 0x7FFFFFFF, _lenient(RRClass, rrclass_raw))
                 )
             return records, offset
 

@@ -156,6 +156,7 @@ class Zone:
             return LookupResult(found=False)
         name = question.name
         chain: list[ResourceRecord] = []
+        seen: set[DomainName] = {name}
         for _ in range(9):  # bounded CNAME chase
             rrset = self._rrsets.get((name, question.rrtype))
             if rrset:
@@ -172,12 +173,21 @@ class Zone:
                 if not target.target.is_subdomain_of(self.apex):
                     # Out-of-zone CNAME: answer is the chain; resolver continues.
                     return LookupResult(found=True, answers=(), cname_chain=tuple(chain))
+                if target.target in seen:
+                    # Circular zone data.  Serving the (finite) chain and
+                    # letting the client's loop guard reject it keeps the
+                    # server total: raising here would escape the serving
+                    # loop and take the worker down on a single bad zone.
+                    return LookupResult(found=True, answers=(), cname_chain=tuple(chain))
+                seen.add(target.target)
                 name = target.target
                 continue
             if self.name_exists(name):
                 return LookupResult(found=True, answers=(), cname_chain=tuple(chain))
             return LookupResult(found=False, cname_chain=tuple(chain))
-        raise ZoneError("CNAME chain too long")
+        # Chain longer than any sane zone: answer what we walked; the
+        # client-side depth bound decides whether to keep chasing.
+        return LookupResult(found=True, answers=(), cname_chain=tuple(chain))
 
     def _select(
         self, name: DomainName, rrtype: RRType, rrset: list[ResourceRecord]

@@ -146,14 +146,23 @@ class CDN:
         """Which PoP answers DNS queries from ``resolver_asn``."""
         return self.network.pop_for(resolver_asn, self.dns_address)
 
-    def dns_transport(self, resolver_asn: object, resolver_address: IPAddress | None = None):
-        """A resolver-side transport: bytes in, bytes out, anycast-routed."""
+    def dns_transport(
+        self,
+        resolver_asn: object,
+        resolver_address: IPAddress | None = None,
+        protocol: str = "udp",
+    ):
+        """A resolver-side transport: bytes in, bytes out, anycast-routed.
+
+        ``protocol="tcp"`` models the RFC 7766 stream path the resolver
+        falls back to on truncation: same anycast routing, no payload cap.
+        """
 
         def transport(wire: bytes) -> bytes | None:
             pop = self.pop_for_dns(resolver_asn)
             if pop is None:
                 return None  # resolver has no route to the DNS anycast
-            return self.datacenters[pop].handle_dns(wire, resolver_address)
+            return self.datacenters[pop].handle_dns(wire, resolver_address, protocol)
 
         return transport
 

@@ -295,10 +295,17 @@ class Datacenter:
 
     # -- DNS plane ------------------------------------------------------------
 
-    def handle_dns(self, wire: bytes, resolver_address: IPAddress | None = None) -> bytes | None:
+    def handle_dns(
+        self,
+        wire: bytes,
+        resolver_address: IPAddress | None = None,
+        transport: str = "udp",
+    ) -> bytes | None:
         if self.dns is None:
             raise RuntimeError(f"datacenter {self.name} has no DNS service")
-        context = QueryContext(pop=self.name, resolver_address=resolver_address)
+        context = QueryContext(
+            pop=self.name, resolver_address=resolver_address, transport=transport
+        )
         return self.dns.handle_wire(wire, context)
 
     # -- data plane ---------------------------------------------------------------

@@ -201,7 +201,10 @@ def run_failover(config: FailoverConfig | None = None) -> FailoverOutcome:
     for region in ("us", "eu"):
         for i in range(config.clients_per_region):
             asn = f"eyeball:{region}:{i}"
-            resolver = RecursiveResolver(f"r-{asn}", clock, cdn.dns_transport(asn), asn=asn)
+            resolver = RecursiveResolver(
+                f"r-{asn}", clock, cdn.dns_transport(asn), asn=asn,
+                tcp_transport=cdn.dns_transport(asn, protocol="tcp"),
+            )
             stub = StubResolver(f"s-{asn}", clock, resolver)
             watch_resolver_stats(registry, f"resolver.{asn}", resolver.stats)
             watch_cache_stats(registry, f"resolver.{asn}.cache", resolver.cache.stats)

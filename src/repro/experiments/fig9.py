@@ -93,7 +93,10 @@ def run_fig9(config: Fig9Config | None = None) -> Fig9Outcome:
     for region in ("us", "eu"):
         for i in range(config.clients_per_region):
             asn = f"eyeball:{region}:{i}"
-            resolver = RecursiveResolver(f"r-{asn}", clock, cdn.dns_transport(asn), asn=asn)
+            resolver = RecursiveResolver(
+                f"r-{asn}", clock, cdn.dns_transport(asn), asn=asn,
+                tcp_transport=cdn.dns_transport(asn, protocol="tcp"),
+            )
             stub = StubResolver(f"s-{asn}", clock, resolver)
             clients.append(BrowserClient(f"c-{asn}", stub, cdn.transport_for(asn)))
 
@@ -141,7 +144,10 @@ def run_fig9(config: Fig9Config | None = None) -> Fig9Outcome:
     op = mitigator.mitigate("per-pop", AddressPool(BACKUP_PREFIX, name="backup"))
     horizon = op.propagation_horizon - clock.now()
 
-    probe = RecursiveResolver("probe", clock, cdn.dns_transport("eyeball:us:0"))
+    probe = RecursiveResolver(
+        "probe", clock, cdn.dns_transport("eyeball:us:0"),
+        tcp_transport=cdn.dns_transport("eyeball:us:0", protocol="tcp"),
+    )
     addresses = probe.resolve_addresses(universe.sites[0])
     clean = bool(addresses) and all(a in BACKUP_PREFIX for a in addresses)
 

@@ -73,6 +73,9 @@ def run_ttl_experiment(
         resolver = RecursiveResolver(
             f"res-clamp{clamp}", clock,
             transport=lambda wire: server.handle_wire(wire, QueryContext(pop="dc1")),
+            tcp_transport=lambda wire: server.handle_wire(
+                wire, QueryContext(pop="dc1", transport="tcp")
+            ),
             ttl_policy=policy,
         )
         label = "honest" if clamp == 0 else f"clamps-to-{clamp}s"

@@ -189,6 +189,7 @@ class HealthMonitor:
             f"probe-{vantage}-{self.probes_run}",
             self.clock,
             self.cdn.dns_transport(vantage),
+            tcp_transport=self.cdn.dns_transport(vantage, protocol="tcp"),
             rng=random.Random(self._rng.getrandbits(32)),
         )
         try:

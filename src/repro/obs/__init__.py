@@ -18,6 +18,7 @@ from .adapters import (
     watch_fault_timeline,
     watch_lookup_path,
     watch_resolver_stats,
+    watch_serve,
     watch_sklookup,
 )
 from .export import diff_snapshots, render_diff, to_json, to_prometheus
@@ -57,4 +58,5 @@ __all__ = [
     "watch_cache_node_stats",
     "watch_datacenter_load",
     "watch_cdn",
+    "watch_serve",
 ]

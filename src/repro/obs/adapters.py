@@ -43,6 +43,7 @@ if TYPE_CHECKING:  # import cycles: obs must stay importable from every layer
     from ..faults.events import FaultTimeline
     from ..flow.engine import FlowEngine
     from ..netsim.speakers import SpeakerSimulation
+    from ..serve.workers import WorkerPool
     from ..sockets.lookup import LookupPath
     from ..sockets.sklookup import SkLookupProgram
 
@@ -60,6 +61,7 @@ __all__ = [
     "watch_flow_engine",
     "watch_speakers",
     "watch_cdn",
+    "watch_serve",
 ]
 
 #: Buckets for per-packet dispatch latency, in *real* seconds: the Python
@@ -293,3 +295,24 @@ def watch_cdn(registry: MetricsRegistry, cdn: "CDN", prefix: str = "cdn") -> Non
     sim = getattr(getattr(cdn, "network", None), "sim", None)
     if getattr(sim, "incremental", False):
         watch_speakers(registry, f"{prefix}.bgp", sim)
+
+
+def watch_serve(registry: MetricsRegistry, prefix: str, pool: "WorkerPool") -> None:
+    """Make a :class:`~repro.serve.workers.WorkerPool` observable.
+
+    ``<prefix>.*`` carries the pool-wide totals (queries, responses,
+    truncations, malformed drops, TCP sessions, drain markers, and the
+    merged latency histogram as ``latency_bucket_le_*`` counters);
+    ``<prefix>.w<i>.*`` carries the current generation's per-worker rows.
+    Pull-based like every adapter here: workers write shared memory on the
+    hot path, aggregation happens only when someone snapshots — and the
+    totals stay readable after the pool stops (retired generations are
+    folded in, not lost).
+    """
+    registry.attach(prefix, pool.snapshot)
+    for index in range(pool.workers):
+        def row(index: int = index) -> dict[str, int | float]:
+            rows = pool.worker_snapshots()
+            return rows[index] if index < len(rows) else {}
+
+        registry.attach(f"{prefix}.w{index}", row)

@@ -1,0 +1,39 @@
+"""``repro.serve`` — the real-socket authoritative DNS frontend.
+
+Everything below :mod:`repro.dns` in this repository exchanges bytes
+through function calls; this package is where those same bytes meet real
+UDP datagrams and TCP streams.  Layers, bottom up:
+
+* :mod:`~repro.serve.protocol` — socketless protocol core: datagram
+  handling and RFC 1035 §4.2.2 stream framing over an
+  :class:`~repro.dns.server.AuthoritativeServer`;
+* :mod:`~repro.serve.workers` — pre-fork ``SO_REUSEPORT`` worker pool
+  with graceful drain and sk_lookup-style re-pointing;
+* :mod:`~repro.serve.counters` — lock-free shared-memory stats rows;
+* :mod:`~repro.serve.client` — loopback stub client with EDNS and
+  TC→TCP fallback, used by benchmarks and smoke tests;
+* :mod:`~repro.serve.app` — the demo world plus one-shot/smoke drivers
+  behind ``python -m repro serve``.
+"""
+
+from .app import build_pool, build_server, run_oneshot, run_smoke
+from .client import ClientStats, LoopbackClient, QueryOutcome
+from .counters import ServeCounters
+from .protocol import ProtocolCore, StreamSession
+from .workers import DEFAULT_BIND, WorkerPool, parse_bind
+
+__all__ = [
+    "build_pool",
+    "build_server",
+    "run_oneshot",
+    "run_smoke",
+    "ClientStats",
+    "LoopbackClient",
+    "QueryOutcome",
+    "ServeCounters",
+    "ProtocolCore",
+    "StreamSession",
+    "DEFAULT_BIND",
+    "WorkerPool",
+    "parse_bind",
+]

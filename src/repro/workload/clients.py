@@ -69,6 +69,7 @@ class ClientPopulation:
                 name=f"res-{asn}",
                 clock=clock,
                 transport=cdn.dns_transport(asn),
+                tcp_transport=cdn.dns_transport(asn, protocol="tcp"),
                 ttl_policy=policy,
                 asn=asn,
             )

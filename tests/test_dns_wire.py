@@ -240,3 +240,140 @@ def test_property_decoder_never_crashes_on_junk(data):
         pass
     except ValueError:
         pass  # enum conversion of junk type/class codes
+
+
+def _name_of_wire_size(total_label_octets: int) -> DomainName:
+    """A name whose labels + length bytes sum to ``total_label_octets``
+    (wire size is that plus the 1-byte terminator).  Built from 63-octet
+    labels plus one remainder label."""
+    labels: list[str] = []
+    remaining = total_label_octets
+    while remaining >= 64:
+        labels.append("a" * 63)
+        remaining -= 64
+    if remaining:
+        assert remaining >= 2, "cannot make a label of 0 content octets"
+        labels.append("b" * (remaining - 1))
+    return DomainName(tuple(labels))
+
+
+class TestEncodeBoundaries:
+    """The two hard edges of the codec: the 255-octet name ceiling and the
+    14-bit (0x3FFF) compression-pointer horizon."""
+
+    def test_maximum_name_round_trips(self):
+        # 254 label octets + terminator = 255 on the wire: the RFC maximum.
+        name = _name_of_wire_size(254)
+        out = bytearray()
+        encode_name(name, out, {})
+        assert len(out) == 255
+        decoded, off = decode_name(bytes(out), 0)
+        assert decoded == name and off == 255
+
+    def test_name_over_255_rejected_at_construction(self):
+        from repro.dns.records import DNSNameError
+
+        with pytest.raises(DNSNameError):
+            _name_of_wire_size(255)
+
+    def test_decoder_rejects_overlong_wire_name(self):
+        # Hand-craft 4×63-octet labels (256 label octets): no DomainName can
+        # produce this, but a hostile packet can.
+        wire = bytearray()
+        for _ in range(4):
+            wire.append(63)
+            wire += b"c" * 63
+        wire.append(0)
+        with pytest.raises(WireError, match="255"):
+            decode_name(bytes(wire), 0)
+
+    def test_suffix_beyond_horizon_stays_uncompressed(self):
+        # A suffix first emitted past 0x3FFF can never be a pointer target:
+        # it must be written in full both times, and still round-trip.
+        name = DomainName.from_text("deep.example.com")
+        out = bytearray(b"\x00" * 0x4000)  # start past the horizon
+        offsets: dict = {}
+        first = len(out)
+        encode_name(name, out, offsets)
+        second = len(out)
+        encode_name(name, out, offsets)
+        end = len(out)
+        assert second - first == end - second  # no pointer: same size twice
+        assert all(at <= 0x3FFF for at in offsets.values())
+        n1, _ = decode_name(bytes(out), first)
+        n2, _ = decode_name(bytes(out), second)
+        assert n1 == n2 == name
+
+    def test_pointer_back_across_horizon_is_used(self):
+        # A suffix registered below 0x3FFF is still pointable from far
+        # beyond it — the horizon caps targets, not pointer locations.
+        name = DomainName.from_text("early.example.com")
+        out = bytearray()
+        offsets: dict = {}
+        encode_name(name, out, offsets)
+        out += b"\x00" * 0x4100  # move the write head past the horizon
+        at = len(out)
+        encode_name(name, out, offsets)
+        assert len(out) - at == 2  # pure pointer
+        decoded, _ = decode_name(bytes(out), at)
+        assert decoded == name
+
+    def test_suffix_registered_exactly_at_horizon_is_pointable(self):
+        out = bytearray(b"\x00" * 0x3FFF)
+        offsets: dict = {}
+        name = DomainName.from_text("edge.example.org")
+        encode_name(name, out, offsets)  # first label lands at 0x3FFF
+        assert offsets[name.labels] == 0x3FFF
+        at = len(out)
+        encode_name(name, out, offsets)
+        assert len(out) - at == 2
+        decoded, _ = decode_name(bytes(out), at)
+        assert decoded == name
+
+    def test_seeded_fuzz_round_trip_across_horizon(self):
+        """Deterministic sweep: hundreds of random names encoded into one
+        buffer whose write head crosses 0x3FFF mid-stream, then decoded
+        back in order.  Catches offset-table corruption at the horizon."""
+        import random as _random
+
+        rng = _random.Random(0x3FFF)
+        out = bytearray(b"\x00" * (0x3FFF - 600))  # horizon falls mid-sweep
+        offsets: dict = {}
+        emitted: list[tuple[int, DomainName]] = []
+        alphabet = "abcdefghijklmnopqrstuvwxyz0123456789"
+        suffix_pool = ["example.com", "example.net", "cdn.example.com"]
+        for _ in range(400):
+            labels = tuple(
+                "".join(rng.choice(alphabet) for _ in range(rng.randint(1, 12)))
+                for _ in range(rng.randint(1, 3))
+            )
+            name = DomainName(
+                (*labels, *DomainName.from_text(rng.choice(suffix_pool)).labels)
+            )
+            emitted.append((len(out), name))
+            encode_name(name, out, offsets)
+        assert len(out) > 0x3FFF  # the sweep really crossed the horizon
+        wire = bytes(out)
+        for at, name in emitted:
+            decoded, _ = decode_name(wire, at)
+            assert decoded == name
+
+    def test_seeded_fuzz_near_maximum_names(self):
+        """Names within a few octets of the 255 ceiling, with compression
+        against each other — the trim/registration arithmetic must hold at
+        the edge."""
+        import random as _random
+
+        rng = _random.Random(255)
+        out = bytearray()
+        offsets: dict = {}
+        emitted: list[tuple[int, DomainName]] = []
+        for size in (246, 248, 250, 252, 254):
+            for _ in range(6):
+                base = _name_of_wire_size(size - rng.randint(0, 2))
+                emitted.append((len(out), base))
+                encode_name(base, out, offsets)
+        wire = bytes(out)
+        for at, name in emitted:
+            decoded, _ = decode_name(wire, at)
+            assert decoded == name

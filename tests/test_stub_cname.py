@@ -1,0 +1,129 @@
+"""Stub-side CNAME chasing: chains, dangling tails, loops, depth bounds.
+
+The pre-fix stub collected *every* A record in the answer section, so a
+chain the authoritative could not finish (cross-zone CNAME) resolved to
+nothing, and records for unrelated owner names leaked into results.  The
+chase walks by owner name from the query name, re-queries dangling tails,
+and bounds both loops and depth.
+"""
+
+import pytest
+
+from repro.clock import Clock
+from repro.dns.records import A, AAAA, CNAME, DomainName, ResourceRecord, RRType
+from repro.dns.resolver import RecursiveResolver, ResolveError
+from repro.dns.server import AuthoritativeServer, QueryContext, ZoneAnswerSource
+from repro.dns.stub import MAX_CNAME_DEPTH, StubResolver
+from repro.dns.wire import Message
+from repro.dns.zone import Zone
+from repro.netsim.addr import parse_address
+
+CTX = QueryContext(pop="pop1")
+
+
+def name(text: str) -> DomainName:
+    return DomainName.from_text(text)
+
+
+def make_stub(*zones: Zone) -> tuple[StubResolver, RecursiveResolver, AuthoritativeServer]:
+    clock = Clock()
+    server = AuthoritativeServer(ZoneAnswerSource(list(zones)))
+    recursive = RecursiveResolver(
+        "r", clock, transport=lambda wire: server.handle_wire(wire, CTX)
+    )
+    return StubResolver("s", clock, recursive), recursive, server
+
+
+class TestInZoneChains:
+    def test_alias_resolves_through_chain(self):
+        zone = Zone("example.com")
+        zone.add_record(ResourceRecord(name("alias.example.com"), CNAME(name("www.example.com")), 300))
+        zone.add_address("www.example.com", A(parse_address("192.0.2.7")))
+        stub, _, _ = make_stub(zone)
+        assert stub.lookup("alias.example.com") == [parse_address("192.0.2.7")]
+
+    def test_nodata_tail_yields_empty_not_wrong_records(self):
+        # The chain ends at www, which exists but has no A record: the
+        # chase must return empty rather than scooping up address records
+        # of unrelated owner names from the same answer set.
+        zone = Zone("example.com")
+        zone.add_record(ResourceRecord(name("alias.example.com"), CNAME(name("www.example.com")), 300))
+        zone.add_address("www.example.com", AAAA(parse_address("2001:db8::1")))
+        zone.add_address("other.example.com", A(parse_address("203.0.113.5")))
+        stub, _, _ = make_stub(zone)
+        assert stub.lookup("alias.example.com") == []
+
+    def test_cached_answers_are_chased_too(self):
+        zone = Zone("example.com")
+        zone.add_record(ResourceRecord(name("alias.example.com"), CNAME(name("www.example.com")), 300))
+        zone.add_address("www.example.com", A(parse_address("192.0.2.7")))
+        stub, recursive, _ = make_stub(zone)
+        first = stub.lookup("alias.example.com")
+        second = stub.lookup("alias.example.com")  # stub cache hit
+        assert first == second == [parse_address("192.0.2.7")]
+        assert recursive.stats.client_queries == 1
+
+
+class TestCrossZoneChains:
+    def test_dangling_tail_is_requeried(self):
+        # The CNAME target lives in a different zone: the authoritative
+        # answers with a bare CNAME, and the stub must chase the tail with
+        # a fresh query rather than returning nothing.
+        com = Zone("example.com")
+        com.add_record(ResourceRecord(name("alias.example.com"), CNAME(name("www.example.net")), 300))
+        net = Zone("example.net")
+        net.add_address("www.example.net", A(parse_address("198.51.100.9")))
+        stub, recursive, _ = make_stub(com, net)
+        assert stub.lookup("alias.example.com") == [parse_address("198.51.100.9")]
+        assert recursive.stats.client_queries == 2  # head + chased tail
+
+    def test_cross_zone_loop_raises(self):
+        com = Zone("example.com")
+        com.add_record(ResourceRecord(name("x.example.com"), CNAME(name("x.example.net")), 300))
+        net = Zone("example.net")
+        net.add_record(ResourceRecord(name("x.example.net"), CNAME(name("x.example.com")), 300))
+        stub, _, _ = make_stub(com, net)
+        with pytest.raises(ResolveError, match="CNAME loop"):
+            stub.lookup("x.example.com")
+
+    def test_overlong_chain_is_bounded(self):
+        # One link per zone so every hop dangles and must be re-queried.
+        zones = []
+        for i in range(MAX_CNAME_DEPTH + 3):
+            zone = Zone(f"z{i}.test")
+            zone.add_record(ResourceRecord(name(f"h.z{i}.test"), CNAME(name(f"h.z{i + 1}.test")), 300))
+            zones.append(zone)
+        last = Zone(f"z{MAX_CNAME_DEPTH + 3}.test")
+        last.add_address(
+            f"h.z{MAX_CNAME_DEPTH + 3}.test", A(parse_address("192.0.2.99"))
+        )
+        zones.append(last)
+        stub, _, _ = make_stub(*zones)
+        with pytest.raises(ResolveError, match="exceeds"):
+            stub.lookup("h.z0.test")
+
+
+class TestZoneLoopContainment:
+    def test_in_zone_loop_never_escapes_the_wire_path(self):
+        """An in-zone CNAME loop must yield a well-formed (empty) answer,
+        not an exception — pre-fix, ``ZoneError`` escaped ``handle_wire``
+        and would have taken a serve worker down with it."""
+        zone = Zone("example.com")
+        zone.add_record(ResourceRecord(name("l1.example.com"), CNAME(name("l2.example.com")), 300))
+        zone.add_record(ResourceRecord(name("l2.example.com"), CNAME(name("l1.example.com")), 300))
+        server = AuthoritativeServer(ZoneAnswerSource([zone]))
+        wire = server.handle_wire(
+            Message.query(7, "l1.example.com", RRType.A).encode(), CTX
+        )
+        assert wire is not None
+        response = Message.decode(wire)
+        # The partial chain is returned; the loop itself adds no addresses.
+        assert all(rr.rrtype == RRType.CNAME for rr in response.answers)
+
+    def test_stub_rejects_the_looped_chain(self):
+        zone = Zone("example.com")
+        zone.add_record(ResourceRecord(name("l1.example.com"), CNAME(name("l2.example.com")), 300))
+        zone.add_record(ResourceRecord(name("l2.example.com"), CNAME(name("l1.example.com")), 300))
+        stub, _, _ = make_stub(zone)
+        with pytest.raises(ResolveError, match="CNAME loop"):
+            stub.lookup("l1.example.com")
