@@ -1,0 +1,94 @@
+"""E20: live re-addressing — campaign-engine cost and drill timings.
+
+Claims checked:
+
+* running the full §4.2 staged shrink **while serving** costs almost
+  nothing: the drill's fetch throughput stays within a small factor of
+  the identical world running plain chaos (``drill_vs_soak``, the gated
+  dimensionless ratio — both arms run back to back on one machine);
+* drains complete inside the old TTL (p99 of per-connection drain
+  latency, simulated seconds);
+* a rollback is bounded: settle + ``max_holds`` re-checks, not an
+  open-ended bleed (``rollback_cost_s``, simulated seconds);
+* the whole drill is deterministic: same seed, byte-identical reports.
+"""
+
+import json
+import time
+
+from repro.campaign import default_readdressing_spec, run_readdressing
+from repro.chaos import Campaign, FaultSpec, run_campaign
+
+
+def _percentile(values: list[float], q: float) -> float:
+    if not values:
+        return 0.0
+    ordered = sorted(values)
+    idx = min(len(ordered) - 1, int(q * (len(ordered) - 1) + 0.999999))
+    return ordered[idx]
+
+
+def test_readdressing_drill_vs_soak(benchmark, save_table, save_bench):
+    spec = default_readdressing_spec()
+
+    # Arm 1: the drill — staged shrink + cadence change under traffic.
+    start = time.perf_counter()
+    drill = benchmark.pedantic(run_readdressing, args=(spec,),
+                               kwargs={"seed": 7}, rounds=1, iterations=1)
+    drill_elapsed = time.perf_counter() - start
+    assert drill.ok and drill.readdressing["state"] == "complete"
+
+    # Arm 2: the same world, same horizon, nothing changing — the cost
+    # baseline the engine's bookkeeping is judged against.
+    soak = Campaign(name="soak", seed=7, faults=(),
+                    overrides=dict(spec.overrides))
+    start = time.perf_counter()
+    plain = run_campaign(soak)
+    soak_elapsed = time.perf_counter() - start
+    assert plain.ok
+
+    drill_fps = len(drill.fetches) / drill_elapsed
+    soak_fps = len(plain.fetches) / soak_elapsed
+    steps = drill.readdressing["steps"]
+    drains = [lat for s in steps for lat in s.get("drain_latencies", [])]
+
+    # Arm 3: the rollback drill — how long a failed step bleeds before
+    # the world is restored (simulated seconds, so machine-independent).
+    outage = FaultSpec(when=42.0, kind="pop_outage", duration=15.0,
+                       params={"pop": "ashburn"})
+    rolled = run_readdressing(spec, seed=7, faults=(outage,))
+    assert rolled.readdressing["state"] == "rolled_back"
+    failed_step = rolled.readdressing["steps"][0]
+    rollback_cost = failed_step["completed_at"] - failed_step["started_at"]
+
+    lines = [
+        "E20 bench — live re-addressing drill vs plain soak (seed 7)",
+        f"  drill:  {len(drill.fetches)} fetches, {len(steps)} steps, "
+        f"availability {drill.availability:.4f}",
+        f"  soak:   {len(plain.fetches)} fetches, "
+        f"availability {plain.availability:.4f}",
+        f"  drill_vs_soak throughput ratio: {drill_fps / soak_fps:.3f}",
+        f"  drain p99 (sim s):              {_percentile(drains, 0.99):.3f}",
+        f"  rollback cost (sim s):          {rollback_cost:.1f}",
+    ]
+    save_table("readdressing", "\n".join(lines))
+    save_bench(
+        "readdressing",
+        drill_vs_soak=drill_fps / soak_fps,
+        drill_fetches_per_sec=drill_fps,
+        steps_per_sec=len(steps) / drill_elapsed,
+        drain_p99_s=_percentile(drains, 0.99),
+        drain_count=len(drains),
+        dropped_total=sum(len(s["dropped"]) for s in steps),
+        rollback_cost_s=rollback_cost,
+        availability=drill.availability,
+    )
+
+
+def test_readdressing_is_deterministic(benchmark):
+    spec = default_readdressing_spec()
+    a = run_readdressing(spec, seed=11)
+    b = run_readdressing(spec, seed=11)
+    assert (json.dumps(a.report(), sort_keys=True)
+            == json.dumps(b.report(), sort_keys=True))
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)

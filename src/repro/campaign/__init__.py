@@ -1,0 +1,38 @@
+"""Staged re-addressing campaigns: the §4.2/§6 timetable as a machine.
+
+A :class:`~repro.campaign.spec.ReaddressingSpec` is an ordered sequence
+of :class:`~repro.check.plan.RebindPlan` steps (pool shrinks, account
+migrations, re-randomization cadence changes) plus the gate tunables
+that decide when a step may advance.  The
+:class:`~repro.campaign.engine.CampaignEngine` executes the spec as a
+state machine on the simulated clock — pre-flight verifying each step
+symbolically, draining established connections off vacated space, and
+pausing → holding → rolling back when the world disagrees — while
+:func:`~repro.campaign.runner.run_readdressing` replays the whole drill
+inside the chaos world and judges it with the campaign invariants.
+"""
+
+from .engine import CampaignEngine, StepRecord
+from .runner import (
+    checkpoint_payload,
+    default_readdressing_spec,
+    migration_spec,
+    minimize_rollback_faults,
+    resume_readdressing,
+    run_readdressing,
+)
+from .spec import CampaignStep, GateConfig, ReaddressingSpec
+
+__all__ = [
+    "CampaignEngine",
+    "CampaignStep",
+    "GateConfig",
+    "ReaddressingSpec",
+    "StepRecord",
+    "checkpoint_payload",
+    "default_readdressing_spec",
+    "migration_spec",
+    "minimize_rollback_faults",
+    "resume_readdressing",
+    "run_readdressing",
+]

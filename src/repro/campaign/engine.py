@@ -1,0 +1,555 @@
+"""The campaign state machine: enact → drain → settle → gate → advance.
+
+One :class:`CampaignEngine` drives one
+:class:`~repro.campaign.spec.ReaddressingSpec` against a live world on
+the simulated clock.  Each step follows the §4.2 timetable:
+
+* **preflight** — the step's :class:`~repro.check.plan.RebindPlan` is
+  verified symbolically (SK102 blackhole / SK103 stranded-flow checks)
+  *before* anything mutates; an unsafe plan aborts the campaign.
+* **enact** — the agility controller applies the rebind.  The vacated
+  space stays announced: only the DNS-minted active set moved.
+* **drain** — established connections whose remote address sits in the
+  vacated space are tracked until they close on their own, or until the
+  propagation horizon (``enact + old TTL``) passes and the stragglers
+  are force-migrated with a clean close.  If the operator's
+  ``drain_timeout_s`` expires *first* (a mis-tuned gate), the remainder
+  is dropped — recorded so the ``no_dropped_established`` invariant can
+  convict the spec.  Once drained, server-side flows on the vacated
+  space are closed and any ``release`` prefixes are withdrawn.
+* **settle / gate** — traffic and health are judged over a settle
+  window: availability, monitor state, drops, ECMP coherence.  A
+  failing gate pauses the campaign (**hold**); after ``max_holds``
+  failed re-checks the step **rolls back** — withdrawn space is
+  re-announced and the rebind is compensated, restoring the
+  fingerprint the step started from.
+
+Everything the engine does is a pure function of (spec, seed, fault
+schedule): no wall clock, no unseeded randomness, worklists iterated in
+sorted order.  That is what makes checkpoint/resume a byte-identical
+replay.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+from ..check.plan import RebindPlan, verify_plan
+from ..sockets.socktable import SocketState
+
+__all__ = ["CampaignEngine", "StepRecord", "STATE_CODES"]
+
+#: Numeric encoding of engine states for the obs gauge.
+STATE_CODES = {
+    "idle": 0,
+    "draining": 1,
+    "settling": 2,
+    "holding": 3,
+    "complete": 4,
+    "rolled_back": 5,
+    "aborted": 6,
+}
+
+#: States from which the engine will not move again.
+TERMINAL_STATES = ("complete", "rolled_back", "aborted")
+
+
+@dataclass(slots=True)
+class StepRecord:
+    """What one campaign step did — the audit row in the JSON artifact."""
+
+    index: int
+    name: str
+    kind: str
+    started_at: float
+    enacted_at: float | None = None
+    horizon: float | None = None
+    completed_at: float | None = None
+    outcome: str = ""  # "" while live; advanced | rolled_back | aborted
+    holds: int = 0
+    gate_failures: list[str] = field(default_factory=list)
+    old_active: str | None = None
+    new_active: str | None = None
+    stranded_at_enact: int = 0
+    drained_completed: int = 0
+    drained_migrated: int = 0
+    drain_latencies: list[float] = field(default_factory=list)
+    #: (t, client asn, remote address) for every established connection
+    #: force-dropped by an expired drain timeout.  Non-empty means the
+    #: ``no_dropped_established`` invariant fires.
+    dropped: list[tuple[float, str, str]] = field(default_factory=list)
+    fingerprint_before: dict = field(default_factory=dict)
+    fingerprint_after: dict = field(default_factory=dict)
+
+    def to_dict(self) -> dict:
+        return {
+            "step": self.index,
+            "name": self.name,
+            "kind": self.kind,
+            "started_at": round(self.started_at, 3),
+            "enacted_at": _opt_round(self.enacted_at),
+            "horizon": _opt_round(self.horizon),
+            "completed_at": _opt_round(self.completed_at),
+            "outcome": self.outcome,
+            "holds": self.holds,
+            "gate_failures": list(self.gate_failures),
+            "old_active": self.old_active,
+            "new_active": self.new_active,
+            "stranded_at_enact": self.stranded_at_enact,
+            "drained_completed": self.drained_completed,
+            "drained_migrated": self.drained_migrated,
+            "drain_latencies": [round(v, 3) for v in self.drain_latencies],
+            "dropped": [[round(t, 3), asn, addr] for t, asn, addr in self.dropped],
+            "fingerprint_before": self.fingerprint_before,
+            "fingerprint_after": self.fingerprint_after,
+        }
+
+
+def _opt_round(value: float | None) -> float | None:
+    return None if value is None else round(value, 3)
+
+
+class CampaignEngine:
+    """Executes a ReaddressingSpec against a live (possibly chaotic) world.
+
+    Call :meth:`tick` once per simulated second and :meth:`note_traffic`
+    with that second's fetch tallies; the engine owns nothing else about
+    the event loop, so it composes with the chaos runner unchanged.
+    """
+
+    def __init__(self, spec, *, clock, cdn, engine, controller,
+                 clients=(), monitor=None, timeline=None, registry=None,
+                 tracer=None, service_ports=None):
+        self.spec = spec
+        self.clock = clock
+        self.cdn = cdn
+        self.engine = engine
+        self.controller = controller
+        self.clients = list(clients)
+        self.monitor = monitor
+        self.timeline = timeline
+        self.registry = registry
+        self.tracer = tracer
+        self.service_ports = service_ports
+        self._policy = engine.get(spec.policy)
+
+        self.state = "idle"
+        self.step_index = 0
+        self.records: list[StepRecord] = []
+        self.rollbacks = 0
+        self.total_holds = 0
+        #: Callables fed each drain latency (seconds from enactment to the
+        #: connection leaving vacated space) — obs histograms hook in here,
+        #: the same observer-append pattern as ``watch_speakers``.
+        self.drain_observers: list = []
+
+        self._traffic: list[tuple[float, int, int]] = []
+        self._gate_window_start = 0.0
+        self._settle_until = 0.0
+        self._hold_until = 0.0
+        self._drain_deadline = 0.0
+        #: conn_id → (client asn, connection) for established flows still
+        #: occupying vacated space.  Re-scanned every drain tick: TTL-stale
+        #: resolver answers keep minting the old space, so new arrivals
+        #: join the worklist until the horizon closes it.
+        self._tracked: dict[int, tuple[str, object]] = {}
+        self._step_pool = None
+        self._old_space = None
+        self._new_space = None
+        self._withdrawn: list = []
+        self._compensate = None
+        self._current: StepRecord | None = None
+
+    # -- event-loop surface ---------------------------------------------------
+
+    @property
+    def done(self) -> bool:
+        return self.state in TERMINAL_STATES
+
+    def note_traffic(self, successes: int, failures: int) -> None:
+        """Record one tick's fetch tallies; the gate judges availability
+        over the settle/hold window from these."""
+        self._traffic.append((self.clock.now(), successes, failures))
+
+    def tick(self) -> None:
+        if self.done:
+            return
+        now = self.clock.now()
+        if self.state == "idle":
+            if now >= self.spec.start_at:
+                self._begin_step(now)
+        elif self.state == "draining":
+            self._tick_drain(now)
+        elif self.state == "settling":
+            if now >= self._settle_until:
+                self._judge_gate(now)
+        elif self.state == "holding":
+            if now >= self._hold_until:
+                self._judge_gate(now)
+
+    # -- step lifecycle -------------------------------------------------------
+
+    def _begin_step(self, now: float) -> None:
+        step = self.spec.steps[self.step_index]
+        rec = StepRecord(index=step.step, name=step.name,
+                         kind=step.kind, started_at=now)
+        self.records.append(rec)
+        self._current = rec
+        self._step_pool = self._policy.pool
+        self._withdrawn = []
+        rec.fingerprint_before = self._fingerprint(self._step_pool)
+        detail = step.plan.describe() if step.plan else f"ttl={step.ttl}"
+        self._emit(now, "campaign_step", f"{self.spec.name}/{step.name}", detail)
+
+        if step.plan is None:
+            self._enact_cadence(now, rec, step.ttl)
+            return
+
+        # Preflight with ``release`` stripped: the enactment itself keeps
+        # the vacated space announced and serving until the drain finishes,
+        # so live flows there are the drain's job, not a symbolic ERROR.
+        preflight = replace(step.plan, release=())
+        try:
+            diff = verify_plan(preflight, self.cdn, self.engine,
+                               service_ports=self.service_ports,
+                               timeline=self.timeline, clock=self.clock,
+                               registry=self.registry)
+        except (KeyError, ValueError) as exc:
+            self._abort(now, f"preflight rejected: {exc}")
+            return
+        if not diff.ok:
+            why = "; ".join(f.message for f in diff.report.errors)
+            self._abort(now, f"preflight unsafe: {why}")
+            return
+
+        self._enact_plan(now, rec, step.plan)
+
+    def _enact_cadence(self, now: float, rec: StepRecord, ttl: int) -> None:
+        old_ttl = self._policy.ttl
+        op = self.controller.set_ttl(self.spec.policy, ttl)
+        rec.old_active = f"ttl={old_ttl}"
+        rec.new_active = f"ttl={ttl}"
+        rec.enacted_at = now
+        rec.horizon = op.propagation_horizon
+        policy_name = self.spec.policy
+        self._compensate = lambda: self.controller.set_ttl(policy_name, old_ttl)
+        # Nothing to drain: cached bindings simply age out on the old TTL.
+        self._enter_settle(now)
+
+    def _enact_plan(self, now: float, rec: StepRecord, plan: RebindPlan) -> None:
+        pool = self._policy.pool
+        if plan.kind == "shrink":
+            old_active = pool.active_prefix
+            self._old_space = old_active if old_active is not None else pool.advertised
+            self._new_space = plan.active
+            op = self.controller.set_active(self.spec.policy, plan.active)
+            restored, step_pool = self._old_space, pool
+            policy_name = self.spec.policy
+
+            def compensate():
+                # If the health monitor failed the policy over to another
+                # pool mid-step, its mitigation outranks the campaign: fix
+                # the old pool's active set in place, don't clobber the
+                # live policy.
+                if self._policy.pool is step_pool:
+                    self.controller.set_active(policy_name, restored)
+                else:
+                    step_pool.set_active(restored)
+        else:  # failover | migrate: the whole pool moves
+            self._old_space = pool.advertised
+            self._new_space = plan.pool.advertised
+            op = self.controller.swap_pool(self.spec.policy, plan.pool)
+            old_pool, new_pool = pool, plan.pool
+            policy_name = self.spec.policy
+
+            def compensate():
+                if self._policy.pool is new_pool:
+                    self.controller.swap_pool(policy_name, old_pool)
+
+        self._compensate = compensate
+        rec.old_active = str(self._old_space)
+        rec.new_active = str(self._new_space)
+        rec.enacted_at = now
+        rec.horizon = op.propagation_horizon
+        self._tracked = {}
+        self._scan_connections()
+        rec.stranded_at_enact = len(self._tracked)
+        self._drain_deadline = now + self.spec.gate.drain_timeout_s
+        self.state = "draining"
+
+    # -- draining -------------------------------------------------------------
+
+    def _vacated(self, address) -> bool:
+        return address in self._old_space and address not in self._new_space
+
+    def _scan_connections(self) -> None:
+        for asn, client in self.clients:
+            for conn in client.open_connections():
+                if conn.conn_id in self._tracked:
+                    continue
+                if self._vacated(conn.remote_addr):
+                    self._tracked[conn.conn_id] = (asn, conn)
+
+    def _tick_drain(self, now: float) -> None:
+        rec = self._current
+        self._scan_connections()
+        for conn_id in sorted(self._tracked):
+            asn, conn = self._tracked[conn_id]
+            if conn.closed:
+                del self._tracked[conn_id]
+                rec.drained_completed += 1
+                self._observe_drain(rec, now - rec.enacted_at)
+        if now >= rec.horizon:
+            # Past the horizon no resolver cache mints the vacated space;
+            # the stragglers are migrated with a clean close (the client
+            # redials onto fresh space on its next request).
+            for conn_id in sorted(self._tracked):
+                asn, conn = self._tracked.pop(conn_id)
+                conn.close()
+                rec.drained_migrated += 1
+                self._observe_drain(rec, now - rec.enacted_at)
+            self._finish_drain(now)
+        elif now >= self._drain_deadline:
+            # The operator's patience expired before the TTL did — a
+            # mis-tuned gate.  The remainder is *dropped*, and each drop
+            # is evidence for the no_dropped_established invariant.
+            for conn_id in sorted(self._tracked):
+                asn, conn = self._tracked.pop(conn_id)
+                conn.close()
+                rec.dropped.append((now, asn, str(conn.remote_addr)))
+                self._emit(now, "established_dropped", asn,
+                           f"{conn.remote_addr} (drain timeout before horizon)")
+            self._finish_drain(now)
+
+    def _finish_drain(self, now: float) -> None:
+        rec = self._current
+        closed = self._close_server_flows()
+        step = self.spec.steps[self.step_index]
+        release = step.plan.release if step.plan is not None else ()
+        if release:
+            self._withdrawn = self._withdraw_releases(release, now)
+        self._emit(now, "campaign_drained", f"{self.spec.name}/{rec.name}",
+                   f"completed={rec.drained_completed} "
+                   f"migrated={rec.drained_migrated} "
+                   f"dropped={len(rec.dropped)} server_flows_closed={closed}")
+        self._enter_settle(now)
+
+    def _close_server_flows(self) -> int:
+        """Close every server-side CONNECTED socket bound in vacated space.
+
+        Server sockets spawned by ``establish()`` are never closed in
+        normal operation; sweeping them once the client side has drained
+        is what makes a subsequent release-withdrawal SK103-clean.
+        """
+        closed = 0
+        for dc_name in sorted(self.cdn.datacenters):
+            dc = self.cdn.datacenters[dc_name]
+            for server_name in sorted(dc.servers):
+                server = dc.servers[server_name]
+                for sock in list(server.table.sockets()):
+                    if (sock.state is SocketState.CONNECTED
+                            and sock.local_addr is not None
+                            and self._vacated(sock.local_addr)):
+                        server.table.close(sock)
+                        closed += 1
+        return closed
+
+    def _withdraw_releases(self, release, now: float) -> list:
+        withdrawn = []
+        announced = self.cdn.network.announced_prefixes()
+        for prefix in sorted(announced, key=str):
+            if not any(prefix in r for r in release):
+                continue
+            pops = sorted(announced[prefix])
+            for pop in pops:
+                self.cdn.network.withdraw_from(prefix, pop)
+            withdrawn.append((prefix, pops))
+            self._emit(now, "release_withdrawn", str(prefix),
+                       f"from {', '.join(pops)}")
+        return withdrawn
+
+    # -- gate / hold / rollback ----------------------------------------------
+
+    def _enter_settle(self, now: float) -> None:
+        self.state = "settling"
+        self._gate_window_start = now
+        self._settle_until = now + self.spec.gate.settle_s
+
+    def _judge_gate(self, now: float) -> None:
+        rec = self._current
+        why = self._gate_verdict()
+        if why is None:
+            self._advance(now)
+            return
+        rec.gate_failures.append(why)
+        if rec.holds >= self.spec.gate.max_holds:
+            self._rollback(now, why)
+        else:
+            self._hold(now, why)
+
+    def _gate_verdict(self) -> str | None:
+        """None when the step may advance, else the reason it may not."""
+        rec = self._current
+        if rec.dropped:
+            return (f"{len(rec.dropped)} established connection(s) dropped "
+                    "during drain")
+        if self.monitor is not None:
+            if self.monitor.failed_over:
+                return "health monitor failed the policy over to standby"
+            if self.monitor.consecutive_failures > 0:
+                return (f"probe round failing "
+                        f"({self.monitor.consecutive_failures} consecutive)")
+        window = [(s, f) for t, s, f in self._traffic
+                  if t >= self._gate_window_start]
+        total = sum(s + f for s, f in window)
+        if total:
+            availability = sum(s for s, _ in window) / total
+            if availability < self.spec.gate.min_availability:
+                return (f"availability {availability:.3f} below gate "
+                        f"{self.spec.gate.min_availability:.3f}")
+        for dc_name in sorted(self.cdn.datacenters):
+            stats = self.cdn.datacenters[dc_name].ecmp.stats
+            if stats.routed != sum(stats.per_server.values()):
+                return f"ECMP accounting incoherent at {dc_name}"
+        return None
+
+    def _hold(self, now: float, why: str) -> None:
+        rec = self._current
+        rec.holds += 1
+        self.total_holds += 1
+        self._emit(now, "campaign_hold", f"{self.spec.name}/{rec.name}",
+                   f"hold {rec.holds}/{self.spec.gate.max_holds}: {why}")
+        self.state = "holding"
+        # The re-check judges traffic served *during* the hold, not the
+        # window that already failed.
+        self._gate_window_start = now
+        self._hold_until = now + self.spec.gate.hold_s
+
+    def _advance(self, now: float) -> None:
+        rec = self._current
+        rec.outcome = "advanced"
+        rec.completed_at = now
+        rec.fingerprint_after = self._fingerprint(self._policy.pool)
+        self._span(rec, now, "advanced")
+        self._emit(now, "campaign_advanced", f"{self.spec.name}/{rec.name}",
+                   f"{rec.old_active} -> {rec.new_active}")
+        self._compensate = None
+        self._current = None
+        self.step_index += 1
+        if self.step_index >= len(self.spec.steps):
+            self.state = "complete"
+            self._emit(now, "campaign_complete", self.spec.name,
+                       f"{len(self.spec.steps)} step(s), "
+                       f"{self.total_holds} hold(s)")
+        else:
+            self.state = "idle"
+
+    def _rollback(self, now: float, why: str) -> None:
+        rec = self._current
+        # Re-announce withdrawn space *before* re-binding onto it, so no
+        # DNS answer ever points at an unrouted prefix (SK102 in reverse).
+        for prefix, pops in self._withdrawn:
+            self.cdn.network.announce_from(prefix, pops)
+            self._emit(now, "release_reannounced", str(prefix),
+                       f"to {', '.join(pops)}")
+        self._withdrawn = []
+        if self._compensate is not None:
+            self._compensate()
+            self._compensate = None
+        rec.outcome = "rolled_back"
+        rec.completed_at = now
+        rec.fingerprint_after = self._fingerprint(self._step_pool)
+        self.rollbacks += 1
+        self._span(rec, now, "rolled back")
+        self._emit(now, "campaign_rollback", f"{self.spec.name}/{rec.name}", why)
+        self.state = "rolled_back"
+
+    def _abort(self, now: float, why: str) -> None:
+        rec = self._current
+        rec.outcome = "aborted"
+        rec.completed_at = now
+        rec.fingerprint_after = self._fingerprint(self._step_pool)
+        self._emit(now, "campaign_aborted", f"{self.spec.name}/{rec.name}", why)
+        self.state = "aborted"
+
+    # -- evidence -------------------------------------------------------------
+
+    def _fingerprint(self, pool) -> dict:
+        """The campaign-scope world state a rollback must restore:
+        policy binding, pool shape, and the announcements overlapping it."""
+        active = pool.active_prefix
+        if active is not None:
+            active_repr = str(active)
+        else:
+            active_repr = sorted(str(a) for a in pool.active_addresses() or ())
+        announced = self.cdn.network.announced_prefixes()
+        return {
+            "policy": self.spec.policy,
+            "ttl": self._policy.ttl,
+            "pool": pool.name,
+            "advertised": str(pool.advertised),
+            "active": active_repr,
+            "announced": {
+                str(prefix): sorted(announced[prefix])
+                for prefix in sorted(announced, key=str)
+                if prefix.overlaps(pool.advertised)
+            },
+        }
+
+    def _observe_drain(self, rec: StepRecord, latency: float) -> None:
+        rec.drain_latencies.append(latency)
+        for observe in self.drain_observers:
+            observe(latency)
+
+    def _span(self, rec: StepRecord, now: float, outcome: str) -> None:
+        if self.tracer is None:
+            return
+        trace = self.tracer.next_trace_id(f"campaign:{self.spec.name}")
+        self.tracer.record(trace, f"step:{rec.name}", rec.started_at, now,
+                           outcome)
+
+    def _emit(self, at: float, kind: str, target: str, detail: str = "") -> None:
+        if self.timeline is not None:
+            self.timeline.emit(at, kind, target, detail, phase="campaign")
+
+    # -- reporting ------------------------------------------------------------
+
+    def status(self) -> dict:
+        """Numbers-only snapshot for the obs collector."""
+        return {
+            "state": STATE_CODES[self.state],
+            "step": self.step_index,
+            "steps_total": len(self.spec.steps),
+            "holds": self.total_holds,
+            "rollbacks": self.rollbacks,
+            "draining": len(self._tracked),
+            "dropped": sum(len(r.dropped) for r in self.records),
+            "drained_completed": sum(r.drained_completed for r in self.records),
+            "drained_migrated": sum(r.drained_migrated for r in self.records),
+        }
+
+    def report(self) -> dict:
+        """The campaign section of the run artifact (JSON-stable)."""
+        return {
+            "name": self.spec.name,
+            "policy": self.spec.policy,
+            "state": self.state,
+            "steps_completed": sum(1 for r in self.records
+                                   if r.outcome == "advanced"),
+            "holds": self.total_holds,
+            "rollbacks": self.rollbacks,
+            "steps": [r.to_dict() for r in self.records],
+        }
+
+    def checkpoint(self, seed: int, faults=()) -> dict:
+        """A self-contained resume artifact: everything that determines
+        the run.  Resuming is a byte-identical replay from these inputs."""
+        return {
+            "kind": "readdressing-checkpoint",
+            "spec": self.spec.to_dict(),
+            "seed": seed,
+            "faults": [f.to_dict() for f in faults],
+            "state": self.state,
+            "steps_completed": sum(1 for r in self.records
+                                   if r.outcome == "advanced"),
+        }

@@ -1,0 +1,172 @@
+"""Run a re-addressing campaign inside the chaos world and judge it.
+
+This is a thin composition over :func:`repro.chaos.runner.run_campaign`:
+the same per-tick loop (capacity windows → injections → monitor → one
+fetch per client) with a :class:`~repro.campaign.engine.CampaignEngine`
+ticked in between and fed the traffic tallies the gate judges.  The
+chaos-layer determinism contract carries over unchanged — a drill is a
+pure function of (spec, seed, fault schedule), so the checkpoint
+artifact :func:`resume_readdressing` replays is byte-identical evidence,
+not a best-effort restart.
+"""
+
+from __future__ import annotations
+
+from ..chaos.generator import Campaign, FaultSpec
+from ..chaos.runner import CampaignResult, run_campaign
+from ..chaos.world import ChaosConfig, build_world
+from ..check.plan import RebindPlan
+from ..netsim.addr import parse_prefix
+from ..obs.adapters import watch_campaign
+from .engine import CampaignEngine
+from .spec import CampaignStep, ReaddressingSpec
+
+__all__ = [
+    "default_readdressing_spec",
+    "run_readdressing",
+    "resume_readdressing",
+    "minimize_rollback_faults",
+]
+
+
+def default_readdressing_spec(policy: str = "svc") -> ReaddressingSpec:
+    """The E20 drill: §4.2's staged shrink, /20 → /24 → /32, then the
+    §5.2 cadence change — against the chaos world re-homed on a /20."""
+    return ReaddressingSpec(
+        name="shrink-20-24-32",
+        policy=policy,
+        overrides={"horizon": 240.0, "primary_prefix": "192.0.0.0/20"},
+        start_at=20.0,
+        steps=(
+            CampaignStep(0, "shrink-to-24", plan=RebindPlan(
+                kind="shrink", policy=policy,
+                active=parse_prefix("192.0.2.0/24"),
+            )),
+            CampaignStep(1, "shrink-to-32", plan=RebindPlan(
+                kind="shrink", policy=policy,
+                active=parse_prefix("192.0.2.1/32"),
+            )),
+            CampaignStep(2, "halve-cadence", ttl=10),
+        ),
+    )
+
+
+def migration_spec(policy: str = "svc") -> ReaddressingSpec:
+    """A per-account migration drill: the policy's pool moves wholesale to
+    a sibling block inside the same announced /20 (the paper's
+    account-to-address remapping at pool granularity), draining the old
+    block's established flows on the way."""
+    from ..core.pool import AddressPool
+
+    return ReaddressingSpec(
+        name="migrate-accounts",
+        policy=policy,
+        overrides={"horizon": 120.0, "primary_prefix": "192.0.0.0/20"},
+        start_at=15.0,
+        steps=(
+            CampaignStep(0, "move-to-sibling-24", plan=RebindPlan(
+                kind="migrate", policy=policy,
+                pool=AddressPool(parse_prefix("192.0.4.0/24"),
+                                 name="accounts-b"),
+            )),
+        ),
+    )
+
+
+def run_readdressing(
+    spec: ReaddressingSpec,
+    seed: int = 7,
+    *,
+    faults: tuple[FaultSpec, ...] = (),
+    base_config: ChaosConfig | None = None,
+) -> CampaignResult:
+    """Deterministically run ``spec`` under ``faults`` and judge every
+    invariant (the chaos nine plus the three campaign ones)."""
+    campaign = Campaign(
+        name=spec.name,
+        seed=seed,
+        faults=tuple(faults),
+        overrides=dict(spec.overrides),
+    )
+    config = (base_config or ChaosConfig()).apply(campaign.overrides)
+    world = build_world(config, seed)
+    engine = CampaignEngine(
+        spec,
+        clock=world.clock,
+        cdn=world.cdn,
+        engine=world.engine,
+        controller=world.controller,
+        clients=world.clients,
+        monitor=world.monitor,
+        timeline=world.timeline,
+        registry=world.registry,
+        service_ports=(443,),
+    )
+    watch_campaign(world.registry, "campaign", engine)
+    return run_campaign(campaign, world=world, campaign_engine=engine)
+
+
+def checkpoint_payload(
+    spec: ReaddressingSpec, seed: int, faults: tuple[FaultSpec, ...] = (),
+    *, result: CampaignResult | None = None,
+) -> dict:
+    """The resume artifact: every input that determines the run, plus —
+    when a (possibly interrupted) result is at hand — where it got to."""
+    payload = {
+        "kind": "readdressing-checkpoint",
+        "spec": spec.to_dict(),
+        "seed": seed,
+        "faults": [f.to_dict() for f in faults],
+    }
+    if result is not None and result.readdressing is not None:
+        payload["state"] = result.readdressing["state"]
+        payload["steps_completed"] = result.readdressing["steps_completed"]
+    return payload
+
+
+def resume_readdressing(
+    payload: dict, *, base_config: ChaosConfig | None = None,
+) -> CampaignResult:
+    """Replay a checkpoint artifact.
+
+    Resume *is* replay: the artifact pins spec, seed, and fault schedule,
+    and the whole stack is deterministic in those inputs, so the resumed
+    run reproduces the interrupted one byte-for-byte up to wherever it
+    stopped — and then keeps going to the horizon.
+    """
+    if payload.get("kind") != "readdressing-checkpoint":
+        raise ValueError(
+            f"not a readdressing checkpoint: kind={payload.get('kind')!r}"
+        )
+    spec = ReaddressingSpec.from_dict(payload["spec"])
+    faults = tuple(FaultSpec.from_dict(f) for f in payload.get("faults", []))
+    return run_readdressing(
+        spec, int(payload["seed"]), faults=faults, base_config=base_config,
+    )
+
+
+def minimize_rollback_faults(
+    campaign: Campaign,
+    spec: ReaddressingSpec | None = None,
+    base_config: ChaosConfig | None = None,
+) -> Campaign:
+    """ddmin a fault schedule down to the minimal subset that still makes
+    the campaign roll back — the re-addressing analogue of
+    :func:`repro.chaos.minimizer.minimize_campaign`."""
+    from ..chaos.minimizer import ddmin
+
+    spec = spec if spec is not None else default_readdressing_spec()
+
+    def rolls_back(faults) -> bool:
+        result = run_readdressing(
+            spec, campaign.seed, faults=tuple(faults), base_config=base_config,
+        )
+        return result.readdressing["state"] == "rolled_back"
+
+    if not rolls_back(campaign.faults):
+        raise ValueError(
+            f"campaign {campaign.name!r} does not roll back under its own "
+            f"fault schedule — nothing to minimize"
+        )
+    minimal = ddmin(list(campaign.faults), rolls_back)
+    return campaign.with_faults(tuple(minimal))

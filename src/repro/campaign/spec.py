@@ -1,0 +1,208 @@
+"""Campaign specs: ordered rebind steps plus gate tunables, as JSON.
+
+A spec is pure data — the same discipline as
+:class:`~repro.chaos.generator.Campaign`: everything needed to replay a
+drill byte-deterministically lives in the artifact, and importing one
+re-validates it (malformed or out-of-order steps are rejected at load
+time, mirroring :class:`~repro.faults.events.FaultTimeline`'s
+append-in-order rule).
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field, replace
+
+from ..check.plan import RebindPlan
+
+__all__ = ["GateConfig", "CampaignStep", "ReaddressingSpec"]
+
+#: Step kinds a campaign understands: the three RebindPlan kinds plus a
+#: TTL change (re-randomization cadence, the §5.2 knob).
+STEP_KINDS = ("shrink", "failover", "migrate", "cadence")
+
+
+@dataclass(frozen=True, slots=True)
+class GateConfig:
+    """When a step may advance — and how patient the campaign is.
+
+    ``min_availability`` is judged over the settle window that follows a
+    completed drain; ``hold_s``/``max_holds`` bound how long a failing
+    gate pauses the campaign before it rolls the step back;
+    ``drain_timeout_s`` is the operator's patience with established
+    connections — expiring it force-releases the space and *drops* the
+    remainder, which the ``no_dropped_established`` invariant treats as
+    the violation it is (the well-tuned value exceeds the policy TTL, so
+    the drain horizon always arrives first).
+    """
+
+    min_availability: float = 0.90
+    settle_s: float = 10.0
+    hold_s: float = 10.0
+    max_holds: int = 2
+    drain_timeout_s: float = 60.0
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.min_availability <= 1.0:
+            raise ValueError("min_availability must be in [0, 1]")
+        if self.settle_s < 0 or self.hold_s < 0 or self.drain_timeout_s <= 0:
+            raise ValueError("gate windows must be non-negative "
+                             "(drain_timeout_s strictly positive)")
+        if self.max_holds < 0:
+            raise ValueError("max_holds must be non-negative")
+
+    def to_dict(self) -> dict:
+        return {
+            "min_availability": self.min_availability,
+            "settle_s": self.settle_s,
+            "hold_s": self.hold_s,
+            "max_holds": self.max_holds,
+            "drain_timeout_s": self.drain_timeout_s,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "GateConfig":
+        if not isinstance(payload, dict):
+            raise ValueError("gate must be a JSON object")
+        unknown = set(payload) - {
+            "min_availability", "settle_s", "hold_s", "max_holds",
+            "drain_timeout_s",
+        }
+        if unknown:
+            raise ValueError(f"unknown gate field(s): {sorted(unknown)}")
+        return cls(**payload)
+
+
+@dataclass(frozen=True, slots=True)
+class CampaignStep:
+    """One stage of a campaign: a rebind plan, or a cadence change.
+
+    ``step`` is the explicit position in the campaign — carried in the
+    JSON artifact so a reordered or truncated import is detectable, the
+    way a :class:`~repro.faults.events.FaultTimeline` rejects events
+    appended out of time order.
+    """
+
+    step: int
+    name: str
+    plan: RebindPlan | None = None
+    ttl: int | None = None
+
+    def __post_init__(self) -> None:
+        if self.step < 0:
+            raise ValueError(f"step index must be non-negative, got {self.step}")
+        if (self.plan is None) == (self.ttl is None):
+            raise ValueError(
+                f"step {self.step} ({self.name!r}) needs exactly one of "
+                "'plan' or 'ttl'"
+            )
+        if self.ttl is not None and self.ttl < 0:
+            raise ValueError(f"step {self.step}: TTL must be non-negative")
+
+    @property
+    def kind(self) -> str:
+        return self.plan.kind if self.plan is not None else "cadence"
+
+    def to_dict(self) -> dict:
+        payload: dict = {"step": self.step, "name": self.name}
+        if self.plan is not None:
+            payload["plan"] = self.plan.to_dict()
+        else:
+            payload["ttl"] = self.ttl
+        return payload
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "CampaignStep":
+        if not isinstance(payload, dict):
+            raise ValueError("step must be a JSON object")
+        if "step" not in payload or "name" not in payload:
+            raise ValueError("step needs 'step' (index) and 'name' fields")
+        plan_spec = payload.get("plan")
+        return cls(
+            step=int(payload["step"]),
+            name=str(payload["name"]),
+            plan=RebindPlan.from_dict(plan_spec) if plan_spec is not None else None,
+            ttl=payload.get("ttl"),
+        )
+
+
+@dataclass(frozen=True, slots=True)
+class ReaddressingSpec:
+    """A whole campaign: named, ordered steps against one policy."""
+
+    name: str
+    steps: tuple[CampaignStep, ...]
+    policy: str = "svc"
+    gate: GateConfig = field(default_factory=GateConfig)
+    #: ChaosConfig overrides the drill needs from its world — e.g. the
+    #: /20 shrink spec pins ``primary_prefix`` to the /20 it shrinks.
+    #: Same role as :class:`~repro.chaos.generator.Campaign.overrides`.
+    overrides: dict = field(default_factory=dict)
+    #: Simulated seconds of warmup before step 0 begins: caches fill and
+    #: connection pools form on the pre-campaign addressing, so the first
+    #: shrink actually has established flows to drain.
+    start_at: float = 0.0
+
+    def __post_init__(self) -> None:
+        if not self.steps:
+            raise ValueError("a campaign needs at least one step")
+        for position, step in enumerate(self.steps):
+            if step.step != position:
+                raise ValueError(
+                    f"steps must be imported in order (expected step "
+                    f"{position}, got step {step.step} at position {position})"
+                )
+
+    def with_gate(self, **overrides) -> "ReaddressingSpec":
+        return replace(self, gate=replace(self.gate, **overrides))
+
+    def truncated(self, completed: int) -> "ReaddressingSpec":
+        """The spec minus its first ``completed`` steps, re-indexed — the
+        resume artifact's view of the remaining work."""
+        remaining = tuple(
+            replace(step, step=i)
+            for i, step in enumerate(self.steps[completed:])
+        )
+        return replace(self, steps=remaining)
+
+    def to_dict(self) -> dict:
+        payload = {
+            "name": self.name,
+            "policy": self.policy,
+            "start_at": self.start_at,
+            "gate": self.gate.to_dict(),
+            "steps": [step.to_dict() for step in self.steps],
+        }
+        if self.overrides:
+            payload["overrides"] = {k: self.overrides[k]
+                                    for k in sorted(self.overrides)}
+        return payload
+
+    def to_json(self, indent: int | None = 2) -> str:
+        return json.dumps(self.to_dict(), indent=indent)
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "ReaddressingSpec":
+        if not isinstance(payload, dict):
+            raise ValueError("spec must be a JSON object")
+        if "name" not in payload or "steps" not in payload:
+            raise ValueError("spec needs 'name' and 'steps' fields")
+        steps = payload["steps"]
+        if not isinstance(steps, list):
+            raise ValueError("'steps' must be a list")
+        gate = payload.get("gate")
+        overrides = payload.get("overrides", {})
+        if not isinstance(overrides, dict):
+            raise ValueError("'overrides' must be a JSON object")
+        return cls(
+            name=str(payload["name"]),
+            steps=tuple(CampaignStep.from_dict(s) for s in steps),
+            policy=str(payload.get("policy", "svc")),
+            gate=GateConfig.from_dict(gate) if gate is not None else GateConfig(),
+            overrides=overrides,
+            start_at=float(payload.get("start_at", 0.0)),
+        )
+
+    @classmethod
+    def from_json(cls, text: str) -> "ReaddressingSpec":
+        return cls.from_dict(json.loads(text))

@@ -55,6 +55,18 @@ instant it first held.  Registered checkers (run in sorted-name order):
     phase ``"check"``): a ``failover_triggered`` with no ``plan_verified``
     on record — or following a ``plan_unsafe`` — means the monitor
     rebound the policy onto space it could not prove reachable.
+``no_dropped_established``
+    Re-addressing runs only: a staged campaign may complete or migrate
+    an established connection off vacated space, never drop one.  Every
+    drain-timeout drop the engine recorded is a violation.
+``stale_binding_bound``
+    Re-addressing runs only: per advanced step, once the step's
+    propagation horizon (enactment + the old TTL) plus grace has
+    passed, no fresh dial may land in the space the step vacated.
+``rollback_restores``
+    Re-addressing runs only: a rolled-back step must leave the world at
+    the campaign-scope fingerprint (policy binding, pool shape,
+    overlapping announcements) it started from.
 """
 
 from __future__ import annotations
@@ -63,7 +75,7 @@ from collections.abc import Callable
 from dataclasses import dataclass
 from typing import TYPE_CHECKING
 
-from .world import PRIMARY_PREFIX
+from ..netsim.addr import parse_prefix
 
 if TYPE_CHECKING:
     from .generator import Campaign
@@ -159,14 +171,15 @@ def _check_stale_binding(result: "CampaignResult") -> list[Violation]:
     failover = result.timeline.first("failover_triggered")
     if failover is None:
         return []
+    primary = parse_prefix(result.config.primary_prefix)
     boundary = failover.at + result.config.ttl + result.config.grace_s
     for fetch in result.fetches:
         if not fetch.ok or fetch.coalesced or fetch.t <= boundary:
             continue
-        if fetch.address is not None and fetch.address in PRIMARY_PREFIX:
+        if fetch.address is not None and fetch.address in primary:
             return [Violation(
                 "stale_binding", fetch.t,
-                f"fresh dial to {fetch.address} (old pool {PRIMARY_PREFIX}) "
+                f"fresh dial to {fetch.address} (old pool {primary}) "
                 f"{fetch.t - failover.at:.0f}s after failover — past "
                 f"TTL {result.config.ttl}s + grace",
             )]
@@ -329,6 +342,81 @@ def _check_plan_safety(result: "CampaignResult") -> list[Violation]:
     return violations
 
 
+# -- re-addressing campaign checkers -------------------------------------------
+#
+# These three judge a staged re-addressing drill (``result.readdressing``
+# is the :meth:`~repro.campaign.engine.CampaignEngine.report` dict) and
+# are no-ops on plain chaos runs.
+
+
+def _check_no_dropped_established(result: "CampaignResult") -> list[Violation]:
+    campaign = getattr(result, "readdressing", None)
+    if not campaign:
+        return []
+    violations = []
+    for step in campaign["steps"]:
+        for t, client, address in step["dropped"]:
+            violations.append(Violation(
+                "no_dropped_established", t,
+                f"step {step['name']!r}: established connection of {client} "
+                f"to {address} dropped by the drain timeout — zero-downtime "
+                f"means completed or migrated, never dropped",
+            ))
+    return violations
+
+
+def _check_stale_binding_bound(result: "CampaignResult") -> list[Violation]:
+    campaign = getattr(result, "readdressing", None)
+    if not campaign:
+        return []
+    violations = []
+    for step in campaign["steps"]:
+        if step["outcome"] != "advanced" or step["kind"] == "cadence":
+            continue
+        old_space = parse_prefix(step["old_active"])
+        new_space = parse_prefix(step["new_active"])
+        # The step's propagation horizon is enactment + the old TTL: past
+        # it (+ measurement grace) no resolver cache may mint the vacated
+        # space, so a fresh dial landing there is a stale binding.
+        boundary = step["horizon"] + result.config.grace_s
+        for fetch in result.fetches:
+            if (not fetch.ok or fetch.coalesced or fetch.address is None
+                    or fetch.t <= boundary):
+                continue
+            if fetch.address in old_space and fetch.address not in new_space:
+                violations.append(Violation(
+                    "stale_binding_bound", fetch.t,
+                    f"step {step['name']!r}: fresh dial by {fetch.client} to "
+                    f"{fetch.address} in vacated space {step['old_active']} "
+                    f"at t={fetch.t:g}, past the horizon+grace boundary "
+                    f"t={boundary:g}",
+                ))
+                break  # one exhibit per step
+    return violations
+
+
+def _check_rollback_restores(result: "CampaignResult") -> list[Violation]:
+    campaign = getattr(result, "readdressing", None)
+    if not campaign:
+        return []
+    violations = []
+    for step in campaign["steps"]:
+        if step["outcome"] != "rolled_back":
+            continue
+        before, after = step["fingerprint_before"], step["fingerprint_after"]
+        if before != after:
+            drifted = sorted(
+                k for k in set(before) | set(after)
+                if before.get(k) != after.get(k)
+            )
+            violations.append(Violation(
+                "rollback_restores", step["completed_at"],
+                f"step {step['name']!r} rolled back but did not restore the "
+                f"world it started from (drifted: {', '.join(drifted)})",
+            ))
+    return violations
+
+
 INVARIANTS: dict[str, Callable[["CampaignResult"], list[Violation]]] = {
     "availability": _check_availability,
     "recovery": _check_recovery,
@@ -339,6 +427,9 @@ INVARIANTS: dict[str, Callable[["CampaignResult"], list[Violation]]] = {
     "convergence_window": _check_convergence_window,
     "leak_containment": _check_leak_containment,
     "plan_safety": _check_plan_safety,
+    "no_dropped_established": _check_no_dropped_established,
+    "stale_binding_bound": _check_stale_binding_bound,
+    "rollback_restores": _check_rollback_restores,
 }
 
 

@@ -82,6 +82,10 @@ class CampaignResult:
     bgp: dict = field(default_factory=dict)      # ConvergenceTracker snapshot
     oracle_checked: bool = False
     oracle_mismatches: tuple = ()
+    #: Re-addressing drills: the CampaignEngine's report dict.  ``None``
+    #: on plain chaos runs (keeps their reports byte-identical and makes
+    #: the campaign invariants no-ops).
+    readdressing: dict | None = None
 
     @property
     def ok(self) -> bool:
@@ -146,6 +150,13 @@ class CampaignResult:
                 if self.routing != "static"
                 else {}
             ),
+            # Likewise: the re-addressing section only appears when a
+            # campaign engine actually drove the run.
+            **(
+                {"readdressing": self.readdressing}
+                if self.readdressing is not None
+                else {}
+            ),
         }
 
 
@@ -154,11 +165,22 @@ def _finite(value: float) -> float | None:
 
 
 def run_campaign(
-    campaign: Campaign, base_config: ChaosConfig | None = None
+    campaign: Campaign, base_config: ChaosConfig | None = None,
+    *, world=None, campaign_engine=None,
 ) -> CampaignResult:
-    """Deterministically replay ``campaign`` and evaluate every invariant."""
-    config = (base_config or ChaosConfig()).apply(campaign.overrides)
-    world = build_world(config, campaign.seed)
+    """Deterministically replay ``campaign`` and evaluate every invariant.
+
+    ``world`` lets a caller that already built (and instrumented) the
+    chaos world reuse this loop; ``campaign_engine`` is the re-addressing
+    hook — ticked right after the health monitor each second and fed the
+    second's fetch tallies, exactly the contract
+    :class:`~repro.campaign.engine.CampaignEngine` expects.
+    """
+    if world is None:
+        config = (base_config or ChaosConfig()).apply(campaign.overrides)
+        world = build_world(config, campaign.seed)
+    else:
+        config = world.config
     clock, cdn = world.clock, world.cdn
     sim = cdn.network.sim
     speakers = bool(getattr(sim, "incremental", False))
@@ -177,6 +199,8 @@ def run_campaign(
         if speakers:
             sim.tick()  # deliver BGP updates due this second
         world.monitor.tick()
+        if campaign_engine is not None:
+            campaign_engine.tick()
         leakers = (
             [f.leaker for f in injector.active_faults() if f.kind == "route_leak"]
             if speakers else []
@@ -204,6 +228,8 @@ def run_campaign(
                     outcome.connection.remote_addr, outcome.response.latency_s,
                     via_leaker=via_leaker,
                 ))
+        if campaign_engine is not None:
+            campaign_engine.note_traffic(successes, failures)
         ticks.append(ChaosTick(clock.now(), successes, failures))
         clock.advance(1.0)
 
@@ -271,5 +297,7 @@ def run_campaign(
         oracle_checked=oracle_checked,
         oracle_mismatches=mismatches,
     )
+    if campaign_engine is not None:
+        result.readdressing = campaign_engine.report()
     result.violations = check_invariants(result)
     return result

@@ -103,6 +103,10 @@ class ChaosConfig:
     mrai_s: float = 1.0
     link_delay_s: float = 0.1
     routing_threshold: int = 2
+    #: The advertised space the ``svc`` pool lives in.  Re-addressing
+    #: drills override this to a wider block (e.g. ``192.0.0.0/20``) so a
+    #: campaign has room to shrink the active set inside it.
+    primary_prefix: str = "192.0.2.0/24"
 
     @property
     def recovery_bound(self) -> float:
@@ -147,6 +151,7 @@ def build_world(config: ChaosConfig, seed: int) -> ChaosWorld:
     if config.routing not in ("static", "speakers"):
         raise ValueError(f"unknown routing engine {config.routing!r}")
     speakers = config.routing == "speakers"
+    primary = parse_prefix(config.primary_prefix)
     clock = Clock()
     timeline = FaultTimeline()
     registry = MetricsRegistry(clock)
@@ -181,9 +186,9 @@ def build_world(config: ChaosConfig, seed: int) -> ChaosWorld:
     # routing faults then *shift* catchments (the interesting regime)
     # rather than leaving the prefix single-homed and merely unreachable.
     if speakers:
-        cdn.announce_pool(PRIMARY_PREFIX, ports=(443,), mode=ListenMode.SK_LOOKUP)
+        cdn.announce_pool(primary, ports=(443,), mode=ListenMode.SK_LOOKUP)
     else:
-        cdn.announce_pool(PRIMARY_PREFIX, ports=(443,), mode=ListenMode.SK_LOOKUP,
+        cdn.announce_pool(primary, ports=(443,), mode=ListenMode.SK_LOOKUP,
                           pops=[PRIMARY_POP])
     cdn.announce_pool(STANDBY_PREFIX, ports=(443,), mode=ListenMode.SK_LOOKUP)
     if speakers:
@@ -193,7 +198,7 @@ def build_world(config: ChaosConfig, seed: int) -> ChaosWorld:
         network.sim.warm_reset()
 
     engine = PolicyEngine(random.Random(seed + 1))
-    engine.add(Policy("svc", AddressPool(PRIMARY_PREFIX, name="primary"),
+    engine.add(Policy("svc", AddressPool(primary, name="primary"),
                       ttl=config.ttl))
     cdn.set_answer_source(PolicyAnswerSource(engine, universe.registry))
     cdn.attach_observability(registry=registry)

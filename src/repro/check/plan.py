@@ -28,17 +28,28 @@ unverified plan.
 
 from __future__ import annotations
 
+import json
 from dataclasses import dataclass, field
 
-from ..core.pool import AddressPool
-from ..netsim.addr import Prefix
+from ..core.pool import AddressPool, PoolError
+from ..netsim.addr import Prefix, parse_prefix
 from ..sockets.socktable import SocketState
 from .core import CheckError, Finding, Report, Severity
 from .symbolic import PacketSpace, announced_space, mintable_space, program_verdicts, resolved_space
 
-__all__ = ["RebindPlan", "PlanDiff", "verify_plan"]
+__all__ = ["PlanError", "RebindPlan", "PlanDiff", "verify_plan"]
 
 PLAN_KINDS = ("shrink", "failover", "migrate")
+
+
+class PlanError(PoolError):
+    """A manoeuvre whose target is not derived from the pool it rebinds.
+
+    Subclasses :class:`~repro.core.pool.PoolError` (itself a
+    ``ValueError``) so existing callers that catch the broad classes keep
+    working, while new code can catch the typed plan-shape error
+    precisely.  Messages always name *both* prefixes involved.
+    """
 
 
 @dataclass(frozen=True, slots=True)
@@ -68,6 +79,63 @@ class RebindPlan:
         if self.release:
             bits.append("release=" + ",".join(str(p) for p in self.release))
         return " ".join(bits)
+
+    def to_dict(self) -> dict:
+        payload: dict = {"kind": self.kind, "policy": self.policy}
+        if self.active is not None:
+            payload["active"] = str(self.active)
+        if self.pool is not None:
+            pool: dict = {"advertised": str(self.pool.advertised)}
+            if self.pool.active_prefix is not None:
+                pool["active"] = str(self.pool.active_prefix)
+            if self.pool.name:
+                pool["name"] = self.pool.name
+            payload["pool"] = pool
+        if self.release:
+            payload["release"] = [str(p) for p in self.release]
+        if self.name:
+            payload["name"] = self.name
+        return payload
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "RebindPlan":
+        if not isinstance(payload, dict):
+            raise ValueError("plan must be a JSON object")
+        kind = payload.get("kind")
+        policy = payload.get("policy")
+        if not isinstance(kind, str) or not isinstance(policy, str):
+            raise ValueError("plan needs string 'kind' and 'policy' fields")
+        if kind not in PLAN_KINDS:
+            raise ValueError(
+                f"unknown plan kind {kind!r} (expected one of {PLAN_KINDS})"
+            )
+        active = payload.get("active")
+        pool_spec = payload.get("pool")
+        pool = None
+        if pool_spec is not None:
+            if not isinstance(pool_spec, dict) or "advertised" not in pool_spec:
+                raise ValueError("plan 'pool' must be an object with 'advertised'")
+            pool_active = pool_spec.get("active")
+            pool = AddressPool(
+                parse_prefix(pool_spec["advertised"]),
+                active=parse_prefix(pool_active) if pool_active else None,
+                name=pool_spec.get("name", ""),
+            )
+        return cls(
+            kind=kind,
+            policy=policy,
+            active=parse_prefix(active) if active else None,
+            pool=pool,
+            release=tuple(parse_prefix(p) for p in payload.get("release", ())),
+            name=payload.get("name", ""),
+        )
+
+    def to_json(self, indent: int | None = 2) -> str:
+        return json.dumps(self.to_dict(), indent=indent)
+
+    @classmethod
+    def from_json(cls, text: str) -> "RebindPlan":
+        return cls.from_dict(json.loads(text))
 
 
 @dataclass(slots=True)

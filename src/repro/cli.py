@@ -165,6 +165,84 @@ def _cmd_chaos(args) -> str:
     return output
 
 
+def _cmd_campaign(args) -> str:
+    from .campaign import (
+        ReaddressingSpec,
+        default_readdressing_spec,
+        minimize_rollback_faults,
+        run_readdressing,
+    )
+
+    if args.spec:
+        try:
+            with open(args.spec) as fh:
+                spec = ReaddressingSpec.from_json(fh.read())
+        except (OSError, ValueError, KeyError, TypeError) as exc:
+            raise _CommandFailed(
+                f"campaign: cannot load spec {args.spec!r}: {exc}", 2)
+    else:
+        spec = default_readdressing_spec()
+
+    if args.minimize:
+        chaos_campaign = _load_campaign(args.minimize)
+        try:
+            minimal = minimize_rollback_faults(chaos_campaign, spec)
+        except ValueError as exc:
+            raise _CommandFailed(f"campaign --minimize: {exc}", 2)
+        kinds = [fault.kind for fault in minimal.faults]
+        output = "\n".join([
+            f"campaign {chaos_campaign.name!r}: {len(chaos_campaign.faults)} "
+            f"fault(s) -> {len(minimal.faults)} (property: campaign rolls back)",
+            f"minimal schedule: {', '.join(kinds)}",
+            minimal.to_json(indent=2),
+        ])
+        if args.expect_minimal is not None:
+            expected = [k for k in args.expect_minimal.split(",") if k]
+            if kinds != expected:
+                raise _CommandFailed(
+                    f"{output}\nexpected minimal schedule "
+                    f"{', '.join(expected)} — got {', '.join(kinds)}", 1)
+        return output
+
+    faults = ()
+    if args.faults:
+        faults = _load_campaign(args.faults).faults
+    elif args.chaos:
+        from .experiments.readdressing import background_faults
+
+        faults = background_faults()
+
+    result = run_readdressing(spec, seed=args.seed, faults=faults)
+    if args.json:
+        output = _json_dumps(result.report())
+    else:
+        campaign = result.readdressing
+        lines = [
+            f"campaign {campaign['name']!r} (policy {campaign['policy']!r}, "
+            f"seed {args.seed}): {campaign['state']}",
+        ]
+        for step in campaign["steps"]:
+            lines.append(
+                f"  step {step['step']} {step['name']} [{step['kind']}] "
+                f"{step['outcome'] or 'in flight'}: "
+                f"drained={step['drained_completed']} "
+                f"migrated={step['drained_migrated']} "
+                f"dropped={len(step['dropped'])} holds={step['holds']}"
+            )
+        lines.append(
+            f"availability {result.availability:.4f}, "
+            f"{campaign['holds']} hold(s), {campaign['rollbacks']} rollback(s), "
+            f"{len(result.violations)} violation(s)"
+        )
+        for violation in result.violations:
+            lines.append(f"  VIOLATION {violation.invariant} at "
+                         f"t={violation.at:g}: {violation.detail}")
+        output = "\n".join(lines)
+    if result.violations:
+        raise _CommandFailed(output, 1)
+    return output
+
+
 def _load_campaign(path: str):
     from .chaos import Campaign
     from .faults import FaultConfigError
@@ -364,6 +442,7 @@ _COMMANDS: dict[str, tuple[Callable, str]] = {
     "dnsload": (_cmd_dnsload, "§5.2: DNS-stress reduction under one-address"),
     "failover": (_cmd_failover, "§3.4/§4.4: failover recovery time vs BGP reconvergence"),
     "chaos": (_cmd_chaos, "§3.4/§6: seeded chaos campaigns vs control-plane invariants"),
+    "campaign": (_cmd_campaign, "§4.2/§6: staged re-addressing campaign under traffic/chaos"),
     "bgp": (_cmd_bgp, "§4.4/§6: BGP convergence windows racing the DNS rebind"),
     "scaling": (_cmd_scaling, "Figure 4: socket-table scaling comparison"),
     "serve": (_cmd_serve, "real-socket authoritative frontend (UDP+TCP, pre-fork workers)"),
@@ -436,6 +515,26 @@ def build_parser() -> argparse.ArgumentParser:
                    help="delta-minimize the violating campaign in FILE")
     p.add_argument("--invariant", default=None,
                    help="with --minimize: which invariant to preserve")
+    p.add_argument("--expect-minimal", dest="expect_minimal", default=None,
+                   metavar="KINDS",
+                   help="with --minimize: fail unless the minimal schedule "
+                        "is exactly this comma-separated kind list")
+
+    p = sub.add_parser("campaign", help=_COMMANDS["campaign"][1])
+    p.add_argument("--seed", type=int, default=7)
+    p.add_argument("--spec", metavar="FILE", default=None,
+                   help="ReaddressingSpec JSON (default: the /20→/24→/32 "
+                        "shrink drill); exits non-zero on any violation")
+    p.add_argument("--chaos", action="store_true",
+                   help="run the drill over E20's background fault schedule")
+    p.add_argument("--faults", metavar="FILE", default=None,
+                   help="chaos campaign JSON whose fault schedule fires "
+                        "during the drill (overrides --chaos)")
+    p.add_argument("--json", action="store_true",
+                   help="emit the full run report as JSON (deterministic bytes)")
+    p.add_argument("--minimize", metavar="FILE", default=None,
+                   help="ddmin the fault schedule in FILE to the minimal "
+                        "subset that still rolls the campaign back")
     p.add_argument("--expect-minimal", dest="expect_minimal", default=None,
                    metavar="KINDS",
                    help="with --minimize: fail unless the minimal schedule "

@@ -250,8 +250,17 @@ class Deployment:
 
     def shrink_active(self, active: "str | Prefix"):
         """The §4.2 timetable move: narrow the in-use set, one call."""
+        from .check.plan import PlanError
+
         prefix = parse_prefix(active) if isinstance(active, str) else active
         current = self.engine.get(self.config.policy_name).pool
+        if (prefix.family != current.advertised.family
+                or not current.advertised.contains(prefix)):
+            raise PlanError(
+                f"shrink target {prefix} is not derived from the current "
+                f"pool {current.advertised} (policy "
+                f"{self.config.policy_name!r})"
+            )
         self._precheck_rebind(AddressPool(
             current.advertised, active=prefix, name=current.name,
         ))
@@ -259,7 +268,22 @@ class Deployment:
 
     def failover_to_backup(self):
         """The §6 mitigation move: keep the policy, change the prefix."""
+        from .check.plan import PlanError
+
         if self.backup_pool is None:
             raise RuntimeError("deployment was built without a backup prefix")
+        current = self.engine.get(self.config.policy_name).pool
+        backup = self.backup_pool.advertised
+        if backup.family != current.advertised.family:
+            raise PlanError(
+                f"backup pool {backup} and current pool {current.advertised} "
+                "differ in address family"
+            )
+        if backup.overlaps(current.advertised):
+            raise PlanError(
+                f"backup pool {backup} overlaps the current pool "
+                f"{current.advertised} — a failover must move to disjoint "
+                "space, not back into the failed one"
+            )
         self._precheck_rebind(self.backup_pool)
         return self.controller.swap_pool(self.config.policy_name, self.backup_pool)

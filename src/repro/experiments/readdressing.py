@@ -1,0 +1,150 @@
+"""Experiment E20: live re-addressing — staged campaigns under chaos.
+
+E18 (:mod:`~repro.experiments.chaos_soak`) proves the control plane
+*survives* faults; E20 asks the harder operational question from §4.2 and
+§6 — can the deployment **change its own addressing while serving**?
+Three arms:
+
+``shrink-under-chaos``
+    The full /20 → /24 → /32 staged shrink plus a §5.2 cadence change,
+    run while a fault schedule fires (a degraded resolver path and a
+    crashed server — the background noise of a real window).  Must
+    complete every step with zero violations: in particular zero dropped
+    established connections (``no_dropped_established``) and no fresh
+    dial into vacated space past TTL + grace (``stale_binding_bound``).
+
+``migrate-accounts``
+    A per-account pool migration: the policy's whole pool moves to a
+    sibling /24 inside the same announced /20, draining the old block on
+    the way.  Same zero-downtime bar.
+
+``outage-rollback``
+    The negative-path drill: a PoP outage lands mid-step.  The health
+    monitor fails the policy over (its mitigation outranks the campaign),
+    the step's gate fails, the campaign holds twice, then rolls back —
+    and ``rollback_restores`` machine-checks that the rollback returned
+    the world to the step's starting fingerprint.  Expected terminal
+    state: ``rolled_back``, zero violations.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+
+from ..analysis.reporting import TextTable
+from ..chaos.generator import FaultSpec
+from ..chaos.runner import CampaignResult
+from ..campaign import (
+    default_readdressing_spec,
+    migration_spec,
+    run_readdressing,
+)
+
+__all__ = [
+    "ReaddressingConfig",
+    "ReaddressingOutcome",
+    "run_readdressing_experiment",
+    "render_readdressing_table",
+    "background_faults",
+    "outage_fault",
+]
+
+
+@dataclass(frozen=True, slots=True)
+class ReaddressingConfig:
+    seed: int = 7
+
+
+def background_faults() -> tuple[FaultSpec, ...]:
+    """The gentle schedule the shrink arm runs over: faults a healthy
+    control plane absorbs without failing over."""
+    return (
+        FaultSpec(when=25.0, kind="transport_degrade", duration=10.0,
+                  params={"transport": "resolver:eyeball:us:1",
+                          "drop": 0.5, "delay_s": 0.1}),
+        FaultSpec(when=95.0, kind="server_crash", duration=20.0,
+                  params={"pop": "london"}),
+    )
+
+
+def outage_fault() -> FaultSpec:
+    """The rollback arm's trigger: the primary PoP goes dark mid-step-0
+    settle window, and reverts before the rollback lands (so the
+    restored-fingerprint comparison judges the rollback, not the fault)."""
+    return FaultSpec(when=42.0, kind="pop_outage", duration=15.0,
+                     params={"pop": "ashburn"})
+
+
+@dataclass(frozen=True, slots=True)
+class ReaddressingOutcome:
+    config: ReaddressingConfig
+    results: tuple[CampaignResult, ...]
+    #: Expected terminal state per arm, position-matched to ``results``.
+    expected_states: tuple[str, ...]
+
+    @property
+    def ok(self) -> bool:
+        return (all(r.ok for r in self.results)
+                and all(r.readdressing["state"] == want
+                        for r, want in zip(self.results, self.expected_states)))
+
+    @property
+    def violation_count(self) -> int:
+        return sum(len(r.violations) for r in self.results)
+
+    def reports(self) -> list[dict]:
+        return [r.report() for r in self.results]
+
+    def reports_json(self) -> str:
+        """One deterministic JSON document: same seed, same bytes."""
+        return json.dumps(self.reports(), indent=2)
+
+
+def run_readdressing_experiment(
+    config: ReaddressingConfig | None = None,
+) -> ReaddressingOutcome:
+    config = config or ReaddressingConfig()
+    results = (
+        run_readdressing(default_readdressing_spec(), config.seed,
+                         faults=background_faults()),
+        run_readdressing(migration_spec(), config.seed),
+        run_readdressing(default_readdressing_spec(), config.seed,
+                         faults=(outage_fault(),)),
+    )
+    return ReaddressingOutcome(
+        config=config,
+        results=results,
+        expected_states=("complete", "complete", "rolled_back"),
+    )
+
+
+def render_readdressing_table(outcome: ReaddressingOutcome) -> str:
+    table = TextTable(
+        f"E20 — live re-addressing under chaos (seed {outcome.config.seed})",
+        ["campaign", "faults", "state", "steps", "drained", "migrated",
+         "dropped", "holds", "rollbacks", "avail", "violations"],
+    )
+    for result, want in zip(outcome.results, outcome.expected_states):
+        campaign = result.readdressing
+        steps = campaign["steps"]
+        state = campaign["state"]
+        table.add_row(
+            campaign["name"],
+            ",".join(s.kind for s in result.campaign.faults) or "—",
+            state if state == want else f"{state} (want {want})",
+            f"{campaign['steps_completed']}/{len(steps)}",
+            sum(s["drained_completed"] for s in steps),
+            sum(s["drained_migrated"] for s in steps),
+            sum(len(s["dropped"]) for s in steps),
+            campaign["holds"],
+            campaign["rollbacks"],
+            f"{result.availability:.4f}",
+            len(result.violations) or "none",
+        )
+    verdict = (
+        "zero-downtime invariants hold; rollback restores the world"
+        if outcome.ok
+        else f"{outcome.violation_count} VIOLATION(S) / unexpected terminal state"
+    )
+    return f"{table.render()}\n{verdict} across {len(outcome.results)} arm(s)"

@@ -175,6 +175,11 @@ class HealthMonitor:
         #: First healthy catchment PoP seen per vantage — the "where this
         #: vantage's packets are supposed to land" reference for churn.
         self._baseline_pops: dict[object, str] = {}
+        #: In-flight hedge state: vantages whose *previous* judged round
+        #: stayed slow even after the hedged re-probe.  The hedge is one
+        #: second opinion per episode — a latched vantage is not re-hedged
+        #: while its slowness persists; a healthy round unlatches it.
+        self._hedge_confirmed: set[object] = set()
         self._latencies: deque[float] = deque(maxlen=latency_window)
         self._first_failure_at: float | None = None
         self._next_probe_at: float | None = None  # None: probe on first tick
@@ -345,7 +350,8 @@ class HealthMonitor:
         slow: list[ProbeResult] = []
         healthy: list[ProbeResult] = []
         for r in results:
-            if r.latency_s > threshold and self.hedged_probes:
+            if (r.latency_s > threshold and self.hedged_probes
+                    and r.vantage not in self._hedge_confirmed):
                 self.hedges_run += 1
                 hedge = self.probe_from(r.vantage)
                 if hedge.ok and hedge.latency_s < r.latency_s:
@@ -359,6 +365,7 @@ class HealthMonitor:
                 )
             else:
                 healthy.append(r)
+        self._hedge_confirmed = {r.vantage for r in slow}
         if slow and not healthy:
             self.gray_rounds += 1
             if self.consecutive_gray == 0:
@@ -516,5 +523,9 @@ class HealthMonitor:
         self.consecutive_gray = 0
         self.consecutive_rerouted = 0
         self._baseline_pops.clear()
+        # In-flight hedge state must not survive a reset: a stale latch
+        # would suppress the post-repair hedge and let a one-off slow
+        # probe count straight into a second gray episode.
+        self._hedge_confirmed.clear()
         self._latencies.clear()
         self._first_failure_at = None

@@ -62,6 +62,8 @@ __all__ = [
     "watch_speakers",
     "watch_cdn",
     "watch_serve",
+    "watch_campaign",
+    "DRAIN_LATENCY_BUCKETS",
 ]
 
 #: Buckets for per-packet dispatch latency, in *real* seconds: the Python
@@ -316,3 +318,27 @@ def watch_serve(registry: MetricsRegistry, prefix: str, pool: "WorkerPool") -> N
             return rows[index] if index < len(rows) else {}
 
         registry.attach(f"{prefix}.w{index}", row)
+
+
+#: Drain-latency histogram buckets: seconds from a step's enactment to a
+#: tracked connection leaving the vacated space.  TTL-scale, not µs-scale.
+DRAIN_LATENCY_BUCKETS = (1.0, 2.0, 5.0, 10.0, 20.0, 30.0, 60.0, 120.0)
+
+
+def watch_campaign(registry: MetricsRegistry, prefix: str, engine) -> None:
+    """Make a :class:`~repro.campaign.engine.CampaignEngine` observable.
+
+    ``<prefix>.*`` gauges carry the state machine (state code, step
+    cursor, holds, rollbacks, live drain worklist, drain/drop tallies);
+    ``<prefix>.drain_s`` is a histogram fed every drain latency via the
+    engine's observer hook — the same append pattern as
+    :func:`watch_speakers`.
+    """
+    registry.attach(prefix, engine.status)
+    hist = registry.histogram(
+        f"{prefix}.drain_s",
+        buckets=DRAIN_LATENCY_BUCKETS,
+        help="established-connection drain latency (simulated seconds "
+             "from step enactment)",
+    )
+    engine.drain_observers.append(hist.observe)

@@ -1,0 +1,351 @@
+"""Live re-addressing campaigns: spec artifacts, engine semantics, drills.
+
+The acceptance behaviors: the /20 → /24 → /32 staged shrink completes
+under traffic and background chaos with zero dropped established
+connections and bounded stale-binding exposure (machine-checked by the
+three campaign invariants); a mid-step PoP outage pauses, holds, and
+rolls the step back with the starting fingerprint restored; a mis-tuned
+drain timeout drops connections and is convicted; and a finished or
+interrupted run's checkpoint artifact replays byte-identically.
+"""
+
+import json
+import os
+
+import pytest
+
+from repro.campaign import (
+    CampaignEngine,
+    CampaignStep,
+    GateConfig,
+    ReaddressingSpec,
+    checkpoint_payload,
+    default_readdressing_spec,
+    migration_spec,
+    minimize_rollback_faults,
+    resume_readdressing,
+    run_readdressing,
+)
+from repro.chaos.generator import Campaign, FaultSpec
+from repro.chaos.invariants import INVARIANTS
+from repro.chaos.world import ChaosConfig, build_world
+from repro.check.plan import RebindPlan
+from repro.cli import main
+from repro.netsim.addr import parse_prefix
+
+FIXTURES = os.path.join(os.path.dirname(os.path.abspath(__file__)), "fixtures")
+BAD_GATE = os.path.join(FIXTURES, "campaign_bad_gate.json")
+ROLLBACK_FAULTS = os.path.join(FIXTURES, "campaign_rollback_faults.json")
+
+OUTAGE = FaultSpec(when=42.0, kind="pop_outage", duration=15.0,
+                   params={"pop": "ashburn"})
+
+
+def shrink_step(index: int, name: str, active: str) -> CampaignStep:
+    return CampaignStep(index, name, plan=RebindPlan(
+        kind="shrink", policy="svc", active=parse_prefix(active)))
+
+
+class TestSpec:
+    def test_step_needs_exactly_one_of_plan_or_ttl(self):
+        with pytest.raises(ValueError, match="exactly one"):
+            CampaignStep(0, "neither")
+        with pytest.raises(ValueError, match="exactly one"):
+            CampaignStep(0, "both", ttl=10, plan=RebindPlan(
+                kind="shrink", policy="svc",
+                active=parse_prefix("192.0.2.0/24")))
+
+    def test_out_of_order_steps_rejected_on_import(self):
+        """The FaultTimeline rule for campaign artifacts: steps carry
+        their position, and a reordered import is an error, not a
+        silently reshuffled campaign."""
+        payload = default_readdressing_spec().to_dict()
+        payload["steps"].reverse()
+        with pytest.raises(ValueError, match="must be imported in order"):
+            ReaddressingSpec.from_dict(payload)
+
+    def test_json_round_trip(self):
+        spec = default_readdressing_spec()
+        again = ReaddressingSpec.from_json(spec.to_json())
+        assert again == spec
+        assert again.overrides == {"horizon": 240.0,
+                                   "primary_prefix": "192.0.0.0/20"}
+        assert again.start_at == 20.0
+
+    def test_gate_rejects_unknown_fields_and_bad_values(self):
+        with pytest.raises(ValueError, match="unknown gate field"):
+            GateConfig.from_dict({"min_availability": 0.9, "typo_s": 1.0})
+        with pytest.raises(ValueError):
+            GateConfig(min_availability=1.5)
+        with pytest.raises(ValueError):
+            GateConfig(drain_timeout_s=0.0)
+
+    def test_truncated_reindexes_remaining_steps(self):
+        spec = default_readdressing_spec()
+        rest = spec.truncated(2)
+        assert [s.name for s in rest.steps] == ["halve-cadence"]
+        assert rest.steps[0].step == 0
+
+    def test_bad_gate_fixture_parses_and_is_mistuned(self):
+        with open(BAD_GATE) as fh:
+            spec = ReaddressingSpec.from_json(fh.read())
+        # Mis-tuned by construction: the operator's patience expires
+        # before the TTL horizon, so a drain can never finish cleanly.
+        assert spec.gate.drain_timeout_s < ChaosConfig().ttl
+
+
+class TestShrinkDrill:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return run_readdressing(default_readdressing_spec(), seed=7)
+
+    def test_completes_every_step_with_zero_violations(self, result):
+        campaign = result.readdressing
+        assert campaign["state"] == "complete"
+        assert [s["outcome"] for s in campaign["steps"]] == ["advanced"] * 3
+        assert result.violations == ()
+
+    def test_established_flows_drained_never_dropped(self, result):
+        steps = result.readdressing["steps"]
+        moved = sum(s["drained_completed"] + s["drained_migrated"]
+                    for s in steps)
+        assert moved > 0  # the warm world had flows in the vacated space
+        assert all(s["dropped"] == [] for s in steps)
+
+    def test_drain_waits_for_the_propagation_horizon(self, result):
+        for step in result.readdressing["steps"]:
+            if step["kind"] == "cadence":
+                continue
+            # Every drain latency is bounded by the old TTL: nothing is
+            # closed after the horizon, nothing before it closes early.
+            assert step["horizon"] == step["enacted_at"] + 20.0
+            assert all(lat <= 20.0 for lat in step["drain_latencies"])
+
+    def test_post_horizon_traffic_left_the_vacated_space(self, result):
+        """The §4.2 claim, observed from the client side: past each
+        advanced step's horizon (+grace), fresh dials land only in the
+        shrunken active set — enforced by stale_binding_bound, sampled
+        here directly for the final /32."""
+        last = result.readdressing["steps"][1]
+        boundary = last["horizon"] + result.config.grace_s
+        fresh = [f for f in result.fetches
+                 if f.ok and not f.coalesced and f.t > boundary
+                 and f.address is not None]
+        assert fresh
+        assert all(str(f.address) == "192.0.2.1" for f in fresh)
+
+    def test_report_bytes_are_deterministic(self, result):
+        twin = run_readdressing(default_readdressing_spec(), seed=7)
+        assert (json.dumps(twin.report(), sort_keys=True)
+                == json.dumps(result.report(), sort_keys=True))
+
+    def test_checkpoint_resume_replays_byte_identically(self, result):
+        artifact = json.loads(json.dumps(
+            checkpoint_payload(default_readdressing_spec(), 7, result=result)))
+        resumed = resume_readdressing(artifact)
+        assert (json.dumps(resumed.report(), sort_keys=True)
+                == json.dumps(result.report(), sort_keys=True))
+
+    def test_resume_rejects_foreign_artifacts(self):
+        with pytest.raises(ValueError, match="not a readdressing checkpoint"):
+            resume_readdressing({"kind": "grocery-list"})
+
+    def test_cadence_step_changes_ttl_without_draining(self, result):
+        cadence = result.readdressing["steps"][2]
+        assert cadence["kind"] == "cadence"
+        assert cadence["old_active"] == "ttl=20"
+        assert cadence["new_active"] == "ttl=10"
+        assert cadence["drained_migrated"] == 0
+
+    def test_timeline_carries_the_campaign_phase(self, result):
+        kinds = {e.kind for e in result.timeline.events()
+                 if e.phase == "campaign"}
+        assert {"campaign_step", "campaign_drained", "campaign_advanced",
+                "campaign_complete"} <= kinds
+
+
+class TestMigrationDrill:
+    def test_pool_move_drains_the_old_block(self):
+        result = run_readdressing(migration_spec(), seed=7)
+        campaign = result.readdressing
+        assert campaign["state"] == "complete"
+        step = campaign["steps"][0]
+        assert step["kind"] == "migrate"
+        assert step["old_active"] == "192.0.0.0/20"
+        assert step["new_active"] == "192.0.4.0/24"
+        assert step["drained_completed"] + step["drained_migrated"] > 0
+        assert result.violations == ()
+
+
+class TestRollback:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return run_readdressing(default_readdressing_spec(), seed=7,
+                                faults=(OUTAGE,))
+
+    def test_outage_forces_pause_hold_rollback(self, result):
+        campaign = result.readdressing
+        assert campaign["state"] == "rolled_back"
+        step = campaign["steps"][0]
+        assert step["outcome"] == "rolled_back"
+        # Settle-window failure, then max_holds re-checks, then rollback.
+        assert step["holds"] == 2
+        assert len(step["gate_failures"]) == 3
+        assert all("failed the policy over" in why
+                   for why in step["gate_failures"])
+
+    def test_rollback_restores_the_starting_fingerprint(self, result):
+        step = result.readdressing["steps"][0]
+        assert step["fingerprint_before"] == step["fingerprint_after"]
+        assert step["fingerprint_before"]["advertised"] == "192.0.0.0/20"
+        assert result.violations == ()  # rollback_restores among them
+
+    def test_monitor_mitigation_outranks_the_campaign(self, result):
+        """The rollback must NOT clobber the health monitor's failover:
+        the policy stays on the standby pool it was rescued to."""
+        failover = result.timeline.first("failover_triggered")
+        rollback = result.timeline.first("campaign_rollback")
+        assert failover is not None and rollback is not None
+        assert failover.at < rollback.at
+
+    def test_rollback_fingerprint_drift_is_a_violation(self):
+        """Unit-check the rollback_restores invariant on a synthetic
+        report whose rollback left the world drifted."""
+        from types import SimpleNamespace
+
+        step = {"name": "shrink-to-24", "outcome": "rolled_back",
+                "completed_at": 70.0,
+                "fingerprint_before": {"active": "192.0.0.0/20"},
+                "fingerprint_after": {"active": "192.0.2.0/24"}}
+        result = SimpleNamespace(readdressing={"steps": [step]})
+        violations = INVARIANTS["rollback_restores"](result)
+        assert len(violations) == 1
+        assert "drifted: active" in violations[0].detail
+
+    def test_minimizes_to_the_causal_outage(self):
+        with open(ROLLBACK_FAULTS) as fh:
+            campaign = Campaign.from_json(fh.read())
+        minimal = minimize_rollback_faults(campaign)
+        assert [f.kind for f in minimal.faults] == ["pop_outage"]
+
+    def test_minimize_requires_a_rollback(self):
+        calm = Campaign(name="calm", seed=7, faults=(),
+                        overrides=dict(default_readdressing_spec().overrides))
+        with pytest.raises(ValueError, match="does not roll back"):
+            minimize_rollback_faults(calm)
+
+
+class TestBadGate:
+    def test_mistuned_drain_timeout_drops_and_is_convicted(self):
+        bad = default_readdressing_spec().with_gate(drain_timeout_s=5.0)
+        result = run_readdressing(bad, seed=7)
+        steps = result.readdressing["steps"]
+        assert sum(len(s["dropped"]) for s in steps) > 0
+        names = {v.invariant for v in result.violations}
+        assert "no_dropped_established" in names
+        # The gate also refuses to advance a step that dropped flows.
+        assert any("dropped" in why
+                   for s in steps for why in s["gate_failures"])
+        drops = result.timeline.events(kind="established_dropped")
+        assert drops and all(e.phase == "campaign" for e in drops)
+
+
+class TestEngineEdges:
+    def test_preflight_blackhole_aborts_the_campaign(self):
+        """A step whose plan points the active set at unannounced space
+        must die at the symbolic preflight — nothing is enacted."""
+        spec = ReaddressingSpec(
+            name="rogue", policy="svc",
+            overrides={"horizon": 60.0, "primary_prefix": "192.0.0.0/20"},
+            steps=(shrink_step(0, "escape", "10.9.9.0/24"),),
+        )
+        result = run_readdressing(spec, seed=7)
+        campaign = result.readdressing
+        assert campaign["state"] == "aborted"
+        step = campaign["steps"][0]
+        assert step["outcome"] == "aborted"
+        assert step["enacted_at"] is None
+        # The pool was never touched.
+        assert result.timeline.first("campaign_aborted") is not None
+
+    def test_engine_status_is_numbers_only(self):
+        world = build_world(ChaosConfig().apply(
+            {"primary_prefix": "192.0.0.0/20"}), seed=7)
+        engine = CampaignEngine(
+            default_readdressing_spec(), clock=world.clock, cdn=world.cdn,
+            engine=world.engine, controller=world.controller,
+            clients=world.clients, monitor=world.monitor,
+        )
+        status = engine.status()
+        assert status["state"] == 0 and status["steps_total"] == 3
+        assert all(isinstance(v, (int, float)) for v in status.values())
+
+    def test_drain_observers_feed_the_obs_histogram(self):
+        from repro.obs import MetricsRegistry
+        from repro.obs.adapters import watch_campaign
+
+        world = build_world(ChaosConfig().apply(
+            {"primary_prefix": "192.0.0.0/20"}), seed=7)
+        engine = CampaignEngine(
+            default_readdressing_spec(), clock=world.clock, cdn=world.cdn,
+            engine=world.engine, controller=world.controller,
+            clients=world.clients, monitor=world.monitor,
+        )
+        registry = MetricsRegistry(world.clock)
+        watch_campaign(registry, "campaign", engine)
+        assert engine.drain_observers  # the histogram hooked in
+        engine.drain_observers[0](12.5)
+        hist = registry.snapshot()["histograms"]["campaign.drain_s"]
+        assert hist["count"] == 1 and hist["sum"] == 12.5
+
+    def test_plain_chaos_runs_skip_campaign_invariants(self):
+        from types import SimpleNamespace
+
+        bare = SimpleNamespace(readdressing=None)
+        for name in ("no_dropped_established", "stale_binding_bound",
+                     "rollback_restores"):
+            assert INVARIANTS[name](bare) == []
+
+
+class TestExperimentE20:
+    def test_three_arms_hold(self):
+        from repro.experiments.readdressing import (
+            render_readdressing_table,
+            run_readdressing_experiment,
+        )
+
+        outcome = run_readdressing_experiment()
+        assert outcome.ok
+        table = render_readdressing_table(outcome)
+        assert "rollback restores the world" in table
+        assert "rolled_back" in table
+
+
+class TestCampaignCommand:
+    def run(self, argv, capsys) -> str:
+        assert main(argv) == 0
+        return capsys.readouterr().out
+
+    def test_default_drill_prints_steps(self, capsys):
+        out = self.run(["campaign", "--seed", "7"], capsys)
+        assert "shrink-20-24-32" in out and "complete" in out
+
+    def test_json_is_deterministic(self, capsys):
+        argv = ["campaign", "--seed", "7", "--json"]
+        assert self.run(argv, capsys) == self.run(argv, capsys)
+
+    def test_bad_gate_spec_exits_1(self, capsys):
+        assert main(["campaign", "--spec", BAD_GATE]) == 1
+        assert "no_dropped_established" in capsys.readouterr().out
+
+    def test_rollback_schedule_minimizes_to_golden(self, capsys):
+        out = self.run(["campaign", "--minimize", ROLLBACK_FAULTS,
+                        "--expect-minimal", "pop_outage"], capsys)
+        assert "minimal schedule: pop_outage" in out
+
+    def test_wrong_golden_fails(self, capsys):
+        assert main(["campaign", "--minimize", ROLLBACK_FAULTS,
+                     "--expect-minimal", "server_crash"]) == 1
+
+    def test_unreadable_spec_exits_2(self, capsys):
+        assert main(["campaign", "--spec", "no/such/spec.json"]) == 2

@@ -321,6 +321,40 @@ class TestGrayDetection:
         assert monitor._first_failure_at is None
         assert monitor.latency_baseline() is None
 
+    def test_reset_clears_inflight_hedge_state(self, clock):
+        """Satellite regression: the hedge latch (vantages already judged
+        slow-after-hedge) is in-flight probe state.  A reset mid-episode
+        must clear it — a stale latch suppresses the post-repair hedge, so
+        the next slow probe counts straight into a gray round without its
+        second opinion (the double-count)."""
+        cdn, hostnames, monitor = self._monitored_cdn(
+            clock, min_latency_samples=2,
+        )
+        self._warm_baseline(clock, monitor)
+        self._slow_every_server(cdn)
+        monitor.tick()  # gray round 1: both vantages hedged, latch armed
+        assert monitor.consecutive_gray == 1
+        assert monitor._hedge_confirmed
+        hedges_before = monitor.hedges_run
+
+        # Operator repairs the slowdown and re-arms mid-episode.
+        self._slow_every_server(cdn, factor=0.1)
+        monitor.reset()
+        assert monitor._hedge_confirmed == set()  # the fix
+
+        # One healthy warm round rebuilds the two-sample baseline without
+        # being judged (baseline is still None while it warms), then the
+        # incident recurs: the first judged round after the reset.
+        clock.advance(5.0)
+        monitor.tick()
+        self._slow_every_server(cdn)
+        clock.advance(5.0)
+        monitor.tick()
+        # Fresh episode, fresh hedges: a stale latch would have skipped
+        # them and left hedges_run unchanged.
+        assert monitor.hedges_run == hedges_before + 2
+        assert monitor.consecutive_gray == 1
+
     def test_gray_knob_validation(self, clock):
         cdn, hostnames, engine, _ = make_policy_cdn(clock)
         controller = AgilityController(engine, clock)

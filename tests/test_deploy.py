@@ -2,6 +2,7 @@
 
 import pytest
 
+from repro.check.plan import PlanError
 from repro.deploy import Deployment, DeploymentConfig
 from repro.faults import FaultInjector, FaultPlan, FaultTargets, PopWithdrawal
 from repro.netsim.addr import parse_prefix
@@ -54,6 +55,30 @@ class TestManoeuvres:
     def test_failover_requires_backup(self):
         deployment = Deployment.build(DeploymentConfig(num_hostnames=10, backup=None))
         with pytest.raises(RuntimeError):
+            deployment.failover_to_backup()
+
+    def test_shrink_outside_pool_raises_plan_error(self):
+        """Satellite regression: a shrink target not derived from the
+        current pool must fail with the typed PlanError naming both
+        prefixes, not a generic pool/value error from deeper layers."""
+        deployment = Deployment.build(DeploymentConfig(num_hostnames=10))
+        with pytest.raises(PlanError, match=r"198\.51\.100\.0/24.*192\.0\.0\.0/20"):
+            deployment.shrink_active("198.51.100.0/24")
+        # IPv6 target against an IPv4 pool: same typed refusal.
+        with pytest.raises(PlanError, match=r"2001:db8::/64.*192\.0\.0\.0/20"):
+            deployment.shrink_active("2001:db8::/64")
+        # The policy was never touched: still the full advertisement.
+        assert deployment.engine.get("default").pool.active_prefix \
+            == parse_prefix("192.0.0.0/20")
+
+    def test_failover_into_current_pool_raises_plan_error(self):
+        """Satellite regression: a backup carved out of the advertised
+        pool is not a failover — it moves traffic back into the failed
+        space.  Before the typed check this was silently accepted."""
+        deployment = Deployment.build(DeploymentConfig(
+            num_hostnames=10, backup="192.0.8.0/24",
+        ))
+        with pytest.raises(PlanError, match=r"192\.0\.8\.0/24.*192\.0\.0\.0/20"):
             deployment.failover_to_backup()
 
     def test_failover_recovers_from_injected_total_withdrawal(self):

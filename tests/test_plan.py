@@ -229,3 +229,40 @@ class TestPlanSafetyInvariant:
         timeline.emit(9.0, "plan_verified", "default", phase="check")
         timeline.emit(10.0, "failover_triggered", "default", phase="react")
         assert INVARIANTS["plan_safety"](SimpleNamespace(timeline=timeline)) == []
+
+
+class TestPlanSerialization:
+    """RebindPlan artifacts survive the JSON round trip (satellite of the
+    campaign work: ReaddressingSpec embeds plans, so checkpoint/resume
+    leans on this being lossless)."""
+
+    def test_migrate_plan_round_trips(self):
+        plan = RebindPlan(
+            kind="migrate",
+            policy="enterprise",
+            pool=AddressPool(parse_prefix("203.0.113.0/24"),
+                             active=parse_prefix("203.0.113.0/26"),
+                             name="accounts-b"),
+            release=(parse_prefix("192.0.8.0/21"),),
+            name="move-accounts",
+        )
+        again = RebindPlan.from_json(plan.to_json())
+        assert (again.kind, again.policy, again.name) == (
+            "migrate", "enterprise", "move-accounts")
+        assert str(again.pool.advertised) == "203.0.113.0/24"
+        assert str(again.pool.active_prefix) == "203.0.113.0/26"
+        assert again.pool.name == "accounts-b"
+        assert tuple(str(p) for p in again.release) == ("192.0.8.0/21",)
+        # And the re-serialization is byte-stable.
+        assert again.to_json() == plan.to_json()
+
+    def test_shrink_plan_round_trips_without_pool(self):
+        plan = RebindPlan(kind="shrink", policy="svc",
+                          active=parse_prefix("192.0.2.0/24"))
+        again = RebindPlan.from_json(plan.to_json())
+        assert again.pool is None and str(again.active) == "192.0.2.0/24"
+
+    def test_unknown_plan_kind_rejected(self):
+        with pytest.raises(ValueError, match="unknown plan kind"):
+            RebindPlan.from_dict(
+                {"kind": "teleport", "policy": "svc"})
